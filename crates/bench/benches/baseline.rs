@@ -1,0 +1,69 @@
+//! Classical-baseline kernels: sparse matvec, power-iteration λ_max and
+//! the stochastic Chebyshev–Hutchinson Betti estimator, versus the dense
+//! eigensolver route they replace at scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qtda_linalg::eigen::SymEigen;
+use qtda_linalg::sparse::CsrMatrix;
+use qtda_tda::laplacian::combinatorial_laplacian;
+use qtda_tda::random::RandomComplexModel;
+use qtda_tda::spectral_betti::{kernel_dimension_stochastic, SpectralBettiParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn sample_laplacian(n: usize, seed: u64) -> qtda_linalg::Mat {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let complex =
+        RandomComplexModel::ErdosRenyiFlag { n, edge_prob: 0.4, max_dim: 2 }.sample(&mut rng);
+    combinatorial_laplacian(&complex, 1)
+}
+
+fn bench_sparse_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse");
+    for &n in &[12usize, 18] {
+        let dense = sample_laplacian(n, 5);
+        let csr = CsrMatrix::from_dense(&dense, 0.0);
+        let x = vec![1.0; csr.n_cols()];
+        group.bench_with_input(BenchmarkId::new("matvec", csr.n_rows()), &csr, |b, m| {
+            b.iter(|| m.matvec(black_box(&x)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("lambda_max_power", csr.n_rows()),
+            &csr,
+            |b, m| b.iter(|| m.lambda_max_power(60, 3)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_kernel_dimension(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_dim");
+    let dense = sample_laplacian(14, 9);
+    let csr = CsrMatrix::from_dense(&dense, 0.0);
+    let lambda = csr.gershgorin_max();
+    group.bench_function("dense_eigensolver", |b| {
+        b.iter(|| SymEigen::kernel_dim(black_box(&dense), 1e-8))
+    });
+    for &(degree, probes) in &[(40usize, 12usize), (100, 48)] {
+        group.bench_with_input(
+            BenchmarkId::new("stochastic_chebyshev", format!("d{degree}_p{probes}")),
+            &(degree, probes),
+            |b, &(degree, probes)| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    kernel_dimension_stochastic(
+                        black_box(&csr),
+                        lambda,
+                        &SpectralBettiParams { degree, probes, gap: 0.4 },
+                        &mut rng,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sparse_kernels, bench_kernel_dimension);
+criterion_main!(benches);

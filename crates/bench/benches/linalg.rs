@@ -1,0 +1,84 @@
+//! Performance of the linear-algebra kernels that dominate the QTDA
+//! pipeline: symmetric eigendecomposition, exact/float rank, matrix
+//! products and the Hermitian exponential.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qtda_linalg::eigen::SymEigen;
+use qtda_linalg::expm::expm_i_symmetric;
+use qtda_linalg::rank::{rank_exact, rank_f64, DEFAULT_RANK_TOL};
+use qtda_linalg::Mat;
+use std::hint::black_box;
+
+fn pseudo_random_symmetric(n: usize, seed: u64) -> Mat {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let raw = Mat::from_fn(n, n, |_, _| next());
+    raw.add(&raw.transpose()).scale(0.5)
+}
+
+fn boundary_like(rows: usize, cols: usize, seed: u64) -> Vec<Vec<i64>> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..rows)
+        .map(|_| (0..cols).map(|_| (next() % 3) as i64 - 1).collect())
+        .collect()
+}
+
+fn bench_eigen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eigen");
+    for &n in &[16usize, 64, 128] {
+        let m = pseudo_random_symmetric(n, 42);
+        group.bench_with_input(BenchmarkId::new("jacobi", n), &m, |b, m| {
+            b.iter(|| SymEigen::decompose(black_box(m)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rank");
+    for &n in &[32usize, 96] {
+        let int_rows = boundary_like(n, n * 2, 7);
+        let float = Mat::from_rows(
+            &int_rows
+                .iter()
+                .map(|r| r.iter().map(|&x| x as f64).collect::<Vec<_>>())
+                .collect::<Vec<_>>(),
+        );
+        group.bench_with_input(BenchmarkId::new("exact_bareiss", n), &int_rows, |b, rows| {
+            b.iter(|| rank_exact(black_box(rows)))
+        });
+        group.bench_with_input(BenchmarkId::new("float_echelon", n), &float, |b, m| {
+            b.iter(|| rank_f64(black_box(m), DEFAULT_RANK_TOL))
+        });
+    }
+    group.finish();
+}
+
+fn bench_matmul_and_expm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense");
+    for &n in &[64usize, 128] {
+        let a = pseudo_random_symmetric(n, 3);
+        let b2 = pseudo_random_symmetric(n, 5);
+        group.bench_with_input(BenchmarkId::new("matmul", n), &n, |bch, _| {
+            bch.iter(|| black_box(&a).matmul(black_box(&b2)))
+        });
+        group.bench_with_input(BenchmarkId::new("expm_iH", n), &n, |bch, _| {
+            bch.iter(|| expm_i_symmetric(black_box(&a), 1.0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eigen, bench_rank, bench_matmul_and_expm);
+criterion_main!(benches);

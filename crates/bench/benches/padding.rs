@@ -1,0 +1,57 @@
+//! Padding-scheme ablation (DESIGN.md): the paper's identity·λ̃_max/2
+//! fill vs zero fill with post-correction. Times the end-to-end
+//! estimator under each scheme; the *accuracy* comparison lives in the
+//! `padding_ablation` integration test and EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qtda_core::estimator::{BettiEstimator, EstimatorConfig};
+use qtda_core::padding::PaddingScheme;
+use qtda_linalg::Mat;
+use qtda_tda::laplacian::combinatorial_laplacian;
+use qtda_tda::random::RandomComplexModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn laplacians() -> Vec<Mat> {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut out = Vec::new();
+    for _ in 0..4 {
+        let complex = RandomComplexModel::ErdosRenyiFlag { n: 10, edge_prob: 0.5, max_dim: 2 }
+            .sample(&mut rng);
+        for k in 0..=2 {
+            if complex.count(k) > 0 {
+                out.push(combinatorial_laplacian(&complex, k));
+            }
+        }
+    }
+    out
+}
+
+fn bench_padding(c: &mut Criterion) {
+    let ls = laplacians();
+    let mut group = c.benchmark_group("padding_scheme");
+    for (name, scheme) in [
+        ("identity_half_lambda", PaddingScheme::IdentityHalfLambdaMax),
+        ("zeros_with_correction", PaddingScheme::Zeros),
+    ] {
+        let estimator = BettiEstimator::new(EstimatorConfig {
+            precision_qubits: 6,
+            shots: 1000,
+            padding: scheme,
+            seed: 5,
+            ..EstimatorConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::new(name, ls.len()), &ls, |b, ls| {
+            b.iter(|| {
+                ls.iter()
+                    .map(|l| estimator.estimate(black_box(l)).corrected)
+                    .sum::<f64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_padding);
+criterion_main!(benches);

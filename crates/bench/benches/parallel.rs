@@ -1,0 +1,61 @@
+//! Rayon-scaling ablation: the Fig. 3 inner sweep executed serially vs
+//! data-parallel — the HPC dimension of this reproduction (the sweeps
+//! are embarrassingly parallel over complexes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qtda_core::padding::PaddingScheme;
+use qtda_core::scaling::Delta;
+use qtda_core::spectrum::PaddedSpectrum;
+use qtda_tda::laplacian::combinatorial_laplacian;
+use qtda_tda::random::fig3_default_model;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use std::hint::black_box;
+
+fn laplacians(n_complexes: usize) -> Vec<qtda_linalg::Mat> {
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut out = Vec::new();
+    for _ in 0..n_complexes {
+        let complex = fig3_default_model(10, &mut rng);
+        for k in 0..=2 {
+            if complex.count(k) > 0 {
+                out.push(combinatorial_laplacian(&complex, k));
+            }
+        }
+    }
+    out
+}
+
+fn workload(ls: &[qtda_linalg::Mat]) -> f64 {
+    ls.iter()
+        .map(|l| {
+            PaddedSpectrum::of_laplacian(l, PaddingScheme::IdentityHalfLambdaMax, Delta::Auto)
+                .estimate_exact(6)
+        })
+        .sum()
+}
+
+fn workload_parallel(ls: &[qtda_linalg::Mat]) -> f64 {
+    ls.par_iter()
+        .map(|l| {
+            PaddedSpectrum::of_laplacian(l, PaddingScheme::IdentityHalfLambdaMax, Delta::Auto)
+                .estimate_exact(6)
+        })
+        .sum()
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let ls = laplacians(16);
+    let mut group = c.benchmark_group("sweep_scaling");
+    group.bench_with_input(BenchmarkId::new("serial", ls.len()), &ls, |b, ls| {
+        b.iter(|| workload(black_box(ls)))
+    });
+    group.bench_with_input(BenchmarkId::new("rayon", ls.len()), &ls, |b, ls| {
+        b.iter(|| workload_parallel(black_box(ls)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

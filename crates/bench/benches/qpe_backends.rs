@@ -1,0 +1,44 @@
+//! Backend cost comparison: the analytic spectral backend vs the
+//! gate-level statevector circuit vs the basis-average route, on the
+//! worked example's Hamiltonian. This quantifies *why* the Fig. 3 sweep
+//! must run on the spectral backend (the outputs are identical; the
+//! costs are not).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qtda_core::backend::{p_zero_by_basis_average, QpeBackend, SpectralBackend, StatevectorBackend};
+use qtda_core::padding::{pad_laplacian, PaddingScheme};
+use qtda_core::scaling::{rescale, Delta};
+use qtda_linalg::Mat;
+use qtda_tda::complex::worked_example_complex;
+use qtda_tda::laplacian::combinatorial_laplacian;
+use std::hint::black_box;
+
+fn hamiltonian() -> Mat {
+    let l1 = combinatorial_laplacian(&worked_example_complex(), 1);
+    let padded = pad_laplacian(&l1, PaddingScheme::IdentityHalfLambdaMax);
+    rescale(&padded, Delta::Auto)
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let h = hamiltonian();
+    let mut group = c.benchmark_group("p_zero");
+    for &precision in &[2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("spectral", precision), &precision, |b, &p| {
+            b.iter(|| SpectralBackend.p_zero(black_box(&h), p))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("statevector", precision),
+            &precision,
+            |b, &p| b.iter(|| StatevectorBackend.p_zero(black_box(&h), p)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("basis_average", precision),
+            &precision,
+            |b, &p| b.iter(|| p_zero_by_basis_average(black_box(&h), p)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

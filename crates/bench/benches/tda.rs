@@ -1,0 +1,55 @@
+//! Performance of the classical TDA substrate: Rips construction,
+//! Laplacian assembly, Betti computation and persistence reduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qtda_tda::betti::betti_numbers;
+use qtda_tda::filtration::Filtration;
+use qtda_tda::laplacian::combinatorial_laplacian;
+use qtda_tda::persistence::compute_barcode;
+use qtda_tda::point_cloud::{synthetic, Metric};
+use qtda_tda::rips::{rips_complex, RipsParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_rips(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rips");
+    for &n in &[20usize, 50, 100] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cloud = synthetic::uniform_cube(n, 2, &mut rng);
+        group.bench_with_input(BenchmarkId::new("build_eps_0.3", n), &cloud, |b, pc| {
+            b.iter(|| rips_complex(black_box(pc), &RipsParams::new(0.3, 3)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_laplacian_and_betti(c: &mut Criterion) {
+    let mut group = c.benchmark_group("homology");
+    let mut rng = StdRng::seed_from_u64(2);
+    let cloud = synthetic::uniform_cube(40, 2, &mut rng);
+    let complex = rips_complex(&cloud, &RipsParams::new(0.3, 3));
+    group.bench_function("laplacian_k1", |b| {
+        b.iter(|| combinatorial_laplacian(black_box(&complex), 1))
+    });
+    group.bench_function("betti_all", |b| b.iter(|| betti_numbers(black_box(&complex))));
+    group.finish();
+}
+
+fn bench_persistence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("persistence");
+    for &n in &[16usize, 32] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cloud = synthetic::circle(n, 1.0, 0.05, &mut rng);
+        let filtration = Filtration::rips(&cloud, 1.5, 2, Metric::Euclidean);
+        group.bench_with_input(
+            BenchmarkId::new("reduction", filtration.len()),
+            &filtration,
+            |b, f| b.iter(|| compute_barcode(black_box(f))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rips, bench_laplacian_and_betti, bench_persistence);
+criterion_main!(benches);

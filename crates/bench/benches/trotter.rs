@@ -1,0 +1,52 @@
+//! Trotterisation ablation: cost of building + simulating the Fig. 7
+//! product-formula circuit as steps and order grow, vs the dense exact
+//! unitary — the circuit-depth trade-off the paper's §6 wants to
+//! optimise.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qtda_core::padding::{pad_laplacian, PaddingScheme};
+use qtda_core::scaling::{rescale, Delta};
+use qtda_qsim::decompose::PauliDecomposition;
+use qtda_qsim::evolution::{exact_unitary, trotter_circuit, TrotterOrder};
+use qtda_tda::complex::worked_example_complex;
+use qtda_tda::laplacian::combinatorial_laplacian;
+use std::hint::black_box;
+
+fn bench_trotter(c: &mut Criterion) {
+    let l1 = combinatorial_laplacian(&worked_example_complex(), 1);
+    let padded = pad_laplacian(&l1, PaddingScheme::IdentityHalfLambdaMax);
+    let h = rescale(&padded, Delta::Auto);
+    let decomposition = PauliDecomposition::of_symmetric(&h);
+
+    let mut group = c.benchmark_group("evolution");
+    group.bench_function("pauli_decomposition_8x8", |b| {
+        b.iter(|| PauliDecomposition::of_symmetric(black_box(&h)))
+    });
+    group.bench_function("dense_expm", |b| b.iter(|| exact_unitary(black_box(&h), 1.0)));
+    for &steps in &[1usize, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("trotter1_build_and_sim", steps),
+            &steps,
+            |b, &s| {
+                b.iter(|| {
+                    trotter_circuit(black_box(&decomposition), 1.0, s, TrotterOrder::First)
+                        .simulate()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("trotter2_build_and_sim", steps),
+            &steps,
+            |b, &s| {
+                b.iter(|| {
+                    trotter_circuit(black_box(&decomposition), 1.0, s, TrotterOrder::Second)
+                        .simulate()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trotter);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Regenerates the paper's Fig. 3 (a–c): boxplots of the absolute error
+//! |β̃ − β| on random simplicial complexes vs shots and precision qubits.
+//!
+//! ```text
+//! cargo run --release -p qtda-bench --bin fig3 [-- --seed N --fast --csv fig3.csv]
+//! ```
+
+use qtda_bench::cli::CommonArgs;
+use qtda_bench::experiments::fig3::{run, Fig3Params};
+use qtda_bench::table::Table;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let params = if args.fast { Fig3Params::fast(args.seed) } else { Fig3Params::paper(args.seed) };
+    eprintln!(
+        "fig3: n ∈ {:?}, shots ∈ {:?}, precision ∈ {:?}, {} complexes/n, seed {} (model: Erdős–Rényi flag complex, p ~ U(0.3,0.7), max dim {})",
+        params.n_values,
+        params.shots,
+        params.precisions,
+        params.complexes_per_n,
+        params.seed,
+        params.max_k,
+    );
+
+    let start = std::time::Instant::now();
+    let cells = run(&params);
+    eprintln!("fig3: computed {} cells in {:.1?}", cells.len(), start.elapsed());
+
+    let mut table = Table::new(&[
+        "n", "shots", "precision", "min", "q1", "median", "q3", "max", "mean", "samples",
+    ]);
+    for c in &cells {
+        table.row(vec![
+            c.n.to_string(),
+            c.shots.to_string(),
+            c.precision.to_string(),
+            format!("{:.4}", c.summary.min),
+            format!("{:.4}", c.summary.q1),
+            format!("{:.4}", c.summary.median),
+            format!("{:.4}", c.summary.q3),
+            format!("{:.4}", c.summary.max),
+            format!("{:.4}", c.mean),
+            c.samples.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // Headline shape checks mirroring the paper's observations.
+    for &n in &params.n_values {
+        let sub: Vec<_> = cells.iter().filter(|c| c.n == n).collect();
+        let worst = sub
+            .iter()
+            .filter(|c| c.precision == *params.precisions.first().unwrap())
+            .map(|c| c.mean)
+            .fold(0.0f64, f64::max);
+        let best = sub
+            .iter()
+            .filter(|c| {
+                c.precision == *params.precisions.last().unwrap()
+                    && c.shots == *params.shots.last().unwrap()
+            })
+            .map(|c| c.mean)
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "n = {n}: mean AE from {worst:.3} (lowest precision) down to {best:.3} (highest precision & shots)"
+        );
+    }
+
+    if let Some(path) = &args.csv {
+        table.write_csv(path).expect("failed to write CSV");
+        eprintln!("fig3: wrote {path}");
+    }
+}

@@ -1,0 +1,47 @@
+//! Regenerates the paper's Fig. 4: training accuracy (actual Betti
+//! features) vs the grouping scale ε over 50 linearly spaced values in
+//! [3, 5].
+//!
+//! ```text
+//! cargo run --release -p qtda-bench --bin fig4 [-- --seed N --fast --csv fig4.csv]
+//! ```
+
+use qtda_bench::cli::CommonArgs;
+use qtda_bench::experiments::gearbox::{run_fig4, GearboxExperiment};
+use qtda_bench::table::Table;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let (n_points, repeats) = if args.fast { (10, 3) } else { (50, 10) };
+
+    eprintln!("fig4: building synthetic gearbox dataset, seed {}", args.seed);
+    let experiment = GearboxExperiment::build(args.seed);
+
+    let start = std::time::Instant::now();
+    let sweep = run_fig4(&experiment, 3.0, 5.0, n_points, repeats, args.seed);
+    eprintln!("fig4: {} ε-points in {:.1?}", sweep.len(), start.elapsed());
+
+    let mut table = Table::new(&["epsilon", "training_accuracy"]);
+    for (eps, acc) in &sweep {
+        table.row(vec![format!("{eps:.3}"), format!("{acc:.3}")]);
+    }
+    println!("{}", table.render());
+
+    // ASCII sparkline of the series (the paper's figure shape).
+    let min = sweep.iter().map(|&(_, a)| a).fold(f64::INFINITY, f64::min);
+    let max = sweep.iter().map(|&(_, a)| a).fold(0.0f64, f64::max);
+    let glyphs = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let line: String = sweep
+        .iter()
+        .map(|&(_, a)| {
+            let t = if max > min { (a - min) / (max - min) } else { 0.5 };
+            glyphs[((t * 7.0).round() as usize).min(7)]
+        })
+        .collect();
+    println!("accuracy over ε ∈ [3,5]:  {line}   (min {min:.3}, max {max:.3})");
+
+    if let Some(path) = &args.csv {
+        table.write_csv(path).expect("failed to write CSV");
+        eprintln!("fig4: wrote {path}");
+    }
+}

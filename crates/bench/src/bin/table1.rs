@@ -1,0 +1,60 @@
+//! Regenerates the paper's Table 1: classification accuracy and Betti
+//! MAE of the gearbox feature dataset vs QPE precision qubits
+//! (shots fixed at 100), with the grouping scale chosen by the Fig. 4
+//! protocol (best training accuracy over ε ∈ [3, 5]).
+//!
+//! ```text
+//! cargo run --release -p qtda-bench --bin table1 [-- --seed N --fast --csv table1.csv]
+//! ```
+
+use qtda_bench::cli::CommonArgs;
+use qtda_bench::experiments::gearbox::{best_epsilon, run_fig4, run_table1, GearboxExperiment};
+use qtda_bench::table::Table;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let (sweep_points, repeats) = if args.fast { (6, 3) } else { (21, 10) };
+    let precisions: Vec<usize> = (1..=5).collect();
+    let shots = 100;
+
+    eprintln!(
+        "table1: building synthetic gearbox dataset (255 samples, 51 healthy), seed {}",
+        args.seed
+    );
+    let experiment = GearboxExperiment::build(args.seed);
+
+    eprintln!("table1: selecting ε via the Fig. 4 protocol ({sweep_points} points over [3, 5])");
+    let sweep = run_fig4(&experiment, 3.0, 5.0, sweep_points, repeats, args.seed);
+    let epsilon = best_epsilon(&sweep);
+    eprintln!("table1: chosen ε = {epsilon:.3}");
+
+    let start = std::time::Instant::now();
+    let result = run_table1(&experiment, epsilon, &precisions, shots, repeats, args.seed);
+    eprintln!("table1: done in {:.1?}", start.elapsed());
+
+    let mut table = Table::new(&[
+        "precision_qubits",
+        "train_accuracy",
+        "validation_accuracy",
+        "betti_mae",
+    ]);
+    for r in &result.rows {
+        table.row(vec![
+            r.precision.to_string(),
+            format!("{:.3}", r.train_accuracy),
+            format!("{:.3}", r.validation_accuracy),
+            format!("{:.3}", r.betti_mae),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "reference (actual Betti numbers): train {:.3}, validation {:.3}   [paper: 0.980 / 0.902]",
+        result.actual_train_accuracy, result.actual_validation_accuracy
+    );
+    println!("shots = {shots}, ε = {epsilon:.3}, 20%/80% train/validation split");
+
+    if let Some(path) = &args.csv {
+        table.write_csv(path).expect("failed to write CSV");
+        eprintln!("table1: wrote {path}");
+    }
+}

@@ -1,0 +1,77 @@
+//! Minimal flag parsing shared by the experiment binaries.
+
+/// Parsed common flags.
+#[derive(Clone, Debug)]
+pub struct CommonArgs {
+    /// RNG seed (`--seed N`, default 7).
+    pub seed: u64,
+    /// Reduced-size run for smoke tests (`--fast`).
+    pub fast: bool,
+    /// Output CSV path (`--csv PATH`), if any.
+    pub csv: Option<String>,
+}
+
+impl CommonArgs {
+    /// Parses from `std::env::args`, ignoring unknown flags.
+    pub fn parse() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Self::from_slice(&args)
+    }
+
+    /// Parses from an explicit slice (testable).
+    pub fn from_slice(args: &[String]) -> Self {
+        let mut out = CommonArgs { seed: 7, fast: false, csv: None };
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--seed" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        out.seed = v;
+                        i += 1;
+                    }
+                }
+                "--fast" => out.fast = true,
+                "--csv" => {
+                    if let Some(v) = args.get(i + 1) {
+                        out.csv = Some(v.clone());
+                        i += 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let a = CommonArgs::from_slice(&[]);
+        assert_eq!(a.seed, 7);
+        assert!(!a.fast);
+        assert!(a.csv.is_none());
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = CommonArgs::from_slice(&s(&["--seed", "42", "--fast", "--csv", "out.csv"]));
+        assert_eq!(a.seed, 42);
+        assert!(a.fast);
+        assert_eq!(a.csv.as_deref(), Some("out.csv"));
+    }
+
+    #[test]
+    fn ignores_unknown_flags() {
+        let a = CommonArgs::from_slice(&s(&["--whatever", "--seed", "3"]));
+        assert_eq!(a.seed, 3);
+    }
+}

@@ -1,0 +1,6 @@
+//! Reusable experiment logic behind the regenerator binaries
+//! (kept in the library so it is unit-testable and benchable).
+
+pub mod fig3;
+pub mod gearbox;
+pub mod worked_example;

@@ -1,0 +1,134 @@
+//! Error statistics for the experiment harnesses (paper Fig. 3, Table 1).
+
+/// Absolute error |β̃ − β| (paper Eq. 12).
+pub fn absolute_error(estimate: f64, truth: usize) -> f64 {
+    (estimate - truth as f64).abs()
+}
+
+/// Mean absolute error over paired samples.
+pub fn mean_absolute_error(estimates: &[f64], truths: &[usize]) -> f64 {
+    assert_eq!(estimates.len(), truths.len(), "length mismatch");
+    assert!(!estimates.is_empty(), "no samples");
+    estimates
+        .iter()
+        .zip(truths)
+        .map(|(&e, &t)| absolute_error(e, t))
+        .sum::<f64>()
+        / estimates.len() as f64
+}
+
+/// Five-number summary (the boxplot statistics of Fig. 3).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FiveNumber {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl FiveNumber {
+    /// Computes the summary; panics on an empty sample. Quartiles use
+    /// linear interpolation (R-7, matplotlib's default).
+    pub fn from_samples(samples: &[f64]) -> FiveNumber {
+        assert!(!samples.is_empty(), "no samples");
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        FiveNumber {
+            min: sorted[0],
+            q1: quantile_sorted(&sorted, 0.25),
+            median: quantile_sorted(&sorted, 0.5),
+            q3: quantile_sorted(&sorted, 0.75),
+            max: sorted[sorted.len() - 1],
+        }
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// R-7 quantile of an already-sorted slice.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "no samples");
+    assert!((0.0..=1.0).contains(&q), "quantile out of range");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absolute_error_basics() {
+        assert_eq!(absolute_error(1.2, 1), 0.19999999999999996);
+        assert_eq!(absolute_error(0.0, 2), 2.0);
+        assert_eq!(absolute_error(3.0, 3), 0.0);
+    }
+
+    #[test]
+    fn mae_averages() {
+        let mae = mean_absolute_error(&[1.0, 2.5, 0.0], &[1, 2, 1]);
+        assert!((mae - (0.0 + 0.5 + 1.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn five_number_of_known_sample() {
+        let s = FiveNumber::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.iqr(), 2.0);
+    }
+
+    #[test]
+    fn five_number_interpolates_even_counts() {
+        let s = FiveNumber::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert!((s.q1 - 1.75).abs() < 1e-12);
+        assert!((s.q3 - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn five_number_constant_sample() {
+        let s = FiveNumber::from_samples(&[2.0, 2.0, 2.0]);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 2.0);
+        assert_eq!(s.iqr(), 0.0);
+    }
+
+    #[test]
+    fn five_number_unsorted_input() {
+        let s = FiveNumber::from_samples(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn quantile_endpoints() {
+        let sorted = [1.0, 2.0, 10.0];
+        assert_eq!(quantile_sorted(&sorted, 0.0), 1.0);
+        assert_eq!(quantile_sorted(&sorted, 1.0), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_sample_panics() {
+        FiveNumber::from_samples(&[]);
+    }
+}

@@ -1,0 +1,259 @@
+//! The end-to-end QTDA pipeline: point cloud → Rips complex →
+//! combinatorial Laplacians → QPE Betti estimates (paper §§2–5).
+
+use crate::estimator::{BettiEstimate, BettiEstimator, EstimatorConfig};
+use qtda_tda::betti::betti_via_rank;
+use qtda_tda::laplacian::combinatorial_laplacian;
+use qtda_tda::point_cloud::{Metric, PointCloud};
+use qtda_tda::rips::{rips_complex, RipsParams};
+use qtda_tda::SimplicialComplex;
+
+/// End-to-end pipeline parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineConfig {
+    /// Grouping scale ε for the Rips complex.
+    pub epsilon: f64,
+    /// Highest homology dimension to estimate (complex is built one
+    /// dimension higher so Δ_k includes its up-Laplacian part).
+    pub max_homology_dim: usize,
+    /// Distance metric.
+    pub metric: Metric,
+    /// Estimator parameters.
+    pub estimator: EstimatorConfig,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            epsilon: 1.0,
+            max_homology_dim: 1,
+            metric: Metric::Euclidean,
+            estimator: EstimatorConfig::default(),
+        }
+    }
+}
+
+/// Pipeline output: quantum estimates next to the classical truth.
+#[derive(Clone, Debug)]
+pub struct PipelineResult {
+    /// The Rips complex the estimates refer to.
+    pub complex: SimplicialComplex,
+    /// Per-dimension estimates β̃_0 … β̃_K.
+    pub estimates: Vec<BettiEstimate>,
+    /// Classical Betti numbers for the same dimensions (rank–nullity).
+    pub classical: Vec<usize>,
+}
+
+impl PipelineResult {
+    /// Estimated values after rounding.
+    pub fn rounded(&self) -> Vec<usize> {
+        self.estimates.iter().map(BettiEstimate::rounded).collect()
+    }
+
+    /// Raw (unrounded, corrected) estimates — the feature vector the
+    /// paper feeds to classifiers.
+    pub fn features(&self) -> Vec<f64> {
+        self.estimates.iter().map(|e| e.corrected).collect()
+    }
+
+    /// Per-dimension absolute errors |β̃ − β| (paper Eq. 12).
+    pub fn absolute_errors(&self) -> Vec<f64> {
+        self.estimates
+            .iter()
+            .zip(&self.classical)
+            .map(|(e, &c)| (e.corrected - c as f64).abs())
+            .collect()
+    }
+}
+
+/// Runs the full pipeline on a point cloud.
+pub fn estimate_betti_numbers(cloud: &PointCloud, config: &PipelineConfig) -> PipelineResult {
+    let complex = rips_complex(
+        cloud,
+        &RipsParams {
+            epsilon: config.epsilon,
+            max_dim: config.max_homology_dim + 1,
+            metric: config.metric,
+        },
+    );
+    estimate_betti_numbers_of_complex(&complex, config.max_homology_dim, &config.estimator)
+}
+
+/// A multi-scale Betti curve: for each grouping scale, the quantum
+/// estimates and classical values per homology dimension. The stepping
+/// stone from the paper's single-ε estimates to its persistent-Betti
+/// future work (§6).
+#[derive(Clone, Debug)]
+pub struct BettiCurve {
+    /// The evaluated grouping scales.
+    pub epsilons: Vec<f64>,
+    /// `values[i][k]` = corrected estimate of β_k at `epsilons[i]`.
+    pub estimated: Vec<Vec<f64>>,
+    /// `classical[i][k]` = exact β_k at `epsilons[i]`.
+    pub classical: Vec<Vec<usize>>,
+}
+
+impl BettiCurve {
+    /// Largest absolute estimate-vs-exact error over the whole curve.
+    pub fn max_error(&self) -> f64 {
+        self.estimated
+            .iter()
+            .zip(&self.classical)
+            .flat_map(|(est, cls)| {
+                est.iter()
+                    .zip(cls)
+                    .map(|(e, &c)| (e - c as f64).abs())
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Sweeps the pipeline over linearly spaced scales `[lo, hi]`.
+pub fn betti_curve(
+    cloud: &PointCloud,
+    lo: f64,
+    hi: f64,
+    n_points: usize,
+    config: &PipelineConfig,
+) -> BettiCurve {
+    assert!(n_points >= 2, "need at least two scales");
+    assert!(lo <= hi, "scale range reversed");
+    let mut epsilons = Vec::with_capacity(n_points);
+    let mut estimated = Vec::with_capacity(n_points);
+    let mut classical = Vec::with_capacity(n_points);
+    for i in 0..n_points {
+        let eps = lo + (hi - lo) * i as f64 / (n_points - 1) as f64;
+        let result = estimate_betti_numbers(cloud, &PipelineConfig { epsilon: eps, ..*config });
+        epsilons.push(eps);
+        estimated.push(result.features());
+        classical.push(result.classical);
+    }
+    BettiCurve { epsilons, estimated, classical }
+}
+
+/// Runs the estimator across dimensions of an existing complex.
+pub fn estimate_betti_numbers_of_complex(
+    complex: &SimplicialComplex,
+    max_homology_dim: usize,
+    estimator_config: &EstimatorConfig,
+) -> PipelineResult {
+    let estimator = BettiEstimator::new(*estimator_config);
+    let mut estimates = Vec::with_capacity(max_homology_dim + 1);
+    let mut classical = Vec::with_capacity(max_homology_dim + 1);
+    for k in 0..=max_homology_dim {
+        let laplacian = combinatorial_laplacian(complex, k);
+        estimates.push(estimator.estimate(&laplacian));
+        classical.push(if complex.count(k) == 0 { 0 } else { betti_via_rank(complex, k) });
+    }
+    PipelineResult { complex: complex.clone(), estimates, classical }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtda_tda::point_cloud::synthetic;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn high_fidelity(seed: u64) -> EstimatorConfig {
+        EstimatorConfig { precision_qubits: 7, shots: 20_000, seed, ..Default::default() }
+    }
+
+    #[test]
+    fn circle_pipeline_recovers_beta_0_and_1() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let cloud = synthetic::circle(14, 1.0, 0.02, &mut rng);
+        let config = PipelineConfig {
+            epsilon: 0.55,
+            max_homology_dim: 1,
+            estimator: high_fidelity(5),
+            ..Default::default()
+        };
+        let result = estimate_betti_numbers(&cloud, &config);
+        assert_eq!(result.classical, vec![1, 1]);
+        assert_eq!(result.rounded(), vec![1, 1], "features {:?}", result.features());
+    }
+
+    #[test]
+    fn two_clusters_give_beta0_two() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let cloud = synthetic::two_clusters(6, 4.0, 0.4, &mut rng);
+        let config = PipelineConfig {
+            epsilon: 1.4,
+            max_homology_dim: 1,
+            estimator: high_fidelity(6),
+            ..Default::default()
+        };
+        let result = estimate_betti_numbers(&cloud, &config);
+        assert_eq!(result.classical[0], 2);
+        assert_eq!(result.rounded()[0], 2);
+    }
+
+    #[test]
+    fn absolute_errors_are_small_at_high_fidelity() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let cloud = synthetic::figure_eight(10, 1.0, 0.0, &mut rng);
+        let config = PipelineConfig {
+            epsilon: 0.7,
+            max_homology_dim: 1,
+            estimator: high_fidelity(7),
+            ..Default::default()
+        };
+        let result = estimate_betti_numbers(&cloud, &config);
+        for (k, err) in result.absolute_errors().iter().enumerate() {
+            assert!(*err < 0.5, "k = {k}: AE = {err}");
+        }
+    }
+
+    #[test]
+    fn empty_dimensions_report_zero() {
+        // Sparse cloud with ε too small for any edges: β₁ trivially 0,
+        // and S₁ is empty.
+        let cloud = PointCloud::new(1, vec![0.0, 10.0, 20.0]);
+        let config = PipelineConfig {
+            epsilon: 0.5,
+            max_homology_dim: 1,
+            estimator: high_fidelity(8),
+            ..Default::default()
+        };
+        let result = estimate_betti_numbers(&cloud, &config);
+        assert_eq!(result.classical, vec![3, 0]);
+        assert_eq!(result.rounded()[1], 0);
+        assert_eq!(result.estimates[1].q, 0, "empty S₁ short-circuits");
+    }
+
+    #[test]
+    fn betti_curve_tracks_classical_truth() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let cloud = synthetic::circle(12, 1.0, 0.02, &mut rng);
+        let config = PipelineConfig {
+            max_homology_dim: 1,
+            estimator: high_fidelity(11),
+            ..PipelineConfig::default()
+        };
+        let curve = betti_curve(&cloud, 0.1, 1.2, 6, &config);
+        assert_eq!(curve.epsilons.len(), 6);
+        assert!(curve.max_error() < 0.5, "max error {}", curve.max_error());
+        // β₀ is monotone non-increasing along a Rips sweep.
+        let b0: Vec<usize> = curve.classical.iter().map(|c| c[0]).collect();
+        assert!(b0.windows(2).all(|w| w[1] <= w[0]), "{b0:?}");
+    }
+
+    #[test]
+    fn features_are_unrounded() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let cloud = synthetic::circle(10, 1.0, 0.05, &mut rng);
+        let config = PipelineConfig {
+            epsilon: 0.7,
+            max_homology_dim: 1,
+            estimator: EstimatorConfig { precision_qubits: 2, shots: 100, seed: 1, ..Default::default() },
+            ..Default::default()
+        };
+        let result = estimate_betti_numbers(&cloud, &config);
+        // Low fidelity: features are generally fractional.
+        assert_eq!(result.features().len(), 2);
+        for f in result.features() {
+            assert!(f.is_finite() && f >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Feature-vector → point-cloud construction (paper §5, second case).
+//!
+//! "Four points in a 3D space are generated for each six-dimensional
+//! data point by taking three features at a time": the sliding triples
+//! `(f₁f₂f₃), (f₂f₃f₄), (f₃f₄f₅), (f₄f₅f₆)` — the only reading that
+//! yields exactly four points.
+
+use qtda_tda::point_cloud::PointCloud;
+
+/// Builds the 4-point cloud in R³ from a six-feature row.
+pub fn features_to_point_cloud(features: &[f64]) -> PointCloud {
+    assert_eq!(features.len(), 6, "expected six features");
+    let mut coords = Vec::with_capacity(12);
+    for start in 0..4 {
+        coords.extend_from_slice(&features[start..start + 3]);
+    }
+    PointCloud::new(3, coords)
+}
+
+/// Applies [`features_to_point_cloud`] to a scaled copy of the features:
+/// each value is multiplied by `scale` after the caller's
+/// standardisation, positioning pairwise distances inside the paper's
+/// ε ∈ [3, 5] sweep window (Fig. 4).
+pub fn scaled_feature_cloud(standardised: &[f64], scale: f64) -> PointCloud {
+    let scaled: Vec<f64> = standardised.iter().map(|v| v * scale).collect();
+    features_to_point_cloud(&scaled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtda_tda::point_cloud::Metric;
+
+    #[test]
+    fn four_points_in_three_dims() {
+        let pc = features_to_point_cloud(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(pc.len(), 4);
+        assert_eq!(pc.dim(), 3);
+    }
+
+    #[test]
+    fn sliding_triple_contents() {
+        let pc = features_to_point_cloud(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(pc.point(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(pc.point(1), &[2.0, 3.0, 4.0]);
+        assert_eq!(pc.point(2), &[3.0, 4.0, 5.0]);
+        assert_eq!(pc.point(3), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn scaling_multiplies_distances() {
+        let f = [0.5, -1.0, 2.0, 0.0, 1.0, -0.5];
+        let pc1 = scaled_feature_cloud(&f, 1.0);
+        let pc2 = scaled_feature_cloud(&f, 2.0);
+        let d1 = pc1.distance(0, 3, Metric::Euclidean);
+        let d2 = pc2.distance(0, 3, Metric::Euclidean);
+        assert!((d2 - 2.0 * d1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_features_give_distinct_clouds() {
+        let a = features_to_point_cloud(&[1.0, 1.0, 1.0, 1.0, 1.0, 1.0]);
+        let b = features_to_point_cloud(&[1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected six features")]
+    fn wrong_arity_rejected() {
+        features_to_point_cloud(&[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,136 @@
+//! The six condition-monitoring features of the paper's second §5
+//! experiment: mean, RMS, skewness, kurtosis, crest factor, shape factor
+//! — the canonical time-domain vibration feature set (the paper's ref. 8).
+
+/// The six features in a fixed order.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SixFeatures {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Root mean square.
+    pub rms: f64,
+    /// Standardised third moment.
+    pub skewness: f64,
+    /// Standardised fourth moment (3 for a Gaussian).
+    pub kurtosis: f64,
+    /// Peak |x| divided by RMS.
+    pub crest_factor: f64,
+    /// RMS divided by mean |x|.
+    pub shape_factor: f64,
+}
+
+impl SixFeatures {
+    /// The features as a vector, in declaration order.
+    pub fn to_vec(&self) -> Vec<f64> {
+        vec![
+            self.mean,
+            self.rms,
+            self.skewness,
+            self.kurtosis,
+            self.crest_factor,
+            self.shape_factor,
+        ]
+    }
+}
+
+/// Extracts the six features from a window. Panics on fewer than 2
+/// samples. Degenerate (constant-zero) windows yield zeros rather than
+/// NaNs.
+pub fn extract_six_features(window: &[f64]) -> SixFeatures {
+    assert!(window.len() >= 2, "need at least two samples");
+    let n = window.len() as f64;
+    let mean = window.iter().sum::<f64>() / n;
+    let rms = (window.iter().map(|v| v * v).sum::<f64>() / n).sqrt();
+    let var = window.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    let std = var.sqrt();
+    let (skewness, kurtosis) = if std < 1e-12 {
+        (0.0, 0.0)
+    } else {
+        let m3 = window.iter().map(|v| (v - mean).powi(3)).sum::<f64>() / n;
+        let m4 = window.iter().map(|v| (v - mean).powi(4)).sum::<f64>() / n;
+        (m3 / std.powi(3), m4 / (var * var))
+    };
+    let peak = window.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+    let mean_abs = window.iter().map(|v| v.abs()).sum::<f64>() / n;
+    let crest_factor = if rms < 1e-12 { 0.0 } else { peak / rms };
+    let shape_factor = if mean_abs < 1e-12 { 0.0 } else { rms / mean_abs };
+    SixFeatures { mean, rms, skewness, kurtosis, crest_factor, shape_factor }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gearbox::{GearboxConfig, GearboxState};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_signal_features() {
+        let f = extract_six_features(&[2.0; 100]);
+        assert!((f.mean - 2.0).abs() < 1e-12);
+        assert!((f.rms - 2.0).abs() < 1e-12);
+        assert_eq!(f.skewness, 0.0);
+        assert_eq!(f.kurtosis, 0.0);
+        assert!((f.crest_factor - 1.0).abs() < 1e-12);
+        assert!((f.shape_factor - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sine_wave_reference_values() {
+        let n = 10_000;
+        let s: Vec<f64> = (0..n)
+            .map(|t| (std::f64::consts::TAU * t as f64 / 100.0).sin())
+            .collect();
+        let f = extract_six_features(&s);
+        assert!(f.mean.abs() < 1e-3);
+        assert!((f.rms - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3, "RMS = 1/√2");
+        assert!((f.kurtosis - 1.5).abs() < 0.01, "sine kurtosis = 1.5");
+        assert!((f.crest_factor - std::f64::consts::SQRT_2).abs() < 0.01, "crest = √2");
+        assert!((f.shape_factor - 1.1107).abs() < 0.01, "π/(2√2)");
+    }
+
+    #[test]
+    fn gaussian_noise_kurtosis_near_three() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s: Vec<f64> = (0..20_000).map(|_| crate::gearbox::gaussian(&mut rng)).collect();
+        let f = extract_six_features(&s);
+        assert!((f.kurtosis - 3.0).abs() < 0.15, "kurtosis {}", f.kurtosis);
+        assert!(f.skewness.abs() < 0.1);
+    }
+
+    #[test]
+    fn impulsive_signal_has_high_crest_and_kurtosis() {
+        let mut s = vec![0.1; 1000];
+        s[500] = 10.0;
+        let f = extract_six_features(&s);
+        assert!(f.crest_factor > 10.0);
+        assert!(f.kurtosis > 100.0);
+    }
+
+    #[test]
+    fn features_separate_gearbox_classes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = GearboxConfig::default();
+        let fh = extract_six_features(&cfg.generate(GearboxState::Healthy, 2000, &mut rng));
+        let ff = extract_six_features(&cfg.generate(GearboxState::SurfaceFault, 2000, &mut rng));
+        assert!(ff.kurtosis > fh.kurtosis);
+        assert!(ff.rms > fh.rms);
+        assert!(ff.crest_factor > fh.crest_factor);
+    }
+
+    #[test]
+    fn to_vec_order_is_stable() {
+        let f = extract_six_features(&[1.0, -1.0, 2.0, -2.0]);
+        let v = f.to_vec();
+        assert_eq!(v.len(), 6);
+        assert_eq!(v[0], f.mean);
+        assert_eq!(v[3], f.kurtosis);
+        assert_eq!(v[5], f.shape_factor);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two samples")]
+    fn single_sample_panics() {
+        extract_six_features(&[1.0]);
+    }
+}

@@ -1,0 +1,24 @@
+//! # qtda-data
+//!
+//! A synthetic stand-in for the Southeast-University gearbox vibration
+//! dataset the paper classifies in §5 (healthy vs. surface-fault). The
+//! real data is not redistributable; this crate generates vibration
+//! signals with the same phenomenology — gear-mesh harmonics for healthy
+//! gears, plus periodic fault impulses with resonance ring-down and
+//! amplitude modulation for surface faults — so the paper's two feature
+//! pathways (500-sample windows → Takens → Rips, and six
+//! condition-monitoring features → four points in R³) exercise identical
+//! code and produce the same qualitative results. See DESIGN.md §2 for
+//! the substitution rationale.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod embedding;
+pub mod features;
+pub mod gearbox;
+pub mod windows;
+
+pub use embedding::features_to_point_cloud;
+pub use features::{extract_six_features, SixFeatures};
+pub use gearbox::{GearboxConfig, GearboxState};

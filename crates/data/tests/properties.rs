@@ -1,0 +1,92 @@
+//! Property-based tests for the synthetic gearbox data.
+
+use proptest::prelude::*;
+use qtda_data::embedding::features_to_point_cloud;
+use qtda_data::features::extract_six_features;
+use qtda_data::gearbox::{GearboxConfig, GearboxState};
+use qtda_data::windows::{balanced_windows, feature_dataset};
+use qtda_tda::point_cloud::Metric;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn signals_are_finite_and_nontrivial(seed in any::<u64>(), len in 100usize..2000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = GearboxConfig::default();
+        for state in [GearboxState::Healthy, GearboxState::SurfaceFault] {
+            let s = cfg.generate(state, len, &mut rng);
+            prop_assert_eq!(s.len(), len);
+            prop_assert!(s.iter().all(|v| v.is_finite()));
+            let energy: f64 = s.iter().map(|v| v * v).sum();
+            prop_assert!(energy > 0.0, "signal must not be silent");
+        }
+    }
+
+    #[test]
+    fn six_features_are_finite_with_sane_ranges(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = GearboxConfig::default();
+        for state in [GearboxState::Healthy, GearboxState::SurfaceFault] {
+            let s = cfg.generate(state, 800, &mut rng);
+            let f = extract_six_features(&s);
+            for v in f.to_vec() {
+                prop_assert!(v.is_finite());
+            }
+            prop_assert!(f.rms > 0.0);
+            prop_assert!(f.crest_factor >= 1.0, "peak ≥ RMS always");
+            prop_assert!(f.shape_factor >= 1.0, "RMS ≥ mean |x| always");
+            prop_assert!(f.kurtosis > 0.0);
+        }
+    }
+
+    #[test]
+    fn fault_statistics_dominate_healthy_on_average(seed in any::<u64>()) {
+        // Single windows can overlap; 6-window averages must separate.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = GearboxConfig::default();
+        let mean_kurt = |state: GearboxState, rng: &mut StdRng| {
+            (0..6)
+                .map(|_| extract_six_features(&cfg.generate(state, 2000, rng)).kurtosis)
+                .sum::<f64>()
+                / 6.0
+        };
+        let healthy = mean_kurt(GearboxState::Healthy, &mut rng);
+        let faulty = mean_kurt(GearboxState::SurfaceFault, &mut rng);
+        prop_assert!(faulty > healthy, "kurtosis: faulty {faulty} ≤ healthy {healthy}");
+    }
+
+    #[test]
+    fn feature_dataset_shape_and_labels(h in 2usize..10, f in 2usize..10, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (x, y) = feature_dataset(&GearboxConfig::default(), h, f, 400, &mut rng);
+        prop_assert_eq!(x.len(), h + f);
+        prop_assert_eq!(y.iter().filter(|&&l| l == 0).count(), h);
+        prop_assert!(x.iter().all(|r| r.len() == 6 && r.iter().all(|v| v.is_finite())));
+    }
+
+    #[test]
+    fn balanced_windows_are_balanced(per_class in 1usize..15, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ws = balanced_windows(&GearboxConfig::default(), per_class, 120, &mut rng);
+        prop_assert_eq!(ws.len(), 2 * per_class);
+        prop_assert_eq!(ws.iter().filter(|w| w.label == 0).count(), per_class);
+    }
+
+    #[test]
+    fn embedding_distances_scale_with_features(scale in 0.5f64..4.0) {
+        let f = [0.3, -1.2, 0.8, 2.0, -0.4, 1.1];
+        let base = features_to_point_cloud(&f);
+        let scaled_f: Vec<f64> = f.iter().map(|v| v * scale).collect();
+        let scaled = features_to_point_cloud(&scaled_f);
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                let d0 = base.distance(i, j, Metric::Euclidean);
+                let d1 = scaled.distance(i, j, Metric::Euclidean);
+                prop_assert!((d1 - scale * d0).abs() < 1e-9);
+            }
+        }
+    }
+}

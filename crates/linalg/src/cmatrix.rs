@@ -1,0 +1,375 @@
+//! Dense complex matrices (row-major), including the Kronecker product
+//! used to build Pauli-string operators.
+
+use crate::complex::C64;
+use crate::matrix::Mat;
+use rayon::prelude::*;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Row count above which complex matrix products go row-parallel.
+const PAR_ROWS: usize = 64;
+
+/// A dense complex matrix, row-major.
+#[derive(Clone, PartialEq)]
+pub struct CMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<C64>,
+}
+
+impl CMat {
+    /// An `rows × cols` matrix of complex zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMat { rows, cols, data: vec![C64::ZERO; rows * cols] }
+    }
+
+    /// The `n × n` complex identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = C64::ONE;
+        }
+        m
+    }
+
+    /// Builds from nested rows. Panics if ragged.
+    pub fn from_rows(rows: &[Vec<C64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
+        CMat { rows: r, cols: c, data: rows.concat() }
+    }
+
+    /// Builds by evaluating `f(i, j)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> C64) -> Self {
+        let mut m = CMat::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Promotes a real matrix.
+    pub fn from_real(m: &Mat) -> Self {
+        CMat::from_fn(m.rows(), m.cols(), |i, j| C64::real(m[(i, j)]))
+    }
+
+    /// A square diagonal matrix.
+    pub fn from_diag(d: &[C64]) -> Self {
+        let mut m = CMat::zeros(d.len(), d.len());
+        for (i, &v) in d.iter().enumerate() {
+            m[(i, i)] = v;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[C64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Conjugate transpose.
+    pub fn adjoint(&self) -> CMat {
+        let mut t = CMat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)].conj();
+            }
+        }
+        t
+    }
+
+    /// Matrix sum.
+    pub fn add(&self, rhs: &CMat) -> CMat {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| a + b).collect();
+        CMat { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Matrix difference.
+    pub fn sub(&self, rhs: &CMat) -> CMat {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| a - b).collect();
+        CMat { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, s: C64) -> CMat {
+        CMat { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&a| a * s).collect() }
+    }
+
+    /// Matrix product, row-parallel past a threshold.
+    pub fn matmul(&self, rhs: &CMat) -> CMat {
+        assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = CMat::zeros(m, n);
+
+        let kernel = |(i, out_row): (usize, &mut [C64])| {
+            let a_row = self.row(i);
+            for (l, &a) in a_row.iter().enumerate().take(k) {
+                if a == C64::ZERO {
+                    continue;
+                }
+                let b_row = rhs.row(l);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        };
+
+        if m >= PAR_ROWS && k * n >= 4096 {
+            out.data.par_chunks_mut(n).enumerate().for_each(kernel);
+        } else {
+            out.data.chunks_mut(n).enumerate().for_each(kernel);
+        }
+        out
+    }
+
+    /// Matrix–vector product.
+    pub fn matvec(&self, v: &[C64]) -> Vec<C64> {
+        assert_eq!(self.cols, v.len(), "dimension mismatch");
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(v).map(|(&a, &b)| a * b).sum())
+            .collect()
+    }
+
+    /// Kronecker (tensor) product `self ⊗ rhs`.
+    pub fn kron(&self, rhs: &CMat) -> CMat {
+        let (ar, ac) = (self.rows, self.cols);
+        let (br, bc) = (rhs.rows, rhs.cols);
+        let mut out = CMat::zeros(ar * br, ac * bc);
+        for i in 0..ar {
+            for j in 0..ac {
+                let a = self[(i, j)];
+                if a == C64::ZERO {
+                    continue;
+                }
+                for p in 0..br {
+                    for q in 0..bc {
+                        out[(i * br + p, j * bc + q)] = a * rhs[(p, q)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix power by repeated squaring (square matrices only).
+    pub fn pow(&self, mut e: u64) -> CMat {
+        assert_eq!(self.rows, self.cols, "pow of non-square matrix");
+        let mut base = self.clone();
+        let mut acc = CMat::identity(self.rows);
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc.matmul(&base);
+            }
+            e >>= 1;
+            if e > 0 {
+                base = base.matmul(&base);
+            }
+        }
+        acc
+    }
+
+    /// Trace.
+    pub fn trace(&self) -> C64 {
+        assert_eq!(self.rows, self.cols, "trace of non-square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Largest absolute entry-wise difference to `rhs`.
+    pub fn max_abs_diff(&self, rhs: &CMat) -> f64 {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        self.data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// `true` when `self† · self ≈ I` within `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        let prod = self.adjoint().matmul(self);
+        prod.max_abs_diff(&CMat::identity(self.rows)) <= tol
+    }
+
+    /// `true` when Hermitian within `tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in i..self.cols {
+                if !(self[(i, j)].conj()).approx_eq(self[(j, i)], tol) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl Index<(usize, usize)> for CMat {
+    type Output = C64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &C64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut C64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for CMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CMat {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  [")?;
+            for j in 0..self.cols {
+                write!(f, "{}", self[(i, j)])?;
+                if j + 1 < self.cols {
+                    write!(f, ", ")?;
+                }
+            }
+            writeln!(f, "]")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pauli_x() -> CMat {
+        CMat::from_rows(&[vec![C64::ZERO, C64::ONE], vec![C64::ONE, C64::ZERO]])
+    }
+
+    fn pauli_y() -> CMat {
+        CMat::from_rows(&[vec![C64::ZERO, -C64::I], vec![C64::I, C64::ZERO]])
+    }
+
+    fn pauli_z() -> CMat {
+        CMat::from_rows(&[vec![C64::ONE, C64::ZERO], vec![C64::ZERO, -C64::ONE]])
+    }
+
+    #[test]
+    fn pauli_algebra_xy_equals_iz() {
+        let xy = pauli_x().matmul(&pauli_y());
+        let iz = pauli_z().scale(C64::I);
+        assert!(xy.max_abs_diff(&iz) < 1e-12);
+    }
+
+    #[test]
+    fn paulis_are_unitary_and_hermitian() {
+        for p in [pauli_x(), pauli_y(), pauli_z()] {
+            assert!(p.is_unitary(1e-12));
+            assert!(p.is_hermitian(1e-12));
+        }
+    }
+
+    #[test]
+    fn adjoint_reverses_products() {
+        let a = CMat::from_fn(3, 3, |i, j| C64::new(i as f64, j as f64));
+        let b = CMat::from_fn(3, 3, |i, j| C64::new((i * j) as f64, -1.0));
+        let lhs = a.matmul(&b).adjoint();
+        let rhs = b.adjoint().matmul(&a.adjoint());
+        assert!(lhs.max_abs_diff(&rhs) < 1e-12);
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let x = pauli_x();
+        let z = pauli_z();
+        let xz = x.kron(&z);
+        assert_eq!(xz.rows(), 4);
+        // X⊗Z = [[0, Z],[Z, 0]]
+        assert!(xz[(0, 2)].approx_eq(C64::ONE, 1e-15));
+        assert!(xz[(1, 3)].approx_eq(-C64::ONE, 1e-15));
+        assert!(xz[(2, 0)].approx_eq(C64::ONE, 1e-15));
+        assert!(xz[(0, 0)].approx_eq(C64::ZERO, 1e-15));
+    }
+
+    #[test]
+    fn kron_mixed_product_property() {
+        // (A⊗B)(C⊗D) = AC ⊗ BD
+        let a = pauli_x();
+        let b = pauli_y();
+        let c = pauli_z();
+        let d = pauli_x();
+        let lhs = a.kron(&b).matmul(&c.kron(&d));
+        let rhs = a.matmul(&c).kron(&b.matmul(&d));
+        assert!(lhs.max_abs_diff(&rhs) < 1e-12);
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let a = CMat::from_fn(2, 2, |i, j| C64::new((i + j) as f64 * 0.3, 0.1));
+        let p3 = a.pow(3);
+        let manual = a.matmul(&a).matmul(&a);
+        assert!(p3.max_abs_diff(&manual) < 1e-12);
+        assert!(a.pow(0).max_abs_diff(&CMat::identity(2)) < 1e-15);
+        assert!(a.pow(1).max_abs_diff(&a) < 1e-15);
+    }
+
+    #[test]
+    fn trace_of_kron_is_product_of_traces() {
+        let a = CMat::from_fn(2, 2, |i, j| C64::new(i as f64 + 1.0, j as f64));
+        let b = CMat::from_fn(3, 3, |i, j| C64::new((i * j) as f64, 1.0));
+        let lhs = a.kron(&b).trace();
+        let rhs = a.trace() * b.trace();
+        assert!(lhs.approx_eq(rhs, 1e-12));
+    }
+
+    #[test]
+    fn parallel_matmul_matches_serial_complex() {
+        let n = 96;
+        let a = CMat::from_fn(n, n, |i, j| C64::new(((i + j) % 5) as f64 - 2.0, ((i * j) % 3) as f64));
+        let b = CMat::from_fn(n, n, |i, j| C64::new(((2 * i + j) % 7) as f64 - 3.0, (i % 2) as f64));
+        let fast = a.matmul(&b);
+        let mut slow = CMat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = C64::ZERO;
+                for l in 0..n {
+                    s += a[(i, l)] * b[(l, j)];
+                }
+                slow[(i, j)] = s;
+            }
+        }
+        assert!(fast.max_abs_diff(&slow) < 1e-9);
+    }
+
+    #[test]
+    fn from_real_preserves_entries() {
+        let m = Mat::from_rows(&[vec![1.0, -2.0], vec![0.5, 3.0]]);
+        let c = CMat::from_real(&m);
+        assert!(c[(0, 1)].approx_eq(C64::real(-2.0), 0.0));
+        assert!(c[(1, 0)].approx_eq(C64::real(0.5), 0.0));
+    }
+}

@@ -1,0 +1,286 @@
+//! A minimal `f64` complex number.
+//!
+//! The workspace deliberately avoids external numeric crates; this type
+//! carries exactly the operations the simulator and linear algebra need.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// Complex zero.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// Complex one.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `i`.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Creates `re + i·im`.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        C64 { re, im: 0.0 }
+    }
+
+    /// `e^{iθ}` on the unit circle.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        C64 { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Polar form `r·e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        C64 { re: r * theta.cos(), im: r * theta.sin() }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        C64 { re: self.re, im: -self.im }
+    }
+
+    /// Squared modulus `|z|²` (no square root; the hot path in sampling).
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase) in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        C64::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        C64 { re: self.re / d, im: -self.im / d }
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        C64 { re: self.re * s, im: self.im * s }
+    }
+
+    /// `true` if both components are within `tol` of `other`'s.
+    #[inline]
+    pub fn approx_eq(self, other: C64, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+
+    /// `true` if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        C64 { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64 { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        C64 {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w ≡ z·w⁻¹ is the definition
+    fn div(self, rhs: C64) -> C64 {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64 { re: -self.re, im: -self.im }
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: C64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: f64) -> C64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<C64> for f64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        rhs.scale(self)
+    }
+}
+
+impl From<f64> for C64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        C64::real(re)
+    }
+}
+
+impl Sum for C64 {
+    fn sum<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = C64::new(3.0, -4.0);
+        assert!((z + C64::ZERO).approx_eq(z, TOL));
+        assert!((z * C64::ONE).approx_eq(z, TOL));
+        assert!((z - z).approx_eq(C64::ZERO, TOL));
+        assert!((z * z.inv()).approx_eq(C64::ONE, TOL));
+        assert!((-z + z).approx_eq(C64::ZERO, TOL));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!((C64::I * C64::I).approx_eq(C64::real(-1.0), TOL));
+    }
+
+    #[test]
+    fn modulus_and_conjugate() {
+        let z = C64::new(3.0, 4.0);
+        assert!((z.abs() - 5.0).abs() < TOL);
+        assert!((z * z.conj()).approx_eq(C64::real(25.0), TOL));
+        assert_eq!(z.conj().im, -4.0);
+    }
+
+    #[test]
+    fn euler_identity() {
+        let z = C64::cis(std::f64::consts::PI);
+        assert!(z.approx_eq(C64::real(-1.0), TOL));
+    }
+
+    #[test]
+    fn exp_matches_cis_for_imaginary_argument() {
+        let t = 0.7321;
+        let via_exp = (C64::I * t).exp();
+        assert!(via_exp.approx_eq(C64::cis(t), TOL));
+    }
+
+    #[test]
+    fn division_roundtrip() {
+        let a = C64::new(1.5, -2.5);
+        let b = C64::new(-0.25, 3.0);
+        assert!(((a / b) * b).approx_eq(a, 1e-10));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = C64::from_polar(2.0, 1.1);
+        assert!((z.abs() - 2.0).abs() < TOL);
+        assert!((z.arg() - 1.1).abs() < TOL);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let s: C64 = (0..4).map(|k| C64::cis(k as f64)).sum();
+        let expect = C64::cis(0.0) + C64::cis(1.0) + C64::cis(2.0) + C64::cis(3.0);
+        assert!(s.approx_eq(expect, TOL));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(format!("{}", C64::new(1.0, -2.0)), "1.000000-2.000000i");
+    }
+}

@@ -1,0 +1,140 @@
+//! Matrix exponentials.
+//!
+//! The QPE walk operator is `U = e^{iH}` for a real symmetric `H`
+//! (the rescaled, padded combinatorial Laplacian). With the spectral
+//! factorisation `H = V Λ Vᵀ` this is exactly
+//! `U = V · diag(e^{iλ}) · Vᵀ` — unitary to machine precision, with no
+//! truncation error. A scaled-and-squared Taylor exponential for general
+//! complex matrices is provided as an independent cross-check and for
+//! non-Hermitian experiments.
+
+use crate::cmatrix::CMat;
+use crate::complex::C64;
+use crate::eigen::SymEigen;
+use crate::matrix::Mat;
+
+/// `e^{i·t·H}` for real symmetric `H`, via eigendecomposition.
+pub fn expm_i_symmetric(h: &Mat, t: f64) -> CMat {
+    let e = SymEigen::decompose(h);
+    expm_from_eigen(&e, t)
+}
+
+/// `e^{i·t·H}` from a precomputed eigendecomposition of `H`.
+pub fn expm_from_eigen(e: &SymEigen, t: f64) -> CMat {
+    let v = CMat::from_real(&e.vectors);
+    let d = CMat::from_diag(&e.values.iter().map(|&l| C64::cis(l * t)).collect::<Vec<_>>());
+    v.matmul(&d).matmul(&v.adjoint())
+}
+
+/// `e^{A}` for a general complex matrix by scaling-and-squaring with a
+/// truncated Taylor series. Accuracy target ~1e-12 for the modest norms
+/// used in this workspace; primarily a cross-check for the spectral path.
+pub fn expm_taylor(a: &CMat) -> CMat {
+    assert_eq!(a.rows(), a.cols(), "expm of non-square matrix");
+    let n = a.rows();
+    // Scale so the 1-norm of the scaled matrix is ≲ 0.5.
+    let norm = one_norm(a);
+    let s = if norm > 0.5 { (norm / 0.5).log2().ceil() as u32 } else { 0 };
+    let scaled = a.scale(C64::real(1.0 / (1u64 << s) as f64));
+
+    // Taylor series with running term; 24 terms at ‖A‖≤0.5 is far below
+    // f64 round-off.
+    let mut result = CMat::identity(n);
+    let mut term = CMat::identity(n);
+    for k in 1..=24u64 {
+        term = term.matmul(&scaled).scale(C64::real(1.0 / k as f64));
+        result = result.add(&term);
+    }
+    for _ in 0..s {
+        result = result.matmul(&result);
+    }
+    result
+}
+
+/// Maximum absolute column sum (the matrix 1-norm).
+fn one_norm(a: &CMat) -> f64 {
+    let mut best = 0.0f64;
+    for j in 0..a.cols() {
+        let mut s = 0.0;
+        for i in 0..a.rows() {
+            s += a[(i, j)].abs();
+        }
+        best = best.max(s);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_of_zero_is_identity() {
+        let u = expm_i_symmetric(&Mat::zeros(4, 4), 1.0);
+        assert!(u.max_abs_diff(&CMat::identity(4)) < 1e-12);
+    }
+
+    #[test]
+    fn diagonal_case_is_elementwise_phase() {
+        let h = Mat::from_diag(&[0.0, 1.0, 2.0]);
+        let u = expm_i_symmetric(&h, 1.0);
+        for (i, &l) in [0.0, 1.0, 2.0].iter().enumerate() {
+            assert!(u[(i, i)].approx_eq(C64::cis(l), 1e-12));
+        }
+        assert!(u[(0, 1)].approx_eq(C64::ZERO, 1e-12));
+    }
+
+    #[test]
+    fn result_is_unitary() {
+        let h = Mat::from_rows(&[
+            vec![3.0, 0.0, 0.0, 0.0],
+            vec![0.0, 3.0, -1.0, 0.0],
+            vec![0.0, -1.0, 2.0, 1.0],
+            vec![0.0, 0.0, 1.0, 2.0],
+        ]);
+        let u = expm_i_symmetric(&h, 0.9);
+        assert!(u.is_unitary(1e-10));
+    }
+
+    #[test]
+    fn spectral_and_taylor_agree() {
+        let h = Mat::from_rows(&[
+            vec![1.0, 0.5, 0.0],
+            vec![0.5, -1.0, 0.25],
+            vec![0.0, 0.25, 0.5],
+        ]);
+        let spectral = expm_i_symmetric(&h, 1.3);
+        let ih = CMat::from_real(&h).scale(C64::new(0.0, 1.3));
+        let taylor = expm_taylor(&ih);
+        assert!(spectral.max_abs_diff(&taylor) < 1e-10);
+    }
+
+    #[test]
+    fn group_property_u_t1_t2() {
+        // e^{iH t1} · e^{iH t2} = e^{iH (t1+t2)}
+        let h = Mat::from_rows(&[vec![2.0, -1.0], vec![-1.0, 2.0]]);
+        let u1 = expm_i_symmetric(&h, 0.4);
+        let u2 = expm_i_symmetric(&h, 0.7);
+        let u12 = expm_i_symmetric(&h, 1.1);
+        assert!(u1.matmul(&u2).max_abs_diff(&u12) < 1e-11);
+    }
+
+    #[test]
+    fn powers_match_time_scaling() {
+        // (e^{iH})^4 = e^{i 4 H} — exactly the controlled-power ladder QPE needs.
+        let h = Mat::from_rows(&[vec![1.0, 0.3], vec![0.3, -0.5]]);
+        let u = expm_i_symmetric(&h, 1.0);
+        let u4 = u.pow(4);
+        let direct = expm_i_symmetric(&h, 4.0);
+        assert!(u4.max_abs_diff(&direct) < 1e-10);
+    }
+
+    #[test]
+    fn taylor_handles_larger_norms_via_scaling() {
+        let a = CMat::from_fn(3, 3, |i, j| C64::new(((i + j) % 3) as f64, (i as f64 - j as f64) * 0.5));
+        // exp(A) · exp(−A) = I for commuting pair (A, −A).
+        let e1 = expm_taylor(&a);
+        let e2 = expm_taylor(&a.scale(C64::real(-1.0)));
+        assert!(e1.matmul(&e2).max_abs_diff(&CMat::identity(3)) < 1e-9);
+    }
+}

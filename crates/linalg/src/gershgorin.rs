@@ -1,0 +1,97 @@
+//! Gershgorin circle bounds on the spectrum of a square matrix.
+//!
+//! The paper (Eq. 7) pads the combinatorial Laplacian with
+//! `λ̃_max/2 · I`, where `λ̃_max` is the Gershgorin upper bound
+//! `max_i (a_ii + Σ_{j≠i} |a_ij|)`. For the worked example's Δ₁ the bound
+//! is 6, matching Eq. 18.
+
+use crate::matrix::Mat;
+
+/// Upper Gershgorin bound: `max_i (a_ii + R_i)` with
+/// `R_i = Σ_{j≠i} |a_ij|`. Panics if `a` is not square; returns 0 for the
+/// empty matrix.
+pub fn max_eigenvalue_bound(a: &Mat) -> f64 {
+    assert!(a.is_square(), "Gershgorin bound requires a square matrix");
+    if a.rows() == 0 {
+        return 0.0;
+    }
+    (0..a.rows())
+        .map(|i| {
+            let radius: f64 = a
+                .row(i)
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, v)| v.abs())
+                .sum();
+            a[(i, i)] + radius
+        })
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Lower Gershgorin bound: `min_i (a_ii − R_i)`. Returns 0 for the empty
+/// matrix.
+pub fn min_eigenvalue_bound(a: &Mat) -> f64 {
+    assert!(a.is_square(), "Gershgorin bound requires a square matrix");
+    if a.rows() == 0 {
+        return 0.0;
+    }
+    (0..a.rows())
+        .map(|i| {
+            let radius: f64 = a
+                .row(i)
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, v)| v.abs())
+                .sum();
+            a[(i, i)] - radius
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eigen::SymEigen;
+
+    #[test]
+    fn diagonal_bound_is_max_entry() {
+        let a = Mat::from_diag(&[1.0, 5.0, 3.0]);
+        assert_eq!(max_eigenvalue_bound(&a), 5.0);
+    }
+
+    #[test]
+    fn worked_example_bound_is_six() {
+        // Δ₁ from Appendix A — the paper states λ̃_max = 6.
+        let a = Mat::from_rows(&[
+            vec![3.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            vec![0.0, 3.0, 0.0, -1.0, -1.0, 0.0],
+            vec![0.0, 0.0, 3.0, -1.0, -1.0, 0.0],
+            vec![0.0, -1.0, -1.0, 2.0, 1.0, -1.0],
+            vec![0.0, -1.0, -1.0, 1.0, 2.0, 1.0],
+            vec![0.0, 0.0, 0.0, -1.0, 1.0, 2.0],
+        ]);
+        assert_eq!(max_eigenvalue_bound(&a), 6.0);
+    }
+
+    #[test]
+    fn bound_dominates_true_spectrum() {
+        let a = Mat::from_rows(&[
+            vec![2.0, -1.0, 0.0],
+            vec![-1.0, 2.0, -1.0],
+            vec![0.0, -1.0, 2.0],
+        ]);
+        let bound = max_eigenvalue_bound(&a);
+        let max_eig = SymEigen::eigenvalues(&a).last().copied().unwrap();
+        assert!(bound >= max_eig - 1e-12, "bound {bound} < λ_max {max_eig}");
+    }
+
+    #[test]
+    fn lower_bound_below_spectrum() {
+        let a = Mat::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]);
+        let lo = min_eigenvalue_bound(&a);
+        let min_eig = SymEigen::eigenvalues(&a)[0];
+        assert!(lo <= min_eig + 1e-12);
+    }
+}

@@ -1,0 +1,411 @@
+//! Dense real matrices with row-major `Vec<f64>` storage.
+
+use rayon::prelude::*;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Row count above which matrix products are parallelised across rows.
+const PAR_ROWS: usize = 64;
+
+/// A dense real matrix, row-major.
+#[derive(Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// An `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds from nested rows. Panics if rows are ragged.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
+        Mat { rows: r, cols: c, data: rows.concat() }
+    }
+
+    /// Builds an `rows × cols` matrix by evaluating `f(i, j)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Mat::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// A square matrix with `d` on the diagonal.
+    pub fn from_diag(d: &[f64]) -> Self {
+        let mut m = Mat::zeros(d.len(), d.len());
+        for (i, &v) in d.iter().enumerate() {
+            m[(i, i)] = v;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` when the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow of row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Flat row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Mat {
+        let mut t = Mat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix sum. Panics on shape mismatch.
+    pub fn add(&self, rhs: &Mat) -> Mat {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        Mat { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Matrix difference. Panics on shape mismatch.
+    pub fn sub(&self, rhs: &Mat) -> Mat {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
+        Mat { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, s: f64) -> Mat {
+        Mat { rows: self.rows, cols: self.cols, data: self.data.iter().map(|a| a * s).collect() }
+    }
+
+    /// Matrix product `self · rhs`. Rows are rayon-parallel past a size
+    /// threshold; the inner loop is a cache-friendly `ikj` ordering.
+    pub fn matmul(&self, rhs: &Mat) -> Mat {
+        assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Mat::zeros(m, n);
+
+        let kernel = |(i, out_row): (usize, &mut [f64])| {
+            let a_row = self.row(i);
+            for (l, &a) in a_row.iter().enumerate().take(k) {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = rhs.row(l);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        };
+
+        if m >= PAR_ROWS && k * n >= 4096 {
+            out.data.par_chunks_mut(n).enumerate().for_each(kernel);
+        } else {
+            out.data.chunks_mut(n).enumerate().for_each(kernel);
+        }
+        out
+    }
+
+    /// `selfᵀ · self` (Gram matrix), exploiting symmetry of the result.
+    pub fn gram(&self) -> Mat {
+        let n = self.cols;
+        let mut g = Mat::zeros(n, n);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for i in 0..n {
+                let ri = row[i];
+                if ri == 0.0 {
+                    continue;
+                }
+                for j in i..n {
+                    g[(i, j)] += ri * row[j];
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..i {
+                g[(i, j)] = g[(j, i)];
+            }
+        }
+        g
+    }
+
+    /// `self · selfᵀ`, exploiting symmetry of the result.
+    pub fn gram_t(&self) -> Mat {
+        let m = self.rows;
+        let mut g = Mat::zeros(m, m);
+        for i in 0..m {
+            for j in i..m {
+                let s: f64 = self.row(i).iter().zip(self.row(j)).map(|(a, b)| a * b).sum();
+                g[(i, j)] = s;
+                g[(j, i)] = s;
+            }
+        }
+        g
+    }
+
+    /// Matrix–vector product.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, v.len(), "dimension mismatch");
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Trace (sum of diagonal entries). Panics if not square.
+    pub fn trace(&self) -> f64 {
+        assert!(self.is_square(), "trace of non-square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|a| a * a).sum::<f64>().sqrt()
+    }
+
+    /// Largest absolute entry-wise difference to `rhs`.
+    pub fn max_abs_diff(&self, rhs: &Mat) -> f64 {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        self.data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// `true` if symmetric within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Embeds `self` into the top-left corner of an `n × n` matrix whose
+    /// remaining diagonal is `fill` (the paper's Eq. 7 padding shape).
+    pub fn embed_top_left(&self, n: usize, fill: f64) -> Mat {
+        assert!(self.is_square(), "padding requires a square matrix");
+        assert!(n >= self.rows, "target must not shrink the matrix");
+        let mut out = Mat::zeros(n, n);
+        for i in 0..self.rows {
+            out.row_mut(i)[..self.cols].copy_from_slice(self.row(i));
+        }
+        for i in self.rows..n {
+            out[(i, i)] = fill;
+        }
+        out
+    }
+
+    /// `true` when every entry is within `tol` of an integer.
+    pub fn is_integral(&self, tol: f64) -> bool {
+        self.data.iter().all(|a| (a - a.round()).abs() <= tol)
+    }
+
+    /// Rounds every entry to `i64`. Panics if any entry is farther than
+    /// `tol` from an integer (guards accidental use on non-integral data).
+    pub fn to_integer_rows(&self, tol: f64) -> Vec<Vec<i64>> {
+        assert!(self.is_integral(tol), "matrix entries are not integral");
+        (0..self.rows)
+            .map(|i| self.row(i).iter().map(|a| a.round() as i64).collect())
+            .collect()
+    }
+}
+
+impl Index<(usize, usize)> for Mat {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Mat {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  [")?;
+            for j in 0..self.cols {
+                write!(f, "{:8.4}", self[(i, j)])?;
+                if j + 1 < self.cols {
+                    write!(f, ", ")?;
+                }
+            }
+            writeln!(f, "]")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_matmul_neutral() {
+        let a = Mat::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let i = Mat::identity(2);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Mat::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let b = Mat::from_rows(&[vec![7.0, 8.0], vec![9.0, 10.0], vec![11.0, 12.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Mat::from_rows(&[vec![58.0, 64.0], vec![139.0, 154.0]]));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Mat::from_fn(3, 5, |i, j| (i * 7 + j) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn gram_matches_explicit_product() {
+        let a = Mat::from_fn(4, 3, |i, j| (i as f64 - j as f64) * 0.5 + 1.0);
+        let g = a.gram();
+        let explicit = a.transpose().matmul(&a);
+        assert!(g.max_abs_diff(&explicit) < 1e-12);
+        assert!(g.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn gram_t_matches_explicit_product() {
+        let a = Mat::from_fn(3, 5, |i, j| ((i + 2 * j) % 4) as f64 - 1.0);
+        let g = a.gram_t();
+        let explicit = a.matmul(&a.transpose());
+        assert!(g.max_abs_diff(&explicit) < 1e-12);
+    }
+
+    #[test]
+    fn matvec_agrees_with_matmul() {
+        let a = Mat::from_fn(3, 3, |i, j| (i + j) as f64);
+        let v = vec![1.0, -1.0, 2.0];
+        let got = a.matvec(&v);
+        for (i, g) in got.iter().enumerate() {
+            let expect: f64 = a.row(i).iter().zip(&v).map(|(x, y)| x * y).sum();
+            assert!((g - expect).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn embed_top_left_pads_diagonal() {
+        let a = Mat::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let p = a.embed_top_left(4, 3.0);
+        assert_eq!(p[(0, 0)], 2.0);
+        assert_eq!(p[(1, 0)], 1.0);
+        assert_eq!(p[(2, 2)], 3.0);
+        assert_eq!(p[(3, 3)], 3.0);
+        assert_eq!(p[(2, 3)], 0.0);
+        assert_eq!(p.trace(), 4.0 + 6.0);
+    }
+
+    #[test]
+    fn parallel_matmul_matches_serial() {
+        // Exceeds PAR_ROWS to exercise the rayon path.
+        let n = 80;
+        let a = Mat::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 13) as f64 - 6.0);
+        let b = Mat::from_fn(n, n, |i, j| ((i * 5 + j * 3) % 7) as f64 - 3.0);
+        let fast = a.matmul(&b);
+        // Naive reference.
+        let mut slow = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for l in 0..n {
+                    s += a[(i, l)] * b[(l, j)];
+                }
+                slow[(i, j)] = s;
+            }
+        }
+        assert!(fast.max_abs_diff(&slow) < 1e-9);
+    }
+
+    #[test]
+    fn integral_detection_and_conversion() {
+        let a = Mat::from_rows(&[vec![1.0, -1.0], vec![0.0, 2.0]]);
+        assert!(a.is_integral(1e-12));
+        assert_eq!(a.to_integer_rows(1e-12), vec![vec![1, -1], vec![0, 2]]);
+        let b = Mat::from_rows(&[vec![0.5]]);
+        assert!(!b.is_integral(1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn trace_and_norm() {
+        let a = Mat::from_diag(&[1.0, 2.0, 3.0]);
+        assert_eq!(a.trace(), 6.0);
+        assert!((a.frobenius_norm() - 14.0_f64.sqrt()).abs() < 1e-12);
+    }
+}

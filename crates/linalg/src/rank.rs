@@ -1,0 +1,231 @@
+//! Matrix rank and nullity.
+//!
+//! Classical Betti numbers come from rank–nullity on the boundary
+//! operators: `β_k = |S_k| − rank ∂_k − rank ∂_{k+1}`. Boundary matrices
+//! have entries in {−1, 0, 1}, so alongside the floating-point echelon
+//! rank we provide an **exact** fraction-free (Bareiss) elimination over
+//! `i128`, and a combinator that prefers the exact path and falls back to
+//! floating point only on (astronomically unlikely) overflow.
+
+use crate::matrix::Mat;
+
+/// Default relative tolerance for the floating-point rank.
+pub const DEFAULT_RANK_TOL: f64 = 1e-9;
+
+/// Numerical rank by Gaussian elimination with partial pivoting.
+///
+/// A pivot is accepted while its magnitude exceeds `tol · max(1, ‖A‖_max)`.
+pub fn rank_f64(a: &Mat, tol: f64) -> usize {
+    let (m, n) = (a.rows(), a.cols());
+    if m == 0 || n == 0 {
+        return 0;
+    }
+    let scale = a.data().iter().fold(0.0f64, |acc, x| acc.max(x.abs())).max(1.0);
+    let threshold = tol * scale;
+
+    let mut w: Vec<Vec<f64>> = (0..m).map(|i| a.row(i).to_vec()).collect();
+    let mut rank = 0;
+    let mut row = 0;
+    for col in 0..n {
+        // Partial pivot: largest magnitude in this column at/under `row`.
+        let (pivot_row, pivot_val) = match (row..m)
+            .map(|r| (r, w[r][col]))
+            .max_by(|x, y| x.1.abs().partial_cmp(&y.1.abs()).expect("NaN entry"))
+        {
+            Some(p) => p,
+            None => break,
+        };
+        if pivot_val.abs() <= threshold {
+            continue;
+        }
+        w.swap(row, pivot_row);
+        for r in (row + 1)..m {
+            let factor = w[r][col] / pivot_val;
+            if factor == 0.0 {
+                continue;
+            }
+            let (pivot_slice, rest) = w.split_at_mut(row + 1);
+            let pivot_row_ref = &pivot_slice[row];
+            let target = &mut rest[r - row - 1];
+            for c in col..n {
+                target[c] -= factor * pivot_row_ref[c];
+            }
+        }
+        rank += 1;
+        row += 1;
+        if row == m {
+            break;
+        }
+    }
+    rank
+}
+
+/// Nullity (kernel dimension) of `a` over the reals: `cols − rank`.
+pub fn nullity_f64(a: &Mat, tol: f64) -> usize {
+    a.cols() - rank_f64(a, tol)
+}
+
+/// Exact rank of an integer matrix by Bareiss fraction-free elimination.
+///
+/// Returns `None` if an intermediate value overflows `i128` (in which case
+/// callers should fall back to [`rank_f64`]). For boundary matrices with
+/// entries in {−1, 0, 1}, intermediates are bounded by Hadamard's
+/// inequality and overflow is effectively impossible at the sizes this
+/// workspace handles.
+pub fn rank_exact(rows: &[Vec<i64>]) -> Option<usize> {
+    let m = rows.len();
+    let n = rows.first().map_or(0, Vec::len);
+    if m == 0 || n == 0 {
+        return Some(0);
+    }
+    debug_assert!(rows.iter().all(|r| r.len() == n), "ragged rows");
+    let mut w: Vec<Vec<i128>> = rows
+        .iter()
+        .map(|r| r.iter().map(|&x| x as i128).collect())
+        .collect();
+
+    let mut prev_pivot: i128 = 1;
+    let mut rank = 0;
+    let mut row = 0;
+    for col in 0..n {
+        // Find any nonzero pivot in this column (prefer smallest magnitude
+        // to slow entry growth).
+        let pivot_row = (row..m)
+            .filter(|&r| w[r][col] != 0)
+            .min_by_key(|&r| w[r][col].unsigned_abs());
+        let pivot_row = match pivot_row {
+            Some(p) => p,
+            None => continue,
+        };
+        w.swap(row, pivot_row);
+        let pivot = w[row][col];
+        for r in (row + 1)..m {
+            for c in (col + 1)..n {
+                // Bareiss update: (pivot·a[r][c] − a[r][col]·a[row][c]) / prev_pivot
+                let t1 = pivot.checked_mul(w[r][c])?;
+                let t2 = w[r][col].checked_mul(w[row][c])?;
+                let num = t1.checked_sub(t2)?;
+                debug_assert_eq!(num % prev_pivot, 0, "Bareiss divisibility violated");
+                w[r][c] = num / prev_pivot;
+            }
+            w[r][col] = 0;
+        }
+        prev_pivot = pivot;
+        rank += 1;
+        row += 1;
+        if row == m {
+            break;
+        }
+    }
+    Some(rank)
+}
+
+/// Rank of a matrix whose entries are (within `1e-9` of) integers: exact
+/// Bareiss if possible, floating-point echelon otherwise.
+pub fn rank_integral(a: &Mat) -> usize {
+    if a.rows() == 0 || a.cols() == 0 {
+        return 0;
+    }
+    if a.is_integral(1e-9) {
+        if let Some(r) = rank_exact(&a.to_integer_rows(1e-9)) {
+            return r;
+        }
+    }
+    rank_f64(a, DEFAULT_RANK_TOL)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_matrix_has_rank_zero() {
+        assert_eq!(rank_f64(&Mat::zeros(4, 7), DEFAULT_RANK_TOL), 0);
+        assert_eq!(rank_exact(&vec![vec![0i64; 7]; 4]), Some(0));
+    }
+
+    #[test]
+    fn identity_has_full_rank() {
+        assert_eq!(rank_f64(&Mat::identity(9), DEFAULT_RANK_TOL), 9);
+    }
+
+    #[test]
+    fn duplicated_rows_drop_rank() {
+        let a = Mat::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 4.0, 6.0],
+            vec![0.0, 1.0, 1.0],
+        ]);
+        assert_eq!(rank_f64(&a, DEFAULT_RANK_TOL), 2);
+        assert_eq!(rank_integral(&a), 2);
+    }
+
+    #[test]
+    fn wide_and_tall_matrices() {
+        let wide = Mat::from_rows(&[vec![1.0, 0.0, 2.0, 0.0], vec![0.0, 1.0, 0.0, 2.0]]);
+        assert_eq!(rank_f64(&wide, DEFAULT_RANK_TOL), 2);
+        let tall = wide.transpose();
+        assert_eq!(rank_f64(&tall, DEFAULT_RANK_TOL), 2);
+        assert_eq!(nullity_f64(&wide, DEFAULT_RANK_TOL), 2);
+        assert_eq!(nullity_f64(&tall, DEFAULT_RANK_TOL), 0);
+    }
+
+    #[test]
+    fn exact_matches_float_on_boundary_like_matrices() {
+        // ∂₁ of the paper's worked example (Eq. 14); rank must be 4.
+        let rows: Vec<Vec<i64>> = vec![
+            vec![1, 1, 0, 0, 0, 0],
+            vec![-1, 0, 1, 0, 0, 0],
+            vec![0, -1, -1, 1, 1, 0],
+            vec![0, 0, 0, -1, 0, 1],
+            vec![0, 0, 0, 0, -1, -1],
+        ];
+        let exact = rank_exact(&rows).unwrap();
+        let m = Mat::from_rows(
+            &rows
+                .iter()
+                .map(|r| r.iter().map(|&x| x as f64).collect::<Vec<_>>())
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(exact, 4);
+        assert_eq!(rank_f64(&m, DEFAULT_RANK_TOL), 4);
+        assert_eq!(rank_integral(&m), 4);
+    }
+
+    #[test]
+    fn rank_nullity_theorem() {
+        let a = Mat::from_rows(&[
+            vec![1.0, -1.0, 0.0, 0.0, 2.0],
+            vec![0.0, 1.0, -1.0, 0.0, 0.0],
+            vec![1.0, 0.0, -1.0, 0.0, 2.0],
+        ]);
+        let r = rank_f64(&a, DEFAULT_RANK_TOL);
+        assert_eq!(r + nullity_f64(&a, DEFAULT_RANK_TOL), a.cols());
+        assert_eq!(r, 2);
+    }
+
+    #[test]
+    fn near_singular_small_pivot_rejected() {
+        let eps = 1e-13;
+        let a = Mat::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0 + eps]]);
+        // With a 1e-9 relative tolerance the second pivot is noise.
+        assert_eq!(rank_f64(&a, DEFAULT_RANK_TOL), 1);
+        // With a far tighter tolerance it is kept.
+        assert_eq!(rank_f64(&a, 1e-15), 2);
+    }
+
+    #[test]
+    fn exact_rank_rectangular() {
+        let rows = vec![vec![2, 4], vec![1, 2], vec![3, 6]];
+        assert_eq!(rank_exact(&rows), Some(1));
+        let rows2 = vec![vec![1, 0], vec![0, 1], vec![1, 1]];
+        assert_eq!(rank_exact(&rows2), Some(2));
+    }
+
+    #[test]
+    fn empty_matrix_edge_cases() {
+        assert_eq!(rank_f64(&Mat::zeros(0, 0), DEFAULT_RANK_TOL), 0);
+        assert_eq!(rank_integral(&Mat::zeros(0, 5)), 0);
+        assert_eq!(rank_exact(&[]), Some(0));
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use qtda_linalg::{
+    eigen::SymEigen,
+    expm::{expm_i_symmetric, expm_taylor},
+    gershgorin::{max_eigenvalue_bound, min_eigenvalue_bound},
+    rank::{nullity_f64, rank_exact, rank_f64, rank_integral, DEFAULT_RANK_TOL},
+    CMat, Mat, C64,
+};
+
+/// Strategy: a small symmetric matrix with entries in [-3, 3].
+fn symmetric_mat(max_n: usize) -> impl Strategy<Value = Mat> {
+    (1..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec(-3.0f64..3.0, n * n).prop_map(move |vals| {
+            let raw = Mat::from_fn(n, n, |i, j| vals[i * n + j]);
+            raw.add(&raw.transpose()).scale(0.5)
+        })
+    })
+}
+
+/// Strategy: a small integer matrix with entries in {-2..2}.
+fn int_mat(max_m: usize, max_n: usize) -> impl Strategy<Value = Vec<Vec<i64>>> {
+    (1..=max_m, 1..=max_n).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(proptest::collection::vec(-2i64..=2, n), m)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn eigen_reconstruction(a in symmetric_mat(8)) {
+        let e = SymEigen::decompose(&a);
+        prop_assert!(e.reconstruct().max_abs_diff(&a) < 1e-8);
+    }
+
+    #[test]
+    fn eigenvalues_within_gershgorin_bounds(a in symmetric_mat(8)) {
+        let vals = SymEigen::eigenvalues(&a);
+        let hi = max_eigenvalue_bound(&a);
+        let lo = min_eigenvalue_bound(&a);
+        for v in vals {
+            prop_assert!(v <= hi + 1e-9);
+            prop_assert!(v >= lo - 1e-9);
+        }
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal(a in symmetric_mat(8)) {
+        let e = SymEigen::decompose(&a);
+        let n = a.rows();
+        let vtv = e.vectors.transpose().matmul(&e.vectors);
+        prop_assert!(vtv.max_abs_diff(&Mat::identity(n)) < 1e-8);
+    }
+
+    #[test]
+    fn trace_is_eigenvalue_sum(a in symmetric_mat(8)) {
+        let vals = SymEigen::eigenvalues(&a);
+        let sum: f64 = vals.iter().sum();
+        prop_assert!((sum - a.trace()).abs() < 1e-8 * (1.0 + a.trace().abs()));
+    }
+
+    #[test]
+    fn exact_and_float_rank_agree(rows in int_mat(6, 6)) {
+        let exact = rank_exact(&rows).expect("no overflow at this size");
+        let m = Mat::from_rows(
+            &rows.iter().map(|r| r.iter().map(|&x| x as f64).collect::<Vec<_>>()).collect::<Vec<_>>(),
+        );
+        prop_assert_eq!(exact, rank_f64(&m, DEFAULT_RANK_TOL));
+        prop_assert_eq!(exact, rank_integral(&m));
+    }
+
+    #[test]
+    fn rank_nullity_sums_to_cols(rows in int_mat(6, 6)) {
+        let m = Mat::from_rows(
+            &rows.iter().map(|r| r.iter().map(|&x| x as f64).collect::<Vec<_>>()).collect::<Vec<_>>(),
+        );
+        prop_assert_eq!(
+            rank_f64(&m, DEFAULT_RANK_TOL) + nullity_f64(&m, DEFAULT_RANK_TOL),
+            m.cols()
+        );
+    }
+
+    #[test]
+    fn rank_bounded_by_dimensions(rows in int_mat(5, 7)) {
+        let r = rank_exact(&rows).unwrap();
+        prop_assert!(r <= rows.len());
+        prop_assert!(r <= rows[0].len());
+    }
+
+    #[test]
+    fn rank_invariant_under_transpose(rows in int_mat(5, 5)) {
+        let m = Mat::from_rows(
+            &rows.iter().map(|r| r.iter().map(|&x| x as f64).collect::<Vec<_>>()).collect::<Vec<_>>(),
+        );
+        prop_assert_eq!(rank_integral(&m), rank_integral(&m.transpose()));
+    }
+
+    #[test]
+    fn expm_is_unitary(a in symmetric_mat(6), t in -2.0f64..2.0) {
+        let u = expm_i_symmetric(&a, t);
+        prop_assert!(u.is_unitary(1e-8));
+    }
+
+    #[test]
+    fn expm_spectral_matches_taylor(a in symmetric_mat(5), t in -1.5f64..1.5) {
+        let spectral = expm_i_symmetric(&a, t);
+        let ih = CMat::from_real(&a).scale(C64::new(0.0, t));
+        let taylor = expm_taylor(&ih);
+        prop_assert!(spectral.max_abs_diff(&taylor) < 1e-8);
+    }
+
+    #[test]
+    fn matmul_associative(a in symmetric_mat(5), b in symmetric_mat(5)) {
+        // Resize b to a's shape by embedding; keeps strategy simple.
+        let n = a.rows().min(b.rows());
+        let a2 = Mat::from_fn(n, n, |i, j| a[(i, j)]);
+        let b2 = Mat::from_fn(n, n, |i, j| b[(i, j)]);
+        let c = a2.add(&b2);
+        let lhs = a2.matmul(&b2).matmul(&c);
+        let rhs = a2.matmul(&b2.matmul(&c));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-7);
+    }
+
+    #[test]
+    fn kron_of_unitaries_is_unitary(t1 in 0.0f64..6.2, t2 in 0.0f64..6.2) {
+        let u1 = CMat::from_rows(&[
+            vec![C64::cis(t1), C64::ZERO],
+            vec![C64::ZERO, C64::cis(-t1)],
+        ]);
+        let c = t2.cos();
+        let s = t2.sin();
+        let u2 = CMat::from_rows(&[
+            vec![C64::real(c), C64::real(-s)],
+            vec![C64::real(s), C64::real(c)],
+        ]);
+        prop_assert!(u1.kron(&u2).is_unitary(1e-10));
+    }
+}

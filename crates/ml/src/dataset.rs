@@ -1,0 +1,104 @@
+//! Feature matrices with binary labels.
+
+/// A labelled dataset: row-per-sample features and 0/1 labels.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Dataset {
+    /// Feature rows (all the same length).
+    pub x: Vec<Vec<f64>>,
+    /// Binary labels, parallel to `x`.
+    pub y: Vec<u8>,
+}
+
+impl Dataset {
+    /// Builds a dataset; panics on ragged rows, label/feature length
+    /// mismatch or non-binary labels.
+    pub fn new(x: Vec<Vec<f64>>, y: Vec<u8>) -> Self {
+        assert_eq!(x.len(), y.len(), "feature/label count mismatch");
+        if let Some(first) = x.first() {
+            let d = first.len();
+            assert!(x.iter().all(|r| r.len() == d), "ragged feature rows");
+        }
+        assert!(y.iter().all(|&l| l <= 1), "labels must be 0/1");
+        Dataset { x, y }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// `true` when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Number of features per sample (0 if empty).
+    pub fn n_features(&self) -> usize {
+        self.x.first().map_or(0, Vec::len)
+    }
+
+    /// Count of positive-class samples.
+    pub fn positives(&self) -> usize {
+        self.y.iter().filter(|&&l| l == 1).count()
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, features: Vec<f64>, label: u8) {
+        assert!(label <= 1, "labels must be 0/1");
+        if !self.x.is_empty() {
+            assert_eq!(features.len(), self.n_features(), "feature length mismatch");
+        }
+        self.x.push(features);
+        self.y.push(label);
+    }
+
+    /// The subset at the given indices.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            x: indices.iter().map(|&i| self.x[i].clone()).collect(),
+            y: indices.iter().map(|&i| self.y[i]).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_counts() {
+        let d = Dataset::new(vec![vec![1.0, 2.0], vec![3.0, 4.0]], vec![0, 1]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.positives(), 1);
+    }
+
+    #[test]
+    fn push_grows() {
+        let mut d = Dataset::default();
+        d.push(vec![1.0], 1);
+        d.push(vec![2.0], 0);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.n_features(), 1);
+    }
+
+    #[test]
+    fn subset_selects_rows() {
+        let d = Dataset::new(vec![vec![0.0], vec![1.0], vec![2.0]], vec![0, 1, 0]);
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.x, vec![vec![2.0], vec![0.0]]);
+        assert_eq!(s.y, vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be 0/1")]
+    fn non_binary_labels_rejected() {
+        Dataset::new(vec![vec![1.0]], vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![0, 1]);
+    }
+}

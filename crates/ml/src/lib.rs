@@ -1,0 +1,19 @@
+//! # qtda-ml
+//!
+//! A minimal classical machine-learning substrate — the role scikit-learn
+//! plays in the paper's §5 classification experiments: binary logistic
+//! regression on Betti-number features, train/validation splitting,
+//! feature standardisation and the accuracy/MAE metrics of Table 1.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dataset;
+pub mod logistic;
+pub mod metrics;
+pub mod scaler;
+pub mod split;
+
+pub use dataset::Dataset;
+pub use logistic::{LogisticRegression, LogisticConfig};
+pub use scaler::StandardScaler;

@@ -1,0 +1,181 @@
+//! Binary logistic regression trained by full-batch gradient descent
+//! with L2 regularisation — the classifier behind the paper's Table 1.
+
+use crate::dataset::Dataset;
+
+/// Training hyperparameters.
+#[derive(Clone, Copy, Debug)]
+pub struct LogisticConfig {
+    /// Gradient-descent learning rate.
+    pub learning_rate: f64,
+    /// Full-batch epochs.
+    pub epochs: usize,
+    /// L2 penalty strength (on weights, not the intercept).
+    pub l2: f64,
+}
+
+impl Default for LogisticConfig {
+    fn default() -> Self {
+        LogisticConfig { learning_rate: 0.3, epochs: 2000, l2: 1e-4 }
+    }
+}
+
+/// A fitted logistic-regression model.
+#[derive(Clone, Debug)]
+pub struct LogisticRegression {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl LogisticRegression {
+    /// Fits on a dataset. Panics on an empty dataset.
+    pub fn fit(data: &Dataset, config: &LogisticConfig) -> Self {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        let d = data.n_features();
+        let n = data.len() as f64;
+        let mut weights = vec![0.0; d];
+        let mut bias = 0.0;
+        let mut grad_w = vec![0.0; d];
+
+        for _ in 0..config.epochs {
+            grad_w.iter_mut().for_each(|g| *g = 0.0);
+            let mut grad_b = 0.0;
+            for (row, &label) in data.x.iter().zip(&data.y) {
+                let z = bias + dot(&weights, row);
+                let err = sigmoid(z) - label as f64;
+                for (g, v) in grad_w.iter_mut().zip(row) {
+                    *g += err * v;
+                }
+                grad_b += err;
+            }
+            for (w, g) in weights.iter_mut().zip(&grad_w) {
+                *w -= config.learning_rate * (g / n + config.l2 * *w);
+            }
+            bias -= config.learning_rate * grad_b / n;
+        }
+        LogisticRegression { weights, bias }
+    }
+
+    /// Probability of class 1.
+    pub fn predict_proba(&self, row: &[f64]) -> f64 {
+        sigmoid(self.bias + dot(&self.weights, row))
+    }
+
+    /// Hard 0/1 prediction at the 0.5 threshold.
+    pub fn predict(&self, row: &[f64]) -> u8 {
+        u8::from(self.predict_proba(row) >= 0.5)
+    }
+
+    /// Predictions for a whole dataset.
+    pub fn predict_all(&self, x: &[Vec<f64>]) -> Vec<u8> {
+        x.iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// Accuracy on a dataset.
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        crate::metrics::accuracy(&self.predict_all(&data.x), &data.y)
+    }
+
+    /// Fitted weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Fitted intercept.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn separable(n: usize, gap: f64, rng: &mut impl Rng) -> Dataset {
+        let mut d = Dataset::default();
+        for _ in 0..n {
+            d.push(vec![rng.gen_range(-1.0..1.0) - gap, rng.gen_range(-1.0..1.0)], 0);
+            d.push(vec![rng.gen_range(-1.0..1.0) + gap, rng.gen_range(-1.0..1.0)], 1);
+        }
+        d
+    }
+
+    #[test]
+    fn separable_data_is_learned_perfectly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = separable(40, 3.0, &mut rng);
+        let model = LogisticRegression::fit(&data, &LogisticConfig::default());
+        assert!((model.accuracy(&data) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilities_orient_with_the_gap() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = separable(30, 2.0, &mut rng);
+        let model = LogisticRegression::fit(&data, &LogisticConfig::default());
+        assert!(model.predict_proba(&[5.0, 0.0]) > 0.95);
+        assert!(model.predict_proba(&[-5.0, 0.0]) < 0.05);
+    }
+
+    #[test]
+    fn overlapping_classes_give_intermediate_accuracy() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = separable(100, 0.3, &mut rng); // heavy overlap
+        let model = LogisticRegression::fit(&data, &LogisticConfig::default());
+        let acc = model.accuracy(&data);
+        assert!(acc > 0.55 && acc < 0.95, "acc = {acc}");
+    }
+
+    #[test]
+    fn l2_shrinks_weights() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let data = separable(40, 2.0, &mut rng);
+        let loose = LogisticRegression::fit(&data, &LogisticConfig { l2: 0.0, ..Default::default() });
+        let tight =
+            LogisticRegression::fit(&data, &LogisticConfig { l2: 0.5, ..Default::default() });
+        let norm = |m: &LogisticRegression| m.weights().iter().map(|w| w * w).sum::<f64>();
+        assert!(norm(&tight) < norm(&loose));
+    }
+
+    #[test]
+    fn sigmoid_is_numerically_stable() {
+        assert!(sigmoid(1000.0) <= 1.0);
+        assert!(sigmoid(-1000.0) >= 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-15);
+        assert!(sigmoid(-1000.0) < 1e-10);
+    }
+
+    #[test]
+    fn constant_labels_predict_constant() {
+        let data = Dataset::new(vec![vec![0.0], vec![1.0], vec![2.0]], vec![1, 1, 1]);
+        let model = LogisticRegression::fit(&data, &LogisticConfig::default());
+        assert_eq!(model.predict(&[0.5]), 1);
+        assert!((model.accuracy(&data) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let data = separable(20, 1.0, &mut rng);
+        let m1 = LogisticRegression::fit(&data, &LogisticConfig::default());
+        let m2 = LogisticRegression::fit(&data, &LogisticConfig::default());
+        assert_eq!(m1.weights(), m2.weights());
+        assert_eq!(m1.bias(), m2.bias());
+    }
+}

@@ -1,0 +1,118 @@
+//! Classification and regression metrics (Table 1's columns).
+
+/// Fraction of matching predictions.
+pub fn accuracy(predicted: &[u8], truth: &[u8]) -> f64 {
+    assert_eq!(predicted.len(), truth.len(), "length mismatch");
+    assert!(!predicted.is_empty(), "no samples");
+    let hits = predicted.iter().zip(truth).filter(|(p, t)| p == t).count();
+    hits as f64 / predicted.len() as f64
+}
+
+/// 2×2 confusion matrix for binary labels.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// True negatives.
+    pub tn: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+    /// True positives.
+    pub tp: usize,
+}
+
+impl ConfusionMatrix {
+    /// Tallies predictions against the truth.
+    pub fn from_predictions(predicted: &[u8], truth: &[u8]) -> Self {
+        assert_eq!(predicted.len(), truth.len(), "length mismatch");
+        let mut m = ConfusionMatrix::default();
+        for (&p, &t) in predicted.iter().zip(truth) {
+            match (t, p) {
+                (0, 0) => m.tn += 1,
+                (0, 1) => m.fp += 1,
+                (1, 0) => m.fn_ += 1,
+                _ => m.tp += 1,
+            }
+        }
+        m
+    }
+
+    /// Precision (0 when no positives are predicted).
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall (0 when no positive samples exist).
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// F1 score.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Mean absolute error between real-valued vectors (Table 1's
+/// estimated-vs-actual Betti MAE).
+pub fn mean_absolute_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    assert!(!a.is_empty(), "no samples");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_hits() {
+        assert_eq!(accuracy(&[1, 0, 1, 1], &[1, 0, 0, 1]), 0.75);
+        assert_eq!(accuracy(&[0], &[0]), 1.0);
+    }
+
+    #[test]
+    fn confusion_matrix_cells() {
+        let m = ConfusionMatrix::from_predictions(&[1, 0, 1, 0, 1], &[1, 0, 0, 1, 1]);
+        assert_eq!(m, ConfusionMatrix { tn: 1, fp: 1, fn_: 1, tp: 2 });
+        assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_confusion_cases() {
+        let m = ConfusionMatrix::from_predictions(&[0, 0], &[0, 0]);
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+    }
+
+    #[test]
+    fn mae_basics() {
+        assert!((mean_absolute_error(&[1.0, 2.0], &[1.5, 1.0]) - 0.75).abs() < 1e-12);
+        assert_eq!(mean_absolute_error(&[3.0], &[3.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = accuracy(&[1], &[1, 0]);
+    }
+}

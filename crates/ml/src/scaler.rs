@@ -1,0 +1,119 @@
+//! Per-feature standardisation (zero mean, unit variance).
+
+use crate::dataset::Dataset;
+
+/// A fitted standardiser.
+#[derive(Clone, Debug)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits on the rows of `x`. Constant features get std 1 (so they map
+    /// to 0 rather than NaN).
+    pub fn fit(x: &[Vec<f64>]) -> Self {
+        assert!(!x.is_empty(), "cannot fit on an empty dataset");
+        let d = x[0].len();
+        let n = x.len() as f64;
+        let mut means = vec![0.0; d];
+        for row in x {
+            for (m, v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; d];
+        for row in x {
+            for ((va, v), m) in vars.iter_mut().zip(row).zip(&means) {
+                *va += (v - m) * (v - m);
+            }
+        }
+        let stds = vars
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s < 1e-12 {
+                    1.0
+                } else {
+                    s
+                }
+            })
+            .collect();
+        StandardScaler { means, stds }
+    }
+
+    /// Transforms one row.
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.means.len(), "feature count mismatch");
+        row.iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(v, (m, s))| (v - m) / s)
+            .collect()
+    }
+
+    /// Transforms many rows.
+    pub fn transform(&self, x: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        x.iter().map(|r| self.transform_row(r)).collect()
+    }
+
+    /// Fits on the training features and returns both transformed sets —
+    /// the standard leak-free protocol.
+    pub fn fit_transform_pair(train: &Dataset, val: &Dataset) -> (Dataset, Dataset, StandardScaler) {
+        let scaler = StandardScaler::fit(&train.x);
+        (
+            Dataset::new(scaler.transform(&train.x), train.y.clone()),
+            Dataset::new(scaler.transform(&val.x), val.y.clone()),
+            scaler,
+        )
+    }
+
+    /// Fitted means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Fitted standard deviations.
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transform_centres_and_scales() {
+        let x = vec![vec![1.0, 10.0], vec![3.0, 20.0], vec![5.0, 30.0]];
+        let scaler = StandardScaler::fit(&x);
+        let t = scaler.transform(&x);
+        // Column means ≈ 0.
+        for j in 0..2 {
+            let mean: f64 = t.iter().map(|r| r[j]).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+            let var: f64 = t.iter().map(|r| r[j] * r[j]).sum::<f64>() / 3.0;
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_feature_maps_to_zero() {
+        let x = vec![vec![7.0], vec![7.0], vec![7.0]];
+        let scaler = StandardScaler::fit(&x);
+        let t = scaler.transform(&x);
+        assert!(t.iter().all(|r| r[0].abs() < 1e-12));
+    }
+
+    #[test]
+    fn validation_uses_training_statistics() {
+        let train = Dataset::new(vec![vec![0.0], vec![2.0]], vec![0, 1]);
+        let val = Dataset::new(vec![vec![4.0]], vec![1]);
+        let (_, val_t, scaler) = StandardScaler::fit_transform_pair(&train, &val);
+        // Train mean 1, std 1 → val point 4 maps to 3.
+        assert!((scaler.means()[0] - 1.0).abs() < 1e-12);
+        assert!((val_t.x[0][0] - 3.0).abs() < 1e-12);
+    }
+}

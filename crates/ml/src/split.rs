@@ -1,0 +1,119 @@
+//! Train/validation splitting.
+//!
+//! The paper's Table 1 uses a 20 %/80 % *train/validation* split (yes,
+//! the small side is training — §5 states it explicitly), so the split
+//! fraction here is the **training** share.
+
+use crate::dataset::Dataset;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Splits into (train, validation) with `train_fraction` of samples in
+/// the training set, shuffled by `rng`. With `stratified`, class
+/// proportions are preserved in both sides.
+pub fn train_test_split(
+    data: &Dataset,
+    train_fraction: f64,
+    stratified: bool,
+    rng: &mut impl Rng,
+) -> (Dataset, Dataset) {
+    assert!((0.0..1.0).contains(&train_fraction) && train_fraction > 0.0, "fraction in (0,1)");
+    assert!(data.len() >= 2, "need at least two samples");
+    let mut train_idx = Vec::new();
+    let mut val_idx = Vec::new();
+    if stratified {
+        for class in [0u8, 1u8] {
+            let mut idx: Vec<usize> = (0..data.len()).filter(|&i| data.y[i] == class).collect();
+            idx.shuffle(rng);
+            let n_train = ((idx.len() as f64) * train_fraction).round() as usize;
+            let n_train = n_train.clamp(usize::from(!idx.is_empty()), idx.len().saturating_sub(1).max(1));
+            for (pos, i) in idx.into_iter().enumerate() {
+                if pos < n_train {
+                    train_idx.push(i);
+                } else {
+                    val_idx.push(i);
+                }
+            }
+        }
+    } else {
+        let mut idx: Vec<usize> = (0..data.len()).collect();
+        idx.shuffle(rng);
+        let n_train = ((data.len() as f64) * train_fraction).round() as usize;
+        let n_train = n_train.clamp(1, data.len() - 1);
+        train_idx = idx[..n_train].to_vec();
+        val_idx = idx[n_train..].to_vec();
+    }
+    train_idx.shuffle(rng);
+    val_idx.shuffle(rng);
+    (data.subset(&train_idx), data.subset(&val_idx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy(n0: usize, n1: usize) -> Dataset {
+        let mut d = Dataset::default();
+        for i in 0..n0 {
+            d.push(vec![i as f64], 0);
+        }
+        for i in 0..n1 {
+            d.push(vec![100.0 + i as f64], 1);
+        }
+        d
+    }
+
+    #[test]
+    fn sizes_match_fraction() {
+        let d = toy(50, 50);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (train, val) = train_test_split(&d, 0.2, false, &mut rng);
+        assert_eq!(train.len(), 20);
+        assert_eq!(val.len(), 80);
+    }
+
+    #[test]
+    fn split_partitions_without_overlap() {
+        let d = toy(30, 10);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (train, val) = train_test_split(&d, 0.5, false, &mut rng);
+        assert_eq!(train.len() + val.len(), d.len());
+        let mut all: Vec<f64> = train.x.iter().chain(&val.x).map(|r| r[0]).collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        all.dedup();
+        assert_eq!(all.len(), d.len(), "no sample may appear twice");
+    }
+
+    #[test]
+    fn stratified_preserves_class_balance() {
+        // The paper's shape: 51 healthy vs 204 faulty, 20 % train.
+        let d = toy(204, 51);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (train, val) = train_test_split(&d, 0.2, true, &mut rng);
+        let train_pos = train.positives() as f64 / train.len() as f64;
+        let val_pos = val.positives() as f64 / val.len() as f64;
+        let overall = 51.0 / 255.0;
+        assert!((train_pos - overall).abs() < 0.05, "train balance {train_pos}");
+        assert!((val_pos - overall).abs() < 0.05, "val balance {val_pos}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let d = toy(20, 20);
+        let (t1, v1) = train_test_split(&d, 0.3, true, &mut StdRng::seed_from_u64(9));
+        let (t2, v2) = train_test_split(&d, 0.3, true, &mut StdRng::seed_from_u64(9));
+        assert_eq!(t1, t2);
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn both_sides_nonempty_even_at_extremes() {
+        let d = toy(3, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let (train, val) = train_test_split(&d, 0.05, false, &mut rng);
+        assert!(!train.is_empty());
+        assert!(!val.is_empty());
+    }
+}

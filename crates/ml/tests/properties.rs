@@ -1,0 +1,102 @@
+//! Property-based tests for the ML substrate.
+
+use proptest::prelude::*;
+use qtda_ml::dataset::Dataset;
+use qtda_ml::logistic::{LogisticConfig, LogisticRegression};
+use qtda_ml::metrics::{accuracy, mean_absolute_error, ConfusionMatrix};
+use qtda_ml::scaler::StandardScaler;
+use qtda_ml::split::train_test_split;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a dataset with at least 3 samples of each class.
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (3usize..20, 3usize..20, any::<u64>()).prop_map(|(n0, n1, seed)| {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut d = Dataset::default();
+        for _ in 0..n0 {
+            d.push(vec![next() - 1.0, next()], 0);
+        }
+        for _ in 0..n1 {
+            d.push(vec![next() + 1.0, next()], 1);
+        }
+        d
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn split_partitions_every_sample(d in arb_dataset(), frac in 0.1f64..0.9, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (train, val) = train_test_split(&d, frac, false, &mut rng);
+        prop_assert_eq!(train.len() + val.len(), d.len());
+        prop_assert!(!train.is_empty());
+        prop_assert!(!val.is_empty());
+    }
+
+    #[test]
+    fn stratified_split_keeps_both_classes(d in arb_dataset(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (train, val) = train_test_split(&d, 0.4, true, &mut rng);
+        prop_assert!(train.positives() >= 1, "train must keep positives");
+        prop_assert!(train.positives() < train.len(), "train must keep negatives");
+        prop_assert!(val.positives() >= 1);
+    }
+
+    #[test]
+    fn scaler_output_is_standardised(d in arb_dataset()) {
+        let scaler = StandardScaler::fit(&d.x);
+        let t = scaler.transform(&d.x);
+        let n = t.len() as f64;
+        for j in 0..2 {
+            let mean: f64 = t.iter().map(|r| r[j]).sum::<f64>() / n;
+            let var: f64 = t.iter().map(|r| r[j] * r[j]).sum::<f64>() / n - mean * mean;
+            prop_assert!(mean.abs() < 1e-9);
+            prop_assert!((var - 1.0).abs() < 1e-6 || var.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn predictions_are_binary_and_probabilities_bounded(d in arb_dataset()) {
+        let model = LogisticRegression::fit(&d, &LogisticConfig { epochs: 200, ..Default::default() });
+        for row in &d.x {
+            let p = model.predict_proba(row);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!(model.predict(row) <= 1);
+        }
+    }
+
+    #[test]
+    fn accuracy_beats_coin_flip_on_shifted_classes(d in arb_dataset()) {
+        // Classes are separated by a 2-unit shift on feature 0 with
+        // ±0.5 noise — linearly separable, so the model must do well.
+        let model = LogisticRegression::fit(&d, &LogisticConfig::default());
+        prop_assert!(model.accuracy(&d) > 0.9);
+    }
+
+    #[test]
+    fn confusion_matrix_cells_sum_to_total(d in arb_dataset()) {
+        let model = LogisticRegression::fit(&d, &LogisticConfig { epochs: 100, ..Default::default() });
+        let preds = model.predict_all(&d.x);
+        let m = ConfusionMatrix::from_predictions(&preds, &d.y);
+        prop_assert_eq!(m.tn + m.fp + m.fn_ + m.tp, d.len());
+        let acc = accuracy(&preds, &d.y);
+        prop_assert!(((m.tn + m.tp) as f64 / d.len() as f64 - acc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mae_is_a_metric(a in proptest::collection::vec(-5.0f64..5.0, 1..20)) {
+        prop_assert_eq!(mean_absolute_error(&a, &a), 0.0);
+        let b: Vec<f64> = a.iter().map(|x| x + 1.0).collect();
+        prop_assert!((mean_absolute_error(&a, &b) - 1.0).abs() < 1e-12);
+        prop_assert!((mean_absolute_error(&a, &b) - mean_absolute_error(&b, &a)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,572 @@
+//! Circuits as ordered op lists: build, compose, invert, control, run.
+
+use crate::gates::{self, Gate1};
+use crate::state::StateVector;
+use qtda_linalg::CMat;
+
+/// A circuit operation.
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// Single-qubit gate.
+    Single {
+        /// Target qubit.
+        target: usize,
+        /// The gate.
+        gate: Gate1,
+    },
+    /// Single-qubit gate conditioned on all `controls` being `|1⟩`.
+    Controlled {
+        /// Control qubits.
+        controls: Vec<usize>,
+        /// Target qubit.
+        target: usize,
+        /// The gate.
+        gate: Gate1,
+    },
+    /// Dense unitary on an ordered register (`qubits[0]` = LSB).
+    Unitary {
+        /// Register qubits.
+        qubits: Vec<usize>,
+        /// `2^k × 2^k` unitary.
+        matrix: CMat,
+        /// Display label.
+        label: String,
+    },
+    /// Dense unitary conditioned on control qubits.
+    ControlledUnitary {
+        /// Control qubits.
+        controls: Vec<usize>,
+        /// Register qubits.
+        qubits: Vec<usize>,
+        /// `2^k × 2^k` unitary.
+        matrix: CMat,
+        /// Display label.
+        label: String,
+    },
+    /// Multiplies the state by `e^{iφ}`. Irrelevant alone, but it becomes
+    /// a *relative* phase when the circuit is controlled (paper Fig. 7's
+    /// "global phase of π/2").
+    GlobalPhase(
+        /// Phase angle φ.
+        f64,
+    ),
+}
+
+impl Op {
+    /// Qubits this op touches (controls included).
+    pub fn qubits(&self) -> Vec<usize> {
+        match self {
+            Op::Single { target, .. } => vec![*target],
+            Op::Controlled { controls, target, .. } => {
+                let mut v = controls.clone();
+                v.push(*target);
+                v
+            }
+            Op::Unitary { qubits, .. } => qubits.clone(),
+            Op::ControlledUnitary { controls, qubits, .. } => {
+                let mut v = controls.clone();
+                v.extend_from_slice(qubits);
+                v
+            }
+            Op::GlobalPhase(_) => Vec::new(),
+        }
+    }
+
+    /// The inverse op.
+    pub fn dagger(&self) -> Op {
+        match self {
+            Op::Single { target, gate } => Op::Single { target: *target, gate: gate.dagger() },
+            Op::Controlled { controls, target, gate } => Op::Controlled {
+                controls: controls.clone(),
+                target: *target,
+                gate: gate.dagger(),
+            },
+            Op::Unitary { qubits, matrix, label } => Op::Unitary {
+                qubits: qubits.clone(),
+                matrix: matrix.adjoint(),
+                label: dagger_label(label),
+            },
+            Op::ControlledUnitary { controls, qubits, matrix, label } => Op::ControlledUnitary {
+                controls: controls.clone(),
+                qubits: qubits.clone(),
+                matrix: matrix.adjoint(),
+                label: dagger_label(label),
+            },
+            Op::GlobalPhase(phi) => Op::GlobalPhase(-phi),
+        }
+    }
+}
+
+fn dagger_label(label: &str) -> String {
+    match label.strip_suffix('†') {
+        Some(base) => base.to_string(),
+        None => format!("{label}†"),
+    }
+}
+
+/// An ordered list of ops over a fixed qubit count.
+#[derive(Clone, Debug, Default)]
+pub struct Circuit {
+    n_qubits: usize,
+    ops: Vec<Op>,
+}
+
+impl Circuit {
+    /// An empty circuit on `n` qubits.
+    pub fn new(n_qubits: usize) -> Self {
+        Circuit { n_qubits, ops: Vec::new() }
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The op list.
+    #[inline]
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Appends a raw op (bounds-checked).
+    pub fn push(&mut self, op: Op) -> &mut Self {
+        for q in op.qubits() {
+            assert!(q < self.n_qubits, "qubit {q} out of range");
+        }
+        self.ops.push(op);
+        self
+    }
+
+    /// Hadamard.
+    pub fn h(&mut self, q: usize) -> &mut Self {
+        self.push(Op::Single { target: q, gate: gates::h() })
+    }
+
+    /// Pauli-X.
+    pub fn x(&mut self, q: usize) -> &mut Self {
+        self.push(Op::Single { target: q, gate: gates::x() })
+    }
+
+    /// Pauli-Y.
+    pub fn y(&mut self, q: usize) -> &mut Self {
+        self.push(Op::Single { target: q, gate: gates::y() })
+    }
+
+    /// Pauli-Z.
+    pub fn z(&mut self, q: usize) -> &mut Self {
+        self.push(Op::Single { target: q, gate: gates::z() })
+    }
+
+    /// S gate.
+    pub fn s(&mut self, q: usize) -> &mut Self {
+        self.push(Op::Single { target: q, gate: gates::s() })
+    }
+
+    /// RX rotation.
+    pub fn rx(&mut self, q: usize, phi: f64) -> &mut Self {
+        self.push(Op::Single { target: q, gate: gates::rx(phi) })
+    }
+
+    /// RY rotation.
+    pub fn ry(&mut self, q: usize, phi: f64) -> &mut Self {
+        self.push(Op::Single { target: q, gate: gates::ry(phi) })
+    }
+
+    /// RZ rotation.
+    pub fn rz(&mut self, q: usize, phi: f64) -> &mut Self {
+        self.push(Op::Single { target: q, gate: gates::rz(phi) })
+    }
+
+    /// Phase gate `P(φ)`.
+    pub fn phase(&mut self, q: usize, phi: f64) -> &mut Self {
+        self.push(Op::Single { target: q, gate: gates::phase(phi) })
+    }
+
+    /// CNOT.
+    pub fn cnot(&mut self, control: usize, target: usize) -> &mut Self {
+        self.push(Op::Controlled { controls: vec![control], target, gate: gates::x() })
+    }
+
+    /// Controlled-Z.
+    pub fn cz(&mut self, control: usize, target: usize) -> &mut Self {
+        self.push(Op::Controlled { controls: vec![control], target, gate: gates::z() })
+    }
+
+    /// Controlled phase `CP(φ)`.
+    pub fn cphase(&mut self, control: usize, target: usize, phi: f64) -> &mut Self {
+        self.push(Op::Controlled { controls: vec![control], target, gate: gates::phase(phi) })
+    }
+
+    /// SWAP via three CNOTs.
+    pub fn swap(&mut self, a: usize, b: usize) -> &mut Self {
+        self.cnot(a, b).cnot(b, a).cnot(a, b)
+    }
+
+    /// Dense unitary on a register.
+    pub fn unitary(&mut self, qubits: Vec<usize>, matrix: CMat, label: impl Into<String>) -> &mut Self {
+        self.push(Op::Unitary { qubits, matrix, label: label.into() })
+    }
+
+    /// Controlled dense unitary.
+    pub fn controlled_unitary(
+        &mut self,
+        controls: Vec<usize>,
+        qubits: Vec<usize>,
+        matrix: CMat,
+        label: impl Into<String>,
+    ) -> &mut Self {
+        self.push(Op::ControlledUnitary { controls, qubits, matrix, label: label.into() })
+    }
+
+    /// Global phase `e^{iφ}`.
+    pub fn global_phase(&mut self, phi: f64) -> &mut Self {
+        self.push(Op::GlobalPhase(phi))
+    }
+
+    /// Appends all ops of `other` (same qubit count).
+    pub fn append(&mut self, other: &Circuit) -> &mut Self {
+        assert_eq!(self.n_qubits, other.n_qubits, "qubit count mismatch");
+        self.ops.extend_from_slice(&other.ops);
+        self
+    }
+
+    /// Appends `other`, relocating its qubit `i` to `map[i]` of `self`.
+    pub fn append_mapped(&mut self, other: &Circuit, map: &[usize]) -> &mut Self {
+        assert_eq!(map.len(), other.n_qubits, "map must cover every source qubit");
+        for &q in map {
+            assert!(q < self.n_qubits, "mapped qubit out of range");
+        }
+        let remap = |qs: &[usize]| qs.iter().map(|&q| map[q]).collect::<Vec<_>>();
+        for op in &other.ops {
+            let mapped = match op {
+                Op::Single { target, gate } => {
+                    Op::Single { target: map[*target], gate: gate.clone() }
+                }
+                Op::Controlled { controls, target, gate } => Op::Controlled {
+                    controls: remap(controls),
+                    target: map[*target],
+                    gate: gate.clone(),
+                },
+                Op::Unitary { qubits, matrix, label } => Op::Unitary {
+                    qubits: remap(qubits),
+                    matrix: matrix.clone(),
+                    label: label.clone(),
+                },
+                Op::ControlledUnitary { controls, qubits, matrix, label } => {
+                    Op::ControlledUnitary {
+                        controls: remap(controls),
+                        qubits: remap(qubits),
+                        matrix: matrix.clone(),
+                        label: label.clone(),
+                    }
+                }
+                Op::GlobalPhase(phi) => Op::GlobalPhase(*phi),
+            };
+            self.ops.push(mapped);
+        }
+        self
+    }
+
+    /// The inverse circuit (ops reversed and daggered).
+    pub fn inverse(&self) -> Circuit {
+        Circuit {
+            n_qubits: self.n_qubits,
+            ops: self.ops.iter().rev().map(Op::dagger).collect(),
+        }
+    }
+
+    /// The controlled version of this circuit: every op gains the given
+    /// controls; global phases become phase gates on the first control
+    /// (controlled by the rest) — this is where a "global" phase turns
+    /// physical.
+    pub fn controlled(&self, controls: &[usize]) -> Circuit {
+        assert!(!controls.is_empty(), "need at least one control");
+        let max_control = controls.iter().copied().max().expect("nonempty");
+        let mut out = Circuit::new(self.n_qubits.max(max_control + 1));
+        for op in &self.ops {
+            let new_op = match op {
+                Op::Single { target, gate } => Op::Controlled {
+                    controls: controls.to_vec(),
+                    target: *target,
+                    gate: gate.clone(),
+                },
+                Op::Controlled { controls: inner, target, gate } => {
+                    let mut all = controls.to_vec();
+                    all.extend_from_slice(inner);
+                    Op::Controlled { controls: all, target: *target, gate: gate.clone() }
+                }
+                Op::Unitary { qubits, matrix, label } => Op::ControlledUnitary {
+                    controls: controls.to_vec(),
+                    qubits: qubits.clone(),
+                    matrix: matrix.clone(),
+                    label: label.clone(),
+                },
+                Op::ControlledUnitary { controls: inner, qubits, matrix, label } => {
+                    let mut all = controls.to_vec();
+                    all.extend_from_slice(inner);
+                    Op::ControlledUnitary {
+                        controls: all,
+                        qubits: qubits.clone(),
+                        matrix: matrix.clone(),
+                        label: label.clone(),
+                    }
+                }
+                Op::GlobalPhase(phi) => Op::Controlled {
+                    controls: controls[1..].to_vec(),
+                    target: controls[0],
+                    gate: gates::phase(*phi),
+                },
+            };
+            out.ops.push(new_op);
+        }
+        out
+    }
+
+    /// Runs the circuit on a state in place.
+    pub fn run(&self, state: &mut StateVector) {
+        assert_eq!(state.n_qubits(), self.n_qubits, "state size mismatch");
+        for op in &self.ops {
+            match op {
+                Op::Single { target, gate } => state.apply_single(*target, gate),
+                Op::Controlled { controls, target, gate } => {
+                    state.apply_controlled_single(controls, *target, gate)
+                }
+                Op::Unitary { qubits, matrix, .. } => state.apply_unitary(qubits, matrix),
+                Op::ControlledUnitary { controls, qubits, matrix, .. } => {
+                    state.apply_controlled_unitary(controls, qubits, matrix)
+                }
+                Op::GlobalPhase(phi) => state.apply_global_phase(*phi),
+            }
+        }
+    }
+
+    /// Runs from `|0…0⟩`.
+    pub fn simulate(&self) -> StateVector {
+        let mut s = StateVector::zero(self.n_qubits);
+        self.run(&mut s);
+        s
+    }
+
+    /// Dense unitary of the whole circuit (column-by-column simulation).
+    /// Exponential in qubit count; meant for tests and small systems.
+    pub fn unitary_matrix(&self) -> CMat {
+        let dim = 1usize << self.n_qubits;
+        let mut u = CMat::zeros(dim, dim);
+        for col in 0..dim {
+            let mut s = StateVector::basis(self.n_qubits, col);
+            self.run(&mut s);
+            for row in 0..dim {
+                u[(row, col)] = s.amp(row);
+            }
+        }
+        u
+    }
+
+    /// Total op count.
+    pub fn gate_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Counts of (single, controlled-single, dense, controlled-dense,
+    /// global-phase) ops.
+    pub fn gate_census(&self) -> GateCensus {
+        let mut census = GateCensus::default();
+        for op in &self.ops {
+            match op {
+                Op::Single { .. } => census.single += 1,
+                Op::Controlled { .. } => census.controlled += 1,
+                Op::Unitary { .. } => census.dense += 1,
+                Op::ControlledUnitary { .. } => census.controlled_dense += 1,
+                Op::GlobalPhase(_) => census.global_phase += 1,
+            }
+        }
+        census
+    }
+
+    /// Circuit depth under greedy ASAP layering (global phases are free).
+    pub fn depth(&self) -> usize {
+        let mut lane = vec![0usize; self.n_qubits];
+        let mut depth = 0;
+        for op in &self.ops {
+            let qs = op.qubits();
+            if qs.is_empty() {
+                continue;
+            }
+            let layer = qs.iter().map(|&q| lane[q]).max().unwrap_or(0) + 1;
+            for q in qs {
+                lane[q] = layer;
+            }
+            depth = depth.max(layer);
+        }
+        depth
+    }
+}
+
+/// Breakdown of op kinds in a circuit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GateCensus {
+    /// Plain single-qubit gates.
+    pub single: usize,
+    /// Controlled single-qubit gates.
+    pub controlled: usize,
+    /// Dense register unitaries.
+    pub dense: usize,
+    /// Controlled dense register unitaries.
+    pub controlled_dense: usize,
+    /// Global phases.
+    pub global_phase: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtda_linalg::C64;
+
+    const TOL: f64 = 1e-10;
+
+    #[test]
+    fn bell_circuit_runs() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        let s = c.simulate();
+        assert!((s.probability(0b00) - 0.5).abs() < TOL);
+        assert!((s.probability(0b11) - 0.5).abs() < TOL);
+    }
+
+    #[test]
+    fn swap_exchanges_basis_states() {
+        let mut c = Circuit::new(2);
+        c.x(0).swap(0, 1);
+        let s = c.simulate();
+        assert!((s.probability(0b10) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn circuit_unitary_matches_gate_matrices() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let u = c.unitary_matrix();
+        let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+        assert!((u[(0, 0)].re - inv_sqrt2).abs() < TOL);
+        assert!((u[(1, 1)].re + inv_sqrt2).abs() < TOL);
+    }
+
+    #[test]
+    fn inverse_cancels_circuit() {
+        let mut c = Circuit::new(3);
+        c.h(0).rx(1, 0.7).cnot(0, 2).rz(2, -1.2).cphase(1, 2, 0.4).global_phase(0.9);
+        let mut combined = c.clone();
+        combined.append(&c.inverse());
+        let u = combined.unitary_matrix();
+        assert!(u.max_abs_diff(&CMat::identity(8)) < TOL);
+    }
+
+    #[test]
+    fn controlled_circuit_is_identity_when_control_clear() {
+        let mut inner = Circuit::new(2);
+        inner.h(0).cnot(0, 1).global_phase(1.1);
+        let controlled = inner.controlled(&[2]);
+        let mut s = StateVector::zero(3);
+        controlled.run(&mut s);
+        assert!(s.amp(0).approx_eq(C64::ONE, TOL), "control |0⟩ must do nothing");
+    }
+
+    #[test]
+    fn controlled_circuit_applies_when_control_set() {
+        let mut inner = Circuit::new(1);
+        inner.x(0);
+        let controlled = inner.controlled(&[1]);
+        let mut s = StateVector::basis(2, 0b10);
+        controlled.run(&mut s);
+        assert!(s.amp(0b11).approx_eq(C64::ONE, TOL));
+    }
+
+    #[test]
+    fn controlled_global_phase_is_relative() {
+        // |+⟩ control, inner = pure global phase φ: control picks up the
+        // phase only on its |1⟩ branch.
+        let phi = 0.8;
+        let mut inner = Circuit::new(1);
+        inner.global_phase(phi);
+        let controlled = inner.controlled(&[1]);
+        let mut s = StateVector::zero(2);
+        s.apply_single(1, &gates::h());
+        controlled.run(&mut s);
+        let expected_ratio = C64::cis(phi);
+        let ratio = s.amp(0b10) * s.amp(0b00).inv();
+        assert!(ratio.approx_eq(expected_ratio, TOL));
+    }
+
+    #[test]
+    fn append_mapped_relocates_qubits() {
+        let mut sub = Circuit::new(2);
+        sub.x(0).cnot(0, 1);
+        let mut big = Circuit::new(4);
+        big.append_mapped(&sub, &[2, 3]);
+        let s = big.simulate();
+        // X on qubit 2, CNOT 2→3: state |1100⟩ = index 0b1100.
+        assert!((s.probability(0b1100) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn depth_counts_layers() {
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).h(2); // layer 1 on each lane
+        assert_eq!(c.depth(), 1);
+        c.cnot(0, 1); // layer 2
+        c.h(2); // still layer 2 on lane 2
+        assert_eq!(c.depth(), 2);
+        c.cnot(1, 2); // layer 3
+        assert_eq!(c.depth(), 3);
+        c.global_phase(0.3); // free
+        assert_eq!(c.depth(), 3);
+    }
+
+    #[test]
+    fn census_counts_op_kinds() {
+        let mut c = Circuit::new(3);
+        c.h(0).cnot(0, 1).global_phase(0.1);
+        c.unitary(vec![1, 2], CMat::identity(4), "U");
+        c.controlled_unitary(vec![0], vec![1, 2], CMat::identity(4), "CU");
+        let census = c.gate_census();
+        assert_eq!(
+            census,
+            GateCensus { single: 1, controlled: 1, dense: 1, controlled_dense: 1, global_phase: 1 }
+        );
+        assert_eq!(c.gate_count(), 5);
+    }
+
+    #[test]
+    fn double_controlled_circuit() {
+        let mut inner = Circuit::new(1);
+        inner.x(0);
+        let cc = inner.controlled(&[1]).controlled(&[2]);
+        // Only |110⟩ → |111⟩.
+        let mut s = StateVector::basis(3, 0b110);
+        cc.run(&mut s);
+        assert!(s.amp(0b111).approx_eq(C64::ONE, TOL));
+        let mut s2 = StateVector::basis(3, 0b010);
+        cc.run(&mut s2);
+        assert!(s2.amp(0b010).approx_eq(C64::ONE, TOL));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_qubit_rejected() {
+        let mut c = Circuit::new(2);
+        c.h(2);
+    }
+
+    #[test]
+    fn unitary_matrix_of_cnot() {
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1);
+        let u = c.unitary_matrix();
+        // Control = qubit 0 (LSB): |01⟩(idx1) ↔ |11⟩(idx3).
+        assert!(u[(3, 1)].approx_eq(C64::ONE, TOL));
+        assert!(u[(1, 3)].approx_eq(C64::ONE, TOL));
+        assert!(u[(0, 0)].approx_eq(C64::ONE, TOL));
+        assert!(u[(2, 2)].approx_eq(C64::ONE, TOL));
+    }
+}

@@ -1,0 +1,195 @@
+//! Pauli-basis decomposition of Hermitian operators (paper Eq. 19).
+//!
+//! Any `2^n × 2^n` Hermitian `H` is `Σ_P c_P P` with real
+//! `c_P = Tr(P·H)/2^n` over the 4^n Pauli strings. Traces are evaluated
+//! through the signed-permutation form of each string — `O(2^n)` per
+//! string instead of a dense product.
+
+use crate::pauli::{PauliOp, PauliString};
+use qtda_linalg::{CMat, C64};
+
+/// A Hermitian operator expressed in the Pauli basis.
+#[derive(Clone, Debug)]
+pub struct PauliDecomposition {
+    n_qubits: usize,
+    /// `(string, coefficient)` terms with non-negligible coefficients.
+    terms: Vec<(PauliString, f64)>,
+}
+
+impl PauliDecomposition {
+    /// Decomposes a Hermitian matrix; panics if `h` is not square with
+    /// power-of-two size or not Hermitian within `1e-9`.
+    pub fn of_hermitian(h: &CMat) -> Self {
+        Self::of_hermitian_with_tol(h, 1e-12)
+    }
+
+    /// Same as [`PauliDecomposition::of_hermitian`] with an explicit
+    /// coefficient cut-off.
+    pub fn of_hermitian_with_tol(h: &CMat, coeff_tol: f64) -> Self {
+        let dim = h.rows();
+        assert_eq!(dim, h.cols(), "matrix must be square");
+        assert!(dim.is_power_of_two() && dim > 0, "size must be 2^n");
+        assert!(h.is_hermitian(1e-9), "matrix is not Hermitian");
+        let n = dim.trailing_zeros() as usize;
+
+        let mut terms = Vec::new();
+        let mut ops = vec![PauliOp::I; n];
+        enumerate_strings(&mut ops, 0, &mut |ops| {
+            let p = PauliString::new(ops.to_vec());
+            // Tr(P·H) = Σ_j w_j · H[j, π(j)] with P|j⟩ = w_j |π(j)⟩
+            // ⇒ P[π(j), j] = w_j and Tr(PH) = Σ_j P[π(j),j]·H[j,π(j)].
+            let mut tr = C64::ZERO;
+            for j in 0..dim {
+                let (i, w) = p.column_action(j);
+                tr += w * h[(j, i)];
+            }
+            let c = tr.re / dim as f64;
+            debug_assert!(tr.im.abs() < 1e-9, "non-real Pauli coefficient");
+            if c.abs() > coeff_tol {
+                terms.push((p, c));
+            }
+        });
+        PauliDecomposition { n_qubits: n, terms }
+    }
+
+    /// Decomposes a real symmetric matrix (promoted to complex).
+    pub fn of_symmetric(h: &qtda_linalg::Mat) -> Self {
+        Self::of_hermitian(&CMat::from_real(h))
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The `(string, coefficient)` terms.
+    pub fn terms(&self) -> &[(PauliString, f64)] {
+        &self.terms
+    }
+
+    /// Number of retained terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `true` when no terms survive the cut-off.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Coefficient of a specific string (0 if absent).
+    pub fn coefficient(&self, p: &PauliString) -> f64 {
+        self.terms
+            .iter()
+            .find(|(q, _)| q == p)
+            .map_or(0.0, |&(_, c)| c)
+    }
+
+    /// Rebuilds the dense matrix `Σ c_P P`.
+    pub fn reconstruct(&self) -> CMat {
+        let dim = 1usize << self.n_qubits;
+        let mut m = CMat::zeros(dim, dim);
+        for (p, c) in &self.terms {
+            for j in 0..dim {
+                let (i, w) = p.column_action(j);
+                m[(i, j)] += w.scale(*c);
+            }
+        }
+        m
+    }
+}
+
+/// Depth-first enumeration of all 4^n assignments.
+fn enumerate_strings(ops: &mut Vec<PauliOp>, pos: usize, f: &mut impl FnMut(&[PauliOp])) {
+    if pos == ops.len() {
+        f(ops);
+        return;
+    }
+    for op in [PauliOp::I, PauliOp::X, PauliOp::Y, PauliOp::Z] {
+        ops[pos] = op;
+        enumerate_strings(ops, pos + 1, f);
+    }
+    ops[pos] = PauliOp::I;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtda_linalg::Mat;
+
+    #[test]
+    fn identity_decomposes_to_identity_string() {
+        let d = PauliDecomposition::of_hermitian(&CMat::identity(4));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.terms()[0].0.to_string(), "II");
+        assert!((d.terms()[0].1 - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn single_pauli_roundtrip() {
+        for s in ["XI", "IZ", "YY", "ZX"] {
+            let p: PauliString = s.parse().unwrap();
+            let d = PauliDecomposition::of_hermitian(&p.to_matrix());
+            assert_eq!(d.len(), 1, "{s}");
+            assert_eq!(d.terms()[0].0.to_string(), s);
+            assert!((d.terms()[0].1 - 1.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn reconstruction_is_exact() {
+        // Pseudo-random real symmetric 8×8.
+        let mut seed = 1234567u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let raw = Mat::from_fn(8, 8, |_, _| next());
+        let h = raw.add(&raw.transpose()).scale(0.5);
+        let d = PauliDecomposition::of_symmetric(&h);
+        let rebuilt = d.reconstruct();
+        assert!(rebuilt.max_abs_diff(&CMat::from_real(&h)) < 1e-10);
+    }
+
+    #[test]
+    fn identity_coefficient_is_normalised_trace() {
+        let h = Mat::from_diag(&[3.0, 3.0, 3.0, 2.0, 2.0, 2.0, 3.0, 3.0]);
+        let d = PauliDecomposition::of_symmetric(&h);
+        let iii: PauliString = "III".parse().unwrap();
+        assert!((d.coefficient(&iii) - 21.0 / 8.0).abs() < 1e-12, "paper's 2.625 III term");
+    }
+
+    #[test]
+    fn hermitian_with_complex_entries() {
+        let h = CMat::from_rows(&[
+            vec![C64::real(1.0), C64::new(0.0, -0.5)],
+            vec![C64::new(0.0, 0.5), C64::real(-1.0)],
+        ]);
+        let d = PauliDecomposition::of_hermitian(&h);
+        // H = Z + 0.5·Y.
+        let z: PauliString = "Z".parse().unwrap();
+        let y: PauliString = "Y".parse().unwrap();
+        assert!((d.coefficient(&z) - 1.0).abs() < 1e-12);
+        assert!((d.coefficient(&y) - 0.5).abs() < 1e-12);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn coefficient_count_bounded_by_4_pow_n() {
+        let h = Mat::from_fn(4, 4, |i, j| ((i + j) % 3) as f64);
+        let sym = h.add(&h.transpose()).scale(0.5);
+        let d = PauliDecomposition::of_symmetric(&sym);
+        assert!(d.len() <= 16);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not Hermitian")]
+    fn non_hermitian_rejected() {
+        let m = CMat::from_rows(&[
+            vec![C64::ZERO, C64::ONE],
+            vec![C64::ZERO, C64::ZERO],
+        ]);
+        let _ = PauliDecomposition::of_hermitian(&m);
+    }
+}

@@ -1,0 +1,284 @@
+//! Density-matrix simulation.
+//!
+//! The statevector simulator handles the paper's circuits; this module
+//! adds the mixed-state formalism so claims like *"tracing out the
+//! ancillas of Fig. 2 leaves I/2^q"* can be verified as operator
+//! identities rather than only through measurement statistics, and so
+//! the depolarising channel of [`crate::noise`] can be applied *exactly*
+//! (the stochastic unravelling is then tested against it).
+
+use crate::circuit::Circuit;
+use crate::state::StateVector;
+use qtda_linalg::{CMat, C64};
+
+/// A density operator on `n` qubits (`2^n × 2^n`, Hermitian, trace 1).
+#[derive(Clone, Debug)]
+pub struct DensityMatrix {
+    n_qubits: usize,
+    rho: CMat,
+}
+
+impl DensityMatrix {
+    /// `|ψ⟩⟨ψ|` of a pure state.
+    pub fn from_pure(state: &StateVector) -> Self {
+        let n = state.n_qubits();
+        let dim = 1usize << n;
+        let amps = state.amplitudes();
+        let rho = CMat::from_fn(dim, dim, |i, j| amps[i] * amps[j].conj());
+        DensityMatrix { n_qubits: n, rho }
+    }
+
+    /// The maximally mixed state `I/2^n`.
+    pub fn maximally_mixed(n_qubits: usize) -> Self {
+        let dim = 1usize << n_qubits;
+        let rho = CMat::identity(dim).scale(C64::real(1.0 / dim as f64));
+        DensityMatrix { n_qubits, rho }
+    }
+
+    /// Wraps an explicit operator (validated: Hermitian, unit trace).
+    pub fn from_operator(rho: CMat) -> Self {
+        let dim = rho.rows();
+        assert!(dim.is_power_of_two() && dim > 0, "dimension must be 2^n");
+        assert!(rho.is_hermitian(1e-9), "density matrix must be Hermitian");
+        assert!(
+            rho.trace().approx_eq(C64::ONE, 1e-9),
+            "density matrix must have unit trace"
+        );
+        DensityMatrix { n_qubits: dim.trailing_zeros() as usize, rho }
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The underlying operator.
+    pub fn operator(&self) -> &CMat {
+        &self.rho
+    }
+
+    /// `Tr ρ` (1 for a valid state).
+    pub fn trace(&self) -> C64 {
+        self.rho.trace()
+    }
+
+    /// Purity `Tr ρ²` (1 ⇔ pure, `1/2^n` ⇔ maximally mixed).
+    pub fn purity(&self) -> f64 {
+        self.rho.matmul(&self.rho).trace().re
+    }
+
+    /// `ρ → UρU†` for the dense unitary of a circuit on all qubits.
+    /// Exponential in qubit count — a verification tool, not a production
+    /// path.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        assert_eq!(circuit.n_qubits(), self.n_qubits, "qubit count mismatch");
+        let u = circuit.unitary_matrix();
+        self.rho = u.matmul(&self.rho).matmul(&u.adjoint());
+    }
+
+    /// Exact single-qubit depolarising channel with rate `p`:
+    /// `ρ → (1−p)ρ + p/3 (XρX + YρY + ZρZ)`.
+    pub fn depolarize_qubit(&mut self, qubit: usize, p: f64) {
+        assert!(qubit < self.n_qubits, "qubit out of range");
+        assert!((0.0..=1.0).contains(&p), "rate out of range");
+        let conj = |g: crate::gates::Gate1| {
+            let mut c = Circuit::new(self.n_qubits);
+            c.push(crate::circuit::Op::Single { target: qubit, gate: g });
+            let u = c.unitary_matrix();
+            u.matmul(&self.rho).matmul(&u.adjoint())
+        };
+        let x = conj(crate::gates::x());
+        let y = conj(crate::gates::y());
+        let z = conj(crate::gates::z());
+        let mixed = x.add(&y).add(&z).scale(C64::real(p / 3.0));
+        self.rho = self.rho.scale(C64::real(1.0 - p)).add(&mixed);
+    }
+
+    /// Partial trace keeping only `keep` (ascending qubit indices of the
+    /// original register; `keep[0]` becomes qubit 0 of the result).
+    pub fn partial_trace(&self, keep: &[usize]) -> DensityMatrix {
+        for &q in keep {
+            assert!(q < self.n_qubits, "qubit out of range");
+        }
+        let traced: Vec<usize> = (0..self.n_qubits).filter(|q| !keep.contains(q)).collect();
+        let kd = 1usize << keep.len();
+        let td = 1usize << traced.len();
+        let assemble = |kept_bits: usize, traced_bits: usize| -> usize {
+            let mut idx = 0usize;
+            for (bit, &q) in keep.iter().enumerate() {
+                if (kept_bits >> bit) & 1 == 1 {
+                    idx |= 1 << q;
+                }
+            }
+            for (bit, &q) in traced.iter().enumerate() {
+                if (traced_bits >> bit) & 1 == 1 {
+                    idx |= 1 << q;
+                }
+            }
+            idx
+        };
+        let mut out = CMat::zeros(kd, kd);
+        for i in 0..kd {
+            for j in 0..kd {
+                let mut acc = C64::ZERO;
+                for t in 0..td {
+                    acc += self.rho[(assemble(i, t), assemble(j, t))];
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        DensityMatrix { n_qubits: keep.len(), rho: out }
+    }
+
+    /// Measurement distribution over the computational basis (the
+    /// diagonal of ρ).
+    pub fn probabilities(&self) -> Vec<f64> {
+        (0..self.rho.rows()).map(|i| self.rho[(i, i)].re).collect()
+    }
+
+    /// Probability that the register formed by `qubits` reads zero.
+    pub fn probability_register_zero(&self, qubits: &[usize]) -> f64 {
+        let mask: usize = qubits.iter().map(|&q| 1usize << q).sum();
+        self.probabilities()
+            .iter()
+            .enumerate()
+            .filter(|(idx, _)| idx & mask == 0)
+            .map(|(_, &p)| p)
+            .sum()
+    }
+
+    /// Largest entry-wise distance to another density matrix.
+    pub fn max_abs_diff(&self, other: &DensityMatrix) -> f64 {
+        self.rho.max_abs_diff(&other.rho)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mixed::mixed_state_circuit;
+    use crate::noise::DepolarizingNoise;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pure_state_has_unit_purity() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        let rho = DensityMatrix::from_pure(&c.simulate());
+        assert!((rho.purity() - 1.0).abs() < 1e-12);
+        assert!(rho.trace().approx_eq(C64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn maximally_mixed_purity_is_inverse_dimension() {
+        for n in 1..=3 {
+            let rho = DensityMatrix::maximally_mixed(n);
+            assert!((rho.purity() - 1.0 / (1 << n) as f64).abs() < 1e-12);
+        }
+    }
+
+    /// The paper's Fig. 2 claim as an operator identity: tracing the
+    /// ancillas out of the purified state leaves exactly I/2^q.
+    #[test]
+    fn fig2_partial_trace_is_exactly_maximally_mixed() {
+        for q in 1..=3usize {
+            let circuit = mixed_state_circuit(q);
+            let rho = DensityMatrix::from_pure(&circuit.simulate());
+            let system = rho.partial_trace(&(0..q).collect::<Vec<_>>());
+            let target = DensityMatrix::maximally_mixed(q);
+            assert!(
+                system.max_abs_diff(&target) < 1e-12,
+                "q = {q}: ancilla trace-out must give I/2^q"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_trace_of_product_state_is_marginal() {
+        // |+⟩ ⊗ |1⟩: tracing out qubit 1 leaves |+⟩⟨+|.
+        let mut c = Circuit::new(2);
+        c.h(0).x(1);
+        let rho = DensityMatrix::from_pure(&c.simulate());
+        let q0 = rho.partial_trace(&[0]);
+        assert!((q0.purity() - 1.0).abs() < 1e-12, "product state marginal stays pure");
+        assert!((q0.operator()[(0, 1)].re - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_trace_of_bell_pair_is_mixed() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        let rho = DensityMatrix::from_pure(&c.simulate());
+        let q0 = rho.partial_trace(&[0]);
+        assert!(q0.max_abs_diff(&DensityMatrix::maximally_mixed(1)) < 1e-12);
+        assert!((q0.purity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unitary_evolution_preserves_purity_and_trace() {
+        let mut rho = DensityMatrix::maximally_mixed(2);
+        let before = rho.purity();
+        let mut c = Circuit::new(2);
+        c.rx(0, 0.7).cnot(0, 1).rz(1, -1.1);
+        rho.apply_circuit(&c);
+        assert!((rho.purity() - before).abs() < 1e-12);
+        assert!(rho.trace().approx_eq(C64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn exact_depolarising_matches_stochastic_average() {
+        // One qubit, one X gate, channel rate 0.3: compare the exact
+        // channel against many stochastic trajectories.
+        let p = 0.3;
+        let mut c = Circuit::new(1);
+        c.x(0);
+        // Exact: apply gate then the channel.
+        let mut exact = DensityMatrix::from_pure(&StateVector::zero(1));
+        exact.apply_circuit(&c);
+        exact.depolarize_qubit(0, p);
+
+        // Stochastic: average projectors over trajectories.
+        let noise = DepolarizingNoise::uniform(p);
+        let mut rng = StdRng::seed_from_u64(9);
+        let trials = 20_000;
+        let mut avg = CMat::zeros(2, 2);
+        for _ in 0..trials {
+            let mut s = StateVector::zero(1);
+            noise.run_trajectory(&c, &mut s, &mut rng);
+            let traj = DensityMatrix::from_pure(&s);
+            avg = avg.add(traj.operator());
+        }
+        avg = avg.scale(C64::real(1.0 / trials as f64));
+        assert!(
+            avg.max_abs_diff(exact.operator()) < 0.02,
+            "stochastic unravelling must reproduce the channel"
+        );
+    }
+
+    #[test]
+    fn full_depolarisation_gives_maximally_mixed() {
+        let mut rho = DensityMatrix::from_pure(&StateVector::zero(1));
+        rho.depolarize_qubit(0, 0.75); // p = 3/4 is the fully-mixing rate
+        assert!(rho.max_abs_diff(&DensityMatrix::maximally_mixed(1)) < 1e-12);
+    }
+
+    #[test]
+    fn register_zero_probability_matches_statevector() {
+        let mut c = Circuit::new(3);
+        c.h(0).cnot(0, 1).ry(2, 0.8);
+        let s = c.simulate();
+        let rho = DensityMatrix::from_pure(&s);
+        for qs in [vec![0], vec![1, 2], vec![0, 1, 2]] {
+            let a = rho.probability_register_zero(&qs);
+            let b = s.probability_register_zero(&qs);
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unit trace")]
+    fn invalid_operator_rejected() {
+        let _ = DensityMatrix::from_operator(CMat::identity(2));
+    }
+}

@@ -1,0 +1,157 @@
+//! ASCII circuit rendering (for the Fig. 2/6/7 reproductions).
+//!
+//! One column per op, one lane per qubit: controls are `●`, connected to
+//! their target boxes with `│`; dense register unitaries render as a
+//! shared box label.
+
+use crate::circuit::{Circuit, Op};
+
+/// Renders a circuit as multi-line ASCII art, one lane per qubit
+/// (`q0` on top). Global phases are listed under the diagram.
+pub fn draw(circuit: &Circuit) -> String {
+    let n = circuit.n_qubits();
+    let mut lanes: Vec<String> = (0..n).map(|q| format!("q{q:<2}: ")).collect();
+    let mut global_phase = 0.0f64;
+    equalise(&mut lanes);
+
+    for op in circuit.ops() {
+        match op {
+            Op::GlobalPhase(phi) => {
+                global_phase += phi;
+                continue;
+            }
+            _ => render_column(&mut lanes, op),
+        }
+    }
+
+    let mut out = lanes.join("\n");
+    if global_phase.abs() > 1e-15 {
+        out.push_str(&format!("\n(global phase: {global_phase:.4})"));
+    }
+    out
+}
+
+/// Appends one op as a column across all lanes.
+fn render_column(lanes: &mut [String], op: &Op) {
+    let (controls, cells): (Vec<usize>, Vec<(usize, String)>) = match op {
+        Op::Single { target, gate } => (vec![], vec![(*target, gate.name.clone())]),
+        Op::Controlled { controls, target, gate } => {
+            (controls.clone(), vec![(*target, gate.name.clone())])
+        }
+        Op::Unitary { qubits, label, .. } => (
+            vec![],
+            qubits
+                .iter()
+                .enumerate()
+                .map(|(i, &q)| (q, format!("{label}[{i}]")))
+                .collect(),
+        ),
+        Op::ControlledUnitary { controls, qubits, label, .. } => (
+            controls.clone(),
+            qubits
+                .iter()
+                .enumerate()
+                .map(|(i, &q)| (q, format!("{label}[{i}]")))
+                .collect(),
+        ),
+        Op::GlobalPhase(_) => return,
+    };
+
+    let mut touched: Vec<usize> = controls.clone();
+    touched.extend(cells.iter().map(|&(q, _)| q));
+    let lo = *touched.iter().min().expect("op touches a qubit");
+    let hi = *touched.iter().max().expect("op touches a qubit");
+
+    let width = cells.iter().map(|(_, s)| s.len()).max().unwrap_or(1) + 2;
+    for (q, lane) in lanes.iter_mut().enumerate() {
+        let cell = if let Some((_, label)) = cells.iter().find(|&&(cq, _)| cq == q) {
+            centre(label, width)
+        } else if controls.contains(&q) {
+            centre("●", width)
+        } else if q > lo && q < hi {
+            centre("│", width)
+        } else {
+            "─".repeat(width)
+        };
+        lane.push_str(&cell);
+        lane.push('─');
+    }
+}
+
+/// Centres `s` in a lane cell of `width` characters, padding with wire.
+fn centre(s: &str, width: usize) -> String {
+    let len = s.chars().count();
+    if len >= width {
+        return s.to_string();
+    }
+    let left = (width - len) / 2;
+    let right = width - len - left;
+    format!("{}{}{}", "─".repeat(left), s, "─".repeat(right))
+}
+
+fn equalise(lanes: &mut [String]) {
+    let max = lanes.iter().map(String::len).max().unwrap_or(0);
+    for lane in lanes {
+        while lane.len() < max {
+            lane.push(' ');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+
+    #[test]
+    fn bell_circuit_renders_expected_symbols() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        let art = draw(&c);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains('H'));
+        assert!(lines[0].contains('●'), "control dot on q0: {art}");
+        assert!(lines[1].contains('X'), "target on q1: {art}");
+    }
+
+    #[test]
+    fn vertical_connector_spans_intermediate_lanes() {
+        let mut c = Circuit::new(3);
+        c.cnot(0, 2);
+        let art = draw(&c);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines[1].contains('│'), "middle lane shows the wire: {art}");
+    }
+
+    #[test]
+    fn global_phase_is_reported() {
+        let mut c = Circuit::new(1);
+        c.h(0).global_phase(std::f64::consts::FRAC_PI_2);
+        let art = draw(&c);
+        assert!(art.contains("global phase"), "{art}");
+        assert!(art.contains("1.5708"));
+    }
+
+    #[test]
+    fn dense_unitary_labels_every_register_lane() {
+        let mut c = Circuit::new(2);
+        c.unitary(vec![0, 1], qtda_linalg::CMat::identity(4), "U");
+        let art = draw(&c);
+        assert!(art.contains("U[0]"));
+        assert!(art.contains("U[1]"));
+    }
+
+    #[test]
+    fn lanes_have_equal_length() {
+        let mut c = Circuit::new(3);
+        c.h(0).cnot(0, 1).rz(2, 0.5).cphase(1, 2, 0.25);
+        let art = draw(&c);
+        let lens: Vec<usize> = art
+            .lines()
+            .filter(|l| l.starts_with('q'))
+            .map(|l| l.chars().count())
+            .collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]), "{lens:?}\n{art}");
+    }
+}

@@ -1,0 +1,250 @@
+//! Hamiltonian evolution circuits.
+//!
+//! Two routes to the QPE walk operator `U = e^{iH}`:
+//!
+//! * **exact** — dense `e^{itH}` by spectral factorisation
+//!   ([`qtda_linalg::expm`]), used by the statevector backend;
+//! * **Trotterised** — the paper's Fig. 7 construction: decompose `H`
+//!   into Pauli strings, turn each `e^{iγP}` into a basis-change +
+//!   CNOT-ladder + `RZ` block, and take a 1st- or 2nd-order product
+//!   formula. The identity term contributes a global phase, tracked
+//!   explicitly because it matters under control.
+
+use crate::circuit::Circuit;
+use crate::decompose::PauliDecomposition;
+use crate::pauli::{PauliOp, PauliString};
+use qtda_linalg::expm::expm_i_symmetric;
+use qtda_linalg::{CMat, Mat};
+
+/// Dense `e^{itH}` for real symmetric `H` (exact; delegates to linalg).
+pub fn exact_unitary(h: &Mat, t: f64) -> CMat {
+    expm_i_symmetric(h, t)
+}
+
+/// Circuit implementing `e^{iγP}` exactly for one Pauli string.
+///
+/// Construction (standard): conjugate every X factor by `H`, every Y
+/// factor by `RX(π/2)`, reduce the Z-string with a CNOT parity ladder and
+/// rotate the last active qubit by `RZ(−2γ)`. An all-identity string is a
+/// pure global phase `e^{iγ}`.
+pub fn pauli_rotation_circuit(n_qubits: usize, p: &PauliString, gamma: f64) -> Circuit {
+    assert_eq!(p.n_qubits(), n_qubits, "string/circuit size mismatch");
+    let mut c = Circuit::new(n_qubits);
+    let active = p.support();
+    if active.is_empty() {
+        c.global_phase(gamma);
+        return c;
+    }
+
+    // Basis change W with W·P·W† = Z-type.
+    for &q in &active {
+        match p.op(q) {
+            PauliOp::X => {
+                c.h(q);
+            }
+            PauliOp::Y => {
+                c.rx(q, std::f64::consts::FRAC_PI_2);
+            }
+            _ => {}
+        }
+    }
+    // Parity ladder into the last active qubit.
+    for w in active.windows(2) {
+        c.cnot(w[0], w[1]);
+    }
+    let last = *active.last().expect("nonempty support");
+    // e^{iγZ} = RZ(−2γ) under RZ(φ) = e^{−iφZ/2}.
+    c.rz(last, -2.0 * gamma);
+    // Unladder and undo the basis change.
+    for w in active.windows(2).rev() {
+        c.cnot(w[0], w[1]);
+    }
+    for &q in active.iter().rev() {
+        match p.op(q) {
+            PauliOp::X => {
+                c.h(q);
+            }
+            PauliOp::Y => {
+                c.rx(q, -std::f64::consts::FRAC_PI_2);
+            }
+            _ => {}
+        }
+    }
+    c
+}
+
+/// Product-formula order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrotterOrder {
+    /// First-order Lie–Trotter: `Π_j e^{i c_j t/r P_j}` per step.
+    First,
+    /// Second-order Suzuki: forward half-step then backward half-step.
+    Second,
+}
+
+/// Builds a Trotter–Suzuki circuit approximating `e^{itH}` from a Pauli
+/// decomposition of `H`, with `steps ≥ 1` repetitions.
+pub fn trotter_circuit(
+    decomposition: &PauliDecomposition,
+    t: f64,
+    steps: usize,
+    order: TrotterOrder,
+) -> Circuit {
+    assert!(steps >= 1, "need at least one Trotter step");
+    let n = decomposition.n_qubits();
+    let dt = t / steps as f64;
+    let mut c = Circuit::new(n);
+    for _ in 0..steps {
+        match order {
+            TrotterOrder::First => {
+                for (p, coeff) in decomposition.terms() {
+                    c.append(&pauli_rotation_circuit(n, p, coeff * dt));
+                }
+            }
+            TrotterOrder::Second => {
+                for (p, coeff) in decomposition.terms() {
+                    c.append(&pauli_rotation_circuit(n, p, coeff * dt / 2.0));
+                }
+                for (p, coeff) in decomposition.terms().iter().rev() {
+                    c.append(&pauli_rotation_circuit(n, p, coeff * dt / 2.0));
+                }
+            }
+        }
+    }
+    c
+}
+
+/// Spectral-norm distance between a circuit's unitary and a dense target
+/// — the Trotter-error metric used by tests and the ablation bench.
+pub fn unitary_distance(circuit: &Circuit, target: &CMat) -> f64 {
+    circuit.unitary_matrix().max_abs_diff(target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtda_linalg::expm::expm_taylor;
+    use qtda_linalg::C64;
+
+    /// Dense e^{iγP} by Taylor series, the independent oracle.
+    fn dense_pauli_exp(p: &PauliString, gamma: f64) -> CMat {
+        expm_taylor(&p.to_matrix().scale(C64::new(0.0, gamma)))
+    }
+
+    #[test]
+    fn single_z_rotation_matches_dense() {
+        let p: PauliString = "Z".parse().unwrap();
+        let c = pauli_rotation_circuit(1, &p, 0.37);
+        assert!(c.unitary_matrix().max_abs_diff(&dense_pauli_exp(&p, 0.37)) < 1e-10);
+    }
+
+    #[test]
+    fn x_and_y_rotations_match_dense() {
+        for s in ["X", "Y"] {
+            let p: PauliString = s.parse().unwrap();
+            for gamma in [-1.1, 0.25, 2.0] {
+                let c = pauli_rotation_circuit(1, &p, gamma);
+                assert!(
+                    c.unitary_matrix().max_abs_diff(&dense_pauli_exp(&p, gamma)) < 1e-10,
+                    "{s}, γ = {gamma}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_qubit_strings_match_dense() {
+        for s in ["ZZ", "XX", "YY", "XYZ", "ZIX", "IYI", "YZX"] {
+            let p: PauliString = s.parse().unwrap();
+            let c = pauli_rotation_circuit(p.n_qubits(), &p, 0.61);
+            assert!(
+                c.unitary_matrix().max_abs_diff(&dense_pauli_exp(&p, 0.61)) < 1e-9,
+                "string {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn identity_string_is_global_phase() {
+        let p = PauliString::identity(2);
+        let c = pauli_rotation_circuit(2, &p, 0.9);
+        let u = c.unitary_matrix();
+        let expect = CMat::identity(4).scale(C64::cis(0.9));
+        assert!(u.max_abs_diff(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn commuting_terms_are_trotter_exact() {
+        // Diagonal H: ZI and IZ commute, so one first-order step is exact.
+        let h = Mat::from_diag(&[0.3, 1.1, -0.4, 0.9]);
+        let d = PauliDecomposition::of_symmetric(&h);
+        let c = trotter_circuit(&d, 1.0, 1, TrotterOrder::First);
+        let exact = exact_unitary(&h, 1.0);
+        assert!(unitary_distance(&c, &exact) < 1e-9);
+    }
+
+    #[test]
+    fn trotter_error_decreases_with_steps() {
+        let h = Mat::from_rows(&[
+            vec![1.0, 0.4, 0.0, 0.0],
+            vec![0.4, -0.5, 0.3, 0.0],
+            vec![0.0, 0.3, 0.2, -0.6],
+            vec![0.0, 0.0, -0.6, 0.8],
+        ]);
+        let d = PauliDecomposition::of_symmetric(&h);
+        let exact = exact_unitary(&h, 1.0);
+        let errs: Vec<f64> = [1usize, 4, 16]
+            .iter()
+            .map(|&r| unitary_distance(&trotter_circuit(&d, 1.0, r, TrotterOrder::First), &exact))
+            .collect();
+        assert!(errs[1] < errs[0] / 2.0, "{errs:?}");
+        assert!(errs[2] < errs[1] / 2.0, "{errs:?}");
+    }
+
+    #[test]
+    fn second_order_beats_first_order() {
+        let h = Mat::from_rows(&[
+            vec![0.0, 1.0, 0.5, 0.0],
+            vec![1.0, 0.0, 0.0, -0.5],
+            vec![0.5, 0.0, 0.3, 1.0],
+            vec![0.0, -0.5, 1.0, -0.3],
+        ]);
+        let d = PauliDecomposition::of_symmetric(&h);
+        let exact = exact_unitary(&h, 1.0);
+        let e1 = unitary_distance(&trotter_circuit(&d, 1.0, 4, TrotterOrder::First), &exact);
+        let e2 = unitary_distance(&trotter_circuit(&d, 1.0, 4, TrotterOrder::Second), &exact);
+        assert!(e2 < e1, "2nd order ({e2}) should beat 1st ({e1})");
+    }
+
+    #[test]
+    fn trotter_circuit_is_unitary() {
+        let h = Mat::from_rows(&[vec![1.0, 0.7], vec![0.7, -0.2]]);
+        let d = PauliDecomposition::of_symmetric(&h);
+        let c = trotter_circuit(&d, 0.8, 3, TrotterOrder::Second);
+        assert!(c.unitary_matrix().is_unitary(1e-9));
+    }
+
+    #[test]
+    fn controlled_trotter_keeps_identity_phase() {
+        // H with a large identity component: controlling the Trotter
+        // circuit must reproduce controlled-e^{iH} including the phase on
+        // the identity term (the paper's Fig. 7 global-phase note).
+        let h = Mat::from_diag(&[2.0, 3.0]).add(&Mat::from_rows(&[
+            vec![0.0, 0.5],
+            vec![0.5, 0.0],
+        ]));
+        let d = PauliDecomposition::of_symmetric(&h);
+        let trot = trotter_circuit(&d, 1.0, 64, TrotterOrder::Second);
+        // Build controlled version on 2 qubits (control = qubit 1).
+        let controlled = trot.controlled(&[1]);
+        // Dense controlled-e^{iH}.
+        let u = exact_unitary(&h, 1.0);
+        let mut dense = CMat::identity(4);
+        for i in 0..2 {
+            for j in 0..2 {
+                dense[(0b10 + i, 0b10 + j)] = u[(i, j)];
+            }
+        }
+        assert!(controlled.unitary_matrix().max_abs_diff(&dense) < 1e-3);
+    }
+}

@@ -1,0 +1,224 @@
+//! Standard single-qubit gates as labelled 2×2 complex matrices.
+//!
+//! Rotation conventions are the usual half-angle ones (matching
+//! PennyLane/Qiskit):
+//! `RZ(φ) = diag(e^{−iφ/2}, e^{iφ/2})`,
+//! `RX(φ) = exp(−iφX/2)`, `RY(φ) = exp(−iφY/2)`.
+
+use qtda_linalg::C64;
+use std::f64::consts::FRAC_1_SQRT_2;
+
+/// A named single-qubit gate: row-major 2×2 matrix `[m00, m01, m10, m11]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Gate1 {
+    /// Display label (includes parameters, e.g. `RZ(0.50)`).
+    pub name: String,
+    /// Row-major matrix entries.
+    pub m: [C64; 4],
+}
+
+impl Gate1 {
+    /// Builds a gate from a label and matrix.
+    pub fn new(name: impl Into<String>, m: [C64; 4]) -> Self {
+        Gate1 { name: name.into(), m }
+    }
+
+    /// The conjugate transpose, labelled `name†` (or stripping a trailing
+    /// dagger if already present).
+    pub fn dagger(&self) -> Gate1 {
+        let name = match self.name.strip_suffix('†') {
+            Some(base) => base.to_string(),
+            None => format!("{}†", self.name),
+        };
+        Gate1 {
+            name,
+            m: [
+                self.m[0].conj(),
+                self.m[2].conj(),
+                self.m[1].conj(),
+                self.m[3].conj(),
+            ],
+        }
+    }
+
+    /// `true` when `m† m = I` within `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        let [a, b, c, d] = self.m;
+        let e00 = a.conj() * a + c.conj() * c;
+        let e01 = a.conj() * b + c.conj() * d;
+        let e11 = b.conj() * b + d.conj() * d;
+        e00.approx_eq(C64::ONE, tol) && e01.approx_eq(C64::ZERO, tol) && e11.approx_eq(C64::ONE, tol)
+    }
+}
+
+/// Pauli-X (NOT).
+pub fn x() -> Gate1 {
+    Gate1::new("X", [C64::ZERO, C64::ONE, C64::ONE, C64::ZERO])
+}
+
+/// Pauli-Y.
+pub fn y() -> Gate1 {
+    Gate1::new("Y", [C64::ZERO, -C64::I, C64::I, C64::ZERO])
+}
+
+/// Pauli-Z.
+pub fn z() -> Gate1 {
+    Gate1::new("Z", [C64::ONE, C64::ZERO, C64::ZERO, -C64::ONE])
+}
+
+/// Hadamard.
+pub fn h() -> Gate1 {
+    let s = C64::real(FRAC_1_SQRT_2);
+    Gate1::new("H", [s, s, s, -s])
+}
+
+/// Phase gate S = diag(1, i).
+pub fn s() -> Gate1 {
+    Gate1::new("S", [C64::ONE, C64::ZERO, C64::ZERO, C64::I])
+}
+
+/// S† = diag(1, −i).
+pub fn sdg() -> Gate1 {
+    Gate1::new("S†", [C64::ONE, C64::ZERO, C64::ZERO, -C64::I])
+}
+
+/// T = diag(1, e^{iπ/4}).
+pub fn t() -> Gate1 {
+    Gate1::new("T", [C64::ONE, C64::ZERO, C64::ZERO, C64::cis(std::f64::consts::FRAC_PI_4)])
+}
+
+/// Rotation about X: `exp(−iφX/2)`.
+pub fn rx(phi: f64) -> Gate1 {
+    let (c, s) = ((phi / 2.0).cos(), (phi / 2.0).sin());
+    Gate1::new(
+        format!("RX({phi:.3})"),
+        [
+            C64::real(c),
+            C64::new(0.0, -s),
+            C64::new(0.0, -s),
+            C64::real(c),
+        ],
+    )
+}
+
+/// Rotation about Y: `exp(−iφY/2)`.
+pub fn ry(phi: f64) -> Gate1 {
+    let (c, s) = ((phi / 2.0).cos(), (phi / 2.0).sin());
+    Gate1::new(
+        format!("RY({phi:.3})"),
+        [C64::real(c), C64::real(-s), C64::real(s), C64::real(c)],
+    )
+}
+
+/// Rotation about Z: `exp(−iφZ/2) = diag(e^{−iφ/2}, e^{iφ/2})`.
+pub fn rz(phi: f64) -> Gate1 {
+    Gate1::new(
+        format!("RZ({phi:.3})"),
+        [C64::cis(-phi / 2.0), C64::ZERO, C64::ZERO, C64::cis(phi / 2.0)],
+    )
+}
+
+/// Phase gate `diag(1, e^{iφ})` (a.k.a. `P(φ)`/`U1(φ)`).
+pub fn phase(phi: f64) -> Gate1 {
+    Gate1::new(format!("P({phi:.3})"), [C64::ONE, C64::ZERO, C64::ZERO, C64::cis(phi)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn all_standard_gates_are_unitary() {
+        for g in [x(), y(), z(), h(), s(), sdg(), t(), rx(0.7), ry(-1.3), rz(2.9), phase(0.4)] {
+            assert!(g.is_unitary(TOL), "{} not unitary", g.name);
+        }
+    }
+
+    #[test]
+    fn hadamard_squares_to_identity() {
+        let hh = matmul2(&h().m, &h().m);
+        assert!(hh[0].approx_eq(C64::ONE, TOL));
+        assert!(hh[1].approx_eq(C64::ZERO, TOL));
+        assert!(hh[3].approx_eq(C64::ONE, TOL));
+    }
+
+    #[test]
+    fn s_squared_is_z() {
+        let ss = matmul2(&s().m, &s().m);
+        for (got, want) in ss.iter().zip(z().m.iter()) {
+            assert!(got.approx_eq(*want, TOL));
+        }
+    }
+
+    #[test]
+    fn t_squared_is_s() {
+        let tt = matmul2(&t().m, &t().m);
+        for (got, want) in tt.iter().zip(s().m.iter()) {
+            assert!(got.approx_eq(*want, TOL));
+        }
+    }
+
+    #[test]
+    fn rz_at_pi_is_z_up_to_global_phase() {
+        // RZ(π) = −i·Z.
+        let g = rz(std::f64::consts::PI);
+        let expect = [
+            -C64::I * C64::ONE,
+            C64::ZERO,
+            C64::ZERO,
+            -C64::I * -C64::ONE,
+        ];
+        for (got, want) in g.m.iter().zip(expect.iter()) {
+            assert!(got.approx_eq(*want, TOL));
+        }
+    }
+
+    #[test]
+    fn dagger_is_inverse() {
+        for g in [h(), s(), t(), rx(0.3), ry(1.1), rz(-0.8), phase(2.0)] {
+            let prod = matmul2(&g.dagger().m, &g.m);
+            assert!(prod[0].approx_eq(C64::ONE, TOL), "{}", g.name);
+            assert!(prod[1].approx_eq(C64::ZERO, TOL));
+            assert!(prod[2].approx_eq(C64::ZERO, TOL));
+            assert!(prod[3].approx_eq(C64::ONE, TOL));
+        }
+    }
+
+    #[test]
+    fn dagger_naming_roundtrip() {
+        assert_eq!(s().dagger().name, "S†");
+        assert_eq!(s().dagger().dagger().name, "S");
+    }
+
+    #[test]
+    fn hzh_equals_x() {
+        let hz = matmul2(&h().m, &z().m);
+        let hzh = matmul2(&hz, &h().m);
+        for (got, want) in hzh.iter().zip(x().m.iter()) {
+            assert!(got.approx_eq(*want, TOL));
+        }
+    }
+
+    #[test]
+    fn rx_half_pi_conjugates_z_to_y() {
+        // RX(π/2) · Y · RX(π/2)† = Z  (the basis change used by the
+        // Pauli-evolution circuits).
+        let v = rx(std::f64::consts::FRAC_PI_2);
+        let vy = matmul2(&v.m, &y().m);
+        let vyv = matmul2(&vy, &v.dagger().m);
+        for (got, want) in vyv.iter().zip(z().m.iter()) {
+            assert!(got.approx_eq(*want, 1e-12));
+        }
+    }
+
+    fn matmul2(a: &[C64; 4], b: &[C64; 4]) -> [C64; 4] {
+        [
+            a[0] * b[0] + a[1] * b[2],
+            a[0] * b[1] + a[1] * b[3],
+            a[2] * b[0] + a[3] * b[2],
+            a[2] * b[1] + a[3] * b[3],
+        ]
+    }
+}

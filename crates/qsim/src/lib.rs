@@ -1,0 +1,54 @@
+//! # qtda-qsim
+//!
+//! A from-scratch gate-level statevector quantum simulator — the role
+//! PennyLane plays in the paper's experiments (arXiv:2302.09553 §3–4).
+//!
+//! Qubit convention: **qubit 0 is the least-significant bit** of a basis
+//! state index, i.e. basis state `|b_{n−1} … b_1 b_0⟩` has index
+//! `Σ b_i 2^i`.
+//!
+//! Modules:
+//!
+//! * [`gates`] — the standard single-qubit gate set (H, X, Y, Z, S, T,
+//!   RX/RY/RZ, phase) as 2×2 complex matrices;
+//! * [`state`] — the statevector with rayon-parallel gate kernels,
+//!   arbitrary-register unitaries and measurement marginals;
+//! * [`circuit`] — circuits as op lists: build, compose, invert, control,
+//!   and run; global phases are tracked exactly (they become *relative*
+//!   phases once a circuit is controlled — the paper's Fig. 7 footnote);
+//! * [`qft`] — the quantum Fourier transform and its inverse;
+//! * [`pauli`] — Pauli strings as signed permutations plus dense forms;
+//! * [`decompose`] — Pauli-basis decomposition of Hermitian operators
+//!   (the paper's Eq. 19);
+//! * [`evolution`] — exact `e^{iγP}` Pauli-rotation circuits and
+//!   first/second-order Trotter–Suzuki products (the paper's Fig. 7);
+//! * [`qpe`] — quantum phase estimation circuits and the analytic QPE
+//!   response function;
+//! * [`mixed`] — maximally-mixed-state preparation via ancilla Bell pairs
+//!   (the paper's Fig. 2);
+//! * [`measure`] — shot sampling of measurement outcomes;
+//! * [`noise`] — stochastic Pauli (depolarising) noise injection, an
+//!   extension toward the paper's NISQ-robustness future work;
+//! * [`draw`] — ASCII circuit rendering for the Fig. 6/7 reproductions.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod circuit;
+pub mod decompose;
+pub mod density;
+pub mod draw;
+pub mod evolution;
+pub mod gates;
+pub mod measure;
+pub mod mixed;
+pub mod noise;
+pub mod pauli;
+pub mod qft;
+pub mod qpe;
+pub mod state;
+
+pub use circuit::{Circuit, Op};
+pub use gates::Gate1;
+pub use pauli::{PauliOp, PauliString};
+pub use state::StateVector;

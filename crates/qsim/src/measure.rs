@@ -1,0 +1,131 @@
+//! Shot sampling of measurement outcomes.
+
+use crate::state::StateVector;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Draws `shots` outcomes of measuring `qubits` (LSB-first register) via
+/// inverse-CDF sampling of the exact marginal.
+pub fn sample_register(
+    state: &StateVector,
+    qubits: &[usize],
+    shots: usize,
+    rng: &mut impl Rng,
+) -> Vec<usize> {
+    let probs = state.register_probabilities(qubits);
+    let cdf = cumulative(&probs);
+    (0..shots).map(|_| sample_cdf(&cdf, rng)).collect()
+}
+
+/// Outcome → frequency map over `shots` measurements.
+pub fn counts(
+    state: &StateVector,
+    qubits: &[usize],
+    shots: usize,
+    rng: &mut impl Rng,
+) -> HashMap<usize, usize> {
+    let mut map = HashMap::new();
+    for outcome in sample_register(state, qubits, shots, rng) {
+        *map.entry(outcome).or_insert(0) += 1;
+    }
+    map
+}
+
+/// Number of `0` outcomes among `shots` Bernoulli(`p_zero`) trials — the
+/// estimator's core statistic (paper Eq. 10). Exact sampling, no normal
+/// approximation.
+pub fn sample_zero_count(p_zero: f64, shots: usize, rng: &mut impl Rng) -> usize {
+    debug_assert!((-1e-9..=1.0 + 1e-9).contains(&p_zero), "p = {p_zero}");
+    let p = p_zero.clamp(0.0, 1.0);
+    (0..shots).filter(|_| rng.gen_bool(p)).count()
+}
+
+fn cumulative(probs: &[f64]) -> Vec<f64> {
+    let mut acc = 0.0;
+    let mut cdf = Vec::with_capacity(probs.len());
+    for &p in probs {
+        acc += p;
+        cdf.push(acc);
+    }
+    // Guard against rounding: the last entry must dominate any draw.
+    if let Some(last) = cdf.last_mut() {
+        *last = last.max(1.0);
+    }
+    cdf
+}
+
+fn sample_cdf(cdf: &[f64], rng: &mut impl Rng) -> usize {
+    let u: f64 = rng.gen();
+    cdf.partition_point(|&c| c < u).min(cdf.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_state_always_measures_same() {
+        let mut c = Circuit::new(2);
+        c.x(0);
+        let s = c.simulate();
+        let mut rng = StdRng::seed_from_u64(1);
+        let outcomes = sample_register(&s, &[0, 1], 50, &mut rng);
+        assert!(outcomes.iter().all(|&o| o == 0b01));
+    }
+
+    #[test]
+    fn uniform_state_covers_outcomes_with_right_frequencies() {
+        let mut c = Circuit::new(3);
+        for q in 0..3 {
+            c.h(q);
+        }
+        let s = c.simulate();
+        let mut rng = StdRng::seed_from_u64(2);
+        let shots = 16_000;
+        let histogram = counts(&s, &[0, 1, 2], shots, &mut rng);
+        for outcome in 0..8 {
+            let freq = *histogram.get(&outcome).unwrap_or(&0) as f64 / shots as f64;
+            assert!((freq - 0.125).abs() < 0.02, "outcome {outcome}: {freq}");
+        }
+    }
+
+    #[test]
+    fn subregister_measurement_marginalises() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        let s = c.simulate();
+        let mut rng = StdRng::seed_from_u64(3);
+        let outcomes = sample_register(&s, &[1], 10_000, &mut rng);
+        let ones = outcomes.iter().filter(|&&o| o == 1).count() as f64 / 10_000.0;
+        assert!((ones - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    fn zero_count_is_binomial_mean() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let shots = 100_000;
+        let k = sample_zero_count(0.149, shots, &mut rng);
+        let freq = k as f64 / shots as f64;
+        assert!((freq - 0.149).abs() < 0.01, "freq = {freq}");
+    }
+
+    #[test]
+    fn zero_count_extremes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(sample_zero_count(0.0, 1000, &mut rng), 0);
+        assert_eq!(sample_zero_count(1.0, 1000, &mut rng), 1000);
+    }
+
+    #[test]
+    fn sampling_is_seed_reproducible() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(1);
+        let s = c.simulate();
+        let a = sample_register(&s, &[0, 1], 100, &mut StdRng::seed_from_u64(9));
+        let b = sample_register(&s, &[0, 1], 100, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,169 @@
+//! Maximally-mixed-state preparation (paper Fig. 2).
+//!
+//! Entangling each system qubit with a fresh ancilla (H on the ancilla,
+//! CNOT onto the system qubit) and discarding the ancillas leaves the
+//! system in `I/2^q`. The QTDA algorithm measures only the precision
+//! register, so "discarding" is automatic.
+//!
+//! An alternative with *zero* extra qubits: draw a uniformly random basis
+//! state per shot. Both produce the same measurement statistics — the
+//! equivalence is asserted by tests and exploited by the sampling
+//! backend in `qtda-core`.
+
+use crate::circuit::Circuit;
+use rand::Rng;
+
+/// Appends the Fig. 2 fragment: for each `(system, ancilla)` pair,
+/// `H(ancilla); CNOT(ancilla → system)`.
+pub fn append_mixed_state_prep(c: &mut Circuit, system: &[usize], ancillas: &[usize]) {
+    assert_eq!(system.len(), ancillas.len(), "one ancilla per system qubit");
+    for (&s, &a) in system.iter().zip(ancillas) {
+        assert_ne!(s, a, "system and ancilla must differ");
+        c.h(a);
+        c.cnot(a, s);
+    }
+}
+
+/// A standalone circuit preparing `I/2^q` on qubits `[0, q)` using
+/// ancillas `[q, 2q)`.
+pub fn mixed_state_circuit(q: usize) -> Circuit {
+    let mut c = Circuit::new(2 * q);
+    let system: Vec<usize> = (0..q).collect();
+    let ancillas: Vec<usize> = (q..2 * q).collect();
+    append_mixed_state_prep(&mut c, &system, &ancillas);
+    c
+}
+
+/// Samples a uniformly random `q`-bit basis index — the ancilla-free
+/// equivalent of one mixed-state shot.
+pub fn sample_mixed_basis_state(q: usize, rng: &mut impl Rng) -> usize {
+    rng.gen_range(0..(1usize << q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+    use crate::state::StateVector;
+    use qtda_linalg::CMat;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn system_marginal_is_uniform() {
+        for q in 1..=3usize {
+            let s = mixed_state_circuit(q).simulate();
+            let probs = s.register_probabilities(&(0..q).collect::<Vec<_>>());
+            let expect = 1.0 / (1 << q) as f64;
+            for (i, &p) in probs.iter().enumerate() {
+                assert!((p - expect).abs() < 1e-12, "q = {q}, outcome {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn marginal_invariant_under_system_unitary() {
+        // UρU† = U(I/2^q)U† = I/2^q: any unitary on the system leaves the
+        // marginal uniform — the defining property of the mixed state.
+        let q = 2;
+        let mut c = mixed_state_circuit(q);
+        c.rx(0, 1.234).ry(1, -0.777).cnot(0, 1).rz(0, 0.321);
+        let s = c.simulate();
+        let probs = s.register_probabilities(&[0, 1]);
+        for &p in &probs {
+            assert!((p - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn a_pure_plus_state_is_not_mixed() {
+        // Contrast case: |+⟩^q has uniform *computational* marginal but is
+        // not invariant under H, unlike the purified mixed state.
+        let q = 1;
+        let mut pure = Circuit::new(1);
+        pure.h(0);
+        let mut s_pure = pure.simulate();
+        s_pure.apply_single(0, &gates::h());
+        // H|+⟩ = |0⟩, marginal collapses.
+        assert!((s_pure.probability(0) - 1.0).abs() < 1e-12);
+
+        let mut mixed = mixed_state_circuit(q);
+        mixed.h(0);
+        let s_mixed = mixed.simulate();
+        let probs = s_mixed.register_probabilities(&[0]);
+        assert!((probs[0] - 0.5).abs() < 1e-12, "mixed marginal survives H");
+    }
+
+    #[test]
+    fn ancilla_system_correlations_are_perfect() {
+        let q = 2;
+        let s = mixed_state_circuit(q).simulate();
+        // Joint distribution over (system, ancilla): only matched pairs.
+        let joint = s.register_probabilities(&[0, 1, 2, 3]);
+        for (idx, &p) in joint.iter().enumerate() {
+            let sys = idx & 0b11;
+            let anc = idx >> 2;
+            if sys == anc {
+                assert!((p - 0.25).abs() < 1e-12);
+            } else {
+                assert!(p < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn purified_and_sampled_mixed_states_agree_through_a_unitary() {
+        // Expectation of any diagonal observable after a fixed unitary:
+        // ancilla route vs averaging over all basis-state inputs.
+        let q = 2;
+        let u = {
+            let mut c = Circuit::new(q);
+            c.h(0).cnot(0, 1).ry(1, 0.6);
+            c
+        };
+        // Route 1: purification.
+        let mut full = mixed_state_circuit(q);
+        full.append_mapped(&u, &[0, 1]);
+        let probs_purified = full.simulate().register_probabilities(&[0, 1]);
+        // Route 2: average over basis states.
+        let mut probs_avg = vec![0.0; 1 << q];
+        for b in 0..(1 << q) {
+            let mut s = StateVector::basis(q, b);
+            u.run(&mut s);
+            for (i, p) in probs_avg.iter_mut().enumerate() {
+                *p += s.probability(i) / (1 << q) as f64;
+            }
+        }
+        for (a, b) in probs_purified.iter().zip(&probs_avg) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sample_mixed_basis_state_covers_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let q = 3;
+        let mut seen = vec![false; 1 << q];
+        for _ in 0..500 {
+            seen[sample_mixed_basis_state(q, &mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 8 outcomes appear in 500 draws");
+    }
+
+    #[test]
+    fn fig2_circuit_shape() {
+        // 3 system + 3 ancilla qubits, 3 H + 3 CNOT — exactly Fig. 2.
+        let c = mixed_state_circuit(3);
+        assert_eq!(c.n_qubits(), 6);
+        let census = c.gate_census();
+        assert_eq!(census.single, 3);
+        assert_eq!(census.controlled, 3);
+    }
+
+    #[test]
+    fn mixed_prep_unitary_is_isometry_check() {
+        let c = mixed_state_circuit(1);
+        assert!(c.unitary_matrix().is_unitary(1e-12));
+        let _ = CMat::identity(4); // silence unused import in some cfgs
+    }
+}

@@ -1,0 +1,160 @@
+//! Stochastic Pauli (depolarising) noise.
+//!
+//! The paper's experiments are ideal-device simulations; §6 flags NISQ
+//! noise as future work. This module provides the standard stochastic
+//! unravelling of the depolarising channel: after every gate, each
+//! touched qubit suffers a uniformly random Pauli error with probability
+//! `p`. Averaging over shot trajectories reproduces the channel.
+
+use crate::circuit::{Circuit, Op};
+use crate::gates;
+use crate::state::StateVector;
+use rand::Rng;
+
+/// Depolarising noise model.
+#[derive(Clone, Copy, Debug)]
+pub struct DepolarizingNoise {
+    /// Per-qubit error probability after a single-qubit gate.
+    pub p1: f64,
+    /// Per-qubit error probability after a multi-qubit op.
+    pub p2: f64,
+}
+
+impl DepolarizingNoise {
+    /// A noise model with the same rate for all ops.
+    pub fn uniform(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        DepolarizingNoise { p1: p, p2: p }
+    }
+
+    /// Runs one noisy trajectory of `circuit` on `state`.
+    pub fn run_trajectory(&self, circuit: &Circuit, state: &mut StateVector, rng: &mut impl Rng) {
+        for op in circuit.ops() {
+            apply_op(op, state);
+            let touched = op.qubits();
+            let p = if touched.len() <= 1 { self.p1 } else { self.p2 };
+            if p == 0.0 {
+                continue;
+            }
+            for q in touched {
+                if rng.gen_bool(p) {
+                    match rng.gen_range(0..3) {
+                        0 => state.apply_single(q, &gates::x()),
+                        1 => state.apply_single(q, &gates::y()),
+                        _ => state.apply_single(q, &gates::z()),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Estimates the probability of reading zero on `register` by
+    /// averaging `shots` independent noisy trajectories, one measurement
+    /// each (the honest NISQ protocol).
+    pub fn estimate_p_zero(
+        &self,
+        circuit: &Circuit,
+        register: &[usize],
+        shots: usize,
+        rng: &mut impl Rng,
+    ) -> f64 {
+        let mut zeros = 0usize;
+        for _ in 0..shots {
+            let mut s = StateVector::zero(circuit.n_qubits());
+            self.run_trajectory(circuit, &mut s, rng);
+            let outcome = crate::measure::sample_register(&s, register, 1, rng)[0];
+            if outcome == 0 {
+                zeros += 1;
+            }
+        }
+        zeros as f64 / shots as f64
+    }
+}
+
+fn apply_op(op: &Op, state: &mut StateVector) {
+    match op {
+        Op::Single { target, gate } => state.apply_single(*target, gate),
+        Op::Controlled { controls, target, gate } => {
+            state.apply_controlled_single(controls, *target, gate)
+        }
+        Op::Unitary { qubits, matrix, .. } => state.apply_unitary(qubits, matrix),
+        Op::ControlledUnitary { controls, qubits, matrix, .. } => {
+            state.apply_controlled_unitary(controls, qubits, matrix)
+        }
+        Op::GlobalPhase(phi) => state.apply_global_phase(*phi),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_noise_reproduces_ideal_run() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        let noise = DepolarizingNoise::uniform(0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = StateVector::zero(2);
+        noise.run_trajectory(&c, &mut s, &mut rng);
+        assert!((s.probability(0b00) - 0.5).abs() < 1e-12);
+        assert!((s.probability(0b11) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_noise_scrambles_outcomes() {
+        // With p = 1 every gate is followed by a random Pauli; a long
+        // circuit should not keep |0…0⟩ with probability 1.
+        let mut c = Circuit::new(2);
+        for _ in 0..4 {
+            c.x(0).x(0).x(1).x(1); // ideal net effect: identity
+        }
+        let noise = DepolarizingNoise::uniform(1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut stayed = 0;
+        let trials = 200;
+        for _ in 0..trials {
+            let mut s = StateVector::zero(2);
+            noise.run_trajectory(&c, &mut s, &mut rng);
+            if s.probability(0) > 0.999 {
+                stayed += 1;
+            }
+        }
+        assert!(stayed < trials, "noise must disturb at least some runs");
+    }
+
+    #[test]
+    fn noisy_p_zero_degrades_smoothly() {
+        // Ideal circuit keeps register at 0 with certainty; noise lowers
+        // the zero-probability monotonically-ish.
+        let mut c = Circuit::new(2);
+        c.x(0).x(0); // identity up to noise
+        let register = [0usize, 1];
+        let shots = 400;
+        let mut rng = StdRng::seed_from_u64(3);
+        let clean = DepolarizingNoise::uniform(0.0)
+            .estimate_p_zero(&c, &register, shots, &mut rng);
+        assert!((clean - 1.0).abs() < 1e-12);
+        let light = DepolarizingNoise::uniform(0.05)
+            .estimate_p_zero(&c, &register, shots, &mut rng);
+        let heavy = DepolarizingNoise::uniform(0.5)
+            .estimate_p_zero(&c, &register, shots, &mut rng);
+        assert!(light > heavy, "light {light} vs heavy {heavy}");
+        assert!(light < 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn trajectories_preserve_norm() {
+        let mut c = Circuit::new(3);
+        c.h(0).cnot(0, 1).rx(2, 0.7).cz(1, 2);
+        let noise = DepolarizingNoise::uniform(0.3);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..20 {
+            let mut s = StateVector::zero(3);
+            noise.run_trajectory(&c, &mut s, &mut rng);
+            assert!((s.norm() - 1.0).abs() < 1e-9);
+        }
+    }
+}

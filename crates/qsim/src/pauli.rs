@@ -1,0 +1,302 @@
+//! Pauli strings as signed permutations, with dense conversions.
+//!
+//! A Pauli string on `n` qubits assigns one of `{I, X, Y, Z}` to each
+//! qubit. Its dense matrix is the Kronecker product with qubit `n−1` as
+//! the leftmost factor (so the printed string reads MSB→LSB, matching
+//! the paper's Eq. 19 notation).
+
+use qtda_linalg::{CMat, C64};
+use std::fmt;
+use std::str::FromStr;
+
+/// A single-qubit Pauli operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PauliOp {
+    /// Identity.
+    I,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+}
+
+impl PauliOp {
+    /// 2×2 dense matrix.
+    pub fn matrix(self) -> CMat {
+        match self {
+            PauliOp::I => CMat::identity(2),
+            PauliOp::X => CMat::from_rows(&[
+                vec![C64::ZERO, C64::ONE],
+                vec![C64::ONE, C64::ZERO],
+            ]),
+            PauliOp::Y => CMat::from_rows(&[
+                vec![C64::ZERO, -C64::I],
+                vec![C64::I, C64::ZERO],
+            ]),
+            PauliOp::Z => CMat::from_rows(&[
+                vec![C64::ONE, C64::ZERO],
+                vec![C64::ZERO, -C64::ONE],
+            ]),
+        }
+    }
+
+    /// Character form.
+    pub fn symbol(self) -> char {
+        match self {
+            PauliOp::I => 'I',
+            PauliOp::X => 'X',
+            PauliOp::Y => 'Y',
+            PauliOp::Z => 'Z',
+        }
+    }
+}
+
+/// A Pauli string; `ops[i]` acts on qubit `i` (qubit 0 = LSB).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PauliString {
+    ops: Vec<PauliOp>,
+}
+
+impl PauliString {
+    /// Builds from per-qubit operators (`ops[0]` on qubit 0).
+    pub fn new(ops: Vec<PauliOp>) -> Self {
+        assert!(!ops.is_empty(), "empty Pauli string");
+        PauliString { ops }
+    }
+
+    /// The all-identity string on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        PauliString { ops: vec![PauliOp::I; n] }
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn n_qubits(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Operator on qubit `i`.
+    #[inline]
+    pub fn op(&self, i: usize) -> PauliOp {
+        self.ops[i]
+    }
+
+    /// Per-qubit operators (`[0]` = qubit 0).
+    #[inline]
+    pub fn ops(&self) -> &[PauliOp] {
+        &self.ops
+    }
+
+    /// Qubits with a non-identity operator.
+    pub fn support(&self) -> Vec<usize> {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, &op)| op != PauliOp::I)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of non-identity factors.
+    pub fn weight(&self) -> usize {
+        self.support().len()
+    }
+
+    /// `true` if every factor is `I`.
+    pub fn is_identity(&self) -> bool {
+        self.ops.iter().all(|&op| op == PauliOp::I)
+    }
+
+    /// Bit mask of qubits whose factor flips the computational basis
+    /// (X or Y).
+    pub fn x_mask(&self) -> usize {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, &op)| matches!(op, PauliOp::X | PauliOp::Y))
+            .map(|(i, _)| 1usize << i)
+            .sum()
+    }
+
+    /// Signed-permutation action on a basis column: `P|j⟩ = w·|π(j)⟩`
+    /// where `π(j) = j ⊕ x_mask`. Returns `(π(j), w)`.
+    pub fn column_action(&self, j: usize) -> (usize, C64) {
+        let mut w = C64::ONE;
+        for (i, &op) in self.ops.iter().enumerate() {
+            let bit = (j >> i) & 1;
+            match op {
+                PauliOp::I | PauliOp::X => {}
+                PauliOp::Y => {
+                    // Y|0⟩ = i|1⟩, Y|1⟩ = −i|0⟩.
+                    w *= if bit == 0 { C64::I } else { -C64::I };
+                }
+                PauliOp::Z => {
+                    if bit == 1 {
+                        w = -w;
+                    }
+                }
+            }
+        }
+        (j ^ self.x_mask(), w)
+    }
+
+    /// Dense `2^n × 2^n` matrix (Kronecker with qubit `n−1` leftmost).
+    pub fn to_matrix(&self) -> CMat {
+        let dim = 1usize << self.n_qubits();
+        let mut m = CMat::zeros(dim, dim);
+        for j in 0..dim {
+            let (i, w) = self.column_action(j);
+            m[(i, j)] = w;
+        }
+        m
+    }
+
+    /// `true` if this string commutes with `other` (equal lengths).
+    pub fn commutes_with(&self, other: &PauliString) -> bool {
+        assert_eq!(self.n_qubits(), other.n_qubits());
+        // Strings commute iff they anticommute on an even number of qubits.
+        let anti = self
+            .ops
+            .iter()
+            .zip(&other.ops)
+            .filter(|(&a, &b)| a != PauliOp::I && b != PauliOp::I && a != b)
+            .count();
+        anti % 2 == 0
+    }
+}
+
+impl fmt::Display for PauliString {
+    /// Prints MSB→LSB so the string reads like the Kronecker product
+    /// (e.g. the paper's `ZIX` has Z on qubit 2 and X on qubit 0).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &op in self.ops.iter().rev() {
+            write!(f, "{}", op.symbol())?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl FromStr for PauliString {
+    type Err = String;
+
+    /// Parses MSB→LSB strings like `"ZIX"` (inverse of `Display`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut ops = Vec::with_capacity(s.len());
+        for ch in s.chars().rev() {
+            ops.push(match ch {
+                'I' => PauliOp::I,
+                'X' => PauliOp::X,
+                'Y' => PauliOp::Y,
+                'Z' => PauliOp::Z,
+                other => return Err(format!("invalid Pauli symbol {other:?}")),
+            });
+        }
+        if ops.is_empty() {
+            return Err("empty Pauli string".into());
+        }
+        Ok(PauliString { ops })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for s in ["XXI", "ZIX", "YYZ", "III", "X"] {
+            let p: PauliString = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_assigns_qubits_lsb_last_char() {
+        let p: PauliString = "ZIX".parse().unwrap();
+        assert_eq!(p.op(0), PauliOp::X, "last char = qubit 0");
+        assert_eq!(p.op(1), PauliOp::I);
+        assert_eq!(p.op(2), PauliOp::Z, "first char = qubit 2");
+    }
+
+    #[test]
+    fn dense_matrix_matches_kron() {
+        let p: PauliString = "ZX".parse().unwrap();
+        let expect = PauliOp::Z.matrix().kron(&PauliOp::X.matrix());
+        assert!(p.to_matrix().max_abs_diff(&expect) < 1e-14);
+        let q: PauliString = "XY".parse().unwrap();
+        let expect2 = PauliOp::X.matrix().kron(&PauliOp::Y.matrix());
+        assert!(q.to_matrix().max_abs_diff(&expect2) < 1e-14);
+    }
+
+    #[test]
+    fn matrices_are_hermitian_unitary_involutions() {
+        for s in ["XYZ", "ZZI", "IYX", "YY"] {
+            let p: PauliString = s.parse().unwrap();
+            let m = p.to_matrix();
+            assert!(m.is_hermitian(1e-14), "{s}");
+            assert!(m.is_unitary(1e-14), "{s}");
+            let sq = m.matmul(&m);
+            assert!(sq.max_abs_diff(&CMat::identity(m.rows())) < 1e-12, "{s}² ≠ I");
+        }
+    }
+
+    #[test]
+    fn column_action_matches_dense() {
+        let p: PauliString = "YZX".parse().unwrap();
+        let m = p.to_matrix();
+        for j in 0..8 {
+            let (i, w) = p.column_action(j);
+            assert!(m[(i, j)].approx_eq(w, 1e-14));
+            // Column has exactly one nonzero.
+            let nnz = (0..8).filter(|&r| m[(r, j)].norm_sqr() > 1e-20).count();
+            assert_eq!(nnz, 1);
+        }
+    }
+
+    #[test]
+    fn commutation_rules() {
+        let xx: PauliString = "XX".parse().unwrap();
+        let zz: PauliString = "ZZ".parse().unwrap();
+        let zi: PauliString = "ZI".parse().unwrap();
+        let ix: PauliString = "IX".parse().unwrap();
+        assert!(xx.commutes_with(&zz), "two anticommuting sites → commute");
+        assert!(!zi.commutes_with(&xx), "one anticommuting site → anticommute");
+        assert!(zi.commutes_with(&ix), "disjoint supports commute");
+        // Verify against dense algebra.
+        for (a, b) in [(&xx, &zz), (&zi, &xx), (&zi, &ix)] {
+            let ab = a.to_matrix().matmul(&b.to_matrix());
+            let ba = b.to_matrix().matmul(&a.to_matrix());
+            let commute_dense = ab.max_abs_diff(&ba) < 1e-12;
+            assert_eq!(a.commutes_with(b), commute_dense);
+        }
+    }
+
+    #[test]
+    fn support_and_weight() {
+        let p: PauliString = "ZIX".parse().unwrap();
+        assert_eq!(p.support(), vec![0, 2]);
+        assert_eq!(p.weight(), 2);
+        assert!(!p.is_identity());
+        assert!(PauliString::identity(3).is_identity());
+    }
+
+    #[test]
+    fn x_mask_flags_flipping_factors() {
+        let p: PauliString = "ZYX".parse().unwrap(); // q0=X, q1=Y, q2=Z
+        assert_eq!(p.x_mask(), 0b011);
+    }
+
+    #[test]
+    fn invalid_symbols_rejected() {
+        assert!("XQZ".parse::<PauliString>().is_err());
+        assert!("".parse::<PauliString>().is_err());
+    }
+}

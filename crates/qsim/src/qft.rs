@@ -1,0 +1,101 @@
+//! The quantum Fourier transform.
+//!
+//! `qft_circuit(n)` implements `|j⟩ → 2^{−n/2} Σ_k e^{2πi jk/2^n} |k⟩`
+//! under this crate's LSB-first qubit convention (verified against the
+//! DFT matrix in tests). QPE uses the inverse.
+
+use crate::circuit::Circuit;
+use std::f64::consts::PI;
+
+/// The QFT on `n` qubits (with the final qubit-reversal swaps included).
+pub fn qft_circuit(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for i in (0..n).rev() {
+        c.h(i);
+        for j in (0..i).rev() {
+            let angle = PI / (1u64 << (i - j)) as f64;
+            c.cphase(j, i, angle);
+        }
+    }
+    for i in 0..n / 2 {
+        c.swap(i, n - 1 - i);
+    }
+    c
+}
+
+/// The inverse QFT on `n` qubits.
+pub fn inverse_qft_circuit(n: usize) -> Circuit {
+    qft_circuit(n).inverse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtda_linalg::{CMat, C64};
+    use std::f64::consts::TAU;
+
+    /// The reference DFT matrix `F[k][j] = e^{2πi jk/N}/√N`.
+    fn dft_matrix(n_qubits: usize) -> CMat {
+        let dim = 1usize << n_qubits;
+        let scale = 1.0 / (dim as f64).sqrt();
+        CMat::from_fn(dim, dim, |k, j| {
+            C64::cis(TAU * (j as f64) * (k as f64) / dim as f64).scale(scale)
+        })
+    }
+
+    #[test]
+    fn qft_matches_dft_matrix_up_to_three_qubits() {
+        for n in 1..=3 {
+            let u = qft_circuit(n).unitary_matrix();
+            let f = dft_matrix(n);
+            assert!(u.max_abs_diff(&f) < 1e-10, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn qft_is_unitary() {
+        for n in 1..=4 {
+            assert!(qft_circuit(n).unitary_matrix().is_unitary(1e-10), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn inverse_qft_inverts() {
+        let n = 3;
+        let mut c = qft_circuit(n);
+        c.append(&inverse_qft_circuit(n));
+        let u = c.unitary_matrix();
+        assert!(u.max_abs_diff(&CMat::identity(1 << n)) < 1e-10);
+    }
+
+    #[test]
+    fn qft_of_zero_state_is_uniform() {
+        let s = qft_circuit(3).simulate();
+        for i in 0..8 {
+            assert!((s.probability(i) - 0.125).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inverse_qft_localises_fourier_state() {
+        // Prepare 2^{-n/2} Σ_k e^{2πiθk}|k⟩ with θ = m/2^n; QFT† → |m⟩.
+        let n = 4;
+        let dim = 1usize << n;
+        let m = 11usize;
+        let theta = m as f64 / dim as f64;
+        let amps: Vec<C64> = (0..dim)
+            .map(|k| C64::cis(TAU * theta * k as f64).scale(1.0 / (dim as f64).sqrt()))
+            .collect();
+        let mut s = crate::state::StateVector::from_amplitudes(amps);
+        inverse_qft_circuit(n).run(&mut s);
+        assert!((s.probability(m) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn qft_gate_count_is_quadratic() {
+        let n = 5;
+        let c = qft_circuit(n);
+        // n Hadamards + n(n−1)/2 controlled phases + 3·⌊n/2⌋ swap CNOTs.
+        assert_eq!(c.gate_count(), n + n * (n - 1) / 2 + 3 * (n / 2));
+    }
+}

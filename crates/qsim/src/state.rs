@@ -1,0 +1,451 @@
+//! The statevector and its gate-application kernels.
+//!
+//! Basis convention: qubit `i` is bit `i` (LSB-first) of the basis index.
+//! Kernels switch to rayon data-parallel loops once the state is large
+//! enough that thread fan-out pays for itself.
+
+use crate::gates::Gate1;
+use qtda_linalg::{CMat, C64};
+use rayon::prelude::*;
+
+/// State size (amplitudes) above which kernels parallelise.
+const PAR_THRESHOLD: usize = 1 << 12;
+
+/// A pure state of `n` qubits: `2^n` complex amplitudes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StateVector {
+    n_qubits: usize,
+    amps: Vec<C64>,
+}
+
+impl StateVector {
+    /// `|0…0⟩` on `n` qubits.
+    pub fn zero(n_qubits: usize) -> Self {
+        assert!(n_qubits <= 30, "refusing to allocate > 2^30 amplitudes");
+        let mut amps = vec![C64::ZERO; 1 << n_qubits];
+        amps[0] = C64::ONE;
+        StateVector { n_qubits, amps }
+    }
+
+    /// The computational basis state `|index⟩`.
+    pub fn basis(n_qubits: usize, index: usize) -> Self {
+        assert!(index < (1 << n_qubits), "basis index out of range");
+        let mut s = StateVector::zero(n_qubits);
+        s.amps[0] = C64::ZERO;
+        s.amps[index] = C64::ONE;
+        s
+    }
+
+    /// Builds from raw amplitudes (length must be a power of two);
+    /// normalises.
+    pub fn from_amplitudes(amps: Vec<C64>) -> Self {
+        let len = amps.len();
+        assert!(len.is_power_of_two() && len > 0, "length must be 2^n");
+        let n_qubits = len.trailing_zeros() as usize;
+        let mut s = StateVector { n_qubits, amps };
+        let norm = s.norm();
+        assert!(norm > 1e-12, "cannot normalise the zero vector");
+        for a in &mut s.amps {
+            *a = a.scale(1.0 / norm);
+        }
+        s
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Amplitude slice.
+    #[inline]
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// Amplitude of `|index⟩`.
+    #[inline]
+    pub fn amp(&self, index: usize) -> C64 {
+        self.amps[index]
+    }
+
+    /// L2 norm (1 for a valid state).
+    pub fn norm(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    pub fn inner(&self, other: &StateVector) -> C64 {
+        assert_eq!(self.n_qubits, other.n_qubits);
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .map(|(&a, &b)| a.conj() * b)
+            .sum()
+    }
+
+    /// Probability of measuring basis state `index`.
+    #[inline]
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amps[index].norm_sqr()
+    }
+
+    /// Multiplies every amplitude by `e^{iφ}`.
+    pub fn apply_global_phase(&mut self, phi: f64) {
+        let ph = C64::cis(phi);
+        if self.amps.len() >= PAR_THRESHOLD {
+            self.amps.par_iter_mut().for_each(|a| *a *= ph);
+        } else {
+            self.amps.iter_mut().for_each(|a| *a *= ph);
+        }
+    }
+
+    /// Applies a single-qubit gate to `target`.
+    pub fn apply_single(&mut self, target: usize, gate: &Gate1) {
+        assert!(target < self.n_qubits, "target out of range");
+        let [m00, m01, m10, m11] = gate.m;
+        let stride = 1usize << target;
+        let block = stride << 1;
+        let kernel = |chunk: &mut [C64]| {
+            for off in 0..stride {
+                let a = chunk[off];
+                let b = chunk[off + stride];
+                chunk[off] = m00 * a + m01 * b;
+                chunk[off + stride] = m10 * a + m11 * b;
+            }
+        };
+        if self.amps.len() >= PAR_THRESHOLD && block <= self.amps.len() / 2 {
+            self.amps.par_chunks_mut(block).for_each(kernel);
+        } else {
+            self.amps.chunks_mut(block).for_each(kernel);
+        }
+    }
+
+    /// Applies a single-qubit gate to `target`, conditioned on every qubit
+    /// in `controls` being `|1⟩`.
+    pub fn apply_controlled_single(&mut self, controls: &[usize], target: usize, gate: &Gate1) {
+        assert!(target < self.n_qubits, "target out of range");
+        assert!(controls.iter().all(|&c| c < self.n_qubits), "control out of range");
+        assert!(!controls.contains(&target), "control equals target");
+        let [m00, m01, m10, m11] = gate.m;
+        let stride = 1usize << target;
+        let block = stride << 1;
+        let control_mask: usize = controls.iter().map(|&c| 1usize << c).sum();
+        let kernel = |(chunk_idx, chunk): (usize, &mut [C64])| {
+            let base = chunk_idx * block;
+            for off in 0..stride {
+                let idx0 = base + off;
+                // Gate applies only where all control bits are set; the
+                // control bits of idx0 and idx0+stride agree (they differ
+                // only at `target`).
+                if idx0 & control_mask != control_mask {
+                    continue;
+                }
+                let a = chunk[off];
+                let b = chunk[off + stride];
+                chunk[off] = m00 * a + m01 * b;
+                chunk[off + stride] = m10 * a + m11 * b;
+            }
+        };
+        if self.amps.len() >= PAR_THRESHOLD && block <= self.amps.len() / 2 {
+            self.amps.par_chunks_mut(block).enumerate().for_each(kernel);
+        } else {
+            self.amps.chunks_mut(block).enumerate().for_each(kernel);
+        }
+    }
+
+    /// Applies a dense unitary on an arbitrary ordered register.
+    /// `qubits[0]` is the least-significant bit of the register index.
+    pub fn apply_unitary(&mut self, qubits: &[usize], u: &CMat) {
+        self.apply_controlled_unitary(&[], qubits, u);
+    }
+
+    /// Applies a dense unitary on `qubits`, conditioned on `controls`.
+    pub fn apply_controlled_unitary(&mut self, controls: &[usize], qubits: &[usize], u: &CMat) {
+        let k = qubits.len();
+        assert_eq!(u.rows(), 1 << k, "unitary size does not match register");
+        assert_eq!(u.cols(), 1 << k);
+        for &q in qubits.iter().chain(controls) {
+            assert!(q < self.n_qubits, "qubit out of range");
+        }
+        {
+            let mut seen: Vec<usize> = qubits.iter().chain(controls).copied().collect();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), qubits.len() + controls.len(), "qubits must be distinct");
+        }
+        let control_mask: usize = controls.iter().map(|&c| 1usize << c).sum();
+        let n = self.n_qubits;
+        let dim = 1usize << k;
+
+        // Enumerate assignments of the non-register qubits.
+        let other: Vec<usize> = (0..n).filter(|q| !qubits.contains(q)).collect();
+        let rest_count = 1usize << other.len();
+
+        let gather_scatter = |rest: usize, amps: &mut Vec<C64>| {
+            // Spread `rest` bits over the `other` positions.
+            let mut base = 0usize;
+            for (bit, &q) in other.iter().enumerate() {
+                if (rest >> bit) & 1 == 1 {
+                    base |= 1 << q;
+                }
+            }
+            if base & control_mask != control_mask {
+                return;
+            }
+            // Gather register amplitudes.
+            let mut local = vec![C64::ZERO; dim];
+            for (r, l) in local.iter_mut().enumerate() {
+                let mut idx = base;
+                for (bit, &q) in qubits.iter().enumerate() {
+                    if (r >> bit) & 1 == 1 {
+                        idx |= 1 << q;
+                    }
+                }
+                *l = amps[idx];
+            }
+            // Apply u and scatter.
+            for r_out in 0..dim {
+                let mut acc = C64::ZERO;
+                for (r_in, &l) in local.iter().enumerate() {
+                    acc += u[(r_out, r_in)] * l;
+                }
+                let mut idx = base;
+                for (bit, &q) in qubits.iter().enumerate() {
+                    if (r_out >> bit) & 1 == 1 {
+                        idx |= 1 << q;
+                    }
+                }
+                amps[idx] = acc;
+            }
+        };
+
+        // The gather/scatter touches scattered indices, so parallelising
+        // safely would need unsafe aliasing tricks; rest-loop is serial but
+        // each iteration is O(4^k) dense work, which dominates anyway.
+        for rest in 0..rest_count {
+            gather_scatter(rest, &mut self.amps);
+        }
+    }
+
+    /// Marginal distribution of the register formed by `qubits`
+    /// (`qubits[0]` = LSB of the outcome), tracing out everything else.
+    pub fn register_probabilities(&self, qubits: &[usize]) -> Vec<f64> {
+        for &q in qubits {
+            assert!(q < self.n_qubits, "qubit out of range");
+        }
+        let k = qubits.len();
+        let mut probs = vec![0.0f64; 1 << k];
+        for (idx, a) in self.amps.iter().enumerate() {
+            let p = a.norm_sqr();
+            if p == 0.0 {
+                continue;
+            }
+            let mut r = 0usize;
+            for (bit, &q) in qubits.iter().enumerate() {
+                if (idx >> q) & 1 == 1 {
+                    r |= 1 << bit;
+                }
+            }
+            probs[r] += p;
+        }
+        probs
+    }
+
+    /// Probability that the register reads exactly zero — the paper's
+    /// `p(0)` (Eq. 10).
+    pub fn probability_register_zero(&self, qubits: &[usize]) -> f64 {
+        let mask: usize = qubits.iter().map(|&q| 1usize << q).sum();
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(idx, _)| idx & mask == 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn zero_state_is_normalised() {
+        let s = StateVector::zero(3);
+        assert!((s.norm() - 1.0).abs() < TOL);
+        assert!(s.amp(0).approx_eq(C64::ONE, TOL));
+    }
+
+    #[test]
+    fn x_flips_target_bit() {
+        let mut s = StateVector::zero(3);
+        s.apply_single(1, &gates::x());
+        assert!(s.amp(0b010).approx_eq(C64::ONE, TOL));
+    }
+
+    #[test]
+    fn h_creates_uniform_superposition() {
+        let mut s = StateVector::zero(2);
+        s.apply_single(0, &gates::h());
+        s.apply_single(1, &gates::h());
+        for i in 0..4 {
+            assert!((s.probability(i) - 0.25).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn cnot_entangles_into_bell_state() {
+        let mut s = StateVector::zero(2);
+        s.apply_single(0, &gates::h());
+        s.apply_controlled_single(&[0], 1, &gates::x());
+        assert!((s.probability(0b00) - 0.5).abs() < TOL);
+        assert!((s.probability(0b11) - 0.5).abs() < TOL);
+        assert!(s.probability(0b01) < TOL);
+        assert!(s.probability(0b10) < TOL);
+    }
+
+    #[test]
+    fn controlled_gate_ignores_unset_control() {
+        let mut s = StateVector::zero(2);
+        s.apply_controlled_single(&[0], 1, &gates::x());
+        assert!(s.amp(0).approx_eq(C64::ONE, TOL), "control |0⟩ → no-op");
+    }
+
+    #[test]
+    fn multi_controlled_toffoli_behaviour() {
+        // |110⟩ −CCX→ |111⟩ (controls 1,2, target 0).
+        let mut s = StateVector::basis(3, 0b110);
+        s.apply_controlled_single(&[1, 2], 0, &gates::x());
+        assert!(s.amp(0b111).approx_eq(C64::ONE, TOL));
+        // |100⟩ unchanged.
+        let mut s2 = StateVector::basis(3, 0b100);
+        s2.apply_controlled_single(&[1, 2], 0, &gates::x());
+        assert!(s2.amp(0b100).approx_eq(C64::ONE, TOL));
+    }
+
+    #[test]
+    fn gates_preserve_norm() {
+        let mut s = StateVector::zero(4);
+        for (i, g) in [gates::h(), gates::rx(0.7), gates::ry(1.1), gates::rz(2.3)]
+            .iter()
+            .enumerate()
+        {
+            s.apply_single(i, g);
+        }
+        s.apply_controlled_single(&[0], 3, &gates::y());
+        assert!((s.norm() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn apply_unitary_matches_single_gate_path() {
+        let g = gates::ry(0.9);
+        let u = CMat::from_rows(&[vec![g.m[0], g.m[1]], vec![g.m[2], g.m[3]]]);
+        let mut s1 = StateVector::zero(3);
+        s1.apply_single(0, &gates::h());
+        s1.apply_single(2, &gates::h());
+        let mut s2 = s1.clone();
+        s1.apply_single(1, &g);
+        s2.apply_unitary(&[1], &u);
+        for i in 0..8 {
+            assert!(s1.amp(i).approx_eq(s2.amp(i), 1e-12));
+        }
+    }
+
+    #[test]
+    fn apply_unitary_on_two_qubit_register() {
+        // SWAP as a dense unitary on qubits [0, 2].
+        let mut swap = CMat::zeros(4, 4);
+        swap[(0, 0)] = C64::ONE;
+        swap[(1, 2)] = C64::ONE;
+        swap[(2, 1)] = C64::ONE;
+        swap[(3, 3)] = C64::ONE;
+        let mut s = StateVector::basis(3, 0b001); // qubit0 = 1
+        s.apply_unitary(&[0, 2], &swap);
+        assert!(s.amp(0b100).approx_eq(C64::ONE, TOL), "qubit0 ↔ qubit2");
+    }
+
+    #[test]
+    fn controlled_unitary_respects_control() {
+        let g = gates::x();
+        let u = CMat::from_rows(&[vec![g.m[0], g.m[1]], vec![g.m[2], g.m[3]]]);
+        let mut s = StateVector::basis(3, 0b010); // control (qubit 1) set
+        s.apply_controlled_unitary(&[1], &[0], &u);
+        assert!(s.amp(0b011).approx_eq(C64::ONE, TOL));
+        let mut s2 = StateVector::basis(3, 0b000); // control unset
+        s2.apply_controlled_unitary(&[1], &[0], &u);
+        assert!(s2.amp(0b000).approx_eq(C64::ONE, TOL));
+    }
+
+    #[test]
+    fn register_probabilities_marginalise() {
+        // Bell pair on (0,1), qubit 2 in |+⟩: marginal of [0] is 50/50.
+        let mut s = StateVector::zero(3);
+        s.apply_single(0, &gates::h());
+        s.apply_controlled_single(&[0], 1, &gates::x());
+        s.apply_single(2, &gates::h());
+        let marg = s.register_probabilities(&[0]);
+        assert!((marg[0] - 0.5).abs() < TOL);
+        assert!((marg[1] - 0.5).abs() < TOL);
+        let joint = s.register_probabilities(&[0, 1]);
+        assert!((joint[0b00] - 0.5).abs() < TOL);
+        assert!((joint[0b11] - 0.5).abs() < TOL);
+    }
+
+    #[test]
+    fn probability_register_zero_matches_marginal() {
+        let mut s = StateVector::zero(4);
+        for q in 0..4 {
+            s.apply_single(q, &gates::h());
+        }
+        let p0 = s.probability_register_zero(&[1, 3]);
+        let marg = s.register_probabilities(&[1, 3]);
+        assert!((p0 - marg[0]).abs() < TOL);
+        assert!((p0 - 0.25).abs() < TOL);
+    }
+
+    #[test]
+    fn global_phase_does_not_change_probabilities() {
+        let mut s = StateVector::zero(2);
+        s.apply_single(0, &gates::h());
+        let before = s.register_probabilities(&[0, 1]);
+        s.apply_global_phase(1.234);
+        let after = s.register_probabilities(&[0, 1]);
+        for (b, a) in before.iter().zip(&after) {
+            assert!((b - a).abs() < TOL);
+        }
+        assert!((s.norm() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn large_state_parallel_path_consistent() {
+        // 13 qubits crosses PAR_THRESHOLD; H on every qubit gives uniform.
+        let n = 13;
+        let mut s = StateVector::zero(n);
+        for q in 0..n {
+            s.apply_single(q, &gates::h());
+        }
+        let expect = 1.0 / (1 << n) as f64;
+        assert!((s.probability(0) - expect).abs() < 1e-12);
+        assert!((s.probability((1 << n) - 1) - expect).abs() < 1e-12);
+        assert!((s.norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inner_product_orthonormal_basis() {
+        let a = StateVector::basis(2, 1);
+        let b = StateVector::basis(2, 2);
+        assert!(a.inner(&a).approx_eq(C64::ONE, TOL));
+        assert!(a.inner(&b).approx_eq(C64::ZERO, TOL));
+    }
+
+    #[test]
+    #[should_panic(expected = "qubits must be distinct")]
+    fn overlapping_control_and_target_rejected() {
+        let mut s = StateVector::zero(2);
+        let u = CMat::identity(2);
+        s.apply_controlled_unitary(&[0], &[0], &u);
+    }
+}

@@ -1,0 +1,193 @@
+//! Property-based tests for the quantum simulator.
+
+use proptest::prelude::*;
+use qtda_linalg::{CMat, Mat, C64};
+use qtda_qsim::circuit::Circuit;
+use qtda_qsim::decompose::PauliDecomposition;
+use qtda_qsim::evolution::{exact_unitary, pauli_rotation_circuit, trotter_circuit, TrotterOrder};
+use qtda_qsim::pauli::{PauliOp, PauliString};
+use qtda_qsim::qft::qft_circuit;
+use qtda_qsim::qpe::qpe_outcome_probability;
+
+/// Strategy: a random circuit on `n ≤ 4` qubits from the standard gate set.
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    (2usize..=4).prop_flat_map(|n| {
+        let op = (0usize..7, 0..n, 0..n, -3.0f64..3.0);
+        proptest::collection::vec(op, 1..12).prop_map(move |ops| {
+            let mut c = Circuit::new(n);
+            for (kind, a, b, phi) in ops {
+                let b = if a == b { (b + 1) % n } else { b };
+                match kind {
+                    0 => {
+                        c.h(a);
+                    }
+                    1 => {
+                        c.rx(a, phi);
+                    }
+                    2 => {
+                        c.ry(a, phi);
+                    }
+                    3 => {
+                        c.rz(a, phi);
+                    }
+                    4 => {
+                        c.cnot(a, b);
+                    }
+                    5 => {
+                        c.cphase(a, b, phi);
+                    }
+                    _ => {
+                        c.global_phase(phi);
+                    }
+                }
+            }
+            c
+        })
+    })
+}
+
+/// Strategy: a Pauli string on 1..=3 qubits.
+fn arb_pauli() -> impl Strategy<Value = PauliString> {
+    proptest::collection::vec(0u8..4, 1..=3).prop_map(|v| {
+        PauliString::new(
+            v.into_iter()
+                .map(|x| match x {
+                    0 => PauliOp::I,
+                    1 => PauliOp::X,
+                    2 => PauliOp::Y,
+                    _ => PauliOp::Z,
+                })
+                .collect(),
+        )
+    })
+}
+
+/// Strategy: a small random symmetric matrix of power-of-two size.
+fn arb_hamiltonian() -> impl Strategy<Value = Mat> {
+    (1usize..=2).prop_flat_map(|q| {
+        let dim = 1usize << q;
+        proptest::collection::vec(-1.5f64..1.5, dim * dim).prop_map(move |vals| {
+            let raw = Mat::from_fn(dim, dim, |i, j| vals[i * dim + j]);
+            raw.add(&raw.transpose()).scale(0.5)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn circuits_preserve_norm(c in arb_circuit()) {
+        let s = c.simulate();
+        prop_assert!((s.norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn circuit_inverse_is_identity(c in arb_circuit()) {
+        let mut round = c.clone();
+        round.append(&c.inverse());
+        let u = round.unitary_matrix();
+        prop_assert!(u.max_abs_diff(&CMat::identity(1 << c.n_qubits())) < 1e-8);
+    }
+
+    #[test]
+    fn circuit_unitary_is_unitary(c in arb_circuit()) {
+        prop_assert!(c.unitary_matrix().is_unitary(1e-8));
+    }
+
+    #[test]
+    fn controlled_circuit_block_structure(c in arb_circuit()) {
+        // The controlled circuit must be identity on the control-0 block
+        // and the original unitary on the control-1 block.
+        let n = c.n_qubits();
+        let control = n;
+        let cc = c.controlled(&[control]);
+        let u = c.unitary_matrix();
+        let ucc = cc.unitary_matrix();
+        let dim = 1usize << n;
+        for i in 0..dim {
+            for j in 0..dim {
+                let id = if i == j { C64::ONE } else { C64::ZERO };
+                prop_assert!(ucc[(i, j)].approx_eq(id, 1e-8), "control-0 block");
+                prop_assert!(ucc[(dim + i, dim + j)].approx_eq(u[(i, j)], 1e-8), "control-1 block");
+                prop_assert!(ucc[(i, dim + j)].approx_eq(C64::ZERO, 1e-8));
+                prop_assert!(ucc[(dim + i, j)].approx_eq(C64::ZERO, 1e-8));
+            }
+        }
+    }
+
+    #[test]
+    fn register_probabilities_sum_to_one(c in arb_circuit()) {
+        let s = c.simulate();
+        let n = c.n_qubits();
+        let probs = s.register_probabilities(&(0..n).collect::<Vec<_>>());
+        let total: f64 = probs.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pauli_decomposition_roundtrip(h in arb_hamiltonian()) {
+        let d = PauliDecomposition::of_symmetric(&h);
+        prop_assert!(d.reconstruct().max_abs_diff(&CMat::from_real(&h)) < 1e-9);
+    }
+
+    #[test]
+    fn pauli_rotation_matches_dense_exponential(p in arb_pauli(), gamma in -2.0f64..2.0) {
+        let c = pauli_rotation_circuit(p.n_qubits(), &p, gamma);
+        let dense = qtda_linalg::expm::expm_taylor(&p.to_matrix().scale(C64::new(0.0, gamma)));
+        prop_assert!(c.unitary_matrix().max_abs_diff(&dense) < 1e-8);
+    }
+
+    #[test]
+    fn trotter_converges_monotonically_enough(h in arb_hamiltonian()) {
+        let d = PauliDecomposition::of_symmetric(&h);
+        let exact = exact_unitary(&h, 1.0);
+        let e4 = trotter_circuit(&d, 1.0, 4, TrotterOrder::First)
+            .unitary_matrix()
+            .max_abs_diff(&exact);
+        let e32 = trotter_circuit(&d, 1.0, 32, TrotterOrder::First)
+            .unitary_matrix()
+            .max_abs_diff(&exact);
+        prop_assert!(e32 <= e4 + 1e-9, "e4 = {e4}, e32 = {e32}");
+        prop_assert!(e32 < 0.2, "32 steps should be close: {e32}");
+    }
+
+    #[test]
+    fn qft_diagonalises_shift_phases(n in 1usize..=3, j in 0usize..8) {
+        // QFT|j⟩ has uniform magnitudes.
+        let dim = 1usize << n;
+        let j = j % dim;
+        let c = qft_circuit(n);
+        let mut s = qtda_qsim::state::StateVector::basis(n, j);
+        c.run(&mut s);
+        for k in 0..dim {
+            prop_assert!((s.probability(k) - 1.0 / dim as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn qpe_kernel_normalised_and_peaked(theta in 0.0f64..1.0, p in 1usize..=8) {
+        let total: f64 = (0..(1u64 << p)).map(|m| qpe_outcome_probability(theta, p, m)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-8);
+        // The nearest grid point gets at least 4/π² ≈ 0.405.
+        let nearest = ((theta * (1u64 << p) as f64).round() as u64) % (1u64 << p);
+        let peak = qpe_outcome_probability(theta, p, nearest);
+        prop_assert!(peak >= 0.4, "θ = {theta}, p = {p}: peak {peak}");
+    }
+
+    #[test]
+    fn pauli_strings_square_to_identity(p in arb_pauli()) {
+        let m = p.to_matrix();
+        let sq = m.matmul(&m);
+        prop_assert!(sq.max_abs_diff(&CMat::identity(m.rows())) < 1e-10);
+    }
+
+    #[test]
+    fn pauli_commutation_matches_dense(p in arb_pauli(), q in arb_pauli()) {
+        prop_assume!(p.n_qubits() == q.n_qubits());
+        let pq = p.to_matrix().matmul(&q.to_matrix());
+        let qp = q.to_matrix().matmul(&p.to_matrix());
+        let dense_commute = pq.max_abs_diff(&qp) < 1e-10;
+        prop_assert_eq!(p.commutes_with(&q), dense_commute);
+    }
+}

@@ -1,0 +1,183 @@
+//! Classical Betti numbers.
+//!
+//! Two independent routes, cross-checked in tests:
+//!
+//! 1. **Rank–nullity** on the boundary operators:
+//!    `β_k = |S_k| − rank ∂_k − rank ∂_{k+1}`, with exact integer ranks.
+//! 2. **Laplacian kernel** (paper Eq. 6): the number of zero eigenvalues
+//!    of Δ_k.
+
+use crate::boundary::boundary_matrix;
+use crate::complex::SimplicialComplex;
+use crate::laplacian::combinatorial_laplacian;
+use qtda_linalg::eigen::SymEigen;
+use qtda_linalg::rank::rank_integral;
+
+/// Eigenvalue magnitude below which a Laplacian eigenvalue counts as zero.
+pub const KERNEL_TOL: f64 = 1e-8;
+
+/// β_k via rank–nullity (exact integer ranks; the reference method).
+pub fn betti_via_rank(c: &SimplicialComplex, k: usize) -> usize {
+    let n_k = c.count(k);
+    if n_k == 0 {
+        return 0;
+    }
+    let rank_k = if k == 0 { 0 } else { rank_integral(&boundary_matrix(c, k)) };
+    let rank_k1 = rank_integral(&boundary_matrix(c, k + 1));
+    n_k - rank_k - rank_k1
+}
+
+/// β_k via the kernel dimension of Δ_k (paper Eq. 6).
+pub fn betti_via_laplacian(c: &SimplicialComplex, k: usize) -> usize {
+    let l = combinatorial_laplacian(c, k);
+    if l.rows() == 0 {
+        return 0;
+    }
+    SymEigen::kernel_dim(&l, KERNEL_TOL)
+}
+
+/// All Betti numbers β_0 … β_{max_dim} via rank–nullity.
+pub fn betti_numbers(c: &SimplicialComplex) -> Vec<usize> {
+    match c.max_dim() {
+        None => Vec::new(),
+        Some(d) => (0..=d).map(|k| betti_via_rank(c, k)).collect(),
+    }
+}
+
+/// Euler characteristic from Betti numbers; must equal the simplex-count
+/// alternating sum (Euler–Poincaré), which tests assert.
+pub fn euler_from_betti(betti: &[usize]) -> i64 {
+    betti
+        .iter()
+        .enumerate()
+        .map(|(k, &b)| if k % 2 == 0 { b as i64 } else { -(b as i64) })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::worked_example_complex;
+    use crate::point_cloud::synthetic;
+    use crate::rips::{rips_complex, RipsParams};
+    use crate::simplex::Simplex;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn worked_example_betti_numbers() {
+        // Appendix A: β₁ = 1 (the hollow square 3-4-5 loop), one component.
+        let c = worked_example_complex();
+        assert_eq!(betti_via_rank(&c, 0), 1);
+        assert_eq!(betti_via_rank(&c, 1), 1);
+        assert_eq!(betti_via_rank(&c, 2), 0);
+    }
+
+    #[test]
+    fn rank_and_laplacian_routes_agree_on_worked_example() {
+        let c = worked_example_complex();
+        for k in 0..=2 {
+            assert_eq!(betti_via_rank(&c, k), betti_via_laplacian(&c, k), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn disconnected_vertices() {
+        let c = SimplicialComplex::from_simplices([
+            Simplex::vertex(0),
+            Simplex::vertex(1),
+            Simplex::vertex(2),
+        ]);
+        assert_eq!(betti_via_rank(&c, 0), 3);
+    }
+
+    #[test]
+    fn hollow_triangle_has_one_loop() {
+        let c = SimplicialComplex::from_simplices([
+            Simplex::edge(0, 1),
+            Simplex::edge(0, 2),
+            Simplex::edge(1, 2),
+        ]);
+        assert_eq!(betti_numbers(&c), vec![1, 1]);
+    }
+
+    #[test]
+    fn filled_triangle_kills_the_loop() {
+        let c = SimplicialComplex::from_simplices([Simplex::new(vec![0, 1, 2])]);
+        assert_eq!(betti_numbers(&c), vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn hollow_tetrahedron_is_a_2_sphere() {
+        // All four triangles of [0,1,2,3] but not the solid: β = (1,0,1).
+        let c = SimplicialComplex::from_simplices([
+            Simplex::new(vec![0, 1, 2]),
+            Simplex::new(vec![0, 1, 3]),
+            Simplex::new(vec![0, 2, 3]),
+            Simplex::new(vec![1, 2, 3]),
+        ]);
+        assert_eq!(betti_numbers(&c), vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn solid_tetrahedron_is_contractible() {
+        let c = SimplicialComplex::from_simplices([Simplex::new(vec![0, 1, 2, 3])]);
+        assert_eq!(betti_numbers(&c), vec![1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn two_disjoint_loops() {
+        let c = SimplicialComplex::from_simplices([
+            Simplex::edge(0, 1),
+            Simplex::edge(1, 2),
+            Simplex::edge(0, 2),
+            Simplex::edge(3, 4),
+            Simplex::edge(4, 5),
+            Simplex::edge(3, 5),
+        ]);
+        assert_eq!(betti_numbers(&c), vec![2, 2]);
+    }
+
+    #[test]
+    fn euler_poincare_on_worked_example() {
+        let c = worked_example_complex();
+        assert_eq!(euler_from_betti(&betti_numbers(&c)), c.euler_characteristic());
+    }
+
+    #[test]
+    fn circle_cloud_has_beta1_one() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let pc = synthetic::circle(14, 1.0, 0.02, &mut rng);
+        let c = rips_complex(&pc, &RipsParams::new(0.55, 2));
+        let b = betti_numbers(&c);
+        assert_eq!(b[0], 1, "one connected component");
+        assert_eq!(b[1], 1, "one loop");
+    }
+
+    #[test]
+    fn figure_eight_has_beta1_two() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let pc = synthetic::figure_eight(16, 1.0, 0.0, &mut rng);
+        let c = rips_complex(&pc, &RipsParams::new(0.45, 2));
+        let b = betti_numbers(&c);
+        assert_eq!(b[0], 1);
+        assert_eq!(b[1], 2);
+    }
+
+    #[test]
+    fn routes_agree_on_random_rips_complexes() {
+        let mut rng = StdRng::seed_from_u64(44);
+        for trial in 0..5 {
+            let pc = synthetic::uniform_cube(10, 2, &mut rng);
+            let c = rips_complex(&pc, &RipsParams::new(0.35, 3));
+            let d = c.max_dim().unwrap_or(0);
+            for k in 0..=d {
+                assert_eq!(
+                    betti_via_rank(&c, k),
+                    betti_via_laplacian(&c, k),
+                    "trial {trial}, k = {k}"
+                );
+            }
+        }
+    }
+}

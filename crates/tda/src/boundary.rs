@@ -1,0 +1,152 @@
+//! Restricted boundary operators ∂_k as dense matrices (paper Eqs. 1–2).
+//!
+//! `boundary_matrix(c, k)` has one row per (k−1)-simplex and one column
+//! per k-simplex, both in the complex's lexicographic order; entry
+//! `(i, j)` is the sign `(−1)^t` with which row-simplex `i` appears in the
+//! boundary of column-simplex `j`.
+
+use crate::complex::SimplicialComplex;
+use qtda_linalg::Mat;
+
+/// Dense ∂_k. For `k = 0` (or an out-of-range `k`) the matrix is
+/// `0 × |S_0|` (respectively `|S_{k−1}| × 0`): the zero map, which keeps
+/// the rank-nullity bookkeeping uniform.
+pub fn boundary_matrix(c: &SimplicialComplex, k: usize) -> Mat {
+    let cols = c.count(k);
+    if k == 0 {
+        return Mat::zeros(0, cols);
+    }
+    let rows = c.count(k - 1);
+    let mut m = Mat::zeros(rows, cols);
+    let row_index = c.index_map(k - 1);
+    for (j, s) in c.simplices(k).iter().enumerate() {
+        for (face, sign) in s.boundary() {
+            let i = *row_index
+                .get(&face)
+                .expect("complex is not downward closed");
+            m[(i, j)] = sign as f64;
+        }
+    }
+    m
+}
+
+/// Sparse ∂_k in column form: for each k-simplex, the list of
+/// `(row_index, sign)` of its faces. Used by the persistence reduction.
+pub fn boundary_columns(c: &SimplicialComplex, k: usize) -> Vec<Vec<(usize, i64)>> {
+    if k == 0 {
+        return vec![Vec::new(); c.count(0)];
+    }
+    let row_index = c.index_map(k - 1);
+    c.simplices(k)
+        .iter()
+        .map(|s| {
+            let mut col: Vec<(usize, i64)> = s
+                .boundary()
+                .into_iter()
+                .map(|(face, sign)| (row_index[&face], sign))
+                .collect();
+            col.sort_unstable_by_key(|&(i, _)| i);
+            col
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::worked_example_complex;
+    use crate::simplex::Simplex;
+
+    /// ∂₁ of the worked example. The paper's Eq. 14 prints the matrix in
+    /// the opposite global sign (its Eq. 1 convention applied to edges),
+    /// which leaves every Laplacian, rank and Betti number unchanged; we
+    /// pin *our* convention here and pin the Laplacian against the paper's
+    /// Eq. 17 in `laplacian::tests`.
+    #[test]
+    fn worked_example_boundary_1_shape_and_columns() {
+        let c = worked_example_complex();
+        let d1 = boundary_matrix(&c, 1);
+        assert_eq!((d1.rows(), d1.cols()), (5, 6));
+        // Column of edge [1,2]: +1 at vertex 2's row, −1 at vertex 1's row.
+        assert_eq!(d1[(1, 0)], 1.0);
+        assert_eq!(d1[(0, 0)], -1.0);
+        // Column of edge [4,5] (last): +1 at vertex 5, −1 at vertex 4.
+        assert_eq!(d1[(4, 5)], 1.0);
+        assert_eq!(d1[(3, 5)], -1.0);
+        // Exactly two nonzeros per column.
+        for j in 0..6 {
+            let nz = (0..5).filter(|&i| d1[(i, j)] != 0.0).count();
+            assert_eq!(nz, 2);
+        }
+    }
+
+    #[test]
+    fn worked_example_boundary_2_matches_eq15_up_to_sign() {
+        let c = worked_example_complex();
+        let d2 = boundary_matrix(&c, 2);
+        assert_eq!((d2.rows(), d2.cols()), (6, 1));
+        // ∂[1,2,3] = [2,3] − [1,3] + [1,2]  (standard signs; the paper's
+        // Eq. 15 lists (1,−1,1,0,0,0) in the order [1,2],[1,3],[2,3],…).
+        assert_eq!(d2[(0, 0)], 1.0);
+        assert_eq!(d2[(1, 0)], -1.0);
+        assert_eq!(d2[(2, 0)], 1.0);
+        assert_eq!(d2[(3, 0)], 0.0);
+    }
+
+    #[test]
+    fn composition_of_boundaries_is_zero() {
+        let c = SimplicialComplex::from_simplices([
+            Simplex::new(vec![0, 1, 2, 3]),
+            Simplex::new(vec![2, 3, 4]),
+        ]);
+        for k in 1..=3usize {
+            let dk = boundary_matrix(&c, k);
+            let dk1 = boundary_matrix(&c, k + 1);
+            if dk1.cols() == 0 {
+                continue;
+            }
+            let prod = dk.matmul(&dk1);
+            assert!(
+                prod.frobenius_norm() < 1e-12,
+                "∂_{k} ∘ ∂_{} ≠ 0",
+                k + 1
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_0_is_zero_map() {
+        let c = worked_example_complex();
+        let d0 = boundary_matrix(&c, 0);
+        assert_eq!((d0.rows(), d0.cols()), (0, 5));
+    }
+
+    #[test]
+    fn out_of_range_dimension_gives_empty_columns() {
+        let c = worked_example_complex();
+        let d5 = boundary_matrix(&c, 5);
+        assert_eq!(d5.cols(), 0);
+    }
+
+    #[test]
+    fn sparse_and_dense_agree() {
+        let c = SimplicialComplex::from_simplices([
+            Simplex::new(vec![0, 1, 2]),
+            Simplex::new(vec![1, 2, 3]),
+        ]);
+        for k in 1..=2usize {
+            let dense = boundary_matrix(&c, k);
+            let cols = boundary_columns(&c, k);
+            assert_eq!(cols.len(), dense.cols());
+            for (j, col) in cols.iter().enumerate() {
+                let mut reconstructed = vec![0.0; dense.rows()];
+                for &(i, sgn) in col {
+                    reconstructed[i] = sgn as f64;
+                }
+                for (i, &v) in reconstructed.iter().enumerate() {
+                    assert_eq!(v, dense[(i, j)]);
+                }
+            }
+        }
+    }
+}

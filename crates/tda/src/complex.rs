@@ -1,0 +1,236 @@
+//! Downward-closed simplicial complexes with deterministic ordering.
+//!
+//! Simplices are stored per dimension in lexicographic order, matching the
+//! column/row ordering of the paper's worked example (Eqs. 13–15).
+
+use crate::simplex::Simplex;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// A finite simplicial complex `K` (paper §2).
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct SimplicialComplex {
+    /// `by_dim[k]` = lexicographically sorted k-simplices.
+    by_dim: Vec<Vec<Simplex>>,
+}
+
+impl SimplicialComplex {
+    /// The empty complex.
+    pub fn new() -> Self {
+        SimplicialComplex { by_dim: Vec::new() }
+    }
+
+    /// Builds a complex from arbitrary simplices, automatically inserting
+    /// every face so the result is downward closed.
+    pub fn from_simplices<I: IntoIterator<Item = Simplex>>(simplices: I) -> Self {
+        let mut all: BTreeSet<Simplex> = BTreeSet::new();
+        let mut stack: Vec<Simplex> = simplices.into_iter().collect();
+        while let Some(s) = stack.pop() {
+            if all.contains(&s) {
+                continue;
+            }
+            for (face, _) in s.boundary() {
+                if !all.contains(&face) {
+                    stack.push(face);
+                }
+            }
+            all.insert(s);
+        }
+        let mut by_dim: Vec<Vec<Simplex>> = Vec::new();
+        for s in all {
+            let d = s.dim();
+            if by_dim.len() <= d {
+                by_dim.resize(d + 1, Vec::new());
+            }
+            by_dim[d].push(s);
+        }
+        // BTreeSet iteration is sorted globally; per-dim lists inherit
+        // lexicographic order.
+        SimplicialComplex { by_dim }
+    }
+
+    /// Inserts a simplex and all of its faces.
+    pub fn insert(&mut self, s: Simplex) {
+        let extended = SimplicialComplex::from_simplices(
+            self.iter().cloned().chain(std::iter::once(s)),
+        );
+        *self = extended;
+    }
+
+    /// Highest dimension with at least one simplex, or `None` if empty.
+    pub fn max_dim(&self) -> Option<usize> {
+        if self.by_dim.is_empty() {
+            None
+        } else {
+            Some(self.by_dim.len() - 1)
+        }
+    }
+
+    /// The sorted list of k-simplices (`S_k^ε` in the paper).
+    pub fn simplices(&self, k: usize) -> &[Simplex] {
+        self.by_dim.get(k).map_or(&[], Vec::as_slice)
+    }
+
+    /// `|S_k|`.
+    pub fn count(&self, k: usize) -> usize {
+        self.simplices(k).len()
+    }
+
+    /// Total number of simplices across all dimensions.
+    pub fn total_count(&self) -> usize {
+        self.by_dim.iter().map(Vec::len).sum()
+    }
+
+    /// Iterator over every simplex, dimension-major, lexicographic.
+    pub fn iter(&self) -> impl Iterator<Item = &Simplex> {
+        self.by_dim.iter().flatten()
+    }
+
+    /// `true` if the simplex is present.
+    pub fn contains(&self, s: &Simplex) -> bool {
+        self.by_dim
+            .get(s.dim())
+            .is_some_and(|v| v.binary_search(s).is_ok())
+    }
+
+    /// Position of `s` within its dimension's sorted list.
+    pub fn index_of(&self, s: &Simplex) -> Option<usize> {
+        self.by_dim.get(s.dim())?.binary_search(s).ok()
+    }
+
+    /// Map from simplex to its index within dimension `k`.
+    pub fn index_map(&self, k: usize) -> HashMap<&Simplex, usize> {
+        self.simplices(k).iter().enumerate().map(|(i, s)| (s, i)).collect()
+    }
+
+    /// Euler characteristic `χ = Σ_k (−1)^k |S_k|`.
+    pub fn euler_characteristic(&self) -> i64 {
+        self.by_dim
+            .iter()
+            .enumerate()
+            .map(|(k, v)| if k % 2 == 0 { v.len() as i64 } else { -(v.len() as i64) })
+            .sum()
+    }
+
+    /// Checks downward closure (every face of every simplex is present).
+    /// `from_simplices` guarantees this; the check guards hand-built data.
+    pub fn is_closed(&self) -> bool {
+        self.iter().all(|s| s.boundary().iter().all(|(f, _)| self.contains(f)))
+    }
+
+    /// Number of vertices (0-simplices).
+    pub fn vertex_count(&self) -> usize {
+        self.count(0)
+    }
+}
+
+impl fmt::Debug for SimplicialComplex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimplicialComplex {{")?;
+        for (k, list) in self.by_dim.iter().enumerate() {
+            write!(f, " S_{k}({}):", list.len())?;
+            for s in list.iter().take(8) {
+                write!(f, " {s}")?;
+            }
+            if list.len() > 8 {
+                write!(f, " …")?;
+            }
+        }
+        write!(f, " }}")
+    }
+}
+
+/// The worked-example complex of the paper's Appendix A (Eq. 13),
+/// 1-indexed vertices exactly as printed.
+pub fn worked_example_complex() -> SimplicialComplex {
+    SimplicialComplex::from_simplices([
+        Simplex::new(vec![1, 2, 3]),
+        Simplex::new(vec![3, 4]),
+        Simplex::new(vec![3, 5]),
+        Simplex::new(vec![4, 5]),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_is_automatic() {
+        let c = SimplicialComplex::from_simplices([Simplex::new(vec![0, 1, 2])]);
+        assert_eq!(c.count(0), 3);
+        assert_eq!(c.count(1), 3);
+        assert_eq!(c.count(2), 1);
+        assert!(c.is_closed());
+    }
+
+    #[test]
+    fn worked_example_counts_match_eq13() {
+        let c = worked_example_complex();
+        assert_eq!(c.count(0), 5);
+        assert_eq!(c.count(1), 6);
+        assert_eq!(c.count(2), 1);
+        assert_eq!(c.total_count(), 12);
+    }
+
+    #[test]
+    fn worked_example_edge_order_matches_eq14_columns() {
+        let c = worked_example_complex();
+        let expect = [
+            Simplex::edge(1, 2),
+            Simplex::edge(1, 3),
+            Simplex::edge(2, 3),
+            Simplex::edge(3, 4),
+            Simplex::edge(3, 5),
+            Simplex::edge(4, 5),
+        ];
+        assert_eq!(c.simplices(1), &expect);
+    }
+
+    #[test]
+    fn euler_characteristic_triangle() {
+        // Filled triangle: χ = 3 − 3 + 1 = 1.
+        let c = SimplicialComplex::from_simplices([Simplex::new(vec![0, 1, 2])]);
+        assert_eq!(c.euler_characteristic(), 1);
+        // Hollow triangle: χ = 3 − 3 = 0.
+        let hollow = SimplicialComplex::from_simplices([
+            Simplex::edge(0, 1),
+            Simplex::edge(0, 2),
+            Simplex::edge(1, 2),
+        ]);
+        assert_eq!(hollow.euler_characteristic(), 0);
+    }
+
+    #[test]
+    fn index_of_respects_sorted_order() {
+        let c = worked_example_complex();
+        assert_eq!(c.index_of(&Simplex::edge(1, 2)), Some(0));
+        assert_eq!(c.index_of(&Simplex::edge(4, 5)), Some(5));
+        assert_eq!(c.index_of(&Simplex::edge(1, 5)), None);
+    }
+
+    #[test]
+    fn insert_maintains_closure() {
+        let mut c = SimplicialComplex::new();
+        c.insert(Simplex::new(vec![2, 5, 7]));
+        assert!(c.contains(&Simplex::edge(2, 7)));
+        assert!(c.is_closed());
+        c.insert(Simplex::edge(0, 9));
+        assert_eq!(c.count(0), 5);
+    }
+
+    #[test]
+    fn empty_complex_behaviour() {
+        let c = SimplicialComplex::new();
+        assert_eq!(c.max_dim(), None);
+        assert_eq!(c.total_count(), 0);
+        assert_eq!(c.euler_characteristic(), 0);
+        assert!(c.is_closed());
+    }
+
+    #[test]
+    fn iter_visits_everything_once() {
+        let c = worked_example_complex();
+        assert_eq!(c.iter().count(), 12);
+    }
+}

@@ -1,0 +1,184 @@
+//! Rips filtrations: nested families of complexes over the grouping scale.
+//!
+//! The paper computes Betti numbers at a single scale ε; its §6 points at
+//! *persistent* Betti numbers as future work. The filtration here is the
+//! substrate for that extension (see [`crate::persistence`]).
+
+use crate::complex::SimplicialComplex;
+use crate::point_cloud::{Metric, PointCloud};
+use crate::rips::{rips_complex, RipsParams};
+use crate::simplex::Simplex;
+use std::collections::HashMap;
+
+/// A simplex tagged with the scale at which it enters the filtration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FilteredSimplex {
+    /// The simplex.
+    pub simplex: Simplex,
+    /// Its appearance scale: the diameter (max pairwise distance) of its
+    /// vertex set; 0 for vertices.
+    pub value: f64,
+}
+
+/// A Rips filtration: simplices sorted by (value, dimension, lexicographic),
+/// which guarantees every face precedes its cofaces.
+#[derive(Clone, Debug)]
+pub struct Filtration {
+    simplices: Vec<FilteredSimplex>,
+}
+
+impl Filtration {
+    /// Builds the Rips filtration of `cloud` up to scale `max_epsilon` and
+    /// dimension `max_dim`.
+    pub fn rips(cloud: &PointCloud, max_epsilon: f64, max_dim: usize, metric: Metric) -> Self {
+        let complex = rips_complex(
+            cloud,
+            &RipsParams { epsilon: max_epsilon, max_dim, metric },
+        );
+        let mut simplices: Vec<FilteredSimplex> = complex
+            .iter()
+            .map(|s| FilteredSimplex { value: diameter(s, cloud, metric), simplex: s.clone() })
+            .collect();
+        simplices.sort_by(|a, b| {
+            a.value
+                .partial_cmp(&b.value)
+                .expect("NaN filtration value")
+                .then(a.simplex.dim().cmp(&b.simplex.dim()))
+                .then(a.simplex.cmp(&b.simplex))
+        });
+        Filtration { simplices }
+    }
+
+    /// The ordered simplices.
+    pub fn simplices(&self) -> &[FilteredSimplex] {
+        &self.simplices
+    }
+
+    /// Number of simplices.
+    pub fn len(&self) -> usize {
+        self.simplices.len()
+    }
+
+    /// `true` when the filtration is empty.
+    pub fn is_empty(&self) -> bool {
+        self.simplices.is_empty()
+    }
+
+    /// Global index of each simplex (position in filtration order).
+    pub fn index_map(&self) -> HashMap<&Simplex, usize> {
+        self.simplices
+            .iter()
+            .enumerate()
+            .map(|(i, fs)| (&fs.simplex, i))
+            .collect()
+    }
+
+    /// The subcomplex at scale ε (all simplices with `value ≤ ε`).
+    pub fn complex_at(&self, epsilon: f64) -> SimplicialComplex {
+        SimplicialComplex::from_simplices(
+            self.simplices
+                .iter()
+                .filter(|fs| fs.value <= epsilon)
+                .map(|fs| fs.simplex.clone()),
+        )
+    }
+
+    /// Checks the defining order invariant (faces before cofaces, values
+    /// monotone). Used by tests and debug assertions.
+    pub fn is_valid(&self) -> bool {
+        let idx = self.index_map();
+        self.simplices.iter().enumerate().all(|(i, fs)| {
+            fs.simplex.boundary().iter().all(|(face, _)| {
+                idx.get(&face).is_some_and(|&j| j < i)
+            })
+        }) && self
+            .simplices
+            .windows(2)
+            .all(|w| w[0].value <= w[1].value)
+    }
+}
+
+/// Diameter of a simplex's vertex set in the cloud.
+fn diameter(s: &Simplex, cloud: &PointCloud, metric: Metric) -> f64 {
+    let vs = s.vertices();
+    let mut d = 0.0f64;
+    for (i, &a) in vs.iter().enumerate() {
+        for &b in &vs[i + 1..] {
+            d = d.max(cloud.distance(a as usize, b as usize, metric));
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point_cloud::synthetic;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn unit_square() -> PointCloud {
+        PointCloud::new(2, vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 1.0, 1.0])
+    }
+
+    #[test]
+    fn vertices_enter_at_zero() {
+        let f = Filtration::rips(&unit_square(), 2.0, 2, Metric::Euclidean);
+        for fs in f.simplices().iter().take(4) {
+            assert_eq!(fs.simplex.dim(), 0);
+            assert_eq!(fs.value, 0.0);
+        }
+    }
+
+    #[test]
+    fn edge_values_are_distances() {
+        let f = Filtration::rips(&unit_square(), 2.0, 2, Metric::Euclidean);
+        for fs in f.simplices() {
+            if fs.simplex.dim() == 1 {
+                let v = fs.simplex.vertices();
+                let d = unit_square().distance(v[0] as usize, v[1] as usize, Metric::Euclidean);
+                assert!((fs.value - d).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn order_invariant_holds() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let pc = synthetic::uniform_cube(12, 2, &mut rng);
+        let f = Filtration::rips(&pc, 0.8, 3, Metric::Euclidean);
+        assert!(f.is_valid());
+    }
+
+    #[test]
+    fn complex_at_grows_with_epsilon() {
+        let pc = unit_square();
+        let f = Filtration::rips(&pc, 2.0, 2, Metric::Euclidean);
+        let small = f.complex_at(0.5);
+        let mid = f.complex_at(1.0);
+        let big = f.complex_at(1.5);
+        assert_eq!(small.count(1), 0);
+        assert_eq!(mid.count(1), 4, "unit edges at ε = 1");
+        assert!(big.count(1) > mid.count(1), "diagonals appear by √2");
+        assert!(big.total_count() >= mid.total_count());
+    }
+
+    #[test]
+    fn triangle_value_is_longest_edge() {
+        let pc = PointCloud::new(2, vec![0.0, 0.0, 3.0, 0.0, 0.0, 4.0]);
+        let f = Filtration::rips(&pc, 10.0, 2, Metric::Euclidean);
+        let tri = f
+            .simplices()
+            .iter()
+            .find(|fs| fs.simplex.dim() == 2)
+            .expect("triangle present");
+        assert!((tri.value - 5.0).abs() < 1e-12, "hypotenuse dominates");
+    }
+
+    #[test]
+    fn empty_cloud_gives_empty_filtration() {
+        let pc = PointCloud::new(2, vec![]);
+        let f = Filtration::rips(&pc, 1.0, 2, Metric::Euclidean);
+        assert!(f.is_empty());
+    }
+}

@@ -1,0 +1,120 @@
+//! Combinatorial Laplacians Δ_k = ∂_kᵀ∂_k + ∂_{k+1}∂_{k+1}ᵀ (paper Eq. 5).
+
+use crate::boundary::boundary_matrix;
+use crate::complex::SimplicialComplex;
+use qtda_linalg::Mat;
+
+/// Dense Δ_k of a complex; `|S_k| × |S_k|`, real symmetric, positive
+/// semidefinite. The kernel dimension is the Betti number β_k (Eq. 6).
+pub fn combinatorial_laplacian(c: &SimplicialComplex, k: usize) -> Mat {
+    let n_k = c.count(k);
+    if n_k == 0 {
+        return Mat::zeros(0, 0);
+    }
+    let up = {
+        let d_up = boundary_matrix(c, k + 1);
+        if d_up.cols() == 0 {
+            Mat::zeros(n_k, n_k)
+        } else {
+            d_up.gram_t() // ∂_{k+1} · ∂_{k+1}ᵀ
+        }
+    };
+    if k == 0 {
+        // ∂_0 is the zero map; Δ_0 is the graph Laplacian ∂_1∂_1ᵀ.
+        return up;
+    }
+    let d_k = boundary_matrix(c, k);
+    d_k.gram().add(&up) // ∂_kᵀ∂_k + ∂_{k+1}∂_{k+1}ᵀ
+}
+
+/// All Laplacians Δ_0 … Δ_{max_dim} of a complex.
+pub fn all_laplacians(c: &SimplicialComplex) -> Vec<Mat> {
+    match c.max_dim() {
+        None => Vec::new(),
+        Some(d) => (0..=d).map(|k| combinatorial_laplacian(c, k)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::worked_example_complex;
+    use crate::simplex::Simplex;
+    use qtda_linalg::eigen::SymEigen;
+
+    /// The paper's Eq. 17, entry for entry.
+    #[test]
+    fn worked_example_delta_1_matches_eq17() {
+        let c = worked_example_complex();
+        let l1 = combinatorial_laplacian(&c, 1);
+        let expect = Mat::from_rows(&[
+            vec![3.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            vec![0.0, 3.0, 0.0, -1.0, -1.0, 0.0],
+            vec![0.0, 0.0, 3.0, -1.0, -1.0, 0.0],
+            vec![0.0, -1.0, -1.0, 2.0, 1.0, -1.0],
+            vec![0.0, -1.0, -1.0, 1.0, 2.0, 1.0],
+            vec![0.0, 0.0, 0.0, -1.0, 1.0, 2.0],
+        ]);
+        assert!(
+            l1.max_abs_diff(&expect) < 1e-12,
+            "Δ₁ mismatch:\n{l1:?}\nexpected\n{expect:?}"
+        );
+    }
+
+    #[test]
+    fn laplacians_are_symmetric_psd() {
+        let c = SimplicialComplex::from_simplices([
+            Simplex::new(vec![0, 1, 2]),
+            Simplex::new(vec![2, 3]),
+            Simplex::new(vec![3, 4]),
+            Simplex::new(vec![2, 4]),
+        ]);
+        for l in all_laplacians(&c) {
+            if l.rows() == 0 {
+                continue;
+            }
+            assert!(l.is_symmetric(1e-12));
+            let eigs = SymEigen::eigenvalues(&l);
+            assert!(eigs.iter().all(|&e| e > -1e-9), "negative eigenvalue: {eigs:?}");
+        }
+    }
+
+    #[test]
+    fn delta_0_is_graph_laplacian() {
+        // Path 0–1–2: degree diag (1,2,1), off-diagonal −1 on edges.
+        let c = SimplicialComplex::from_simplices([Simplex::edge(0, 1), Simplex::edge(1, 2)]);
+        let l0 = combinatorial_laplacian(&c, 0);
+        let expect = Mat::from_rows(&[
+            vec![1.0, -1.0, 0.0],
+            vec![-1.0, 2.0, -1.0],
+            vec![0.0, -1.0, 1.0],
+        ]);
+        assert!(l0.max_abs_diff(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn empty_dimension_gives_empty_laplacian() {
+        let c = SimplicialComplex::from_simplices([Simplex::vertex(0)]);
+        let l1 = combinatorial_laplacian(&c, 1);
+        assert_eq!(l1.rows(), 0);
+    }
+
+    #[test]
+    fn top_dimension_has_no_up_term() {
+        // Single filled triangle: Δ₂ = ∂₂ᵀ∂₂ = [3] (1×1).
+        let c = SimplicialComplex::from_simplices([Simplex::new(vec![0, 1, 2])]);
+        let l2 = combinatorial_laplacian(&c, 2);
+        assert_eq!(l2.rows(), 1);
+        assert!((l2[(0, 0)] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_laplacians_covers_every_dimension() {
+        let c = worked_example_complex();
+        let ls = all_laplacians(&c);
+        assert_eq!(ls.len(), 3);
+        assert_eq!(ls[0].rows(), 5);
+        assert_eq!(ls[1].rows(), 6);
+        assert_eq!(ls[2].rows(), 1);
+    }
+}

@@ -1,0 +1,45 @@
+//! # qtda-tda
+//!
+//! Classical topological data analysis substrate — the role GUDHI and
+//! giotto-tda play in the paper's Python pipeline (arXiv:2302.09553 §2, §5).
+//!
+//! Provided machinery:
+//!
+//! * [`point_cloud`] — point clouds, metrics, distance matrices, plus
+//!   synthetic generators (circles, clusters, figure-eights) used by
+//!   examples and tests;
+//! * [`simplex`] / [`complex`] — oriented simplices and downward-closed
+//!   simplicial complexes with deterministic (lexicographic) ordering;
+//! * [`rips`] — Vietoris–Rips (clique/flag) complexes by incremental
+//!   expansion;
+//! * [`boundary`] / [`laplacian`] — the restricted boundary operators
+//!   ∂<sub>k</sub> (paper Eq. 1) and combinatorial Laplacians
+//!   Δ<sub>k</sub> = ∂<sub>k</sub>ᵀ∂<sub>k</sub> + ∂<sub>k+1</sub>∂<sub>k+1</sub>ᵀ (Eq. 5);
+//! * [`betti`] — classical Betti numbers via rank–nullity *and* via the
+//!   Laplacian kernel (Eq. 6), cross-checked in tests;
+//! * [`random`] — the random-complex generators behind the paper's Fig. 3;
+//! * [`takens`] — time-delay embedding of scalar series (giotto-tda's
+//!   `TakensEmbedding`);
+//! * [`filtration`] / [`persistence`] — Rips filtrations and Z/2
+//!   persistent homology (the paper's "future work" §6, included here as
+//!   a working extension and as an independent check on Betti numbers).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod betti;
+pub mod boundary;
+pub mod complex;
+pub mod filtration;
+pub mod laplacian;
+pub mod persistence;
+pub mod point_cloud;
+pub mod random;
+pub mod rips;
+pub mod simplex;
+pub mod spectral_betti;
+pub mod takens;
+
+pub use complex::SimplicialComplex;
+pub use point_cloud::{Metric, PointCloud};
+pub use simplex::Simplex;

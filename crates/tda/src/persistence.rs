@@ -1,0 +1,259 @@
+//! Persistent homology over Z/2 by the standard column reduction.
+//!
+//! This implements the "persistent Betti numbers" the paper flags as
+//! future work (§6), and doubles as an independent oracle for ordinary
+//! Betti numbers: β_k(ε) equals the number of dimension-k bars alive at ε.
+
+use crate::filtration::Filtration;
+use std::collections::HashMap;
+
+/// A persistence interval (bar) in a fixed homology dimension.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PersistencePair {
+    /// Homology dimension of the feature.
+    pub dim: usize,
+    /// Scale at which the feature is born.
+    pub birth: f64,
+    /// Scale at which it dies; `None` for essential (never-dying) classes.
+    pub death: Option<f64>,
+}
+
+impl PersistencePair {
+    /// Bar length; `f64::INFINITY` for essential classes.
+    pub fn persistence(&self) -> f64 {
+        self.death.map_or(f64::INFINITY, |d| d - self.birth)
+    }
+
+    /// `true` if the feature exists at scale ε (birth ≤ ε < death).
+    pub fn alive_at(&self, epsilon: f64) -> bool {
+        self.birth <= epsilon && self.death.is_none_or(|d| epsilon < d)
+    }
+}
+
+/// The barcode of a filtration.
+#[derive(Clone, Debug, Default)]
+pub struct Barcode {
+    /// All persistence pairs, including zero-length bars.
+    pub pairs: Vec<PersistencePair>,
+}
+
+impl Barcode {
+    /// Bars of a given homology dimension.
+    pub fn bars(&self, dim: usize) -> impl Iterator<Item = &PersistencePair> {
+        self.pairs.iter().filter(move |p| p.dim == dim)
+    }
+
+    /// β_k at scale ε: bars of dimension k alive at ε.
+    pub fn betti_at(&self, dim: usize, epsilon: f64) -> usize {
+        self.bars(dim).filter(|p| p.alive_at(epsilon)).count()
+    }
+
+    /// Persistent Betti number β_k^{ε₁,ε₂}: classes born by ε₁ that
+    /// survive past ε₂ (ε₁ ≤ ε₂).
+    pub fn persistent_betti(&self, dim: usize, eps1: f64, eps2: f64) -> usize {
+        assert!(eps1 <= eps2, "ε₁ must not exceed ε₂");
+        self.bars(dim)
+            .filter(|p| p.birth <= eps1 && p.death.is_none_or(|d| eps2 < d))
+            .count()
+    }
+
+    /// Bars with persistence at least `min_persistence` (noise filter).
+    pub fn significant(&self, dim: usize, min_persistence: f64) -> Vec<&PersistencePair> {
+        self.bars(dim)
+            .filter(|p| p.persistence() >= min_persistence)
+            .collect()
+    }
+}
+
+/// Computes the barcode of a filtration by Z/2 column reduction.
+///
+/// Columns are processed in filtration order; each column stores the
+/// Z/2 boundary as a sorted index set and is reduced against earlier
+/// columns sharing its maximal index ("low"). A cleared column means a
+/// birth; a surviving column pairs its low (birth simplex) with itself
+/// (death simplex).
+pub fn compute_barcode(filtration: &Filtration) -> Barcode {
+    let n = filtration.len();
+    let idx = filtration.index_map();
+    let simplices = filtration.simplices();
+
+    // Z/2 boundary columns in global filtration indices.
+    let mut columns: Vec<Vec<usize>> = Vec::with_capacity(n);
+    for fs in simplices {
+        let mut col: Vec<usize> = fs
+            .simplex
+            .boundary()
+            .iter()
+            .map(|(face, _)| idx[face])
+            .collect();
+        col.sort_unstable();
+        columns.push(col);
+    }
+
+    let mut low_to_col: HashMap<usize, usize> = HashMap::with_capacity(n);
+    let mut death_of: Vec<Option<usize>> = vec![None; n];
+    let mut is_positive: Vec<bool> = vec![false; n];
+
+    for j in 0..n {
+        let mut col = std::mem::take(&mut columns[j]);
+        while let Some(&low) = col.last() {
+            match low_to_col.get(&low) {
+                Some(&k) => col = symmetric_difference(&col, &columns[k]),
+                None => break,
+            }
+        }
+        if let Some(&low) = col.last() {
+            // Column j kills the class born at `low`.
+            low_to_col.insert(low, j);
+            death_of[low] = Some(j);
+        } else {
+            is_positive[j] = true;
+        }
+        columns[j] = col;
+    }
+
+    let mut pairs = Vec::new();
+    for j in 0..n {
+        if !is_positive[j] {
+            continue;
+        }
+        let birth = simplices[j].value;
+        let dim = simplices[j].simplex.dim();
+        let death = death_of[j].map(|d| simplices[d].value);
+        pairs.push(PersistencePair { dim, birth, death });
+    }
+    Barcode { pairs }
+}
+
+/// Z/2 column addition: symmetric difference of sorted index sets.
+fn symmetric_difference(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::betti::betti_numbers;
+    use crate::point_cloud::{synthetic, Metric, PointCloud};
+    use crate::rips::{rips_complex, RipsParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_point_is_one_essential_class() {
+        let pc = PointCloud::new(1, vec![0.0]);
+        let f = Filtration::rips(&pc, 1.0, 2, Metric::Euclidean);
+        let bc = compute_barcode(&f);
+        assert_eq!(bc.pairs.len(), 1);
+        assert_eq!(bc.pairs[0].dim, 0);
+        assert_eq!(bc.pairs[0].death, None);
+    }
+
+    #[test]
+    fn two_points_merge_at_their_distance() {
+        let pc = PointCloud::new(1, vec![0.0, 2.0]);
+        let f = Filtration::rips(&pc, 3.0, 1, Metric::Euclidean);
+        let bc = compute_barcode(&f);
+        let mut b0: Vec<_> = bc.bars(0).collect();
+        b0.sort_by(|a, b| a.persistence().partial_cmp(&b.persistence()).unwrap());
+        assert_eq!(b0.len(), 2);
+        assert_eq!(b0[0].death, Some(2.0), "younger component dies at merge");
+        assert_eq!(b0[1].death, None, "one essential component");
+        assert_eq!(bc.betti_at(0, 1.0), 2);
+        assert_eq!(bc.betti_at(0, 2.0), 1);
+    }
+
+    #[test]
+    fn square_loop_has_one_h1_bar() {
+        // Unit square: loop born at 1 (all edges), dies at √2 (diagonals
+        // fill the triangles).
+        let pc = PointCloud::new(2, vec![0.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0, 1.0]);
+        let f = Filtration::rips(&pc, 2.0, 2, Metric::Euclidean);
+        let bc = compute_barcode(&f);
+        let h1: Vec<_> = bc.bars(1).filter(|p| p.persistence() > 1e-9).collect();
+        assert_eq!(h1.len(), 1);
+        let bar = h1[0];
+        assert!((bar.birth - 1.0).abs() < 1e-12);
+        assert!((bar.death.unwrap() - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circle_has_a_dominant_h1_bar() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let pc = synthetic::circle(20, 1.0, 0.02, &mut rng);
+        let f = Filtration::rips(&pc, 2.5, 2, Metric::Euclidean);
+        let bc = compute_barcode(&f);
+        let significant = bc.significant(1, 0.5);
+        assert_eq!(significant.len(), 1, "exactly one long H1 bar: {significant:?}");
+    }
+
+    #[test]
+    fn barcode_betti_matches_rank_betti_across_scales() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let pc = synthetic::uniform_cube(10, 2, &mut rng);
+        let max_dim = 2;
+        let f = Filtration::rips(&pc, 1.5, max_dim + 1, Metric::Euclidean);
+        let bc = compute_barcode(&f);
+        for &eps in &[0.15, 0.3, 0.5, 0.8] {
+            let complex = rips_complex(&pc, &RipsParams::new(eps, max_dim + 1));
+            let classical = betti_numbers(&complex);
+            for k in 0..=max_dim {
+                let from_barcode = bc.betti_at(k, eps);
+                let from_rank = classical.get(k).copied().unwrap_or(0);
+                assert_eq!(from_barcode, from_rank, "ε = {eps}, k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn persistent_betti_is_monotone_in_second_scale() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let pc = synthetic::circle(16, 1.0, 0.05, &mut rng);
+        let f = Filtration::rips(&pc, 2.0, 2, Metric::Euclidean);
+        let bc = compute_barcode(&f);
+        let b1 = bc.persistent_betti(0, 0.3, 0.4);
+        let b2 = bc.persistent_betti(0, 0.3, 0.8);
+        assert!(b2 <= b1, "surviving classes cannot increase with ε₂");
+    }
+
+    #[test]
+    fn essential_class_count_matches_final_complex() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let pc = synthetic::two_clusters(6, 5.0, 0.3, &mut rng);
+        let f = Filtration::rips(&pc, 1.8, 2, Metric::Euclidean);
+        let bc = compute_barcode(&f);
+        let essential0 = bc.bars(0).filter(|p| p.death.is_none()).count();
+        let final_complex = f.complex_at(1.8);
+        assert_eq!(essential0, betti_numbers(&final_complex)[0]);
+    }
+
+    #[test]
+    fn zero_length_bars_do_not_affect_betti_at() {
+        let pc = PointCloud::new(2, vec![0.0, 0.0, 1.0, 0.0, 0.5, 0.866]);
+        let f = Filtration::rips(&pc, 2.0, 2, Metric::Euclidean);
+        let bc = compute_barcode(&f);
+        // At a scale past the triangle fill-in, β₀=1, β₁=0.
+        assert_eq!(bc.betti_at(0, 1.5), 1);
+        assert_eq!(bc.betti_at(1, 1.5), 0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Point clouds, metrics and distance matrices.
+
+use qtda_linalg::Mat;
+use rand::Rng;
+
+/// Distance function on `R^m`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Metric {
+    /// Standard L2 distance (the paper's default).
+    #[default]
+    Euclidean,
+    /// L1 (city-block) distance.
+    Manhattan,
+    /// L∞ distance.
+    Chebyshev,
+}
+
+impl Metric {
+    /// Distance between two equal-length coordinate slices.
+    pub fn distance(self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        match self {
+            Metric::Euclidean => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt(),
+            Metric::Manhattan => a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum(),
+            Metric::Chebyshev => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f64::max),
+        }
+    }
+}
+
+/// A set of `n` points in `R^dim`, stored flat (row per point).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PointCloud {
+    dim: usize,
+    coords: Vec<f64>,
+}
+
+impl PointCloud {
+    /// Creates a cloud from a flat coordinate buffer (`n·dim` values).
+    pub fn new(dim: usize, coords: Vec<f64>) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert_eq!(coords.len() % dim, 0, "coordinate count not divisible by dim");
+        PointCloud { dim, coords }
+    }
+
+    /// Creates a cloud from per-point coordinate vectors.
+    pub fn from_points(points: &[Vec<f64>]) -> Self {
+        let dim = points.first().map_or(1, Vec::len).max(1);
+        assert!(points.iter().all(|p| p.len() == dim), "ragged points");
+        PointCloud { dim, coords: points.concat() }
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.coords.len() / self.dim
+    }
+
+    /// `true` when the cloud has no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Ambient dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Coordinates of point `i`.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.coords[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Distance between points `i` and `j` under `metric`.
+    #[inline]
+    pub fn distance(&self, i: usize, j: usize, metric: Metric) -> f64 {
+        metric.distance(self.point(i), self.point(j))
+    }
+
+    /// Full symmetric distance matrix.
+    pub fn distance_matrix(&self, metric: Metric) -> Mat {
+        let n = self.len();
+        let mut d = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dist = self.distance(i, j, metric);
+                d[(i, j)] = dist;
+                d[(j, i)] = dist;
+            }
+        }
+        d
+    }
+
+    /// Appends a point; must match the ambient dimension.
+    pub fn push(&mut self, p: &[f64]) {
+        assert_eq!(p.len(), self.dim, "dimension mismatch");
+        self.coords.extend_from_slice(p);
+    }
+
+    /// Concatenates another cloud of the same dimension.
+    pub fn extend(&mut self, other: &PointCloud) {
+        assert_eq!(self.dim, other.dim, "dimension mismatch");
+        self.coords.extend_from_slice(&other.coords);
+    }
+}
+
+/// Synthetic clouds for tests, examples and benchmarks.
+pub mod synthetic {
+    use super::PointCloud;
+    use rand::Rng;
+    use std::f64::consts::TAU;
+
+    /// `n` points on a radius-`r` circle with additive coordinate noise.
+    pub fn circle(n: usize, r: f64, noise: f64, rng: &mut impl Rng) -> PointCloud {
+        let mut coords = Vec::with_capacity(2 * n);
+        for k in 0..n {
+            let theta = TAU * k as f64 / n as f64;
+            coords.push(r * theta.cos() + noise * rng.gen_range(-1.0..1.0));
+            coords.push(r * theta.sin() + noise * rng.gen_range(-1.0..1.0));
+        }
+        PointCloud::new(2, coords)
+    }
+
+    /// Two Gaussian-ish blobs separated by `gap` on the x-axis.
+    pub fn two_clusters(n_each: usize, gap: f64, spread: f64, rng: &mut impl Rng) -> PointCloud {
+        let mut coords = Vec::with_capacity(4 * n_each);
+        for centre in [-gap / 2.0, gap / 2.0] {
+            for _ in 0..n_each {
+                coords.push(centre + spread * rng.gen_range(-1.0..1.0));
+                coords.push(spread * rng.gen_range(-1.0..1.0));
+            }
+        }
+        PointCloud::new(2, coords)
+    }
+
+    /// Two tangent circles (a figure-eight): β₁ = 2 at suitable scales.
+    pub fn figure_eight(n_each: usize, r: f64, noise: f64, rng: &mut impl Rng) -> PointCloud {
+        let mut cloud = circle(n_each, r, noise, rng);
+        let right = circle(n_each, r, noise, rng);
+        let mut shifted = Vec::with_capacity(2 * n_each);
+        for i in 0..right.len() {
+            shifted.push(right.point(i)[0] + 2.0 * r);
+            shifted.push(right.point(i)[1]);
+        }
+        cloud.extend(&PointCloud::new(2, shifted));
+        cloud
+    }
+
+    /// Uniform points in the unit cube of the given dimension.
+    pub fn uniform_cube(n: usize, dim: usize, rng: &mut impl Rng) -> PointCloud {
+        let coords = (0..n * dim).map(|_| rng.gen_range(0.0..1.0)).collect();
+        PointCloud::new(dim, coords)
+    }
+}
+
+/// Convenience re-export used across crates: uniform random cloud.
+pub fn random_cloud(n: usize, dim: usize, rng: &mut impl Rng) -> PointCloud {
+    synthetic::uniform_cube(n, dim, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn metric_values_on_axis_pair() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert!((Metric::Euclidean.distance(&a, &b) - 5.0).abs() < 1e-12);
+        assert!((Metric::Manhattan.distance(&a, &b) - 7.0).abs() < 1e-12);
+        assert!((Metric::Chebyshev.distance(&a, &b) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_matrix_is_symmetric_with_zero_diagonal() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let pc = synthetic::uniform_cube(10, 3, &mut rng);
+        let d = pc.distance_matrix(Metric::Euclidean);
+        assert!(d.is_symmetric(0.0));
+        for i in 0..10 {
+            assert_eq!(d[(i, i)], 0.0);
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_euclidean() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let pc = synthetic::uniform_cube(8, 2, &mut rng);
+        for i in 0..8 {
+            for j in 0..8 {
+                for k in 0..8 {
+                    let dij = pc.distance(i, j, Metric::Euclidean);
+                    let djk = pc.distance(j, k, Metric::Euclidean);
+                    let dik = pc.distance(i, k, Metric::Euclidean);
+                    assert!(dik <= dij + djk + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn circle_points_lie_near_radius() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pc = synthetic::circle(32, 2.0, 0.0, &mut rng);
+        for i in 0..pc.len() {
+            let p = pc.point(i);
+            let r = (p[0] * p[0] + p[1] * p[1]).sqrt();
+            assert!((r - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn figure_eight_has_double_count() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pc = synthetic::figure_eight(12, 1.0, 0.0, &mut rng);
+        assert_eq!(pc.len(), 24);
+        assert_eq!(pc.dim(), 2);
+    }
+
+    #[test]
+    fn push_and_extend() {
+        let mut pc = PointCloud::new(2, vec![0.0, 0.0]);
+        pc.push(&[1.0, 1.0]);
+        assert_eq!(pc.len(), 2);
+        let other = PointCloud::new(2, vec![2.0, 2.0]);
+        pc.extend(&other);
+        assert_eq!(pc.len(), 3);
+        assert_eq!(pc.point(2), &[2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn push_wrong_dim_panics() {
+        let mut pc = PointCloud::new(2, vec![0.0, 0.0]);
+        pc.push(&[1.0]);
+    }
+
+    #[test]
+    fn from_points_roundtrip() {
+        let pts = vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]];
+        let pc = PointCloud::from_points(&pts);
+        assert_eq!(pc.dim(), 3);
+        assert_eq!(pc.point(1), &[4.0, 5.0, 6.0]);
+    }
+}

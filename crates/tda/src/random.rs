@@ -1,0 +1,198 @@
+//! Random simplicial complexes (the workload of the paper's Fig. 3).
+//!
+//! §4 of the paper evaluates the estimator on "randomly generated
+//! simplicial complexes" without pinning the model, so three standard
+//! generators are provided; the experiment regenerators record which one
+//! they used.
+
+use crate::complex::SimplicialComplex;
+use crate::point_cloud::synthetic::uniform_cube;
+use crate::rips::{expand_flag_complex, rips_complex, RipsParams};
+use crate::simplex::Simplex;
+use rand::Rng;
+
+/// A random-complex distribution.
+#[derive(Clone, Debug)]
+pub enum RandomComplexModel {
+    /// Flag (clique) complex of an Erdős–Rényi graph `G(n, p)`, truncated
+    /// at `max_dim`. The default model for Fig. 3.
+    ErdosRenyiFlag {
+        /// Number of vertices.
+        n: usize,
+        /// Edge probability.
+        edge_prob: f64,
+        /// Largest simplex dimension kept.
+        max_dim: usize,
+    },
+    /// Rips complex of `n` uniform points in the unit square at scale ε.
+    GeometricRips {
+        /// Number of points.
+        n: usize,
+        /// Ambient dimension of the uniform cube.
+        ambient_dim: usize,
+        /// Grouping scale.
+        epsilon: f64,
+        /// Largest simplex dimension kept.
+        max_dim: usize,
+    },
+    /// Downward-closed random complex: all vertices; each candidate
+    /// k-simplex whose faces are all present is kept with `probs[k−1]`.
+    DownwardClosed {
+        /// Number of vertices.
+        n: usize,
+        /// Per-dimension inclusion probabilities, starting at edges.
+        probs: Vec<f64>,
+    },
+}
+
+impl RandomComplexModel {
+    /// Samples one complex.
+    pub fn sample(&self, rng: &mut impl Rng) -> SimplicialComplex {
+        match self {
+            RandomComplexModel::ErdosRenyiFlag { n, edge_prob, max_dim } => {
+                let mut nbrs: Vec<Vec<u32>> = vec![Vec::new(); *n];
+                #[allow(clippy::needless_range_loop)] // u ranges over (v+1)..n
+                for v in 0..*n {
+                    for u in (v + 1)..*n {
+                        if rng.gen_bool(*edge_prob) {
+                            nbrs[v].push(u as u32);
+                        }
+                    }
+                }
+                expand_flag_complex(*n, &nbrs, *max_dim)
+            }
+            RandomComplexModel::GeometricRips { n, ambient_dim, epsilon, max_dim } => {
+                let pc = uniform_cube(*n, *ambient_dim, rng);
+                rips_complex(&pc, &RipsParams::new(*epsilon, *max_dim))
+            }
+            RandomComplexModel::DownwardClosed { n, probs } => {
+                sample_downward_closed(*n, probs, rng)
+            }
+        }
+    }
+}
+
+/// Level-by-level sampling conditioned on lower faces being present.
+fn sample_downward_closed(
+    n: usize,
+    probs: &[f64],
+    rng: &mut impl Rng,
+) -> SimplicialComplex {
+    let mut kept: Vec<Vec<Simplex>> = Vec::with_capacity(probs.len() + 1);
+    kept.push((0..n as u32).map(Simplex::vertex).collect());
+    for (level, &p) in probs.iter().enumerate() {
+        let k = level + 1; // dimension being sampled
+        let prev: &Vec<Simplex> = &kept[k - 1];
+        let mut next: Vec<Simplex> = Vec::new();
+        // Candidates: extend each (k−1)-simplex by a larger vertex and
+        // check that *all* facets are already kept.
+        let prev_set: std::collections::BTreeSet<&Simplex> = prev.iter().collect();
+        for s in prev {
+            let top = *s.vertices().last().expect("nonempty");
+            for v in (top + 1)..n as u32 {
+                let cand = s.with_vertex(v);
+                let all_facets = cand
+                    .boundary()
+                    .iter()
+                    .all(|(f, _)| prev_set.contains(f));
+                if all_facets && rng.gen_bool(p) {
+                    next.push(cand);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        next.sort();
+        next.dedup();
+        kept.push(next);
+    }
+    SimplicialComplex::from_simplices(kept.into_iter().flatten())
+}
+
+/// The paper's Fig. 3 default: an ER flag complex with `p` drawn uniformly
+/// from `[0.3, 0.7]` per sample and `max_dim = 3`.
+pub fn fig3_default_model(n: usize, rng: &mut impl Rng) -> SimplicialComplex {
+    let p = rng.gen_range(0.3..0.7);
+    RandomComplexModel::ErdosRenyiFlag { n, edge_prob: p, max_dim: 3 }.sample(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn er_flag_complex_is_closed_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let c = RandomComplexModel::ErdosRenyiFlag { n: 8, edge_prob: 0.5, max_dim: 2 }
+                .sample(&mut rng);
+            assert!(c.is_closed());
+            assert!(c.max_dim().unwrap_or(0) <= 2);
+            assert_eq!(c.count(0), 8, "all vertices always present");
+        }
+    }
+
+    #[test]
+    fn er_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let empty = RandomComplexModel::ErdosRenyiFlag { n: 6, edge_prob: 0.0, max_dim: 3 }
+            .sample(&mut rng);
+        assert_eq!(empty.count(1), 0);
+        let full = RandomComplexModel::ErdosRenyiFlag { n: 6, edge_prob: 1.0, max_dim: 3 }
+            .sample(&mut rng);
+        assert_eq!(full.count(1), 15);
+        assert_eq!(full.count(2), 20);
+        assert_eq!(full.count(3), 15);
+    }
+
+    #[test]
+    fn geometric_rips_is_closed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = RandomComplexModel::GeometricRips {
+            n: 12,
+            ambient_dim: 2,
+            epsilon: 0.4,
+            max_dim: 3,
+        }
+        .sample(&mut rng);
+        assert!(c.is_closed());
+        assert_eq!(c.count(0), 12);
+    }
+
+    #[test]
+    fn downward_closed_is_closed() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10 {
+            let c = RandomComplexModel::DownwardClosed { n: 7, probs: vec![0.6, 0.5, 0.4] }
+                .sample(&mut rng);
+            assert!(c.is_closed());
+        }
+    }
+
+    #[test]
+    fn downward_closed_zero_prob_gives_vertices_only() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let c = RandomComplexModel::DownwardClosed { n: 5, probs: vec![0.0] }.sample(&mut rng);
+        assert_eq!(c.total_count(), 5);
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let c1 = fig3_default_model(10, &mut StdRng::seed_from_u64(99));
+        let c2 = fig3_default_model(10, &mut StdRng::seed_from_u64(99));
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn fig3_model_has_nontrivial_simplices() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut edge_total = 0;
+        for _ in 0..20 {
+            edge_total += fig3_default_model(10, &mut rng).count(1);
+        }
+        assert!(edge_total > 0, "model must generate edges");
+    }
+}

@@ -1,0 +1,198 @@
+//! Vietoris–Rips complex construction by incremental expansion.
+//!
+//! This is the complex the paper builds with GUDHI (§5): connect every
+//! pair of points within the grouping scale ε, then take the flag
+//! (clique) complex of that graph up to a maximum dimension. We use
+//! Zomorodian's incremental expansion: for each vertex, recursively
+//! adjoin higher neighbours shared by all current members.
+
+use crate::complex::SimplicialComplex;
+use crate::point_cloud::{Metric, PointCloud};
+use crate::simplex::Simplex;
+
+/// Parameters for Rips construction.
+#[derive(Clone, Copy, Debug)]
+pub struct RipsParams {
+    /// Grouping scale ε: vertices within this distance are connected.
+    pub epsilon: f64,
+    /// Largest simplex dimension to build (inclusive).
+    pub max_dim: usize,
+    /// Distance function.
+    pub metric: Metric,
+}
+
+impl RipsParams {
+    /// Euclidean Rips with the given scale and maximum dimension.
+    pub fn new(epsilon: f64, max_dim: usize) -> Self {
+        RipsParams { epsilon, max_dim, metric: Metric::Euclidean }
+    }
+}
+
+/// Builds the Rips complex `K^ε` of a point cloud.
+pub fn rips_complex(cloud: &PointCloud, params: &RipsParams) -> SimplicialComplex {
+    let n = cloud.len();
+    // Upper-neighbour adjacency: u ∈ nbrs[v] iff u > v and d(u, v) ≤ ε.
+    let mut nbrs: Vec<Vec<u32>> = vec![Vec::new(); n];
+    #[allow(clippy::needless_range_loop)] // u ranges over (v+1)..n; iterator form obscures it
+    for v in 0..n {
+        for u in (v + 1)..n {
+            if cloud.distance(v, u, params.metric) <= params.epsilon {
+                nbrs[v].push(u as u32);
+            }
+        }
+    }
+    expand_flag_complex(n, &nbrs, params.max_dim)
+}
+
+/// Builds the flag (clique) complex of an explicit graph given as an
+/// upper-neighbour adjacency list (`nbrs[v]` sorted ascending, all `> v`).
+pub fn expand_flag_complex(
+    n: usize,
+    upper_nbrs: &[Vec<u32>],
+    max_dim: usize,
+) -> SimplicialComplex {
+    let mut out: Vec<Simplex> = Vec::with_capacity(n);
+    let mut scratch: Vec<u32> = Vec::new();
+    for v in 0..n as u32 {
+        scratch.clear();
+        scratch.push(v);
+        add_cofaces(upper_nbrs, max_dim, &mut scratch, &upper_nbrs[v as usize].clone(), &mut out);
+    }
+    SimplicialComplex::from_simplices(out)
+}
+
+/// Recursive expansion step: `simplex` is a clique; `candidates` are the
+/// common upper neighbours of all its vertices.
+fn add_cofaces(
+    upper_nbrs: &[Vec<u32>],
+    max_dim: usize,
+    simplex: &mut Vec<u32>,
+    candidates: &[u32],
+    out: &mut Vec<Simplex>,
+) {
+    out.push(Simplex::new(simplex.clone()));
+    if simplex.len() > max_dim {
+        return;
+    }
+    for &u in candidates {
+        let shared = intersect_sorted(candidates, &upper_nbrs[u as usize]);
+        simplex.push(u);
+        add_cofaces(upper_nbrs, max_dim, simplex, &shared, out);
+        simplex.pop();
+    }
+}
+
+/// Intersection of two ascending `u32` slices.
+fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point_cloud::synthetic;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn isolated_points_give_only_vertices() {
+        let pc = PointCloud::new(1, vec![0.0, 10.0, 20.0]);
+        let c = rips_complex(&pc, &RipsParams::new(1.0, 3));
+        assert_eq!(c.count(0), 3);
+        assert_eq!(c.count(1), 0);
+    }
+
+    #[test]
+    fn near_points_form_full_simplex() {
+        // Three points pairwise within ε: a filled triangle.
+        let pc = PointCloud::new(2, vec![0.0, 0.0, 1.0, 0.0, 0.5, 0.8]);
+        let c = rips_complex(&pc, &RipsParams::new(1.5, 3));
+        assert_eq!(c.count(1), 3);
+        assert_eq!(c.count(2), 1);
+    }
+
+    #[test]
+    fn max_dim_truncates_expansion() {
+        let pc = PointCloud::new(1, vec![0.0, 0.1, 0.2, 0.3]);
+        let full = rips_complex(&pc, &RipsParams::new(1.0, 3));
+        assert_eq!(full.count(3), 1, "4 mutually-close points form a 3-simplex");
+        let capped = rips_complex(&pc, &RipsParams::new(1.0, 1));
+        assert_eq!(capped.count(2), 0);
+        assert_eq!(capped.count(1), 6);
+    }
+
+    #[test]
+    fn epsilon_threshold_is_inclusive() {
+        let pc = PointCloud::new(1, vec![0.0, 1.0]);
+        let c = rips_complex(&pc, &RipsParams::new(1.0, 1));
+        assert_eq!(c.count(1), 1, "distance exactly ε must connect (paper: d ≤ ε)");
+    }
+
+    #[test]
+    fn clique_counts_match_graph_combinatorics() {
+        // 5 mutually-close points: C(5, k+1) k-simplices.
+        let pc = PointCloud::new(1, vec![0.0, 0.01, 0.02, 0.03, 0.04]);
+        let c = rips_complex(&pc, &RipsParams::new(1.0, 4));
+        assert_eq!(c.count(0), 5);
+        assert_eq!(c.count(1), 10);
+        assert_eq!(c.count(2), 10);
+        assert_eq!(c.count(3), 5);
+        assert_eq!(c.count(4), 1);
+    }
+
+    #[test]
+    fn circle_at_moderate_scale_is_a_cycle() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pc = synthetic::circle(12, 1.0, 0.0, &mut rng);
+        // Adjacent points on a 12-gon are ~0.518 apart; diameter-skipping
+        // chords are much longer. ε=0.6 links only neighbours → a 12-cycle.
+        let c = rips_complex(&pc, &RipsParams::new(0.6, 2));
+        assert_eq!(c.count(0), 12);
+        assert_eq!(c.count(1), 12);
+        assert_eq!(c.count(2), 0);
+    }
+
+    #[test]
+    fn result_is_downward_closed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pc = synthetic::uniform_cube(15, 2, &mut rng);
+        let c = rips_complex(&pc, &RipsParams::new(0.4, 3));
+        assert!(c.is_closed());
+    }
+
+    #[test]
+    fn flag_property_every_clique_is_filled() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pc = synthetic::uniform_cube(12, 2, &mut rng);
+        let c = rips_complex(&pc, &RipsParams::new(0.5, 2));
+        // Any 3 pairwise-connected vertices must span a 2-simplex.
+        let edges = c.simplices(1);
+        for (i, e1) in edges.iter().enumerate() {
+            for e2 in edges.iter().skip(i + 1) {
+                let verts: std::collections::BTreeSet<u32> =
+                    e1.vertices().iter().chain(e2.vertices()).copied().collect();
+                if verts.len() == 3 {
+                    let tri = Simplex::new(verts.iter().copied().collect());
+                    let all_edges_present = tri
+                        .boundary()
+                        .iter()
+                        .all(|(f, _)| c.contains(f));
+                    assert_eq!(all_edges_present, c.contains(&tri));
+                }
+            }
+        }
+    }
+}

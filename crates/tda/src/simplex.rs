@@ -1,0 +1,191 @@
+//! Oriented simplices.
+//!
+//! A `k`-simplex is a set of `k + 1` vertices; following the paper (§2),
+//! vertices are kept in ascending order and that order fixes the
+//! orientation used by the boundary operator.
+
+use std::fmt;
+
+/// A simplex: strictly ascending vertex list.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Simplex {
+    vertices: Vec<u32>,
+}
+
+impl Simplex {
+    /// Builds a simplex from vertices (sorted and deduplicated here).
+    /// Panics on an empty vertex list.
+    pub fn new(mut vertices: Vec<u32>) -> Self {
+        assert!(!vertices.is_empty(), "a simplex needs at least one vertex");
+        vertices.sort_unstable();
+        vertices.dedup();
+        Simplex { vertices }
+    }
+
+    /// A 0-simplex.
+    pub fn vertex(v: u32) -> Self {
+        Simplex { vertices: vec![v] }
+    }
+
+    /// An edge. Panics if `a == b`.
+    pub fn edge(a: u32, b: u32) -> Self {
+        assert_ne!(a, b, "degenerate edge");
+        Simplex::new(vec![a, b])
+    }
+
+    /// Dimension `k` (vertex count − 1).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.vertices.len() - 1
+    }
+
+    /// Ascending vertex list.
+    #[inline]
+    pub fn vertices(&self) -> &[u32] {
+        &self.vertices
+    }
+
+    /// `true` if `v` is a vertex of this simplex.
+    #[inline]
+    pub fn contains(&self, v: u32) -> bool {
+        self.vertices.binary_search(&v).is_ok()
+    }
+
+    /// The face obtained by deleting the vertex at position `t`
+    /// (the `s_{k−1}(t)` of paper Eq. 2).
+    pub fn face(&self, t: usize) -> Simplex {
+        assert!(self.dim() >= 1, "a vertex has no proper faces");
+        assert!(t < self.vertices.len());
+        let mut v = self.vertices.clone();
+        v.remove(t);
+        Simplex { vertices: v }
+    }
+
+    /// All codimension-1 faces with their boundary signs `(−1)^t`
+    /// (paper Eq. 1). Empty for vertices.
+    pub fn boundary(&self) -> Vec<(Simplex, i64)> {
+        if self.dim() == 0 {
+            return Vec::new();
+        }
+        (0..self.vertices.len())
+            .map(|t| (self.face(t), if t % 2 == 0 { 1 } else { -1 }))
+            .collect()
+    }
+
+    /// The simplex with `v` adjoined. Panics if `v` is already a vertex.
+    pub fn with_vertex(&self, v: u32) -> Simplex {
+        assert!(!self.contains(v), "vertex already present");
+        let pos = self.vertices.partition_point(|&u| u < v);
+        let mut out = self.vertices.clone();
+        out.insert(pos, v);
+        Simplex { vertices: out }
+    }
+
+    /// `true` if `other` is a face of `self` (of any codimension).
+    pub fn has_face(&self, other: &Simplex) -> bool {
+        if other.vertices.len() > self.vertices.len() {
+            return false;
+        }
+        other.vertices.iter().all(|&v| self.contains(v))
+    }
+}
+
+impl fmt::Debug for Simplex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for Simplex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.vertices.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let s = Simplex::new(vec![3, 1, 2, 1]);
+        assert_eq!(s.vertices(), &[1, 2, 3]);
+        assert_eq!(s.dim(), 2);
+    }
+
+    #[test]
+    fn boundary_signs_alternate() {
+        let s = Simplex::new(vec![0, 1, 2]);
+        let b = s.boundary();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b[0], (Simplex::new(vec![1, 2]), 1));
+        assert_eq!(b[1], (Simplex::new(vec![0, 2]), -1));
+        assert_eq!(b[2], (Simplex::new(vec![0, 1]), 1));
+    }
+
+    #[test]
+    fn vertex_has_empty_boundary() {
+        assert!(Simplex::vertex(4).boundary().is_empty());
+    }
+
+    #[test]
+    fn boundary_of_boundary_cancels() {
+        // Σ signs over ∂∂ must vanish pairwise: collect face-of-face terms.
+        let s = Simplex::new(vec![0, 1, 2, 3]);
+        let mut acc: std::collections::HashMap<Simplex, i64> = Default::default();
+        for (f, sgn1) in s.boundary() {
+            for (ff, sgn2) in f.boundary() {
+                *acc.entry(ff).or_insert(0) += sgn1 * sgn2;
+            }
+        }
+        assert!(acc.values().all(|&c| c == 0), "∂∘∂ ≠ 0: {acc:?}");
+    }
+
+    #[test]
+    fn with_vertex_keeps_order() {
+        let s = Simplex::new(vec![1, 4]);
+        assert_eq!(s.with_vertex(2).vertices(), &[1, 2, 4]);
+        assert_eq!(s.with_vertex(0).vertices(), &[0, 1, 4]);
+        assert_eq!(s.with_vertex(9).vertices(), &[1, 4, 9]);
+    }
+
+    #[test]
+    fn face_relation() {
+        let s = Simplex::new(vec![1, 2, 3]);
+        assert!(s.has_face(&Simplex::edge(1, 3)));
+        assert!(s.has_face(&Simplex::vertex(2)));
+        assert!(!s.has_face(&Simplex::edge(1, 4)));
+        assert!(!Simplex::edge(1, 3).has_face(&s));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut v = [
+            Simplex::new(vec![2, 3]),
+            Simplex::new(vec![1, 3]),
+            Simplex::new(vec![1, 2]),
+        ];
+        v.sort();
+        assert_eq!(v[0], Simplex::new(vec![1, 2]));
+        assert_eq!(v[1], Simplex::new(vec![1, 3]));
+        assert_eq!(v[2], Simplex::new(vec![2, 3]));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(format!("{}", Simplex::new(vec![1, 2, 3])), "[1,2,3]");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vertex")]
+    fn empty_simplex_panics() {
+        let _ = Simplex::new(vec![]);
+    }
+}

@@ -1,0 +1,256 @@
+//! Classical stochastic Betti-number estimation — the baseline the
+//! quantum algorithm competes with.
+//!
+//! The paper's reference 15 (Ubaru et al.) points out that
+//! `β_k = dim ker Δ_k = Tr[h(Δ_k)]` for any function `h` that is 1 on
+//! the kernel and 0 on the rest of the spectrum. Approximating `h` by a
+//! low-degree Chebyshev polynomial and the trace by Hutchinson's
+//! stochastic estimator turns Betti estimation into a handful of sparse
+//! matrix–vector products — directly comparable to the shots × precision
+//! trade-off of the QPE estimator, and implemented here as the classical
+//! arm of that comparison (see `benches/` and EXPERIMENTS.md).
+
+use crate::complex::SimplicialComplex;
+use crate::laplacian::combinatorial_laplacian;
+use qtda_linalg::sparse::CsrMatrix;
+use rand::Rng;
+
+/// Parameters of the stochastic estimator.
+#[derive(Clone, Copy, Debug)]
+pub struct SpectralBettiParams {
+    /// Chebyshev polynomial degree (higher = sharper step at the gap).
+    pub degree: usize,
+    /// Number of Hutchinson probe vectors.
+    pub probes: usize,
+    /// Kernel window: eigenvalues below `gap` count as zero. Must sit
+    /// inside the Laplacian's spectral gap (integer spectra make
+    /// `0.5` a safe default).
+    pub gap: f64,
+}
+
+impl Default for SpectralBettiParams {
+    fn default() -> Self {
+        SpectralBettiParams { degree: 80, probes: 48, gap: 0.5 }
+    }
+}
+
+/// Stochastic estimate of `dim ker A` for a symmetric PSD CSR matrix
+/// with spectrum in `[0, lambda_max]`.
+pub fn kernel_dimension_stochastic(
+    a: &CsrMatrix,
+    lambda_max: f64,
+    params: &SpectralBettiParams,
+    rng: &mut impl Rng,
+) -> f64 {
+    let n = a.n_rows();
+    if n == 0 {
+        return 0.0;
+    }
+    let scale = lambda_max.max(params.gap);
+    // Map spectrum to [-1, 1]: B = 2A/scale − I, kernel ↦ x = −1.
+    let x0 = 2.0 * params.gap / scale - 1.0; // step location in x-space
+    let coeffs = chebyshev_step_coefficients(params.degree, x0);
+
+    let mut total = 0.0;
+    for _ in 0..params.probes {
+        // Rademacher probe.
+        let z: Vec<f64> = (0..n).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+        total += chebyshev_quadratic_form(a, scale, &coeffs, &z);
+    }
+    total / params.probes as f64
+}
+
+/// β_k of a complex via the stochastic estimator (builds the sparse
+/// Laplacian and a power-iteration spectral bound internally).
+pub fn betti_stochastic(
+    complex: &SimplicialComplex,
+    k: usize,
+    params: &SpectralBettiParams,
+    rng: &mut impl Rng,
+) -> f64 {
+    if complex.count(k) == 0 {
+        return 0.0;
+    }
+    let dense = combinatorial_laplacian(complex, k);
+    let a = CsrMatrix::from_dense(&dense, 0.0);
+    let lambda = a.lambda_max_power(100, rng.gen());
+    kernel_dimension_stochastic(&a, lambda.max(1e-9), params, rng)
+}
+
+/// Chebyshev coefficients of a smoothed step `h(x) ≈ 1 for x ≤ x0, 0
+/// otherwise` on `[-1, 1]`, computed by Chebyshev–Gauss quadrature with
+/// Jackson damping (suppresses Gibbs oscillation so the kernel count is
+/// not over/under-shot at the gap edge).
+pub fn chebyshev_step_coefficients(degree: usize, x0: f64) -> Vec<f64> {
+    let m = degree + 1;
+    let quad_points = 4 * m;
+    let theta0 = x0.clamp(-1.0, 1.0).acos();
+    let mut coeffs = vec![0.0f64; m];
+    for (j, c) in coeffs.iter_mut().enumerate() {
+        // c_j = (2 − δ_{j0})/π ∫ f(cosθ) cos(jθ) dθ; f = 1 for θ ≥ θ0
+        // (x = cosθ ≤ x0).
+        let mut acc = 0.0;
+        for q in 0..quad_points {
+            let theta = std::f64::consts::PI * (q as f64 + 0.5) / quad_points as f64;
+            let f = if theta >= theta0 { 1.0 } else { 0.0 };
+            acc += f * (j as f64 * theta).cos();
+        }
+        let norm = if j == 0 { 1.0 } else { 2.0 };
+        *c = norm * acc / quad_points as f64;
+    }
+    // Jackson damping factors.
+    let mf = (m + 1) as f64;
+    for (j, c) in coeffs.iter_mut().enumerate() {
+        let jf = j as f64;
+        let g = ((mf - jf) * (std::f64::consts::PI * jf / mf).cos()
+            + (std::f64::consts::PI * jf / mf).sin() / (std::f64::consts::PI / mf).tan())
+            / mf;
+        *c *= g;
+    }
+    coeffs
+}
+
+/// `zᵀ p(B) z` by the Chebyshev three-term recurrence with
+/// `B = 2A/scale − I` applied implicitly (three work vectors, one
+/// `matvec` per degree).
+fn chebyshev_quadratic_form(a: &CsrMatrix, scale: f64, coeffs: &[f64], z: &[f64]) -> f64 {
+    let apply_b = |v: &[f64]| -> Vec<f64> {
+        let av = a.matvec(v);
+        av.iter()
+            .zip(v)
+            .map(|(avi, vi)| 2.0 * avi / scale - vi)
+            .collect()
+    };
+    let mut t_prev: Vec<f64> = z.to_vec(); // T₀(B)z = z
+    let mut result = coeffs[0] * dot(z, &t_prev);
+    if coeffs.len() == 1 {
+        return result;
+    }
+    let mut t_cur = apply_b(z); // T₁(B)z = Bz
+    result += coeffs[1] * dot(z, &t_cur);
+    for &c in &coeffs[2..] {
+        // T_{j+1} = 2B·T_j − T_{j−1}
+        let bt = apply_b(&t_cur);
+        let t_next: Vec<f64> = bt
+            .iter()
+            .zip(&t_prev)
+            .map(|(b, p)| 2.0 * b - p)
+            .collect();
+        result += c * dot(z, &t_next);
+        t_prev = t_cur;
+        t_cur = t_next;
+    }
+    result
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::betti::betti_numbers;
+    use crate::complex::worked_example_complex;
+    use crate::random::RandomComplexModel;
+    use qtda_linalg::Mat;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chebyshev_coefficients_evaluate_the_step() {
+        let x0 = -0.6;
+        let coeffs = chebyshev_step_coefficients(120, x0);
+        // Evaluate p(x) via Clenshaw at sample points.
+        let eval = |x: f64| {
+            let mut b1 = 0.0;
+            let mut b2 = 0.0;
+            for &c in coeffs.iter().rev() {
+                let b0 = 2.0 * x * b1 - b2 + c;
+                b2 = b1;
+                b1 = b0;
+            }
+            b1 - x * b2
+        };
+        assert!((eval(-0.95) - 1.0).abs() < 0.05, "deep inside: {}", eval(-0.95));
+        assert!(eval(0.5).abs() < 0.05, "far outside: {}", eval(0.5));
+        assert!(eval(0.95).abs() < 0.05);
+    }
+
+    #[test]
+    fn diagonal_kernel_count() {
+        let m = Mat::from_diag(&[0.0, 0.0, 3.0, 5.0, 4.0, 0.0, 2.0, 6.0]);
+        let a = CsrMatrix::from_dense(&m, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let est = kernel_dimension_stochastic(
+            &a,
+            6.0,
+            &SpectralBettiParams { degree: 100, probes: 64, gap: 0.5 },
+            &mut rng,
+        );
+        assert!((est - 3.0).abs() < 0.4, "estimate {est} vs kernel dim 3");
+    }
+
+    #[test]
+    fn worked_example_beta_1() {
+        let c = worked_example_complex();
+        let mut rng = StdRng::seed_from_u64(2);
+        let est = betti_stochastic(&c, 1, &SpectralBettiParams::default(), &mut rng);
+        assert!((est - 1.0).abs() < 0.5, "β₁ estimate {est}");
+        assert_eq!(est.round() as usize, 1);
+    }
+
+    #[test]
+    fn random_complexes_match_exact_betti() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for trial in 0..4 {
+            let complex = RandomComplexModel::ErdosRenyiFlag { n: 8, edge_prob: 0.45, max_dim: 2 }
+                .sample(&mut rng);
+            let exact = betti_numbers(&complex);
+            for k in 0..=1usize {
+                if complex.count(k) == 0 {
+                    continue;
+                }
+                let est = betti_stochastic(
+                    &complex,
+                    k,
+                    &SpectralBettiParams { degree: 100, probes: 96, gap: 0.4 },
+                    &mut rng,
+                );
+                let truth = exact.get(k).copied().unwrap_or(0) as f64;
+                assert!(
+                    (est - truth).abs() < 0.75,
+                    "trial {trial}, k = {k}: stochastic {est} vs exact {truth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_probes_reduce_variance() {
+        let c = worked_example_complex();
+        let spread = |probes: usize| {
+            let vals: Vec<f64> = (0..8)
+                .map(|seed| {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    betti_stochastic(
+                        &c,
+                        1,
+                        &SpectralBettiParams { degree: 80, probes, gap: 0.5 },
+                        &mut rng,
+                    )
+                })
+                .collect();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64
+        };
+        assert!(spread(64) <= spread(4) + 1e-9);
+    }
+
+    #[test]
+    fn empty_dimension_is_zero() {
+        let c = worked_example_complex();
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(betti_stochastic(&c, 4, &SpectralBettiParams::default(), &mut rng), 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Takens time-delay embedding (the role of giotto-tda's
+//! `TakensEmbedding` in the paper's §5).
+//!
+//! A scalar series `s` becomes points
+//! `x_i = (s_i, s_{i+τ}, …, s_{i+(d−1)τ})` in `R^d`.
+
+use crate::point_cloud::PointCloud;
+
+/// Parameters of the delay embedding.
+#[derive(Clone, Copy, Debug)]
+pub struct TakensParams {
+    /// Embedding dimension `d` (≥ 1).
+    pub dimension: usize,
+    /// Time delay `τ` (≥ 1).
+    pub delay: usize,
+    /// Stride between consecutive embedded points (≥ 1).
+    pub stride: usize,
+}
+
+impl Default for TakensParams {
+    fn default() -> Self {
+        TakensParams { dimension: 3, delay: 1, stride: 1 }
+    }
+}
+
+/// Embeds a scalar time series. Returns an empty 1-point-dimension cloud
+/// when the series is shorter than the window `(d−1)·τ + 1`.
+pub fn takens_embedding(series: &[f64], params: &TakensParams) -> PointCloud {
+    assert!(params.dimension >= 1, "dimension must be ≥ 1");
+    assert!(params.delay >= 1, "delay must be ≥ 1");
+    assert!(params.stride >= 1, "stride must be ≥ 1");
+    let window = (params.dimension - 1) * params.delay + 1;
+    if series.len() < window {
+        return PointCloud::new(params.dimension, Vec::new());
+    }
+    let n_points = (series.len() - window) / params.stride + 1;
+    let mut coords = Vec::with_capacity(n_points * params.dimension);
+    for p in 0..n_points {
+        let start = p * params.stride;
+        for j in 0..params.dimension {
+            coords.push(series[start + j * params.delay]);
+        }
+    }
+    PointCloud::new(params.dimension, coords)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_window_contents() {
+        let s = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let pc = takens_embedding(&s, &TakensParams { dimension: 3, delay: 1, stride: 1 });
+        assert_eq!(pc.len(), 3);
+        assert_eq!(pc.point(0), &[0.0, 1.0, 2.0]);
+        assert_eq!(pc.point(2), &[2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn delay_skips_samples() {
+        let s = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let pc = takens_embedding(&s, &TakensParams { dimension: 2, delay: 3, stride: 1 });
+        assert_eq!(pc.len(), 3);
+        assert_eq!(pc.point(0), &[0.0, 3.0]);
+        assert_eq!(pc.point(1), &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn stride_subsamples_points() {
+        let s: Vec<f64> = (0..10).map(|x| x as f64).collect();
+        let pc = takens_embedding(&s, &TakensParams { dimension: 2, delay: 1, stride: 4 });
+        assert_eq!(pc.len(), 3);
+        assert_eq!(pc.point(1), &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn too_short_series_gives_empty_cloud() {
+        let s = [1.0, 2.0];
+        let pc = takens_embedding(&s, &TakensParams { dimension: 4, delay: 2, stride: 1 });
+        assert!(pc.is_empty());
+    }
+
+    #[test]
+    fn sine_embedding_traces_a_loop() {
+        // A pure sinusoid delay-embedded in 2D with quarter-period delay is
+        // a circle: every embedded point has (nearly) unit radius.
+        let n = 200;
+        let period = 40;
+        let s: Vec<f64> = (0..n)
+            .map(|t| (std::f64::consts::TAU * t as f64 / period as f64).sin())
+            .collect();
+        let pc = takens_embedding(
+            &s,
+            &TakensParams { dimension: 2, delay: period / 4, stride: 1 },
+        );
+        for i in 0..pc.len() {
+            let p = pc.point(i);
+            let r = (p[0] * p[0] + p[1] * p[1]).sqrt();
+            assert!((r - 1.0).abs() < 1e-6, "point {i} radius {r}");
+        }
+    }
+
+    #[test]
+    fn exact_window_yields_single_point() {
+        let s = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let pc = takens_embedding(&s, &TakensParams { dimension: 3, delay: 2, stride: 1 });
+        assert_eq!(pc.len(), 1);
+        assert_eq!(pc.point(0), &[1.0, 3.0, 5.0]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests for the TDA substrate: structural invariants that
+//! must hold for *every* complex, not just hand-picked examples.
+
+use proptest::prelude::*;
+use qtda_linalg::eigen::SymEigen;
+use qtda_tda::betti::{betti_numbers, betti_via_laplacian, euler_from_betti, KERNEL_TOL};
+use qtda_tda::boundary::boundary_matrix;
+use qtda_tda::complex::SimplicialComplex;
+use qtda_tda::filtration::Filtration;
+use qtda_tda::laplacian::combinatorial_laplacian;
+use qtda_tda::persistence::compute_barcode;
+use qtda_tda::point_cloud::{Metric, PointCloud};
+use qtda_tda::random::RandomComplexModel;
+use qtda_tda::rips::{rips_complex, RipsParams};
+use qtda_tda::simplex::Simplex;
+use qtda_tda::takens::{takens_embedding, TakensParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random downward-closed complex from generator seeds.
+fn arb_complex() -> impl Strategy<Value = SimplicialComplex> {
+    (3usize..9, 0.2f64..0.9, any::<u64>()).prop_map(|(n, p, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        RandomComplexModel::ErdosRenyiFlag { n, edge_prob: p, max_dim: 3 }.sample(&mut rng)
+    })
+}
+
+/// Strategy: a small random point cloud in the unit square.
+fn arb_cloud() -> impl Strategy<Value = PointCloud> {
+    (4usize..12, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        qtda_tda::point_cloud::synthetic::uniform_cube(n, 2, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn boundary_composition_vanishes(c in arb_complex()) {
+        let top = c.max_dim().unwrap_or(0);
+        for k in 1..=top {
+            let dk = boundary_matrix(&c, k);
+            let dk1 = boundary_matrix(&c, k + 1);
+            if dk1.cols() == 0 || dk.rows() == 0 {
+                continue;
+            }
+            prop_assert!(dk.matmul(&dk1).frobenius_norm() < 1e-10, "∂∂ ≠ 0 at k = {k}");
+        }
+    }
+
+    #[test]
+    fn laplacian_symmetric_psd(c in arb_complex()) {
+        let top = c.max_dim().unwrap_or(0);
+        for k in 0..=top {
+            let l = combinatorial_laplacian(&c, k);
+            if l.rows() == 0 {
+                continue;
+            }
+            prop_assert!(l.is_symmetric(1e-10));
+            let eigs = SymEigen::eigenvalues(&l);
+            prop_assert!(eigs.iter().all(|&e| e > -1e-8), "negative eigenvalue at k = {k}");
+        }
+    }
+
+    #[test]
+    fn rank_and_kernel_betti_agree(c in arb_complex()) {
+        let top = c.max_dim().unwrap_or(0);
+        for k in 0..=top {
+            prop_assert_eq!(
+                betti_numbers(&c).get(k).copied().unwrap_or(0),
+                betti_via_laplacian(&c, k),
+                "k = {}", k
+            );
+        }
+    }
+
+    #[test]
+    fn euler_poincare_identity(c in arb_complex()) {
+        prop_assert_eq!(euler_from_betti(&betti_numbers(&c)), c.euler_characteristic());
+    }
+
+    #[test]
+    fn betti_zero_counts_components(c in arb_complex()) {
+        // Union-find over edges gives the component count independently.
+        let n = c.count(0);
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        // Vertices are 0..n by construction of the ER model.
+        for e in c.simplices(1) {
+            let v = e.vertices();
+            let (a, b) = (find(&mut parent, v[0] as usize), find(&mut parent, v[1] as usize));
+            if a != b {
+                parent[a] = b;
+            }
+        }
+        let components = (0..n).filter(|&x| find(&mut parent, x) == x).count();
+        prop_assert_eq!(betti_numbers(&c)[0], components);
+    }
+
+    #[test]
+    fn laplacian_kernel_tol_is_stable(c in arb_complex()) {
+        // The Betti count must be insensitive to the exact tolerance over
+        // two orders of magnitude (spectral gap of integer Laplacians).
+        let top = c.max_dim().unwrap_or(0);
+        for k in 0..=top {
+            let l = combinatorial_laplacian(&c, k);
+            if l.rows() == 0 {
+                continue;
+            }
+            let loose = SymEigen::kernel_dim(&l, KERNEL_TOL * 10.0);
+            let tight = SymEigen::kernel_dim(&l, KERNEL_TOL / 10.0);
+            prop_assert_eq!(loose, tight, "tolerance-sensitive kernel at k = {}", k);
+        }
+    }
+
+    #[test]
+    fn rips_monotone_in_epsilon(pc in arb_cloud(), e1 in 0.05f64..0.5, de in 0.01f64..0.5) {
+        let small = rips_complex(&pc, &RipsParams::new(e1, 2));
+        let large = rips_complex(&pc, &RipsParams::new(e1 + de, 2));
+        for k in 0..=2 {
+            prop_assert!(small.count(k) <= large.count(k));
+        }
+        // Every simplex of the smaller complex persists in the larger.
+        for s in small.iter() {
+            prop_assert!(large.contains(s));
+        }
+    }
+
+    #[test]
+    fn barcode_betti_matches_classical(pc in arb_cloud(), eps in 0.1f64..0.6) {
+        let f = Filtration::rips(&pc, 1.0, 3, Metric::Euclidean);
+        let bc = compute_barcode(&f);
+        let complex = rips_complex(&pc, &RipsParams::new(eps, 3));
+        let classical = betti_numbers(&complex);
+        for k in 0..=1usize {
+            prop_assert_eq!(
+                bc.betti_at(k, eps),
+                classical.get(k).copied().unwrap_or(0),
+                "k = {}, ε = {}", k, eps
+            );
+        }
+    }
+
+    #[test]
+    fn takens_point_count_formula(len in 10usize..60, d in 1usize..5, tau in 1usize..4) {
+        let series: Vec<f64> = (0..len).map(|t| (t as f64 * 0.3).sin()).collect();
+        let pc = takens_embedding(&series, &TakensParams { dimension: d, delay: tau, stride: 1 });
+        let window = (d - 1) * tau + 1;
+        let expect = if len >= window { len - window + 1 } else { 0 };
+        prop_assert_eq!(pc.len(), expect);
+    }
+
+    #[test]
+    fn complex_closure_under_random_insertion(verts in proptest::collection::vec(0u32..12, 1..5)) {
+        let mut c = SimplicialComplex::new();
+        c.insert(Simplex::new(verts));
+        prop_assert!(c.is_closed());
+    }
+}

@@ -1,0 +1,72 @@
+//! Multi-scale Betti curves — the bridge from the paper's single-ε
+//! estimates toward its persistent-Betti future work (§6).
+//!
+//! Sweeps the grouping scale over a noisy circle and compares **four**
+//! independent estimates of β₁(ε):
+//!
+//! 1. classical exact (rank–nullity),
+//! 2. the persistence barcode,
+//! 3. the QPE estimator (this paper's algorithm),
+//! 4. the classical stochastic Chebyshev–Hutchinson baseline
+//!    (the paper's reference [15]).
+//!
+//! ```text
+//! cargo run --release --example betti_curves
+//! ```
+
+use qtda::core::estimator::{BettiEstimator, EstimatorConfig};
+use qtda::tda::betti::betti_numbers;
+use qtda::tda::filtration::Filtration;
+use qtda::tda::laplacian::combinatorial_laplacian;
+use qtda::tda::persistence::compute_barcode;
+use qtda::tda::point_cloud::{synthetic, Metric};
+use qtda::tda::rips::{rips_complex, RipsParams};
+use qtda::tda::spectral_betti::{betti_stochastic, SpectralBettiParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(33);
+    let cloud = synthetic::circle(16, 1.0, 0.04, &mut rng);
+    let barcode = compute_barcode(&Filtration::rips(&cloud, 1.6, 2, Metric::Euclidean));
+    let estimator = BettiEstimator::new(EstimatorConfig {
+        precision_qubits: 7,
+        shots: 20_000,
+        seed: 5,
+        ..EstimatorConfig::default()
+    });
+
+    println!("β₁(ε) of a 16-point noisy circle, four estimators:\n");
+    println!("   ε     exact  barcode  QPE (β̃₁)  stochastic");
+    let mut agree = true;
+    for step in 0..=10 {
+        let eps = 0.2 + 0.12 * step as f64;
+        let complex = rips_complex(&cloud, &RipsParams::new(eps, 2));
+        let exact = betti_numbers(&complex).get(1).copied().unwrap_or(0);
+        let from_barcode = barcode.betti_at(1, eps);
+        let qpe = if complex.count(1) == 0 {
+            0.0
+        } else {
+            estimator.estimate(&combinatorial_laplacian(&complex, 1)).corrected
+        };
+        // Near the loop's birth scale the Laplacian has *small positive*
+        // eigenvalues; the classical estimator needs a sharp step (high
+        // degree, tight gap) to avoid counting them as kernel — exactly
+        // the role precision qubits play for QPE.
+        let stochastic = betti_stochastic(
+            &complex,
+            1,
+            &SpectralBettiParams { degree: 400, probes: 64, gap: 0.05 },
+            &mut rng,
+        );
+        println!(
+            "{eps:6.2} {exact:^7} {from_barcode:^8} {qpe:^10.3} {stochastic:^10.3}"
+        );
+        agree &= from_barcode == exact
+            && (qpe - exact as f64).abs() < 0.5
+            && (stochastic.round() - exact as f64).abs() < 1.5;
+    }
+    assert!(agree, "estimators disagreed somewhere");
+    println!("\nAll four estimators trace the same Betti curve: the loop is born");
+    println!("once neighbours connect and dies when chords fill the triangles. ✓");
+}

@@ -1,0 +1,64 @@
+//! End-to-end point-cloud pipeline on clouds with known topology:
+//! a noisy circle (β = 1, 1), a figure-eight (β = 1, 2) and two clusters
+//! (β = 2, 0), each run through Rips → Laplacians → QPE estimation.
+//!
+//! ```text
+//! cargo run --release --example betti_pipeline
+//! ```
+
+use qtda::core::estimator::EstimatorConfig;
+use qtda::core::pipeline::{estimate_betti_numbers, PipelineConfig};
+use qtda::tda::point_cloud::synthetic;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let scenarios = [
+        ("noisy circle", synthetic::circle(14, 1.0, 0.03, &mut rng), 0.55),
+        ("figure eight", synthetic::figure_eight(12, 1.0, 0.0, &mut rng), 0.55),
+        ("two clusters", synthetic::two_clusters(7, 4.0, 0.4, &mut rng), 1.3),
+    ];
+
+    for (name, cloud, epsilon) in scenarios {
+        let config = PipelineConfig {
+            epsilon,
+            max_homology_dim: 1,
+            estimator: EstimatorConfig {
+                precision_qubits: 7,
+                shots: 20_000,
+                seed: 99,
+                ..EstimatorConfig::default()
+            },
+            ..PipelineConfig::default()
+        };
+        let result = estimate_betti_numbers(&cloud, &config);
+        println!("— {name} ({} points, ε = {epsilon}) —", cloud.len());
+        println!(
+            "  complex: {} vertices, {} edges, {} triangles",
+            result.complex.count(0),
+            result.complex.count(1),
+            result.complex.count(2)
+        );
+        println!("  classical β = {:?}", result.classical);
+        println!(
+            "  quantum  β̃ = {:?}  (raw features {:?})",
+            result.rounded(),
+            result
+                .features()
+                .iter()
+                .map(|f| format!("{f:.3}"))
+                .collect::<Vec<_>>()
+        );
+        println!(
+            "  absolute errors: {:?}\n",
+            result
+                .absolute_errors()
+                .iter()
+                .map(|e| format!("{e:.3}"))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(result.rounded(), result.classical, "{name} estimate mismatch");
+    }
+    println!("All three scenarios recovered their known topology. ✓");
+}

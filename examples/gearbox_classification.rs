@@ -1,0 +1,82 @@
+//! The paper's §5 machine-diagnostics workload: classify gearbox
+//! vibration windows as healthy vs surface-fault using QPE-estimated
+//! Betti numbers as the only features.
+//!
+//! Pipeline per window (500 samples): normalise → Takens embedding →
+//! Rips complex → {β̃₀, β̃₁} via QPE → logistic regression.
+//!
+//! ```text
+//! cargo run --release --example gearbox_classification
+//! ```
+
+use qtda::core::estimator::EstimatorConfig;
+use qtda::core::pipeline::{estimate_betti_numbers, PipelineConfig};
+use qtda::data::gearbox::GearboxConfig;
+use qtda::data::windows::{balanced_windows, WINDOW_LEN};
+use qtda::ml::dataset::Dataset;
+use qtda::ml::logistic::{LogisticConfig, LogisticRegression};
+use qtda::ml::scaler::StandardScaler;
+use qtda::ml::split::train_test_split;
+use qtda::tda::takens::{takens_embedding, TakensParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let seed = 17;
+    let per_class = 40;
+    let mut rng = StdRng::seed_from_u64(seed);
+    // High-SNR accelerometer channel: cleaner carrier, stronger fault
+    // impulses (see DESIGN.md §2).
+    let signal = GearboxConfig { noise_std: 0.15, fault_amplitude: 3.5, ..GearboxConfig::default() };
+    println!("Generating {} synthetic gearbox windows of {WINDOW_LEN} samples…", 2 * per_class);
+    let windows = balanced_windows(&signal, per_class, WINDOW_LEN, &mut rng);
+
+    println!("Embedding (Takens d=3, τ=3, stride=12) and estimating Betti features…");
+    let mut features = Vec::with_capacity(windows.len());
+    let mut labels = Vec::with_capacity(windows.len());
+    for (i, w) in windows.iter().enumerate() {
+        let rms = (w.samples.iter().map(|v| v * v).sum::<f64>() / w.samples.len() as f64)
+            .sqrt()
+            .max(1e-9);
+        let normalised: Vec<f64> = w.samples.iter().map(|v| v / rms).collect();
+        let cloud =
+            takens_embedding(&normalised, &TakensParams { dimension: 3, delay: 3, stride: 12 });
+        let config = PipelineConfig {
+            epsilon: 1.0,
+            max_homology_dim: 1,
+            estimator: EstimatorConfig {
+                precision_qubits: 6,
+                shots: 2000,
+                seed: seed ^ ((i as u64) << 13),
+                ..EstimatorConfig::default()
+            },
+            ..PipelineConfig::default()
+        };
+        features.push(estimate_betti_numbers(&cloud, &config).features());
+        labels.push(w.label);
+    }
+
+    // Mean feature per class — the topology the classifier sees.
+    for (class, name) in [(0u8, "healthy"), (1u8, "fault")] {
+        let rows: Vec<&Vec<f64>> = features
+            .iter()
+            .zip(&labels)
+            .filter(|(_, &l)| l == class)
+            .map(|(f, _)| f)
+            .collect();
+        let mean0 = rows.iter().map(|r| r[0]).sum::<f64>() / rows.len() as f64;
+        let mean1 = rows.iter().map(|r| r[1]).sum::<f64>() / rows.len() as f64;
+        println!("  {name:<8}: mean β̃₀ = {mean0:.2}, mean β̃₁ = {mean1:.2}");
+    }
+
+    let data = Dataset::new(features, labels);
+    let (train, val) = train_test_split(&data, 0.2, true, &mut rng);
+    let (train_s, val_s, _) = StandardScaler::fit_transform_pair(&train, &val);
+    let model = LogisticRegression::fit(&train_s, &LogisticConfig::default());
+    println!(
+        "\nLogistic regression on {{β̃₀, β̃₁}} (20%/80% split): train {:.3}, validation {:.3}",
+        model.accuracy(&train_s),
+        model.accuracy(&val_s)
+    );
+    println!("(paper reports 100% validation accuracy on the real SEU windows)");
+}

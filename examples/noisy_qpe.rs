@@ -1,0 +1,63 @@
+//! NISQ extension (the paper's §6 outlook): how depolarising noise
+//! degrades the QTDA estimate. Runs the full gate-level Fig. 6 circuit
+//! for the worked example under increasing per-gate Pauli error rates
+//! and reports the resulting β̃₁.
+//!
+//! ```text
+//! cargo run --release --example noisy_qpe
+//! ```
+
+use qtda::core::backend::StatevectorBackend;
+use qtda::core::padding::{pad_laplacian, PaddingScheme};
+use qtda::core::scaling::{rescale, Delta};
+// (the contrast system below builds its own Laplacian directly)
+use qtda::qsim::noise::DepolarizingNoise;
+use qtda::tda::complex::worked_example_complex;
+use qtda::tda::laplacian::combinatorial_laplacian;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let laplacian = combinatorial_laplacian(&worked_example_complex(), 1);
+    let padded = pad_laplacian(&laplacian, PaddingScheme::IdentityHalfLambdaMax);
+    let h = rescale(&padded, Delta::Auto);
+    let precision = 3;
+    let circuit = StatevectorBackend::full_circuit(&h, precision);
+    let register: Vec<usize> = (0..precision).collect();
+    let shots = 400;
+
+    println!(
+        "Fig. 6 circuit for the worked example: {} qubits, {} ops, depth {}",
+        circuit.n_qubits(),
+        circuit.gate_count(),
+        circuit.depth()
+    );
+    println!("true β₁ = 1; ideal β̃₁ ≈ 1.19 (paper). {shots} noisy trajectories per rate.\n");
+    println!("error rate p   p̂(0)     β̃₁ = 8·p̂(0)");
+
+    let mut rng = StdRng::seed_from_u64(11);
+    for &p in &[0.0, 0.005, 0.02, 0.05, 0.1, 0.2] {
+        let noise = DepolarizingNoise::uniform(p);
+        let p0 = noise.estimate_p_zero(&circuit, &register, shots, &mut rng);
+        println!("{p:<13} {p0:<8.4} {:<8.4}", 8.0 * p0);
+    }
+    println!("\nβ̃₁ barely moves: under full depolarisation the register goes uniform,");
+    println!("p(0) → 1/2³ = 0.125, i.e. β̃₁ → 1.0 — accidentally next to the ideal 1.10.");
+    println!("The worked example is *structurally* noise-robust at 3 precision qubits.\n");
+
+    // Contrast: a kernel-free Laplacian (β = 0). Ideal p(0) ≈ 0, so any
+    // leakage toward the uniform distribution *fabricates* topology.
+    let no_kernel = qtda::linalg::Mat::from_diag(&[2.0, 3.0, 4.0, 5.0]);
+    let padded0 = pad_laplacian(&no_kernel, PaddingScheme::IdentityHalfLambdaMax);
+    let h0 = rescale(&padded0, Delta::Auto);
+    let circuit0 = StatevectorBackend::full_circuit(&h0, precision);
+    println!("Contrast system: diag(2,3,4,5), true β = 0 (no kernel).");
+    println!("error rate p   p̂(0)     β̃ = 4·p̂(0)");
+    for &p in &[0.0, 0.02, 0.05, 0.1, 0.2] {
+        let noise = DepolarizingNoise::uniform(p);
+        let p0 = noise.estimate_p_zero(&circuit0, &register, shots, &mut rng);
+        println!("{p:<13} {p0:<8.4} {:<8.4}", 4.0 * p0);
+    }
+    println!("\nHere noise *creates* spurious Betti mass — the failure mode the paper's");
+    println!("§6 robustness program has to defeat before NISQ deployment.");
+}

@@ -1,0 +1,148 @@
+//! Golden integration test: the paper's Appendix A, end to end, through
+//! the public `qtda` API. Pins Eqs. 13–19 and the final estimate.
+
+use qtda::core::backend::{QpeBackend, SpectralBackend, StatevectorBackend, TrotterBackend};
+use qtda::core::estimator::{BettiEstimator, EstimatorConfig};
+use qtda::core::padding::{pad_laplacian, PaddingScheme};
+use qtda::core::scaling::{rescale, Delta};
+use qtda::linalg::Mat;
+use qtda::qsim::decompose::PauliDecomposition;
+use qtda::qsim::evolution::TrotterOrder;
+use qtda::qsim::pauli::PauliString;
+use qtda::tda::betti::{betti_via_laplacian, betti_via_rank};
+use qtda::tda::boundary::boundary_matrix;
+use qtda::tda::complex::worked_example_complex;
+use qtda::tda::laplacian::combinatorial_laplacian;
+
+/// Eq. 13: the complex has 5 vertices, 6 edges, 1 triangle.
+#[test]
+fn eq13_complex_shape() {
+    let c = worked_example_complex();
+    assert_eq!((c.count(0), c.count(1), c.count(2)), (5, 6, 1));
+}
+
+/// Eqs. 14–15: boundary operators have the right shapes and ∂∂ = 0.
+#[test]
+fn eq14_15_boundary_operators() {
+    let c = worked_example_complex();
+    let d1 = boundary_matrix(&c, 1);
+    let d2 = boundary_matrix(&c, 2);
+    assert_eq!((d1.rows(), d1.cols()), (5, 6));
+    assert_eq!((d2.rows(), d2.cols()), (6, 1));
+    assert!(d1.matmul(&d2).frobenius_norm() < 1e-12);
+}
+
+/// Eq. 17: Δ₁ entry for entry.
+#[test]
+fn eq17_laplacian() {
+    let c = worked_example_complex();
+    let expect = Mat::from_rows(&[
+        vec![3.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        vec![0.0, 3.0, 0.0, -1.0, -1.0, 0.0],
+        vec![0.0, 0.0, 3.0, -1.0, -1.0, 0.0],
+        vec![0.0, -1.0, -1.0, 2.0, 1.0, -1.0],
+        vec![0.0, -1.0, -1.0, 1.0, 2.0, 1.0],
+        vec![0.0, 0.0, 0.0, -1.0, 1.0, 2.0],
+    ]);
+    assert!(combinatorial_laplacian(&c, 1).max_abs_diff(&expect) < 1e-12);
+}
+
+/// Eq. 18: padded Δ̃₁ with λ̃_max = 6 and fill 3 on the new diagonal.
+#[test]
+fn eq18_padding() {
+    let l1 = combinatorial_laplacian(&worked_example_complex(), 1);
+    let padded = pad_laplacian(&l1, PaddingScheme::IdentityHalfLambdaMax);
+    assert_eq!(padded.lambda_max, 6.0);
+    assert_eq!(padded.padded_dim(), 8);
+    assert_eq!(padded.matrix[(6, 6)], 3.0);
+    assert_eq!(padded.matrix[(7, 7)], 3.0);
+    assert_eq!(padded.matrix[(6, 7)], 0.0);
+    // Original block untouched.
+    for i in 0..6 {
+        for j in 0..6 {
+            assert_eq!(padded.matrix[(i, j)], l1[(i, j)]);
+        }
+    }
+}
+
+/// Eq. 19: all 24 published Pauli coefficients, exactly.
+#[test]
+fn eq19_pauli_decomposition() {
+    let l1 = combinatorial_laplacian(&worked_example_complex(), 1);
+    let padded = pad_laplacian(&l1, PaddingScheme::IdentityHalfLambdaMax);
+    let h = rescale(&padded, Delta::Auto);
+    let d = PauliDecomposition::of_symmetric(&h);
+    let published: &[(&str, f64)] = &[
+        ("XXI", -0.5),
+        ("YYI", -0.5),
+        ("ZIX", -0.5),
+        ("IXI", -0.25),
+        ("XIX", -0.25),
+        ("XYY", -0.25),
+        ("XZX", -0.25),
+        ("YIY", -0.25),
+        ("YZY", -0.25),
+        ("ZXI", -0.25),
+        ("IZI", -0.125),
+        ("IZZ", -0.125),
+        ("ZZZ", -0.125),
+        ("IIZ", 0.125),
+        ("ZII", 0.125),
+        ("ZIZ", 0.125),
+        ("IXZ", 0.25),
+        ("XXX", 0.25),
+        ("YXY", 0.25),
+        ("YYX", 0.25),
+        ("ZXZ", 0.25),
+        ("ZZI", 0.375),
+        ("IZX", 0.5),
+        ("III", 2.625),
+    ];
+    assert_eq!(d.len(), published.len());
+    for &(name, coeff) in published {
+        let p: PauliString = name.parse().unwrap();
+        assert!(
+            (d.coefficient(&p) - coeff).abs() < 1e-12,
+            "{name}: got {}, paper says {coeff}",
+            d.coefficient(&p)
+        );
+    }
+}
+
+/// The final numbers: p(0) near the paper's 0.149; β̃₁ rounds to 1;
+/// classical routes agree.
+#[test]
+fn appendix_result_and_classical_agreement() {
+    let c = worked_example_complex();
+    assert_eq!(betti_via_rank(&c, 1), 1);
+    assert_eq!(betti_via_laplacian(&c, 1), 1);
+
+    let l1 = combinatorial_laplacian(&c, 1);
+    let padded = pad_laplacian(&l1, PaddingScheme::IdentityHalfLambdaMax);
+    let h = rescale(&padded, Delta::Auto);
+    let p0 = SpectralBackend.p_zero(&h, 3);
+    assert!((p0 - 0.149).abs() < 0.03, "p(0) = {p0}");
+
+    let estimator = BettiEstimator::new(EstimatorConfig {
+        precision_qubits: 3,
+        shots: 1000,
+        seed: 7,
+        ..EstimatorConfig::default()
+    });
+    assert_eq!(estimator.estimate(&l1).rounded(), 1);
+}
+
+/// All three backends agree on the worked example (Trotter within its
+/// product-formula error).
+#[test]
+fn backends_concur_on_worked_example() {
+    let l1 = combinatorial_laplacian(&worked_example_complex(), 1);
+    let padded = pad_laplacian(&l1, PaddingScheme::IdentityHalfLambdaMax);
+    let h = rescale(&padded, Delta::Auto);
+    let p = 3;
+    let spectral = SpectralBackend.p_zero(&h, p);
+    let statevector = StatevectorBackend.p_zero(&h, p);
+    let trotter = TrotterBackend { steps: 16, order: TrotterOrder::Second }.p_zero(&h, p);
+    assert!((spectral - statevector).abs() < 1e-9, "{spectral} vs {statevector}");
+    assert!((spectral - trotter).abs() < 0.02, "{spectral} vs trotter {trotter}");
+}

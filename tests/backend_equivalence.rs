@@ -1,0 +1,90 @@
+//! Cross-backend equivalence on random workloads: the analytic spectral
+//! response must equal the gate-level statevector circuit *exactly*
+//! (same unitary algebra), which is what justifies running the paper's
+//! Fig. 3 sweep on the fast backend.
+
+use qtda::core::backend::{p_zero_by_basis_average, QpeBackend, SpectralBackend, StatevectorBackend};
+use qtda::core::padding::{pad_laplacian, PaddingScheme};
+use qtda::core::scaling::{rescale, Delta};
+use qtda::core::spectrum::PaddedSpectrum;
+use qtda::tda::laplacian::combinatorial_laplacian;
+use qtda::tda::random::RandomComplexModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_laplacians(seed: u64, count: usize) -> Vec<qtda::linalg::Mat> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    while out.len() < count {
+        let complex = RandomComplexModel::ErdosRenyiFlag { n: 6, edge_prob: 0.5, max_dim: 2 }
+            .sample(&mut rng);
+        for k in 0..=2usize {
+            // Keep systems small so the purified circuit stays cheap.
+            let d = complex.count(k);
+            if d == 0 || d > 8 {
+                continue;
+            }
+            out.push(combinatorial_laplacian(&complex, k));
+            if out.len() == count {
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn spectral_equals_statevector_on_random_laplacians() {
+    for (i, l) in random_laplacians(31, 6).iter().enumerate() {
+        let padded = pad_laplacian(l, PaddingScheme::IdentityHalfLambdaMax);
+        let h = rescale(&padded, Delta::Auto);
+        for precision in [1usize, 3] {
+            let a = SpectralBackend.p_zero(&h, precision);
+            let b = StatevectorBackend.p_zero(&h, precision);
+            assert!(
+                (a - b).abs() < 1e-9,
+                "laplacian {i}, precision {precision}: spectral {a} vs statevector {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn purified_equals_basis_average() {
+    for l in random_laplacians(37, 4) {
+        let padded = pad_laplacian(&l, PaddingScheme::IdentityHalfLambdaMax);
+        let h = rescale(&padded, Delta::Auto);
+        let a = StatevectorBackend.p_zero(&h, 2);
+        let b = p_zero_by_basis_average(&h, 2);
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+}
+
+#[test]
+fn spectrum_helper_equals_backends() {
+    for l in random_laplacians(41, 6) {
+        let spectrum =
+            PaddedSpectrum::of_laplacian(&l, PaddingScheme::IdentityHalfLambdaMax, Delta::Auto);
+        let padded = pad_laplacian(&l, PaddingScheme::IdentityHalfLambdaMax);
+        let h = rescale(&padded, Delta::Auto);
+        for precision in [2usize, 5] {
+            let fast = spectrum.p_zero(precision);
+            let slow = SpectralBackend.p_zero(&h, precision);
+            assert!((fast - slow).abs() < 1e-9, "precision {precision}: {fast} vs {slow}");
+        }
+    }
+}
+
+#[test]
+fn zero_padding_and_identity_padding_converge_at_high_precision() {
+    for l in random_laplacians(43, 4) {
+        let id = PaddedSpectrum::of_laplacian(&l, PaddingScheme::IdentityHalfLambdaMax, Delta::Auto)
+            .estimate_exact(9);
+        let zeros =
+            PaddedSpectrum::of_laplacian(&l, PaddingScheme::Zeros, Delta::Auto).estimate_exact(9);
+        assert!(
+            (id - zeros).abs() < 0.1,
+            "corrected schemes must agree at high precision: {id} vs {zeros}"
+        );
+    }
+}
