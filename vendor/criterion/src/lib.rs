@@ -1,0 +1,190 @@
+//! Offline drop-in for the subset of the `criterion` API this workspace
+//! uses: `Criterion::benchmark_group` / `bench_with_input` /
+//! `bench_function`, `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors this minimal harness. It measures real wall-clock time:
+//! each benchmark is warmed up, then timed in batches until a target
+//! measurement budget is spent, and the per-iteration mean plus min/max
+//! batch means are printed to stdout.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+/// Warm-up time per benchmark.
+const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+/// Upper bound on timed batches.
+const MAX_BATCHES: usize = 30;
+
+/// The benchmark driver. One per binary, threaded through the
+/// `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name} ==");
+        BenchmarkGroup { _c: self, name }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) {
+        run_benchmark(&format!("{id}"), f);
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` with a fixed input, labelled by `id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id.label), |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a no-input closure within the group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Ends the group (markers only; nothing buffered).
+    pub fn finish(self) {}
+}
+
+/// A `function / parameter` benchmark label.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates the label `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{function_name}/{parameter}") }
+    }
+
+    /// Creates a label from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{parameter}") }
+    }
+}
+
+/// Times closures handed to it by a benchmark function.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records per-iteration timing.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up: establish a per-iteration estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP_BUDGET && warm_iters < 1_000_000 {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+
+        // Batch size targeting ~1/MAX_BATCHES of the budget per batch.
+        let batch =
+            ((MEASURE_BUDGET.as_nanos() as f64 / MAX_BATCHES as f64 / est_ns) as u64).clamp(1, 1 << 20);
+        let mut batch_means: Vec<f64> = Vec::new();
+        let mut total_iters = 0u64;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < MEASURE_BUDGET && batch_means.len() < MAX_BATCHES {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            batch_means.push(t.elapsed().as_nanos() as f64 / batch as f64);
+            total_iters += batch;
+        }
+        let mean = batch_means.iter().sum::<f64>() / batch_means.len().max(1) as f64;
+        self.mean_ns = mean;
+        self.min_ns = batch_means.iter().copied().fold(f64::INFINITY, f64::min);
+        self.max_ns = batch_means.iter().copied().fold(0.0, f64::max);
+        self.iters = total_iters;
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_benchmark(label: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher { mean_ns: 0.0, min_ns: 0.0, max_ns: 0.0, iters: 0 };
+    f(&mut b);
+    println!(
+        "{label:<50} time: [{} {} {}]  ({} iters)",
+        human(b.min_ns),
+        human(b.mean_ns),
+        human(b.max_ns),
+        b.iters
+    );
+}
+
+/// Declares a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+}

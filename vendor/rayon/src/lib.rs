@@ -1,0 +1,447 @@
+//! Offline drop-in for the subset of the `rayon` API this workspace
+//! uses. The build environment has no crates.io access, so the workspace
+//! vendors this minimal implementation.
+//!
+//! It is *really* parallel: work is split into contiguous chunks and run
+//! on `std::thread::scope` threads, one per available core. Covered
+//! surface (all adapters are eager at their terminal operation):
+//!
+//! * `slice.par_iter()` → `map` → `collect`/`sum`
+//! * `slice.par_iter().enumerate()` → `map`/`flat_map_iter` → `collect`
+//! * `slice.par_iter_mut().for_each(..)`
+//! * `slice.par_chunks_mut(n)` (± `enumerate`) → `for_each`
+//! * `range.into_par_iter()` → `map` → `collect`/`sum`
+//!
+//! Unlike a work-stealing pool, threads are spawned per call; the
+//! workspace only parallelises past size thresholds where the spawn cost
+//! is noise.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Everything call sites need in scope for the method syntax to resolve.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelSliceMut,
+    };
+}
+
+fn n_threads() -> usize {
+    std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+}
+
+/// Runs `f(index)` for every index in `0..len` on up to `n_threads`
+/// scoped threads and returns the results in index order.
+fn parallel_collect<R: Send, F: Fn(usize) -> R + Sync>(len: usize, f: F) -> Vec<R> {
+    let nt = n_threads().min(len.max(1));
+    if nt <= 1 || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let chunk = len.div_ceil(nt);
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = (0..len)
+            .step_by(chunk)
+            .map(|start| {
+                let end = (start + chunk).min(len);
+                s.spawn(move || (start..end).map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+    })
+}
+
+/// Runs `f(chunk_index, chunk)` over disjoint mutable chunks in parallel.
+fn parallel_chunks_mut<T: Send, F: Fn(usize, &mut [T]) + Sync>(
+    slice: &mut [T],
+    chunk_len: usize,
+    f: F,
+) {
+    let chunks: Vec<&mut [T]> = slice.chunks_mut(chunk_len.max(1)).collect();
+    let nt = n_threads().min(chunks.len().max(1));
+    if nt <= 1 || chunks.len() <= 1 {
+        for (i, c) in chunks.into_iter().enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    let per = chunks.len().div_ceil(nt);
+    std::thread::scope(|s| {
+        let f = &f;
+        let mut rest = chunks;
+        let mut start = 0;
+        while !rest.is_empty() {
+            let take = per.min(rest.len());
+            let batch: Vec<&mut [T]> = rest.drain(..take).collect();
+            let base = start;
+            start += take;
+            s.spawn(move || {
+                for (k, c) in batch.into_iter().enumerate() {
+                    f(base + k, c);
+                }
+            });
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Shared references: slice.par_iter()
+// ---------------------------------------------------------------------
+
+/// `par_iter()` entry point for shared slices.
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type.
+    type Item: 'a;
+    /// A parallel iterator over `&self`'s elements.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { s: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { s: self }
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct ParIter<'a, T> {
+    s: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each element.
+    pub fn map<R, F: Fn(&'a T) -> R>(self, f: F) -> ParMap<'a, T, F> {
+        ParMap { s: self.s, f }
+    }
+
+    /// Pairs each element with its index.
+    pub fn enumerate(self) -> ParEnumerate<'a, T> {
+        ParEnumerate { s: self.s }
+    }
+}
+
+/// Mapped parallel iterator.
+pub struct ParMap<'a, T, F> {
+    s: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Evaluates in parallel, preserving order.
+    pub fn collect<R, C>(self) -> C
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        let f = self.f;
+        parallel_collect(self.s.len(), |i| f(&self.s[i])).into_iter().collect()
+    }
+
+    /// Evaluates in parallel and sums the results.
+    pub fn sum<R, S>(self) -> S
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+        S: std::iter::Sum<R>,
+    {
+        let f = self.f;
+        parallel_collect(self.s.len(), |i| f(&self.s[i])).into_iter().sum()
+    }
+}
+
+/// Enumerated parallel iterator.
+pub struct ParEnumerate<'a, T> {
+    s: &'a [T],
+}
+
+impl<'a, T: Sync> ParEnumerate<'a, T> {
+    /// Maps each `(index, element)` pair.
+    pub fn map<R, F: Fn((usize, &'a T)) -> R>(self, f: F) -> ParEnumMap<'a, T, F> {
+        ParEnumMap { s: self.s, f }
+    }
+
+    /// Maps each pair to a serial iterator and flattens, preserving order.
+    pub fn flat_map_iter<I, F>(self, f: F) -> ParEnumFlatMap<'a, T, F>
+    where
+        F: Fn((usize, &'a T)) -> I,
+        I: IntoIterator,
+    {
+        ParEnumFlatMap { s: self.s, f }
+    }
+}
+
+/// Enumerated + mapped parallel iterator.
+pub struct ParEnumMap<'a, T, F> {
+    s: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParEnumMap<'a, T, F> {
+    /// Evaluates in parallel, preserving order.
+    pub fn collect<R, C>(self) -> C
+    where
+        F: Fn((usize, &'a T)) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        let f = self.f;
+        parallel_collect(self.s.len(), |i| f((i, &self.s[i]))).into_iter().collect()
+    }
+}
+
+/// Enumerated + flat-mapped parallel iterator.
+pub struct ParEnumFlatMap<'a, T, F> {
+    s: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParEnumFlatMap<'a, T, F> {
+    /// Evaluates in parallel, flattening each item's serial iterator.
+    pub fn collect<I, C>(self) -> C
+    where
+        F: Fn((usize, &'a T)) -> I + Sync,
+        I: IntoIterator,
+        I::Item: Send,
+        C: FromIterator<I::Item>,
+    {
+        let f = self.f;
+        parallel_collect(self.s.len(), |i| f((i, &self.s[i])).into_iter().collect::<Vec<_>>())
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mutable references: slice.par_iter_mut(), slice.par_chunks_mut(n)
+// ---------------------------------------------------------------------
+
+/// `par_iter_mut()` entry point for mutable slices.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The element type.
+    type Item: 'a;
+    /// A parallel iterator over `&mut self`'s elements.
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { s: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { s: self }
+    }
+}
+
+/// Parallel iterator over `&mut [T]`.
+pub struct ParIterMut<'a, T> {
+    s: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Applies `f` to every element in parallel.
+    pub fn for_each<F: Fn(&mut T) + Sync>(self, f: F) {
+        let len = self.s.len();
+        let chunk = len.div_ceil(n_threads()).max(1);
+        parallel_chunks_mut(self.s, chunk, |_, c| {
+            for x in c {
+                f(x);
+            }
+        });
+    }
+}
+
+/// `par_chunks_mut(n)` entry point.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over disjoint mutable chunks of length `n`
+    /// (the last chunk may be shorter).
+    fn par_chunks_mut(&mut self, n: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, n: usize) -> ParChunksMut<'_, T> {
+        ParChunksMut { s: self, n }
+    }
+}
+
+/// Parallel iterator over mutable chunks.
+pub struct ParChunksMut<'a, T> {
+    s: &'a mut [T],
+    n: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Applies `f` to every chunk in parallel.
+    pub fn for_each<F: Fn(&mut [T]) + Sync>(self, f: F) {
+        parallel_chunks_mut(self.s, self.n, |_, c| f(c));
+    }
+
+    /// Pairs each chunk with its index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate { s: self.s, n: self.n }
+    }
+}
+
+/// Enumerated parallel iterator over mutable chunks.
+pub struct ParChunksMutEnumerate<'a, T> {
+    s: &'a mut [T],
+    n: usize,
+}
+
+impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    /// Applies `f` to every `(index, chunk)` pair in parallel.
+    pub fn for_each<F: Fn((usize, &mut [T])) + Sync>(self, f: F) {
+        parallel_chunks_mut(self.s, self.n, |i, c| f((i, c)));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Owned ranges: (0..n).into_par_iter()
+// ---------------------------------------------------------------------
+
+/// `into_par_iter()` entry point for owned collections (ranges here).
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item;
+    /// The parallel iterator type.
+    type Iter;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { r: self }
+    }
+}
+
+/// Parallel iterator over a `usize` range.
+pub struct ParRange {
+    r: Range<usize>,
+}
+
+impl ParRange {
+    /// Maps each index.
+    pub fn map<R, F: Fn(usize) -> R>(self, f: F) -> ParRangeMap<F> {
+        ParRangeMap { r: self.r, f }
+    }
+}
+
+/// Mapped parallel range.
+pub struct ParRangeMap<F> {
+    r: Range<usize>,
+    f: F,
+}
+
+impl<F> ParRangeMap<F> {
+    /// Evaluates in parallel, preserving order.
+    pub fn collect<R, C>(self) -> C
+    where
+        F: Fn(usize) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        let (start, f) = (self.r.start, self.f);
+        parallel_collect(self.r.len(), |i| f(start + i)).into_iter().collect()
+    }
+
+    /// Evaluates in parallel and sums the results.
+    pub fn sum<R, S>(self) -> S
+    where
+        F: Fn(usize) -> R + Sync,
+        R: Send,
+        S: std::iter::Sum<R>,
+    {
+        let (start, f) = (self.r.start, self.f);
+        parallel_collect(self.r.len(), |i| f(start + i)).into_iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_map_collect() {
+        let out: Vec<usize> = (10..500).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(out, (11..501).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_sum() {
+        let v: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let s: f64 = v.par_iter().map(|x| x * 2.0).sum();
+        assert_eq!(s, 9900.0);
+    }
+
+    #[test]
+    fn enumerate_map_collect() {
+        let v = vec![10usize, 20, 30];
+        let out: Vec<usize> = v.par_iter().enumerate().map(|(i, x)| i + x).collect();
+        assert_eq!(out, vec![10, 21, 32]);
+    }
+
+    #[test]
+    fn enumerate_flat_map_iter() {
+        let v = vec![2usize, 3];
+        let out: Vec<usize> = v.par_iter().enumerate().flat_map_iter(|(i, &n)| (0..n).map(move |k| i * 100 + k)).collect();
+        assert_eq!(out, vec![0, 1, 100, 101, 102]);
+    }
+
+    #[test]
+    fn iter_mut_for_each() {
+        let mut v: Vec<usize> = (0..777).collect();
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(v, (1..778).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_mut_enumerated() {
+        let mut v = vec![0usize; 10];
+        v.par_chunks_mut(3).enumerate().for_each(|(i, c)| {
+            for x in c {
+                *x = i;
+            }
+        });
+        assert_eq!(v, vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn work_actually_runs_once_per_item() {
+        let counter = AtomicUsize::new(0);
+        let v: Vec<usize> = (0..5000).collect();
+        let _: Vec<usize> = v
+            .par_iter()
+            .map(|&x| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                x
+            })
+            .collect();
+        assert_eq!(counter.load(Ordering::Relaxed), 5000);
+    }
+}
