@@ -28,11 +28,9 @@ fn bench_sparse_kernels(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("matvec", csr.n_rows()), &csr, |b, m| {
             b.iter(|| m.matvec(black_box(&x)))
         });
-        group.bench_with_input(
-            BenchmarkId::new("lambda_max_power", csr.n_rows()),
-            &csr,
-            |b, m| b.iter(|| m.lambda_max_power(60, 3)),
-        );
+        group.bench_with_input(BenchmarkId::new("lambda_max_power", csr.n_rows()), &csr, |b, m| {
+            b.iter(|| m.lambda_max_power(60, 3))
+        });
     }
     group.finish();
 }

@@ -29,9 +29,7 @@ fn boundary_like(rows: usize, cols: usize, seed: u64) -> Vec<Vec<i64>> {
         state ^= state << 17;
         state
     };
-    (0..rows)
-        .map(|_| (0..cols).map(|_| (next() % 3) as i64 - 1).collect())
-        .collect()
+    (0..rows).map(|_| (0..cols).map(|_| (next() % 3) as i64 - 1).collect()).collect()
 }
 
 fn bench_eigen(c: &mut Criterion) {

@@ -43,11 +43,7 @@ fn bench_padding(c: &mut Criterion) {
             ..EstimatorConfig::default()
         });
         group.bench_with_input(BenchmarkId::new(name, ls.len()), &ls, |b, ls| {
-            b.iter(|| {
-                ls.iter()
-                    .map(|l| estimator.estimate(black_box(l)).corrected)
-                    .sum::<f64>()
-            })
+            b.iter(|| ls.iter().map(|l| estimator.estimate(black_box(l)).corrected).sum::<f64>())
         });
     }
     group.finish();

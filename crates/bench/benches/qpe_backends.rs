@@ -5,7 +5,9 @@
 //! costs are not).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qtda_core::backend::{p_zero_by_basis_average, QpeBackend, SpectralBackend, StatevectorBackend};
+use qtda_core::backend::{
+    p_zero_by_basis_average, QpeBackend, SpectralBackend, StatevectorBackend,
+};
 use qtda_core::padding::{pad_laplacian, PaddingScheme};
 use qtda_core::scaling::{rescale, Delta};
 use qtda_linalg::Mat;
@@ -26,11 +28,9 @@ fn bench_backends(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("spectral", precision), &precision, |b, &p| {
             b.iter(|| SpectralBackend.p_zero(black_box(&h), p))
         });
-        group.bench_with_input(
-            BenchmarkId::new("statevector", precision),
-            &precision,
-            |b, &p| b.iter(|| StatevectorBackend.p_zero(black_box(&h), p)),
-        );
+        group.bench_with_input(BenchmarkId::new("statevector", precision), &precision, |b, &p| {
+            b.iter(|| StatevectorBackend.p_zero(black_box(&h), p))
+        });
         group.bench_with_input(
             BenchmarkId::new("basis_average", precision),
             &precision,

@@ -1,0 +1,108 @@
+//! Sparse-first vs dense pipeline: the headline comparison of the
+//! `LaplacianOp` refactor.
+//!
+//! Three stages are measured on random flag complexes whose edge count
+//! grows past the dense path's comfort zone (the largest has ≥ 500
+//! 1-simplices, i.e. a ≥ 500×500 Δ₁ padded to 1024):
+//!
+//! * **assembly** — dense Δ₁ (boundary matrices + Gram products) vs CSR
+//!   Δ₁ straight from boundary triplets;
+//! * **estimate** — the infinite-shot β̃₁ through the dense
+//!   `SpectralBackend` (full Jacobi eigendecomposition) vs the sparse
+//!   `LanczosBackend` (matvec-only Ritz values);
+//! * **betti_curve** — the multi-ε sweep, serial loop vs the
+//!   rayon-parallel `betti_curve`, showing the sweep scales across
+//!   cores.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qtda_core::estimator::{BettiEstimator, EstimatorConfig};
+use qtda_core::pipeline::{betti_curve, estimate_betti_numbers, PipelineConfig};
+use qtda_tda::laplacian::{combinatorial_laplacian, combinatorial_laplacian_sparse};
+use qtda_tda::point_cloud::synthetic;
+use qtda_tda::random::RandomComplexModel;
+use qtda_tda::SimplicialComplex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// A flag complex with roughly `0.3·C(n,2)` 1-simplices.
+fn flag_complex(n: usize, edge_prob: f64, seed: u64) -> SimplicialComplex {
+    let mut rng = StdRng::seed_from_u64(seed);
+    RandomComplexModel::ErdosRenyiFlag { n, edge_prob, max_dim: 2 }.sample(&mut rng)
+}
+
+fn bench_assembly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("laplacian_assembly");
+    for (n, p) in [(24usize, 0.3), (40, 0.3), (60, 0.3)] {
+        let complex = flag_complex(n, p, 7);
+        let edges = complex.count(1);
+        group.bench_with_input(BenchmarkId::new("dense", edges), &complex, |b, cx| {
+            b.iter(|| black_box(combinatorial_laplacian(cx, 1)))
+        });
+        group.bench_with_input(BenchmarkId::new("sparse_csr", edges), &complex, |b, cx| {
+            b.iter(|| black_box(combinatorial_laplacian_sparse(cx, 1)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("betti_estimate_exact");
+    let config = EstimatorConfig { precision_qubits: 6, ..Default::default() };
+    // The last complex crosses the acceptance bar: ≥ 500 simplices in
+    // the estimated dimension (Δ₁ padded to 1024×1024 on both paths).
+    for (n, p) in [(24usize, 0.3), (40, 0.3), (60, 0.3)] {
+        let complex = flag_complex(n, p, 7);
+        let edges = complex.count(1);
+        let dense = combinatorial_laplacian(&complex, 1);
+        let sparse = combinatorial_laplacian_sparse(&complex, 1);
+        let dense_estimator = BettiEstimator::new(config);
+        let sparse_estimator = BettiEstimator::new_sparse(config);
+        // Same answer before we time anything.
+        assert!(
+            (dense_estimator.estimate_exact(&dense)
+                - sparse_estimator.estimate_exact_operator(&sparse))
+            .abs()
+                < 1e-4,
+            "paths disagree at {edges} edges"
+        );
+        group.bench_with_input(BenchmarkId::new("dense_spectral", edges), &dense, |b, l| {
+            b.iter(|| black_box(dense_estimator.estimate_exact(l)))
+        });
+        group.bench_with_input(BenchmarkId::new("sparse_lanczos", edges), &sparse, |b, l| {
+            b.iter(|| black_box(sparse_estimator.estimate_exact_operator(l)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_betti_curve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("betti_curve_sweep");
+    let mut rng = StdRng::seed_from_u64(11);
+    let cloud = synthetic::circle(16, 1.0, 0.02, &mut rng);
+    let config = PipelineConfig {
+        max_homology_dim: 1,
+        estimator: EstimatorConfig { precision_qubits: 5, shots: 2000, ..Default::default() },
+        ..Default::default()
+    };
+    let n_scales = 12usize;
+    group.bench_with_input(BenchmarkId::new("serial", n_scales), &cloud, |b, pc| {
+        b.iter(|| {
+            // The pre-refactor formulation: one ε after another.
+            (0..n_scales)
+                .map(|i| {
+                    let eps = 0.1 + (1.2 - 0.1) * i as f64 / (n_scales - 1) as f64;
+                    estimate_betti_numbers(pc, &PipelineConfig { epsilon: eps, ..config })
+                        .features()
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("rayon", n_scales), &cloud, |b, pc| {
+        b.iter(|| black_box(betti_curve(pc, 0.1, 1.2, n_scales, &config)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_assembly, bench_estimate, bench_betti_curve);
+criterion_main!(benches);

@@ -28,22 +28,16 @@ fn main() {
     println!("Padded Δ̃₁:\n{:?}\n", we.padded.matrix);
 
     println!("Pauli decomposition of Hᵉ (Eq. 19), {} terms:", we.decomposition.len());
-    let mut terms: Vec<(String, f64)> = we
-        .decomposition
-        .terms()
-        .iter()
-        .map(|(p, c)| (p.to_string(), *c))
-        .collect();
+    let mut terms: Vec<(String, f64)> =
+        we.decomposition.terms().iter().map(|(p, c)| (p.to_string(), *c)).collect();
     terms.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
     for (name, coeff) in &terms {
         println!("  {coeff:+.3} {name}");
     }
     let reference = eq19_coefficients();
-    let all_match = reference.iter().all(|(name, coeff)| {
-        terms
-            .iter()
-            .any(|(n, c)| n == name && (c - coeff).abs() < 1e-12)
-    });
+    let all_match = reference
+        .iter()
+        .all(|(name, coeff)| terms.iter().any(|(n, c)| n == name && (c - coeff).abs() < 1e-12));
     println!(
         "\nEq. 19 agreement: {} ({} published coefficients)",
         if all_match { "EXACT" } else { "MISMATCH" },

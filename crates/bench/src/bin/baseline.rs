@@ -36,8 +36,8 @@ fn main() {
 
     let mut rng = StdRng::seed_from_u64(args.seed);
     for _ in 0..complexes {
-        let complex = RandomComplexModel::ErdosRenyiFlag { n, edge_prob: 0.45, max_dim: 2 }
-            .sample(&mut rng);
+        let complex =
+            RandomComplexModel::ErdosRenyiFlag { n, edge_prob: 0.45, max_dim: 2 }.sample(&mut rng);
         let exact = betti_numbers(&complex);
         for k in 0..=1usize {
             if complex.count(k) == 0 {

@@ -27,7 +27,16 @@ fn main() {
     eprintln!("fig3: computed {} cells in {:.1?}", cells.len(), start.elapsed());
 
     let mut table = Table::new(&[
-        "n", "shots", "precision", "min", "q1", "median", "q3", "max", "mean", "samples",
+        "n",
+        "shots",
+        "precision",
+        "min",
+        "q1",
+        "median",
+        "q3",
+        "max",
+        "mean",
+        "samples",
     ]);
     for c in &cells {
         table.row(vec![

@@ -32,12 +32,8 @@ fn main() {
     let result = run_table1(&experiment, epsilon, &precisions, shots, repeats, args.seed);
     eprintln!("table1: done in {:.1?}", start.elapsed());
 
-    let mut table = Table::new(&[
-        "precision_qubits",
-        "train_accuracy",
-        "validation_accuracy",
-        "betti_mae",
-    ]);
+    let mut table =
+        Table::new(&["precision_qubits", "train_accuracy", "validation_accuracy", "betti_mae"]);
     for r in &result.rows {
         table.row(vec![
             r.precision.to_string(),

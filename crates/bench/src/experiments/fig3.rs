@@ -178,18 +178,11 @@ mod tests {
     fn error_shrinks_with_precision_and_shots() {
         let cells = run(&tiny());
         let get = |p: usize, s: usize| {
-            cells
-                .iter()
-                .find(|c| c.precision == p && c.shots == s)
-                .map(|c| c.mean)
-                .unwrap()
+            cells.iter().find(|c| c.precision == p && c.shots == s).map(|c| c.mean).unwrap()
         };
         let coarse = get(1, 100);
         let fine = get(8, 100_000);
-        assert!(
-            fine < coarse,
-            "high precision+shots must beat low: {fine} vs {coarse}"
-        );
+        assert!(fine < coarse, "high precision+shots must beat low: {fine} vs {coarse}");
         // Paper: "the error reduces to zero, given enough resources".
         assert!(fine < 0.35, "fine-setting mean AE = {fine}");
     }

@@ -74,10 +74,7 @@ impl GearboxExperiment {
             .map(|cloud| {
                 let complex = rips_complex(cloud, &RipsParams::new(epsilon, 2));
                 let b = betti_numbers(&complex);
-                vec![
-                    b.first().copied().unwrap_or(0) as f64,
-                    b.get(1).copied().unwrap_or(0) as f64,
-                ]
+                vec![b.first().copied().unwrap_or(0) as f64, b.get(1).copied().unwrap_or(0) as f64]
             })
             .collect()
     }
@@ -104,6 +101,7 @@ impl GearboxExperiment {
                         seed: seed ^ ((i as u64) << 20),
                         ..EstimatorConfig::default()
                     },
+                    ..PipelineConfig::default()
                 };
                 estimate_betti_numbers(cloud, &config).features()
             })
@@ -224,11 +222,7 @@ pub fn run_fig4(
 /// The ε with the best Fig. 4 training accuracy (the paper's protocol
 /// for choosing Table 1's grouping scale).
 pub fn best_epsilon(sweep: &[(f64, f64)]) -> f64 {
-    sweep
-        .iter()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN accuracy"))
-        .expect("empty sweep")
-        .0
+    sweep.iter().max_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN accuracy")).expect("empty sweep").0
 }
 
 /// The signal parameters used by the time-series (Takens) case: a
@@ -265,8 +259,7 @@ pub fn run_timeseries_case(
         .enumerate()
         .map(|(i, w)| {
             // Normalise the window, embed, and subsample for Rips.
-            let rms = (w.samples.iter().map(|v| v * v).sum::<f64>()
-                / w.samples.len() as f64)
+            let rms = (w.samples.iter().map(|v| v * v).sum::<f64>() / w.samples.len() as f64)
                 .sqrt()
                 .max(1e-9);
             let normalised: Vec<f64> = w.samples.iter().map(|v| v / rms).collect();
@@ -281,6 +274,7 @@ pub fn run_timeseries_case(
                     seed: seed ^ ((i as u64) << 24),
                     ..EstimatorConfig::default()
                 },
+                ..PipelineConfig::default()
             };
             estimate_betti_numbers(&cloud, &config).features()
         })

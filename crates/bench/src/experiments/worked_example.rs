@@ -104,19 +104,12 @@ mod tests {
             we.decomposition.len(),
             expected.len(),
             "term count: ours {:?}",
-            we.decomposition
-                .terms()
-                .iter()
-                .map(|(p, c)| format!("{p}:{c}"))
-                .collect::<Vec<_>>()
+            we.decomposition.terms().iter().map(|(p, c)| format!("{p}:{c}")).collect::<Vec<_>>()
         );
         for (name, coeff) in expected {
             let p: PauliString = name.parse().unwrap();
             let ours = we.decomposition.coefficient(&p);
-            assert!(
-                (ours - coeff).abs() < 1e-12,
-                "{name}: ours {ours} vs paper {coeff}"
-            );
+            assert!((ours - coeff).abs() < 1e-12, "{name}: ours {ours} vs paper {coeff}");
         }
     }
 

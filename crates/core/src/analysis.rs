@@ -9,11 +9,7 @@ pub fn absolute_error(estimate: f64, truth: usize) -> f64 {
 pub fn mean_absolute_error(estimates: &[f64], truths: &[usize]) -> f64 {
     assert_eq!(estimates.len(), truths.len(), "length mismatch");
     assert!(!estimates.is_empty(), "no samples");
-    estimates
-        .iter()
-        .zip(truths)
-        .map(|(&e, &t)| absolute_error(e, t))
-        .sum::<f64>()
+    estimates.iter().zip(truths).map(|(&e, &t)| absolute_error(e, t)).sum::<f64>()
         / estimates.len() as f64
 }
 

@@ -8,6 +8,8 @@
 //! backend-equivalence tests.
 
 use qtda_linalg::eigen::SymEigen;
+use qtda_linalg::lanczos::lanczos_ritz_values;
+use qtda_linalg::op::LaplacianOp;
 use qtda_linalg::Mat;
 use qtda_qsim::circuit::Circuit;
 use qtda_qsim::decompose::PauliDecomposition;
@@ -17,12 +19,18 @@ use qtda_qsim::qpe::{qpe_circuit, qpe_circuit_from_evolution, qpe_outcome_probab
 use qtda_qsim::state::StateVector;
 
 /// A way of computing the QPE zero-outcome probability.
+///
+/// Backends consume the rescaled Hamiltonian through the
+/// [`LaplacianOp`] abstraction, so dense `Mat` and sparse `CsrMatrix`
+/// Hamiltonians are interchangeable (`&Mat` coerces to
+/// `&dyn LaplacianOp` at every existing call site). Gate-level backends
+/// densify internally; the [`LanczosBackend`] stays matvec-only.
 pub trait QpeBackend {
     /// Human-readable backend name (reported by experiment harnesses).
     fn name(&self) -> &'static str;
 
     /// `p(0)` for `p`-qubit QPE on `U = e^{iH}` with input `I/2^q`.
-    fn p_zero(&self, h: &Mat, precision: usize) -> f64;
+    fn p_zero(&self, h: &dyn LaplacianOp, precision: usize) -> f64;
 }
 
 /// Analytic spectral backend: eigendecompose `H`, average the QPE
@@ -37,8 +45,8 @@ impl QpeBackend for SpectralBackend {
         "spectral"
     }
 
-    fn p_zero(&self, h: &Mat, precision: usize) -> f64 {
-        let eigs = SymEigen::eigenvalues(h);
+    fn p_zero(&self, h: &dyn LaplacianOp, precision: usize) -> f64 {
+        let eigs = SymEigen::eigenvalues(h.dense().as_ref());
         let dim = eigs.len() as f64;
         eigs.iter()
             .map(|&lambda| {
@@ -47,6 +55,52 @@ impl QpeBackend for SpectralBackend {
             })
             .sum::<f64>()
             / dim
+    }
+}
+
+/// Iterative spectral backend: obtains the eigenphases from Lanczos
+/// Ritz values instead of a dense eigendecomposition, touching `H` only
+/// through `matvec`. With a full run (`steps = None` ⇒ `m = dim`, full
+/// reorthogonalisation) the Ritz values are the exact spectrum and the
+/// backend matches [`SpectralBackend`] to solver precision — this is
+/// the sparse pipeline's default. A truncated run (`steps = Some(m)`,
+/// `m < dim`) averages over the `m` Ritz values — a Gauss-quadrature
+/// style approximation of the spectral response for when even `O(n²)`
+/// reorthogonalisation is too much.
+#[derive(Clone, Copy, Debug)]
+pub struct LanczosBackend {
+    /// Lanczos steps; `None` runs the full `m = dim` recurrence (exact).
+    pub steps: Option<usize>,
+    /// Seed of the Lanczos start vector (deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for LanczosBackend {
+    fn default() -> Self {
+        LanczosBackend { steps: None, seed: 0x1A2C_705F }
+    }
+}
+
+impl QpeBackend for LanczosBackend {
+    fn name(&self) -> &'static str {
+        "lanczos"
+    }
+
+    fn p_zero(&self, h: &dyn LaplacianOp, precision: usize) -> f64 {
+        let n = h.dim();
+        if n == 0 {
+            return 0.0;
+        }
+        let m = self.steps.map_or(n, |s| s.clamp(1, n));
+        let ritz = lanczos_ritz_values(h, m, self.seed);
+        let count = ritz.len() as f64;
+        ritz.iter()
+            .map(|&lambda| {
+                let theta = crate::scaling::eigenvalue_to_phase(lambda);
+                qpe_outcome_probability(theta, precision, 0)
+            })
+            .sum::<f64>()
+            / count
     }
 }
 
@@ -85,8 +139,8 @@ impl QpeBackend for StatevectorBackend {
         "statevector"
     }
 
-    fn p_zero(&self, h: &Mat, precision: usize) -> f64 {
-        let c = Self::full_circuit(h, precision);
+    fn p_zero(&self, h: &dyn LaplacianOp, precision: usize) -> f64 {
+        let c = Self::full_circuit(h.dense().as_ref(), precision);
         let state = c.simulate();
         let register: Vec<usize> = (0..precision).collect();
         state.probability_register_zero(&register)
@@ -137,8 +191,8 @@ impl QpeBackend for TrotterBackend {
         "trotter"
     }
 
-    fn p_zero(&self, h: &Mat, precision: usize) -> f64 {
-        let c = self.full_circuit(h, precision);
+    fn p_zero(&self, h: &dyn LaplacianOp, precision: usize) -> f64 {
+        let c = self.full_circuit(h.dense().as_ref(), precision);
         let state = c.simulate();
         let register: Vec<usize> = (0..precision).collect();
         state.probability_register_zero(&register)
@@ -184,10 +238,35 @@ mod tests {
         for precision in 1..=4 {
             let a = SpectralBackend.p_zero(&h, precision);
             let b = StatevectorBackend.p_zero(&h, precision);
+            assert!((a - b).abs() < 1e-9, "p = {precision}: spectral {a} vs statevector {b}");
+        }
+    }
+
+    #[test]
+    fn lanczos_backend_matches_spectral_on_worked_example() {
+        let h = worked_example_h();
+        let sparse = qtda_linalg::CsrMatrix::from_dense(&h, 0.0);
+        for precision in 1..=6 {
+            let spectral = SpectralBackend.p_zero(&h, precision);
+            let lanczos_dense = LanczosBackend::default().p_zero(&h, precision);
+            let lanczos_sparse = LanczosBackend::default().p_zero(&sparse, precision);
             assert!(
-                (a - b).abs() < 1e-9,
-                "p = {precision}: spectral {a} vs statevector {b}"
+                (spectral - lanczos_dense).abs() < 1e-6,
+                "p = {precision}: spectral {spectral} vs lanczos(dense) {lanczos_dense}"
             );
+            assert!(
+                (spectral - lanczos_sparse).abs() < 1e-6,
+                "p = {precision}: spectral {spectral} vs lanczos(sparse) {lanczos_sparse}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_lanczos_backend_stays_a_probability() {
+        let h = worked_example_h();
+        for steps in 1..=4 {
+            let v = LanczosBackend { steps: Some(steps), ..Default::default() }.p_zero(&h, 3);
+            assert!((0.0..=1.0).contains(&v), "steps = {steps}: p(0) = {v}");
         }
     }
 

@@ -3,10 +3,12 @@
 //! `β̃_k = 2^q · p̂(0)` where `p̂(0)` is the observed zero-outcome fraction
 //! over `shots` runs of QPE on `e^{iH}` with a maximally mixed input.
 
-use crate::backend::{QpeBackend, SpectralBackend};
-use crate::padding::{pad_laplacian, PaddingScheme};
-use crate::scaling::{rescale, Delta};
-use qtda_linalg::Mat;
+use crate::backend::{LanczosBackend, QpeBackend, SpectralBackend};
+use crate::padding::{pad_operator, LambdaMaxBound, PaddingScheme};
+use crate::scaling::{rescale_operator, Delta};
+use crate::spectrum::PaddedSpectrum;
+use qtda_linalg::op::LaplacianOp;
+use qtda_linalg::{CsrMatrix, Mat};
 use qtda_qsim::measure::sample_zero_count;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -22,6 +24,9 @@ pub struct EstimatorConfig {
     pub padding: PaddingScheme,
     /// Spectral rescaling strategy.
     pub delta: Delta,
+    /// How `λ̃_max` is bounded (paper default: Gershgorin; power
+    /// iteration is tighter and matvec-only on the sparse path).
+    pub lambda_bound: LambdaMaxBound,
     /// RNG seed for shot sampling (every run is reproducible).
     pub seed: u64,
 }
@@ -33,6 +38,7 @@ impl Default for EstimatorConfig {
             shots: 1000,
             padding: PaddingScheme::IdentityHalfLambdaMax,
             delta: Delta::Auto,
+            lambda_bound: LambdaMaxBound::Gershgorin,
             seed: 0,
         }
     }
@@ -85,6 +91,12 @@ impl BettiEstimator {
         BettiEstimator { config, backend: Box::new(SpectralBackend) }
     }
 
+    /// An estimator with the sparse-first [`LanczosBackend`]: `p(0)`
+    /// from full-run Ritz values, matvec-only end to end.
+    pub fn new_sparse(config: EstimatorConfig) -> Self {
+        BettiEstimator { config, backend: Box::new(LanczosBackend::default()) }
+    }
+
     /// An estimator with an explicit backend.
     pub fn with_backend(
         config: EstimatorConfig,
@@ -103,18 +115,37 @@ impl BettiEstimator {
         self.backend.name()
     }
 
-    /// Estimates `β̃` for a combinatorial Laplacian, using a seed derived
-    /// from the config. An empty Laplacian (`|S_k| = 0`) yields a zero
-    /// estimate directly.
+    /// Estimates `β̃` for a dense combinatorial Laplacian, using a seed
+    /// derived from the config. An empty Laplacian (`|S_k| = 0`) yields
+    /// a zero estimate directly.
     pub fn estimate(&self, laplacian: &Mat) -> BettiEstimate {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
-        self.estimate_with_rng(laplacian, &mut rng)
+        self.estimate_operator_with_rng(laplacian, &mut rng)
+    }
+
+    /// Estimates `β̃` for a sparse (CSR) combinatorial Laplacian — the
+    /// padding, rescaling and (with a matvec-only backend) the `p(0)`
+    /// computation all stay sparse.
+    pub fn estimate_sparse(&self, laplacian: &CsrMatrix) -> BettiEstimate {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        self.estimate_operator_with_rng(laplacian, &mut rng)
     }
 
     /// Estimates with a caller-supplied RNG (for sweeps that manage their
     /// own seed streams).
     pub fn estimate_with_rng(&self, laplacian: &Mat, rng: &mut impl Rng) -> BettiEstimate {
-        if laplacian.rows() == 0 {
+        self.estimate_operator_with_rng(laplacian, rng)
+    }
+
+    /// Representation-generic estimation core: pad → rescale → backend
+    /// `p(0)` → shot sampling → padding correction, entirely through
+    /// [`LaplacianOp`].
+    pub fn estimate_operator_with_rng<M: LaplacianOp>(
+        &self,
+        laplacian: &M,
+        rng: &mut impl Rng,
+    ) -> BettiEstimate {
+        if laplacian.dim() == 0 {
             return BettiEstimate {
                 p_zero_exact: 0.0,
                 p_zero_sampled: 0.0,
@@ -125,8 +156,8 @@ impl BettiEstimator {
                 spurious_zeros: 0,
             };
         }
-        let padded = pad_laplacian(laplacian, self.config.padding);
-        let h = rescale(&padded, self.config.delta);
+        let padded = pad_operator(laplacian, self.config.padding, self.config.lambda_bound);
+        let h = rescale_operator(&padded, self.config.delta);
         let p_zero_exact = self.backend.p_zero(&h, self.config.precision_qubits);
 
         let shots = self.config.shots;
@@ -145,14 +176,42 @@ impl BettiEstimator {
         }
     }
 
+    /// Estimates `β̃` from a precomputed [`PaddedSpectrum`], reusing a
+    /// decomposition the caller already paid for (the spectrum must have
+    /// been built with this config's padding/δ/λ̃-bound settings). The
+    /// backend is bypassed — the spectrum *is* the spectral response.
+    pub fn estimate_from_spectrum(&self, spectrum: &PaddedSpectrum) -> BettiEstimate {
+        let p_zero_exact = spectrum.p_zero(self.config.precision_qubits);
+        let shots = self.config.shots;
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let zeros = sample_zero_count(p_zero_exact, shots, &mut rng);
+        let p_zero_sampled = zeros as f64 / shots as f64;
+        let raw = (1usize << spectrum.q) as f64 * p_zero_sampled;
+        let corrected = (raw - spectrum.spurious_zeros as f64).max(0.0);
+        BettiEstimate {
+            p_zero_exact,
+            p_zero_sampled,
+            raw,
+            corrected,
+            q: spectrum.q,
+            shots,
+            spurious_zeros: spectrum.spurious_zeros,
+        }
+    }
+
     /// The infinite-shot estimate `2^q · p(0)` (corrected), bypassing
     /// sampling entirely.
     pub fn estimate_exact(&self, laplacian: &Mat) -> f64 {
-        if laplacian.rows() == 0 {
+        self.estimate_exact_operator(laplacian)
+    }
+
+    /// Infinite-shot estimate for any [`LaplacianOp`] representation.
+    pub fn estimate_exact_operator<M: LaplacianOp>(&self, laplacian: &M) -> f64 {
+        if laplacian.dim() == 0 {
             return 0.0;
         }
-        let padded = pad_laplacian(laplacian, self.config.padding);
-        let h = rescale(&padded, self.config.delta);
+        let padded = pad_operator(laplacian, self.config.padding, self.config.lambda_bound);
+        let h = rescale_operator(&padded, self.config.delta);
         let p_zero = self.backend.p_zero(&h, self.config.precision_qubits);
         ((1usize << padded.q) as f64 * p_zero - padded.spurious_zeros as f64).max(0.0)
     }
@@ -183,6 +242,37 @@ mod tests {
         assert_eq!(est.q, 3);
         assert_eq!(est.rounded(), 1, "β̃₁ must round to the true β₁ = 1 (raw {})", est.raw);
         assert!((est.p_zero_sampled - est.p_zero_exact).abs() < 0.05);
+    }
+
+    #[test]
+    fn sparse_lanczos_estimator_matches_dense_spectral() {
+        let l = worked_example_l1();
+        let sparse = CsrMatrix::from_dense(&l, 0.0);
+        let config =
+            EstimatorConfig { precision_qubits: 4, shots: 2000, seed: 13, ..Default::default() };
+        let dense_est = BettiEstimator::new(config).estimate(&l);
+        let sparse_est = BettiEstimator::new_sparse(config).estimate_sparse(&sparse);
+        assert!(
+            (dense_est.p_zero_exact - sparse_est.p_zero_exact).abs() < 1e-6,
+            "p(0): dense {} vs sparse {}",
+            dense_est.p_zero_exact,
+            sparse_est.p_zero_exact
+        );
+        assert_eq!(dense_est.q, sparse_est.q);
+        assert_eq!(dense_est.rounded(), sparse_est.rounded());
+    }
+
+    #[test]
+    fn power_iteration_bound_still_recovers_beta() {
+        let l = worked_example_l1();
+        let sparse = CsrMatrix::from_dense(&l, 0.0);
+        let estimator = BettiEstimator::new_sparse(EstimatorConfig {
+            precision_qubits: 8,
+            lambda_bound: LambdaMaxBound::PowerIteration { iterations: 200, seed: 3 },
+            ..Default::default()
+        });
+        let exact = estimator.estimate_exact_operator(&sparse);
+        assert!((exact - 1.0).abs() < 0.05, "β̃₁ with power-iteration bound: {exact}");
     }
 
     #[test]
@@ -217,10 +307,8 @@ mod tests {
         let l = worked_example_l1();
         let truth = betti_via_rank(&worked_example_complex(), 1) as f64;
         let err = |p: usize| {
-            let estimator = BettiEstimator::new(EstimatorConfig {
-                precision_qubits: p,
-                ..Default::default()
-            });
+            let estimator =
+                BettiEstimator::new(EstimatorConfig { precision_qubits: p, ..Default::default() });
             (estimator.estimate_exact(&l) - truth).abs()
         };
         assert!(err(8) <= err(2) + 1e-12, "p=2 err {} vs p=8 err {}", err(2), err(8));

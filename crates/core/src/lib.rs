@@ -17,11 +17,13 @@
 //! * [`scaling`] — rescale by `δ/λ̃_max` (Eqs. 8–9) with δ slightly below
 //!   2π, using the Gershgorin bound `λ̃_max`, so every eigenvalue maps to
 //!   a QPE phase in `[0, 1)` without aliasing.
-//! * [`backend`] — three interchangeable ways to obtain `p(0)`:
-//!   gate-level statevector QPE with ancilla-purified mixed state
-//!   (faithful to Figs. 2 & 6), the analytic spectral response
-//!   (distribution-identical, polynomial cost), and Trotterised QPE
-//!   (Fig. 7, with controllable product-formula error).
+//! * [`backend`] — four interchangeable ways to obtain `p(0)`, all
+//!   consuming the Hamiltonian through `qtda_linalg`'s `LaplacianOp`
+//!   abstraction: gate-level statevector QPE with ancilla-purified
+//!   mixed state (faithful to Figs. 2 & 6), the analytic spectral
+//!   response (distribution-identical, polynomial cost), Trotterised
+//!   QPE (Fig. 7, with controllable product-formula error), and the
+//!   matvec-only Lanczos spectral response that powers the sparse path.
 //! * [`estimator`] — shot sampling, padding correction, rounding.
 //! * [`pipeline`] — point cloud → Rips complex → Laplacians → estimates,
 //!   the end-to-end API used by the examples and experiments.
@@ -38,7 +40,12 @@ pub mod pipeline;
 pub mod scaling;
 pub mod spectrum;
 
-pub use backend::{QpeBackend, SpectralBackend, StatevectorBackend, TrotterBackend};
+pub use backend::{
+    LanczosBackend, QpeBackend, SpectralBackend, StatevectorBackend, TrotterBackend,
+};
 pub use estimator::{BettiEstimate, BettiEstimator, EstimatorConfig};
-pub use padding::{pad_laplacian, PaddedLaplacian, PaddingScheme};
-pub use pipeline::{betti_curve, estimate_betti_numbers, BettiCurve, PipelineConfig, PipelineResult};
+pub use padding::{pad_laplacian, pad_operator, LambdaMaxBound, PaddedLaplacian, PaddingScheme};
+pub use pipeline::{
+    betti_curve, estimate_betti_numbers, BettiCurve, PipelineConfig, PipelineResult,
+};
+pub use scaling::rescale_operator;

@@ -7,6 +7,7 @@
 //! already fits.
 
 use crate::padding::{effective_lambda_max, PaddedLaplacian};
+use qtda_linalg::op::LaplacianOp;
 use qtda_linalg::Mat;
 use std::f64::consts::TAU;
 
@@ -38,11 +39,17 @@ impl Delta {
     }
 }
 
-/// The QPE Hamiltonian `H = (δ/λ̃_max)·Δ̃` (Eq. 9).
-pub fn rescale(padded: &PaddedLaplacian, delta: Delta) -> Mat {
+/// The QPE Hamiltonian `H = (δ/λ̃_max)·Δ̃` (Eq. 9), staying in the padded
+/// Laplacian's representation (dense or CSR).
+pub fn rescale_operator<M: LaplacianOp>(padded: &PaddedLaplacian<M>, delta: Delta) -> M {
     let bound = effective_lambda_max(padded.lambda_max);
     let d = delta.resolve(padded.lambda_max);
-    padded.matrix.scale(d / bound)
+    padded.matrix.scale_by(d / bound)
+}
+
+/// The QPE Hamiltonian `H = (δ/λ̃_max)·Δ̃` (Eq. 9), dense form.
+pub fn rescale(padded: &PaddedLaplacian, delta: Delta) -> Mat {
+    rescale_operator(padded, delta)
 }
 
 /// Maps a Laplacian eigenvalue `λ` of the *rescaled* `H` to its QPE phase
@@ -146,7 +153,7 @@ mod delta_ablation {
         };
         let wide = p_zero_at(6.0); // the worked example's choice
         let squeezed = p_zero_at(0.5); // spectrum crammed into [0, 0.5)
-        // True kernel fraction is 1/8 = 0.125; leakage is the excess.
+                                       // True kernel fraction is 1/8 = 0.125; leakage is the excess.
         assert!(wide - 0.125 < squeezed - 0.125, "wide {wide} vs squeezed {squeezed}");
         assert!(squeezed > 0.3, "compressed spectrum must leak badly: {squeezed}");
     }

@@ -7,7 +7,7 @@
 //! analytically (the padded block is diagonal), so the decomposition runs
 //! at the *original* dimension.
 
-use crate::padding::{effective_lambda_max, PaddingScheme};
+use crate::padding::{effective_lambda_max, LambdaMaxBound, PaddingScheme};
 use crate::scaling::{eigenvalue_to_phase, Delta};
 use qtda_linalg::eigen::SymEigen;
 use qtda_linalg::gershgorin::max_eigenvalue_bound;
@@ -48,11 +48,9 @@ impl PaddedSpectrum {
         };
 
         let mut eigs = SymEigen::eigenvalues(laplacian);
+        snap_kernel_dust(&mut eigs);
         eigs.extend(std::iter::repeat_n(fill, target - d));
-        let phases = eigs
-            .into_iter()
-            .map(|l| eigenvalue_to_phase(l * scale))
-            .collect();
+        let phases = eigs.into_iter().map(|l| eigenvalue_to_phase(l * scale)).collect();
         PaddedSpectrum { phases, q, spurious_zeros }
     }
 
@@ -66,9 +64,27 @@ impl PaddedSpectrum {
         delta: Delta,
         seed: u64,
     ) -> Self {
+        Self::of_sparse_laplacian_bounded(
+            laplacian,
+            padding,
+            delta,
+            seed,
+            LambdaMaxBound::Gershgorin,
+        )
+    }
+
+    /// [`Self::of_sparse_laplacian`] with an explicit `λ̃_max` strategy
+    /// (e.g. the power-iteration bound on very large complexes).
+    pub fn of_sparse_laplacian_bounded(
+        laplacian: &CsrMatrix,
+        padding: PaddingScheme,
+        delta: Delta,
+        seed: u64,
+        lambda_bound: LambdaMaxBound,
+    ) -> Self {
         let d = laplacian.n_rows();
         assert!(d > 0, "empty Laplacian has no spectrum");
-        let lambda_max = laplacian.gershgorin_max().max(0.0);
+        let lambda_max = lambda_bound.resolve(laplacian).max(0.0);
         let bound = effective_lambda_max(lambda_max);
         let resolved_delta = delta.resolve(lambda_max);
         let scale = resolved_delta / bound;
@@ -81,28 +97,26 @@ impl PaddedSpectrum {
         };
 
         let mut eigs = lanczos_ritz_values(laplacian, d, seed);
-        // Lanczos leaves O(1e-8) numerical dust on exact kernel values;
-        // snap anything within the integer Laplacian's safe window.
-        for e in &mut eigs {
-            if e.abs() < 1e-7 {
-                *e = 0.0;
-            }
-        }
+        snap_kernel_dust(&mut eigs);
         eigs.extend(std::iter::repeat_n(fill, target - d));
-        let phases = eigs
-            .into_iter()
-            .map(|l| eigenvalue_to_phase(l * scale))
-            .collect();
+        let phases = eigs.into_iter().map(|l| eigenvalue_to_phase(l * scale)).collect();
         PaddedSpectrum { phases, q, spurious_zeros }
+    }
+
+    /// Kernel dimension of the *original* Laplacian, read off the
+    /// precomputed spectrum for free: zero phases minus the zeros the
+    /// padding itself introduced. Both constructors snap solver dust on
+    /// kernel eigenvalues to exactly zero, so this equals β_k (Eq. 6) —
+    /// the classical cross-check costs no extra decomposition.
+    pub fn kernel_dim(&self) -> usize {
+        let zero_phases = self.phases.iter().filter(|&&t| t == 0.0).count();
+        zero_phases - self.spurious_zeros
     }
 
     /// Exact `p(0)` for the given precision (identical to
     /// [`crate::backend::SpectralBackend`] on the padded matrix).
     pub fn p_zero(&self, precision: usize) -> f64 {
-        self.phases
-            .iter()
-            .map(|&theta| qpe_outcome_probability(theta, precision, 0))
-            .sum::<f64>()
+        self.phases.iter().map(|&theta| qpe_outcome_probability(theta, precision, 0)).sum::<f64>()
             / self.phases.len() as f64
     }
 
@@ -118,6 +132,17 @@ impl PaddedSpectrum {
     pub fn estimate_exact(&self, precision: usize) -> f64 {
         let raw = (1usize << self.q) as f64 * self.p_zero(precision);
         (raw - self.spurious_zeros as f64).max(0.0)
+    }
+}
+
+/// Eigensolvers leave O(1e-8) numerical dust on exact kernel values;
+/// snap anything within the integer Laplacian's safe window so kernel
+/// phases are exactly zero.
+fn snap_kernel_dust(eigs: &mut [f64]) {
+    for e in eigs {
+        if e.abs() < 1e-7 {
+            *e = 0.0;
+        }
     }
 }
 
@@ -151,7 +176,8 @@ mod tests {
 
     #[test]
     fn phase_count_is_padded_dimension() {
-        let s = PaddedSpectrum::of_laplacian(&l1(), PaddingScheme::IdentityHalfLambdaMax, Delta::Auto);
+        let s =
+            PaddedSpectrum::of_laplacian(&l1(), PaddingScheme::IdentityHalfLambdaMax, Delta::Auto);
         assert_eq!(s.phases.len(), 8);
         assert_eq!(s.q, 3);
     }
@@ -166,7 +192,8 @@ mod tests {
 
     #[test]
     fn sampled_estimate_concentrates() {
-        let s = PaddedSpectrum::of_laplacian(&l1(), PaddingScheme::IdentityHalfLambdaMax, Delta::Auto);
+        let s =
+            PaddedSpectrum::of_laplacian(&l1(), PaddingScheme::IdentityHalfLambdaMax, Delta::Auto);
         let mut rng = StdRng::seed_from_u64(1);
         let estimate = s.estimate(8, 100_000, &mut rng);
         assert!((estimate - s.estimate_exact(8)).abs() < 0.05);
@@ -197,6 +224,34 @@ mod tests {
         let csr = CsrMatrix::from_dense(&l1(), 0.0);
         let s = PaddedSpectrum::of_sparse_laplacian(&csr, PaddingScheme::Zeros, Delta::Auto, 7);
         assert_eq!(s.spurious_zeros, 2);
+        assert!((s.estimate_exact(9) - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn kernel_dim_reads_off_both_constructors_and_schemes() {
+        let csr = CsrMatrix::from_dense(&l1(), 0.0);
+        for scheme in [PaddingScheme::IdentityHalfLambdaMax, PaddingScheme::Zeros] {
+            let dense = PaddedSpectrum::of_laplacian(&l1(), scheme, Delta::Auto);
+            let sparse = PaddedSpectrum::of_sparse_laplacian(&csr, scheme, Delta::Auto, 13);
+            // β₁ of the worked example is 1; padding zeros must not
+            // leak into the count under either scheme.
+            assert_eq!(dense.kernel_dim(), 1, "{scheme:?} dense");
+            assert_eq!(sparse.kernel_dim(), 1, "{scheme:?} sparse");
+        }
+    }
+
+    #[test]
+    fn bounded_constructor_with_power_iteration_still_recovers_beta() {
+        use crate::padding::LambdaMaxBound;
+        let csr = CsrMatrix::from_dense(&l1(), 0.0);
+        let s = PaddedSpectrum::of_sparse_laplacian_bounded(
+            &csr,
+            PaddingScheme::IdentityHalfLambdaMax,
+            Delta::Auto,
+            13,
+            LambdaMaxBound::PowerIteration { iterations: 200, seed: 3 },
+        );
+        assert_eq!(s.kernel_dim(), 1);
         assert!((s.estimate_exact(9) - 1.0).abs() < 0.05);
     }
 

@@ -78,9 +78,8 @@ mod tests {
     #[test]
     fn sine_wave_reference_values() {
         let n = 10_000;
-        let s: Vec<f64> = (0..n)
-            .map(|t| (std::f64::consts::TAU * t as f64 / 100.0).sin())
-            .collect();
+        let s: Vec<f64> =
+            (0..n).map(|t| (std::f64::consts::TAU * t as f64 / 100.0).sin()).collect();
         let f = extract_six_features(&s);
         assert!(f.mean.abs() < 1e-3);
         assert!((f.rms - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3, "RMS = 1/√2");

@@ -132,8 +132,10 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let (x1, y1) = paper_feature_dataset(&GearboxConfig::default(), &mut StdRng::seed_from_u64(7));
-        let (x2, y2) = paper_feature_dataset(&GearboxConfig::default(), &mut StdRng::seed_from_u64(7));
+        let (x1, y1) =
+            paper_feature_dataset(&GearboxConfig::default(), &mut StdRng::seed_from_u64(7));
+        let (x2, y2) =
+            paper_feature_dataset(&GearboxConfig::default(), &mut StdRng::seed_from_u64(7));
         assert_eq!(x1, x2);
         assert_eq!(y1, y2);
     }

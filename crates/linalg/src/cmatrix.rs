@@ -144,9 +144,7 @@ impl CMat {
     /// Matrix–vector product.
     pub fn matvec(&self, v: &[C64]) -> Vec<C64> {
         assert_eq!(self.cols, v.len(), "dimension mismatch");
-        (0..self.rows)
-            .map(|i| self.row(i).iter().zip(v).map(|(&a, &b)| a * b).sum())
-            .collect()
+        (0..self.rows).map(|i| self.row(i).iter().zip(v).map(|(&a, &b)| a * b).sum()).collect()
     }
 
     /// Kronecker (tensor) product `self ⊗ rhs`.
@@ -196,11 +194,7 @@ impl CMat {
     /// Largest absolute entry-wise difference to `rhs`.
     pub fn max_abs_diff(&self, rhs: &CMat) -> f64 {
         assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
-        self.data
-            .iter()
-            .zip(&rhs.data)
-            .map(|(&a, &b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(&rhs.data).map(|(&a, &b)| (a - b).abs()).fold(0.0, f64::max)
     }
 
     /// `true` when `self† · self ≈ I` within `tol`.
@@ -349,8 +343,10 @@ mod tests {
     #[test]
     fn parallel_matmul_matches_serial_complex() {
         let n = 96;
-        let a = CMat::from_fn(n, n, |i, j| C64::new(((i + j) % 5) as f64 - 2.0, ((i * j) % 3) as f64));
-        let b = CMat::from_fn(n, n, |i, j| C64::new(((2 * i + j) % 7) as f64 - 3.0, (i % 2) as f64));
+        let a =
+            CMat::from_fn(n, n, |i, j| C64::new(((i + j) % 5) as f64 - 2.0, ((i * j) % 3) as f64));
+        let b =
+            CMat::from_fn(n, n, |i, j| C64::new(((2 * i + j) % 7) as f64 - 3.0, (i % 2) as f64));
         let fast = a.matmul(&b);
         let mut slow = CMat::zeros(n, n);
         for i in 0..n {

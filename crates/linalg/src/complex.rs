@@ -124,10 +124,7 @@ impl Mul for C64 {
     type Output = C64;
     #[inline]
     fn mul(self, rhs: C64) -> C64 {
-        C64 {
-            re: self.re * rhs.re - self.im * rhs.im,
-            im: self.re * rhs.im + self.im * rhs.re,
-        }
+        C64 { re: self.re * rhs.re - self.im * rhs.im, im: self.re * rhs.im + self.im * rhs.re }
     }
 }
 

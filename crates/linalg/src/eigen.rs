@@ -188,9 +188,10 @@ mod tests {
 
     #[test]
     fn trace_equals_eigenvalue_sum() {
-        let a = Mat::from_fn(8, 8, |i, j| ((i * j) % 5) as f64 * 0.5 + if i == j { 2.0 } else { 0.0 })
-            .add(&Mat::from_fn(8, 8, |i, j| ((j * i) % 5) as f64 * 0.5))
-            .scale(0.5);
+        let a =
+            Mat::from_fn(8, 8, |i, j| ((i * j) % 5) as f64 * 0.5 + if i == j { 2.0 } else { 0.0 })
+                .add(&Mat::from_fn(8, 8, |i, j| ((j * i) % 5) as f64 * 0.5))
+                .scale(0.5);
         let sym = a.add(&a.transpose()).scale(0.5);
         let e = SymEigen::decompose(&sym);
         assert_close(e.values.iter().sum::<f64>(), sym.trace(), 1e-9);

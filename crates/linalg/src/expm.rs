@@ -98,11 +98,7 @@ mod tests {
 
     #[test]
     fn spectral_and_taylor_agree() {
-        let h = Mat::from_rows(&[
-            vec![1.0, 0.5, 0.0],
-            vec![0.5, -1.0, 0.25],
-            vec![0.0, 0.25, 0.5],
-        ]);
+        let h = Mat::from_rows(&[vec![1.0, 0.5, 0.0], vec![0.5, -1.0, 0.25], vec![0.0, 0.25, 0.5]]);
         let spectral = expm_i_symmetric(&h, 1.3);
         let ih = CMat::from_real(&h).scale(C64::new(0.0, 1.3));
         let taylor = expm_taylor(&ih);
@@ -131,7 +127,8 @@ mod tests {
 
     #[test]
     fn taylor_handles_larger_norms_via_scaling() {
-        let a = CMat::from_fn(3, 3, |i, j| C64::new(((i + j) % 3) as f64, (i as f64 - j as f64) * 0.5));
+        let a =
+            CMat::from_fn(3, 3, |i, j| C64::new(((i + j) % 3) as f64, (i as f64 - j as f64) * 0.5));
         // exp(A) · exp(−A) = I for commuting pair (A, −A).
         let e1 = expm_taylor(&a);
         let e2 = expm_taylor(&a.scale(C64::real(-1.0)));

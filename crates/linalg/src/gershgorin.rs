@@ -17,13 +17,8 @@ pub fn max_eigenvalue_bound(a: &Mat) -> f64 {
     }
     (0..a.rows())
         .map(|i| {
-            let radius: f64 = a
-                .row(i)
-                .iter()
-                .enumerate()
-                .filter(|&(j, _)| j != i)
-                .map(|(_, v)| v.abs())
-                .sum();
+            let radius: f64 =
+                a.row(i).iter().enumerate().filter(|&(j, _)| j != i).map(|(_, v)| v.abs()).sum();
             a[(i, i)] + radius
         })
         .fold(f64::NEG_INFINITY, f64::max)
@@ -38,13 +33,8 @@ pub fn min_eigenvalue_bound(a: &Mat) -> f64 {
     }
     (0..a.rows())
         .map(|i| {
-            let radius: f64 = a
-                .row(i)
-                .iter()
-                .enumerate()
-                .filter(|&(j, _)| j != i)
-                .map(|(_, v)| v.abs())
-                .sum();
+            let radius: f64 =
+                a.row(i).iter().enumerate().filter(|&(j, _)| j != i).map(|(_, v)| v.abs()).sum();
             a[(i, i)] - radius
         })
         .fold(f64::INFINITY, f64::min)
@@ -77,11 +67,8 @@ mod tests {
 
     #[test]
     fn bound_dominates_true_spectrum() {
-        let a = Mat::from_rows(&[
-            vec![2.0, -1.0, 0.0],
-            vec![-1.0, 2.0, -1.0],
-            vec![0.0, -1.0, 2.0],
-        ]);
+        let a =
+            Mat::from_rows(&[vec![2.0, -1.0, 0.0], vec![-1.0, 2.0, -1.0], vec![0.0, -1.0, 2.0]]);
         let bound = max_eigenvalue_bound(&a);
         let max_eig = SymEigen::eigenvalues(&a).last().copied().unwrap();
         assert!(bound >= max_eig - 1e-12, "bound {bound} < λ_max {max_eig}");

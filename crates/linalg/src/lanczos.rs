@@ -2,12 +2,14 @@
 //!
 //! The dense Jacobi eigensolver is cubic with a dense-matrix footprint;
 //! for the large, very sparse combinatorial Laplacians of bigger
-//! complexes the Lanczos process needs only `matvec`s. With full
+//! complexes the Lanczos process needs only `matvec`s — it is therefore
+//! written against the [`LaplacianOp`] abstraction and works for any
+//! representation (CSR in practice; dense for cross-checks). With full
 //! reorthogonalisation and a complete run (`m = n`) it reproduces the
-//! exact spectrum (used by `qtda-core`'s sparse spectrum path); with
+//! exact spectrum (used by `qtda-core`'s `LanczosBackend`); with
 //! `m ≪ n` it delivers the extremal Ritz values.
 
-use crate::sparse::CsrMatrix;
+use crate::op::LaplacianOp;
 
 /// Eigenvalues of a symmetric tridiagonal matrix by the implicit-shift
 /// QL algorithm (EISPACK `tql1`). `diag` is the diagonal, `off` the
@@ -81,9 +83,8 @@ pub fn tridiagonal_eigenvalues(diag: &[f64], off: &[f64]) -> Vec<f64> {
 /// reorthogonalisation and returns the Ritz values. With `m = n` on a
 /// well-conditioned symmetric matrix this is the exact spectrum.
 /// Deterministic given `seed`.
-pub fn lanczos_ritz_values(a: &CsrMatrix, m: usize, seed: u64) -> Vec<f64> {
-    assert_eq!(a.n_rows(), a.n_cols(), "square matrices only");
-    let n = a.n_rows();
+pub fn lanczos_ritz_values<A: LaplacianOp + ?Sized>(a: &A, m: usize, seed: u64) -> Vec<f64> {
+    let n = a.dim();
     if n == 0 {
         return Vec::new();
     }
@@ -165,13 +166,10 @@ pub fn lanczos_ritz_values(a: &CsrMatrix, m: usize, seed: u64) -> Vec<f64> {
     tridiagonal_eigenvalues(&alphas, &betas[..alphas.len().saturating_sub(1)])
 }
 
-/// Kernel dimension of a sparse symmetric PSD matrix via a full Lanczos
+/// Kernel dimension of a symmetric PSD operator via a full Lanczos
 /// run: Ritz values with `|λ| ≤ tol` (exact for `m = n`).
-pub fn kernel_dim_lanczos(a: &CsrMatrix, tol: f64, seed: u64) -> usize {
-    lanczos_ritz_values(a, a.n_rows(), seed)
-        .iter()
-        .filter(|l| l.abs() <= tol)
-        .count()
+pub fn kernel_dim_lanczos<A: LaplacianOp + ?Sized>(a: &A, tol: f64, seed: u64) -> usize {
+    lanczos_ritz_values(a, a.dim(), seed).iter().filter(|l| l.abs() <= tol).count()
 }
 
 fn dot(a: &[f64], b: &[f64]) -> f64 {
@@ -189,6 +187,7 @@ fn normalise(v: &mut [f64]) {
 mod tests {
     use super::*;
     use crate::eigen::SymEigen;
+    use crate::sparse::CsrMatrix;
     use crate::Mat;
 
     fn assert_spectra_match(a: &[f64], b: &[f64], tol: f64) {

@@ -15,7 +15,11 @@
 //!   — [`gershgorin`],
 //! * plain dense real ([`matrix::Mat`]) and complex ([`cmatrix::CMat`])
 //!   matrices with the handful of operations the rest of the workspace
-//!   needs (products, Kronecker products, adjoints, block embedding).
+//!   needs (products, Kronecker products, adjoints, block embedding),
+//! * the **sparse-first operator layer**: CSR storage ([`sparse`]),
+//!   Lanczos tridiagonalisation ([`lanczos`]) and the [`op::LaplacianOp`]
+//!   abstraction over `matvec`/dimension/spectral bounds that lets the
+//!   pipeline above treat dense and sparse Laplacians interchangeably.
 //!
 //! Everything is implemented from scratch on `Vec<f64>` storage; larger
 //! matrix products switch to [rayon] row-parallel kernels.
@@ -30,6 +34,7 @@ pub mod expm;
 pub mod gershgorin;
 pub mod lanczos;
 pub mod matrix;
+pub mod op;
 pub mod rank;
 pub mod sparse;
 
@@ -37,3 +42,5 @@ pub use cmatrix::CMat;
 pub use complex::C64;
 pub use eigen::SymEigen;
 pub use matrix::Mat;
+pub use op::LaplacianOp;
+pub use sparse::CsrMatrix;

@@ -193,9 +193,7 @@ impl Mat {
     /// Matrix–vector product.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, v.len(), "dimension mismatch");
-        (0..self.rows)
-            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect()
+        (0..self.rows).map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum()).collect()
     }
 
     /// Trace (sum of diagonal entries). Panics if not square.
@@ -212,11 +210,7 @@ impl Mat {
     /// Largest absolute entry-wise difference to `rhs`.
     pub fn max_abs_diff(&self, rhs: &Mat) -> f64 {
         assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
-        self.data
-            .iter()
-            .zip(&rhs.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(&rhs.data).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
     }
 
     /// `true` if symmetric within `tol`.
@@ -258,9 +252,7 @@ impl Mat {
     /// `tol` from an integer (guards accidental use on non-integral data).
     pub fn to_integer_rows(&self, tol: f64) -> Vec<Vec<i64>> {
         assert!(self.is_integral(tol), "matrix entries are not integral");
-        (0..self.rows)
-            .map(|i| self.row(i).iter().map(|a| a.round() as i64).collect())
-            .collect()
+        (0..self.rows).map(|i| self.row(i).iter().map(|a| a.round() as i64).collect()).collect()
     }
 }
 

@@ -79,10 +79,8 @@ pub fn rank_exact(rows: &[Vec<i64>]) -> Option<usize> {
         return Some(0);
     }
     debug_assert!(rows.iter().all(|r| r.len() == n), "ragged rows");
-    let mut w: Vec<Vec<i128>> = rows
-        .iter()
-        .map(|r| r.iter().map(|&x| x as i128).collect())
-        .collect();
+    let mut w: Vec<Vec<i128>> =
+        rows.iter().map(|r| r.iter().map(|&x| x as i128).collect()).collect();
 
     let mut prev_pivot: i128 = 1;
     let mut rank = 0;
@@ -90,9 +88,8 @@ pub fn rank_exact(rows: &[Vec<i64>]) -> Option<usize> {
     for col in 0..n {
         // Find any nonzero pivot in this column (prefer smallest magnitude
         // to slow entry growth).
-        let pivot_row = (row..m)
-            .filter(|&r| w[r][col] != 0)
-            .min_by_key(|&r| w[r][col].unsigned_abs());
+        let pivot_row =
+            (row..m).filter(|&r| w[r][col] != 0).min_by_key(|&r| w[r][col].unsigned_abs());
         let pivot_row = match pivot_row {
             Some(p) => p,
             None => continue,
@@ -151,11 +148,7 @@ mod tests {
 
     #[test]
     fn duplicated_rows_drop_rank() {
-        let a = Mat::from_rows(&[
-            vec![1.0, 2.0, 3.0],
-            vec![2.0, 4.0, 6.0],
-            vec![0.0, 1.0, 1.0],
-        ]);
+        let a = Mat::from_rows(&[vec![1.0, 2.0, 3.0], vec![2.0, 4.0, 6.0], vec![0.0, 1.0, 1.0]]);
         assert_eq!(rank_f64(&a, DEFAULT_RANK_TOL), 2);
         assert_eq!(rank_integral(&a), 2);
     }

@@ -138,6 +138,42 @@ impl CsrMatrix {
         self.matvec(x).iter().zip(x).map(|(y, xi)| y * xi).sum()
     }
 
+    /// Embeds `self` into the top-left of an `n × n` matrix whose
+    /// remaining diagonal is `fill` (the Eq. 7 padding shape), staying
+    /// sparse. Panics on a non-square input or a shrinking target.
+    pub fn embed_top_left(&self, n: usize, fill: f64) -> CsrMatrix {
+        assert_eq!(self.n_rows, self.n_cols, "padding requires a square matrix");
+        assert!(n >= self.n_rows, "target must not shrink the matrix");
+        let extra = if fill != 0.0 { n - self.n_rows } else { 0 };
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        row_ptr.extend_from_slice(&self.row_ptr);
+        let mut col_idx = Vec::with_capacity(self.col_idx.len() + extra);
+        col_idx.extend_from_slice(&self.col_idx);
+        let mut values = Vec::with_capacity(self.values.len() + extra);
+        values.extend_from_slice(&self.values);
+        for i in self.n_rows..n {
+            if fill != 0.0 {
+                col_idx.push(i as u32);
+                values.push(fill);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix { n_rows: n, n_cols: n, row_ptr, col_idx, values }
+    }
+
+    /// The matrix scaled by `s`, staying sparse. Scaling by exactly zero
+    /// drops every stored entry (keeps the "no explicit zeros" invariant).
+    pub fn scale(&self, s: f64) -> CsrMatrix {
+        if s == 0.0 {
+            return CsrMatrix::from_triplets(self.n_rows, self.n_cols, Vec::new());
+        }
+        let mut out = self.clone();
+        for v in &mut out.values {
+            *v *= s;
+        }
+        out
+    }
+
     /// Gershgorin upper bound on the spectrum (square, any symmetry).
     pub fn gershgorin_max(&self) -> f64 {
         assert_eq!(self.n_rows, self.n_cols, "square matrices only");
@@ -163,56 +199,11 @@ impl CsrMatrix {
     /// Power iteration estimate of λ_max for a **symmetric PSD** matrix,
     /// inflated by the final Rayleigh residual so the returned value is a
     /// (probabilistic) upper bound suitable for the Eq. 7/9 rescale.
-    /// Deterministic given `seed`.
+    /// Deterministic given `seed`. (Thin wrapper over the
+    /// representation-generic [`crate::op::lambda_max_power`].)
     pub fn lambda_max_power(&self, iterations: usize, seed: u64) -> f64 {
         assert_eq!(self.n_rows, self.n_cols, "square matrices only");
-        let n = self.n_rows;
-        if n == 0 {
-            return 0.0;
-        }
-        // Internal xorshift so linalg stays dependency-free.
-        let mut state = seed | 1;
-        let mut next = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
-        };
-        let mut v: Vec<f64> = (0..n).map(|_| next()).collect();
-        normalise(&mut v);
-        let mut rayleigh = 0.0;
-        let mut residual = f64::INFINITY;
-        for _ in 0..iterations.max(1) {
-            let mut av = self.matvec(&v);
-            rayleigh = dot(&av, &v);
-            // residual ‖Av − ρv‖ bounds |λ_max − ρ| for symmetric A.
-            residual = av
-                .iter()
-                .zip(&v)
-                .map(|(a, x)| (a - rayleigh * x) * (a - rayleigh * x))
-                .sum::<f64>()
-                .sqrt();
-            let norm = av.iter().map(|x| x * x).sum::<f64>().sqrt();
-            if norm < 1e-14 {
-                return 0.0; // zero matrix (PSD ⇒ all eigenvalues 0)
-            }
-            for x in &mut av {
-                *x /= norm;
-            }
-            v = av;
-        }
-        rayleigh + residual
-    }
-}
-
-fn dot(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
-}
-
-fn normalise(v: &mut [f64]) {
-    let n = v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-300);
-    for x in v {
-        *x /= n;
+        crate::op::lambda_max_power(self, iterations, seed)
     }
 }
 
@@ -288,9 +279,7 @@ mod tests {
     fn gershgorin_matches_dense_version() {
         let m = laplacian_path4();
         let csr = CsrMatrix::from_dense(&m, 0.0);
-        assert!(
-            (csr.gershgorin_max() - crate::gershgorin::max_eigenvalue_bound(&m)).abs() < 1e-15
-        );
+        assert!((csr.gershgorin_max() - crate::gershgorin::max_eigenvalue_bound(&m)).abs() < 1e-15);
     }
 
     #[test]

@@ -6,8 +6,19 @@ use qtda_linalg::{
     expm::{expm_i_symmetric, expm_taylor},
     gershgorin::{max_eigenvalue_bound, min_eigenvalue_bound},
     rank::{nullity_f64, rank_exact, rank_f64, rank_integral, DEFAULT_RANK_TOL},
-    CMat, Mat, C64,
+    CMat, CsrMatrix, Mat, C64,
 };
+
+/// Strategy: a triplet list over a small matrix shape, deliberately
+/// unsorted, with duplicates likely (coordinates drawn from a tiny
+/// domain) and values from {-1, 0, 1, 2} so exact cancellations to zero
+/// actually occur.
+fn arb_triplets() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f64)>)> {
+    (1usize..7, 1usize..7).prop_flat_map(|(rows, cols)| {
+        let entry = (0..rows, 0..cols, -1i64..=2).prop_map(|(r, c, v)| (r, c, v as f64));
+        proptest::collection::vec(entry, 0..40).prop_map(move |triplets| (rows, cols, triplets))
+    })
+}
 
 /// Strategy: a small symmetric matrix with entries in [-3, 3].
 fn symmetric_mat(max_n: usize) -> impl Strategy<Value = Mat> {
@@ -121,6 +132,44 @@ proptest! {
         let lhs = a2.matmul(&b2).matmul(&c);
         let rhs = a2.matmul(&b2.matmul(&c));
         prop_assert!(lhs.max_abs_diff(&rhs) < 1e-7);
+    }
+
+    /// `from_triplets` contract on arbitrary (unsorted, duplicated,
+    /// cancelling) triplet soups: duplicates sum, exact zeros are
+    /// dropped from storage, and every row — including trailing empty
+    /// ones — is represented.
+    #[test]
+    fn csr_from_triplets_sums_drops_and_represents_all_rows(
+        (rows, cols, triplets) in arb_triplets()
+    ) {
+        let csr = CsrMatrix::from_triplets(rows, cols, triplets.clone());
+
+        // Reference: naive dense accumulation of the same triplets.
+        let mut dense = Mat::zeros(rows, cols);
+        for &(r, c, v) in &triplets {
+            dense[(r, c)] += v;
+        }
+        prop_assert_eq!(csr.n_rows(), rows);
+        prop_assert_eq!(csr.n_cols(), cols);
+        prop_assert!(csr.to_dense().max_abs_diff(&dense) < 1e-12);
+
+        // Exact zeros (including duplicate groups summing to zero) are
+        // not stored.
+        let expected_nnz = (0..rows)
+            .flat_map(|r| (0..cols).map(move |c| (r, c)))
+            .filter(|&(r, c)| dense[(r, c)] != 0.0)
+            .count();
+        prop_assert_eq!(csr.nnz(), expected_nnz);
+
+        // Every row is addressable: row_entries(i) must not panic even
+        // for empty/trailing rows, and matvec sees the full height.
+        for i in 0..rows {
+            let row_sum: f64 = csr.row_entries(i).map(|(_, &v)| v).sum();
+            let dense_sum: f64 = dense.row(i).iter().sum();
+            prop_assert!((row_sum - dense_sum).abs() < 1e-12, "row {}", i);
+        }
+        let y = csr.matvec(&vec![1.0; cols]);
+        prop_assert_eq!(y.len(), rows);
     }
 
     #[test]

@@ -15,5 +15,5 @@ pub mod scaler;
 pub mod split;
 
 pub use dataset::Dataset;
-pub use logistic::{LogisticRegression, LogisticConfig};
+pub use logistic::{LogisticConfig, LogisticRegression};
 pub use scaler::StandardScaler;

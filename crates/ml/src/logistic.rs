@@ -146,7 +146,8 @@ mod tests {
     fn l2_shrinks_weights() {
         let mut rng = StdRng::seed_from_u64(4);
         let data = separable(40, 2.0, &mut rng);
-        let loose = LogisticRegression::fit(&data, &LogisticConfig { l2: 0.0, ..Default::default() });
+        let loose =
+            LogisticRegression::fit(&data, &LogisticConfig { l2: 0.0, ..Default::default() });
         let tight =
             LogisticRegression::fit(&data, &LogisticConfig { l2: 0.5, ..Default::default() });
         let norm = |m: &LogisticRegression| m.weights().iter().map(|w| w * w).sum::<f64>();

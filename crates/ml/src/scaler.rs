@@ -48,10 +48,7 @@ impl StandardScaler {
     /// Transforms one row.
     pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
         assert_eq!(row.len(), self.means.len(), "feature count mismatch");
-        row.iter()
-            .zip(self.means.iter().zip(&self.stds))
-            .map(|(v, (m, s))| (v - m) / s)
-            .collect()
+        row.iter().zip(self.means.iter().zip(&self.stds)).map(|(v, (m, s))| (v - m) / s).collect()
     }
 
     /// Transforms many rows.
@@ -61,7 +58,10 @@ impl StandardScaler {
 
     /// Fits on the training features and returns both transformed sets —
     /// the standard leak-free protocol.
-    pub fn fit_transform_pair(train: &Dataset, val: &Dataset) -> (Dataset, Dataset, StandardScaler) {
+    pub fn fit_transform_pair(
+        train: &Dataset,
+        val: &Dataset,
+    ) -> (Dataset, Dataset, StandardScaler) {
         let scaler = StandardScaler::fit(&train.x);
         (
             Dataset::new(scaler.transform(&train.x), train.y.clone()),

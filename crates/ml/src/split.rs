@@ -26,7 +26,8 @@ pub fn train_test_split(
             let mut idx: Vec<usize> = (0..data.len()).filter(|&i| data.y[i] == class).collect();
             idx.shuffle(rng);
             let n_train = ((idx.len() as f64) * train_fraction).round() as usize;
-            let n_train = n_train.clamp(usize::from(!idx.is_empty()), idx.len().saturating_sub(1).max(1));
+            let n_train =
+                n_train.clamp(usize::from(!idx.is_empty()), idx.len().saturating_sub(1).max(1));
             for (pos, i) in idx.into_iter().enumerate() {
                 if pos < n_train {
                     train_idx.push(i);

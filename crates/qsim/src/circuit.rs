@@ -76,11 +76,9 @@ impl Op {
     pub fn dagger(&self) -> Op {
         match self {
             Op::Single { target, gate } => Op::Single { target: *target, gate: gate.dagger() },
-            Op::Controlled { controls, target, gate } => Op::Controlled {
-                controls: controls.clone(),
-                target: *target,
-                gate: gate.dagger(),
-            },
+            Op::Controlled { controls, target, gate } => {
+                Op::Controlled { controls: controls.clone(), target: *target, gate: gate.dagger() }
+            }
             Op::Unitary { qubits, matrix, label } => Op::Unitary {
                 qubits: qubits.clone(),
                 matrix: matrix.adjoint(),
@@ -204,7 +202,12 @@ impl Circuit {
     }
 
     /// Dense unitary on a register.
-    pub fn unitary(&mut self, qubits: Vec<usize>, matrix: CMat, label: impl Into<String>) -> &mut Self {
+    pub fn unitary(
+        &mut self,
+        qubits: Vec<usize>,
+        matrix: CMat,
+        label: impl Into<String>,
+    ) -> &mut Self {
         self.push(Op::Unitary { qubits, matrix, label: label.into() })
     }
 
@@ -270,10 +273,7 @@ impl Circuit {
 
     /// The inverse circuit (ops reversed and daggered).
     pub fn inverse(&self) -> Circuit {
-        Circuit {
-            n_qubits: self.n_qubits,
-            ops: self.ops.iter().rev().map(Op::dagger).collect(),
-        }
+        Circuit { n_qubits: self.n_qubits, ops: self.ops.iter().rev().map(Op::dagger).collect() }
     }
 
     /// The controlled version of this circuit: every op gains the given

@@ -79,10 +79,7 @@ impl PauliDecomposition {
 
     /// Coefficient of a specific string (0 if absent).
     pub fn coefficient(&self, p: &PauliString) -> f64 {
-        self.terms
-            .iter()
-            .find(|(q, _)| q == p)
-            .map_or(0.0, |&(_, c)| c)
+        self.terms.iter().find(|(q, _)| q == p).map_or(0.0, |&(_, c)| c)
     }
 
     /// Rebuilds the dense matrix `Σ c_P P`.
@@ -186,10 +183,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "not Hermitian")]
     fn non_hermitian_rejected() {
-        let m = CMat::from_rows(&[
-            vec![C64::ZERO, C64::ONE],
-            vec![C64::ZERO, C64::ZERO],
-        ]);
+        let m = CMat::from_rows(&[vec![C64::ZERO, C64::ONE], vec![C64::ZERO, C64::ZERO]]);
         let _ = PauliDecomposition::of_hermitian(&m);
     }
 }

@@ -40,10 +40,7 @@ impl DensityMatrix {
         let dim = rho.rows();
         assert!(dim.is_power_of_two() && dim > 0, "dimension must be 2^n");
         assert!(rho.is_hermitian(1e-9), "density matrix must be Hermitian");
-        assert!(
-            rho.trace().approx_eq(C64::ONE, 1e-9),
-            "density matrix must have unit trace"
-        );
+        assert!(rho.trace().approx_eq(C64::ONE, 1e-9), "density matrix must have unit trace");
         DensityMatrix { n_qubits: dim.trailing_zeros() as usize, rho }
     }
 

@@ -40,19 +40,11 @@ fn render_column(lanes: &mut [String], op: &Op) {
         }
         Op::Unitary { qubits, label, .. } => (
             vec![],
-            qubits
-                .iter()
-                .enumerate()
-                .map(|(i, &q)| (q, format!("{label}[{i}]")))
-                .collect(),
+            qubits.iter().enumerate().map(|(i, &q)| (q, format!("{label}[{i}]"))).collect(),
         ),
         Op::ControlledUnitary { controls, qubits, label, .. } => (
             controls.clone(),
-            qubits
-                .iter()
-                .enumerate()
-                .map(|(i, &q)| (q, format!("{label}[{i}]")))
-                .collect(),
+            qubits.iter().enumerate().map(|(i, &q)| (q, format!("{label}[{i}]"))).collect(),
         ),
         Op::GlobalPhase(_) => return,
     };
@@ -147,11 +139,8 @@ mod tests {
         let mut c = Circuit::new(3);
         c.h(0).cnot(0, 1).rz(2, 0.5).cphase(1, 2, 0.25);
         let art = draw(&c);
-        let lens: Vec<usize> = art
-            .lines()
-            .filter(|l| l.starts_with('q'))
-            .map(|l| l.chars().count())
-            .collect();
+        let lens: Vec<usize> =
+            art.lines().filter(|l| l.starts_with('q')).map(|l| l.chars().count()).collect();
         assert!(lens.windows(2).all(|w| w[0] == w[1]), "{lens:?}\n{art}");
     }
 }

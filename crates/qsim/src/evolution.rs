@@ -229,10 +229,7 @@ mod tests {
         // H with a large identity component: controlling the Trotter
         // circuit must reproduce controlled-e^{iH} including the phase on
         // the identity term (the paper's Fig. 7 global-phase note).
-        let h = Mat::from_diag(&[2.0, 3.0]).add(&Mat::from_rows(&[
-            vec![0.0, 0.5],
-            vec![0.5, 0.0],
-        ]));
+        let h = Mat::from_diag(&[2.0, 3.0]).add(&Mat::from_rows(&[vec![0.0, 0.5], vec![0.5, 0.0]]));
         let d = PauliDecomposition::of_symmetric(&h);
         let trot = trotter_circuit(&d, 1.0, 64, TrotterOrder::Second);
         // Build controlled version on 2 qubits (control = qubit 1).

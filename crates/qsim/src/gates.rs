@@ -30,15 +30,7 @@ impl Gate1 {
             Some(base) => base.to_string(),
             None => format!("{}†", self.name),
         };
-        Gate1 {
-            name,
-            m: [
-                self.m[0].conj(),
-                self.m[2].conj(),
-                self.m[1].conj(),
-                self.m[3].conj(),
-            ],
-        }
+        Gate1 { name, m: [self.m[0].conj(), self.m[2].conj(), self.m[1].conj(), self.m[3].conj()] }
     }
 
     /// `true` when `m† m = I` within `tol`.
@@ -47,7 +39,9 @@ impl Gate1 {
         let e00 = a.conj() * a + c.conj() * c;
         let e01 = a.conj() * b + c.conj() * d;
         let e11 = b.conj() * b + d.conj() * d;
-        e00.approx_eq(C64::ONE, tol) && e01.approx_eq(C64::ZERO, tol) && e11.approx_eq(C64::ONE, tol)
+        e00.approx_eq(C64::ONE, tol)
+            && e01.approx_eq(C64::ZERO, tol)
+            && e11.approx_eq(C64::ONE, tol)
     }
 }
 
@@ -92,22 +86,14 @@ pub fn rx(phi: f64) -> Gate1 {
     let (c, s) = ((phi / 2.0).cos(), (phi / 2.0).sin());
     Gate1::new(
         format!("RX({phi:.3})"),
-        [
-            C64::real(c),
-            C64::new(0.0, -s),
-            C64::new(0.0, -s),
-            C64::real(c),
-        ],
+        [C64::real(c), C64::new(0.0, -s), C64::new(0.0, -s), C64::real(c)],
     )
 }
 
 /// Rotation about Y: `exp(−iφY/2)`.
 pub fn ry(phi: f64) -> Gate1 {
     let (c, s) = ((phi / 2.0).cos(), (phi / 2.0).sin());
-    Gate1::new(
-        format!("RY({phi:.3})"),
-        [C64::real(c), C64::real(-s), C64::real(s), C64::real(c)],
-    )
+    Gate1::new(format!("RY({phi:.3})"), [C64::real(c), C64::real(-s), C64::real(s), C64::real(c)])
 }
 
 /// Rotation about Z: `exp(−iφZ/2) = diag(e^{−iφ/2}, e^{iφ/2})`.
@@ -164,12 +150,7 @@ mod tests {
     fn rz_at_pi_is_z_up_to_global_phase() {
         // RZ(π) = −i·Z.
         let g = rz(std::f64::consts::PI);
-        let expect = [
-            -C64::I * C64::ONE,
-            C64::ZERO,
-            C64::ZERO,
-            -C64::I * -C64::ONE,
-        ];
+        let expect = [-C64::I * C64::ONE, C64::ZERO, C64::ZERO, -C64::I * -C64::ONE];
         for (got, want) in g.m.iter().zip(expect.iter()) {
             assert!(got.approx_eq(*want, TOL));
         }

@@ -134,13 +134,11 @@ mod tests {
         let register = [0usize, 1];
         let shots = 400;
         let mut rng = StdRng::seed_from_u64(3);
-        let clean = DepolarizingNoise::uniform(0.0)
-            .estimate_p_zero(&c, &register, shots, &mut rng);
+        let clean = DepolarizingNoise::uniform(0.0).estimate_p_zero(&c, &register, shots, &mut rng);
         assert!((clean - 1.0).abs() < 1e-12);
-        let light = DepolarizingNoise::uniform(0.05)
-            .estimate_p_zero(&c, &register, shots, &mut rng);
-        let heavy = DepolarizingNoise::uniform(0.5)
-            .estimate_p_zero(&c, &register, shots, &mut rng);
+        let light =
+            DepolarizingNoise::uniform(0.05).estimate_p_zero(&c, &register, shots, &mut rng);
+        let heavy = DepolarizingNoise::uniform(0.5).estimate_p_zero(&c, &register, shots, &mut rng);
         assert!(light > heavy, "light {light} vs heavy {heavy}");
         assert!(light < 1.0 + 1e-12);
     }

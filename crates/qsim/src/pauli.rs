@@ -27,18 +27,9 @@ impl PauliOp {
     pub fn matrix(self) -> CMat {
         match self {
             PauliOp::I => CMat::identity(2),
-            PauliOp::X => CMat::from_rows(&[
-                vec![C64::ZERO, C64::ONE],
-                vec![C64::ONE, C64::ZERO],
-            ]),
-            PauliOp::Y => CMat::from_rows(&[
-                vec![C64::ZERO, -C64::I],
-                vec![C64::I, C64::ZERO],
-            ]),
-            PauliOp::Z => CMat::from_rows(&[
-                vec![C64::ONE, C64::ZERO],
-                vec![C64::ZERO, -C64::ONE],
-            ]),
+            PauliOp::X => CMat::from_rows(&[vec![C64::ZERO, C64::ONE], vec![C64::ONE, C64::ZERO]]),
+            PauliOp::Y => CMat::from_rows(&[vec![C64::ZERO, -C64::I], vec![C64::I, C64::ZERO]]),
+            PauliOp::Z => CMat::from_rows(&[vec![C64::ONE, C64::ZERO], vec![C64::ZERO, -C64::ONE]]),
         }
     }
 
@@ -91,12 +82,7 @@ impl PauliString {
 
     /// Qubits with a non-identity operator.
     pub fn support(&self) -> Vec<usize> {
-        self.ops
-            .iter()
-            .enumerate()
-            .filter(|(_, &op)| op != PauliOp::I)
-            .map(|(i, _)| i)
-            .collect()
+        self.ops.iter().enumerate().filter(|(_, &op)| op != PauliOp::I).map(|(i, _)| i).collect()
     }
 
     /// Number of non-identity factors.

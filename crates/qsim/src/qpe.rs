@@ -104,10 +104,7 @@ mod tests {
     /// diag(e^{2πiθ_0}, e^{2πiθ_1}) on one system qubit.
     fn diag_unitary(thetas: &[f64]) -> CMat {
         CMat::from_diag(
-            &thetas
-                .iter()
-                .map(|&t| C64::cis(std::f64::consts::TAU * t))
-                .collect::<Vec<_>>(),
+            &thetas.iter().map(|&t| C64::cis(std::f64::consts::TAU * t)).collect::<Vec<_>>(),
         )
     }
 
@@ -146,10 +143,7 @@ mod tests {
         let probs = qpe_distribution(&u, p, 0);
         for (m, &prob) in probs.iter().enumerate() {
             let expect = qpe_outcome_probability(theta, p, m as u64);
-            assert!(
-                (prob - expect).abs() < 1e-9,
-                "m = {m}: circuit {prob} vs analytic {expect}"
-            );
+            assert!((prob - expect).abs() < 1e-9, "m = {m}: circuit {prob} vs analytic {expect}");
         }
     }
 
@@ -157,9 +151,8 @@ mod tests {
     fn analytic_kernel_is_a_distribution() {
         for &theta in &[0.0, 0.1234, 0.5, 0.875, 0.9999] {
             for p in 1..=6usize {
-                let total: f64 = (0..(1u64 << p))
-                    .map(|m| qpe_outcome_probability(theta, p, m))
-                    .sum();
+                let total: f64 =
+                    (0..(1u64 << p)).map(|m| qpe_outcome_probability(theta, p, m)).sum();
                 assert!((total - 1.0).abs() < 1e-9, "θ = {theta}, p = {p}: Σ = {total}");
             }
         }

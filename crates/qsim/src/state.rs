@@ -77,11 +77,7 @@ impl StateVector {
     /// Inner product `⟨self|other⟩`.
     pub fn inner(&self, other: &StateVector) -> C64 {
         assert_eq!(self.n_qubits, other.n_qubits);
-        self.amps
-            .iter()
-            .zip(&other.amps)
-            .map(|(&a, &b)| a.conj() * b)
-            .sum()
+        self.amps.iter().zip(&other.amps).map(|(&a, &b)| a.conj() * b).sum()
     }
 
     /// Probability of measuring basis state `index`.
@@ -329,9 +325,8 @@ mod tests {
     #[test]
     fn gates_preserve_norm() {
         let mut s = StateVector::zero(4);
-        for (i, g) in [gates::h(), gates::rx(0.7), gates::ry(1.1), gates::rz(2.3)]
-            .iter()
-            .enumerate()
+        for (i, g) in
+            [gates::h(), gates::rx(0.7), gates::ry(1.1), gates::rz(2.3)].iter().enumerate()
         {
             s.apply_single(i, g);
         }

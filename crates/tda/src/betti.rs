@@ -47,11 +47,7 @@ pub fn betti_numbers(c: &SimplicialComplex) -> Vec<usize> {
 /// Euler characteristic from Betti numbers; must equal the simplex-count
 /// alternating sum (Euler–Poincaré), which tests assert.
 pub fn euler_from_betti(betti: &[usize]) -> i64 {
-    betti
-        .iter()
-        .enumerate()
-        .map(|(k, &b)| if k % 2 == 0 { b as i64 } else { -(b as i64) })
-        .sum()
+    betti.iter().enumerate().map(|(k, &b)| if k % 2 == 0 { b as i64 } else { -(b as i64) }).sum()
 }
 
 #[cfg(test)]

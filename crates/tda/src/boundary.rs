@@ -21,9 +21,7 @@ pub fn boundary_matrix(c: &SimplicialComplex, k: usize) -> Mat {
     let row_index = c.index_map(k - 1);
     for (j, s) in c.simplices(k).iter().enumerate() {
         for (face, sign) in s.boundary() {
-            let i = *row_index
-                .get(&face)
-                .expect("complex is not downward closed");
+            let i = *row_index.get(&face).expect("complex is not downward closed");
             m[(i, j)] = sign as f64;
         }
     }
@@ -40,11 +38,8 @@ pub fn boundary_columns(c: &SimplicialComplex, k: usize) -> Vec<Vec<(usize, i64)
     c.simplices(k)
         .iter()
         .map(|s| {
-            let mut col: Vec<(usize, i64)> = s
-                .boundary()
-                .into_iter()
-                .map(|(face, sign)| (row_index[&face], sign))
-                .collect();
+            let mut col: Vec<(usize, i64)> =
+                s.boundary().into_iter().map(|(face, sign)| (row_index[&face], sign)).collect();
             col.sort_unstable_by_key(|&(i, _)| i);
             col
         })
@@ -106,11 +101,7 @@ mod tests {
                 continue;
             }
             let prod = dk.matmul(&dk1);
-            assert!(
-                prod.frobenius_norm() < 1e-12,
-                "∂_{k} ∘ ∂_{} ≠ 0",
-                k + 1
-            );
+            assert!(prod.frobenius_norm() < 1e-12, "∂_{k} ∘ ∂_{} ≠ 0", k + 1);
         }
     }
 

@@ -51,9 +51,8 @@ impl SimplicialComplex {
 
     /// Inserts a simplex and all of its faces.
     pub fn insert(&mut self, s: Simplex) {
-        let extended = SimplicialComplex::from_simplices(
-            self.iter().cloned().chain(std::iter::once(s)),
-        );
+        let extended =
+            SimplicialComplex::from_simplices(self.iter().cloned().chain(std::iter::once(s)));
         *self = extended;
     }
 
@@ -88,9 +87,7 @@ impl SimplicialComplex {
 
     /// `true` if the simplex is present.
     pub fn contains(&self, s: &Simplex) -> bool {
-        self.by_dim
-            .get(s.dim())
-            .is_some_and(|v| v.binary_search(s).is_ok())
+        self.by_dim.get(s.dim()).is_some_and(|v| v.binary_search(s).is_ok())
     }
 
     /// Position of `s` within its dimension's sorted list.

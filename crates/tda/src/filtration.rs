@@ -31,10 +31,7 @@ impl Filtration {
     /// Builds the Rips filtration of `cloud` up to scale `max_epsilon` and
     /// dimension `max_dim`.
     pub fn rips(cloud: &PointCloud, max_epsilon: f64, max_dim: usize, metric: Metric) -> Self {
-        let complex = rips_complex(
-            cloud,
-            &RipsParams { epsilon: max_epsilon, max_dim, metric },
-        );
+        let complex = rips_complex(cloud, &RipsParams { epsilon: max_epsilon, max_dim, metric });
         let mut simplices: Vec<FilteredSimplex> = complex
             .iter()
             .map(|s| FilteredSimplex { value: diameter(s, cloud, metric), simplex: s.clone() })
@@ -66,20 +63,13 @@ impl Filtration {
 
     /// Global index of each simplex (position in filtration order).
     pub fn index_map(&self) -> HashMap<&Simplex, usize> {
-        self.simplices
-            .iter()
-            .enumerate()
-            .map(|(i, fs)| (&fs.simplex, i))
-            .collect()
+        self.simplices.iter().enumerate().map(|(i, fs)| (&fs.simplex, i)).collect()
     }
 
     /// The subcomplex at scale ε (all simplices with `value ≤ ε`).
     pub fn complex_at(&self, epsilon: f64) -> SimplicialComplex {
         SimplicialComplex::from_simplices(
-            self.simplices
-                .iter()
-                .filter(|fs| fs.value <= epsilon)
-                .map(|fs| fs.simplex.clone()),
+            self.simplices.iter().filter(|fs| fs.value <= epsilon).map(|fs| fs.simplex.clone()),
         )
     }
 
@@ -88,13 +78,8 @@ impl Filtration {
     pub fn is_valid(&self) -> bool {
         let idx = self.index_map();
         self.simplices.iter().enumerate().all(|(i, fs)| {
-            fs.simplex.boundary().iter().all(|(face, _)| {
-                idx.get(&face).is_some_and(|&j| j < i)
-            })
-        }) && self
-            .simplices
-            .windows(2)
-            .all(|w| w[0].value <= w[1].value)
+            fs.simplex.boundary().iter().all(|(face, _)| idx.get(&face).is_some_and(|&j| j < i))
+        }) && self.simplices.windows(2).all(|w| w[0].value <= w[1].value)
     }
 }
 
@@ -167,11 +152,7 @@ mod tests {
     fn triangle_value_is_longest_edge() {
         let pc = PointCloud::new(2, vec![0.0, 0.0, 3.0, 0.0, 0.0, 4.0]);
         let f = Filtration::rips(&pc, 10.0, 2, Metric::Euclidean);
-        let tri = f
-            .simplices()
-            .iter()
-            .find(|fs| fs.simplex.dim() == 2)
-            .expect("triangle present");
+        let tri = f.simplices().iter().find(|fs| fs.simplex.dim() == 2).expect("triangle present");
         assert!((tri.value - 5.0).abs() < 1e-12, "hypotenuse dominates");
     }
 

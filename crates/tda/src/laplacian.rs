@@ -1,7 +1,9 @@
-//! Combinatorial Laplacians Δ_k = ∂_kᵀ∂_k + ∂_{k+1}∂_{k+1}ᵀ (paper Eq. 5).
+//! Combinatorial Laplacians Δ_k = ∂_kᵀ∂_k + ∂_{k+1}∂_{k+1}ᵀ (paper Eq. 5),
+//! in dense and sparse-first (CSR) form.
 
-use crate::boundary::boundary_matrix;
+use crate::boundary::{boundary_columns, boundary_matrix};
 use crate::complex::SimplicialComplex;
+use qtda_linalg::sparse::CsrMatrix;
 use qtda_linalg::Mat;
 
 /// Dense Δ_k of a complex; `|S_k| × |S_k|`, real symmetric, positive
@@ -25,6 +27,49 @@ pub fn combinatorial_laplacian(c: &SimplicialComplex, k: usize) -> Mat {
     }
     let d_k = boundary_matrix(c, k);
     d_k.gram().add(&up) // ∂_kᵀ∂_k + ∂_{k+1}∂_{k+1}ᵀ
+}
+
+/// Sparse Δ_k assembled directly from the boundary maps' `(row, col,
+/// sign)` structure — **no dense intermediate**. Each pair of faces of a
+/// (k+1)-simplex contributes `s_i·s_j` to the up-term, each pair of
+/// cofaces of a (k−1)-simplex contributes to the down-term, and
+/// [`CsrMatrix::from_triplets`] sums the contributions. Cost is
+/// `O(Σ (entries per column/row)²)` — proportional to the Laplacian's
+/// nonzeros, not to `|S_k|²`.
+pub fn combinatorial_laplacian_sparse(c: &SimplicialComplex, k: usize) -> CsrMatrix {
+    let n_k = c.count(k);
+    let mut triplets: Vec<(usize, usize, f64)> = Vec::new();
+
+    // Up-term ∂_{k+1}∂_{k+1}ᵀ: every (k+1)-simplex couples each pair of
+    // its k-faces.
+    for col in boundary_columns(c, k + 1) {
+        for &(i, si) in &col {
+            for &(j, sj) in &col {
+                triplets.push((i, j, (si * sj) as f64));
+            }
+        }
+    }
+
+    // Down-term ∂_kᵀ∂_k: every (k−1)-simplex couples each pair of the
+    // k-simplices it is a face of (∂_0 is the zero map, so k = 0 has no
+    // down part — Δ_0 is the graph Laplacian).
+    if k > 0 {
+        let mut cofaces: Vec<Vec<(usize, i64)>> = vec![Vec::new(); c.count(k - 1)];
+        for (j, col) in boundary_columns(c, k).into_iter().enumerate() {
+            for (r, s) in col {
+                cofaces[r].push((j, s));
+            }
+        }
+        for row in cofaces {
+            for &(a, sa) in &row {
+                for &(b, sb) in &row {
+                    triplets.push((a, b, (sa * sb) as f64));
+                }
+            }
+        }
+    }
+
+    CsrMatrix::from_triplets(n_k, n_k, triplets)
 }
 
 /// All Laplacians Δ_0 … Δ_{max_dim} of a complex.
@@ -55,10 +100,7 @@ mod tests {
             vec![0.0, -1.0, -1.0, 1.0, 2.0, 1.0],
             vec![0.0, 0.0, 0.0, -1.0, 1.0, 2.0],
         ]);
-        assert!(
-            l1.max_abs_diff(&expect) < 1e-12,
-            "Δ₁ mismatch:\n{l1:?}\nexpected\n{expect:?}"
-        );
+        assert!(l1.max_abs_diff(&expect) < 1e-12, "Δ₁ mismatch:\n{l1:?}\nexpected\n{expect:?}");
     }
 
     #[test]
@@ -84,11 +126,8 @@ mod tests {
         // Path 0–1–2: degree diag (1,2,1), off-diagonal −1 on edges.
         let c = SimplicialComplex::from_simplices([Simplex::edge(0, 1), Simplex::edge(1, 2)]);
         let l0 = combinatorial_laplacian(&c, 0);
-        let expect = Mat::from_rows(&[
-            vec![1.0, -1.0, 0.0],
-            vec![-1.0, 2.0, -1.0],
-            vec![0.0, -1.0, 1.0],
-        ]);
+        let expect =
+            Mat::from_rows(&[vec![1.0, -1.0, 0.0], vec![-1.0, 2.0, -1.0], vec![0.0, -1.0, 1.0]]);
         assert!(l0.max_abs_diff(&expect) < 1e-12);
     }
 
@@ -106,6 +145,38 @@ mod tests {
         let l2 = combinatorial_laplacian(&c, 2);
         assert_eq!(l2.rows(), 1);
         assert!((l2[(0, 0)] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_matches_dense_on_worked_example() {
+        let c = worked_example_complex();
+        for k in 0..=2usize {
+            let dense = combinatorial_laplacian(&c, k);
+            let sparse = combinatorial_laplacian_sparse(&c, k);
+            assert_eq!(sparse.n_rows(), dense.rows(), "k = {k}");
+            assert!(
+                sparse.to_dense().max_abs_diff(&dense) < 1e-12,
+                "k = {k}: sparse/dense mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_empty_dimension_is_zero_by_zero() {
+        let c = SimplicialComplex::from_simplices([Simplex::vertex(0)]);
+        let l1 = combinatorial_laplacian_sparse(&c, 1);
+        assert_eq!(l1.n_rows(), 0);
+        assert_eq!(l1.nnz(), 0);
+    }
+
+    #[test]
+    fn sparse_nnz_far_below_dense_on_a_path_graph() {
+        // 40-vertex path: Δ₀ is tridiagonal — 118 nonzeros vs 1600 dense.
+        let c = SimplicialComplex::from_simplices((0..39).map(|i| Simplex::edge(i, i + 1)));
+        let sparse = combinatorial_laplacian_sparse(&c, 0);
+        assert_eq!(sparse.n_rows(), 40);
+        assert_eq!(sparse.nnz(), 40 + 2 * 39);
+        assert!(sparse.to_dense().max_abs_diff(&combinatorial_laplacian(&c, 0)) < 1e-12);
     }
 
     #[test]

@@ -52,16 +52,12 @@ impl Barcode {
     /// survive past ε₂ (ε₁ ≤ ε₂).
     pub fn persistent_betti(&self, dim: usize, eps1: f64, eps2: f64) -> usize {
         assert!(eps1 <= eps2, "ε₁ must not exceed ε₂");
-        self.bars(dim)
-            .filter(|p| p.birth <= eps1 && p.death.is_none_or(|d| eps2 < d))
-            .count()
+        self.bars(dim).filter(|p| p.birth <= eps1 && p.death.is_none_or(|d| eps2 < d)).count()
     }
 
     /// Bars with persistence at least `min_persistence` (noise filter).
     pub fn significant(&self, dim: usize, min_persistence: f64) -> Vec<&PersistencePair> {
-        self.bars(dim)
-            .filter(|p| p.persistence() >= min_persistence)
-            .collect()
+        self.bars(dim).filter(|p| p.persistence() >= min_persistence).collect()
     }
 }
 
@@ -80,12 +76,7 @@ pub fn compute_barcode(filtration: &Filtration) -> Barcode {
     // Z/2 boundary columns in global filtration indices.
     let mut columns: Vec<Vec<usize>> = Vec::with_capacity(n);
     for fs in simplices {
-        let mut col: Vec<usize> = fs
-            .simplex
-            .boundary()
-            .iter()
-            .map(|(face, _)| idx[face])
-            .collect();
+        let mut col: Vec<usize> = fs.simplex.boundary().iter().map(|(face, _)| idx[face]).collect();
         col.sort_unstable();
         columns.push(col);
     }

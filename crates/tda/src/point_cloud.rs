@@ -20,18 +20,11 @@ impl Metric {
     pub fn distance(self, a: &[f64], b: &[f64]) -> f64 {
         debug_assert_eq!(a.len(), b.len());
         match self {
-            Metric::Euclidean => a
-                .iter()
-                .zip(b)
-                .map(|(x, y)| (x - y) * (x - y))
-                .sum::<f64>()
-                .sqrt(),
+            Metric::Euclidean => {
+                a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+            }
             Metric::Manhattan => a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum(),
-            Metric::Chebyshev => a
-                .iter()
-                .zip(b)
-                .map(|(x, y)| (x - y).abs())
-                .fold(0.0, f64::max),
+            Metric::Chebyshev => a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max),
         }
     }
 }

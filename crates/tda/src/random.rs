@@ -73,11 +73,7 @@ impl RandomComplexModel {
 }
 
 /// Level-by-level sampling conditioned on lower faces being present.
-fn sample_downward_closed(
-    n: usize,
-    probs: &[f64],
-    rng: &mut impl Rng,
-) -> SimplicialComplex {
+fn sample_downward_closed(n: usize, probs: &[f64], rng: &mut impl Rng) -> SimplicialComplex {
     let mut kept: Vec<Vec<Simplex>> = Vec::with_capacity(probs.len() + 1);
     kept.push((0..n as u32).map(Simplex::vertex).collect());
     for (level, &p) in probs.iter().enumerate() {
@@ -91,10 +87,7 @@ fn sample_downward_closed(
             let top = *s.vertices().last().expect("nonempty");
             for v in (top + 1)..n as u32 {
                 let cand = s.with_vertex(v);
-                let all_facets = cand
-                    .boundary()
-                    .iter()
-                    .all(|(f, _)| prev_set.contains(f));
+                let all_facets = cand.boundary().iter().all(|(f, _)| prev_set.contains(f));
                 if all_facets && rng.gen_bool(p) {
                     next.push(cand);
                 }
@@ -151,13 +144,9 @@ mod tests {
     #[test]
     fn geometric_rips_is_closed() {
         let mut rng = StdRng::seed_from_u64(3);
-        let c = RandomComplexModel::GeometricRips {
-            n: 12,
-            ambient_dim: 2,
-            epsilon: 0.4,
-            max_dim: 3,
-        }
-        .sample(&mut rng);
+        let c =
+            RandomComplexModel::GeometricRips { n: 12, ambient_dim: 2, epsilon: 0.4, max_dim: 3 }
+                .sample(&mut rng);
         assert!(c.is_closed());
         assert_eq!(c.count(0), 12);
     }

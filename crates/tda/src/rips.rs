@@ -46,11 +46,7 @@ pub fn rips_complex(cloud: &PointCloud, params: &RipsParams) -> SimplicialComple
 
 /// Builds the flag (clique) complex of an explicit graph given as an
 /// upper-neighbour adjacency list (`nbrs[v]` sorted ascending, all `> v`).
-pub fn expand_flag_complex(
-    n: usize,
-    upper_nbrs: &[Vec<u32>],
-    max_dim: usize,
-) -> SimplicialComplex {
+pub fn expand_flag_complex(n: usize, upper_nbrs: &[Vec<u32>], max_dim: usize) -> SimplicialComplex {
     let mut out: Vec<Simplex> = Vec::with_capacity(n);
     let mut scratch: Vec<u32> = Vec::new();
     for v in 0..n as u32 {
@@ -186,10 +182,7 @@ mod tests {
                     e1.vertices().iter().chain(e2.vertices()).copied().collect();
                 if verts.len() == 3 {
                     let tri = Simplex::new(verts.iter().copied().collect());
-                    let all_edges_present = tri
-                        .boundary()
-                        .iter()
-                        .all(|(f, _)| c.contains(f));
+                    let all_edges_present = tri.boundary().iter().all(|(f, _)| c.contains(f));
                     assert_eq!(all_edges_present, c.contains(&tri));
                 }
             }

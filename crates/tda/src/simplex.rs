@@ -67,9 +67,7 @@ impl Simplex {
         if self.dim() == 0 {
             return Vec::new();
         }
-        (0..self.vertices.len())
-            .map(|t| (self.face(t), if t % 2 == 0 { 1 } else { -1 }))
-            .collect()
+        (0..self.vertices.len()).map(|t| (self.face(t), if t % 2 == 0 { 1 } else { -1 })).collect()
     }
 
     /// The simplex with `v` adjoined. Panics if `v` is already a vertex.
@@ -167,11 +165,7 @@ mod tests {
 
     #[test]
     fn ordering_is_lexicographic() {
-        let mut v = [
-            Simplex::new(vec![2, 3]),
-            Simplex::new(vec![1, 3]),
-            Simplex::new(vec![1, 2]),
-        ];
+        let mut v = [Simplex::new(vec![2, 3]), Simplex::new(vec![1, 3]), Simplex::new(vec![1, 2])];
         v.sort();
         assert_eq!(v[0], Simplex::new(vec![1, 2]));
         assert_eq!(v[1], Simplex::new(vec![1, 3]));

@@ -116,10 +116,7 @@ pub fn chebyshev_step_coefficients(degree: usize, x0: f64) -> Vec<f64> {
 fn chebyshev_quadratic_form(a: &CsrMatrix, scale: f64, coeffs: &[f64], z: &[f64]) -> f64 {
     let apply_b = |v: &[f64]| -> Vec<f64> {
         let av = a.matvec(v);
-        av.iter()
-            .zip(v)
-            .map(|(avi, vi)| 2.0 * avi / scale - vi)
-            .collect()
+        av.iter().zip(v).map(|(avi, vi)| 2.0 * avi / scale - vi).collect()
     };
     let mut t_prev: Vec<f64> = z.to_vec(); // T₀(B)z = z
     let mut result = coeffs[0] * dot(z, &t_prev);
@@ -131,11 +128,7 @@ fn chebyshev_quadratic_form(a: &CsrMatrix, scale: f64, coeffs: &[f64], z: &[f64]
     for &c in &coeffs[2..] {
         // T_{j+1} = 2B·T_j − T_{j−1}
         let bt = apply_b(&t_cur);
-        let t_next: Vec<f64> = bt
-            .iter()
-            .zip(&t_prev)
-            .map(|(b, p)| 2.0 * b - p)
-            .collect();
+        let t_next: Vec<f64> = bt.iter().zip(&t_prev).map(|(b, p)| 2.0 * b - p).collect();
         result += c * dot(z, &t_next);
         t_prev = t_cur;
         t_cur = t_next;
@@ -218,13 +211,11 @@ mod tests {
                 if complex.count(k) == 0 {
                     continue;
                 }
-                let spectrum =
-                    qtda_linalg::eigen::SymEigen::eigenvalues(&combinatorial_laplacian(&complex, k));
-                let min_nonzero = spectrum
-                    .iter()
-                    .copied()
-                    .filter(|&l| l > 1e-8)
-                    .fold(f64::INFINITY, f64::min);
+                let spectrum = qtda_linalg::eigen::SymEigen::eigenvalues(&combinatorial_laplacian(
+                    &complex, k,
+                ));
+                let min_nonzero =
+                    spectrum.iter().copied().filter(|&l| l > 1e-8).fold(f64::INFINITY, f64::min);
                 if min_nonzero < 2.0 * params.gap {
                     continue; // window not inside the spectral gap
                 }

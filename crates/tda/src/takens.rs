@@ -87,13 +87,9 @@ mod tests {
         // a circle: every embedded point has (nearly) unit radius.
         let n = 200;
         let period = 40;
-        let s: Vec<f64> = (0..n)
-            .map(|t| (std::f64::consts::TAU * t as f64 / period as f64).sin())
-            .collect();
-        let pc = takens_embedding(
-            &s,
-            &TakensParams { dimension: 2, delay: period / 4, stride: 1 },
-        );
+        let s: Vec<f64> =
+            (0..n).map(|t| (std::f64::consts::TAU * t as f64 / period as f64).sin()).collect();
+        let pc = takens_embedding(&s, &TakensParams { dimension: 2, delay: period / 4, stride: 1 });
         for i in 0..pc.len() {
             let p = pc.point(i);
             let r = (p[0] * p[0] + p[1] * p[1]).sqrt();

@@ -7,7 +7,7 @@ use qtda_tda::betti::{betti_numbers, betti_via_laplacian, euler_from_betti, KERN
 use qtda_tda::boundary::boundary_matrix;
 use qtda_tda::complex::SimplicialComplex;
 use qtda_tda::filtration::Filtration;
-use qtda_tda::laplacian::combinatorial_laplacian;
+use qtda_tda::laplacian::{combinatorial_laplacian, combinatorial_laplacian_sparse};
 use qtda_tda::persistence::compute_barcode;
 use qtda_tda::point_cloud::{Metric, PointCloud};
 use qtda_tda::random::RandomComplexModel;
@@ -162,5 +162,25 @@ proptest! {
         let mut c = SimplicialComplex::new();
         c.insert(Simplex::new(verts));
         prop_assert!(c.is_closed());
+    }
+
+    /// The sparse CSR assembly (straight from boundary triplets, no
+    /// dense intermediate) must reproduce the dense Laplacian entry for
+    /// entry in every dimension of every random complex.
+    #[test]
+    fn sparse_laplacian_equals_dense_laplacian(c in arb_complex()) {
+        let top = c.max_dim().unwrap_or(0);
+        for k in 0..=top + 1 {
+            let dense = combinatorial_laplacian(&c, k);
+            let sparse = combinatorial_laplacian_sparse(&c, k);
+            prop_assert_eq!(sparse.n_rows(), dense.rows(), "k = {}", k);
+            prop_assert_eq!(sparse.n_cols(), dense.cols(), "k = {}", k);
+            if dense.rows() > 0 {
+                prop_assert!(
+                    sparse.to_dense().max_abs_diff(&dense) < 1e-12,
+                    "k = {}: sparse and dense Δ differ", k
+                );
+            }
+        }
     }
 }

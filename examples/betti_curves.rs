@@ -59,9 +59,7 @@ fn main() {
             &SpectralBettiParams { degree: 400, probes: 64, gap: 0.05 },
             &mut rng,
         );
-        println!(
-            "{eps:6.2} {exact:^7} {from_barcode:^8} {qpe:^10.3} {stochastic:^10.3}"
-        );
+        println!("{eps:6.2} {exact:^7} {from_barcode:^8} {qpe:^10.3} {stochastic:^10.3}");
         agree &= from_barcode == exact
             && (qpe - exact as f64).abs() < 0.5
             && (stochastic.round() - exact as f64).abs() < 1.5;

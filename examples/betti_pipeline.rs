@@ -44,19 +44,11 @@ fn main() {
         println!(
             "  quantum  β̃ = {:?}  (raw features {:?})",
             result.rounded(),
-            result
-                .features()
-                .iter()
-                .map(|f| format!("{f:.3}"))
-                .collect::<Vec<_>>()
+            result.features().iter().map(|f| format!("{f:.3}")).collect::<Vec<_>>()
         );
         println!(
             "  absolute errors: {:?}\n",
-            result
-                .absolute_errors()
-                .iter()
-                .map(|e| format!("{e:.3}"))
-                .collect::<Vec<_>>()
+            result.absolute_errors().iter().map(|e| format!("{e:.3}")).collect::<Vec<_>>()
         );
         assert_eq!(result.rounded(), result.classical, "{name} estimate mismatch");
     }

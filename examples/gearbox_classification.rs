@@ -27,7 +27,8 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(seed);
     // High-SNR accelerometer channel: cleaner carrier, stronger fault
     // impulses (see DESIGN.md §2).
-    let signal = GearboxConfig { noise_std: 0.15, fault_amplitude: 3.5, ..GearboxConfig::default() };
+    let signal =
+        GearboxConfig { noise_std: 0.15, fault_amplitude: 3.5, ..GearboxConfig::default() };
     println!("Generating {} synthetic gearbox windows of {WINDOW_LEN} samples…", 2 * per_class);
     let windows = balanced_windows(&signal, per_class, WINDOW_LEN, &mut rng);
 
@@ -58,12 +59,8 @@ fn main() {
 
     // Mean feature per class — the topology the classifier sees.
     for (class, name) in [(0u8, "healthy"), (1u8, "fault")] {
-        let rows: Vec<&Vec<f64>> = features
-            .iter()
-            .zip(&labels)
-            .filter(|(_, &l)| l == class)
-            .map(|(f, _)| f)
-            .collect();
+        let rows: Vec<&Vec<f64>> =
+            features.iter().zip(&labels).filter(|(_, &l)| l == class).map(|(f, _)| f).collect();
         let mean0 = rows.iter().map(|r| r[0]).sum::<f64>() / rows.len() as f64;
         let mean1 = rows.iter().map(|r| r[1]).sum::<f64>() / rows.len() as f64;
         println!("  {name:<8}: mean β̃₀ = {mean0:.2}, mean β̃₁ = {mean1:.2}");

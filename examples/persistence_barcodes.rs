@@ -35,11 +35,7 @@ fn main() {
             let death = bar.death.map_or("∞".to_string(), |d| format!("{d:.3}"));
             let len = bar.persistence().min(max_eps);
             let blocks = (len / max_eps * 40.0).round() as usize;
-            println!(
-                "  [{:>6.3}, {death:>6})  {}",
-                bar.birth,
-                "█".repeat(blocks.max(1))
-            );
+            println!("  [{:>6.3}, {death:>6})  {}", bar.birth, "█".repeat(blocks.max(1)));
         }
     }
 

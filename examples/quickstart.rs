@@ -42,7 +42,10 @@ fn main() {
     let estimate = estimator.estimate(&laplacian);
     println!(
         "\nQPE estimate of β₁: p̂(0) = {:.4} over {} shots → β̃₁ = {:.4} → rounds to {}",
-        estimate.p_zero_sampled, estimate.shots, estimate.raw, estimate.rounded()
+        estimate.p_zero_sampled,
+        estimate.shots,
+        estimate.raw,
+        estimate.rounded()
     );
     assert_eq!(estimate.rounded(), classical[1], "quantum estimate must match");
     println!("Matches the classical value. ✓");

@@ -1,0 +1,70 @@
+//! The sparse-first path on a complex the dense pipeline struggles
+//! with: a few hundred 1-simplices, CSR Laplacian assembled straight
+//! from the boundary maps, then **one** matvec-only Lanczos
+//! decomposition per dimension that yields the QPE estimate and the
+//! classical kernel-count cross-check together — no dense matrix is
+//! ever materialised.
+//!
+//! ```text
+//! cargo run --release --example sparse_betti
+//! ```
+
+use qtda::core::estimator::{BettiEstimator, EstimatorConfig};
+use qtda::core::padding::LambdaMaxBound;
+use qtda::core::scaling::Delta;
+use qtda::core::spectrum::PaddedSpectrum;
+use qtda::tda::laplacian::combinatorial_laplacian_sparse;
+use qtda::tda::point_cloud::synthetic;
+use qtda::tda::rips::{rips_complex, RipsParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let cloud = synthetic::circle(80, 1.0, 0.02, &mut rng);
+    let complex = rips_complex(&cloud, &RipsParams::new(0.35, 2));
+    println!(
+        "Rips complex of an 80-point noisy circle at ε = 0.35: {} vertices, {} edges, {} triangles",
+        complex.count(0),
+        complex.count(1),
+        complex.count(2)
+    );
+
+    let config = EstimatorConfig {
+        precision_qubits: 7,
+        shots: 20_000,
+        seed: 3,
+        // Power iteration: tighter than Gershgorin, matvec-only (and
+        // guarded — a non-converged run falls back to Gershgorin).
+        lambda_bound: LambdaMaxBound::PowerIteration { iterations: 100, seed: 1 },
+        ..Default::default()
+    };
+    let estimator = BettiEstimator::new(config);
+
+    for k in 0..=1usize {
+        let start = Instant::now();
+        let laplacian = combinatorial_laplacian_sparse(&complex, k);
+        let n = laplacian.n_rows();
+        let density = laplacian.nnz() as f64 / (n * n).max(1) as f64;
+        // One full Lanczos run: the padded QPE spectrum *and* the
+        // classical β_k = dim ker Δ_k come out of the same pass.
+        let spectrum = PaddedSpectrum::of_sparse_laplacian_bounded(
+            &laplacian,
+            config.padding,
+            Delta::Auto,
+            7,
+            config.lambda_bound,
+        );
+        let estimate = estimator.estimate_from_spectrum(&spectrum);
+        let classical = spectrum.kernel_dim();
+        println!(
+            "Δ_{k}: {n}×{n}, {:.1}% dense | β̃_{k} = {:.3} → {} (classical {classical}) in {:.0} ms",
+            100.0 * density,
+            estimate.corrected,
+            estimate.rounded(),
+            start.elapsed().as_secs_f64() * 1e3,
+        );
+        assert_eq!(estimate.rounded(), classical, "quantum estimate must match the kernel count");
+    }
+}

@@ -3,11 +3,18 @@
 //! (same unitary algebra), which is what justifies running the paper's
 //! Fig. 3 sweep on the fast backend.
 
-use qtda::core::backend::{p_zero_by_basis_average, QpeBackend, SpectralBackend, StatevectorBackend};
+use qtda::core::backend::{
+    p_zero_by_basis_average, LanczosBackend, QpeBackend, SpectralBackend, StatevectorBackend,
+};
+use qtda::core::estimator::{BettiEstimator, EstimatorConfig};
 use qtda::core::padding::{pad_laplacian, PaddingScheme};
+use qtda::core::pipeline::{estimate_betti_numbers, PipelineConfig};
 use qtda::core::scaling::{rescale, Delta};
 use qtda::core::spectrum::PaddedSpectrum;
-use qtda::tda::laplacian::combinatorial_laplacian;
+use qtda::linalg::CsrMatrix;
+use qtda::tda::complex::worked_example_complex;
+use qtda::tda::laplacian::{combinatorial_laplacian, combinatorial_laplacian_sparse};
+use qtda::tda::point_cloud::synthetic;
 use qtda::tda::random::RandomComplexModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -75,11 +82,99 @@ fn spectrum_helper_equals_backends() {
     }
 }
 
+/// The sparse path's backend equivalence (ISSUE acceptance): full-run
+/// Lanczos Ritz values reproduce the dense spectral response on the
+/// paper's worked example, |Δp(0)| < 1e-6 at every precision.
+#[test]
+fn lanczos_equals_spectral_on_worked_example() {
+    let l1 = combinatorial_laplacian(&worked_example_complex(), 1);
+    let padded = pad_laplacian(&l1, PaddingScheme::IdentityHalfLambdaMax);
+    let h = rescale(&padded, Delta::Auto);
+    let h_sparse = CsrMatrix::from_dense(&h, 0.0);
+    for precision in 1..=6 {
+        let spectral = SpectralBackend.p_zero(&h, precision);
+        let lanczos = LanczosBackend::default().p_zero(&h_sparse, precision);
+        assert!(
+            (spectral - lanczos).abs() < 1e-6,
+            "p = {precision}: spectral {spectral} vs lanczos {lanczos}"
+        );
+    }
+    // And the worked example's β̃₁ estimate agrees through both
+    // estimator front ends.
+    let config =
+        EstimatorConfig { precision_qubits: 3, shots: 1000, seed: 7, ..Default::default() };
+    let dense = BettiEstimator::new(config).estimate(&l1);
+    let sparse = BettiEstimator::new_sparse(config)
+        .estimate_sparse(&combinatorial_laplacian_sparse(&worked_example_complex(), 1));
+    assert_eq!(dense.rounded(), 1);
+    assert_eq!(sparse.rounded(), 1);
+    assert!((dense.p_zero_exact - sparse.p_zero_exact).abs() < 1e-6);
+}
+
+#[test]
+fn lanczos_equals_spectral_on_random_laplacians() {
+    for (i, l) in random_laplacians(47, 6).iter().enumerate() {
+        let padded = pad_laplacian(l, PaddingScheme::IdentityHalfLambdaMax);
+        let h = rescale(&padded, Delta::Auto);
+        let h_sparse = CsrMatrix::from_dense(&h, 0.0);
+        for precision in [2usize, 4] {
+            let a = SpectralBackend.p_zero(&h, precision);
+            let b = LanczosBackend::default().p_zero(&h_sparse, precision);
+            assert!(
+                (a - b).abs() < 1e-6,
+                "laplacian {i}, precision {precision}: spectral {a} vs lanczos {b}"
+            );
+        }
+    }
+}
+
+/// The sparse pipeline agrees with the dense pipeline end to end on the
+/// circle and figure-eight workloads (ISSUE acceptance): same rounded
+/// β̃ and |Δp(0)| < 1e-6 per dimension.
+#[test]
+fn sparse_pipeline_equals_dense_pipeline_on_known_topologies() {
+    let mut rng = StdRng::seed_from_u64(101);
+    let scenarios = [
+        ("circle", synthetic::circle(14, 1.0, 0.02, &mut rng), 0.55),
+        ("figure-eight", synthetic::figure_eight(10, 1.0, 0.0, &mut rng), 0.7),
+    ];
+    for (name, cloud, epsilon) in scenarios {
+        let base = PipelineConfig {
+            epsilon,
+            max_homology_dim: 1,
+            estimator: EstimatorConfig {
+                precision_qubits: 7,
+                shots: 20_000,
+                seed: 5,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let dense = estimate_betti_numbers(
+            &cloud,
+            &PipelineConfig { sparse_threshold: usize::MAX, ..base },
+        );
+        let sparse =
+            estimate_betti_numbers(&cloud, &PipelineConfig { sparse_threshold: 0, ..base });
+        assert_eq!(dense.classical, sparse.classical, "{name}: classical routes disagree");
+        assert_eq!(dense.rounded(), sparse.rounded(), "{name}: rounded β̃ disagree");
+        for (k, (d, s)) in dense.estimates.iter().zip(&sparse.estimates).enumerate() {
+            assert!(
+                (d.p_zero_exact - s.p_zero_exact).abs() < 1e-6,
+                "{name}, k = {k}: dense p(0) {} vs sparse p(0) {}",
+                d.p_zero_exact,
+                s.p_zero_exact
+            );
+        }
+    }
+}
+
 #[test]
 fn zero_padding_and_identity_padding_converge_at_high_precision() {
     for l in random_laplacians(43, 4) {
-        let id = PaddedSpectrum::of_laplacian(&l, PaddingScheme::IdentityHalfLambdaMax, Delta::Auto)
-            .estimate_exact(9);
+        let id =
+            PaddedSpectrum::of_laplacian(&l, PaddingScheme::IdentityHalfLambdaMax, Delta::Auto)
+                .estimate_exact(9);
         let zeros =
             PaddedSpectrum::of_laplacian(&l, PaddingScheme::Zeros, Delta::Auto).estimate_exact(9);
         assert!(

@@ -72,8 +72,7 @@ fn healthy_and_faulty_clouds_differ_topologically() {
     let mean_beta0 = |state: GearboxState, rng: &mut StdRng| -> f64 {
         let windows: Vec<Vec<f64>> = (0..12)
             .map(|_| {
-                qtda::data::features::extract_six_features(&cfg.generate(state, 3000, rng))
-                    .to_vec()
+                qtda::data::features::extract_six_features(&cfg.generate(state, 3000, rng)).to_vec()
             })
             .collect();
         // Standardise jointly is impossible per class; use raw z-approx

@@ -107,8 +107,8 @@ impl Bencher {
         let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
 
         // Batch size targeting ~1/MAX_BATCHES of the budget per batch.
-        let batch =
-            ((MEASURE_BUDGET.as_nanos() as f64 / MAX_BATCHES as f64 / est_ns) as u64).clamp(1, 1 << 20);
+        let batch = ((MEASURE_BUDGET.as_nanos() as f64 / MAX_BATCHES as f64 / est_ns) as u64)
+            .clamp(1, 1 << 20);
         let mut batch_means: Vec<f64> = Vec::new();
         let mut total_iters = 0u64;
         let measure_start = Instant::now();

@@ -336,7 +336,7 @@ macro_rules! __proptest_impl {
     (($cfg:expr); ) => {};
     (($cfg:expr);
      $(#[$meta:meta])*
-     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
      $($rest:tt)*
     ) => {
         $(#[$meta])*
@@ -460,6 +460,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "property always_fails failed")]
+    #[allow(unnameable_test_items)] // proptest! expands to an inner #[test] fn here
     fn failures_panic() {
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(1))]

@@ -23,8 +23,7 @@ use std::ops::Range;
 /// Everything call sites need in scope for the method syntax to resolve.
 pub mod prelude {
     pub use crate::{
-        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
-        ParallelSliceMut,
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSliceMut,
     };
 }
 
@@ -409,7 +408,11 @@ mod tests {
     #[test]
     fn enumerate_flat_map_iter() {
         let v = vec![2usize, 3];
-        let out: Vec<usize> = v.par_iter().enumerate().flat_map_iter(|(i, &n)| (0..n).map(move |k| i * 100 + k)).collect();
+        let out: Vec<usize> = v
+            .par_iter()
+            .enumerate()
+            .flat_map_iter(|(i, &n)| (0..n).map(move |k| i * 100 + k))
+            .collect();
         assert_eq!(out, vec![0, 1, 100, 101, 102]);
     }
 
