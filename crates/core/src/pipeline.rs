@@ -15,6 +15,7 @@ use crate::backend::LanczosBackend;
 use crate::estimator::{BettiEstimate, BettiEstimator, EstimatorConfig};
 use crate::spectrum::PaddedSpectrum;
 use qtda_tda::betti::betti_via_rank;
+use qtda_tda::filtration::{max_scale, RipsSlicer};
 use qtda_tda::laplacian::{combinatorial_laplacian, combinatorial_laplacian_sparse};
 use qtda_tda::point_cloud::{Metric, PointCloud};
 use qtda_tda::rips::{rips_complex, RipsParams};
@@ -131,9 +132,16 @@ impl BettiCurve {
     }
 }
 
-/// Sweeps the pipeline over linearly spaced scales `[lo, hi]`. Every ε
-/// is an independent Rips + estimate job, so the sweep fans out across
-/// cores via rayon.
+/// Sweeps the pipeline over linearly spaced scales `[lo, hi]` with
+/// **amortised complex construction**: the Rips complex is built once at
+/// the largest scale and every ε is derived from the simplices'
+/// filtration values ([`RipsSlicer`]) instead of re-running neighbour
+/// search and flag expansion per ε — the same slicing the batch engine
+/// uses. Each worker slices its own ε just before estimating it, so
+/// only the in-flight slices are ever resident (a 500-point sweep does
+/// not hold 500 complexes), and the homology dimensions within a slice
+/// fan out too, keeping cores busy even on short grids. Results are
+/// bit-identical to running [`estimate_betti_numbers`] at each scale.
 pub fn betti_curve(
     cloud: &PointCloud,
     lo: f64,
@@ -145,12 +153,29 @@ pub fn betti_curve(
     assert!(lo <= hi, "scale range reversed");
     let epsilons: Vec<f64> =
         (0..n_points).map(|i| lo + (hi - lo) * i as f64 / (n_points - 1) as f64).collect();
-    let results: Vec<PipelineResult> = epsilons
+    // Build at the grid's actual maximum, not at `hi`: the last computed
+    // scale can land one ulp above `hi`, and a slice is only exact at or
+    // below the construction scale.
+    let slicer =
+        RipsSlicer::new(cloud, max_scale(&epsilons), config.max_homology_dim + 1, config.metric);
+    let dims: Vec<usize> = (0..=config.max_homology_dim).collect();
+    let results: Vec<Vec<(BettiEstimate, usize)>> = epsilons
         .par_iter()
-        .map(|&eps| estimate_betti_numbers(cloud, &PipelineConfig { epsilon: eps, ..*config }))
+        .map(|&eps| {
+            let complex = slicer.complex_at(eps);
+            dims.par_iter()
+                .map(|&k| {
+                    estimate_dimension(&complex, k, &config.estimator, config.sparse_threshold)
+                })
+                .collect()
+        })
         .collect();
-    let estimated = results.iter().map(PipelineResult::features).collect();
-    let classical = results.into_iter().map(|r| r.classical).collect();
+    let estimated = results
+        .iter()
+        .map(|dims| dims.iter().map(|(e, _)| e.corrected).collect::<Vec<f64>>())
+        .collect();
+    let classical =
+        results.into_iter().map(|dims| dims.into_iter().map(|(_, c)| c).collect()).collect();
     BettiCurve { epsilons, estimated, classical }
 }
 
@@ -182,35 +207,67 @@ pub fn estimate_betti_numbers_of_complex_with_threshold(
     estimator_config: &EstimatorConfig,
     sparse_threshold: usize,
 ) -> PipelineResult {
-    let estimator = BettiEstimator::new(*estimator_config);
     let dims: Vec<usize> = (0..=max_homology_dim).collect();
     let per_dim: Vec<(BettiEstimate, usize)> = dims
         .par_iter()
-        .map(|&k| {
-            let n_k = complex.count(k);
-            if n_k == 0 {
-                // Empty S_k short-circuits to a zero estimate (q = 0).
-                (estimator.estimate(&qtda_linalg::Mat::zeros(0, 0)), 0)
-            } else if n_k >= sparse_threshold {
-                let laplacian = combinatorial_laplacian_sparse(complex, k);
-                let spectrum = PaddedSpectrum::of_sparse_laplacian_bounded(
-                    &laplacian,
-                    estimator_config.padding,
-                    estimator_config.delta,
-                    LanczosBackend::default().seed,
-                    estimator_config.lambda_bound,
-                );
-                // One decomposition serves both outputs: the QPE shot
-                // sample and the classical β_k = dim ker Δ_k (Eq. 6).
-                (estimator.estimate_from_spectrum(&spectrum), spectrum.kernel_dim())
-            } else {
-                let laplacian = combinatorial_laplacian(complex, k);
-                (estimator.estimate(&laplacian), betti_via_rank(complex, k))
-            }
-        })
+        .map(|&k| estimate_dimension(complex, k, estimator_config, sparse_threshold))
         .collect();
     let (estimates, classical) = per_dim.into_iter().unzip();
     PipelineResult { complex: complex.clone(), estimates, classical }
+}
+
+/// One homology dimension of a prebuilt complex: the QPE estimate next
+/// to the classical cross-check, on the dense or sparse path by `|S_k|`.
+/// This is the pipeline's finest-grained entry point — the unit of work
+/// batch drivers (`qtda-engine`) schedule at `(job, ε, dim)` granularity.
+/// Fully deterministic in `estimator_config.seed`.
+pub fn estimate_dimension(
+    complex: &SimplicialComplex,
+    k: usize,
+    estimator_config: &EstimatorConfig,
+    sparse_threshold: usize,
+) -> (BettiEstimate, usize) {
+    let estimator = BettiEstimator::new(*estimator_config);
+    let n_k = complex.count(k);
+    if n_k == 0 {
+        // Empty S_k short-circuits to a zero estimate (q = 0).
+        (estimator.estimate(&qtda_linalg::Mat::zeros(0, 0)), 0)
+    } else if n_k >= sparse_threshold {
+        let laplacian = combinatorial_laplacian_sparse(complex, k);
+        let spectrum = PaddedSpectrum::of_sparse_laplacian_bounded(
+            &laplacian,
+            estimator_config.padding,
+            estimator_config.delta,
+            LanczosBackend::default().seed,
+            estimator_config.lambda_bound,
+        );
+        // One decomposition serves both outputs: the QPE shot sample and
+        // the classical β_k = dim ker Δ_k (Eq. 6).
+        (estimator.estimate_from_spectrum(&spectrum), spectrum.kernel_dim())
+    } else {
+        let laplacian = combinatorial_laplacian(complex, k);
+        (estimator.estimate(&laplacian), betti_via_rank(complex, k))
+    }
+}
+
+/// Estimates every dimension `0..=max_homology_dim` of a prebuilt
+/// complex **serially and without cloning the complex**: the
+/// whole-complex convenience over [`estimate_dimension`] for external
+/// batch drivers that own their parallelism and result assembly. (The
+/// in-repo `qtda-engine` schedules [`estimate_dimension`] directly so
+/// it can steal work at `(job, ε, dim)` granularity.) Returns the
+/// `(estimate, classical)` pair per dimension; results are bit-identical
+/// to [`estimate_betti_numbers_of_complex_with_threshold`] at the same
+/// seed.
+pub fn run_for_complex(
+    complex: &SimplicialComplex,
+    max_homology_dim: usize,
+    estimator_config: &EstimatorConfig,
+    sparse_threshold: usize,
+) -> Vec<(BettiEstimate, usize)> {
+    (0..=max_homology_dim)
+        .map(|k| estimate_dimension(complex, k, estimator_config, sparse_threshold))
+        .collect()
 }
 
 #[cfg(test)]
@@ -302,6 +359,51 @@ mod tests {
         // β₀ is monotone non-increasing along a Rips sweep.
         let b0: Vec<usize> = curve.classical.iter().map(|c| c[0]).collect();
         assert!(b0.windows(2).all(|w| w[1] <= w[0]), "{b0:?}");
+    }
+
+    #[test]
+    fn betti_curve_is_bit_identical_to_per_epsilon_pipeline() {
+        // The amortised filtration slicing must not change a single bit
+        // versus rebuilding the Rips complex from the cloud at every ε.
+        let mut rng = StdRng::seed_from_u64(26);
+        let cloud = synthetic::figure_eight(11, 1.0, 0.03, &mut rng);
+        let config = PipelineConfig {
+            max_homology_dim: 1,
+            estimator: high_fidelity(13),
+            ..PipelineConfig::default()
+        };
+        let curve = betti_curve(&cloud, 0.2, 1.1, 7, &config);
+        for (i, &eps) in curve.epsilons.iter().enumerate() {
+            let direct = estimate_betti_numbers(&cloud, &PipelineConfig { epsilon: eps, ..config });
+            assert_eq!(curve.classical[i], direct.classical, "ε = {eps}");
+            for (k, (curve_v, direct_v)) in
+                curve.estimated[i].iter().zip(direct.features()).enumerate()
+            {
+                assert_eq!(
+                    curve_v.to_bits(),
+                    direct_v.to_bits(),
+                    "ε = {eps}, k = {k}: {curve_v} vs {direct_v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_for_complex_matches_parallel_of_complex_entry() {
+        let mut rng = StdRng::seed_from_u64(27);
+        let cloud = synthetic::circle(13, 1.0, 0.02, &mut rng);
+        let complex = rips_complex(&cloud, &RipsParams::new(0.6, 2));
+        let config = high_fidelity(17);
+        let serial = run_for_complex(&complex, 1, &config, DEFAULT_SPARSE_THRESHOLD);
+        let parallel = estimate_betti_numbers_of_complex(&complex, 1, &config);
+        assert_eq!(serial.len(), parallel.estimates.len());
+        for ((est, classical), (p_est, p_classical)) in
+            serial.iter().zip(parallel.estimates.iter().zip(&parallel.classical))
+        {
+            assert_eq!(*classical, *p_classical);
+            assert_eq!(est.p_zero_sampled.to_bits(), p_est.p_zero_sampled.to_bits());
+            assert_eq!(est.corrected.to_bits(), p_est.corrected.to_bits());
+        }
     }
 
     #[test]

@@ -47,6 +47,50 @@ pub fn balanced_windows(
     out
 }
 
+/// Cuts a long signal into windows of `window_len` starting every
+/// `stride` samples (overlapping when `stride < window_len`) — the unit
+/// of work of the sliding-window serving workload (paper §5 takes "500
+/// time stamps at a time" from continuous vibration records).
+pub fn sliding_windows(signal: &[f64], window_len: usize, stride: usize) -> Vec<Vec<f64>> {
+    assert!(window_len >= 1, "window length must be ≥ 1");
+    assert!(stride >= 1, "stride must be ≥ 1");
+    if signal.len() < window_len {
+        return Vec::new();
+    }
+    (0..=signal.len() - window_len)
+        .step_by(stride)
+        .map(|start| signal[start..start + window_len].to_vec())
+        .collect()
+}
+
+/// A labelled sliding-window stream: one continuous vibration record per
+/// class, windowed with [`sliding_windows`] and interleaved
+/// healthy/faulty in stream order. This is the gearbox serving
+/// workload's native shape — thousands of small windows from a few long
+/// records — and feeds the batch engine directly (see
+/// `qtda-engine::gearbox`).
+pub fn sliding_window_stream(
+    config: &GearboxConfig,
+    windows_per_class: usize,
+    window_len: usize,
+    stride: usize,
+    rng: &mut impl Rng,
+) -> Vec<LabelledWindow> {
+    assert!(windows_per_class >= 1, "need at least one window per class");
+    let record_len = window_len + (windows_per_class - 1) * stride;
+    let healthy = config.generate(GearboxState::Healthy, record_len, rng);
+    let faulty = config.generate(GearboxState::SurfaceFault, record_len, rng);
+    let mut out = Vec::with_capacity(2 * windows_per_class);
+    for (h, f) in sliding_windows(&healthy, window_len, stride)
+        .into_iter()
+        .zip(sliding_windows(&faulty, window_len, stride))
+    {
+        out.push(LabelledWindow { samples: h, label: 0 });
+        out.push(LabelledWindow { samples: f, label: 1 });
+    }
+    out
+}
+
 /// Record length used when extracting the six-feature dataset. Longer
 /// than the 500-sample classification windows: the paper's processed
 /// feature data comes from full records, and higher-moment features
@@ -111,6 +155,39 @@ mod tests {
         let mut sorted = labels.clone();
         sorted.sort_unstable();
         assert_ne!(labels, sorted);
+    }
+
+    #[test]
+    fn sliding_windows_cover_and_overlap() {
+        let signal: Vec<f64> = (0..20).map(|x| x as f64).collect();
+        let ws = sliding_windows(&signal, 8, 4);
+        assert_eq!(ws.len(), 4, "starts at 0, 4, 8, 12");
+        assert_eq!(ws[0], signal[0..8]);
+        assert_eq!(ws[3], signal[12..20]);
+        // Consecutive windows share window_len − stride samples.
+        assert_eq!(ws[0][4..], ws[1][..4]);
+        assert!(sliding_windows(&signal[..5], 8, 4).is_empty(), "short signal yields nothing");
+    }
+
+    #[test]
+    fn stream_interleaves_balanced_classes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let ws = sliding_window_stream(&GearboxConfig::default(), 25, 100, 50, &mut rng);
+        assert_eq!(ws.len(), 50);
+        assert_eq!(ws.iter().filter(|w| w.label == 0).count(), 25);
+        assert!(ws.iter().all(|w| w.samples.len() == 100));
+        let labels: Vec<u8> = ws.iter().map(|w| w.label).collect();
+        assert_eq!(&labels[..4], &[0, 1, 0, 1], "stream order interleaves classes");
+    }
+
+    #[test]
+    fn stream_windows_are_slices_of_one_record() {
+        // Overlapping windows of a continuous record must agree on the
+        // samples they share.
+        let mut rng = StdRng::seed_from_u64(12);
+        let ws = sliding_window_stream(&GearboxConfig::default(), 3, 100, 25, &mut rng);
+        let healthy: Vec<&LabelledWindow> = ws.iter().filter(|w| w.label == 0).collect();
+        assert_eq!(healthy[0].samples[25..], healthy[1].samples[..75]);
     }
 
     #[test]

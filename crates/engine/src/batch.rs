@@ -1,0 +1,498 @@
+//! The batch engine: scheduling, amortised construction, caching.
+//!
+//! [`BatchEngine::run_batch`] serves a whole batch of [`BettiJob`]s
+//! through three stages:
+//!
+//! 1. **Cache + dedup.** Each job's content fingerprint is looked up in
+//!    the LRU result cache and duplicate jobs *within* the batch
+//!    collapse onto one computation. Every fingerprint match is verified
+//!    against the full request ([`BettiJob::same_request`]), so a hash
+//!    collision means a recompute, never a wrong answer.
+//! 2. **Amortised construction, lazily.** The first `(job, ε, dim)`
+//!    unit to touch a job builds its Rips complex once at the grid's
+//!    largest ε and derives every ε-slice from the simplices' filtration
+//!    values (`rips_slices`) — neighbour search and flag expansion run
+//!    once per job, not once per scale, and no sorting happens at all.
+//!    The slices live in a per-job slot that is built by the first unit
+//!    and **freed by the last**, so they stay hot in cache for the
+//!    estimates that follow and peak memory tracks the jobs in flight,
+//!    not the batch size.
+//! 3. **Estimate (one unit per `(job, ε, dim)`).** Units fan out at the
+//!    finest granularity the pipeline exposes ([`estimate_dimension`]),
+//!    pulled from a shared counter by `workers` threads —
+//!    work-stealing-style dynamic assignment, so one slow job cannot
+//!    idle the rest of the pool behind it.
+//!
+//! Every estimator seed is derived from the batch seed and job content
+//! ([`crate::seed`]), so results are **bit-identical** across worker
+//! counts, completion orders, batch compositions, and cache states.
+
+use crate::cache::LruCache;
+use crate::job::BettiJob;
+use crate::seed::{job_seed, slice_seed};
+use qtda_core::estimator::BettiEstimate;
+use qtda_core::pipeline::estimate_dimension;
+use qtda_tda::filtration::rips_slices;
+use qtda_tda::SimplicialComplex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Engine parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Worker threads for both stages (`0` = one per available core).
+    /// Results do not depend on this — only throughput does.
+    pub workers: usize,
+    /// Root of every derived estimator seed (see [`crate::seed`]).
+    pub batch_seed: u64,
+    /// LRU result-cache entries to retain across batches (`0` disables).
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { workers: 0, batch_seed: 0, cache_capacity: 256 }
+    }
+}
+
+/// One ε-slice of a served job.
+#[derive(Clone, Debug)]
+pub struct SliceResult {
+    /// The grouping scale this slice was evaluated at.
+    pub epsilon: f64,
+    /// The estimator seed the engine derived for this slice. Replaying
+    /// the one-shot pipeline with this seed reproduces `estimates`
+    /// bit for bit.
+    pub seed: u64,
+    /// Per-dimension estimates β̃_0 … β̃_K.
+    pub estimates: Vec<BettiEstimate>,
+    /// Classical Betti numbers for the same dimensions.
+    pub classical: Vec<usize>,
+}
+
+impl SliceResult {
+    /// Estimates rounded to whole Betti numbers.
+    pub fn rounded(&self) -> Vec<usize> {
+        self.estimates.iter().map(BettiEstimate::rounded).collect()
+    }
+
+    /// Raw corrected estimates — the per-scale feature vector.
+    pub fn features(&self) -> Vec<f64> {
+        self.estimates.iter().map(|e| e.corrected).collect()
+    }
+}
+
+/// A served job: one [`SliceResult`] per requested ε, in grid order.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// The job's content fingerprint (cache key).
+    pub fingerprint: u64,
+    /// Root of this job's seed stream.
+    pub job_seed: u64,
+    /// Per-ε results in the order the grid requested them.
+    pub slices: Vec<SliceResult>,
+}
+
+impl JobResult {
+    /// All slices' features concatenated (grid-major) — the row a
+    /// downstream classifier consumes.
+    pub fn features(&self) -> Vec<f64> {
+        self.slices.iter().flat_map(SliceResult::features).collect()
+    }
+}
+
+/// Monotone serving counters (since engine construction).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineStats {
+    /// Jobs requested across all batches.
+    pub jobs_served: u64,
+    /// Jobs answered from the LRU cache.
+    pub cache_hits: u64,
+    /// Jobs collapsed onto an identical job in the same batch.
+    pub deduplicated: u64,
+    /// Jobs actually computed.
+    pub computed_jobs: u64,
+    /// `(job, ε, dim)` estimation units executed.
+    pub units_executed: u64,
+}
+
+/// The batched multi-cloud Betti-serving engine. Construct once, call
+/// [`Self::run_batch`] per request batch; the result cache persists
+/// across calls.
+pub struct BatchEngine {
+    config: EngineConfig,
+    cache: Mutex<LruCache<Arc<CachedJob>>>,
+    jobs_served: AtomicU64,
+    cache_hits: AtomicU64,
+    deduplicated: AtomicU64,
+    computed_jobs: AtomicU64,
+    units_executed: AtomicU64,
+}
+
+impl BatchEngine {
+    /// An engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        BatchEngine {
+            config,
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            jobs_served: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            deduplicated: AtomicU64::new(0),
+            computed_jobs: AtomicU64::new(0),
+            units_executed: AtomicU64::new(0),
+        }
+    }
+
+    /// An engine with [`EngineConfig::default`].
+    pub fn with_defaults() -> Self {
+        Self::new(EngineConfig::default())
+    }
+
+    /// The configuration this engine was built with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// A snapshot of the serving counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            jobs_served: self.jobs_served.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            deduplicated: self.deduplicated.load(Ordering::Relaxed),
+            computed_jobs: self.computed_jobs.load(Ordering::Relaxed),
+            units_executed: self.units_executed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Serves a single job (a one-element [`Self::run_batch`]).
+    pub fn run_job(&self, job: &BettiJob) -> Arc<JobResult> {
+        self.run_batch(std::slice::from_ref(job)).pop().expect("one job in, one result out")
+    }
+
+    /// Serves a batch, returning one result per job in input order.
+    /// Identical jobs are computed once, whether the duplicate sits in
+    /// this batch or in a previous one still cached. Every fingerprint
+    /// match is verified against the full request content
+    /// ([`BettiJob::same_request`]), so a 64-bit hash collision degrades
+    /// to a recompute, never to another request's results.
+    pub fn run_batch(&self, jobs: &[BettiJob]) -> Vec<Arc<JobResult>> {
+        self.jobs_served.fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        let fingerprints: Vec<u64> = jobs.iter().map(BettiJob::fingerprint).collect();
+
+        // Stage 1: verified cache lookups + in-batch dedup. `misses`
+        // keeps the first job index per distinct uncached request;
+        // `dup_of[i]` points a duplicate at its representative miss.
+        let mut results: Vec<Option<Arc<JobResult>>> = vec![None; jobs.len()];
+        let mut misses: Vec<usize> = Vec::new();
+        let mut dup_of: Vec<Option<usize>> = vec![None; jobs.len()];
+        // fp → miss indices sharing it (more than one only on collision).
+        let mut seen: HashMap<u64, Vec<usize>> = HashMap::new();
+        {
+            let mut cache = self.cache.lock().expect("cache poisoned");
+            for (i, &fp) in fingerprints.iter().enumerate() {
+                if let Some(entry) = cache.get(fp) {
+                    if entry.job.same_request(&jobs[i]) {
+                        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        results[i] = Some(Arc::clone(&entry.result));
+                        continue;
+                    }
+                }
+                let candidates = seen.entry(fp).or_default();
+                if let Some(&rep) = candidates.iter().find(|&&j| jobs[j].same_request(&jobs[i])) {
+                    self.deduplicated.fetch_add(1, Ordering::Relaxed);
+                    dup_of[i] = Some(rep);
+                } else {
+                    candidates.push(i);
+                    misses.push(i);
+                }
+            }
+        }
+        self.computed_jobs.fetch_add(misses.len() as u64, Ordering::Relaxed);
+
+        let workers = if self.config.workers == 0 {
+            std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+        } else {
+            self.config.workers
+        };
+
+        // Stages 2+3: flatten to (job, ε, dim) units and fan out; the
+        // amortised per-job construction happens lazily inside the first
+        // unit that touches each job. Units are interleaved round-robin
+        // across a window of `workers` jobs so that concurrent workers
+        // start on *different* jobs (parallel construction instead of
+        // racing to build the same one), while the window bound keeps
+        // roughly `workers` jobs' slices resident at a time. With one
+        // worker this degenerates to the contiguous per-job order, which
+        // maximises cache locality on the serial path.
+        let mut units: Vec<Unit> = Vec::new();
+        let unit_count =
+            |p: usize| jobs[misses[p]].epsilons.len() * (jobs[misses[p]].max_homology_dim + 1);
+        for block_start in (0..misses.len()).step_by(workers.max(1)) {
+            let block = block_start..(block_start + workers.max(1)).min(misses.len());
+            let mut emitted_any = true;
+            let mut round = 0usize;
+            while emitted_any {
+                emitted_any = false;
+                for p in block.clone() {
+                    if round < unit_count(p) {
+                        let dims = jobs[misses[p]].max_homology_dim + 1;
+                        units.push(Unit { prep: p, eps: round / dims, dim: round % dims });
+                        emitted_any = true;
+                    }
+                }
+                round += 1;
+            }
+        }
+        self.units_executed.fetch_add(units.len() as u64, Ordering::Relaxed);
+        let preps: Vec<PrepSlot> = misses
+            .iter()
+            .map(|&j| PrepSlot {
+                complexes: Mutex::new(None),
+                remaining_units: AtomicUsize::new(
+                    jobs[j].epsilons.len() * (jobs[j].max_homology_dim + 1),
+                ),
+            })
+            .collect();
+        let estimates: Vec<(BettiEstimate, usize)> = run_units(workers, units.len(), |u| {
+            let unit = &units[u];
+            let job = &jobs[misses[unit.prep]];
+            let slot = &preps[unit.prep];
+            let prebuilt =
+                slot.complexes.lock().expect("prep slot poisoned").as_ref().map(Arc::clone);
+            let complexes = match prebuilt {
+                Some(built) => built,
+                None => {
+                    // Build *outside* the lock: workers landing on the
+                    // same fresh job overlap on the (deterministic,
+                    // identical) construction instead of idling on the
+                    // mutex; the first to finish publishes, racers drop
+                    // their copy. Duplicate work is bounded by the
+                    // worker count and only at a job's first touch.
+                    let built = Arc::new(rips_slices(
+                        &job.cloud,
+                        &job.epsilons,
+                        job.max_homology_dim + 1,
+                        job.metric,
+                    ));
+                    let mut guard = slot.complexes.lock().expect("prep slot poisoned");
+                    match guard.as_ref() {
+                        Some(existing) => Arc::clone(existing),
+                        None => {
+                            *guard = Some(Arc::clone(&built));
+                            built
+                        }
+                    }
+                }
+            };
+            let js = job_seed(self.config.batch_seed, fingerprints[misses[unit.prep]]);
+            let seed = slice_seed(js, job.epsilons[unit.eps]);
+            let config = qtda_core::estimator::EstimatorConfig { seed, ..job.estimator };
+            let result =
+                estimate_dimension(&complexes[unit.eps], unit.dim, &config, job.sparse_threshold);
+            // Last unit of the job frees its slices: peak memory tracks
+            // the jobs in flight, not the whole batch.
+            if slot.remaining_units.fetch_sub(1, Ordering::AcqRel) == 1 {
+                *slot.complexes.lock().expect("prep slot poisoned") = None;
+            }
+            result
+        });
+
+        // Scatter unit results back into (job, ε, dim) slots — the
+        // assembly below is then independent of the interleaved unit
+        // order.
+        let mut per_job: PerJobResults = misses
+            .iter()
+            .map(|&j| vec![vec![None; jobs[j].max_homology_dim + 1]; jobs[j].epsilons.len()])
+            .collect();
+        for (unit, est) in units.iter().zip(estimates) {
+            per_job[unit.prep][unit.eps][unit.dim] = Some(est);
+        }
+
+        // Assemble per computed job, publish to the cache, then resolve
+        // the in-batch duplicates through their representative miss.
+        // Colliding requests overwrite each other's cache slot (last
+        // wins); the loser's next lookup fails verification and simply
+        // recomputes.
+        {
+            let mut cache = self.cache.lock().expect("cache poisoned");
+            for (p, &job_idx) in misses.iter().enumerate() {
+                let job = &jobs[job_idx];
+                let js = job_seed(self.config.batch_seed, fingerprints[job_idx]);
+                let slices: Vec<SliceResult> = job
+                    .epsilons
+                    .iter()
+                    .enumerate()
+                    .map(|(e, &eps)| {
+                        let per_dim = &per_job[p][e];
+                        SliceResult {
+                            epsilon: eps,
+                            seed: slice_seed(js, eps),
+                            estimates: per_dim
+                                .iter()
+                                .map(|slot| slot.expect("every unit ran").0)
+                                .collect(),
+                            classical: per_dim
+                                .iter()
+                                .map(|slot| slot.expect("every unit ran").1)
+                                .collect(),
+                        }
+                    })
+                    .collect();
+                let result = Arc::new(JobResult {
+                    fingerprint: fingerprints[job_idx],
+                    job_seed: js,
+                    slices,
+                });
+                cache.insert(
+                    fingerprints[job_idx],
+                    Arc::new(CachedJob { job: job.clone(), result: Arc::clone(&result) }),
+                );
+                results[job_idx] = Some(result);
+            }
+        }
+
+        (0..jobs.len())
+            .map(|i| match (&results[i], dup_of[i]) {
+                (Some(r), _) => Arc::clone(r),
+                (None, Some(rep)) => {
+                    Arc::clone(results[rep].as_ref().expect("representative was computed"))
+                }
+                (None, None) => unreachable!("every job is a hit, a miss, or a duplicate"),
+            })
+            .collect()
+    }
+}
+
+/// Scattered unit results, indexed `[miss job][ε index][dimension]`.
+type PerJobResults = Vec<Vec<Vec<Option<(BettiEstimate, usize)>>>>;
+
+/// A cache entry: the served result together with the request it
+/// answers, so a fingerprint collision is caught by content
+/// verification instead of returning another request's results.
+struct CachedJob {
+    job: BettiJob,
+    result: Arc<JobResult>,
+}
+
+/// A `(job, ε, dim)` estimation unit.
+struct Unit {
+    prep: usize,
+    eps: usize,
+    dim: usize,
+}
+
+/// Lazily built, eagerly freed per-job slice storage (one ε-slice
+/// complex per grid entry, in grid order).
+struct PrepSlot {
+    complexes: Mutex<Option<Arc<Vec<SimplicialComplex>>>>,
+    remaining_units: AtomicUsize,
+}
+
+/// Runs `f(0..n)` on `workers` threads pulling unit indices from a
+/// shared counter (dynamic assignment ≙ work stealing at unit
+/// granularity), returning results in unit order. `f` must be a pure
+/// function of the index — that, plus index-ordered collection, is what
+/// makes engine output independent of scheduling.
+///
+/// Deliberately scoped threads rather than the vendored-rayon global
+/// pool: the serving contract is "bit-identical at any worker count",
+/// so the count must be an explicit, testable parameter (the global
+/// pool's size is fixed at process level). The spawn cost is paid once
+/// per *batch*, not per kernel — the fine-grained per-call cost the
+/// global pool exists to remove.
+fn run_units<T: Send>(workers: usize, n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let out: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(n) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i);
+                out.lock().expect("unit worker panicked").push((i, r));
+            });
+        }
+    });
+    let mut v = out.into_inner().expect("unit worker panicked");
+    v.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(v.len(), n);
+    v.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtda_tda::point_cloud::PointCloud;
+
+    fn job(coords: Vec<f64>) -> BettiJob {
+        BettiJob::new(PointCloud::new(2, coords), vec![0.6, 1.2])
+    }
+
+    #[test]
+    fn run_units_preserves_order_across_worker_counts() {
+        let serial = run_units(1, 37, |i| i * i);
+        for workers in [2, 3, 8] {
+            assert_eq!(run_units(workers, 37, |i| i * i), serial);
+        }
+        assert!(run_units(4, 0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn duplicate_jobs_in_one_batch_compute_once() {
+        let engine = BatchEngine::with_defaults();
+        let j = job(vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0]);
+        let results = engine.run_batch(&[j.clone(), j.clone(), j]);
+        assert_eq!(engine.stats().computed_jobs, 1);
+        assert_eq!(engine.stats().deduplicated, 2);
+        assert!(Arc::ptr_eq(&results[0], &results[1]));
+        assert!(Arc::ptr_eq(&results[0], &results[2]));
+    }
+
+    #[test]
+    fn second_batch_hits_the_cache() {
+        let engine = BatchEngine::with_defaults();
+        let j = job(vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0]);
+        let first = engine.run_batch(std::slice::from_ref(&j));
+        let second = engine.run_batch(std::slice::from_ref(&j));
+        assert_eq!(engine.stats().computed_jobs, 1);
+        assert_eq!(engine.stats().cache_hits, 1);
+        assert!(Arc::ptr_eq(&first[0], &second[0]), "cache returns the shared result");
+    }
+
+    #[test]
+    fn zero_capacity_cache_recomputes_identically() {
+        let engine =
+            BatchEngine::new(EngineConfig { cache_capacity: 0, ..EngineConfig::default() });
+        let j = job(vec![0.0, 0.0, 2.0, 0.0, 0.0, 2.0, 2.0, 2.0]);
+        let a = engine.run_job(&j);
+        let b = engine.run_job(&j);
+        assert_eq!(engine.stats().computed_jobs, 2, "nothing cached");
+        assert_eq!(a.features(), b.features(), "recompute is bit-identical anyway");
+    }
+
+    #[test]
+    fn empty_grid_job_yields_no_slices() {
+        let engine = BatchEngine::with_defaults();
+        let mut j = job(vec![0.0, 0.0, 1.0, 0.0]);
+        j.epsilons.clear();
+        let r = engine.run_job(&j);
+        assert!(r.slices.is_empty());
+        assert!(r.features().is_empty());
+    }
+
+    #[test]
+    fn slices_come_back_in_grid_order() {
+        let engine = BatchEngine::with_defaults();
+        let mut j = job(vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0]);
+        j.epsilons = vec![1.2, 0.3, 0.9];
+        let r = engine.run_job(&j);
+        let served: Vec<f64> = r.slices.iter().map(|s| s.epsilon).collect();
+        assert_eq!(served, vec![1.2, 0.3, 0.9]);
+    }
+}

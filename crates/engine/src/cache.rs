@@ -1,0 +1,132 @@
+//! A small LRU cache for served job results.
+//!
+//! Serving traffic repeats itself: the same recent windows get queried
+//! by several downstream consumers (classifier ensembles, dashboards,
+//! alerting), and sliding-window re-analysis revisits whole stretches of
+//! signal. Keyed by [`crate::BettiJob::fingerprint`], a hit returns the
+//! exact result a recompute would produce (seeds are content-derived,
+//! see [`crate::seed`]), so caching is observable only through latency
+//! and the hit counters.
+//!
+//! The implementation favours being obviously correct over asymptotics:
+//! a `HashMap` plus a monotone recency stamp, with an `O(len)` scan on
+//! eviction. Serving caches hold hundreds of entries, not millions; the
+//! scan is noise next to one Laplacian estimate.
+
+use std::collections::HashMap;
+
+/// A least-recently-used map from `u64` fingerprints to values.
+#[derive(Clone, Debug)]
+pub struct LruCache<V> {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<u64, Entry<V>>,
+}
+
+#[derive(Clone, Debug)]
+struct Entry<V> {
+    value: V,
+    last_used: u64,
+}
+
+impl<V: Clone> LruCache<V> {
+    /// A cache holding at most `capacity` entries; `0` disables caching
+    /// (every `get` misses, every `insert` is dropped).
+    pub fn new(capacity: usize) -> Self {
+        LruCache { capacity, tick: 0, map: HashMap::new() }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up a fingerprint, refreshing its recency on a hit.
+    pub fn get(&mut self, key: u64) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&key).map(|e| {
+            e.last_used = tick;
+            e.value.clone()
+        })
+    }
+
+    /// Inserts (or refreshes) an entry, evicting the least-recently-used
+    /// one if the cache is full.
+    pub fn insert(&mut self, key: u64, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(e) = self.map.get_mut(&key) {
+            e.value = value;
+            e.last_used = tick;
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            if let Some(&oldest) = self.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k)
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, Entry { value, last_used: tick });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_inserted_value() {
+        let mut c = LruCache::new(4);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        assert_eq!(c.get(1), Some("a"));
+        assert_eq!(c.get(3), None);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn eviction_removes_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        assert_eq!(c.get(1), Some("a"), "refresh 1 so 2 becomes the LRU entry");
+        c.insert(3, "c");
+        assert_eq!(c.get(2), None, "2 was evicted");
+        assert_eq!(c.get(1), Some("a"));
+        assert_eq!(c.get(3), Some("c"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_evicting() {
+        let mut c = LruCache::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        c.insert(1, "a2");
+        assert_eq!(c.len(), 2, "refresh must not trigger eviction");
+        assert_eq!(c.get(1), Some("a2"));
+        assert_eq!(c.get(2), Some("b"));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = LruCache::new(0);
+        c.insert(1, "a");
+        assert_eq!(c.get(1), None);
+        assert!(c.is_empty());
+    }
+}

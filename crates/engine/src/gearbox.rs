@@ -1,0 +1,119 @@
+//! Gearbox serving adapters: vibration windows → [`BettiJob`]s.
+//!
+//! The paper's §5 workload estimates Betti numbers for thousands of
+//! independent small sliding-window point clouds. These helpers encode
+//! its window → attractor recipe (RMS normalisation, then a Takens
+//! delay embedding) so a stream of [`LabelledWindow`]s feeds the batch
+//! engine natively.
+
+use crate::job::BettiJob;
+use qtda_core::estimator::EstimatorConfig;
+use qtda_core::pipeline::DEFAULT_SPARSE_THRESHOLD;
+use qtda_data::windows::LabelledWindow;
+use qtda_tda::point_cloud::Metric;
+use qtda_tda::takens::{takens_embedding, TakensParams};
+
+/// How a vibration window becomes a Betti-serving job.
+#[derive(Clone, Debug)]
+pub struct GearboxJobSpec {
+    /// Delay-embedding parameters (default: the §5 time-series case,
+    /// d = 3, τ = 3, stride 12 — ≈ 42 points per 500-sample window).
+    pub takens: TakensParams,
+    /// ε-grid every job is served at.
+    pub epsilons: Vec<f64>,
+    /// Highest homology dimension to estimate.
+    pub max_homology_dim: usize,
+    /// Estimator parameters (`seed` ignored — engine-derived).
+    pub estimator: EstimatorConfig,
+    /// Sparse-path switchover.
+    pub sparse_threshold: usize,
+    /// RMS-normalise each window before embedding, so amplitude changes
+    /// (load, sensor gain) do not masquerade as topology changes.
+    pub normalise: bool,
+}
+
+impl Default for GearboxJobSpec {
+    fn default() -> Self {
+        GearboxJobSpec {
+            takens: TakensParams { dimension: 3, delay: 3, stride: 12 },
+            epsilons: vec![0.6, 1.0, 1.4],
+            max_homology_dim: 1,
+            estimator: EstimatorConfig::default(),
+            sparse_threshold: DEFAULT_SPARSE_THRESHOLD,
+            normalise: true,
+        }
+    }
+}
+
+/// Builds the serving job for one raw vibration window.
+pub fn window_to_job(samples: &[f64], spec: &GearboxJobSpec) -> BettiJob {
+    let cloud = if spec.normalise {
+        let rms = (samples.iter().map(|v| v * v).sum::<f64>() / samples.len().max(1) as f64).sqrt();
+        let scale = if rms > 1e-9 { 1.0 / rms } else { 1.0 };
+        let normalised: Vec<f64> = samples.iter().map(|v| v * scale).collect();
+        takens_embedding(&normalised, &spec.takens)
+    } else {
+        takens_embedding(samples, &spec.takens)
+    };
+    BettiJob {
+        cloud,
+        epsilons: spec.epsilons.clone(),
+        max_homology_dim: spec.max_homology_dim,
+        metric: Metric::Euclidean,
+        estimator: spec.estimator,
+        sparse_threshold: spec.sparse_threshold,
+    }
+}
+
+/// Builds one job per labelled window, preserving stream order (labels
+/// stay aligned by index for the downstream classifier).
+pub fn jobs_from_windows(windows: &[LabelledWindow], spec: &GearboxJobSpec) -> Vec<BettiJob> {
+    windows.iter().map(|w| window_to_job(&w.samples, spec)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtda_data::gearbox::GearboxConfig;
+    use qtda_data::windows::sliding_window_stream;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn window_embeds_to_expected_cloud_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ws = sliding_window_stream(&GearboxConfig::default(), 2, 500, 250, &mut rng);
+        let spec = GearboxJobSpec::default();
+        let job = window_to_job(&ws[0].samples, &spec);
+        assert_eq!(job.cloud.dim(), 3);
+        // (500 − ((3−1)·3 + 1)) / 12 + 1 = 42 embedded points.
+        assert_eq!(job.cloud.len(), 42);
+        assert_eq!(job.epsilons, spec.epsilons);
+    }
+
+    #[test]
+    fn normalisation_is_amplitude_invariant() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ws = sliding_window_stream(&GearboxConfig::default(), 1, 500, 500, &mut rng);
+        let spec = GearboxJobSpec::default();
+        let doubled: Vec<f64> = ws[0].samples.iter().map(|v| v * 2.0).collect();
+        assert_eq!(
+            window_to_job(&ws[0].samples, &spec).fingerprint(),
+            window_to_job(&doubled, &spec).fingerprint(),
+            "pure gain must not change the job"
+        );
+        let raw = GearboxJobSpec { normalise: false, ..spec };
+        assert_ne!(
+            window_to_job(&ws[0].samples, &raw).fingerprint(),
+            window_to_job(&doubled, &raw).fingerprint()
+        );
+    }
+
+    #[test]
+    fn jobs_align_with_windows() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ws = sliding_window_stream(&GearboxConfig::default(), 3, 500, 100, &mut rng);
+        let jobs = jobs_from_windows(&ws, &GearboxJobSpec::default());
+        assert_eq!(jobs.len(), ws.len());
+    }
+}

@@ -49,6 +49,54 @@ impl SimplicialComplex {
         SimplicialComplex { by_dim }
     }
 
+    /// Builds a complex from simplices already known to be **distinct and
+    /// downward closed** — e.g. an ε-prefix of a filtration — skipping
+    /// [`Self::from_simplices`]'s face-insertion pass entirely: it only
+    /// buckets per dimension and sorts each bucket.
+    ///
+    /// Debug builds verify the closure invariant; release builds trust
+    /// the caller.
+    pub fn from_closed_simplices<I: IntoIterator<Item = Simplex>>(simplices: I) -> Self {
+        let mut by_dim: Vec<Vec<Simplex>> = Vec::new();
+        for s in simplices {
+            let d = s.dim();
+            if by_dim.len() <= d {
+                by_dim.resize(d + 1, Vec::new());
+            }
+            by_dim[d].push(s);
+        }
+        for bucket in &mut by_dim {
+            bucket.sort_unstable();
+        }
+        let complex = SimplicialComplex { by_dim };
+        debug_assert!(complex.is_closed(), "input simplices were not downward closed");
+        complex
+    }
+
+    /// Builds a complex from per-dimension simplex lists that are
+    /// already lexicographically sorted, duplicate-free and downward
+    /// closed — the zero-validation fast path behind
+    /// [`crate::filtration::RipsSlicer`], which slices a whole ε-grid
+    /// out of one Rips construction. Trailing empty dimensions are
+    /// trimmed so the result compares equal to a directly built complex.
+    /// Debug builds verify every invariant.
+    pub fn from_sorted_buckets(mut by_dim: Vec<Vec<Simplex>>) -> Self {
+        while by_dim.last().is_some_and(Vec::is_empty) {
+            by_dim.pop();
+        }
+        let complex = SimplicialComplex { by_dim };
+        debug_assert!(
+            complex
+                .by_dim
+                .iter()
+                .enumerate()
+                .all(|(k, b)| b.iter().all(|s| s.dim() == k) && b.windows(2).all(|w| w[0] < w[1])),
+            "buckets must hold their own dimension, strictly sorted"
+        );
+        debug_assert!(complex.is_closed(), "input simplices were not downward closed");
+        complex
+    }
+
     /// Inserts a simplex and all of its faces.
     pub fn insert(&mut self, s: Simplex) {
         let extended =

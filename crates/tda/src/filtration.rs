@@ -66,11 +66,24 @@ impl Filtration {
         self.simplices.iter().enumerate().map(|(i, fs)| (&fs.simplex, i)).collect()
     }
 
+    /// Number of leading simplices with `value ≤ ε`. Simplices are
+    /// sorted by value, so the subcomplex at ε is exactly this prefix.
+    pub fn prefix_len(&self, epsilon: f64) -> usize {
+        self.simplices.partition_point(|fs| fs.value <= epsilon)
+    }
+
     /// The subcomplex at scale ε (all simplices with `value ≤ ε`).
+    ///
+    /// Because the filtration order puts every face before its cofaces
+    /// and values are monotone, the ε-prefix is already distinct and
+    /// downward closed: the complex is assembled with
+    /// [`SimplicialComplex::from_closed_simplices`], skipping the
+    /// closure pass. For slicing a whole ε-grid out of one Rips
+    /// construction, use [`RipsSlicer`] instead — it never materialises
+    /// the filtration ordering at all.
     pub fn complex_at(&self, epsilon: f64) -> SimplicialComplex {
-        SimplicialComplex::from_simplices(
-            self.simplices.iter().filter(|fs| fs.value <= epsilon).map(|fs| fs.simplex.clone()),
-        )
+        let prefix = &self.simplices[..self.prefix_len(epsilon)];
+        SimplicialComplex::from_closed_simplices(prefix.iter().map(|fs| fs.simplex.clone()))
     }
 
     /// Checks the defining order invariant (faces before cofaces, values
@@ -81,6 +94,87 @@ impl Filtration {
             fs.simplex.boundary().iter().all(|(face, _)| idx.get(&face).is_some_and(|&j| j < i))
         }) && self.simplices.windows(2).all(|w| w[0].value <= w[1].value)
     }
+}
+
+/// Amortised ε-slicing of a Rips construction **without materialising a
+/// [`Filtration`]**: one flag-complex expansion at the construction
+/// scale, one diameter per simplex, then any number of sort-free slices.
+/// The complex from [`rips_complex`] already stores each dimension in
+/// lexicographic order, so a slice is a filtered copy in already-sorted
+/// order — this is what the batch engine and `betti_curve` amortise
+/// construction through, the former by materialising small grids
+/// ([`rips_slices`]), the latter by slicing inside its workers so only
+/// in-flight slices are ever resident.
+pub struct RipsSlicer {
+    complex: SimplicialComplex,
+    /// Per dimension, diameters aligned index-for-index with the
+    /// complex's sorted simplex list.
+    diameters: Vec<Vec<f64>>,
+}
+
+impl RipsSlicer {
+    /// Builds the Rips complex at `max_epsilon` and records every
+    /// simplex's appearance scale (its vertex-set diameter).
+    pub fn new(cloud: &PointCloud, max_epsilon: f64, max_dim: usize, metric: Metric) -> Self {
+        let complex = rips_complex(cloud, &RipsParams { epsilon: max_epsilon, max_dim, metric });
+        let top = complex.max_dim().map_or(0, |d| d + 1);
+        let diameters: Vec<Vec<f64>> = (0..top)
+            .map(|k| complex.simplices(k).iter().map(|s| diameter(s, cloud, metric)).collect())
+            .collect();
+        RipsSlicer { complex, diameters }
+    }
+
+    /// The full complex at the construction scale.
+    pub fn max_complex(&self) -> &SimplicialComplex {
+        &self.complex
+    }
+
+    /// The slice at ε, equal to `rips_complex(cloud, ε, max_dim, metric)`
+    /// **exactly** for every ε at or below the construction scale —
+    /// including degenerate ones: Rips construction keeps every vertex
+    /// no matter the scale, so ε < 0 (or NaN) yields the vertices and
+    /// nothing else here too.
+    pub fn complex_at(&self, epsilon: f64) -> SimplicialComplex {
+        SimplicialComplex::from_sorted_buckets(
+            self.diameters
+                .iter()
+                .enumerate()
+                .map(|(k, diams)| {
+                    self.complex
+                        .simplices(k)
+                        .iter()
+                        .zip(diams)
+                        .filter(|&(_, &d)| k == 0 || d <= epsilon)
+                        .map(|(s, _)| s.clone())
+                        .collect()
+                })
+                .collect(),
+        )
+    }
+}
+
+/// The largest scale in an ε-grid (`−∞` when empty; NaN entries are
+/// skipped, as `f64::max` does) — **the** fold every amortised slicer
+/// keys its construction scale off, shared so its edge-case semantics
+/// cannot drift between call sites.
+pub fn max_scale(epsilons: &[f64]) -> f64 {
+    epsilons.iter().fold(f64::NEG_INFINITY, |a, &e| a.max(e))
+}
+
+/// Every requested ε-slice of a Rips construction, materialised in grid
+/// order through one [`RipsSlicer`] built at the grid's largest scale.
+/// Slice `i` equals `rips_complex(cloud, ε_i, max_dim, metric)` exactly.
+pub fn rips_slices(
+    cloud: &PointCloud,
+    epsilons: &[f64],
+    max_dim: usize,
+    metric: Metric,
+) -> Vec<SimplicialComplex> {
+    if epsilons.is_empty() {
+        return Vec::new();
+    }
+    let slicer = RipsSlicer::new(cloud, max_scale(epsilons), max_dim, metric);
+    epsilons.iter().map(|&eps| slicer.complex_at(eps)).collect()
 }
 
 /// Diameter of a simplex's vertex set in the cloud.
@@ -154,6 +248,77 @@ mod tests {
         let f = Filtration::rips(&pc, 10.0, 2, Metric::Euclidean);
         let tri = f.simplices().iter().find(|fs| fs.simplex.dim() == 2).expect("triangle present");
         assert!((tri.value - 5.0).abs() < 1e-12, "hypotenuse dominates");
+    }
+
+    #[test]
+    fn sliced_complex_equals_direct_rips_at_every_scale() {
+        use crate::rips::{rips_complex, RipsParams};
+        let mut rng = StdRng::seed_from_u64(9);
+        let pc = synthetic::uniform_cube(14, 2, &mut rng);
+        let f = Filtration::rips(&pc, 0.9, 3, Metric::Euclidean);
+        for i in 0..=6 {
+            let eps = 0.15 * i as f64;
+            let sliced = f.complex_at(eps);
+            let direct = rips_complex(
+                &pc,
+                &RipsParams { epsilon: eps, max_dim: 3, metric: Metric::Euclidean },
+            );
+            assert_eq!(sliced, direct, "slice at ε = {eps} diverges from direct Rips");
+        }
+    }
+
+    #[test]
+    fn rips_slices_match_direct_rips_per_epsilon() {
+        use crate::rips::{rips_complex, RipsParams};
+        let mut rng = StdRng::seed_from_u64(14);
+        let pc = synthetic::uniform_cube(14, 2, &mut rng);
+        // Includes degenerate scales: ε < 0 and NaN must agree with the
+        // direct construction too (vertices only, never an empty complex).
+        let grid = [0.15, -0.5, 0.4, 0.65, f64::NAN, 0.9];
+        let slices = rips_slices(&pc, &grid, 3, Metric::Euclidean);
+        assert_eq!(slices.len(), grid.len());
+        for (c, &eps) in slices.iter().zip(&grid) {
+            let direct = rips_complex(
+                &pc,
+                &RipsParams { epsilon: eps, max_dim: 3, metric: Metric::Euclidean },
+            );
+            assert_eq!(*c, direct, "sort-free slice at ε = {eps} diverges from direct Rips");
+        }
+        assert_eq!(slices[1].count(0), 14, "negative ε keeps every vertex");
+        assert_eq!(slices[1].total_count(), 14);
+        assert!(rips_slices(&pc, &[], 3, Metric::Euclidean).is_empty());
+        // All-degenerate grids must not panic or drop vertices either.
+        let degenerate = rips_slices(&pc, &[-1.0], 2, Metric::Euclidean);
+        assert_eq!(degenerate[0].total_count(), 14);
+    }
+
+    #[test]
+    fn slicer_exposes_max_complex_and_reuses_across_scales() {
+        use crate::rips::{rips_complex, RipsParams};
+        let mut rng = StdRng::seed_from_u64(10);
+        let pc = synthetic::uniform_cube(13, 3, &mut rng);
+        let slicer = RipsSlicer::new(&pc, 1.1, 3, Metric::Euclidean);
+        let full =
+            rips_complex(&pc, &RipsParams { epsilon: 1.1, max_dim: 3, metric: Metric::Euclidean });
+        assert_eq!(*slicer.max_complex(), full);
+        for eps in [0.0, 0.3, 0.55, 0.8, 1.1] {
+            let direct = rips_complex(
+                &pc,
+                &RipsParams { epsilon: eps, max_dim: 3, metric: Metric::Euclidean },
+            );
+            assert_eq!(slicer.complex_at(eps), direct, "slicer diverges at ε = {eps}");
+        }
+    }
+
+    #[test]
+    fn prefix_len_matches_value_threshold() {
+        let f = Filtration::rips(&unit_square(), 2.0, 2, Metric::Euclidean);
+        for eps in [0.0, 0.5, 1.0, 1.2, 1.5] {
+            let n = f.prefix_len(eps);
+            assert!(f.simplices()[..n].iter().all(|fs| fs.value <= eps));
+            assert!(f.simplices()[n..].iter().all(|fs| fs.value > eps));
+        }
+        assert_eq!(f.prefix_len(f64::INFINITY), f.len());
     }
 
     #[test]

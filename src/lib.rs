@@ -16,7 +16,10 @@
 //! * [`ml`] — logistic regression, splits and metrics for the paper's §5
 //!   classification experiments;
 //! * [`data`] — the synthetic gearbox dataset standing in for the SEU
-//!   vibration data.
+//!   vibration data;
+//! * [`engine`] — the batched multi-cloud Betti-serving subsystem
+//!   (amortised Rips slicing, `(job, ε, dim)` scheduling, deterministic
+//!   seed streams, LRU result cache).
 //!
 //! ## Quickstart
 //!
@@ -43,6 +46,7 @@
 
 pub use qtda_core as core;
 pub use qtda_data as data;
+pub use qtda_engine as engine;
 pub use qtda_linalg as linalg;
 pub use qtda_ml as ml;
 pub use qtda_qsim as qsim;

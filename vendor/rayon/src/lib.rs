@@ -12,11 +12,20 @@
 //! * `slice.par_chunks_mut(n)` (± `enumerate`) → `for_each`
 //! * `range.into_par_iter()` → `map` → `collect`/`sum`
 //!
-//! Unlike a work-stealing pool, threads are spawned per call; the
-//! workspace only parallelises past size thresholds where the spawn cost
-//! is noise.
+//! Work runs on a **reusable global thread pool** ([`pool`]): workers
+//! are started once on first use and parked between calls, so
+//! fine-grained kernels (batch-engine fan-out, per-dimension estimates)
+//! pay a queue push instead of `thread::spawn` per call. Callers help
+//! drain the queue while waiting, which keeps nested parallel calls
+//! deadlock-free and makes the pool degrade gracefully to caller-side
+//! execution on single-core machines.
+//!
+//! The only `unsafe` in this crate is the scoped-task lifetime erasure
+//! in [`pool`], with the soundness argument documented there.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
+
+mod pool;
 
 use std::ops::Range;
 
@@ -31,25 +40,31 @@ fn n_threads() -> usize {
     std::thread::available_parallelism().map(usize::from).unwrap_or(1)
 }
 
-/// Runs `f(index)` for every index in `0..len` on up to `n_threads`
-/// scoped threads and returns the results in index order.
+/// Runs `f(index)` for every index in `0..len` on the global pool and
+/// returns the results in index order.
 fn parallel_collect<R: Send, F: Fn(usize) -> R + Sync>(len: usize, f: F) -> Vec<R> {
     let nt = n_threads().min(len.max(1));
     if nt <= 1 || len <= 1 {
         return (0..len).map(f).collect();
     }
     let chunk = len.div_ceil(nt);
-    std::thread::scope(|s| {
-        let f = &f;
-        let handles: Vec<_> = (0..len)
-            .step_by(chunk)
-            .map(|start| {
-                let end = (start + chunk).min(len);
-                s.spawn(move || (start..end).map(f).collect::<Vec<R>>())
-            })
-            .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
-    })
+    // Chunk results land here tagged with their start index; the
+    // closure-scoped pool entry blocks until every chunk task has run.
+    let results: std::sync::Mutex<Vec<(usize, Vec<R>)>> = std::sync::Mutex::new(Vec::new());
+    pool::scope(|s| {
+        for start in (0..len).step_by(chunk) {
+            let end = (start + chunk).min(len);
+            let f = &f;
+            let results = &results;
+            s.spawn(Box::new(move || {
+                let out: Vec<R> = (start..end).map(f).collect();
+                results.lock().expect("worker panicked").push((start, out));
+            }));
+        }
+    });
+    let mut chunks = results.into_inner().expect("worker panicked");
+    chunks.sort_unstable_by_key(|&(start, _)| start);
+    chunks.into_iter().flat_map(|(_, v)| v).collect()
 }
 
 /// Runs `f(chunk_index, chunk)` over disjoint mutable chunks in parallel.
@@ -67,8 +82,8 @@ fn parallel_chunks_mut<T: Send, F: Fn(usize, &mut [T]) + Sync>(
         return;
     }
     let per = chunks.len().div_ceil(nt);
-    std::thread::scope(|s| {
-        let f = &f;
+    let f = &f;
+    pool::scope(|s| {
         let mut rest = chunks;
         let mut start = 0;
         while !rest.is_empty() {
@@ -76,11 +91,11 @@ fn parallel_chunks_mut<T: Send, F: Fn(usize, &mut [T]) + Sync>(
             let batch: Vec<&mut [T]> = rest.drain(..take).collect();
             let base = start;
             start += take;
-            s.spawn(move || {
+            s.spawn(Box::new(move || {
                 for (k, c) in batch.into_iter().enumerate() {
                     f(base + k, c);
                 }
-            });
+            }));
         }
     });
 }
@@ -432,6 +447,64 @@ mod tests {
             }
         });
         assert_eq!(v, vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn pool_threads_are_reused_across_calls() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        use std::thread::ThreadId;
+        // `ThreadId`s are never reused within a process, so the
+        // spawn-per-call strategy would mint fresh ids every call; the
+        // pool must stay within workers + callers.
+        let ids: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        let v: Vec<usize> = (0..512).collect();
+        for _ in 0..16 {
+            let _: Vec<usize> = v
+                .par_iter()
+                .map(|&x| {
+                    ids.lock().unwrap().insert(std::thread::current().id());
+                    x
+                })
+                .collect();
+        }
+        let distinct = ids.lock().unwrap().len();
+        // Other tests' caller threads may legitimately steal a few of
+        // these tasks while blocked in their own scopes (help-while-wait
+        // drains the shared queue): at most n−1 pool workers + this
+        // caller + up to n−1 concurrent test threads ≈ 2n. The
+        // spawn-per-call strategy this guards against would mint
+        // ~16·(n_threads−1) fresh ids, well past the bound for any n > 1.
+        let bound = 2 * crate::n_threads();
+        assert!(distinct <= bound, "{distinct} distinct threads over 16 calls (bound {bound})");
+    }
+
+    #[test]
+    fn nested_parallel_calls_complete() {
+        let outer: Vec<usize> = (0..64).collect();
+        let out: Vec<usize> = outer
+            .par_iter()
+            .map(|&x| {
+                let inner: Vec<usize> = (0..32).collect();
+                let s: usize = inner.par_iter().map(|&y| y * x).sum();
+                s
+            })
+            .collect();
+        let expect: Vec<usize> = (0..64).map(|x| (0..32).map(|y| y * x).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn task_panics_propagate_to_caller() {
+        let v: Vec<usize> = (0..4096).collect();
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<usize> =
+                v.par_iter().map(|&x| if x == 2048 { panic!("boom") } else { x }).collect();
+        });
+        assert!(result.is_err(), "panic inside a task must reach the caller");
+        // The pool must still be usable afterwards.
+        let sum: usize = v.par_iter().map(|&x| x).sum();
+        assert_eq!(sum, 4095 * 4096 / 2);
     }
 
     #[test]

@@ -1,0 +1,308 @@
+//! The reusable global thread pool behind every parallel adapter.
+//!
+//! The first parallel call starts `available_parallelism − 1` worker
+//! threads that live for the rest of the process, parked on a condvar
+//! when idle; later calls only pay a queue push, not thread creation.
+//! That matters for fine-grained kernels (batch engines fan out many
+//! small matvec/gate jobs per second) where per-call `thread::spawn`
+//! used to dominate.
+//!
+//! Work is submitted through the closure-scoped [`scope`] entry point:
+//! the caller enqueues tasks that may borrow from its stack, and the
+//! call blocks until all of them have run. While blocked, the caller
+//! *helps*: it drains the global queue and executes tasks itself. This keeps the pool
+//! deadlock-free under nested parallelism (a worker that waits on an
+//! inner scope drains the queue instead of sleeping) and means the pool
+//! works even with zero workers (single-core machines run everything in
+//! the calling thread).
+//!
+//! # Safety
+//!
+//! Tasks are type-erased to `'static` so they can sit in the global
+//! queue (`erase_lifetime`, the one `unsafe` block in this crate). This
+//! is sound because every submitted task is guaranteed to run to
+//! completion before the borrows it captures go out of scope:
+//!
+//! * the only way to submit tasks is through the closure-scoped
+//!   [`scope`] entry point, which owns the `Scope` value itself: it
+//!   always blocks (in `finish`, or in `Drop` while unwinding) until the
+//!   task count reaches zero before returning, and callers only ever see
+//!   `&Scope`, so safe code cannot `mem::forget` the guard and skip the
+//!   wait;
+//! * the borrow checker enforces that spawned borrows outlive the
+//!   `Scope` value inside [`scope`]: `Scope<'env>` carries an invariant
+//!   `'env` and has a `Drop` impl, so the drop checker rejects any spawn
+//!   of data that dies before the wait;
+//! * a task that panics is caught, counted as completed, and its payload
+//!   re-thrown from `finish` in the submitting thread.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A type-erased unit of work in the global queue.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// The shared injector queue all threads push to and pop from.
+struct Injector {
+    queue: Mutex<VecDeque<Task>>,
+    work_available: Condvar,
+}
+
+static POOL: OnceLock<Arc<Injector>> = OnceLock::new();
+
+/// The injector, starting the worker threads on first use.
+fn injector() -> &'static Arc<Injector> {
+    POOL.get_or_init(|| {
+        let injector = Arc::new(Injector {
+            queue: Mutex::new(VecDeque::new()),
+            work_available: Condvar::new(),
+        });
+        // Callers help while waiting, so n−1 workers saturate n cores; a
+        // single-core machine gets zero workers and runs caller-side.
+        let workers = crate::n_threads().saturating_sub(1);
+        for i in 0..workers {
+            let inj = Arc::clone(&injector);
+            std::thread::Builder::new()
+                .name(format!("qtda-rayon-{i}"))
+                .spawn(move || worker_loop(&inj))
+                .expect("failed to start pool worker");
+        }
+        injector
+    })
+}
+
+/// Worker body: pop a task or park until one arrives. Tasks never unwind
+/// (the scope wrapper catches panics), so workers live forever.
+fn worker_loop(inj: &Injector) {
+    loop {
+        let task = {
+            let mut queue = inj.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(task) = queue.pop_front() {
+                    break task;
+                }
+                queue = inj.work_available.wait(queue).expect("pool queue poisoned");
+            }
+        };
+        task();
+    }
+}
+
+/// Mutable half of a scope's completion state.
+struct ScopeSync {
+    /// Tasks submitted but not yet finished.
+    remaining: usize,
+    /// First panic payload raised by a task, if any.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+struct ScopeState {
+    sync: Mutex<ScopeSync>,
+    done: Condvar,
+}
+
+/// Runs `f` with a submission scope over the global pool and blocks
+/// until every task `f` spawned has completed (also on unwind, via the
+/// scope's `Drop`). This closure shape is what makes the lifetime
+/// erasure sound against safe code: the `Scope` value never escapes to
+/// the caller, so it cannot be `mem::forget`-ten with tasks still
+/// queued. Task panics are re-thrown here after all tasks have run.
+pub(crate) fn scope<'env, F: FnOnce(&Scope<'env>)>(f: F) {
+    let s = Scope::new();
+    f(&s);
+    s.finish();
+}
+
+/// A blocking submission scope over the global pool (see module docs for
+/// the soundness argument). Only [`scope`] constructs one; callers
+/// interact with it by reference.
+pub(crate) struct Scope<'env> {
+    state: Arc<ScopeState>,
+    finished: bool,
+    /// Invariant in `'env`, the region every spawned borrow must cover.
+    /// Combined with the `Drop` impl, the drop checker requires all
+    /// borrowed data to be declared *before* the scope value.
+    _env: PhantomData<Cell<&'env ()>>,
+}
+
+/// Erases a task's borrow lifetime so it can enter the `'static` queue.
+///
+/// # Safety
+///
+/// The caller must guarantee the task runs (or the process aborts)
+/// before any borrow it captures is invalidated. [`Scope`] provides this
+/// by blocking in `finish`/`Drop` until its task count reaches zero.
+#[allow(unsafe_code)]
+unsafe fn erase_lifetime<'env>(task: Box<dyn FnOnce() + Send + 'env>) -> Task {
+    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Task>(task) }
+}
+
+impl<'env> Scope<'env> {
+    fn new() -> Self {
+        Scope {
+            state: Arc::new(ScopeState {
+                sync: Mutex::new(ScopeSync { remaining: 0, panic: None }),
+                done: Condvar::new(),
+            }),
+            finished: false,
+            _env: PhantomData,
+        }
+    }
+
+    /// Enqueues a task on the global pool. The task may borrow anything
+    /// that outlives this `Scope` value (enforced by the drop checker).
+    #[allow(unsafe_code)] // lifetime erasure; see the module-level safety notes
+    pub(crate) fn spawn(&self, task: Box<dyn FnOnce() + Send + 'env>) {
+        self.state.sync.lock().expect("scope state poisoned").remaining += 1;
+        let state = Arc::clone(&self.state);
+        let wrapped: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(task));
+            let mut sync = state.sync.lock().expect("scope state poisoned");
+            if let Err(payload) = result {
+                sync.panic.get_or_insert(payload);
+            }
+            sync.remaining -= 1;
+            if sync.remaining == 0 {
+                drop(sync);
+                state.done.notify_all();
+            }
+        });
+        // SAFETY: this Scope blocks in `finish`/`Drop` until `remaining`
+        // hits zero, so `wrapped` (and everything it borrows) outlives
+        // its execution.
+        let erased = unsafe { erase_lifetime(wrapped) };
+        let inj = injector();
+        inj.queue.lock().expect("pool queue poisoned").push_back(erased);
+        inj.work_available.notify_one();
+    }
+
+    /// Runs queued tasks (any scope's — that is what keeps nested waits
+    /// live) until this scope's own count reaches zero.
+    fn help_until_done(&self) {
+        let inj = injector();
+        loop {
+            if self.state.sync.lock().expect("scope state poisoned").remaining == 0 {
+                return;
+            }
+            let task = inj.queue.lock().expect("pool queue poisoned").pop_front();
+            match task {
+                Some(task) => task(),
+                None => {
+                    // Queue empty but tasks still running elsewhere: sleep
+                    // until one of ours completes. Re-check under the lock
+                    // so a completion between the pop and here is not lost.
+                    let sync = self.state.sync.lock().expect("scope state poisoned");
+                    if sync.remaining == 0 {
+                        return;
+                    }
+                    drop(self.state.done.wait(sync).expect("scope state poisoned"));
+                }
+            }
+        }
+    }
+
+    /// Blocks until every spawned task has run, then re-throws the first
+    /// task panic (if any) in the calling thread.
+    fn finish(mut self) {
+        self.help_until_done();
+        self.finished = true;
+        let panic = self.state.sync.lock().expect("scope state poisoned").panic.take();
+        if let Some(payload) = panic {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for Scope<'_> {
+    fn drop(&mut self) {
+        // Safety net when `finish` was skipped (the caller is already
+        // unwinding): borrowed tasks must still not outlive the borrows,
+        // so block here too. The panic payload is dropped, not re-thrown
+        // (a second panic mid-unwind would abort).
+        if !self.finished {
+            self.help_until_done();
+        }
+    }
+}
+
+// These drive `Scope` directly, so the queue/help/panic machinery is
+// exercised even on single-core machines where the public adapters take
+// their serial fast path.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_runs_every_task() {
+        let counter = AtomicUsize::new(0);
+        let scope = Scope::new();
+        for _ in 0..200 {
+            let counter = &counter;
+            scope.spawn(Box::new(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        scope.finish();
+        assert_eq!(counter.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn drop_without_finish_still_blocks_on_tasks() {
+        let counter = AtomicUsize::new(0);
+        {
+            let scope = Scope::new();
+            for _ in 0..64 {
+                let counter = &counter;
+                scope.spawn(Box::new(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }));
+            }
+            // No finish: Drop must still wait for all 64.
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn nested_scopes_complete() {
+        let counter = AtomicUsize::new(0);
+        let scope = Scope::new();
+        for _ in 0..8 {
+            let counter = &counter;
+            scope.spawn(Box::new(move || {
+                let inner = Scope::new();
+                for _ in 0..8 {
+                    inner.spawn(Box::new(move || {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }));
+                }
+                inner.finish();
+            }));
+        }
+        scope.finish();
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn finish_rethrows_task_panic_after_all_tasks_ran() {
+        let counter = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(|| {
+            let scope = Scope::new();
+            for i in 0..32 {
+                let counter = &counter;
+                scope.spawn(Box::new(move || {
+                    if i == 13 {
+                        panic!("boom");
+                    }
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }));
+            }
+            scope.finish();
+        });
+        assert!(result.is_err(), "finish must re-throw the task panic");
+        assert_eq!(counter.load(Ordering::Relaxed), 31, "non-panicking tasks all ran");
+    }
+}
