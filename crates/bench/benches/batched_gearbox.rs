@@ -78,6 +78,7 @@ fn naive_serve(jobs: &[BettiJob]) -> Vec<Vec<f64>> {
                                 ..job.estimator
                             },
                             sparse_threshold: job.sparse_threshold,
+                            ..PipelineConfig::default()
                         },
                     )
                     .features()

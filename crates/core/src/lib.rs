@@ -46,7 +46,7 @@ pub use backend::{
 pub use estimator::{BettiEstimate, BettiEstimator, EstimatorConfig};
 pub use padding::{pad_laplacian, pad_operator, LambdaMaxBound, PaddedLaplacian, PaddingScheme};
 pub use pipeline::{
-    betti_curve, estimate_betti_numbers, estimate_dimension, run_for_complex, BettiCurve,
-    PipelineConfig, PipelineResult,
+    betti_curve, estimate_betti_numbers, estimate_dimension, estimate_dimension_dispatched,
+    run_for_complex, BackendKind, BettiCurve, DispatchPolicy, PipelineConfig, PipelineResult,
 };
 pub use scaling::rescale_operator;

@@ -11,7 +11,7 @@
 //! sweeps run every ε (and every dimension within an ε) in parallel via
 //! rayon.
 
-use crate::backend::LanczosBackend;
+use crate::backend::{LanczosBackend, StatevectorBackend};
 use crate::estimator::{BettiEstimate, BettiEstimator, EstimatorConfig};
 use crate::spectrum::PaddedSpectrum;
 use qtda_tda::betti::betti_via_rank;
@@ -26,6 +26,68 @@ use rayon::prelude::*;
 /// (CSR + Lanczos) path. Below this the dense eigensolver is faster in
 /// absolute terms and matches the paper's worked example bit for bit.
 pub const DEFAULT_SPARSE_THRESHOLD: usize = 64;
+
+/// Which concrete backend a `(complex, dimension)` unit is routed to.
+///
+/// The three tiers trade asymptotics against constants: the gate-level
+/// statevector circuit (paper Fig. 6) is exponential in the padded qubit
+/// count but exact and faithful to hardware, the dense eigensolve is
+/// cubic with tiny constants, and the CSR + Lanczos path is matvec-only
+/// and the only one that scales. [`DispatchPolicy::choose`] picks by
+/// `|S_k|`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Gate-level statevector QPE (Fig. 6 circuit, exponential — tiny
+    /// complexes only).
+    Statevector,
+    /// Dense combinatorial Laplacian + analytic spectral backend.
+    DenseEigen,
+    /// CSR Laplacian + single matvec-only Lanczos decomposition.
+    SparseLanczos,
+}
+
+/// Size-based backend routing for one estimation unit.
+///
+/// `statevector_max` wins first: `0 < |S_k| ≤ statevector_max` runs the
+/// full gate-level circuit (useful as a hardware-faithful validation
+/// tier on the smallest complexes; `0` disables it, the default). Above
+/// that, `|S_k| ≥ sparse_min` takes the sparse Lanczos path and
+/// everything else the dense eigensolve — so small complexes stop
+/// paying sparse setup and large ones never densify.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DispatchPolicy {
+    /// Largest `|S_k|` routed to the gate-level statevector backend
+    /// (`0` disables the tier).
+    pub statevector_max: usize,
+    /// `|S_k|` at or above which a unit runs the sparse Lanczos path.
+    pub sparse_min: usize,
+}
+
+impl DispatchPolicy {
+    /// The policy equivalent to the pre-dispatch pipeline: dense below
+    /// `sparse_threshold`, sparse at or above it, no statevector tier.
+    pub const fn from_sparse_threshold(sparse_threshold: usize) -> Self {
+        DispatchPolicy { statevector_max: 0, sparse_min: sparse_threshold }
+    }
+
+    /// Routes one unit by its `|S_k|`. Empty dimensions short-circuit
+    /// before any backend runs, so the answer for `n_k == 0` is moot.
+    pub fn choose(&self, n_k: usize) -> BackendKind {
+        if n_k > 0 && n_k <= self.statevector_max {
+            BackendKind::Statevector
+        } else if n_k >= self.sparse_min {
+            BackendKind::SparseLanczos
+        } else {
+            BackendKind::DenseEigen
+        }
+    }
+}
+
+impl Default for DispatchPolicy {
+    fn default() -> Self {
+        DispatchPolicy::from_sparse_threshold(DEFAULT_SPARSE_THRESHOLD)
+    }
+}
 
 /// End-to-end pipeline parameters.
 #[derive(Clone, Copy, Debug)]
@@ -42,6 +104,18 @@ pub struct PipelineConfig {
     /// `|S_k|` at or above which dimension `k` runs the sparse path
     /// (`0` forces sparse everywhere, `usize::MAX` forces dense).
     pub sparse_threshold: usize,
+    /// Largest `|S_k|` routed to the gate-level statevector backend
+    /// (`0`, the default, disables the tier — see [`DispatchPolicy`]).
+    pub statevector_max: usize,
+}
+
+impl PipelineConfig {
+    /// The size-based routing this configuration describes: statevector
+    /// up to `statevector_max`, sparse from `sparse_threshold`, dense in
+    /// between.
+    pub fn dispatch_policy(&self) -> DispatchPolicy {
+        DispatchPolicy { statevector_max: self.statevector_max, sparse_min: self.sparse_threshold }
+    }
 }
 
 impl Default for PipelineConfig {
@@ -52,6 +126,7 @@ impl Default for PipelineConfig {
             metric: Metric::Euclidean,
             estimator: EstimatorConfig::default(),
             sparse_threshold: DEFAULT_SPARSE_THRESHOLD,
+            statevector_max: 0,
         }
     }
 }
@@ -99,11 +174,11 @@ pub fn estimate_betti_numbers(cloud: &PointCloud, config: &PipelineConfig) -> Pi
             metric: config.metric,
         },
     );
-    estimate_betti_numbers_of_complex_with_threshold(
+    estimate_betti_numbers_of_complex_dispatched(
         &complex,
         config.max_homology_dim,
         &config.estimator,
-        config.sparse_threshold,
+        config.dispatch_policy(),
     )
 }
 
@@ -159,14 +234,13 @@ pub fn betti_curve(
     let slicer =
         RipsSlicer::new(cloud, max_scale(&epsilons), config.max_homology_dim + 1, config.metric);
     let dims: Vec<usize> = (0..=config.max_homology_dim).collect();
+    let policy = config.dispatch_policy();
     let results: Vec<Vec<(BettiEstimate, usize)>> = epsilons
         .par_iter()
         .map(|&eps| {
             let complex = slicer.complex_at(eps);
             dims.par_iter()
-                .map(|&k| {
-                    estimate_dimension(&complex, k, &config.estimator, config.sparse_threshold)
-                })
+                .map(|&k| estimate_dimension_dispatched(&complex, k, &config.estimator, policy))
                 .collect()
         })
         .collect();
@@ -207,10 +281,29 @@ pub fn estimate_betti_numbers_of_complex_with_threshold(
     estimator_config: &EstimatorConfig,
     sparse_threshold: usize,
 ) -> PipelineResult {
+    estimate_betti_numbers_of_complex_dispatched(
+        complex,
+        max_homology_dim,
+        estimator_config,
+        DispatchPolicy::from_sparse_threshold(sparse_threshold),
+    )
+}
+
+/// Runs the estimator across dimensions of an existing complex with an
+/// explicit size-based [`DispatchPolicy`] (statevector / dense /
+/// sparse). With `DispatchPolicy::from_sparse_threshold` this is
+/// bit-identical to the threshold entry point. The homology dimensions
+/// are independent and run in parallel.
+pub fn estimate_betti_numbers_of_complex_dispatched(
+    complex: &SimplicialComplex,
+    max_homology_dim: usize,
+    estimator_config: &EstimatorConfig,
+    policy: DispatchPolicy,
+) -> PipelineResult {
     let dims: Vec<usize> = (0..=max_homology_dim).collect();
     let per_dim: Vec<(BettiEstimate, usize)> = dims
         .par_iter()
-        .map(|&k| estimate_dimension(complex, k, estimator_config, sparse_threshold))
+        .map(|&k| estimate_dimension_dispatched(complex, k, estimator_config, policy))
         .collect();
     let (estimates, classical) = per_dim.into_iter().unzip();
     PipelineResult { complex: complex.clone(), estimates, classical }
@@ -227,26 +320,58 @@ pub fn estimate_dimension(
     estimator_config: &EstimatorConfig,
     sparse_threshold: usize,
 ) -> (BettiEstimate, usize) {
-    let estimator = BettiEstimator::new(*estimator_config);
+    estimate_dimension_dispatched(
+        complex,
+        k,
+        estimator_config,
+        DispatchPolicy::from_sparse_threshold(sparse_threshold),
+    )
+}
+
+/// [`estimate_dimension`] with full three-way backend routing: the
+/// [`DispatchPolicy`] sends the unit to the gate-level statevector
+/// circuit, the dense eigensolve, or the sparse Lanczos path by
+/// `|S_k|`. Still fully deterministic in `estimator_config.seed` — the
+/// route depends only on the complex, never on timing — so batch
+/// drivers can schedule these units in any order on any worker count.
+pub fn estimate_dimension_dispatched(
+    complex: &SimplicialComplex,
+    k: usize,
+    estimator_config: &EstimatorConfig,
+    policy: DispatchPolicy,
+) -> (BettiEstimate, usize) {
     let n_k = complex.count(k);
     if n_k == 0 {
         // Empty S_k short-circuits to a zero estimate (q = 0).
-        (estimator.estimate(&qtda_linalg::Mat::zeros(0, 0)), 0)
-    } else if n_k >= sparse_threshold {
-        let laplacian = combinatorial_laplacian_sparse(complex, k);
-        let spectrum = PaddedSpectrum::of_sparse_laplacian_bounded(
-            &laplacian,
-            estimator_config.padding,
-            estimator_config.delta,
-            LanczosBackend::default().seed,
-            estimator_config.lambda_bound,
-        );
-        // One decomposition serves both outputs: the QPE shot sample and
-        // the classical β_k = dim ker Δ_k (Eq. 6).
-        (estimator.estimate_from_spectrum(&spectrum), spectrum.kernel_dim())
-    } else {
-        let laplacian = combinatorial_laplacian(complex, k);
-        (estimator.estimate(&laplacian), betti_via_rank(complex, k))
+        let estimator = BettiEstimator::new(*estimator_config);
+        return (estimator.estimate(&qtda_linalg::Mat::zeros(0, 0)), 0);
+    }
+    match policy.choose(n_k) {
+        BackendKind::SparseLanczos => {
+            let estimator = BettiEstimator::new(*estimator_config);
+            let laplacian = combinatorial_laplacian_sparse(complex, k);
+            let spectrum = PaddedSpectrum::of_sparse_laplacian_bounded(
+                &laplacian,
+                estimator_config.padding,
+                estimator_config.delta,
+                LanczosBackend::default().seed,
+                estimator_config.lambda_bound,
+            );
+            // One decomposition serves both outputs: the QPE shot sample
+            // and the classical β_k = dim ker Δ_k (Eq. 6).
+            (estimator.estimate_from_spectrum(&spectrum), spectrum.kernel_dim())
+        }
+        BackendKind::DenseEigen => {
+            let estimator = BettiEstimator::new(*estimator_config);
+            let laplacian = combinatorial_laplacian(complex, k);
+            (estimator.estimate(&laplacian), betti_via_rank(complex, k))
+        }
+        BackendKind::Statevector => {
+            let estimator =
+                BettiEstimator::with_backend(*estimator_config, Box::new(StatevectorBackend));
+            let laplacian = combinatorial_laplacian(complex, k);
+            (estimator.estimate(&laplacian), betti_via_rank(complex, k))
+        }
     }
 }
 
@@ -452,6 +577,81 @@ mod tests {
         assert!(result.complex.count(1) >= 8, "scenario must engage the sparse path");
         assert_eq!(result.classical, vec![1, 1]);
         assert_eq!(result.rounded(), vec![1, 1], "features {:?}", result.features());
+    }
+
+    #[test]
+    fn dispatch_policy_routes_by_size() {
+        let policy = DispatchPolicy { statevector_max: 8, sparse_min: 64 };
+        assert_eq!(policy.choose(1), BackendKind::Statevector);
+        assert_eq!(policy.choose(8), BackendKind::Statevector);
+        assert_eq!(policy.choose(9), BackendKind::DenseEigen);
+        assert_eq!(policy.choose(63), BackendKind::DenseEigen);
+        assert_eq!(policy.choose(64), BackendKind::SparseLanczos);
+        assert_eq!(policy.choose(10_000), BackendKind::SparseLanczos);
+
+        // The threshold-derived policy reproduces the pre-dispatch rules.
+        let legacy = DispatchPolicy::from_sparse_threshold(64);
+        assert_eq!(legacy.choose(1), BackendKind::DenseEigen);
+        assert_eq!(legacy.choose(64), BackendKind::SparseLanczos);
+        assert_eq!(
+            DispatchPolicy::from_sparse_threshold(0).choose(1),
+            BackendKind::SparseLanczos,
+            "threshold 0 still forces sparse everywhere"
+        );
+        assert_eq!(
+            DispatchPolicy::from_sparse_threshold(usize::MAX).choose(1_000_000),
+            BackendKind::DenseEigen,
+            "usize::MAX still forces dense everywhere"
+        );
+    }
+
+    #[test]
+    fn threshold_entry_points_are_bit_identical_to_dispatched() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let cloud = synthetic::circle(12, 1.0, 0.02, &mut rng);
+        let complex = rips_complex(&cloud, &RipsParams::new(0.6, 2));
+        let config = high_fidelity(19);
+        for threshold in [0, 8, usize::MAX] {
+            let direct = estimate_dimension(&complex, 1, &config, threshold);
+            let dispatched = estimate_dimension_dispatched(
+                &complex,
+                1,
+                &config,
+                DispatchPolicy::from_sparse_threshold(threshold),
+            );
+            assert_eq!(direct.1, dispatched.1, "classical, threshold {threshold}");
+            assert_eq!(
+                direct.0.corrected.to_bits(),
+                dispatched.0.corrected.to_bits(),
+                "estimate, threshold {threshold}"
+            );
+        }
+    }
+
+    #[test]
+    fn statevector_tier_agrees_with_dense_on_small_complexes() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let cloud = synthetic::circle(10, 1.0, 0.02, &mut rng);
+        let base = PipelineConfig {
+            epsilon: 0.7,
+            max_homology_dim: 1,
+            estimator: high_fidelity(9),
+            ..Default::default()
+        };
+        let dense = estimate_betti_numbers(&cloud, &base);
+        let gate =
+            estimate_betti_numbers(&cloud, &PipelineConfig { statevector_max: usize::MAX, ..base });
+        assert_eq!(dense.classical, gate.classical, "classical truth is backend-free");
+        assert_eq!(dense.rounded(), gate.rounded());
+        for (d, g) in dense.estimates.iter().zip(&gate.estimates) {
+            assert!(
+                (d.p_zero_exact - g.p_zero_exact).abs() < 1e-9,
+                "p(0): dense {} vs statevector {}",
+                d.p_zero_exact,
+                g.p_zero_exact
+            );
+            assert_eq!(d.q, g.q);
+        }
     }
 
     #[test]

@@ -4,7 +4,9 @@ use proptest::prelude::*;
 use qtda_data::embedding::features_to_point_cloud;
 use qtda_data::features::extract_six_features;
 use qtda_data::gearbox::{GearboxConfig, GearboxState};
-use qtda_data::windows::{balanced_windows, feature_dataset};
+use qtda_data::windows::{
+    balanced_windows, feature_dataset, sliding_window_stream, sliding_windows,
+};
 use qtda_tda::point_cloud::Metric;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -87,6 +89,48 @@ proptest! {
                 let d1 = scaled.distance(i, j, Metric::Euclidean);
                 prop_assert!((d1 - scale * d0).abs() < 1e-9);
             }
+        }
+    }
+
+    /// `sliding_window_stream` must yield *exactly* the windows of
+    /// `sliding_windows` over its two internally generated records —
+    /// same count, same offsets, same contents — interleaved
+    /// healthy/faulty. Pinned by regenerating the records from the same
+    /// seed and slicing them directly.
+    #[test]
+    fn stream_yields_exactly_the_sliding_windows(
+        per_class in 1usize..8,
+        window_len in 5usize..40,
+        stride in 1usize..50,
+        seed in any::<u64>(),
+    ) {
+        let cfg = GearboxConfig::default();
+        let stream =
+            sliding_window_stream(&cfg, per_class, window_len, stride, &mut StdRng::seed_from_u64(seed));
+
+        // Replay the stream's internal record generation: same seed,
+        // same draw order (healthy record first, then faulty).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let record_len = window_len + (per_class - 1) * stride;
+        let healthy = cfg.generate(GearboxState::Healthy, record_len, &mut rng);
+        let faulty = cfg.generate(GearboxState::SurfaceFault, record_len, &mut rng);
+        let healthy_windows = sliding_windows(&healthy, window_len, stride);
+        let faulty_windows = sliding_windows(&faulty, window_len, stride);
+
+        // Count: the record is sized to yield exactly `per_class` windows.
+        prop_assert_eq!(healthy_windows.len(), per_class);
+        prop_assert_eq!(faulty_windows.len(), per_class);
+        prop_assert_eq!(stream.len(), 2 * per_class);
+
+        for i in 0..per_class {
+            // Contents: interleaved healthy/faulty in stream order.
+            prop_assert_eq!(&stream[2 * i].samples, &healthy_windows[i]);
+            prop_assert_eq!(stream[2 * i].label, 0);
+            prop_assert_eq!(&stream[2 * i + 1].samples, &faulty_windows[i]);
+            prop_assert_eq!(stream[2 * i + 1].label, 1);
+            // Offsets: window i is the record slice starting at i·stride.
+            let start = i * stride;
+            prop_assert_eq!(&stream[2 * i].samples, &healthy[start..start + window_len].to_vec());
         }
     }
 }

@@ -26,12 +26,25 @@
 //! Every estimator seed is derived from the batch seed and job content
 //! ([`crate::seed`]), so results are **bit-identical** across worker
 //! counts, completion orders, batch compositions, and cache states.
+//!
+//! Two serving-oriented extensions ride on the same machinery:
+//!
+//! * **Incremental completion.** [`BatchEngine::run_batch_streaming`]
+//!   announces every `(job, ε)` slice through a [`SliceSink`] the moment
+//!   its last dimension unit finishes, so a streaming front-end (the
+//!   `qtda-service` crate) can deliver results while the rest of the
+//!   batch is still computing. What streams is bit-identical to what
+//!   [`BatchEngine::run_batch`] returns.
+//! * **Size-based dispatch.** [`EngineConfig::dispatch`] routes each
+//!   unit to the statevector / dense / sparse backend by `|S_k|`
+//!   (`qtda_core::pipeline::DispatchPolicy`); the default derives the
+//!   classic dense/sparse split from each job's `sparse_threshold`.
 
 use crate::cache::LruCache;
 use crate::job::BettiJob;
 use crate::seed::{job_seed, slice_seed};
 use qtda_core::estimator::BettiEstimate;
-use qtda_core::pipeline::estimate_dimension;
+use qtda_core::pipeline::{estimate_dimension_dispatched, DispatchPolicy};
 use qtda_tda::filtration::rips_slices;
 use qtda_tda::SimplicialComplex;
 use std::collections::HashMap;
@@ -48,11 +61,31 @@ pub struct EngineConfig {
     pub batch_seed: u64,
     /// LRU result-cache entries to retain across batches (`0` disables).
     pub cache_capacity: usize,
+    /// Gate cache admission behind a doorkeeper: a fingerprint is
+    /// admitted into the LRU only on its *second* sighting, so one-shot
+    /// sliding-window traffic cannot flush entries that earned their
+    /// place by repeating (see [`LruCache::with_doorkeeper`]). Results
+    /// never depend on this — only hit rates do.
+    pub cache_doorkeeper: bool,
+    /// Size-based backend routing for every `(job, ε, dim)` unit. `None`
+    /// (the default) derives the classic dense/sparse split from each
+    /// job's own `sparse_threshold`; `Some` overrides all jobs with one
+    /// engine-wide [`DispatchPolicy`] (including the gate-level
+    /// statevector tier for the smallest complexes). Replaying a slice
+    /// through the one-shot pipeline then needs the matching
+    /// `PipelineConfig` routing fields.
+    pub dispatch: Option<DispatchPolicy>,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { workers: 0, batch_seed: 0, cache_capacity: 256 }
+        EngineConfig {
+            workers: 0,
+            batch_seed: 0,
+            cache_capacity: 256,
+            cache_doorkeeper: false,
+            dispatch: None,
+        }
     }
 }
 
@@ -107,15 +140,57 @@ impl JobResult {
 pub struct EngineStats {
     /// Jobs requested across all batches.
     pub jobs_served: u64,
+    /// Batches run (`run_batch`/`run_batch_streaming` calls).
+    pub batches_served: u64,
     /// Jobs answered from the LRU cache.
     pub cache_hits: u64,
+    /// Jobs that looked up the cache and found nothing usable.
+    pub cache_misses: u64,
+    /// Result-cache entries evicted under capacity pressure.
+    pub cache_evictions: u64,
     /// Jobs collapsed onto an identical job in the same batch.
     pub deduplicated: u64,
     /// Jobs actually computed.
     pub computed_jobs: u64,
     /// `(job, ε, dim)` estimation units executed.
     pub units_executed: u64,
+    /// Units of the most recent batch (micro-batch size telemetry).
+    pub units_last_batch: u64,
 }
+
+impl EngineStats {
+    /// Mean `(job, ε, dim)` units per batch served so far.
+    pub fn mean_units_per_batch(&self) -> f64 {
+        if self.batches_served == 0 {
+            0.0
+        } else {
+            self.units_executed as f64 / self.batches_served as f64
+        }
+    }
+}
+
+/// A slice-completion announcement streamed out of a running batch: the
+/// `slice_index`-th ε of job `job_index` finished all its homology
+/// dimensions. Emitted the moment the last `(job, ε, dim)` unit of the
+/// slice completes — long before the batch returns — and also (from the
+/// calling thread, before any unit runs) for every slice answered by the
+/// cache. Duplicate jobs receive their representative's slices under
+/// their own `job_index`.
+#[derive(Clone, Debug)]
+pub struct SliceEvent {
+    /// Index of the job in the submitted batch.
+    pub job_index: usize,
+    /// Index of the slice in that job's ε-grid.
+    pub slice_index: usize,
+    /// The completed slice — bit-identical to the corresponding entry of
+    /// the final [`JobResult`].
+    pub result: SliceResult,
+}
+
+/// The incremental-completion hook: called once per `(job, slice)` as
+/// slices finish. Must be `Sync` — worker threads invoke it
+/// concurrently, in completion order (use `slice_index` to reorder).
+pub type SliceSink<'a> = dyn Fn(SliceEvent) + Sync + 'a;
 
 /// The batched multi-cloud Betti-serving engine. Construct once, call
 /// [`Self::run_batch`] per request batch; the result cache persists
@@ -124,23 +199,36 @@ pub struct BatchEngine {
     config: EngineConfig,
     cache: Mutex<LruCache<Arc<CachedJob>>>,
     jobs_served: AtomicU64,
+    batches_served: AtomicU64,
     cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
     deduplicated: AtomicU64,
     computed_jobs: AtomicU64,
     units_executed: AtomicU64,
+    units_last_batch: AtomicU64,
 }
 
 impl BatchEngine {
     /// An engine with the given configuration.
     pub fn new(config: EngineConfig) -> Self {
+        let cache = if config.cache_doorkeeper {
+            // Track first sightings for several cache generations so
+            // a repeat separated by a scan still proves itself.
+            LruCache::with_doorkeeper(config.cache_capacity, config.cache_capacity.max(1) * 8)
+        } else {
+            LruCache::new(config.cache_capacity)
+        };
         BatchEngine {
             config,
-            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            cache: Mutex::new(cache),
             jobs_served: AtomicU64::new(0),
+            batches_served: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
             deduplicated: AtomicU64::new(0),
             computed_jobs: AtomicU64::new(0),
             units_executed: AtomicU64::new(0),
+            units_last_batch: AtomicU64::new(0),
         }
     }
 
@@ -158,10 +246,14 @@ impl BatchEngine {
     pub fn stats(&self) -> EngineStats {
         EngineStats {
             jobs_served: self.jobs_served.load(Ordering::Relaxed),
+            batches_served: self.batches_served.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: self.cache.lock().expect("cache poisoned").evictions(),
             deduplicated: self.deduplicated.load(Ordering::Relaxed),
             computed_jobs: self.computed_jobs.load(Ordering::Relaxed),
             units_executed: self.units_executed.load(Ordering::Relaxed),
+            units_last_batch: self.units_last_batch.load(Ordering::Relaxed),
         }
     }
 
@@ -177,7 +269,32 @@ impl BatchEngine {
     /// ([`BettiJob::same_request`]), so a 64-bit hash collision degrades
     /// to a recompute, never to another request's results.
     pub fn run_batch(&self, jobs: &[BettiJob]) -> Vec<Arc<JobResult>> {
+        self.run_batch_inner(jobs, None)
+    }
+
+    /// [`Self::run_batch`] with an incremental-completion hook: `sink`
+    /// is called once per `(job, slice)` the moment the slice's last
+    /// `(job, ε, dim)` unit finishes — cache-answered slices fire before
+    /// any unit runs, duplicates fire when their representative's slice
+    /// completes. The streamed [`SliceEvent`]s carry exactly the
+    /// [`SliceResult`]s of the returned [`JobResult`]s (bit-identical;
+    /// determinism is per-slice content, so *what* streams never depends
+    /// on worker count — only the completion order does).
+    pub fn run_batch_streaming(
+        &self,
+        jobs: &[BettiJob],
+        sink: &SliceSink<'_>,
+    ) -> Vec<Arc<JobResult>> {
+        self.run_batch_inner(jobs, Some(sink))
+    }
+
+    fn run_batch_inner(
+        &self,
+        jobs: &[BettiJob],
+        sink: Option<&SliceSink<'_>>,
+    ) -> Vec<Arc<JobResult>> {
         self.jobs_served.fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        self.batches_served.fetch_add(1, Ordering::Relaxed);
         let fingerprints: Vec<u64> = jobs.iter().map(BettiJob::fingerprint).collect();
 
         // Stage 1: verified cache lookups + in-batch dedup. `misses`
@@ -198,6 +315,7 @@ impl BatchEngine {
                         continue;
                     }
                 }
+                self.cache_misses.fetch_add(1, Ordering::Relaxed);
                 let candidates = seen.entry(fp).or_default();
                 if let Some(&rep) = candidates.iter().find(|&&j| jobs[j].same_request(&jobs[i])) {
                     self.deduplicated.fetch_add(1, Ordering::Relaxed);
@@ -209,6 +327,18 @@ impl BatchEngine {
             }
         }
         self.computed_jobs.fetch_add(misses.len() as u64, Ordering::Relaxed);
+
+        // Cache-answered jobs stream immediately (outside the cache
+        // lock — the sink is arbitrary user code).
+        if let Some(sink) = sink {
+            for (i, result) in results.iter().enumerate() {
+                if let Some(result) = result {
+                    for (slice_index, slice) in result.slices.iter().enumerate() {
+                        sink(SliceEvent { job_index: i, slice_index, result: slice.clone() });
+                    }
+                }
+            }
+        }
 
         let workers = if self.config.workers == 0 {
             std::thread::available_parallelism().map(usize::from).unwrap_or(1)
@@ -245,6 +375,7 @@ impl BatchEngine {
             }
         }
         self.units_executed.fetch_add(units.len() as u64, Ordering::Relaxed);
+        self.units_last_batch.store(units.len() as u64, Ordering::Relaxed);
         let preps: Vec<PrepSlot> = misses
             .iter()
             .map(|&j| PrepSlot {
@@ -254,6 +385,39 @@ impl BatchEngine {
                 ),
             })
             .collect();
+        // Streaming bookkeeping: per computed job, which original batch
+        // indices receive its slices (itself + in-batch duplicates), and
+        // a per-(job, ε) countdown of outstanding dimensions so the
+        // slice can be announced the instant its last unit lands.
+        let emit_targets: Vec<Vec<usize>> = {
+            let mut targets: Vec<Vec<usize>> = misses.iter().map(|&j| vec![j]).collect();
+            if sink.is_some() {
+                let miss_pos: HashMap<usize, usize> =
+                    misses.iter().enumerate().map(|(p, &j)| (j, p)).collect();
+                for (i, dup) in dup_of.iter().enumerate() {
+                    if let Some(rep) = dup {
+                        targets[miss_pos[rep]].push(i);
+                    }
+                }
+            }
+            targets
+        };
+        let stream_slots: Option<Vec<Vec<StreamSlot>>> = sink.map(|_| {
+            misses
+                .iter()
+                .map(|&j| {
+                    let dims = jobs[j].max_homology_dim + 1;
+                    jobs[j]
+                        .epsilons
+                        .iter()
+                        .map(|_| StreamSlot {
+                            dims: Mutex::new(vec![None; dims]),
+                            remaining: AtomicUsize::new(dims),
+                        })
+                        .collect()
+                })
+                .collect()
+        });
         let estimates: Vec<(BettiEstimate, usize)> = run_units(workers, units.len(), |u| {
             let unit = &units[u];
             let job = &jobs[misses[unit.prep]];
@@ -286,10 +450,36 @@ impl BatchEngine {
                 }
             };
             let js = job_seed(self.config.batch_seed, fingerprints[misses[unit.prep]]);
-            let seed = slice_seed(js, job.epsilons[unit.eps]);
+            let epsilon = job.epsilons[unit.eps];
+            let seed = slice_seed(js, epsilon);
             let config = qtda_core::estimator::EstimatorConfig { seed, ..job.estimator };
+            let policy = self
+                .config
+                .dispatch
+                .unwrap_or_else(|| DispatchPolicy::from_sparse_threshold(job.sparse_threshold));
             let result =
-                estimate_dimension(&complexes[unit.eps], unit.dim, &config, job.sparse_threshold);
+                estimate_dimension_dispatched(&complexes[unit.eps], unit.dim, &config, policy);
+            // Stream the slice the moment its last dimension lands.
+            if let (Some(sink), Some(slots)) = (sink, stream_slots.as_ref()) {
+                let stream = &slots[unit.prep][unit.eps];
+                stream.dims.lock().expect("stream slot poisoned")[unit.dim] = Some(result);
+                if stream.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    let dims = stream.dims.lock().expect("stream slot poisoned");
+                    let slice = SliceResult {
+                        epsilon,
+                        seed,
+                        estimates: dims.iter().map(|d| d.expect("every dim landed").0).collect(),
+                        classical: dims.iter().map(|d| d.expect("every dim landed").1).collect(),
+                    };
+                    for &job_index in &emit_targets[unit.prep] {
+                        sink(SliceEvent {
+                            job_index,
+                            slice_index: unit.eps,
+                            result: slice.clone(),
+                        });
+                    }
+                }
+            }
             // Last unit of the job frees its slices: peak memory tracks
             // the jobs in flight, not the whole batch.
             if slot.remaining_units.fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -389,6 +579,14 @@ struct PrepSlot {
     remaining_units: AtomicUsize,
 }
 
+/// Streaming bookkeeping for one `(job, ε)` slice: per-dimension results
+/// land here as their units complete, and the countdown reaching zero is
+/// the moment the slice is announced to the sink.
+struct StreamSlot {
+    dims: Mutex<Vec<Option<(BettiEstimate, usize)>>>,
+    remaining: AtomicUsize,
+}
+
 /// Runs `f(0..n)` on `workers` threads pulling unit indices from a
 /// shared counter (dynamic assignment ≙ work stealing at unit
 /// granularity), returning results in unit order. `f` must be a pure
@@ -484,6 +682,121 @@ mod tests {
         let r = engine.run_job(&j);
         assert!(r.slices.is_empty());
         assert!(r.features().is_empty());
+    }
+
+    /// Every job index — computed, duplicated, or cache-answered — must
+    /// receive each of its slices exactly once, bit-identical to the
+    /// returned results.
+    #[test]
+    fn streaming_sink_covers_hits_duplicates_and_computes() {
+        let engine = BatchEngine::with_defaults();
+        let a = job(vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0]);
+        let b = job(vec![0.0, 0.0, 2.0, 0.0, 0.0, 2.0, 2.0, 2.0]);
+        engine.run_job(&a); // put `a` in the cache
+        let jobs = [b.clone(), a.clone(), b]; // compute, hit, duplicate
+        let events: Mutex<Vec<SliceEvent>> = Mutex::new(Vec::new());
+        let results =
+            engine.run_batch_streaming(&jobs, &|ev| events.lock().expect("sink poisoned").push(ev));
+        let events = events.into_inner().expect("sink poisoned");
+        let expected: usize = jobs.iter().map(|j| j.epsilons.len()).sum();
+        assert_eq!(events.len(), expected, "one event per (job, slice)");
+        for (i, (jb, result)) in jobs.iter().zip(&results).enumerate() {
+            for slice_index in 0..jb.epsilons.len() {
+                let matching: Vec<&SliceEvent> = events
+                    .iter()
+                    .filter(|e| e.job_index == i && e.slice_index == slice_index)
+                    .collect();
+                assert_eq!(matching.len(), 1, "job {i} slice {slice_index} announced once");
+                let streamed = &matching[0].result;
+                let returned = &result.slices[slice_index];
+                assert_eq!(streamed.seed, returned.seed);
+                assert_eq!(streamed.classical, returned.classical);
+                for (s, r) in streamed.features().iter().zip(returned.features()) {
+                    assert_eq!(s.to_bits(), r.to_bits(), "job {i} slice {slice_index}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_and_collect_paths_are_bit_identical() {
+        let jobs =
+            [job(vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0]), job(vec![0.0, 0.0, 2.0, 0.0, 0.0, 2.0])];
+        let collected =
+            BatchEngine::new(EngineConfig { cache_capacity: 0, ..EngineConfig::default() })
+                .run_batch(&jobs);
+        let streamed =
+            BatchEngine::new(EngineConfig { cache_capacity: 0, ..EngineConfig::default() })
+                .run_batch_streaming(&jobs, &|_| {});
+        for (c, s) in collected.iter().zip(&streamed) {
+            assert_eq!(c.fingerprint, s.fingerprint);
+            for (a, b) in c.features().iter().zip(s.features()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    /// A forged fingerprint collision (another request's entry planted
+    /// under this job's key) must degrade to a recompute — never to
+    /// serving the other request's results.
+    #[test]
+    fn fingerprint_collision_recomputes_instead_of_serving_wrong_results() {
+        let engine = BatchEngine::with_defaults();
+        let a = job(vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0]);
+        let b = job(vec![0.0, 0.0, 3.0, 0.0, 0.0, 3.0, 3.0, 3.0]);
+        let result_a = engine.run_job(&a);
+        // Plant A's cached entry under B's fingerprint, as a real 64-bit
+        // collision would.
+        engine.cache.lock().expect("cache poisoned").insert(
+            b.fingerprint(),
+            Arc::new(CachedJob { job: a.clone(), result: Arc::clone(&result_a) }),
+        );
+        let result_b = engine.run_job(&b);
+        assert_eq!(engine.stats().computed_jobs, 2, "the collision must recompute");
+        assert_eq!(engine.stats().cache_hits, 0);
+        let fresh = BatchEngine::with_defaults().run_job(&b);
+        assert_eq!(result_b.fingerprint, fresh.fingerprint);
+        for (x, y) in result_b.features().iter().zip(fresh.features()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "recompute serves B's own results");
+        }
+    }
+
+    #[test]
+    fn doorkeeper_keeps_hot_entries_through_one_shot_scans() {
+        let engine = BatchEngine::new(EngineConfig {
+            cache_capacity: 2,
+            cache_doorkeeper: true,
+            ..EngineConfig::default()
+        });
+        let hot = job(vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0]);
+        engine.run_job(&hot); // first sighting: computed, not admitted
+        engine.run_job(&hot); // second sighting: recomputed and admitted
+        assert_eq!(engine.stats().cache_hits, 0);
+        // A scan of one-shot windows (each seen once) must not evict it.
+        for i in 0..6 {
+            engine.run_job(&job(vec![0.0, 0.0, 1.0 + i as f64, 0.0]));
+        }
+        engine.run_job(&hot);
+        let stats = engine.stats();
+        assert_eq!(stats.cache_hits, 1, "the hot entry survived the scan");
+        assert_eq!(stats.cache_evictions, 0, "one-shot traffic was never admitted");
+        assert_eq!(stats.cache_misses, stats.jobs_served - 1);
+    }
+
+    #[test]
+    fn stats_track_batches_and_units() {
+        let engine = BatchEngine::with_defaults();
+        let j = job(vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0]);
+        engine.run_batch(std::slice::from_ref(&j));
+        let first = engine.stats();
+        assert_eq!(first.batches_served, 1);
+        assert_eq!(first.units_last_batch, 4, "2 ε × 2 dims");
+        assert_eq!(first.cache_misses, 1);
+        engine.run_batch(std::slice::from_ref(&j)); // all hits → no units
+        let second = engine.stats();
+        assert_eq!(second.batches_served, 2);
+        assert_eq!(second.units_last_batch, 0);
+        assert!((second.mean_units_per_batch() - 2.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! A small LRU cache for served job results.
+//! A small LRU cache for served job results, with an optional admission
+//! doorkeeper.
 //!
 //! Serving traffic repeats itself: the same recent windows get queried
 //! by several downstream consumers (classifier ensembles, dashboards,
@@ -7,6 +8,15 @@
 //! exact result a recompute would produce (seeds are content-derived,
 //! see [`crate::seed`]), so caching is observable only through latency
 //! and the hit counters.
+//!
+//! **Admission.** A sliding-window stream also produces long runs of
+//! *near*-duplicate windows that are each queried exactly once; admitted
+//! eagerly, that one-shot traffic flushes the genuinely hot entries out
+//! of a small LRU. [`LruCache::with_doorkeeper`] therefore gates
+//! admission TinyLFU-style: a fingerprint is remembered on its first
+//! sighting and only admitted into the LRU on its second, so a key earns
+//! a slot by repeating. Hits and refreshes of already-cached keys are
+//! unaffected.
 //!
 //! The implementation favours being obviously correct over asymptotics:
 //! a `HashMap` plus a monotone recency stamp, with an `O(len)` scan on
@@ -20,7 +30,9 @@ use std::collections::HashMap;
 pub struct LruCache<V> {
     capacity: usize,
     tick: u64,
+    evictions: u64,
     map: HashMap<u64, Entry<V>>,
+    doorkeeper: Option<Doorkeeper>,
 }
 
 #[derive(Clone, Debug)]
@@ -29,11 +41,54 @@ struct Entry<V> {
     last_used: u64,
 }
 
+/// First-sighting memory for admission gating: remembers fingerprints
+/// seen once (bounded, oldest-first eviction) so the cache can admit a
+/// key only when it proves it repeats.
+#[derive(Clone, Debug)]
+struct Doorkeeper {
+    capacity: usize,
+    seen: HashMap<u64, u64>,
+}
+
+impl Doorkeeper {
+    /// Records a sighting of `key`; returns `true` when the key had been
+    /// sighted before (i.e. this is at least the second time).
+    fn note(&mut self, key: u64, tick: u64) -> bool {
+        if self.seen.remove(&key).is_some() {
+            return true;
+        }
+        if self.seen.len() >= self.capacity {
+            if let Some(&oldest) = self.seen.iter().min_by_key(|(_, &t)| t).map(|(k, _)| k) {
+                self.seen.remove(&oldest);
+            }
+        }
+        self.seen.insert(key, tick);
+        false
+    }
+}
+
 impl<V: Clone> LruCache<V> {
-    /// A cache holding at most `capacity` entries; `0` disables caching
-    /// (every `get` misses, every `insert` is dropped).
+    /// A cache holding at most `capacity` entries, admitting every
+    /// insert; `0` disables caching (every `get` misses, every `insert`
+    /// is dropped).
     pub fn new(capacity: usize) -> Self {
-        LruCache { capacity, tick: 0, map: HashMap::new() }
+        LruCache { capacity, tick: 0, evictions: 0, map: HashMap::new(), doorkeeper: None }
+    }
+
+    /// A cache that admits a *new* fingerprint only on its second
+    /// sighting: the first `insert` of a key records it in a bounded
+    /// first-sighting set (`tracked` entries, oldest evicted first) and
+    /// drops the value; a later `insert` of the same key admits it. Keys
+    /// already cached always refresh. One-shot traffic therefore never
+    /// evicts entries that earned their place by repeating.
+    pub fn with_doorkeeper(capacity: usize, tracked: usize) -> Self {
+        LruCache {
+            capacity,
+            tick: 0,
+            evictions: 0,
+            map: HashMap::new(),
+            doorkeeper: Some(Doorkeeper { capacity: tracked.max(1), seen: HashMap::new() }),
+        }
     }
 
     /// Maximum number of entries.
@@ -51,6 +106,12 @@ impl<V: Clone> LruCache<V> {
         self.map.is_empty()
     }
 
+    /// Entries evicted (capacity pressure only — doorkeeper rejections
+    /// are not evictions) since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
     /// Looks up a fingerprint, refreshing its recency on a hit.
     pub fn get(&mut self, key: u64) -> Option<V> {
         self.tick += 1;
@@ -62,7 +123,8 @@ impl<V: Clone> LruCache<V> {
     }
 
     /// Inserts (or refreshes) an entry, evicting the least-recently-used
-    /// one if the cache is full.
+    /// one if the cache is full. With a doorkeeper, a key not yet cached
+    /// is admitted only on its second sighting.
     pub fn insert(&mut self, key: u64, value: V) {
         if self.capacity == 0 {
             return;
@@ -74,10 +136,16 @@ impl<V: Clone> LruCache<V> {
             e.last_used = tick;
             return;
         }
+        if let Some(doorkeeper) = self.doorkeeper.as_mut() {
+            if !doorkeeper.note(key, tick) {
+                return;
+            }
+        }
         if self.map.len() >= self.capacity {
             if let Some(&oldest) = self.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k)
             {
                 self.map.remove(&oldest);
+                self.evictions += 1;
             }
         }
         self.map.insert(key, Entry { value, last_used: tick });
@@ -109,6 +177,7 @@ mod tests {
         assert_eq!(c.get(1), Some("a"));
         assert_eq!(c.get(3), Some("c"));
         assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 1);
     }
 
     #[test]
@@ -120,6 +189,7 @@ mod tests {
         assert_eq!(c.len(), 2, "refresh must not trigger eviction");
         assert_eq!(c.get(1), Some("a2"));
         assert_eq!(c.get(2), Some("b"));
+        assert_eq!(c.evictions(), 0);
     }
 
     #[test]
@@ -128,5 +198,101 @@ mod tests {
         c.insert(1, "a");
         assert_eq!(c.get(1), None);
         assert!(c.is_empty());
+        assert_eq!(c.evictions(), 0);
+
+        let mut gated = LruCache::with_doorkeeper(0, 16);
+        gated.insert(1, "a");
+        gated.insert(1, "a");
+        assert_eq!(gated.get(1), None, "capacity 0 disables the doorkeeper variant too");
+    }
+
+    /// Interleaved get/insert traffic against a brute-force recency
+    /// model: the entry evicted must always be the true least recently
+    /// *used* (gets refresh, not just inserts).
+    #[test]
+    fn eviction_matches_reference_model_under_interleaved_traffic() {
+        const CAPACITY: usize = 4;
+        let mut cache: LruCache<u64> = LruCache::new(CAPACITY);
+        // Model: (key, value), front = most recently used.
+        let mut model: Vec<(u64, u64)> = Vec::new();
+        // Deterministic op stream (SplitMix-ish) over a key space larger
+        // than the capacity, mixing gets and inserts 50/50.
+        let mut state = 0x9E37u64;
+        for step in 0..4000u64 {
+            state = state.wrapping_mul(0x5851_F42D_4C95_7F2D).wrapping_add(0x14057B7E);
+            let key = (state >> 33) % 9;
+            let touch = |model: &mut Vec<(u64, u64)>, key: u64| {
+                if let Some(pos) = model.iter().position(|&(k, _)| k == key) {
+                    let entry = model.remove(pos);
+                    model.insert(0, entry);
+                    true
+                } else {
+                    false
+                }
+            };
+            if state & 1 == 0 {
+                let got = cache.get(key);
+                let hit = touch(&mut model, key);
+                assert_eq!(got.is_some(), hit, "step {step}: hit/miss diverged on key {key}");
+                if let Some(v) = got {
+                    assert_eq!(v, model[0].1, "step {step}: stale value for key {key}");
+                }
+            } else {
+                cache.insert(key, step);
+                if touch(&mut model, key) {
+                    model[0].1 = step;
+                } else {
+                    if model.len() == CAPACITY {
+                        model.pop();
+                    }
+                    model.insert(0, (key, step));
+                }
+            }
+            assert_eq!(cache.len(), model.len(), "step {step}: occupancy diverged");
+        }
+        // Final state: exactly the model's keys survive.
+        for (key, value) in model {
+            assert_eq!(cache.get(key), Some(value), "surviving key {key}");
+        }
+    }
+
+    #[test]
+    fn doorkeeper_admits_only_on_second_sighting() {
+        let mut c = LruCache::with_doorkeeper(4, 16);
+        c.insert(1, "a");
+        assert_eq!(c.get(1), None, "first sighting is remembered, not admitted");
+        c.insert(1, "a");
+        assert_eq!(c.get(1), Some("a"), "second sighting admits");
+        c.insert(1, "a2");
+        assert_eq!(c.get(1), Some("a2"), "cached keys refresh without re-proving");
+    }
+
+    #[test]
+    fn one_shot_traffic_does_not_evict_hot_entries() {
+        let mut c = LruCache::with_doorkeeper(2, 64);
+        for key in [1, 1, 2, 2] {
+            c.insert(key, key * 10);
+        }
+        assert_eq!(c.len(), 2, "both hot keys admitted");
+        // A long scan of one-shot keys — without the doorkeeper this
+        // would evict both hot entries (capacity is only 2).
+        for key in 100..140 {
+            c.insert(key, key);
+        }
+        assert_eq!(c.get(1), Some(10), "hot entry 1 survived the scan");
+        assert_eq!(c.get(2), Some(20), "hot entry 2 survived the scan");
+        assert_eq!(c.evictions(), 0, "nothing was admitted, so nothing was evicted");
+    }
+
+    #[test]
+    fn doorkeeper_first_sighting_memory_is_bounded() {
+        let mut c = LruCache::with_doorkeeper(4, 2);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        c.insert(3, 3); // evicts key 1 from the (2-entry) first-sighting set
+        c.insert(1, 1);
+        assert_eq!(c.get(1), None, "key 1's first sighting was forgotten — still not admitted");
+        c.insert(3, 3);
+        assert_eq!(c.get(3), Some(3), "key 3 was still remembered and admits");
     }
 }

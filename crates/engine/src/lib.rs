@@ -46,7 +46,9 @@ pub mod gearbox;
 pub mod job;
 pub mod seed;
 
-pub use batch::{BatchEngine, EngineConfig, EngineStats, JobResult, SliceResult};
+pub use batch::{
+    BatchEngine, EngineConfig, EngineStats, JobResult, SliceEvent, SliceResult, SliceSink,
+};
 pub use cache::LruCache;
 pub use gearbox::{jobs_from_windows, window_to_job, GearboxJobSpec};
 pub use job::BettiJob;

@@ -60,13 +60,21 @@ fn assert_estimates_identical(a: &BettiEstimate, b: &BettiEstimate, context: &st
 #[test]
 fn determinism_same_seed_across_1_2_and_8_workers() {
     let jobs = mixed_batch();
-    let reference =
-        BatchEngine::new(EngineConfig { workers: 1, batch_seed: 0xBA7C, cache_capacity: 0 })
-            .run_batch(&jobs);
+    let reference = BatchEngine::new(EngineConfig {
+        workers: 1,
+        batch_seed: 0xBA7C,
+        cache_capacity: 0,
+        ..EngineConfig::default()
+    })
+    .run_batch(&jobs);
     for workers in [2usize, 8] {
-        let results =
-            BatchEngine::new(EngineConfig { workers, batch_seed: 0xBA7C, cache_capacity: 0 })
-                .run_batch(&jobs);
+        let results = BatchEngine::new(EngineConfig {
+            workers,
+            batch_seed: 0xBA7C,
+            cache_capacity: 0,
+            ..EngineConfig::default()
+        })
+        .run_batch(&jobs);
         for (i, (r, expect)) in results.iter().zip(&reference).enumerate() {
             assert_job_results_identical(r, expect, &format!("job {i}, {workers} workers"));
         }
@@ -107,6 +115,7 @@ fn every_slice_replays_through_the_single_cloud_pipeline() {
                     metric: job.metric,
                     estimator: EstimatorConfig { seed: slice.seed, ..job.estimator },
                     sparse_threshold: job.sparse_threshold,
+                    ..PipelineConfig::default()
                 },
             );
             assert_eq!(slice.classical, replay.classical, "ε = {}", slice.epsilon);

@@ -1,0 +1,65 @@
+//! Size-based backend dispatch for served traffic.
+//!
+//! The pipeline has three ways to answer one `(complex, dimension)`
+//! unit, with wildly different cost envelopes:
+//!
+//! | backend            | cost in `n = |S_k|`        | sweet spot        |
+//! |--------------------|----------------------------|-------------------|
+//! | statevector QPE    | exponential (gate-level)   | tiny, validation  |
+//! | dense eigensolve   | `O(n³)`, tiny constants    | small             |
+//! | sparse Lanczos     | matvec-only, `O(nnz · n)`  | large             |
+//!
+//! A serving mix contains all three sizes at once — sliding-window
+//! attractors are small, re-analysis sweeps at large ε are not — so the
+//! service routes **per unit**, not per job: small complexes stop
+//! paying CSR assembly + Lanczos setup, large ones never densify, and
+//! an optional gate-level tier keeps the smallest units
+//! hardware-faithful. The policy type itself
+//! ([`DispatchPolicy`]) lives in `qtda_core::pipeline` so the one-shot
+//! pipeline, the batch engine, and this service all route identically;
+//! this module re-exports it and provides the serving presets.
+//!
+//! Routing depends only on `|S_k|` — a pure function of job content —
+//! so dispatch never threatens the bit-identical serving contract:
+//! results depend on the policy, not on timing, workers, or batch
+//! composition.
+
+pub use qtda_core::pipeline::{BackendKind, DispatchPolicy};
+
+use qtda_core::pipeline::DEFAULT_SPARSE_THRESHOLD;
+
+/// The serving default: the classic dense/sparse split at the
+/// pipeline's [`DEFAULT_SPARSE_THRESHOLD`], statevector tier disabled.
+/// Identical routing to a job-level `sparse_threshold`, made explicit.
+pub fn serving_policy() -> DispatchPolicy {
+    DispatchPolicy::from_sparse_threshold(DEFAULT_SPARSE_THRESHOLD)
+}
+
+/// A validation-grade policy: units with `|S_k| ≤ statevector_max` run
+/// the full Fig. 6 gate-level circuit (exponential — keep this small,
+/// ≤ 8 is safe), the rest split dense/sparse as in [`serving_policy`].
+pub fn validating_policy(statevector_max: usize) -> DispatchPolicy {
+    DispatchPolicy { statevector_max, sparse_min: DEFAULT_SPARSE_THRESHOLD }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serving_policy_matches_job_level_threshold_routing() {
+        let policy = serving_policy();
+        assert_eq!(policy.choose(DEFAULT_SPARSE_THRESHOLD - 1), BackendKind::DenseEigen);
+        assert_eq!(policy.choose(DEFAULT_SPARSE_THRESHOLD), BackendKind::SparseLanczos);
+        assert_eq!(policy.choose(1), BackendKind::DenseEigen, "no statevector tier by default");
+    }
+
+    #[test]
+    fn validating_policy_adds_a_gate_level_tier() {
+        let policy = validating_policy(6);
+        assert_eq!(policy.choose(1), BackendKind::Statevector);
+        assert_eq!(policy.choose(6), BackendKind::Statevector);
+        assert_eq!(policy.choose(7), BackendKind::DenseEigen);
+        assert_eq!(policy.choose(DEFAULT_SPARSE_THRESHOLD), BackendKind::SparseLanczos);
+    }
+}

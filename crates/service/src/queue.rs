@@ -1,0 +1,248 @@
+//! The bounded submission queue: where backpressure lives.
+//!
+//! Producers push [`Request`]s, the batcher thread pops them. The queue
+//! is bounded: [`BoundedQueue::try_push`] refuses instead of growing
+//! ([`SubmitError::Overloaded`]), and [`BoundedQueue::push_blocking`]
+//! parks the producer until a slot frees — the two standard backpressure
+//! contracts. Closing the queue ([`BoundedQueue::close`]) rejects new
+//! submissions but lets the batcher drain everything already accepted,
+//! which is what gives `shutdown()` its no-lost-work guarantee.
+//!
+//! Built on `Mutex` + `Condvar` in the style of the vendored rayon
+//! shim's pool (the environment has no async runtime): one condvar for
+//! "no longer full" (producers wait), one for "no longer empty" (the
+//! batcher waits, with a deadline while lingering for a micro-batch).
+
+use crate::ticket::TicketEvent;
+use qtda_engine::BettiJob;
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// One accepted submission travelling from a producer to the batcher.
+pub(crate) struct Request {
+    /// The job to serve.
+    pub job: BettiJob,
+    /// Where this request's ticket listens.
+    pub tx: Sender<TicketEvent>,
+    /// When the producer handed the job over (micro-batch deadlines and
+    /// latency accounting key off this).
+    pub accepted_at: Instant,
+}
+
+/// Why a submission was not accepted. Boxed so the error path stays as
+/// cheap to return as the success path (a `BettiJob` carries a whole
+/// point cloud).
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The bounded queue is full — backpressure. The job is handed back
+    /// so the producer can retry, shed, or block via `submit`.
+    Overloaded(Box<BettiJob>),
+    /// The service is shutting down and accepts no new work.
+    ShuttingDown(Box<BettiJob>),
+}
+
+impl SubmitError {
+    /// Recovers the job that was not accepted.
+    pub fn into_job(self) -> BettiJob {
+        match self {
+            SubmitError::Overloaded(job) | SubmitError::ShuttingDown(job) => *job,
+        }
+    }
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Overloaded(_) => write!(f, "submission queue full (backpressure)"),
+            SubmitError::ShuttingDown(_) => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+struct QueueState {
+    items: VecDeque<Request>,
+    closed: bool,
+}
+
+/// A bounded MPSC queue with blocking and non-blocking producers and a
+/// deadline-aware consumer.
+pub(crate) struct BoundedQueue {
+    capacity: usize,
+    state: Mutex<QueueState>,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+impl BoundedQueue {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be at least 1");
+        BoundedQueue {
+            capacity,
+            state: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Non-blocking push: `Overloaded` when full, `ShuttingDown` after
+    /// close.
+    pub fn try_push(&self, request: Request) -> Result<(), SubmitError> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed {
+            return Err(SubmitError::ShuttingDown(Box::new(request.job)));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(SubmitError::Overloaded(Box::new(request.job)));
+        }
+        state.items.push_back(request);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking push: parks until a slot frees; `ShuttingDown` if the
+    /// queue closes while waiting.
+    pub fn push_blocking(&self, request: Request) -> Result<(), SubmitError> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        while state.items.len() >= self.capacity && !state.closed {
+            state = self.not_full.wait(state).expect("queue poisoned");
+        }
+        if state.closed {
+            return Err(SubmitError::ShuttingDown(Box::new(request.job)));
+        }
+        state.items.push_back(request);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop for the batcher's *first* request of a micro-batch:
+    /// parks until something arrives; `None` once the queue is closed
+    /// **and** drained (the batcher's exit signal).
+    pub fn pop_blocking(&self) -> Option<Request> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(request) = state.items.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(request);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Deadline-bounded pop for lingering: returns an already-queued
+    /// request immediately; otherwise waits until `deadline` for one.
+    /// `None` means the linger window closed empty (deadline passed, or
+    /// the queue closed while empty — shutdown cuts the linger short).
+    pub fn pop_until(&self, deadline: Instant) -> Option<Request> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(request) = state.items.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(request);
+            }
+            if state.closed {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _timeout) =
+                self.not_empty.wait_timeout(state, deadline - now).expect("queue poisoned");
+            state = guard;
+        }
+    }
+
+    /// Stops accepting submissions and wakes every waiter. Queued
+    /// requests stay poppable so the batcher can drain them.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// Requests currently queued (not yet picked into a micro-batch).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtda_tda::point_cloud::PointCloud;
+    use std::sync::mpsc::channel;
+    use std::time::Duration;
+
+    fn request() -> Request {
+        let (tx, _rx) = channel();
+        Request {
+            job: BettiJob::new(PointCloud::new(1, vec![0.0, 1.0]), vec![0.5]),
+            tx,
+            accepted_at: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn try_push_reports_overload_at_capacity() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(request()).is_ok());
+        assert!(q.try_push(request()).is_ok());
+        match q.try_push(request()) {
+            Err(SubmitError::Overloaded(_)) => {}
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(q.len(), 2);
+        q.pop_blocking();
+        assert!(q.try_push(request()).is_ok(), "popping frees a slot");
+    }
+
+    #[test]
+    fn close_rejects_new_but_drains_queued() {
+        let q = BoundedQueue::new(4);
+        q.try_push(request()).unwrap();
+        q.try_push(request()).unwrap();
+        q.close();
+        match q.try_push(request()) {
+            Err(SubmitError::ShuttingDown(_)) => {}
+            other => panic!("expected ShuttingDown, got {other:?}"),
+        }
+        assert!(q.pop_blocking().is_some());
+        assert!(q.pop_blocking().is_some());
+        assert!(q.pop_blocking().is_none(), "closed and drained");
+    }
+
+    #[test]
+    fn pop_until_returns_queued_items_past_deadline() {
+        let q = BoundedQueue::new(4);
+        q.try_push(request()).unwrap();
+        // A deadline in the past still drains what is already queued.
+        let past = Instant::now() - Duration::from_millis(10);
+        assert!(q.pop_until(past).is_some());
+        assert!(q.pop_until(past).is_none(), "empty + expired deadline");
+    }
+
+    #[test]
+    fn pop_until_times_out_empty() {
+        let q = BoundedQueue::new(1);
+        let t = Instant::now();
+        assert!(q.pop_until(Instant::now() + Duration::from_millis(20)).is_none());
+        assert!(t.elapsed() >= Duration::from_millis(15), "waited for the deadline");
+    }
+
+    #[test]
+    fn submit_error_hands_the_job_back() {
+        let q = BoundedQueue::new(1);
+        q.try_push(request()).unwrap();
+        let job = q.try_push(request()).unwrap_err().into_job();
+        assert_eq!(job.epsilons, vec![0.5]);
+    }
+}

@@ -1,0 +1,221 @@
+//! The long-lived streaming service: submit from many threads, get
+//! tickets, stream slices.
+//!
+//! One background **batcher** thread owns the serving loop:
+//!
+//! 1. Block for the first queued request.
+//! 2. **Linger**: keep gathering requests until the micro-batch reaches
+//!    [`ServiceConfig::max_batch_size`] or the first request has waited
+//!    [`ServiceConfig::max_linger`] — the classic (size, deadline)
+//!    micro-batching policy. Shutdown cuts a linger short.
+//! 3. Hand the micro-batch to the engine's streaming entry point; every
+//!    completed `(job, ε)` slice is forwarded to its ticket the moment
+//!    the engine announces it, and the assembled results follow.
+//!
+//! Batching amortises exactly what [`BatchEngine`] amortises (in-batch
+//! dedup, parallel `(job, ε, dim)` scheduling), and because every seed
+//! is content-derived, *how* requests get grouped into micro-batches is
+//! unobservable in the results — a job's answer is bit-identical
+//! whether it lingered into a 16-job batch or ran alone. The streaming
+//! determinism test pins this across 1/2/8 workers.
+
+use crate::queue::{BoundedQueue, Request, SubmitError};
+use crate::stats::{Counters, ServiceStats};
+use crate::ticket::{StreamedSlice, Ticket, TicketEvent};
+use qtda_engine::{BatchEngine, BettiJob, EngineConfig, SliceEvent};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Streaming front-end parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// The owned engine's configuration (workers, batch seed, cache,
+    /// dispatch policy). Worker count shapes only throughput, never
+    /// results.
+    pub engine: EngineConfig,
+    /// Most jobs a micro-batch may gather before it must run.
+    pub max_batch_size: usize,
+    /// Longest the *first* request of a micro-batch may wait for
+    /// company before the batch runs regardless of size.
+    pub max_linger: Duration,
+    /// Bounded submission-queue capacity; beyond it `try_submit`
+    /// returns [`SubmitError::Overloaded`] and `submit` blocks.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            engine: EngineConfig::default(),
+            max_batch_size: 16,
+            max_linger: Duration::from_millis(2),
+            queue_capacity: 256,
+        }
+    }
+}
+
+/// The streaming Betti-serving service: a [`BatchEngine`] behind a
+/// bounded queue and a deadline micro-batcher, returning a [`Ticket`]
+/// per submission.
+pub struct QtdaService {
+    engine: Arc<BatchEngine>,
+    queue: Arc<BoundedQueue>,
+    counters: Arc<Counters>,
+    batcher: Option<JoinHandle<()>>,
+}
+
+impl QtdaService {
+    /// Starts a service (and its batcher thread) with the given
+    /// configuration.
+    pub fn new(config: ServiceConfig) -> Self {
+        assert!(config.max_batch_size >= 1, "micro-batches need at least one job");
+        let engine = Arc::new(BatchEngine::new(config.engine));
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let counters = Arc::new(Counters::default());
+        let batcher = {
+            let engine = Arc::clone(&engine);
+            let queue = Arc::clone(&queue);
+            let counters = Arc::clone(&counters);
+            std::thread::Builder::new()
+                .name("qtda-service-batcher".into())
+                .spawn(move || batcher_loop(&engine, &queue, &counters, config))
+                .expect("spawning the batcher thread")
+        };
+        QtdaService { engine, queue, counters, batcher: Some(batcher) }
+    }
+
+    /// A service with [`ServiceConfig::default`].
+    pub fn with_defaults() -> Self {
+        Self::new(ServiceConfig::default())
+    }
+
+    /// Submits a job, blocking while the queue is full (backpressure by
+    /// waiting). Fails only during shutdown.
+    pub fn submit(&self, job: BettiJob) -> Result<Ticket, SubmitError> {
+        let (request, ticket) = self.make_request(job);
+        self.queue.push_blocking(request)?;
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(ticket)
+    }
+
+    /// Submits without blocking: [`SubmitError::Overloaded`] hands the
+    /// job straight back when the bounded queue is full — the caller
+    /// decides whether to retry, shed, or block via [`Self::submit`].
+    pub fn try_submit(&self, job: BettiJob) -> Result<Ticket, SubmitError> {
+        let (request, ticket) = self.make_request(job);
+        match self.queue.try_push(request) {
+            Ok(()) => {
+                self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(ticket)
+            }
+            Err(err) => {
+                if matches!(err, SubmitError::Overloaded(_)) {
+                    self.counters.rejected_overloaded.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(err)
+            }
+        }
+    }
+
+    fn make_request(&self, job: BettiJob) -> (Request, Ticket) {
+        let (tx, rx) = channel();
+        let request = Request { job, tx, accepted_at: Instant::now() };
+        (request, Ticket { rx, result: None })
+    }
+
+    /// The engine behind the service (for its cache/dedup/unit
+    /// counters; the engine's cache persists across micro-batches).
+    pub fn engine(&self) -> &BatchEngine {
+        &self.engine
+    }
+
+    /// A snapshot of the service-level counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.counters.snapshot()
+    }
+
+    /// Jobs accepted but not yet picked into a micro-batch.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Stops accepting work, **drains** everything already accepted
+    /// (every outstanding ticket still completes), and joins the
+    /// batcher thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.queue.close();
+        if let Some(handle) = self.batcher.take() {
+            if handle.join().is_err() {
+                // The batcher only panics if the engine did (a worker
+                // panic propagated through the scoped pool). Outstanding
+                // tickets observe a closed channel; surfacing the panic
+                // here would double-report it during unwinding.
+                eprintln!("qtda-service: batcher thread panicked; in-flight tickets abandoned");
+            }
+        }
+    }
+}
+
+impl Drop for QtdaService {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// Closes the queue when the batcher exits — crucially also on
+/// *unwind*: if an engine worker panic kills the batcher, producers
+/// parked in `push_blocking` (and all future submitters) must observe
+/// `ShuttingDown` instead of waiting on a queue nobody will ever pop
+/// again.
+struct CloseOnExit<'a>(&'a BoundedQueue);
+
+impl Drop for CloseOnExit<'_> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+/// The batcher thread: gather → serve → stream, until closed and
+/// drained.
+fn batcher_loop(
+    engine: &BatchEngine,
+    queue: &BoundedQueue,
+    counters: &Counters,
+    config: ServiceConfig,
+) {
+    let _close_on_exit = CloseOnExit(queue);
+    while let Some(first) = queue.pop_blocking() {
+        let deadline = first.accepted_at + config.max_linger;
+        let mut batch = vec![first];
+        while batch.len() < config.max_batch_size {
+            match queue.pop_until(deadline) {
+                Some(request) => batch.push(request),
+                None => break,
+            }
+        }
+        counters.record_batch(batch.len() as u64);
+
+        let jobs: Vec<BettiJob> = batch.iter().map(|r| r.job.clone()).collect();
+        let senders: Vec<Sender<TicketEvent>> = batch.into_iter().map(|r| r.tx).collect();
+        // Stream every slice to its ticket as the engine announces it.
+        // A send only fails when the consumer dropped the ticket —
+        // results are simply discarded then, like any lost interest.
+        let results = engine.run_batch_streaming(&jobs, &|event: SliceEvent| {
+            let slice = StreamedSlice { slice_index: event.slice_index, result: event.result };
+            let _ = senders[event.job_index].send(TicketEvent::Slice(slice));
+        });
+        for (sender, result) in senders.iter().zip(results) {
+            // Count before sending: a consumer that observes `Done` must
+            // never read a `completed` counter that excludes its job.
+            counters.completed.fetch_add(1, Ordering::Relaxed);
+            let _ = sender.send(TicketEvent::Done(result));
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Serving counters for the streaming front-end.
+//!
+//! [`ServiceStats`] is a point-in-time snapshot of the service's own
+//! monotone counters — submissions, rejections, micro-batch shapes —
+//! complementing the engine-level
+//! [`EngineStats`](qtda_engine::EngineStats) (cache, dedup, units)
+//! available through `QtdaService::engine().stats()`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A snapshot of the service's serving counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceStats {
+    /// Jobs accepted into the submission queue.
+    pub submitted: u64,
+    /// `try_submit` calls refused with `Overloaded` (backpressure).
+    pub rejected_overloaded: u64,
+    /// Micro-batches handed to the engine.
+    pub batches_formed: u64,
+    /// Jobs across all micro-batches (≤ `submitted`; the rest are
+    /// queued or in flight).
+    pub jobs_batched: u64,
+    /// Largest micro-batch formed so far.
+    pub largest_batch: u64,
+    /// Jobs fully served (final result delivered to their ticket).
+    pub completed: u64,
+}
+
+impl ServiceStats {
+    /// Mean jobs per micro-batch formed so far.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches_formed == 0 {
+            0.0
+        } else {
+            self.jobs_batched as f64 / self.batches_formed as f64
+        }
+    }
+}
+
+/// The live atomics behind [`ServiceStats`].
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub submitted: AtomicU64,
+    pub rejected_overloaded: AtomicU64,
+    pub batches_formed: AtomicU64,
+    pub jobs_batched: AtomicU64,
+    pub largest_batch: AtomicU64,
+    pub completed: AtomicU64,
+}
+
+impl Counters {
+    pub fn record_batch(&self, size: u64) {
+        self.batches_formed.fetch_add(1, Ordering::Relaxed);
+        self.jobs_batched.fetch_add(size, Ordering::Relaxed);
+        self.largest_batch.fetch_max(size, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> ServiceStats {
+        ServiceStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected_overloaded: self.rejected_overloaded.load(Ordering::Relaxed),
+            batches_formed: self.batches_formed.load(Ordering::Relaxed),
+            jobs_batched: self.jobs_batched.load(Ordering::Relaxed),
+            largest_batch: self.largest_batch.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_recording_tracks_mean_and_max() {
+        let c = Counters::default();
+        c.record_batch(4);
+        c.record_batch(2);
+        c.record_batch(6);
+        let s = c.snapshot();
+        assert_eq!(s.batches_formed, 3);
+        assert_eq!(s.jobs_batched, 12);
+        assert_eq!(s.largest_batch, 6);
+        assert!((s.mean_batch_size() - 4.0).abs() < 1e-12);
+        assert_eq!(ServiceStats::default().mean_batch_size(), 0.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! The consumer's handle on a submitted job: a stream of slices, then
+//! the assembled result.
+//!
+//! A [`Ticket`] is the receiving half of a per-request channel. The
+//! batcher forwards every [`SliceEvent`](qtda_engine::SliceEvent) for
+//! the request as the engine announces it — so slices arrive *while the
+//! micro-batch is still computing* — and finishes with the job's
+//! assembled [`JobResult`]. Slices arrive in completion order, which is
+//! scheduling-dependent; their *content* is not (seeds are
+//! content-derived), and each carries its ε-grid index, so
+//! [`Ticket::collect`] can always restore grid order bit-identically to
+//! [`BatchEngine::run_batch`](qtda_engine::BatchEngine::run_batch).
+
+use qtda_engine::{JobResult, SliceResult};
+use std::sync::mpsc::{Receiver, TryRecvError};
+use std::sync::Arc;
+
+/// One slice of a job, streamed before the job (let alone its batch)
+/// completes.
+#[derive(Clone, Debug)]
+pub struct StreamedSlice {
+    /// Index of this slice in the job's ε-grid (restores grid order).
+    pub slice_index: usize,
+    /// The completed slice — bit-identical to the same entry of the
+    /// final [`JobResult`].
+    pub result: SliceResult,
+}
+
+/// What the batcher sends a ticket.
+pub(crate) enum TicketEvent {
+    /// A slice finished.
+    Slice(StreamedSlice),
+    /// The whole job finished; no more slices follow.
+    Done(Arc<JobResult>),
+}
+
+/// A handle on one submitted job, yielding its per-ε slices as their
+/// estimation units complete and the assembled result at the end.
+pub struct Ticket {
+    pub(crate) rx: Receiver<TicketEvent>,
+    pub(crate) result: Option<Arc<JobResult>>,
+}
+
+impl Ticket {
+    /// Blocks for the next completed slice. `None` once the job is done
+    /// (the assembled result is then available via [`Self::wait`]) — or
+    /// if the service died before finishing the job, which
+    /// [`Self::wait`] reports by panicking.
+    pub fn next_slice(&mut self) -> Option<StreamedSlice> {
+        if self.result.is_some() {
+            return None;
+        }
+        match self.rx.recv() {
+            Ok(TicketEvent::Slice(slice)) => Some(slice),
+            Ok(TicketEvent::Done(result)) => {
+                self.result = Some(result);
+                None
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Non-blocking variant of [`Self::next_slice`]: `None` when no
+    /// slice has completed *yet* (distinguish via [`Self::is_done`]).
+    pub fn try_next_slice(&mut self) -> Option<StreamedSlice> {
+        if self.result.is_some() {
+            return None;
+        }
+        match self.rx.try_recv() {
+            Ok(TicketEvent::Slice(slice)) => Some(slice),
+            Ok(TicketEvent::Done(result)) => {
+                self.result = Some(result);
+                None
+            }
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// `true` once the job's final result has been received.
+    pub fn is_done(&self) -> bool {
+        self.result.is_some()
+    }
+
+    /// Drains remaining slices and returns the assembled result.
+    ///
+    /// # Panics
+    /// If the service terminated without completing this job (batcher
+    /// thread died) — the one state that cannot produce a correct
+    /// answer.
+    pub fn wait(mut self) -> Arc<JobResult> {
+        while self.next_slice().is_some() {}
+        self.result.expect("service terminated before completing this job")
+    }
+
+    /// Drains the whole stream, returning every slice in *arrival*
+    /// order alongside the assembled result — the convenient shape for
+    /// tests and latency probes. Grid order is `slice_index` order.
+    pub fn collect(mut self) -> (Vec<StreamedSlice>, Arc<JobResult>) {
+        let mut slices = Vec::new();
+        while let Some(slice) = self.next_slice() {
+            slices.push(slice);
+        }
+        let result = self.result.expect("service terminated before completing this job");
+        (slices, result)
+    }
+}

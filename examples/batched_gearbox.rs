@@ -52,6 +52,24 @@ fn main() {
         engine.stats().cache_hits,
     );
 
+    // The full serving counters: cache behaviour and batch shapes.
+    let stats = engine.stats();
+    println!(
+        "engine stats: {} jobs over {} batches | cache {} hits / {} misses / {} evictions | \
+         {} deduplicated, {} computed | {} units total, {} in the last batch \
+         ({:.1} mean units/batch)",
+        stats.jobs_served,
+        stats.batches_served,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_evictions,
+        stats.deduplicated,
+        stats.computed_jobs,
+        stats.units_executed,
+        stats.units_last_batch,
+        stats.mean_units_per_batch(),
+    );
+
     // Mean per-class features at the middle scale: the fault scatters
     // the attractor, which the Betti features pick up.
     let mid = spec.epsilons.len() / 2;
@@ -83,6 +101,7 @@ fn main() {
             metric: job.metric,
             estimator: EstimatorConfig { seed: slice.seed, ..job.estimator },
             sparse_threshold: job.sparse_threshold,
+            ..PipelineConfig::default()
         },
     );
     let identical =

@@ -19,7 +19,10 @@
 //!   vibration data;
 //! * [`engine`] — the batched multi-cloud Betti-serving subsystem
 //!   (amortised Rips slicing, `(job, ε, dim)` scheduling, deterministic
-//!   seed streams, LRU result cache).
+//!   seed streams, LRU result cache);
+//! * [`service`] — the streaming front-end over the engine: bounded
+//!   submission queue with backpressure, deadline micro-batching,
+//!   per-slice result streaming, size-based backend dispatch.
 //!
 //! ## Quickstart
 //!
@@ -50,4 +53,5 @@ pub use qtda_engine as engine;
 pub use qtda_linalg as linalg;
 pub use qtda_ml as ml;
 pub use qtda_qsim as qsim;
+pub use qtda_service as service;
 pub use qtda_tda as tda;
