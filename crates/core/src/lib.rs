@@ -39,6 +39,7 @@ pub mod padding;
 pub mod pipeline;
 pub mod scaling;
 pub mod spectrum;
+pub mod sweep;
 
 pub use backend::{
     LanczosBackend, QpeBackend, SpectralBackend, StatevectorBackend, TrotterBackend,

@@ -15,8 +15,9 @@ use crate::backend::{LanczosBackend, StatevectorBackend};
 use crate::estimator::{BettiEstimate, BettiEstimator, EstimatorConfig};
 use crate::spectrum::PaddedSpectrum;
 use qtda_tda::betti::betti_via_rank;
-use qtda_tda::filtration::{max_scale, RipsSlicer};
+use qtda_tda::filtration::max_scale;
 use qtda_tda::laplacian::{combinatorial_laplacian, combinatorial_laplacian_sparse};
+use qtda_tda::laplacian_filtration::LaplacianFiltration;
 use qtda_tda::point_cloud::{Metric, PointCloud};
 use qtda_tda::rips::{rips_complex, RipsParams};
 use qtda_tda::SimplicialComplex;
@@ -208,15 +209,17 @@ impl BettiCurve {
 }
 
 /// Sweeps the pipeline over linearly spaced scales `[lo, hi]` with
-/// **amortised complex construction**: the Rips complex is built once at
-/// the largest scale and every ε is derived from the simplices'
-/// filtration values ([`RipsSlicer`]) instead of re-running neighbour
-/// search and flag expansion per ε — the same slicing the batch engine
-/// uses. Each worker slices its own ε just before estimating it, so
-/// only the in-flight slices are ever resident (a 500-point sweep does
-/// not hold 500 complexes), and the homology dimensions within a slice
-/// fan out too, keeping cores busy even on short grids. Results are
-/// bit-identical to running [`estimate_betti_numbers`] at each scale.
+/// **amortised incremental Laplacian assembly**: the Rips construction
+/// runs once at the largest scale and its Laplacians are emitted into a
+/// single activation-sorted triplet arena
+/// ([`LaplacianFiltration`]) — every `(ε, dimension)` unit then reads
+/// Δ_k as a *prefix* of that arena instead of re-slicing a complex and
+/// re-walking boundary incidences per scale. No intermediate complexes
+/// are ever materialised; the ε's (and the homology dimensions within
+/// each ε) fan out in parallel via rayon. Results are bit-identical to
+/// running [`estimate_betti_numbers`] at each scale (the arena's
+/// slice-lexicographic Laplacians are bit-identical to direct
+/// assembly).
 pub fn betti_curve(
     cloud: &PointCloud,
     lo: f64,
@@ -231,16 +234,21 @@ pub fn betti_curve(
     // Build at the grid's actual maximum, not at `hi`: the last computed
     // scale can land one ulp above `hi`, and a slice is only exact at or
     // below the construction scale.
-    let slicer =
-        RipsSlicer::new(cloud, max_scale(&epsilons), config.max_homology_dim + 1, config.metric);
+    let filtration = LaplacianFiltration::rips(
+        cloud,
+        max_scale(&epsilons),
+        config.max_homology_dim + 1,
+        config.metric,
+    );
     let dims: Vec<usize> = (0..=config.max_homology_dim).collect();
     let policy = config.dispatch_policy();
     let results: Vec<Vec<(BettiEstimate, usize)>> = epsilons
         .par_iter()
         .map(|&eps| {
-            let complex = slicer.complex_at(eps);
             dims.par_iter()
-                .map(|&k| estimate_dimension_dispatched(&complex, k, &config.estimator, policy))
+                .map(|&k| {
+                    estimate_dimension_filtered(&filtration, eps, k, &config.estimator, policy)
+                })
                 .collect()
         })
         .collect();
@@ -373,6 +381,74 @@ pub fn estimate_dimension_dispatched(
             (estimator.estimate(&laplacian), betti_via_rank(complex, k))
         }
     }
+}
+
+/// [`estimate_dimension_dispatched`] served from a prebuilt
+/// [`LaplacianFiltration`] arena instead of a complex: Δ_k at ε is a
+/// prefix read of the arena (slice-lexicographic order), so an ε-sweep
+/// pays Rips construction, boundary walking, and triplet sorting
+/// **once** instead of once per `(ε, dimension)` unit. Outputs are
+/// bit-identical to [`estimate_dimension_dispatched`] on
+/// `rips_complex(cloud, ε)` for every ε at or below the arena's
+/// construction scale — the classical value comes from the same exact
+/// integer ranks (sparse route: the same single Lanczos decomposition),
+/// and the estimate from a bit-identical Laplacian. This is the unit
+/// entry point [`betti_curve`] and the batch engine sweep through.
+pub fn estimate_dimension_filtered(
+    filtration: &LaplacianFiltration,
+    epsilon: f64,
+    k: usize,
+    estimator_config: &EstimatorConfig,
+    policy: DispatchPolicy,
+) -> (BettiEstimate, usize) {
+    let n_k = filtration.count_at(k, epsilon);
+    if n_k == 0 {
+        let estimator = BettiEstimator::new(*estimator_config);
+        return (estimator.estimate(&qtda_linalg::Mat::zeros(0, 0)), 0);
+    }
+    match policy.choose(n_k) {
+        BackendKind::SparseLanczos => {
+            let estimator = BettiEstimator::new(*estimator_config);
+            let laplacian = filtration.laplacian_at(k, epsilon);
+            let spectrum = PaddedSpectrum::of_sparse_laplacian_bounded(
+                &laplacian,
+                estimator_config.padding,
+                estimator_config.delta,
+                LanczosBackend::default().seed,
+                estimator_config.lambda_bound,
+            );
+            (estimator.estimate_from_spectrum(&spectrum), spectrum.kernel_dim())
+        }
+        BackendKind::DenseEigen => {
+            let estimator = BettiEstimator::new(*estimator_config);
+            let laplacian = filtration.laplacian_at(k, epsilon).to_dense();
+            (estimator.estimate(&laplacian), filtration.betti_at(k, epsilon))
+        }
+        BackendKind::Statevector => {
+            let estimator =
+                BettiEstimator::with_backend(*estimator_config, Box::new(StatevectorBackend));
+            let laplacian = filtration.laplacian_at(k, epsilon).to_dense();
+            (estimator.estimate(&laplacian), filtration.betti_at(k, epsilon))
+        }
+    }
+}
+
+/// Every dimension `0..=max_homology_dim` of one ε-slice of a prebuilt
+/// arena, serially — the filtration counterpart of
+/// [`run_for_complex`] for external sweep drivers that own their
+/// parallelism. Bit-identical to [`run_for_complex`] on the slice
+/// complex at the same seed.
+pub fn run_for_filtration(
+    filtration: &LaplacianFiltration,
+    epsilon: f64,
+    max_homology_dim: usize,
+    estimator_config: &EstimatorConfig,
+    sparse_threshold: usize,
+) -> Vec<(BettiEstimate, usize)> {
+    let policy = DispatchPolicy::from_sparse_threshold(sparse_threshold);
+    (0..=max_homology_dim)
+        .map(|k| estimate_dimension_filtered(filtration, epsilon, k, estimator_config, policy))
+        .collect()
 }
 
 /// Estimates every dimension `0..=max_homology_dim` of a prebuilt
@@ -509,6 +585,53 @@ mod tests {
                     direct_v.to_bits(),
                     "ε = {eps}, k = {k}: {curve_v} vs {direct_v}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn filtered_units_are_bit_identical_to_complex_units_across_backends() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let cloud = synthetic::circle(14, 1.0, 0.02, &mut rng);
+        let grid = [0.2, 0.35, 0.5, 0.65, 0.8];
+        let filtration = LaplacianFiltration::rips(&cloud, max_scale(&grid), 2, Metric::Euclidean);
+        let config = high_fidelity(23);
+        // Exercise all three routes: statevector on tiny S_k, dense in
+        // the middle, sparse Lanczos from 12 up.
+        let policy = DispatchPolicy { statevector_max: 4, sparse_min: 12 };
+        for &eps in &grid {
+            let complex = rips_complex(&cloud, &RipsParams::new(eps, 2));
+            for k in 0..=1usize {
+                let direct = estimate_dimension_dispatched(&complex, k, &config, policy);
+                let filtered = estimate_dimension_filtered(&filtration, eps, k, &config, policy);
+                assert_eq!(direct.1, filtered.1, "classical at ε = {eps}, k = {k}");
+                assert_eq!(
+                    direct.0.corrected.to_bits(),
+                    filtered.0.corrected.to_bits(),
+                    "estimate at ε = {eps}, k = {k}"
+                );
+                assert_eq!(direct.0.p_zero_exact.to_bits(), filtered.0.p_zero_exact.to_bits());
+                assert_eq!(direct.0.q, filtered.0.q);
+            }
+        }
+    }
+
+    #[test]
+    fn run_for_filtration_matches_run_for_complex() {
+        let mut rng = StdRng::seed_from_u64(62);
+        let cloud = synthetic::figure_eight(11, 1.0, 0.03, &mut rng);
+        let eps = 0.6;
+        let filtration = LaplacianFiltration::rips(&cloud, eps, 2, Metric::Euclidean);
+        let complex = rips_complex(&cloud, &RipsParams::new(eps, 2));
+        let config = high_fidelity(29);
+        for threshold in [0, 8, usize::MAX] {
+            let via_complex = run_for_complex(&complex, 1, &config, threshold);
+            let via_filtration = run_for_filtration(&filtration, eps, 1, &config, threshold);
+            assert_eq!(via_complex.len(), via_filtration.len());
+            for ((ec, cc), (ef, cf)) in via_complex.iter().zip(&via_filtration) {
+                assert_eq!(cc, cf, "classical, threshold {threshold}");
+                assert_eq!(ec.corrected.to_bits(), ef.corrected.to_bits());
+                assert_eq!(ec.p_zero_sampled.to_bits(), ef.p_zero_sampled.to_bits());
             }
         }
     }

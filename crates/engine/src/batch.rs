@@ -9,14 +9,17 @@
 //!    against the full request ([`BettiJob::same_request`]), so a hash
 //!    collision means a recompute, never a wrong answer.
 //! 2. **Amortised construction, lazily.** The first `(job, ε, dim)`
-//!    unit to touch a job builds its Rips complex once at the grid's
-//!    largest ε and derives every ε-slice from the simplices' filtration
-//!    values (`rips_slices`) — neighbour search and flag expansion run
-//!    once per job, not once per scale, and no sorting happens at all.
-//!    The slices live in a per-job slot that is built by the first unit
-//!    and **freed by the last**, so they stay hot in cache for the
-//!    estimates that follow and peak memory tracks the jobs in flight,
-//!    not the batch size.
+//!    unit to touch a job builds its **Laplacian filtration arena**
+//!    once at the grid's largest ε
+//!    (`tda::laplacian_filtration::LaplacianFiltration`): neighbour
+//!    search, flag expansion, boundary walking, and triplet sorting run
+//!    once per job, and every ε-unit then reads its Δ_k as a *prefix*
+//!    of the activation-sorted arena — no per-slice complexes are
+//!    materialised at all. The arena lives in a per-job slot that is
+//!    built by the first unit and **freed by the last**, so it stays
+//!    hot in cache for the estimates that follow and peak memory tracks
+//!    the jobs in flight, not the batch size
+//!    (`EngineStats::arena_bytes_peak` reports the high-water mark).
 //! 3. **Estimate (one unit per `(job, ε, dim)`).** Units fan out at the
 //!    finest granularity the pipeline exposes ([`estimate_dimension`]),
 //!    pulled from a shared counter by `workers` threads —
@@ -44,9 +47,8 @@ use crate::cache::LruCache;
 use crate::job::BettiJob;
 use crate::seed::{job_seed, slice_seed};
 use qtda_core::estimator::BettiEstimate;
-use qtda_core::pipeline::{estimate_dimension_dispatched, DispatchPolicy};
-use qtda_tda::filtration::rips_slices;
-use qtda_tda::SimplicialComplex;
+use qtda_core::pipeline::{estimate_dimension_filtered, DispatchPolicy};
+use qtda_tda::laplacian_filtration::LaplacianFiltration;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -156,6 +158,17 @@ pub struct EngineStats {
     pub units_executed: u64,
     /// Units of the most recent batch (micro-batch size telemetry).
     pub units_last_batch: u64,
+    /// Laplacian filtration arenas constructed (more than
+    /// `computed_jobs` only when workers raced on a job's first touch).
+    pub arenas_built: u64,
+    /// `(job, ε, dim)` units whose Δ_k came as a prefix read of an
+    /// arena another unit had already built — the amortisation the
+    /// incremental ε-sweep buys.
+    pub slices_assembled_incrementally: u64,
+    /// High-water mark of concurrently resident arena bytes (peak
+    /// amortisation footprint; arenas are freed by their job's last
+    /// unit).
+    pub arena_bytes_peak: u64,
 }
 
 impl EngineStats {
@@ -206,6 +219,10 @@ pub struct BatchEngine {
     computed_jobs: AtomicU64,
     units_executed: AtomicU64,
     units_last_batch: AtomicU64,
+    arenas_built: AtomicU64,
+    slices_assembled_incrementally: AtomicU64,
+    arena_bytes_live: AtomicU64,
+    arena_bytes_peak: AtomicU64,
 }
 
 impl BatchEngine {
@@ -229,6 +246,10 @@ impl BatchEngine {
             computed_jobs: AtomicU64::new(0),
             units_executed: AtomicU64::new(0),
             units_last_batch: AtomicU64::new(0),
+            arenas_built: AtomicU64::new(0),
+            slices_assembled_incrementally: AtomicU64::new(0),
+            arena_bytes_live: AtomicU64::new(0),
+            arena_bytes_peak: AtomicU64::new(0),
         }
     }
 
@@ -254,6 +275,11 @@ impl BatchEngine {
             computed_jobs: self.computed_jobs.load(Ordering::Relaxed),
             units_executed: self.units_executed.load(Ordering::Relaxed),
             units_last_batch: self.units_last_batch.load(Ordering::Relaxed),
+            arenas_built: self.arenas_built.load(Ordering::Relaxed),
+            slices_assembled_incrementally: self
+                .slices_assembled_incrementally
+                .load(Ordering::Relaxed),
+            arena_bytes_peak: self.arena_bytes_peak.load(Ordering::Relaxed),
         }
     }
 
@@ -379,7 +405,7 @@ impl BatchEngine {
         let preps: Vec<PrepSlot> = misses
             .iter()
             .map(|&j| PrepSlot {
-                complexes: Mutex::new(None),
+                arena: Mutex::new(None),
                 remaining_units: AtomicUsize::new(
                     jobs[j].epsilons.len() * (jobs[j].max_homology_dim + 1),
                 ),
@@ -422,10 +448,12 @@ impl BatchEngine {
             let unit = &units[u];
             let job = &jobs[misses[unit.prep]];
             let slot = &preps[unit.prep];
-            let prebuilt =
-                slot.complexes.lock().expect("prep slot poisoned").as_ref().map(Arc::clone);
-            let complexes = match prebuilt {
-                Some(built) => built,
+            let prebuilt = slot.arena.lock().expect("prep slot poisoned").as_ref().map(Arc::clone);
+            let arena = match prebuilt {
+                Some(built) => {
+                    self.slices_assembled_incrementally.fetch_add(1, Ordering::Relaxed);
+                    built
+                }
                 None => {
                     // Build *outside* the lock: workers landing on the
                     // same fresh job overlap on the (deterministic,
@@ -433,17 +461,25 @@ impl BatchEngine {
                     // mutex; the first to finish publishes, racers drop
                     // their copy. Duplicate work is bounded by the
                     // worker count and only at a job's first touch.
-                    let built = Arc::new(rips_slices(
+                    let built = Arc::new(LaplacianFiltration::rips(
                         &job.cloud,
-                        &job.epsilons,
+                        job.max_epsilon(),
                         job.max_homology_dim + 1,
                         job.metric,
                     ));
-                    let mut guard = slot.complexes.lock().expect("prep slot poisoned");
+                    self.arenas_built.fetch_add(1, Ordering::Relaxed);
+                    let mut guard = slot.arena.lock().expect("prep slot poisoned");
                     match guard.as_ref() {
                         Some(existing) => Arc::clone(existing),
                         None => {
                             *guard = Some(Arc::clone(&built));
+                            // Count only the published arena toward the
+                            // resident footprint (racers' copies die
+                            // right here).
+                            let bytes = built.arena_bytes() as u64;
+                            let live =
+                                self.arena_bytes_live.fetch_add(bytes, Ordering::Relaxed) + bytes;
+                            self.arena_bytes_peak.fetch_max(live, Ordering::Relaxed);
                             built
                         }
                     }
@@ -457,8 +493,7 @@ impl BatchEngine {
                 .config
                 .dispatch
                 .unwrap_or_else(|| DispatchPolicy::from_sparse_threshold(job.sparse_threshold));
-            let result =
-                estimate_dimension_dispatched(&complexes[unit.eps], unit.dim, &config, policy);
+            let result = estimate_dimension_filtered(&arena, epsilon, unit.dim, &config, policy);
             // Stream the slice the moment its last dimension lands.
             if let (Some(sink), Some(slots)) = (sink, stream_slots.as_ref()) {
                 let stream = &slots[unit.prep][unit.eps];
@@ -480,10 +515,13 @@ impl BatchEngine {
                     }
                 }
             }
-            // Last unit of the job frees its slices: peak memory tracks
+            // Last unit of the job frees its arena: peak memory tracks
             // the jobs in flight, not the whole batch.
             if slot.remaining_units.fetch_sub(1, Ordering::AcqRel) == 1 {
-                *slot.complexes.lock().expect("prep slot poisoned") = None;
+                let freed = slot.arena.lock().expect("prep slot poisoned").take();
+                if let Some(freed) = freed {
+                    self.arena_bytes_live.fetch_sub(freed.arena_bytes() as u64, Ordering::Relaxed);
+                }
             }
             result
         });
@@ -572,10 +610,10 @@ struct Unit {
     dim: usize,
 }
 
-/// Lazily built, eagerly freed per-job slice storage (one ε-slice
-/// complex per grid entry, in grid order).
+/// Lazily built, eagerly freed per-job arena storage: one
+/// [`LaplacianFiltration`] shared by every `(ε, dim)` unit of the job.
 struct PrepSlot {
-    complexes: Mutex<Option<Arc<Vec<SimplicialComplex>>>>,
+    arena: Mutex<Option<Arc<LaplacianFiltration>>>,
     remaining_units: AtomicUsize,
 }
 
@@ -797,6 +835,27 @@ mod tests {
         assert_eq!(second.batches_served, 2);
         assert_eq!(second.units_last_batch, 0);
         assert!((second.mean_units_per_batch() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arena_counters_track_builds_reuse_and_peak_bytes() {
+        // Serial worker: the arena is built by the first unit and every
+        // later unit of the job reads it incrementally.
+        let engine = BatchEngine::new(EngineConfig { workers: 1, ..EngineConfig::default() });
+        let j = job(vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0]); // 2 ε × 2 dims = 4 units
+        engine.run_job(&j);
+        let stats = engine.stats();
+        assert_eq!(stats.arenas_built, 1, "one arena per computed job");
+        assert_eq!(
+            stats.slices_assembled_incrementally, 3,
+            "all units after the first reuse the arena"
+        );
+        assert!(stats.arena_bytes_peak > 0);
+        // A cache hit runs no units and builds nothing new.
+        engine.run_job(&j);
+        let after = engine.stats();
+        assert_eq!(after.arenas_built, 1);
+        assert_eq!(after.slices_assembled_incrementally, 3);
     }
 
     #[test]

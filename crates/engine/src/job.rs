@@ -123,6 +123,10 @@ impl BettiJob {
                 w.push(iterations as u64);
                 w.push(seed);
             }
+            LambdaMaxBound::Fixed { bound } => {
+                w.push(2);
+                w.push(bound.to_bits());
+            }
         }
         w
     }

@@ -8,10 +8,13 @@
 //! kind of traffic one `estimate_betti_numbers` call at a time wastes
 //! work three ways, and this crate exists to stop all three:
 //!
-//! * **Per-ε complex rebuilds.** A [`BettiJob`] carries a whole ε-grid;
-//!   the engine runs neighbour search and flag expansion once per job at
-//!   the grid's largest scale and derives every slice from the
-//!   simplices' filtration values (`tda::filtration::rips_slices`).
+//! * **Per-ε rebuilds.** A [`BettiJob`] carries a whole ε-grid; the
+//!   engine runs neighbour search, flag expansion, *and Laplacian
+//!   triplet emission* once per job at the grid's largest scale
+//!   (`tda::laplacian_filtration::LaplacianFiltration`), then serves
+//!   every `(ε, dim)` unit's Δ_k as a prefix read of the
+//!   activation-sorted arena — no per-slice complexes or boundary
+//!   walks at all.
 //! * **Head-of-line blocking.** Work is scheduled at `(job, ε, dim)`
 //!   granularity from a shared queue, so a single big job spreads over
 //!   all workers instead of serialising behind small ones.

@@ -44,6 +44,16 @@ pub struct ServiceConfig {
     /// Bounded submission-queue capacity; beyond it `try_submit`
     /// returns [`SubmitError::Overloaded`] and `submit` blocks.
     pub queue_capacity: usize,
+    /// Shrink the linger deadline toward zero as the backlog (gathered
+    /// batch + queued submissions) approaches the batch size: lingering
+    /// exists to gather company for *sparse* traffic, so when the
+    /// batcher is already behind, waiting out the full deadline only
+    /// adds latency while the engine idles. At a backlog of `b` the
+    /// effective linger is `max_linger · (1 − b/max_batch_size)` —
+    /// zero once the batch can fill. Never affects results (micro-batch
+    /// grouping is unobservable; seeds are content-derived), only
+    /// latency.
+    pub adaptive_linger: bool,
 }
 
 impl Default for ServiceConfig {
@@ -53,6 +63,7 @@ impl Default for ServiceConfig {
             max_batch_size: 16,
             max_linger: Duration::from_millis(2),
             queue_capacity: 256,
+            adaptive_linger: true,
         }
     }
 }
@@ -192,10 +203,23 @@ fn batcher_loop(
 ) {
     let _close_on_exit = CloseOnExit(queue);
     while let Some(first) = queue.pop_blocking() {
-        let deadline = first.accepted_at + config.max_linger;
+        let accepted_at = first.accepted_at;
         let mut batch = vec![first];
         while batch.len() < config.max_batch_size {
-            match queue.pop_until(deadline) {
+            // Re-derive the deadline as the batch fills: the backlog
+            // (batch + queue) only grows, so the adaptive linger is
+            // monotone non-increasing and a deep backlog dispatches
+            // without waiting out the full deadline.
+            let linger = if config.adaptive_linger {
+                effective_linger(
+                    config.max_linger,
+                    batch.len() + queue.len(),
+                    config.max_batch_size,
+                )
+            } else {
+                config.max_linger
+            };
+            match queue.pop_until(accepted_at + linger) {
                 Some(request) => batch.push(request),
                 None => break,
             }
@@ -216,6 +240,42 @@ fn batcher_loop(
             // never read a `completed` counter that excludes its job.
             counters.completed.fetch_add(1, Ordering::Relaxed);
             let _ = sender.send(TicketEvent::Done(result));
+        }
+    }
+}
+
+/// The adaptive linger policy: full deadline for a lone request, shrunk
+/// proportionally as the backlog approaches the batch size, zero once
+/// the batch could fill without waiting.
+fn effective_linger(max_linger: Duration, backlog: usize, max_batch_size: usize) -> Duration {
+    if backlog >= max_batch_size {
+        return Duration::ZERO;
+    }
+    max_linger.mul_f64(1.0 - backlog as f64 / max_batch_size as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_linger_shrinks_toward_zero_with_backlog() {
+        let max = Duration::from_millis(800);
+        assert_eq!(effective_linger(max, 16, 16), Duration::ZERO, "full backlog waits nothing");
+        assert_eq!(effective_linger(max, 40, 16), Duration::ZERO, "overfull backlog too");
+        assert_eq!(
+            effective_linger(max, 8, 16),
+            Duration::from_millis(400),
+            "half backlog, half wait"
+        );
+        let lone = effective_linger(max, 1, 16);
+        assert_eq!(lone, Duration::from_millis(750), "a lone request lingers almost fully");
+        // Monotone non-increasing in backlog.
+        let mut last = Duration::MAX;
+        for backlog in 1..=17 {
+            let l = effective_linger(max, backlog, 16);
+            assert!(l <= last, "backlog {backlog}");
+            last = l;
         }
     }
 }

@@ -79,6 +79,7 @@ fn streamed_results_are_bit_identical_to_run_batch_across_worker_counts() {
             max_batch_size: jobs.len(),
             max_linger: Duration::from_millis(250),
             queue_capacity: 64,
+            ..ServiceConfig::default()
         });
         let tickets: Vec<_> =
             jobs.iter().map(|j| service.submit(j.clone()).expect("accepting")).collect();
@@ -105,6 +106,7 @@ fn micro_batch_grouping_is_unobservable_in_results() {
         max_batch_size: 1,
         max_linger: Duration::from_millis(1),
         queue_capacity: 64,
+        ..ServiceConfig::default()
     });
     let tickets: Vec<_> =
         jobs.iter().map(|j| service.submit(j.clone()).expect("accepting")).collect();
@@ -136,6 +138,7 @@ fn first_slice_arrives_before_the_batch_completes() {
         max_batch_size: jobs.len(),
         max_linger: Duration::from_millis(250),
         queue_capacity: 64,
+        ..ServiceConfig::default()
     });
     let submitted = Instant::now();
     let mut tickets: Vec<_> =
@@ -180,6 +183,7 @@ fn bounded_queue_pushes_back_when_overloaded() {
         max_batch_size: 1,
         max_linger: Duration::ZERO,
         queue_capacity: 1,
+        ..ServiceConfig::default()
     });
     let heavy_ticket = service.submit(heavy).expect("accepting the heavy job");
     // Wait until the batcher has picked the heavy job up, then park one
@@ -218,6 +222,7 @@ fn shutdown_drains_accepted_work() {
         // flush these.
         max_linger: Duration::from_secs(30),
         queue_capacity: 64,
+        ..ServiceConfig::default()
     });
     let tickets: Vec<_> =
         jobs.iter().map(|j| service.submit(j.clone()).expect("accepting")).collect();
@@ -250,6 +255,7 @@ fn dispatch_changes_backends_but_not_truth() {
         max_batch_size: jobs.len(),
         max_linger: Duration::from_millis(250),
         queue_capacity: 64,
+        ..ServiceConfig::default()
     });
     let tickets: Vec<_> =
         jobs.iter().map(|j| service.submit(j.clone()).expect("accepting")).collect();
@@ -270,4 +276,57 @@ fn dispatch_changes_backends_but_not_truth() {
             assert_eq!(rs.classical, bs.classical, "classical truth is routing-free");
         }
     }
+}
+
+#[test]
+fn deep_queues_dispatch_without_waiting_out_the_full_deadline() {
+    // Seven jobs burst in against a micro-batch size of 8: the batch
+    // gathers them instantly but never fills. With the adaptive linger
+    // the 7/8 backlog shrinks the deadline to an eighth of
+    // `max_linger`; without it, the almost-full batch waits out the
+    // entire deadline with the engine idle.
+    let mut rng = StdRng::seed_from_u64(91);
+    let mut blocker = BettiJob::new(synthetic::circle(30, 1.0, 0.01, &mut rng), vec![0.4, 0.5]);
+    blocker.estimator =
+        EstimatorConfig { precision_qubits: 5, shots: 2000, ..EstimatorConfig::default() };
+    let light: Vec<BettiJob> = (0..6)
+        .map(|i| {
+            BettiJob::new(
+                synthetic::two_clusters(4, 4.0 + i as f64 * 0.1, 0.3, &mut rng),
+                vec![1.0],
+            )
+        })
+        .collect();
+    let max_linger = Duration::from_millis(1500);
+    let serve = |adaptive: bool| -> Duration {
+        let service = QtdaService::new(ServiceConfig {
+            engine: engine_config(1),
+            max_batch_size: 8,
+            max_linger,
+            queue_capacity: 64,
+            adaptive_linger: adaptive,
+        });
+        let start = Instant::now();
+        let blocker_ticket = service.submit(blocker.clone()).expect("accepting");
+        let tickets: Vec<_> =
+            light.iter().map(|j| service.submit(j.clone()).expect("accepting")).collect();
+        for ticket in tickets {
+            ticket.wait();
+        }
+        blocker_ticket.wait();
+        let elapsed = start.elapsed();
+        service.shutdown();
+        elapsed
+    };
+    let adaptive = serve(true);
+    assert!(
+        adaptive < Duration::from_millis(1000),
+        "deep queue must dispatch early: took {adaptive:?} against a {max_linger:?} linger"
+    );
+    let fixed = serve(false);
+    assert!(
+        fixed >= Duration::from_millis(1200),
+        "control: the fixed linger should wait out most of its deadline, took {fixed:?}"
+    );
+    assert!(adaptive < fixed, "adaptive {adaptive:?} must beat fixed {fixed:?}");
 }

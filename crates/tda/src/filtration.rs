@@ -101,10 +101,12 @@ impl Filtration {
 /// scale, one diameter per simplex, then any number of sort-free slices.
 /// The complex from [`rips_complex`] already stores each dimension in
 /// lexicographic order, so a slice is a filtered copy in already-sorted
-/// order — this is what the batch engine and `betti_curve` amortise
-/// construction through, the former by materialising small grids
-/// ([`rips_slices`]), the latter by slicing inside its workers so only
-/// in-flight slices are ever resident.
+/// order. (The batch engine and `betti_curve` used to amortise
+/// construction through this; as of PR 4 they sweep one level lower,
+/// through the [`crate::laplacian_filtration::LaplacianFiltration`]
+/// arena, and never materialise slice complexes at all — `RipsSlicer`
+/// remains the amortised path for callers that want the *complexes*
+/// themselves.)
 pub struct RipsSlicer {
     complex: SimplicialComplex,
     /// Per dimension, diameters aligned index-for-index with the
@@ -177,8 +179,10 @@ pub fn rips_slices(
     epsilons.iter().map(|&eps| slicer.complex_at(eps)).collect()
 }
 
-/// Diameter of a simplex's vertex set in the cloud.
-fn diameter(s: &Simplex, cloud: &PointCloud, metric: Metric) -> f64 {
+/// Diameter of a simplex's vertex set in the cloud — the appearance
+/// scale every slicer and the Laplacian arena key off (shared so the
+/// float semantics cannot drift between them).
+pub(crate) fn diameter(s: &Simplex, cloud: &PointCloud, metric: Metric) -> f64 {
     let vs = s.vertices();
     let mut d = 0.0f64;
     for (i, &a) in vs.iter().enumerate() {

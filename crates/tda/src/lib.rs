@@ -17,6 +17,9 @@
 //!   Δ<sub>k</sub> = ∂<sub>k</sub>ᵀ∂<sub>k</sub> + ∂<sub>k+1</sub>∂<sub>k+1</sub>ᵀ (Eq. 5);
 //! * [`betti`] — classical Betti numbers via rank–nullity *and* via the
 //!   Laplacian kernel (Eq. 6), cross-checked in tests;
+//! * [`laplacian_filtration`] — the incremental ε-sweep substrate: one
+//!   activation-sorted triplet arena per dimension, every slice's Δ_k a
+//!   prefix read (bit-identical to direct assembly);
 //! * [`random`] — the random-complex generators behind the paper's Fig. 3;
 //! * [`takens`] — time-delay embedding of scalar series (giotto-tda's
 //!   `TakensEmbedding`);
@@ -32,6 +35,7 @@ pub mod boundary;
 pub mod complex;
 pub mod filtration;
 pub mod laplacian;
+pub mod laplacian_filtration;
 pub mod persistence;
 pub mod point_cloud;
 pub mod random;
@@ -41,5 +45,6 @@ pub mod spectral_betti;
 pub mod takens;
 
 pub use complex::SimplicialComplex;
+pub use laplacian_filtration::LaplacianFiltration;
 pub use point_cloud::{Metric, PointCloud};
 pub use simplex::Simplex;

@@ -69,6 +69,13 @@ fn main() {
         stats.units_last_batch,
         stats.mean_units_per_batch(),
     );
+    println!(
+        "arena stats: {} filtration arenas built, {} units served as incremental prefix \
+         reads, peak {:.1} KiB resident",
+        stats.arenas_built,
+        stats.slices_assembled_incrementally,
+        stats.arena_bytes_peak as f64 / 1024.0,
+    );
 
     // Mean per-class features at the middle scale: the fault scatters
     // the attractor, which the Betti features pick up.

@@ -34,6 +34,7 @@ fn main() {
         max_batch_size: 8,
         max_linger: Duration::from_millis(4),
         queue_capacity: 64,
+        ..ServiceConfig::default()
     });
 
     let start = Instant::now();
