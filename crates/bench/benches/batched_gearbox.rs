@@ -19,7 +19,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qtda_core::estimator::EstimatorConfig;
-use qtda_core::pipeline::{estimate_betti_numbers, PipelineConfig};
+use qtda_core::query::BettiRequest;
 use qtda_data::gearbox::GearboxConfig;
 use qtda_data::windows::sliding_window_stream;
 use qtda_engine::seed::{job_seed, slice_seed};
@@ -67,21 +67,16 @@ fn naive_serve(jobs: &[BettiJob]) -> Vec<Vec<f64>> {
             job.epsilons
                 .iter()
                 .flat_map(|&eps| {
-                    estimate_betti_numbers(
-                        &job.cloud,
-                        &PipelineConfig {
-                            epsilon: eps,
-                            max_homology_dim: job.max_homology_dim,
-                            metric: job.metric,
-                            estimator: EstimatorConfig {
-                                seed: slice_seed(js, eps),
-                                ..job.estimator
-                            },
-                            sparse_threshold: job.sparse_threshold,
-                            ..PipelineConfig::default()
-                        },
-                    )
-                    .features()
+                    BettiRequest::of_cloud(&job.cloud)
+                        .at_scale(eps)
+                        .max_dim(job.max_homology_dim)
+                        .metric(job.metric)
+                        .estimator(EstimatorConfig { seed: slice_seed(js, eps), ..job.estimator })
+                        .sparse_threshold(job.sparse_threshold)
+                        .build()
+                        .run()
+                        .single_slice()
+                        .features()
                 })
                 .collect()
         })

@@ -16,7 +16,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qtda_core::estimator::{BettiEstimator, EstimatorConfig};
-use qtda_core::pipeline::{betti_curve, estimate_betti_numbers, PipelineConfig};
+use qtda_core::pipeline::{betti_curve, PipelineConfig};
+use qtda_core::query::BettiRequest;
 use qtda_tda::laplacian::{combinatorial_laplacian, combinatorial_laplacian_sparse};
 use qtda_tda::point_cloud::synthetic;
 use qtda_tda::random::RandomComplexModel;
@@ -92,7 +93,11 @@ fn bench_betti_curve(c: &mut Criterion) {
             (0..n_scales)
                 .map(|i| {
                     let eps = 0.1 + (1.2 - 0.1) * i as f64 / (n_scales - 1) as f64;
-                    estimate_betti_numbers(pc, &PipelineConfig { epsilon: eps, ..config })
+                    BettiRequest::of_cloud(pc)
+                        .configured(&PipelineConfig { epsilon: eps, ..config })
+                        .build()
+                        .run()
+                        .single_slice()
                         .features()
                 })
                 .collect::<Vec<_>>()

@@ -2,7 +2,8 @@
 //! the time-series (Takens) case.
 
 use qtda_core::estimator::EstimatorConfig;
-use qtda_core::pipeline::{estimate_betti_numbers, PipelineConfig};
+use qtda_core::pipeline::PipelineConfig;
+use qtda_core::query::BettiRequest;
 use qtda_data::embedding::features_to_point_cloud;
 use qtda_data::gearbox::GearboxConfig;
 use qtda_data::windows::{balanced_windows, paper_feature_dataset, WINDOW_LEN};
@@ -103,7 +104,12 @@ impl GearboxExperiment {
                     },
                     ..PipelineConfig::default()
                 };
-                estimate_betti_numbers(cloud, &config).features()
+                BettiRequest::of_cloud(cloud)
+                    .configured(&config)
+                    .build()
+                    .run()
+                    .single_slice()
+                    .features()
             })
             .collect()
     }
@@ -276,7 +282,12 @@ pub fn run_timeseries_case(
                 },
                 ..PipelineConfig::default()
             };
-            estimate_betti_numbers(&cloud, &config).features()
+            BettiRequest::of_cloud(&cloud)
+                .configured(&config)
+                .build()
+                .run()
+                .single_slice()
+                .features()
         })
         .collect();
     let labels: Vec<u8> = windows.iter().map(|w| w.label).collect();

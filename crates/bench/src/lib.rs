@@ -18,6 +18,7 @@
 //! Trotter order/steps, backend cost, rayon scaling).
 
 #![deny(missing_docs)]
+#![deny(deprecated)]
 #![forbid(unsafe_code)]
 
 pub mod cli;

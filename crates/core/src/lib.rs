@@ -25,11 +25,18 @@
 //!   QPE (Fig. 7, with controllable product-formula error), and the
 //!   matvec-only Lanczos spectral response that powers the sparse path.
 //! * [`estimator`] — shot sampling, padding correction, rounding.
-//! * [`pipeline`] — point cloud → Rips complex → Laplacians → estimates,
-//!   the end-to-end API used by the examples and experiments.
+//! * [`query`] — the unified request API: the [`query::BettiRequest`]
+//!   builder, the one [`query::Query::run`] executor, and the
+//!   [`query::QosPolicy`] (priority / deadline / cancellation)
+//!   vocabulary shared with the batch engine and streaming service.
+//! * [`pipeline`] — the routing vocabulary ([`pipeline::DispatchPolicy`],
+//!   [`pipeline::PipelineConfig`]), the multi-scale
+//!   [`pipeline::betti_curve`], and the deprecated pre-`Query` entry
+//!   points kept as bit-identical shims.
 //! * [`analysis`] — absolute errors and boxplot statistics for Fig. 3.
 
 #![deny(missing_docs)]
+#![deny(deprecated)]
 #![forbid(unsafe_code)]
 
 pub mod analysis;
@@ -37,6 +44,7 @@ pub mod backend;
 pub mod estimator;
 pub mod padding;
 pub mod pipeline;
+pub mod query;
 pub mod scaling;
 pub mod spectrum;
 pub mod sweep;
@@ -47,7 +55,16 @@ pub use backend::{
 pub use estimator::{BettiEstimate, BettiEstimator, EstimatorConfig};
 pub use padding::{pad_laplacian, pad_operator, LambdaMaxBound, PaddedLaplacian, PaddingScheme};
 pub use pipeline::{
-    betti_curve, estimate_betti_numbers, estimate_dimension, estimate_dimension_dispatched,
-    run_for_complex, BackendKind, BettiCurve, DispatchPolicy, PipelineConfig, PipelineResult,
+    betti_curve, BackendKind, BettiCurve, DispatchPolicy, PipelineConfig, PipelineResult,
+};
+// The deprecated one-shot entry points stay re-exported for external
+// callers mid-migration (the shims are bit-identical to `Query::run`).
+#[allow(deprecated)]
+pub use pipeline::{
+    estimate_betti_numbers, estimate_dimension, estimate_dimension_dispatched, run_for_complex,
+};
+pub use query::{
+    AbortReason, BettiRequest, CancelToken, Priority, QosPolicy, Query, QueryOutput, QuerySlice,
+    QuerySource,
 };
 pub use scaling::rescale_operator;

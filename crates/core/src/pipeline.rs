@@ -1,6 +1,17 @@
 //! The end-to-end QTDA pipeline: point cloud → Rips complex →
 //! combinatorial Laplacians → QPE Betti estimates (paper §§2–5).
 //!
+//! As of the request-API redesign, the **one executor** is
+//! [`crate::query::Query::run`] over a [`crate::query::BettiRequest`];
+//! the seven historical entry points in this module
+//! (`estimate_betti_numbers{,_of_complex,_of_complex_with_threshold,
+//! _of_complex_dispatched}`, `estimate_dimension{,_dispatched,
+//! _filtered}`, `run_for_complex`, `run_for_filtration`) survive as
+//! thin `#[deprecated]` shims with **bit-identical** outputs, pinned by
+//! this module's equivalence tests. This module still owns the routing
+//! vocabulary ([`DispatchPolicy`], [`BackendKind`], [`PipelineConfig`])
+//! and the multi-scale [`betti_curve`] convenience.
+//!
 //! The pipeline is **sparse-first**: per homology dimension it picks the
 //! Laplacian representation by size — small `S_k` take the dense route
 //! (Gershgorin + dense spectral backend, bit-compatible with the paper's
@@ -11,17 +22,12 @@
 //! sweeps run every ε (and every dimension within an ε) in parallel via
 //! rayon.
 
-use crate::backend::{LanczosBackend, StatevectorBackend};
-use crate::estimator::{BettiEstimate, BettiEstimator, EstimatorConfig};
-use crate::spectrum::PaddedSpectrum;
-use qtda_tda::betti::betti_via_rank;
+use crate::estimator::{BettiEstimate, EstimatorConfig};
+use crate::query::BettiRequest;
 use qtda_tda::filtration::max_scale;
-use qtda_tda::laplacian::{combinatorial_laplacian, combinatorial_laplacian_sparse};
 use qtda_tda::laplacian_filtration::LaplacianFiltration;
 use qtda_tda::point_cloud::{Metric, PointCloud};
-use qtda_tda::rips::{rips_complex, RipsParams};
 use qtda_tda::SimplicialComplex;
-use rayon::prelude::*;
 
 /// Default `|S_k|` above which the pipeline switches to the sparse
 /// (CSR + Lanczos) path. Below this the dense eigensolver is faster in
@@ -166,21 +172,22 @@ impl PipelineResult {
 }
 
 /// Runs the full pipeline on a point cloud.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `query::BettiRequest::of_cloud(..).at_scale(..)` and call `Query::run`"
+)]
 pub fn estimate_betti_numbers(cloud: &PointCloud, config: &PipelineConfig) -> PipelineResult {
-    let complex = rips_complex(
-        cloud,
-        &RipsParams {
-            epsilon: config.epsilon,
-            max_dim: config.max_homology_dim + 1,
-            metric: config.metric,
-        },
-    );
-    estimate_betti_numbers_of_complex_dispatched(
-        &complex,
-        config.max_homology_dim,
-        &config.estimator,
-        config.dispatch_policy(),
-    )
+    let output = BettiRequest::of_cloud(cloud)
+        .at_scale(config.epsilon)
+        .max_dim(config.max_homology_dim)
+        .metric(config.metric)
+        .estimator(config.estimator)
+        .dispatch(config.dispatch_policy())
+        .build()
+        .run();
+    let complex = output.complex.expect("single-scale cloud queries materialise the complex");
+    let slice = output.slices.into_iter().next().expect("one scale in, one slice out");
+    PipelineResult { complex, estimates: slice.estimates, classical: slice.classical }
 }
 
 /// A multi-scale Betti curve: for each grouping scale, the quantum
@@ -240,40 +247,52 @@ pub fn betti_curve(
         config.max_homology_dim + 1,
         config.metric,
     );
-    let dims: Vec<usize> = (0..=config.max_homology_dim).collect();
-    let policy = config.dispatch_policy();
-    let results: Vec<Vec<(BettiEstimate, usize)>> = epsilons
-        .par_iter()
-        .map(|&eps| {
-            dims.par_iter()
-                .map(|&k| {
-                    estimate_dimension_filtered(&filtration, eps, k, &config.estimator, policy)
-                })
-                .collect()
-        })
-        .collect();
-    let estimated = results
-        .iter()
-        .map(|dims| dims.iter().map(|(e, _)| e.corrected).collect::<Vec<f64>>())
-        .collect();
-    let classical =
-        results.into_iter().map(|dims| dims.into_iter().map(|(_, c)| c).collect()).collect();
+    let output = BettiRequest::of_filtration(&filtration)
+        .on_grid(epsilons.clone())
+        .max_dim(config.max_homology_dim)
+        .estimator(config.estimator)
+        .dispatch(config.dispatch_policy())
+        .build()
+        .run();
+    let estimated = output.slices.iter().map(|s| s.features()).collect();
+    let classical = output.slices.into_iter().map(|s| s.classical).collect();
     BettiCurve { epsilons, estimated, classical }
 }
 
 /// Runs the estimator across dimensions of an existing complex with the
 /// default sparse/dense switchover.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `query::BettiRequest::of_complex(..)` and call `Query::run`"
+)]
 pub fn estimate_betti_numbers_of_complex(
     complex: &SimplicialComplex,
     max_homology_dim: usize,
     estimator_config: &EstimatorConfig,
 ) -> PipelineResult {
-    estimate_betti_numbers_of_complex_with_threshold(
+    complex_result(
         complex,
-        max_homology_dim,
-        estimator_config,
-        DEFAULT_SPARSE_THRESHOLD,
+        BettiRequest::of_complex(complex)
+            .max_dim(max_homology_dim)
+            .estimator(*estimator_config)
+            .build()
+            .run(),
     )
+}
+
+/// Assembles the legacy [`PipelineResult`] shape from a complex-source
+/// query output (the complex is cloned, as the historical entry points
+/// always did).
+fn complex_result(
+    complex: &SimplicialComplex,
+    output: crate::query::QueryOutput,
+) -> PipelineResult {
+    let slice = output.slices.into_iter().next().expect("complex queries yield one slice");
+    PipelineResult {
+        complex: complex.clone(),
+        estimates: slice.estimates,
+        classical: slice.classical,
+    }
 }
 
 /// Runs the estimator across dimensions of an existing complex,
@@ -283,17 +302,24 @@ pub fn estimate_betti_numbers_of_complex(
 /// and both the QPE estimate and the classical kernel-count truth read
 /// off that single decomposition. The homology dimensions are
 /// independent and run in parallel.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `query::BettiRequest::of_complex(..).sparse_threshold(..)` and call `Query::run`"
+)]
 pub fn estimate_betti_numbers_of_complex_with_threshold(
     complex: &SimplicialComplex,
     max_homology_dim: usize,
     estimator_config: &EstimatorConfig,
     sparse_threshold: usize,
 ) -> PipelineResult {
-    estimate_betti_numbers_of_complex_dispatched(
+    complex_result(
         complex,
-        max_homology_dim,
-        estimator_config,
-        DispatchPolicy::from_sparse_threshold(sparse_threshold),
+        BettiRequest::of_complex(complex)
+            .max_dim(max_homology_dim)
+            .estimator(*estimator_config)
+            .sparse_threshold(sparse_threshold)
+            .build()
+            .run(),
     )
 }
 
@@ -302,19 +328,25 @@ pub fn estimate_betti_numbers_of_complex_with_threshold(
 /// sparse). With `DispatchPolicy::from_sparse_threshold` this is
 /// bit-identical to the threshold entry point. The homology dimensions
 /// are independent and run in parallel.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `query::BettiRequest::of_complex(..).dispatch(..)` and call `Query::run`"
+)]
 pub fn estimate_betti_numbers_of_complex_dispatched(
     complex: &SimplicialComplex,
     max_homology_dim: usize,
     estimator_config: &EstimatorConfig,
     policy: DispatchPolicy,
 ) -> PipelineResult {
-    let dims: Vec<usize> = (0..=max_homology_dim).collect();
-    let per_dim: Vec<(BettiEstimate, usize)> = dims
-        .par_iter()
-        .map(|&k| estimate_dimension_dispatched(complex, k, estimator_config, policy))
-        .collect();
-    let (estimates, classical) = per_dim.into_iter().unzip();
-    PipelineResult { complex: complex.clone(), estimates, classical }
+    complex_result(
+        complex,
+        BettiRequest::of_complex(complex)
+            .max_dim(max_homology_dim)
+            .estimator(*estimator_config)
+            .dispatch(policy)
+            .build()
+            .run(),
+    )
 }
 
 /// One homology dimension of a prebuilt complex: the QPE estimate next
@@ -322,18 +354,23 @@ pub fn estimate_betti_numbers_of_complex_dispatched(
 /// This is the pipeline's finest-grained entry point — the unit of work
 /// batch drivers (`qtda-engine`) schedule at `(job, ε, dim)` granularity.
 /// Fully deterministic in `estimator_config.seed`.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `query::BettiRequest::of_complex(..).dimension(k)` and call `Query::run`"
+)]
 pub fn estimate_dimension(
     complex: &SimplicialComplex,
     k: usize,
     estimator_config: &EstimatorConfig,
     sparse_threshold: usize,
 ) -> (BettiEstimate, usize) {
-    estimate_dimension_dispatched(
-        complex,
-        k,
-        estimator_config,
-        DispatchPolicy::from_sparse_threshold(sparse_threshold),
-    )
+    BettiRequest::of_complex(complex)
+        .dimension(k)
+        .estimator(*estimator_config)
+        .sparse_threshold(sparse_threshold)
+        .build()
+        .run()
+        .unit()
 }
 
 /// [`estimate_dimension`] with full three-way backend routing: the
@@ -342,45 +379,23 @@ pub fn estimate_dimension(
 /// `|S_k|`. Still fully deterministic in `estimator_config.seed` — the
 /// route depends only on the complex, never on timing — so batch
 /// drivers can schedule these units in any order on any worker count.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `query::BettiRequest::of_complex(..).dimension(k).dispatch(..)` and call `Query::run`"
+)]
 pub fn estimate_dimension_dispatched(
     complex: &SimplicialComplex,
     k: usize,
     estimator_config: &EstimatorConfig,
     policy: DispatchPolicy,
 ) -> (BettiEstimate, usize) {
-    let n_k = complex.count(k);
-    if n_k == 0 {
-        // Empty S_k short-circuits to a zero estimate (q = 0).
-        let estimator = BettiEstimator::new(*estimator_config);
-        return (estimator.estimate(&qtda_linalg::Mat::zeros(0, 0)), 0);
-    }
-    match policy.choose(n_k) {
-        BackendKind::SparseLanczos => {
-            let estimator = BettiEstimator::new(*estimator_config);
-            let laplacian = combinatorial_laplacian_sparse(complex, k);
-            let spectrum = PaddedSpectrum::of_sparse_laplacian_bounded(
-                &laplacian,
-                estimator_config.padding,
-                estimator_config.delta,
-                LanczosBackend::default().seed,
-                estimator_config.lambda_bound,
-            );
-            // One decomposition serves both outputs: the QPE shot sample
-            // and the classical β_k = dim ker Δ_k (Eq. 6).
-            (estimator.estimate_from_spectrum(&spectrum), spectrum.kernel_dim())
-        }
-        BackendKind::DenseEigen => {
-            let estimator = BettiEstimator::new(*estimator_config);
-            let laplacian = combinatorial_laplacian(complex, k);
-            (estimator.estimate(&laplacian), betti_via_rank(complex, k))
-        }
-        BackendKind::Statevector => {
-            let estimator =
-                BettiEstimator::with_backend(*estimator_config, Box::new(StatevectorBackend));
-            let laplacian = combinatorial_laplacian(complex, k);
-            (estimator.estimate(&laplacian), betti_via_rank(complex, k))
-        }
-    }
+    BettiRequest::of_complex(complex)
+        .dimension(k)
+        .estimator(*estimator_config)
+        .dispatch(policy)
+        .build()
+        .run()
+        .unit()
 }
 
 /// [`estimate_dimension_dispatched`] served from a prebuilt
@@ -394,6 +409,10 @@ pub fn estimate_dimension_dispatched(
 /// integer ranks (sparse route: the same single Lanczos decomposition),
 /// and the estimate from a bit-identical Laplacian. This is the unit
 /// entry point [`betti_curve`] and the batch engine sweep through.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `query::BettiRequest::of_filtration(..).at_scale(ε).dimension(k)` and call `Query::run`"
+)]
 pub fn estimate_dimension_filtered(
     filtration: &LaplacianFiltration,
     epsilon: f64,
@@ -401,36 +420,14 @@ pub fn estimate_dimension_filtered(
     estimator_config: &EstimatorConfig,
     policy: DispatchPolicy,
 ) -> (BettiEstimate, usize) {
-    let n_k = filtration.count_at(k, epsilon);
-    if n_k == 0 {
-        let estimator = BettiEstimator::new(*estimator_config);
-        return (estimator.estimate(&qtda_linalg::Mat::zeros(0, 0)), 0);
-    }
-    match policy.choose(n_k) {
-        BackendKind::SparseLanczos => {
-            let estimator = BettiEstimator::new(*estimator_config);
-            let laplacian = filtration.laplacian_at(k, epsilon);
-            let spectrum = PaddedSpectrum::of_sparse_laplacian_bounded(
-                &laplacian,
-                estimator_config.padding,
-                estimator_config.delta,
-                LanczosBackend::default().seed,
-                estimator_config.lambda_bound,
-            );
-            (estimator.estimate_from_spectrum(&spectrum), spectrum.kernel_dim())
-        }
-        BackendKind::DenseEigen => {
-            let estimator = BettiEstimator::new(*estimator_config);
-            let laplacian = filtration.laplacian_at(k, epsilon).to_dense();
-            (estimator.estimate(&laplacian), filtration.betti_at(k, epsilon))
-        }
-        BackendKind::Statevector => {
-            let estimator =
-                BettiEstimator::with_backend(*estimator_config, Box::new(StatevectorBackend));
-            let laplacian = filtration.laplacian_at(k, epsilon).to_dense();
-            (estimator.estimate(&laplacian), filtration.betti_at(k, epsilon))
-        }
-    }
+    BettiRequest::of_filtration(filtration)
+        .at_scale(epsilon)
+        .dimension(k)
+        .estimator(*estimator_config)
+        .dispatch(policy)
+        .build()
+        .run()
+        .unit()
 }
 
 /// Every dimension `0..=max_homology_dim` of one ε-slice of a prebuilt
@@ -438,6 +435,10 @@ pub fn estimate_dimension_filtered(
 /// [`run_for_complex`] for external sweep drivers that own their
 /// parallelism. Bit-identical to [`run_for_complex`] on the slice
 /// complex at the same seed.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `query::BettiRequest::of_filtration(..).at_scale(ε).serial()` and call `Query::run`"
+)]
 pub fn run_for_filtration(
     filtration: &LaplacianFiltration,
     epsilon: f64,
@@ -445,10 +446,16 @@ pub fn run_for_filtration(
     estimator_config: &EstimatorConfig,
     sparse_threshold: usize,
 ) -> Vec<(BettiEstimate, usize)> {
-    let policy = DispatchPolicy::from_sparse_threshold(sparse_threshold);
-    (0..=max_homology_dim)
-        .map(|k| estimate_dimension_filtered(filtration, epsilon, k, estimator_config, policy))
-        .collect()
+    let output = BettiRequest::of_filtration(filtration)
+        .at_scale(epsilon)
+        .max_dim(max_homology_dim)
+        .estimator(*estimator_config)
+        .sparse_threshold(sparse_threshold)
+        .serial()
+        .build()
+        .run();
+    let slice = output.slices.into_iter().next().expect("one scale in, one slice out");
+    slice.estimates.into_iter().zip(slice.classical).collect()
 }
 
 /// Estimates every dimension `0..=max_homology_dim` of a prebuilt
@@ -460,21 +467,37 @@ pub fn run_for_filtration(
 /// `(estimate, classical)` pair per dimension; results are bit-identical
 /// to [`estimate_betti_numbers_of_complex_with_threshold`] at the same
 /// seed.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `query::BettiRequest::of_complex(..).serial()` and call `Query::run`"
+)]
 pub fn run_for_complex(
     complex: &SimplicialComplex,
     max_homology_dim: usize,
     estimator_config: &EstimatorConfig,
     sparse_threshold: usize,
 ) -> Vec<(BettiEstimate, usize)> {
-    (0..=max_homology_dim)
-        .map(|k| estimate_dimension(complex, k, estimator_config, sparse_threshold))
-        .collect()
+    let output = BettiRequest::of_complex(complex)
+        .max_dim(max_homology_dim)
+        .estimator(*estimator_config)
+        .sparse_threshold(sparse_threshold)
+        .serial()
+        .build()
+        .run();
+    let slice = output.slices.into_iter().next().expect("complex queries yield one slice");
+    slice.estimates.into_iter().zip(slice.classical).collect()
 }
 
 #[cfg(test)]
 mod tests {
+    // These tests deliberately exercise the deprecated shims: they are
+    // the bit-identity pins proving `Query::run` subsumes every legacy
+    // entry point.
+    #![allow(deprecated)]
+
     use super::*;
     use qtda_tda::point_cloud::synthetic;
+    use qtda_tda::rips::{rips_complex, RipsParams};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -37,7 +37,8 @@
 use crate::backend::{LanczosBackend, StatevectorBackend};
 use crate::estimator::{BettiEstimate, BettiEstimator, EstimatorConfig};
 use crate::padding::LambdaMaxBound;
-use crate::pipeline::{estimate_dimension_filtered, BackendKind, DispatchPolicy};
+use crate::pipeline::{BackendKind, DispatchPolicy};
+use crate::query::BettiRequest;
 use crate::spectrum::PaddedSpectrum;
 use qtda_linalg::op::{lambda_max_power_adaptive, PowerStart};
 use qtda_linalg::CsrMatrix;
@@ -125,17 +126,18 @@ impl<'a> FiltrationSweep<'a> {
         }
         self.last_epsilon = Some(epsilon);
         let WarmLambda::On { max_iterations, seed } = self.warm else {
-            return (0..=self.max_homology_dim)
-                .map(|k| {
-                    estimate_dimension_filtered(
-                        self.filtration,
-                        epsilon,
-                        k,
-                        &self.estimator,
-                        self.policy,
-                    )
-                })
-                .collect();
+            // The plain arena path is one serial query — bit-identical
+            // to the parallel sweep (unit values are content-pure).
+            let output = BettiRequest::of_filtration(self.filtration)
+                .at_scale(epsilon)
+                .max_dim(self.max_homology_dim)
+                .estimator(self.estimator)
+                .dispatch(self.policy)
+                .serial()
+                .build()
+                .run();
+            let slice = output.slices.into_iter().next().expect("one scale in, one slice out");
+            return slice.estimates.into_iter().zip(slice.classical).collect();
         };
         (0..=self.max_homology_dim)
             .map(|k| self.estimate_dim_warm(epsilon, k, max_iterations, seed))

@@ -12,6 +12,7 @@
 //! the substitution rationale.
 
 #![deny(missing_docs)]
+#![deny(deprecated)]
 #![forbid(unsafe_code)]
 
 pub mod embedding;

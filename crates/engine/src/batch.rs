@@ -1,4 +1,4 @@
-//! The batch engine: scheduling, amortised construction, caching.
+//! The batch engine: scheduling, amortised construction, caching, QoS.
 //!
 //! [`BatchEngine::run_batch`] serves a whole batch of [`BettiJob`]s
 //! through three stages:
@@ -21,16 +21,16 @@
 //!    the jobs in flight, not the batch size
 //!    (`EngineStats::arena_bytes_peak` reports the high-water mark).
 //! 3. **Estimate (one unit per `(job, ε, dim)`).** Units fan out at the
-//!    finest granularity the pipeline exposes ([`estimate_dimension`]),
-//!    pulled from a shared counter by `workers` threads —
-//!    work-stealing-style dynamic assignment, so one slow job cannot
-//!    idle the rest of the pool behind it.
+//!    finest granularity the request API exposes (a single-dimension
+//!    `qtda_core::query::Query`), pulled from a shared counter by
+//!    `workers` threads — work-stealing-style dynamic assignment, so
+//!    one slow job cannot idle the rest of the pool behind it.
 //!
 //! Every estimator seed is derived from the batch seed and job content
 //! ([`crate::seed`]), so results are **bit-identical** across worker
 //! counts, completion orders, batch compositions, and cache states.
 //!
-//! Two serving-oriented extensions ride on the same machinery:
+//! Serving-oriented extensions ride on the same machinery:
 //!
 //! * **Incremental completion.** [`BatchEngine::run_batch_streaming`]
 //!   announces every `(job, ε)` slice through a [`SliceSink`] the moment
@@ -42,16 +42,32 @@
 //!   unit to the statevector / dense / sparse backend by `|S_k|`
 //!   (`qtda_core::pipeline::DispatchPolicy`); the default derives the
 //!   classic dense/sparse split from each job's `sparse_threshold`.
+//! * **Quality of service.** [`BatchEngine::run_batch_qos`] accepts a
+//!   [`QosPolicy`] per job ([`JobRequest`]): the unit queue is ordered
+//!   by [`Priority`] class (Interactive first, Bulk last; ties keep the
+//!   plain-batch interleaving, so an all-[`Priority::Normal`] batch
+//!   schedules exactly like [`BatchEngine::run_batch`]), and each
+//!   job's deadline/cancellation flags are checked at **unit
+//!   boundaries**: once every request interested in a computed job
+//!   (its submitter plus in-batch duplicates) asks to abort, the job's
+//!   remaining units are skipped, its arena is freed through the normal
+//!   last-unit path, and **nothing is inserted into the LRU cache**
+//!   (no partial results, and — regression-pinned — no doorkeeper
+//!   sighting either, so a cancelled probe never "pre-admits" a
+//!   fingerprint). Aborted jobs return [`JobOutcome::Aborted`];
+//!   priorities and aborts never change a *completed* result's bits.
 
 use crate::cache::LruCache;
 use crate::job::BettiJob;
 use crate::seed::{job_seed, slice_seed};
 use qtda_core::estimator::BettiEstimate;
-use qtda_core::pipeline::{estimate_dimension_filtered, DispatchPolicy};
+use qtda_core::pipeline::DispatchPolicy;
+use qtda_core::query::{AbortReason, BettiRequest, Priority, QosPolicy};
 use qtda_tda::laplacian_filtration::LaplacianFiltration;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Engine parameters.
 #[derive(Clone, Copy, Debug)]
@@ -87,6 +103,83 @@ impl Default for EngineConfig {
             cache_capacity: 256,
             cache_doorkeeper: false,
             dispatch: None,
+        }
+    }
+}
+
+/// One QoS-carrying submission: a [`BettiJob`] plus the [`QosPolicy`]
+/// governing its scheduling class, deadline, and cancellation. The
+/// request shape [`BatchEngine::run_batch_qos`] consumes — the
+/// engine-level counterpart of a `qtda_core::query::BettiRequest`
+/// (owned job content instead of borrows, because requests outlive
+/// their submitters in a serving queue).
+#[derive(Clone, Debug)]
+pub struct JobRequest {
+    /// The job to serve.
+    pub job: BettiJob,
+    /// Its quality-of-service policy.
+    pub qos: QosPolicy,
+}
+
+impl From<BettiJob> for JobRequest {
+    fn from(job: BettiJob) -> Self {
+        JobRequest { job, qos: QosPolicy::default() }
+    }
+}
+
+impl JobRequest {
+    /// A request under the default (Normal, never-aborting) policy.
+    pub fn new(job: BettiJob) -> Self {
+        job.into()
+    }
+
+    /// A request under an explicit policy.
+    pub fn with_qos(job: BettiJob, qos: QosPolicy) -> Self {
+        JobRequest { job, qos }
+    }
+}
+
+/// How one request ended: the assembled result, or the abort that
+/// terminated it. A request is aborted when its own policy asked for it
+/// (cancellation is honoured even if a duplicate kept the shared
+/// computation alive); a *computed job* is only abandoned engine-side
+/// once every interested request has aborted.
+#[derive(Clone, Debug)]
+pub enum JobOutcome {
+    /// The request completed; slices are bit-identical to a plain
+    /// [`BatchEngine::run_batch`] of the same job and batch seed.
+    Completed(Arc<JobResult>),
+    /// The request was aborted before (or instead of) completion.
+    Aborted(AbortReason),
+}
+
+impl JobOutcome {
+    /// The result, if the request completed.
+    pub fn result(&self) -> Option<&Arc<JobResult>> {
+        match self {
+            JobOutcome::Completed(result) => Some(result),
+            JobOutcome::Aborted(_) => None,
+        }
+    }
+
+    /// The abort reason, if the request aborted.
+    pub fn abort_reason(&self) -> Option<AbortReason> {
+        match self {
+            JobOutcome::Completed(_) => None,
+            JobOutcome::Aborted(reason) => Some(*reason),
+        }
+    }
+
+    /// Unwraps the completed result.
+    ///
+    /// # Panics
+    /// If the request was aborted.
+    pub fn expect_completed(self) -> Arc<JobResult> {
+        match self {
+            JobOutcome::Completed(result) => result,
+            JobOutcome::Aborted(reason) => {
+                panic!("request aborted ({reason}) where completion was required")
+            }
         }
     }
 }
@@ -137,12 +230,13 @@ impl JobResult {
     }
 }
 
-/// Monotone serving counters (since engine construction).
+/// Monotone serving counters (since engine construction), except the
+/// `arena_bytes_live` gauge.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct EngineStats {
     /// Jobs requested across all batches.
     pub jobs_served: u64,
-    /// Batches run (`run_batch`/`run_batch_streaming` calls).
+    /// Batches run (`run_batch`/`run_batch_streaming`/`…_qos` calls).
     pub batches_served: u64,
     /// Jobs answered from the LRU cache.
     pub cache_hits: u64,
@@ -154,10 +248,28 @@ pub struct EngineStats {
     pub deduplicated: u64,
     /// Jobs actually computed.
     pub computed_jobs: u64,
-    /// `(job, ε, dim)` estimation units executed.
+    /// `(job, ε, dim)` estimation units executed (cancelled units are
+    /// counted in `units_cancelled` instead).
     pub units_executed: u64,
-    /// Units of the most recent batch (micro-batch size telemetry).
+    /// Units scheduled for the most recent batch (micro-batch size
+    /// telemetry; includes any later cancelled).
     pub units_last_batch: u64,
+    /// Units skipped at the boundary check because their job had been
+    /// cancelled or had exceeded every interested deadline.
+    pub units_cancelled: u64,
+    /// Requests that ended [`JobOutcome::Aborted`] with
+    /// [`AbortReason::Cancelled`].
+    pub jobs_cancelled: u64,
+    /// Requests that ended [`JobOutcome::Aborted`] with
+    /// [`AbortReason::DeadlineExceeded`].
+    pub jobs_deadline_expired: u64,
+    /// Requests completed in the [`Priority::Interactive`] class.
+    pub served_interactive: u64,
+    /// Requests completed in the [`Priority::Normal`] class (all of
+    /// plain `run_batch`'s traffic lands here).
+    pub served_normal: u64,
+    /// Requests completed in the [`Priority::Bulk`] class.
+    pub served_bulk: u64,
     /// Laplacian filtration arenas constructed (more than
     /// `computed_jobs` only when workers raced on a job's first touch).
     pub arenas_built: u64,
@@ -167,12 +279,16 @@ pub struct EngineStats {
     pub slices_assembled_incrementally: u64,
     /// High-water mark of concurrently resident arena bytes (peak
     /// amortisation footprint; arenas are freed by their job's last
-    /// unit).
+    /// unit — executed *or cancelled*).
     pub arena_bytes_peak: u64,
+    /// Arena bytes resident right now — a gauge, not a counter. Zero
+    /// between batches: every arena is freed by its job's last unit,
+    /// including the units an abort skipped.
+    pub arena_bytes_live: u64,
 }
 
 impl EngineStats {
-    /// Mean `(job, ε, dim)` units per batch served so far.
+    /// Mean executed `(job, ε, dim)` units per batch served so far.
     pub fn mean_units_per_batch(&self) -> f64 {
         if self.batches_served == 0 {
             0.0
@@ -182,32 +298,49 @@ impl EngineStats {
     }
 }
 
-/// A slice-completion announcement streamed out of a running batch: the
-/// `slice_index`-th ε of job `job_index` finished all its homology
-/// dimensions. Emitted the moment the last `(job, ε, dim)` unit of the
-/// slice completes — long before the batch returns — and also (from the
-/// calling thread, before any unit runs) for every slice answered by the
-/// cache. Duplicate jobs receive their representative's slices under
-/// their own `job_index`.
+/// A streamed announcement out of a running batch. Emitted from worker
+/// threads in completion order; after a job aborts, a slice whose last
+/// unit was already in flight may still race out behind the
+/// [`SliceEvent::Aborted`] — consumers treat `Aborted` as terminal and
+/// drop stragglers (the service's `Ticket` does).
 #[derive(Clone, Debug)]
-pub struct SliceEvent {
-    /// Index of the job in the submitted batch.
-    pub job_index: usize,
-    /// Index of the slice in that job's ε-grid.
-    pub slice_index: usize,
-    /// The completed slice — bit-identical to the corresponding entry of
-    /// the final [`JobResult`].
-    pub result: SliceResult,
+pub enum SliceEvent {
+    /// The `slice_index`-th ε of job `job_index` finished all its
+    /// homology dimensions — emitted the moment the slice's last
+    /// `(job, ε, dim)` unit completes, long before the batch returns,
+    /// and also (from the calling thread, before any unit runs) for
+    /// every slice answered by the cache. Duplicate jobs receive their
+    /// representative's slices under their own `job_index`.
+    Slice {
+        /// Index of the job in the submitted batch.
+        job_index: usize,
+        /// Index of the slice in that job's ε-grid.
+        slice_index: usize,
+        /// The completed slice — bit-identical to the corresponding
+        /// entry of the final [`JobResult`].
+        result: SliceResult,
+    },
+    /// Job `job_index` was aborted; no further slices will be computed
+    /// for it. Emitted once per aborted request the moment the engine
+    /// abandons the computation (requests aborted at delivery time —
+    /// e.g. cancelled while a duplicate kept the job alive — surface
+    /// through [`JobOutcome::Aborted`] instead).
+    Aborted {
+        /// Index of the job in the submitted batch.
+        job_index: usize,
+        /// Why it aborted.
+        reason: AbortReason,
+    },
 }
 
-/// The incremental-completion hook: called once per `(job, slice)` as
-/// slices finish. Must be `Sync` — worker threads invoke it
-/// concurrently, in completion order (use `slice_index` to reorder).
+/// The incremental-completion hook: called as slices finish (or jobs
+/// abort). Must be `Sync` — worker threads invoke it concurrently, in
+/// completion order (use the slice index to reorder).
 pub type SliceSink<'a> = dyn Fn(SliceEvent) + Sync + 'a;
 
 /// The batched multi-cloud Betti-serving engine. Construct once, call
-/// [`Self::run_batch`] per request batch; the result cache persists
-/// across calls.
+/// [`Self::run_batch`] (or the QoS-aware [`Self::run_batch_qos`]) per
+/// request batch; the result cache persists across calls.
 pub struct BatchEngine {
     config: EngineConfig,
     cache: Mutex<LruCache<Arc<CachedJob>>>,
@@ -219,6 +352,10 @@ pub struct BatchEngine {
     computed_jobs: AtomicU64,
     units_executed: AtomicU64,
     units_last_batch: AtomicU64,
+    units_cancelled: AtomicU64,
+    jobs_cancelled: AtomicU64,
+    jobs_deadline_expired: AtomicU64,
+    served_by_class: [AtomicU64; 3],
     arenas_built: AtomicU64,
     slices_assembled_incrementally: AtomicU64,
     arena_bytes_live: AtomicU64,
@@ -246,6 +383,10 @@ impl BatchEngine {
             computed_jobs: AtomicU64::new(0),
             units_executed: AtomicU64::new(0),
             units_last_batch: AtomicU64::new(0),
+            units_cancelled: AtomicU64::new(0),
+            jobs_cancelled: AtomicU64::new(0),
+            jobs_deadline_expired: AtomicU64::new(0),
+            served_by_class: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
             arenas_built: AtomicU64::new(0),
             slices_assembled_incrementally: AtomicU64::new(0),
             arena_bytes_live: AtomicU64::new(0),
@@ -275,11 +416,18 @@ impl BatchEngine {
             computed_jobs: self.computed_jobs.load(Ordering::Relaxed),
             units_executed: self.units_executed.load(Ordering::Relaxed),
             units_last_batch: self.units_last_batch.load(Ordering::Relaxed),
+            units_cancelled: self.units_cancelled.load(Ordering::Relaxed),
+            jobs_cancelled: self.jobs_cancelled.load(Ordering::Relaxed),
+            jobs_deadline_expired: self.jobs_deadline_expired.load(Ordering::Relaxed),
+            served_interactive: self.served_by_class[0].load(Ordering::Relaxed),
+            served_normal: self.served_by_class[1].load(Ordering::Relaxed),
+            served_bulk: self.served_by_class[2].load(Ordering::Relaxed),
             arenas_built: self.arenas_built.load(Ordering::Relaxed),
             slices_assembled_incrementally: self
                 .slices_assembled_incrementally
                 .load(Ordering::Relaxed),
             arena_bytes_peak: self.arena_bytes_peak.load(Ordering::Relaxed),
+            arena_bytes_live: self.arena_bytes_live.load(Ordering::Relaxed),
         }
     }
 
@@ -294,8 +442,14 @@ impl BatchEngine {
     /// match is verified against the full request content
     /// ([`BettiJob::same_request`]), so a 64-bit hash collision degrades
     /// to a recompute, never to another request's results.
+    ///
+    /// This is [`Self::run_batch_qos`] under the default (Normal class,
+    /// never-aborting) policy — the FIFO reference the QoS determinism
+    /// tests pin against.
     pub fn run_batch(&self, jobs: &[BettiJob]) -> Vec<Arc<JobResult>> {
-        self.run_batch_inner(jobs, None)
+        let default_qos = QosPolicy::default();
+        let refs: Vec<(&BettiJob, &QosPolicy)> = jobs.iter().map(|j| (j, &default_qos)).collect();
+        self.run_batch_inner(&refs, None).into_iter().map(JobOutcome::expect_completed).collect()
     }
 
     /// [`Self::run_batch`] with an incremental-completion hook: `sink`
@@ -311,31 +465,62 @@ impl BatchEngine {
         jobs: &[BettiJob],
         sink: &SliceSink<'_>,
     ) -> Vec<Arc<JobResult>> {
-        self.run_batch_inner(jobs, Some(sink))
+        let default_qos = QosPolicy::default();
+        let refs: Vec<(&BettiJob, &QosPolicy)> = jobs.iter().map(|j| (j, &default_qos)).collect();
+        self.run_batch_inner(&refs, Some(sink))
+            .into_iter()
+            .map(JobOutcome::expect_completed)
+            .collect()
+    }
+
+    /// Serves a batch of QoS-carrying requests: units are scheduled in
+    /// [`Priority`] order and each request's deadline/cancellation is
+    /// checked at unit boundaries (see the module docs for the exact
+    /// abort semantics). Completed outcomes are **bit-identical** to
+    /// [`Self::run_batch`] of the same jobs and batch seed at any
+    /// worker count — QoS shapes scheduling and early exits, never
+    /// values.
+    pub fn run_batch_qos(&self, requests: &[JobRequest]) -> Vec<JobOutcome> {
+        let refs: Vec<(&BettiJob, &QosPolicy)> =
+            requests.iter().map(|r| (&r.job, &r.qos)).collect();
+        self.run_batch_inner(&refs, None)
+    }
+
+    /// [`Self::run_batch_qos`] with the incremental-completion hook:
+    /// completed slices stream as [`SliceEvent::Slice`], and a request
+    /// abandoned mid-batch fires one final [`SliceEvent::Aborted`].
+    pub fn run_batch_streaming_qos(
+        &self,
+        requests: &[JobRequest],
+        sink: &SliceSink<'_>,
+    ) -> Vec<JobOutcome> {
+        let refs: Vec<(&BettiJob, &QosPolicy)> =
+            requests.iter().map(|r| (&r.job, &r.qos)).collect();
+        self.run_batch_inner(&refs, Some(sink))
     }
 
     fn run_batch_inner(
         &self,
-        jobs: &[BettiJob],
+        requests: &[(&BettiJob, &QosPolicy)],
         sink: Option<&SliceSink<'_>>,
-    ) -> Vec<Arc<JobResult>> {
-        self.jobs_served.fetch_add(jobs.len() as u64, Ordering::Relaxed);
+    ) -> Vec<JobOutcome> {
+        self.jobs_served.fetch_add(requests.len() as u64, Ordering::Relaxed);
         self.batches_served.fetch_add(1, Ordering::Relaxed);
-        let fingerprints: Vec<u64> = jobs.iter().map(BettiJob::fingerprint).collect();
+        let fingerprints: Vec<u64> = requests.iter().map(|(job, _)| job.fingerprint()).collect();
 
         // Stage 1: verified cache lookups + in-batch dedup. `misses`
         // keeps the first job index per distinct uncached request;
         // `dup_of[i]` points a duplicate at its representative miss.
-        let mut results: Vec<Option<Arc<JobResult>>> = vec![None; jobs.len()];
+        let mut results: Vec<Option<Arc<JobResult>>> = vec![None; requests.len()];
         let mut misses: Vec<usize> = Vec::new();
-        let mut dup_of: Vec<Option<usize>> = vec![None; jobs.len()];
+        let mut dup_of: Vec<Option<usize>> = vec![None; requests.len()];
         // fp → miss indices sharing it (more than one only on collision).
         let mut seen: HashMap<u64, Vec<usize>> = HashMap::new();
         {
             let mut cache = self.cache.lock().expect("cache poisoned");
             for (i, &fp) in fingerprints.iter().enumerate() {
                 if let Some(entry) = cache.get(fp) {
-                    if entry.job.same_request(&jobs[i]) {
+                    if entry.job.same_request(requests[i].0) {
                         self.cache_hits.fetch_add(1, Ordering::Relaxed);
                         results[i] = Some(Arc::clone(&entry.result));
                         continue;
@@ -343,7 +528,9 @@ impl BatchEngine {
                 }
                 self.cache_misses.fetch_add(1, Ordering::Relaxed);
                 let candidates = seen.entry(fp).or_default();
-                if let Some(&rep) = candidates.iter().find(|&&j| jobs[j].same_request(&jobs[i])) {
+                if let Some(&rep) =
+                    candidates.iter().find(|&&j| requests[j].0.same_request(requests[i].0))
+                {
                     self.deduplicated.fetch_add(1, Ordering::Relaxed);
                     dup_of[i] = Some(rep);
                 } else {
@@ -354,13 +541,39 @@ impl BatchEngine {
         }
         self.computed_jobs.fetch_add(misses.len() as u64, Ordering::Relaxed);
 
+        // Per computed job: every request index interested in it (the
+        // submitter plus its in-batch duplicates). Drives both slice
+        // fan-out and the all-parties-aborted check.
+        let parties: Vec<Vec<usize>> = {
+            let mut parties: Vec<Vec<usize>> = misses.iter().map(|&j| vec![j]).collect();
+            let miss_pos: HashMap<usize, usize> =
+                misses.iter().enumerate().map(|(p, &j)| (j, p)).collect();
+            for (i, dup) in dup_of.iter().enumerate() {
+                if let Some(rep) = dup {
+                    parties[miss_pos[rep]].push(i);
+                }
+            }
+            parties
+        };
+
         // Cache-answered jobs stream immediately (outside the cache
-        // lock — the sink is arbitrary user code).
+        // lock — the sink is arbitrary user code). A hit whose request
+        // already cancelled gets its Aborted event instead; an expired
+        // deadline does *not* discard a ready answer (best-effort
+        // semantics: the deadline stops work, a hit costs none).
         if let Some(sink) = sink {
             for (i, result) in results.iter().enumerate() {
                 if let Some(result) = result {
+                    if requests[i].1.cancel.is_cancelled() {
+                        sink(SliceEvent::Aborted { job_index: i, reason: AbortReason::Cancelled });
+                        continue;
+                    }
                     for (slice_index, slice) in result.slices.iter().enumerate() {
-                        sink(SliceEvent { job_index: i, slice_index, result: slice.clone() });
+                        sink(SliceEvent::Slice {
+                            job_index: i,
+                            slice_index,
+                            result: slice.clone(),
+                        });
                     }
                 }
             }
@@ -374,66 +587,52 @@ impl BatchEngine {
 
         // Stages 2+3: flatten to (job, ε, dim) units and fan out; the
         // amortised per-job construction happens lazily inside the first
-        // unit that touches each job. Units are interleaved round-robin
+        // unit that touches each job. The unit queue is **priority
+        // ordered**: misses are bucketed by the best (lowest) Priority
+        // among their interested requests — Interactive before Normal
+        // before Bulk — and the shared counter drains the queue front to
+        // back. Within a class, units are interleaved round-robin
         // across a window of `workers` jobs so that concurrent workers
         // start on *different* jobs (parallel construction instead of
         // racing to build the same one), while the window bound keeps
         // roughly `workers` jobs' slices resident at a time. With one
-        // worker this degenerates to the contiguous per-job order, which
-        // maximises cache locality on the serial path.
-        let mut units: Vec<Unit> = Vec::new();
-        let unit_count =
-            |p: usize| jobs[misses[p]].epsilons.len() * (jobs[misses[p]].max_homology_dim + 1);
-        for block_start in (0..misses.len()).step_by(workers.max(1)) {
-            let block = block_start..(block_start + workers.max(1)).min(misses.len());
-            let mut emitted_any = true;
-            let mut round = 0usize;
-            while emitted_any {
-                emitted_any = false;
-                for p in block.clone() {
-                    if round < unit_count(p) {
-                        let dims = jobs[misses[p]].max_homology_dim + 1;
-                        units.push(Unit { prep: p, eps: round / dims, dim: round % dims });
-                        emitted_any = true;
-                    }
-                }
-                round += 1;
-            }
-        }
-        self.units_executed.fetch_add(units.len() as u64, Ordering::Relaxed);
+        // worker and one class this degenerates to the contiguous
+        // per-job order, which maximises cache locality on the serial
+        // path; with every job Normal (plain `run_batch`) the order is
+        // exactly the historical FIFO interleaving.
+        let class_of: Vec<Priority> = parties
+            .iter()
+            .map(|ps| ps.iter().map(|&i| requests[i].1.priority).min().unwrap_or(Priority::Normal))
+            .collect();
+        let dims_of: Vec<usize> =
+            misses.iter().map(|&j| requests[j].0.max_homology_dim + 1).collect();
+        let unit_counts: Vec<usize> = misses
+            .iter()
+            .zip(&dims_of)
+            .map(|(&j, &dims)| requests[j].0.epsilons.len() * dims)
+            .collect();
+        let units = build_unit_queue(&class_of, &unit_counts, &dims_of, workers);
         self.units_last_batch.store(units.len() as u64, Ordering::Relaxed);
         let preps: Vec<PrepSlot> = misses
             .iter()
             .map(|&j| PrepSlot {
                 arena: Mutex::new(None),
                 remaining_units: AtomicUsize::new(
-                    jobs[j].epsilons.len() * (jobs[j].max_homology_dim + 1),
+                    requests[j].0.epsilons.len() * (requests[j].0.max_homology_dim + 1),
                 ),
+                aborted: AtomicU8::new(ABORT_NONE),
             })
             .collect();
-        // Streaming bookkeeping: per computed job, which original batch
-        // indices receive its slices (itself + in-batch duplicates), and
-        // a per-(job, ε) countdown of outstanding dimensions so the
-        // slice can be announced the instant its last unit lands.
-        let emit_targets: Vec<Vec<usize>> = {
-            let mut targets: Vec<Vec<usize>> = misses.iter().map(|&j| vec![j]).collect();
-            if sink.is_some() {
-                let miss_pos: HashMap<usize, usize> =
-                    misses.iter().enumerate().map(|(p, &j)| (j, p)).collect();
-                for (i, dup) in dup_of.iter().enumerate() {
-                    if let Some(rep) = dup {
-                        targets[miss_pos[rep]].push(i);
-                    }
-                }
-            }
-            targets
-        };
+        // Streaming bookkeeping: a per-(job, ε) countdown of outstanding
+        // dimensions so the slice can be announced the instant its last
+        // unit lands.
         let stream_slots: Option<Vec<Vec<StreamSlot>>> = sink.map(|_| {
             misses
                 .iter()
                 .map(|&j| {
-                    let dims = jobs[j].max_homology_dim + 1;
-                    jobs[j]
+                    let dims = requests[j].0.max_homology_dim + 1;
+                    requests[j]
+                        .0
                         .epsilons
                         .iter()
                         .map(|_| StreamSlot {
@@ -444,79 +643,145 @@ impl BatchEngine {
                 })
                 .collect()
         });
-        let estimates: Vec<(BettiEstimate, usize)> = run_units(workers, units.len(), |u| {
+        let estimates: Vec<Option<(BettiEstimate, usize)>> = run_units(workers, units.len(), |u| {
             let unit = &units[u];
-            let job = &jobs[misses[unit.prep]];
+            let job = requests[misses[unit.prep]].0;
             let slot = &preps[unit.prep];
-            let prebuilt = slot.arena.lock().expect("prep slot poisoned").as_ref().map(Arc::clone);
-            let arena = match prebuilt {
-                Some(built) => {
-                    self.slices_assembled_incrementally.fetch_add(1, Ordering::Relaxed);
-                    built
-                }
-                None => {
-                    // Build *outside* the lock: workers landing on the
-                    // same fresh job overlap on the (deterministic,
-                    // identical) construction instead of idling on the
-                    // mutex; the first to finish publishes, racers drop
-                    // their copy. Duplicate work is bounded by the
-                    // worker count and only at a job's first touch.
-                    let built = Arc::new(LaplacianFiltration::rips(
-                        &job.cloud,
-                        job.max_epsilon(),
-                        job.max_homology_dim + 1,
-                        job.metric,
-                    ));
-                    self.arenas_built.fetch_add(1, Ordering::Relaxed);
-                    let mut guard = slot.arena.lock().expect("prep slot poisoned");
-                    match guard.as_ref() {
-                        Some(existing) => Arc::clone(existing),
-                        None => {
-                            *guard = Some(Arc::clone(&built));
-                            // Count only the published arena toward the
-                            // resident footprint (racers' copies die
-                            // right here).
-                            let bytes = built.arena_bytes() as u64;
-                            let live =
-                                self.arena_bytes_live.fetch_add(bytes, Ordering::Relaxed) + bytes;
-                            self.arena_bytes_peak.fetch_max(live, Ordering::Relaxed);
-                            built
+            // Unit-boundary QoS check, *before* any construction: a
+            // job is abandoned once every interested request has
+            // asked to abort (cancellation or expired deadline). The
+            // first unit to observe it emits the Aborted events;
+            // every skipped unit still runs the last-unit arena
+            // bookkeeping below, so aborts free memory exactly like
+            // completions.
+            let skip = slot.aborted.load(Ordering::Acquire) != ABORT_NONE || {
+                let now = Instant::now();
+                let all_aborted =
+                    parties[unit.prep].iter().all(|&i| requests[i].1.abort_reason(now).is_some());
+                if all_aborted
+                    && slot
+                        .aborted
+                        .compare_exchange(
+                            ABORT_NONE,
+                            ABORT_FLAGGED,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                {
+                    if let Some(sink) = sink {
+                        for &i in &parties[unit.prep] {
+                            let reason = requests[i]
+                                .1
+                                .abort_reason(now)
+                                .expect("every party reported an abort");
+                            sink(SliceEvent::Aborted { job_index: i, reason });
                         }
                     }
                 }
+                all_aborted
             };
-            let js = job_seed(self.config.batch_seed, fingerprints[misses[unit.prep]]);
-            let epsilon = job.epsilons[unit.eps];
-            let seed = slice_seed(js, epsilon);
-            let config = qtda_core::estimator::EstimatorConfig { seed, ..job.estimator };
-            let policy = self
-                .config
-                .dispatch
-                .unwrap_or_else(|| DispatchPolicy::from_sparse_threshold(job.sparse_threshold));
-            let result = estimate_dimension_filtered(&arena, epsilon, unit.dim, &config, policy);
-            // Stream the slice the moment its last dimension lands.
-            if let (Some(sink), Some(slots)) = (sink, stream_slots.as_ref()) {
-                let stream = &slots[unit.prep][unit.eps];
-                stream.dims.lock().expect("stream slot poisoned")[unit.dim] = Some(result);
-                if stream.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                    let dims = stream.dims.lock().expect("stream slot poisoned");
-                    let slice = SliceResult {
-                        epsilon,
-                        seed,
-                        estimates: dims.iter().map(|d| d.expect("every dim landed").0).collect(),
-                        classical: dims.iter().map(|d| d.expect("every dim landed").1).collect(),
-                    };
-                    for &job_index in &emit_targets[unit.prep] {
-                        sink(SliceEvent {
-                            job_index,
-                            slice_index: unit.eps,
-                            result: slice.clone(),
-                        });
+            let result = if skip {
+                self.units_cancelled.fetch_add(1, Ordering::Relaxed);
+                None
+            } else {
+                let prebuilt =
+                    slot.arena.lock().expect("prep slot poisoned").as_ref().map(Arc::clone);
+                let arena = match prebuilt {
+                    Some(built) => {
+                        self.slices_assembled_incrementally.fetch_add(1, Ordering::Relaxed);
+                        built
+                    }
+                    None => {
+                        // Build *outside* the lock: workers landing on
+                        // the same fresh job overlap on the
+                        // (deterministic, identical) construction
+                        // instead of idling on the mutex; the first to
+                        // finish publishes, racers drop their copy.
+                        // Duplicate work is bounded by the worker count
+                        // and only at a job's first touch.
+                        let built = Arc::new(LaplacianFiltration::rips(
+                            &job.cloud,
+                            job.max_epsilon(),
+                            job.max_homology_dim + 1,
+                            job.metric,
+                        ));
+                        self.arenas_built.fetch_add(1, Ordering::Relaxed);
+                        let mut guard = slot.arena.lock().expect("prep slot poisoned");
+                        match guard.as_ref() {
+                            Some(existing) => Arc::clone(existing),
+                            None => {
+                                *guard = Some(Arc::clone(&built));
+                                // Count only the published arena toward
+                                // the resident footprint (racers' copies
+                                // die right here).
+                                let bytes = built.arena_bytes() as u64;
+                                let live =
+                                    self.arena_bytes_live.fetch_add(bytes, Ordering::Relaxed)
+                                        + bytes;
+                                self.arena_bytes_peak.fetch_max(live, Ordering::Relaxed);
+                                built
+                            }
+                        }
+                    }
+                };
+                let js = job_seed(self.config.batch_seed, fingerprints[misses[unit.prep]]);
+                let epsilon = job.epsilons[unit.eps];
+                let seed = slice_seed(js, epsilon);
+                let config = qtda_core::estimator::EstimatorConfig { seed, ..job.estimator };
+                let policy = self
+                    .config
+                    .dispatch
+                    .unwrap_or_else(|| DispatchPolicy::from_sparse_threshold(job.sparse_threshold));
+                // One unit = one single-dimension query against the
+                // shared arena — the same executor every layer runs.
+                let result = BettiRequest::of_filtration(&arena)
+                    .at_scale(epsilon)
+                    .dimension(unit.dim)
+                    .estimator(config)
+                    .dispatch(policy)
+                    .build()
+                    .run()
+                    .unit();
+                self.units_executed.fetch_add(1, Ordering::Relaxed);
+                // Stream the slice the moment its last dimension
+                // lands (suppressed once the job aborted — the
+                // Aborted event is terminal for its consumers).
+                if let (Some(sink), Some(slots)) = (sink, stream_slots.as_ref()) {
+                    let stream = &slots[unit.prep][unit.eps];
+                    stream.dims.lock().expect("stream slot poisoned")[unit.dim] = Some(result);
+                    if stream.remaining.fetch_sub(1, Ordering::AcqRel) == 1
+                        && slot.aborted.load(Ordering::Acquire) == ABORT_NONE
+                    {
+                        let dims = stream.dims.lock().expect("stream slot poisoned");
+                        let slice = SliceResult {
+                            epsilon,
+                            seed,
+                            estimates: dims
+                                .iter()
+                                .map(|d| d.expect("every dim landed").0)
+                                .collect(),
+                            classical: dims
+                                .iter()
+                                .map(|d| d.expect("every dim landed").1)
+                                .collect(),
+                        };
+                        for &job_index in &parties[unit.prep] {
+                            if !requests[job_index].1.cancel.is_cancelled() {
+                                sink(SliceEvent::Slice {
+                                    job_index,
+                                    slice_index: unit.eps,
+                                    result: slice.clone(),
+                                });
+                            }
+                        }
                     }
                 }
-            }
-            // Last unit of the job frees its arena: peak memory tracks
-            // the jobs in flight, not the whole batch.
+                Some(result)
+            };
+            // Last unit of the job frees its arena — on the executed
+            // *and* the cancelled path — so peak memory tracks the
+            // jobs in flight and an abort can never leak its arena.
             if slot.remaining_units.fetch_sub(1, Ordering::AcqRel) == 1 {
                 let freed = slot.arena.lock().expect("prep slot poisoned").take();
                 if let Some(freed) = freed {
@@ -531,21 +796,29 @@ impl BatchEngine {
         // order.
         let mut per_job: PerJobResults = misses
             .iter()
-            .map(|&j| vec![vec![None; jobs[j].max_homology_dim + 1]; jobs[j].epsilons.len()])
+            .map(|&j| {
+                vec![vec![None; requests[j].0.max_homology_dim + 1]; requests[j].0.epsilons.len()]
+            })
             .collect();
         for (unit, est) in units.iter().zip(estimates) {
-            per_job[unit.prep][unit.eps][unit.dim] = Some(est);
+            per_job[unit.prep][unit.eps][unit.dim] = est;
         }
 
         // Assemble per computed job, publish to the cache, then resolve
         // the in-batch duplicates through their representative miss.
-        // Colliding requests overwrite each other's cache slot (last
-        // wins); the loser's next lookup fails verification and simply
-        // recomputes.
+        // Aborted jobs are **skipped entirely**: no partial result is
+        // assembled, nothing touches the LRU — neither an entry nor a
+        // doorkeeper sighting — so an abort can never poison future
+        // lookups. Colliding requests overwrite each other's cache slot
+        // (last wins); the loser's next lookup fails verification and
+        // simply recomputes.
         {
             let mut cache = self.cache.lock().expect("cache poisoned");
             for (p, &job_idx) in misses.iter().enumerate() {
-                let job = &jobs[job_idx];
+                if preps[p].aborted.load(Ordering::Acquire) != ABORT_NONE {
+                    continue;
+                }
+                let job = requests[job_idx].0;
                 let js = job_seed(self.config.batch_seed, fingerprints[job_idx]);
                 let slices: Vec<SliceResult> = job
                     .epsilons
@@ -580,13 +853,42 @@ impl BatchEngine {
             }
         }
 
-        (0..jobs.len())
-            .map(|i| match (&results[i], dup_of[i]) {
-                (Some(r), _) => Arc::clone(r),
-                (None, Some(rep)) => {
-                    Arc::clone(results[rep].as_ref().expect("representative was computed"))
+        // Outcomes, per original request: cancellation is honoured at
+        // delivery (a cancelled request reports Aborted even when a
+        // duplicate kept the computation alive, and even on a cache
+        // hit); otherwise a resolved result completes and anything else
+        // aborted engine-side.
+        let now = Instant::now();
+        (0..requests.len())
+            .map(|i| {
+                if requests[i].1.cancel.is_cancelled() {
+                    self.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+                    return JobOutcome::Aborted(AbortReason::Cancelled);
                 }
-                (None, None) => unreachable!("every job is a hit, a miss, or a duplicate"),
+                let resolved = match (&results[i], dup_of[i]) {
+                    (Some(r), _) => Some(Arc::clone(r)),
+                    (None, Some(rep)) => results[rep].as_ref().map(Arc::clone),
+                    (None, None) => None,
+                };
+                match resolved {
+                    Some(result) => {
+                        self.served_by_class[requests[i].1.priority.index()]
+                            .fetch_add(1, Ordering::Relaxed);
+                        JobOutcome::Completed(result)
+                    }
+                    None => {
+                        // The computed job was abandoned; this request's
+                        // own policy names the reason (all parties had
+                        // one — cancellation was handled above, so this
+                        // is a deadline).
+                        let reason = requests[i]
+                            .1
+                            .abort_reason(now)
+                            .unwrap_or(AbortReason::DeadlineExceeded);
+                        self.jobs_deadline_expired.fetch_add(1, Ordering::Relaxed);
+                        JobOutcome::Aborted(reason)
+                    }
+                }
             })
             .collect()
     }
@@ -610,11 +912,61 @@ struct Unit {
     dim: usize,
 }
 
+/// Builds the priority-ordered unit queue the shared counter drains:
+/// one bucket per [`Priority`] class (Interactive first, Bulk last),
+/// each bucket interleaved round-robin across worker-sized windows.
+/// Windows never straddle a class boundary — a mixed window would
+/// round-robin lower-class units in among higher-class ones and push an
+/// Interactive job's tail behind Bulk work. Within a bucket, jobs keep
+/// their submission order, so an all-Normal batch reproduces the
+/// historical FIFO interleaving exactly (and one worker degenerates to
+/// the contiguous per-job order that maximises cache locality).
+///
+/// `unit_counts[p]` is job `p`'s total unit count, `dims_of[p]` its
+/// homology-dimension count (`round = eps · dims + dim`).
+fn build_unit_queue(
+    class_of: &[Priority],
+    unit_counts: &[usize],
+    dims_of: &[usize],
+    workers: usize,
+) -> Vec<Unit> {
+    let mut units = Vec::with_capacity(unit_counts.iter().sum());
+    for class in Priority::CLASSES {
+        let bucket: Vec<usize> = (0..class_of.len()).filter(|&p| class_of[p] == class).collect();
+        for block in bucket.chunks(workers.max(1)) {
+            let mut emitted_any = true;
+            let mut round = 0usize;
+            while emitted_any {
+                emitted_any = false;
+                for &p in block {
+                    if round < unit_counts[p] {
+                        units.push(Unit {
+                            prep: p,
+                            eps: round / dims_of[p],
+                            dim: round % dims_of[p],
+                        });
+                        emitted_any = true;
+                    }
+                }
+                round += 1;
+            }
+        }
+    }
+    units
+}
+
+/// `PrepSlot::aborted` values: active vs. abandoned.
+const ABORT_NONE: u8 = 0;
+const ABORT_FLAGGED: u8 = 1;
+
 /// Lazily built, eagerly freed per-job arena storage: one
-/// [`LaplacianFiltration`] shared by every `(ε, dim)` unit of the job.
+/// [`LaplacianFiltration`] shared by every `(ε, dim)` unit of the job,
+/// plus the job's abort latch (set once, by the first unit whose
+/// boundary check observes every interested request aborting).
 struct PrepSlot {
     arena: Mutex<Option<Arc<LaplacianFiltration>>>,
     remaining_units: AtomicUsize,
+    aborted: AtomicU8,
 }
 
 /// Streaming bookkeeping for one `(job, ε)` slice: per-dimension results
@@ -629,7 +981,10 @@ struct StreamSlot {
 /// shared counter (dynamic assignment ≙ work stealing at unit
 /// granularity), returning results in unit order. `f` must be a pure
 /// function of the index — that, plus index-ordered collection, is what
-/// makes engine output independent of scheduling.
+/// makes engine output independent of scheduling. (QoS abort checks
+/// make `f`'s *side effects* time-dependent, but never the value of a
+/// completed job: a unit either returns its content-pure estimate or
+/// `None`.)
 ///
 /// Deliberately scoped threads rather than the vendored-rayon global
 /// pool: the serving contract is "bit-identical at any worker count",
@@ -740,12 +1095,19 @@ mod tests {
         assert_eq!(events.len(), expected, "one event per (job, slice)");
         for (i, (jb, result)) in jobs.iter().zip(&results).enumerate() {
             for slice_index in 0..jb.epsilons.len() {
-                let matching: Vec<&SliceEvent> = events
+                let matching: Vec<&SliceResult> = events
                     .iter()
-                    .filter(|e| e.job_index == i && e.slice_index == slice_index)
+                    .filter_map(|e| match e {
+                        SliceEvent::Slice { job_index, slice_index: s, result }
+                            if *job_index == i && *s == slice_index =>
+                        {
+                            Some(result)
+                        }
+                        _ => None,
+                    })
                     .collect();
                 assert_eq!(matching.len(), 1, "job {i} slice {slice_index} announced once");
-                let streamed = &matching[0].result;
+                let streamed = matching[0];
                 let returned = &result.slices[slice_index];
                 assert_eq!(streamed.seed, returned.seed);
                 assert_eq!(streamed.classical, returned.classical);
@@ -830,10 +1192,13 @@ mod tests {
         assert_eq!(first.batches_served, 1);
         assert_eq!(first.units_last_batch, 4, "2 ε × 2 dims");
         assert_eq!(first.cache_misses, 1);
+        assert_eq!(first.served_normal, 1, "plain batches serve in the Normal class");
+        assert_eq!(first.units_cancelled, 0);
         engine.run_batch(std::slice::from_ref(&j)); // all hits → no units
         let second = engine.stats();
         assert_eq!(second.batches_served, 2);
         assert_eq!(second.units_last_batch, 0);
+        assert_eq!(second.served_normal, 2);
         assert!((second.mean_units_per_batch() - 2.0).abs() < 1e-12);
     }
 
@@ -851,6 +1216,7 @@ mod tests {
             "all units after the first reuse the arena"
         );
         assert!(stats.arena_bytes_peak > 0);
+        assert_eq!(stats.arena_bytes_live, 0, "the last unit freed the arena");
         // A cache hit runs no units and builds nothing new.
         engine.run_job(&j);
         let after = engine.stats();
@@ -866,5 +1232,149 @@ mod tests {
         let r = engine.run_job(&j);
         let served: Vec<f64> = r.slices.iter().map(|s| s.epsilon).collect();
         assert_eq!(served, vec![1.2, 0.3, 0.9]);
+    }
+
+    #[test]
+    fn qos_batch_with_default_policies_matches_run_batch() {
+        let jobs =
+            [job(vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0]), job(vec![0.0, 0.0, 2.0, 0.0, 0.0, 2.0])];
+        let reference =
+            BatchEngine::new(EngineConfig { cache_capacity: 0, ..EngineConfig::default() })
+                .run_batch(&jobs);
+        let engine =
+            BatchEngine::new(EngineConfig { cache_capacity: 0, ..EngineConfig::default() });
+        let outcomes =
+            engine.run_batch_qos(&jobs.iter().cloned().map(JobRequest::new).collect::<Vec<_>>());
+        for (outcome, reference) in outcomes.iter().zip(&reference) {
+            let result = outcome.result().expect("default QoS always completes");
+            for (a, b) in result.features().iter().zip(reference.features()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_request_aborts_without_touching_the_cache() {
+        let engine = BatchEngine::with_defaults();
+        let j = job(vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0]);
+        let qos = QosPolicy::default();
+        qos.cancel_token().cancel();
+        let outcomes = engine.run_batch_qos(&[JobRequest::with_qos(j.clone(), qos)]);
+        assert!(
+            matches!(outcomes[0], JobOutcome::Aborted(AbortReason::Cancelled)),
+            "pre-cancelled request must abort"
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.jobs_cancelled, 1);
+        assert_eq!(stats.units_cancelled, 4, "2 ε × 2 dims all skipped");
+        assert_eq!(stats.units_executed, 0);
+        assert_eq!(stats.arena_bytes_live, 0, "no arena survives an abort");
+        // Nothing was cached: the next run computes from scratch.
+        engine.run_job(&j);
+        assert_eq!(engine.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn expired_deadline_aborts_while_a_live_duplicate_completes() {
+        // Two identical jobs, one with an already-expired deadline: the
+        // computation must stay alive for the healthy duplicate, and
+        // the expired request still gets its own result (abort needs
+        // *all* parties — here the healthy one holds the job open, and
+        // a completed job serves everyone who didn't cancel).
+        let engine = BatchEngine::with_defaults();
+        let j = job(vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0]);
+        let expired =
+            QosPolicy::default().with_deadline(Instant::now() - std::time::Duration::from_secs(1));
+        let outcomes = engine
+            .run_batch_qos(&[JobRequest::with_qos(j.clone(), expired), JobRequest::new(j.clone())]);
+        let healthy = outcomes[1].result().expect("healthy duplicate completes");
+        let via_expired = outcomes[0]
+            .result()
+            .expect("the duplicate kept the job alive, so the ready answer is delivered");
+        assert!(Arc::ptr_eq(healthy, via_expired));
+        assert_eq!(engine.stats().units_cancelled, 0, "no unit was skipped");
+    }
+
+    #[test]
+    fn solo_expired_deadline_is_abandoned_at_the_first_unit() {
+        let engine = BatchEngine::with_defaults();
+        let j = job(vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0]);
+        let expired =
+            QosPolicy::default().with_deadline(Instant::now() - std::time::Duration::from_secs(1));
+        let outcomes = engine.run_batch_qos(&[JobRequest::with_qos(j, expired)]);
+        assert!(matches!(outcomes[0], JobOutcome::Aborted(AbortReason::DeadlineExceeded)));
+        let stats = engine.stats();
+        assert_eq!(stats.jobs_deadline_expired, 1);
+        assert_eq!(stats.units_cancelled, 4);
+        assert_eq!(stats.units_executed, 0);
+    }
+
+    /// Worker windows must never straddle a class boundary, or the
+    /// round-robin would interleave Bulk units among Interactive ones
+    /// and push an express job's tail behind throughput work. Pinned on
+    /// the queue construction itself (pure, scheduling-free).
+    #[test]
+    fn unit_queue_windows_never_straddle_class_boundaries() {
+        // 1 Interactive + 2 Bulk jobs, 4 units each (2 ε × 2 dims),
+        // 2 workers: all Interactive units precede every Bulk unit —
+        // the straddling window [I, B] would emit I, B, I, B, … — and
+        // the Bulk bucket keeps the worker-window interleaving.
+        let classes = [Priority::Bulk, Priority::Interactive, Priority::Bulk];
+        let queue = build_unit_queue(&classes, &[4, 4, 4], &[2, 2, 2], 2);
+        let preps: Vec<usize> = queue.iter().map(|u| u.prep).collect();
+        assert_eq!(preps[..4], [1, 1, 1, 1], "interactive bucket drains first: {preps:?}");
+        assert_eq!(preps[4..], [0, 2, 0, 2, 0, 2, 0, 2], "bulk window round-robin: {preps:?}");
+        // Units within a job stay row-major over (ε, dim).
+        assert_eq!((queue[0].eps, queue[0].dim), (0, 0));
+        assert_eq!((queue[1].eps, queue[1].dim), (0, 1));
+        assert_eq!((queue[2].eps, queue[2].dim), (1, 0));
+
+        // All-Normal reproduces the historical FIFO interleaving:
+        // worker-sized windows over submission order.
+        let fifo = build_unit_queue(&[Priority::Normal; 3], &[4, 4, 4], &[2, 2, 2], 2);
+        let fifo_preps: Vec<usize> = fifo.iter().map(|u| u.prep).collect();
+        assert_eq!(fifo_preps, [0, 1, 0, 1, 0, 1, 0, 1, 2, 2, 2, 2]);
+
+        // Uneven unit counts drain without gaps or duplicates.
+        let ragged = build_unit_queue(&[Priority::Normal, Priority::Normal], &[2, 6], &[2, 2], 2);
+        let mut seen = std::collections::HashSet::new();
+        for u in &ragged {
+            assert!(seen.insert((u.prep, u.eps, u.dim)), "duplicate unit");
+        }
+        assert_eq!(ragged.len(), 8);
+    }
+
+    #[test]
+    fn priority_ordering_moves_interactive_units_first() {
+        // One worker, three jobs in Bulk/Normal/Interactive submission
+        // order: the interleaved unit queue must start with the
+        // interactive job's units. Observed through the streaming sink's
+        // completion order (serial worker ⇒ queue order).
+        let engine = BatchEngine::new(EngineConfig {
+            workers: 1,
+            cache_capacity: 0,
+            ..EngineConfig::default()
+        });
+        let jobs = [
+            JobRequest::with_qos(job(vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0]), QosPolicy::bulk()),
+            JobRequest::with_qos(job(vec![0.0, 0.0, 2.0, 0.0, 0.0, 2.0]), QosPolicy::normal()),
+            JobRequest::with_qos(job(vec![0.0, 0.0, 3.0, 0.0, 0.0, 3.0]), QosPolicy::interactive()),
+        ];
+        let first_done: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        let outcomes = engine.run_batch_streaming_qos(&jobs, &|event| {
+            if let SliceEvent::Slice { job_index, .. } = event {
+                first_done.lock().expect("sink poisoned").push(job_index);
+            }
+        });
+        assert!(outcomes.iter().all(|o| o.result().is_some()));
+        let order = first_done.into_inner().expect("sink poisoned");
+        assert_eq!(order[0], 2, "the interactive job's first slice completes first: {order:?}");
+        assert_eq!(*order.last().expect("slices streamed"), 0, "bulk finishes last: {order:?}");
+        let stats = engine.stats();
+        assert_eq!(
+            (stats.served_interactive, stats.served_normal, stats.served_bulk),
+            (1, 1, 1),
+            "per-class served counts"
+        );
     }
 }

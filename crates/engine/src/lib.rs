@@ -41,6 +41,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![deny(deprecated)]
 #![forbid(unsafe_code)]
 
 pub mod batch;
@@ -50,8 +51,10 @@ pub mod job;
 pub mod seed;
 
 pub use batch::{
-    BatchEngine, EngineConfig, EngineStats, JobResult, SliceEvent, SliceResult, SliceSink,
+    BatchEngine, EngineConfig, EngineStats, JobOutcome, JobRequest, JobResult, SliceEvent,
+    SliceResult, SliceSink,
 };
 pub use cache::LruCache;
 pub use gearbox::{jobs_from_windows, window_to_job, GearboxJobSpec};
 pub use job::BettiJob;
+pub use qtda_core::query::{AbortReason, CancelToken, Priority, QosPolicy};

@@ -8,7 +8,7 @@
 //! * Batch composition, job order and cache state change nothing.
 
 use qtda_core::estimator::{BettiEstimate, EstimatorConfig};
-use qtda_core::pipeline::{estimate_betti_numbers, PipelineConfig};
+use qtda_core::query::BettiRequest;
 use qtda_engine::{BatchEngine, BettiJob, EngineConfig, JobResult};
 use qtda_tda::filtration::Filtration;
 use qtda_tda::persistence::compute_barcode;
@@ -107,17 +107,15 @@ fn every_slice_replays_through_the_single_cloud_pipeline() {
     let results = BatchEngine::with_defaults().run_batch(&jobs);
     for (job, result) in jobs.iter().zip(&results) {
         for slice in &result.slices {
-            let replay = estimate_betti_numbers(
-                &job.cloud,
-                &PipelineConfig {
-                    epsilon: slice.epsilon,
-                    max_homology_dim: job.max_homology_dim,
-                    metric: job.metric,
-                    estimator: EstimatorConfig { seed: slice.seed, ..job.estimator },
-                    sparse_threshold: job.sparse_threshold,
-                    ..PipelineConfig::default()
-                },
-            );
+            let replay = BettiRequest::of_cloud(&job.cloud)
+                .at_scale(slice.epsilon)
+                .max_dim(job.max_homology_dim)
+                .metric(job.metric)
+                .estimator(EstimatorConfig { seed: slice.seed, ..job.estimator })
+                .sparse_threshold(job.sparse_threshold)
+                .build()
+                .run();
+            let replay = replay.single_slice();
             assert_eq!(slice.classical, replay.classical, "ε = {}", slice.epsilon);
             for (engine_est, pipeline_est) in slice.estimates.iter().zip(&replay.estimates) {
                 assert_estimates_identical(

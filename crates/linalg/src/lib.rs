@@ -25,6 +25,7 @@
 //! matrix products switch to [rayon] row-parallel kernels.
 
 #![deny(missing_docs)]
+#![deny(deprecated)]
 #![forbid(unsafe_code)]
 
 pub mod cmatrix;

@@ -6,6 +6,7 @@
 //! feature standardisation and the accuracy/MAE metrics of Table 1.
 
 #![deny(missing_docs)]
+#![deny(deprecated)]
 #![forbid(unsafe_code)]
 
 pub mod dataset;

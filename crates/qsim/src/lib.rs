@@ -32,6 +32,7 @@
 //! * [`draw`] — ASCII circuit rendering for the Fig. 6/7 reproductions.
 
 #![deny(missing_docs)]
+#![deny(deprecated)]
 #![forbid(unsafe_code)]
 
 pub mod circuit;

@@ -58,6 +58,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![deny(deprecated)]
 #![forbid(unsafe_code)]
 
 pub mod dispatch;
@@ -67,7 +68,8 @@ pub mod stats;
 pub mod ticket;
 
 pub use dispatch::{serving_policy, validating_policy, BackendKind, DispatchPolicy};
+pub use qtda_engine::{AbortReason, CancelToken, Priority, QosPolicy};
 pub use queue::SubmitError;
 pub use service::{QtdaService, ServiceConfig};
 pub use stats::ServiceStats;
-pub use ticket::{StreamedSlice, Ticket};
+pub use ticket::{StreamedSlice, Ticket, TicketOutcome};

@@ -1,28 +1,44 @@
 //! The long-lived streaming service: submit from many threads, get
-//! tickets, stream slices.
+//! tickets, stream slices, cancel what you stop caring about.
 //!
 //! One background **batcher** thread owns the serving loop:
 //!
-//! 1. Block for the first queued request.
+//! 1. Block for the first queued request (the submission queue serves
+//!    priority classes with a bounded starvation bypass — see
+//!    [`crate::queue`]). A request cancelled while queued is aborted
+//!    right here — its ticket gets the terminal `Aborted` event and it
+//!    never occupies a micro-batch slot. A deadline-expired request
+//!    still enters its batch: the engine skips its units at the first
+//!    boundary check, but a ready cache hit is delivered for free
+//!    (best-effort deadlines never discard ready answers).
 //! 2. **Linger**: keep gathering requests until the micro-batch reaches
 //!    [`ServiceConfig::max_batch_size`] or the first request has waited
-//!    [`ServiceConfig::max_linger`] — the classic (size, deadline)
-//!    micro-batching policy. Shutdown cuts a linger short.
-//! 3. Hand the micro-batch to the engine's streaming entry point; every
-//!    completed `(job, ε)` slice is forwarded to its ticket the moment
-//!    the engine announces it, and the assembled results follow.
+//!    out the linger deadline — the classic (size, deadline)
+//!    micro-batching policy, made **priority-aware**: the moment the
+//!    batch holds (or the queue offers) an [`Priority::Interactive`]
+//!    request, the linger collapses to zero and the batch closes early.
+//!    Lingering exists to gather company for throughput; an interactive
+//!    request is paying latency for it. Shutdown also cuts a linger
+//!    short.
+//! 3. Hand the micro-batch to the engine's streaming QoS entry point;
+//!    every completed `(job, ε)` slice is forwarded to its ticket the
+//!    moment the engine announces it, aborts forward as terminal
+//!    `Aborted` events, and the assembled outcomes follow.
 //!
 //! Batching amortises exactly what [`BatchEngine`] amortises (in-batch
 //! dedup, parallel `(job, ε, dim)` scheduling), and because every seed
-//! is content-derived, *how* requests get grouped into micro-batches is
-//! unobservable in the results — a job's answer is bit-identical
-//! whether it lingered into a 16-job batch or ran alone. The streaming
-//! determinism test pins this across 1/2/8 workers.
+//! is content-derived, *how* requests get grouped into micro-batches —
+//! and in which priority order their units run — is unobservable in
+//! completed results: a job's answer is bit-identical whether it
+//! lingered into a 16-job batch or ran alone, at any worker count. The
+//! QoS test suite pins this across 1/2/8 workers.
 
-use crate::queue::{BoundedQueue, Request, SubmitError};
+use crate::queue::{Request, SubmissionQueue, SubmitError};
 use crate::stats::{Counters, ServiceStats};
 use crate::ticket::{StreamedSlice, Ticket, TicketEvent};
-use qtda_engine::{BatchEngine, BettiJob, EngineConfig, SliceEvent};
+use qtda_engine::{
+    BatchEngine, BettiJob, EngineConfig, JobOutcome, JobRequest, Priority, QosPolicy, SliceEvent,
+};
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{channel, Sender};
 use std::sync::Arc;
@@ -41,8 +57,9 @@ pub struct ServiceConfig {
     /// Longest the *first* request of a micro-batch may wait for
     /// company before the batch runs regardless of size.
     pub max_linger: Duration,
-    /// Bounded submission-queue capacity; beyond it `try_submit`
-    /// returns [`SubmitError::Overloaded`] and `submit` blocks.
+    /// Bounded submission-queue capacity (shared across priority
+    /// classes); beyond it `try_submit` returns
+    /// [`SubmitError::Overloaded`] and `submit` blocks.
     pub queue_capacity: usize,
     /// Shrink the linger deadline toward zero as the backlog (gathered
     /// batch + queued submissions) approaches the batch size: lingering
@@ -54,6 +71,12 @@ pub struct ServiceConfig {
     /// grouping is unobservable; seeds are content-derived), only
     /// latency.
     pub adaptive_linger: bool,
+    /// Starvation guard for the priority queue: after this many
+    /// consecutive pops that bypassed a waiting lower class, the next
+    /// pop serves the **oldest** passed-over request instead, so Bulk
+    /// (and Normal) work keeps flowing under sustained higher-class
+    /// load. Must be ≥ 1.
+    pub priority_bypass: usize,
 }
 
 impl Default for ServiceConfig {
@@ -64,16 +87,17 @@ impl Default for ServiceConfig {
             max_linger: Duration::from_millis(2),
             queue_capacity: 256,
             adaptive_linger: true,
+            priority_bypass: 4,
         }
     }
 }
 
 /// The streaming Betti-serving service: a [`BatchEngine`] behind a
-/// bounded queue and a deadline micro-batcher, returning a [`Ticket`]
-/// per submission.
+/// bounded three-class priority queue and a deadline micro-batcher,
+/// returning a [`Ticket`] per submission.
 pub struct QtdaService {
     engine: Arc<BatchEngine>,
-    queue: Arc<BoundedQueue>,
+    queue: Arc<SubmissionQueue>,
     counters: Arc<Counters>,
     batcher: Option<JoinHandle<()>>,
 }
@@ -84,7 +108,7 @@ impl QtdaService {
     pub fn new(config: ServiceConfig) -> Self {
         assert!(config.max_batch_size >= 1, "micro-batches need at least one job");
         let engine = Arc::new(BatchEngine::new(config.engine));
-        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let queue = Arc::new(SubmissionQueue::new(config.queue_capacity, config.priority_bypass));
         let counters = Arc::new(Counters::default());
         let batcher = {
             let engine = Arc::clone(&engine);
@@ -103,12 +127,21 @@ impl QtdaService {
         Self::new(ServiceConfig::default())
     }
 
-    /// Submits a job, blocking while the queue is full (backpressure by
-    /// waiting). Fails only during shutdown.
+    /// Submits a job under the default QoS (Normal class, no deadline),
+    /// blocking while the queue is full (backpressure by waiting).
+    /// Fails only during shutdown.
     pub fn submit(&self, job: BettiJob) -> Result<Ticket, SubmitError> {
-        let (request, ticket) = self.make_request(job);
+        self.submit_with(job, QosPolicy::default())
+    }
+
+    /// Submits a job under an explicit [`QosPolicy`] — priority class,
+    /// optional deadline, cancellation (also reachable later through
+    /// [`Ticket::cancel`]). Blocks while the queue is full.
+    pub fn submit_with(&self, job: BettiJob, qos: QosPolicy) -> Result<Ticket, SubmitError> {
+        let (request, ticket) = self.make_request(job, qos);
+        let priority = request.qos.priority;
         self.queue.push_blocking(request)?;
-        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        self.counters.record_submit(priority);
         Ok(ticket)
     }
 
@@ -116,10 +149,16 @@ impl QtdaService {
     /// job straight back when the bounded queue is full — the caller
     /// decides whether to retry, shed, or block via [`Self::submit`].
     pub fn try_submit(&self, job: BettiJob) -> Result<Ticket, SubmitError> {
-        let (request, ticket) = self.make_request(job);
+        self.try_submit_with(job, QosPolicy::default())
+    }
+
+    /// [`Self::submit_with`] without blocking.
+    pub fn try_submit_with(&self, job: BettiJob, qos: QosPolicy) -> Result<Ticket, SubmitError> {
+        let (request, ticket) = self.make_request(job, qos);
+        let priority = request.qos.priority;
         match self.queue.try_push(request) {
             Ok(()) => {
-                self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                self.counters.record_submit(priority);
                 Ok(ticket)
             }
             Err(err) => {
@@ -131,13 +170,14 @@ impl QtdaService {
         }
     }
 
-    fn make_request(&self, job: BettiJob) -> (Request, Ticket) {
+    fn make_request(&self, job: BettiJob, qos: QosPolicy) -> (Request, Ticket) {
         let (tx, rx) = channel();
-        let request = Request { job, tx, accepted_at: Instant::now() };
-        (request, Ticket { rx, result: None })
+        let cancel = qos.cancel_token();
+        let request = Request { job, qos, tx, accepted_at: Instant::now() };
+        (request, Ticket { rx, outcome: None, cancel })
     }
 
-    /// The engine behind the service (for its cache/dedup/unit
+    /// The engine behind the service (for its cache/dedup/unit/QoS
     /// counters; the engine's cache persists across micro-batches).
     pub fn engine(&self) -> &BatchEngine {
         &self.engine
@@ -154,8 +194,8 @@ impl QtdaService {
     }
 
     /// Stops accepting work, **drains** everything already accepted
-    /// (every outstanding ticket still completes), and joins the
-    /// batcher thread.
+    /// (every outstanding ticket still resolves — completed or
+    /// aborted), and joins the batcher thread.
     pub fn shutdown(mut self) {
         self.shutdown_in_place();
     }
@@ -185,7 +225,7 @@ impl Drop for QtdaService {
 /// parked in `push_blocking` (and all future submitters) must observe
 /// `ShuttingDown` instead of waiting on a queue nobody will ever pop
 /// again.
-struct CloseOnExit<'a>(&'a BoundedQueue);
+struct CloseOnExit<'a>(&'a SubmissionQueue);
 
 impl Drop for CloseOnExit<'_> {
     fn drop(&mut self) {
@@ -197,20 +237,35 @@ impl Drop for CloseOnExit<'_> {
 /// drained.
 fn batcher_loop(
     engine: &BatchEngine,
-    queue: &BoundedQueue,
+    queue: &SubmissionQueue,
     counters: &Counters,
     config: ServiceConfig,
 ) {
     let _close_on_exit = CloseOnExit(queue);
     while let Some(first) = queue.pop_blocking() {
         let accepted_at = first.accepted_at;
-        let mut batch = vec![first];
+        let mut batch = Vec::with_capacity(config.max_batch_size);
+        if !abort_if_dead(&first, counters) {
+            batch.push(first);
+        }
+        // Gather while the batch is short of its size cap. An empty
+        // `batch` (first request dead on arrival) keeps gathering with
+        // the dead request's clock — bounded and simple; the next loop
+        // iteration re-anchors.
         while batch.len() < config.max_batch_size {
             // Re-derive the deadline as the batch fills: the backlog
             // (batch + queue) only grows, so the adaptive linger is
             // monotone non-increasing and a deep backlog dispatches
-            // without waiting out the full deadline.
-            let linger = if config.adaptive_linger {
+            // without waiting out the full deadline. An interactive
+            // request anywhere in the batch (or already waiting in the
+            // queue) zeroes it outright: express traffic never waits
+            // for company it does not need.
+            let interactive =
+                batch.iter().any(|r: &Request| r.qos.priority == Priority::Interactive)
+                    || queue.interactive_waiting();
+            let linger = if interactive {
+                Duration::ZERO
+            } else if config.adaptive_linger {
                 effective_linger(
                     config.max_linger,
                     batch.len() + queue.len(),
@@ -220,27 +275,72 @@ fn batcher_loop(
                 config.max_linger
             };
             match queue.pop_until(accepted_at + linger) {
-                Some(request) => batch.push(request),
+                Some(request) => {
+                    if !abort_if_dead(&request, counters) {
+                        batch.push(request);
+                    }
+                }
                 None => break,
             }
         }
+        if batch.is_empty() {
+            continue;
+        }
         counters.record_batch(batch.len() as u64);
 
-        let jobs: Vec<BettiJob> = batch.iter().map(|r| r.job.clone()).collect();
+        let requests: Vec<JobRequest> =
+            batch.iter().map(|r| JobRequest { job: r.job.clone(), qos: r.qos.clone() }).collect();
         let senders: Vec<Sender<TicketEvent>> = batch.into_iter().map(|r| r.tx).collect();
-        // Stream every slice to its ticket as the engine announces it.
+        // Stream every slice to its ticket as the engine announces it;
+        // engine-side aborts forward as terminal events immediately.
         // A send only fails when the consumer dropped the ticket —
         // results are simply discarded then, like any lost interest.
-        let results = engine.run_batch_streaming(&jobs, &|event: SliceEvent| {
-            let slice = StreamedSlice { slice_index: event.slice_index, result: event.result };
-            let _ = senders[event.job_index].send(TicketEvent::Slice(slice));
-        });
-        for (sender, result) in senders.iter().zip(results) {
-            // Count before sending: a consumer that observes `Done` must
-            // never read a `completed` counter that excludes its job.
-            counters.completed.fetch_add(1, Ordering::Relaxed);
-            let _ = sender.send(TicketEvent::Done(result));
+        let outcomes =
+            engine.run_batch_streaming_qos(&requests, &|event: SliceEvent| match event {
+                SliceEvent::Slice { job_index, slice_index, result } => {
+                    let slice = StreamedSlice { slice_index, result };
+                    let _ = senders[job_index].send(TicketEvent::Slice(slice));
+                }
+                SliceEvent::Aborted { job_index, reason } => {
+                    let _ = senders[job_index].send(TicketEvent::Aborted(reason));
+                }
+            });
+        for (sender, outcome) in senders.iter().zip(outcomes) {
+            // Count before sending: a consumer that observes a terminal
+            // event must never read a counter that excludes its job.
+            match outcome {
+                JobOutcome::Completed(result) => {
+                    counters.completed.fetch_add(1, Ordering::Relaxed);
+                    let _ = sender.send(TicketEvent::Done(result));
+                }
+                JobOutcome::Aborted(reason) => {
+                    counters.record_abort(reason);
+                    // Possibly a duplicate of the engine's streamed
+                    // abort — the ticket keeps the first terminal event.
+                    let _ = sender.send(TicketEvent::Aborted(reason));
+                }
+            }
         }
+    }
+}
+
+/// Aborts a request cancelled while queued by sending the terminal
+/// event directly — it never occupies a micro-batch slot. Returns
+/// `true` when the request was aborted (and must not be batched).
+///
+/// Only **cancellation** is final here. A deadline-expired request
+/// still flows into a micro-batch: the engine skips its units at the
+/// first boundary check (no compute is wasted), but an answer already
+/// sitting in the LRU cache is delivered for free — the same
+/// "best-effort deadline never discards a ready answer" semantics the
+/// engine implements, kept uniform across layers.
+fn abort_if_dead(request: &Request, counters: &Counters) -> bool {
+    if request.qos.cancel.is_cancelled() {
+        counters.record_abort(qtda_engine::AbortReason::Cancelled);
+        let _ = request.tx.send(TicketEvent::Aborted(qtda_engine::AbortReason::Cancelled));
+        true
+    } else {
+        false
     }
 }
 

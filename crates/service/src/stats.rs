@@ -1,29 +1,44 @@
 //! Serving counters for the streaming front-end.
 //!
 //! [`ServiceStats`] is a point-in-time snapshot of the service's own
-//! monotone counters — submissions, rejections, micro-batch shapes —
+//! monotone counters — submissions (total and per priority class),
+//! rejections, micro-batch shapes, completions, and aborts —
 //! complementing the engine-level
-//! [`EngineStats`](qtda_engine::EngineStats) (cache, dedup, units)
-//! available through `QtdaService::engine().stats()`.
+//! [`EngineStats`](qtda_engine::EngineStats) (cache, dedup, units,
+//! per-class served counts) available through
+//! `QtdaService::engine().stats()`.
 
+use qtda_engine::{AbortReason, Priority};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A snapshot of the service's serving counters.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ServiceStats {
-    /// Jobs accepted into the submission queue.
+    /// Jobs accepted into the submission queue (all classes).
     pub submitted: u64,
+    /// Jobs accepted in the `Interactive` class.
+    pub submitted_interactive: u64,
+    /// Jobs accepted in the `Normal` class.
+    pub submitted_normal: u64,
+    /// Jobs accepted in the `Bulk` class.
+    pub submitted_bulk: u64,
     /// `try_submit` calls refused with `Overloaded` (backpressure).
     pub rejected_overloaded: u64,
     /// Micro-batches handed to the engine.
     pub batches_formed: u64,
     /// Jobs across all micro-batches (≤ `submitted`; the rest are
-    /// queued or in flight).
+    /// queued, in flight, or were aborted before batching).
     pub jobs_batched: u64,
     /// Largest micro-batch formed so far.
     pub largest_batch: u64,
     /// Jobs fully served (final result delivered to their ticket).
     pub completed: u64,
+    /// Jobs terminated by cancellation — whether while queued or
+    /// mid-computation.
+    pub cancelled: u64,
+    /// Jobs terminated by an expired deadline — whether while queued or
+    /// mid-computation.
+    pub deadline_expired: u64,
 }
 
 impl ServiceStats {
@@ -35,34 +50,59 @@ impl ServiceStats {
             self.jobs_batched as f64 / self.batches_formed as f64
         }
     }
+
+    /// Jobs that reached a terminal state (completed or aborted).
+    pub fn resolved(&self) -> u64 {
+        self.completed + self.cancelled + self.deadline_expired
+    }
 }
 
 /// The live atomics behind [`ServiceStats`].
 #[derive(Debug, Default)]
 pub(crate) struct Counters {
     pub submitted: AtomicU64,
+    pub submitted_by_class: [AtomicU64; 3],
     pub rejected_overloaded: AtomicU64,
     pub batches_formed: AtomicU64,
     pub jobs_batched: AtomicU64,
     pub largest_batch: AtomicU64,
     pub completed: AtomicU64,
+    pub cancelled: AtomicU64,
+    pub deadline_expired: AtomicU64,
 }
 
 impl Counters {
+    pub fn record_submit(&self, priority: Priority) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.submitted_by_class[priority.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn record_batch(&self, size: u64) {
         self.batches_formed.fetch_add(1, Ordering::Relaxed);
         self.jobs_batched.fetch_add(size, Ordering::Relaxed);
         self.largest_batch.fetch_max(size, Ordering::Relaxed);
     }
 
+    pub fn record_abort(&self, reason: AbortReason) {
+        match reason {
+            AbortReason::Cancelled => self.cancelled.fetch_add(1, Ordering::Relaxed),
+            AbortReason::DeadlineExceeded => self.deadline_expired.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
     pub fn snapshot(&self) -> ServiceStats {
         ServiceStats {
             submitted: self.submitted.load(Ordering::Relaxed),
+            submitted_interactive: self.submitted_by_class[0].load(Ordering::Relaxed),
+            submitted_normal: self.submitted_by_class[1].load(Ordering::Relaxed),
+            submitted_bulk: self.submitted_by_class[2].load(Ordering::Relaxed),
             rejected_overloaded: self.rejected_overloaded.load(Ordering::Relaxed),
             batches_formed: self.batches_formed.load(Ordering::Relaxed),
             jobs_batched: self.jobs_batched.load(Ordering::Relaxed),
             largest_batch: self.largest_batch.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
         }
     }
 }
@@ -83,5 +123,24 @@ mod tests {
         assert_eq!(s.largest_batch, 6);
         assert!((s.mean_batch_size() - 4.0).abs() < 1e-12);
         assert_eq!(ServiceStats::default().mean_batch_size(), 0.0);
+    }
+
+    #[test]
+    fn submissions_and_aborts_count_per_class_and_reason() {
+        let c = Counters::default();
+        c.record_submit(Priority::Interactive);
+        c.record_submit(Priority::Interactive);
+        c.record_submit(Priority::Normal);
+        c.record_submit(Priority::Bulk);
+        c.record_abort(AbortReason::Cancelled);
+        c.record_abort(AbortReason::DeadlineExceeded);
+        c.record_abort(AbortReason::DeadlineExceeded);
+        c.completed.fetch_add(1, Ordering::Relaxed);
+        let s = c.snapshot();
+        assert_eq!(s.submitted, 4);
+        assert_eq!((s.submitted_interactive, s.submitted_normal, s.submitted_bulk), (2, 1, 1));
+        assert_eq!(s.cancelled, 1);
+        assert_eq!(s.deadline_expired, 2);
+        assert_eq!(s.resolved(), 4);
     }
 }

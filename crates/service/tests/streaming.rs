@@ -305,6 +305,7 @@ fn deep_queues_dispatch_without_waiting_out_the_full_deadline() {
             max_linger,
             queue_capacity: 64,
             adaptive_linger: adaptive,
+            ..ServiceConfig::default()
         });
         let start = Instant::now();
         let blocker_ticket = service.submit(blocker.clone()).expect("accepting");

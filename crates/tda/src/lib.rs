@@ -28,6 +28,7 @@
 //!   a working extension and as an independent check on Betti numbers).
 
 #![deny(missing_docs)]
+#![deny(deprecated)]
 #![forbid(unsafe_code)]
 
 pub mod betti;

@@ -10,7 +10,7 @@
 //! Run with: `cargo run --release --example batched_gearbox`
 
 use qtda::core::estimator::EstimatorConfig;
-use qtda::core::pipeline::{estimate_betti_numbers, PipelineConfig};
+use qtda::core::query::BettiRequest;
 use qtda::data::gearbox::GearboxConfig;
 use qtda::data::windows::sliding_window_stream;
 use qtda::engine::{jobs_from_windows, BatchEngine, EngineConfig, GearboxJobSpec};
@@ -76,6 +76,16 @@ fn main() {
         stats.slices_assembled_incrementally,
         stats.arena_bytes_peak as f64 / 1024.0,
     );
+    println!(
+        "qos stats  : served {} interactive / {} normal / {} bulk | {} units cancelled, \
+         {} jobs cancelled, {} deadline-expired",
+        stats.served_interactive,
+        stats.served_normal,
+        stats.served_bulk,
+        stats.units_cancelled,
+        stats.jobs_cancelled,
+        stats.jobs_deadline_expired,
+    );
 
     // Mean per-class features at the middle scale: the fault scatters
     // the attractor, which the Betti features pick up.
@@ -100,19 +110,19 @@ fn main() {
     // at the slice's published seed, bit for bit.
     let job = &requests[0];
     let slice = &results[0].slices[mid];
-    let replay = estimate_betti_numbers(
-        &job.cloud,
-        &PipelineConfig {
-            epsilon: slice.epsilon,
-            max_homology_dim: job.max_homology_dim,
-            metric: job.metric,
-            estimator: EstimatorConfig { seed: slice.seed, ..job.estimator },
-            sparse_threshold: job.sparse_threshold,
-            ..PipelineConfig::default()
-        },
-    );
-    let identical =
-        slice.features().iter().zip(replay.features()).all(|(a, b)| a.to_bits() == b.to_bits());
+    let replay = BettiRequest::of_cloud(&job.cloud)
+        .at_scale(slice.epsilon)
+        .max_dim(job.max_homology_dim)
+        .metric(job.metric)
+        .estimator(EstimatorConfig { seed: slice.seed, ..job.estimator })
+        .sparse_threshold(job.sparse_threshold)
+        .build()
+        .run();
+    let identical = slice
+        .features()
+        .iter()
+        .zip(replay.single_slice().features())
+        .all(|(a, b)| a.to_bits() == b.to_bits());
     println!(
         "replay of job 0 @ ε = {:.2} with seed {:#x}: bit-identical = {identical}",
         slice.epsilon, slice.seed

@@ -7,7 +7,8 @@
 //! ```
 
 use qtda::core::estimator::EstimatorConfig;
-use qtda::core::pipeline::{estimate_betti_numbers, PipelineConfig};
+use qtda::core::pipeline::PipelineConfig;
+use qtda::core::query::BettiRequest;
 use qtda::tda::point_cloud::synthetic;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -32,13 +33,15 @@ fn main() {
             },
             ..PipelineConfig::default()
         };
-        let result = estimate_betti_numbers(&cloud, &config);
+        let output = BettiRequest::of_cloud(&cloud).configured(&config).build().run();
+        let complex = output.complex.as_ref().expect("single-scale query builds the complex");
+        let result = output.single_slice();
         println!("— {name} ({} points, ε = {epsilon}) —", cloud.len());
         println!(
             "  complex: {} vertices, {} edges, {} triangles",
-            result.complex.count(0),
-            result.complex.count(1),
-            result.complex.count(2)
+            complex.count(0),
+            complex.count(1),
+            complex.count(2)
         );
         println!("  classical β = {:?}", result.classical);
         println!(

@@ -10,7 +10,8 @@
 //! ```
 
 use qtda::core::estimator::EstimatorConfig;
-use qtda::core::pipeline::{estimate_betti_numbers, PipelineConfig};
+use qtda::core::pipeline::PipelineConfig;
+use qtda::core::query::BettiRequest;
 use qtda::data::gearbox::GearboxConfig;
 use qtda::data::windows::{balanced_windows, WINDOW_LEN};
 use qtda::ml::dataset::Dataset;
@@ -53,7 +54,14 @@ fn main() {
             },
             ..PipelineConfig::default()
         };
-        features.push(estimate_betti_numbers(&cloud, &config).features());
+        features.push(
+            BettiRequest::of_cloud(&cloud)
+                .configured(&config)
+                .build()
+                .run()
+                .single_slice()
+                .features(),
+        );
         labels.push(w.label);
     }
 

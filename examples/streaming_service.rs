@@ -1,13 +1,17 @@
-//! Streaming gearbox serving through `qtda-service`.
+//! Streaming gearbox serving through `qtda-service`, with QoS.
 //!
 //! The paper's §5 workload as it actually arrives in production: a
 //! producer thread submits sliding-window jobs one at a time (no
 //! pre-assembled batch), the service gathers them into deadline
 //! micro-batches over its `BatchEngine`, and the consumer prints each
 //! window's per-ε slices **as they complete** — before the micro-batch,
-//! let alone the whole stream, has finished. At the end: the service's
-//! micro-batch shapes, the engine's cache/unit counters, and the
-//! submit → stream → shutdown lifecycle.
+//! let alone the whole stream, has finished. Mixed in: an
+//! `Interactive` probe (closes its micro-batch early), a `Bulk`
+//! re-analysis job (yields the queue, still completes), and a window
+//! cancelled mid-stream (`Ticket::cancel` → `Aborted`, arena freed,
+//! cache untouched). At the end: the service's micro-batch shapes and
+//! abort counters, the engine's cache/unit/QoS counters, and the
+//! submit → stream → cancel → shutdown lifecycle.
 //!
 //! Run with: `cargo run --release --example streaming_service`
 
@@ -15,7 +19,7 @@ use qtda::core::estimator::EstimatorConfig;
 use qtda::data::gearbox::GearboxConfig;
 use qtda::data::windows::sliding_window_stream;
 use qtda::engine::{window_to_job, EngineConfig, GearboxJobSpec};
-use qtda::service::{QtdaService, ServiceConfig};
+use qtda::service::{QosPolicy, QtdaService, ServiceConfig, TicketOutcome};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
@@ -38,13 +42,32 @@ fn main() {
     });
 
     let start = Instant::now();
+    // The steady stream arrives in the Normal class; every fourth
+    // window is a Bulk backfill (it yields the queue but the bounded
+    // bypass keeps it flowing).
     let tickets: Vec<_> = windows
         .iter()
-        .map(|w| {
+        .enumerate()
+        .map(|(i, w)| {
             std::thread::sleep(Duration::from_millis(1)); // arrival spacing
-            service.submit(window_to_job(&w.samples, &spec)).expect("service accepts while open")
+            let qos = if i % 4 == 3 { QosPolicy::bulk() } else { QosPolicy::normal() };
+            service
+                .submit_with(window_to_job(&w.samples, &spec), qos)
+                .expect("service accepts while open")
         })
         .collect();
+    // An interactive probe jumps the queue and closes its micro-batch
+    // early instead of lingering for company.
+    let probe = service
+        .submit_with(window_to_job(&windows[0].samples, &spec), QosPolicy::interactive())
+        .expect("service accepts while open");
+
+    // The last window's consumer loses interest immediately and
+    // cancels — pending units are skipped, any arena freed, and
+    // nothing partial enters the cache.
+    let cancel_index = windows.len() - 1;
+    tickets[cancel_index].cancel();
+    println!("window {cancel_index:2} cancelled right after submission");
 
     // Consume: slices stream per ticket as their units complete.
     for (i, (window, mut ticket)) in windows.iter().zip(tickets).enumerate() {
@@ -59,22 +82,34 @@ fn main() {
                 slice.result.rounded(),
             );
         }
-        let result = ticket.wait();
-        println!(
-            "window {i:2} ({label}) complete: {} slices, first streamed at {:.1?}",
-            result.slices.len(),
-            first_slice_at.expect("every job has slices"),
-        );
+        match ticket.outcome() {
+            TicketOutcome::Completed(result) => println!(
+                "window {i:2} ({label}) complete: {} slices, first streamed at {:.1?}",
+                result.slices.len(),
+                first_slice_at.expect("every job has slices"),
+            ),
+            TicketOutcome::Aborted(reason) => {
+                println!("window {i:2} ({label}) aborted: {reason}")
+            }
+        }
     }
+    let probe_result = probe.wait();
+    println!("interactive probe: {} slices (query-jumping class)", probe_result.slices.len());
 
     let stats = service.stats();
     println!(
-        "\nservice: {} submitted over {} micro-batches (mean {:.1}, largest {}), {} completed",
+        "\nservice: {} submitted ({} interactive / {} normal / {} bulk) over {} micro-batches \
+         (mean {:.1}, largest {}), {} completed, {} cancelled, {} deadline-expired",
         stats.submitted,
+        stats.submitted_interactive,
+        stats.submitted_normal,
+        stats.submitted_bulk,
         stats.batches_formed,
         stats.mean_batch_size(),
         stats.largest_batch,
         stats.completed,
+        stats.cancelled,
+        stats.deadline_expired,
     );
     let engine = service.engine().stats();
     println!(
@@ -84,6 +119,17 @@ fn main() {
         engine.cache_hits,
         engine.cache_misses,
         engine.computed_jobs,
+    );
+    println!(
+        "qos    : served {} interactive / {} normal / {} bulk | {} units cancelled, \
+         {} jobs cancelled, {} deadline-expired | {} arena bytes live after aborts",
+        engine.served_interactive,
+        engine.served_normal,
+        engine.served_bulk,
+        engine.units_cancelled,
+        engine.jobs_cancelled,
+        engine.jobs_deadline_expired,
+        engine.arena_bytes_live,
     );
 
     // Shutdown drains anything still queued, then joins the batcher.

@@ -45,6 +45,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![deny(deprecated)]
 #![forbid(unsafe_code)]
 
 pub use qtda_core as core;

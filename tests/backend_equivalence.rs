@@ -8,7 +8,8 @@ use qtda::core::backend::{
 };
 use qtda::core::estimator::{BettiEstimator, EstimatorConfig};
 use qtda::core::padding::{pad_laplacian, PaddingScheme};
-use qtda::core::pipeline::{estimate_betti_numbers, PipelineConfig};
+use qtda::core::pipeline::PipelineConfig;
+use qtda::core::query::BettiRequest;
 use qtda::core::scaling::{rescale, Delta};
 use qtda::core::spectrum::PaddedSpectrum;
 use qtda::linalg::CsrMatrix;
@@ -150,12 +151,16 @@ fn sparse_pipeline_equals_dense_pipeline_on_known_topologies() {
             },
             ..Default::default()
         };
-        let dense = estimate_betti_numbers(
-            &cloud,
-            &PipelineConfig { sparse_threshold: usize::MAX, ..base },
-        );
-        let sparse =
-            estimate_betti_numbers(&cloud, &PipelineConfig { sparse_threshold: 0, ..base });
+        let dense = BettiRequest::of_cloud(&cloud)
+            .configured(&PipelineConfig { sparse_threshold: usize::MAX, ..base })
+            .build()
+            .run();
+        let dense = dense.single_slice();
+        let sparse = BettiRequest::of_cloud(&cloud)
+            .configured(&PipelineConfig { sparse_threshold: 0, ..base })
+            .build()
+            .run();
+        let sparse = sparse.single_slice();
         assert_eq!(dense.classical, sparse.classical, "{name}: classical routes disagree");
         assert_eq!(dense.rounded(), sparse.rounded(), "{name}: rounded β̃ disagree");
         for (k, (d, s)) in dense.estimates.iter().zip(&sparse.estimates).enumerate() {

@@ -3,7 +3,8 @@
 //! the public-surface version a downstream user would write).
 
 use qtda::core::estimator::EstimatorConfig;
-use qtda::core::pipeline::{estimate_betti_numbers, PipelineConfig};
+use qtda::core::pipeline::PipelineConfig;
+use qtda::core::query::BettiRequest;
 use qtda::data::embedding::features_to_point_cloud;
 use qtda::data::gearbox::{GearboxConfig, GearboxState};
 use qtda::data::windows::feature_dataset;
@@ -24,9 +25,8 @@ fn betti_features(raw: &[Vec<f64>], epsilon: f64, seed: u64) -> Vec<Vec<f64>> {
         .map(|(i, row)| {
             let scaled: Vec<f64> = row.iter().map(|v| v * 2.0).collect();
             let cloud = features_to_point_cloud(&scaled);
-            estimate_betti_numbers(
-                &cloud,
-                &PipelineConfig {
+            BettiRequest::of_cloud(&cloud)
+                .configured(&PipelineConfig {
                     epsilon,
                     max_homology_dim: 1,
                     estimator: EstimatorConfig {
@@ -36,9 +36,11 @@ fn betti_features(raw: &[Vec<f64>], epsilon: f64, seed: u64) -> Vec<Vec<f64>> {
                         ..EstimatorConfig::default()
                     },
                     ..PipelineConfig::default()
-                },
-            )
-            .features()
+                })
+                .build()
+                .run()
+                .single_slice()
+                .features()
         })
         .collect()
 }
@@ -84,9 +86,8 @@ fn healthy_and_faulty_clouds_differ_topologically() {
             .map(|row| {
                 let scaled: Vec<f64> = row.iter().map(|v| v * 2.0).collect();
                 let cloud = features_to_point_cloud(&scaled);
-                estimate_betti_numbers(
-                    &cloud,
-                    &PipelineConfig {
+                BettiRequest::of_cloud(&cloud)
+                    .configured(&PipelineConfig {
                         epsilon: 4.5,
                         max_homology_dim: 0,
                         estimator: EstimatorConfig {
@@ -96,9 +97,11 @@ fn healthy_and_faulty_clouds_differ_topologically() {
                             ..EstimatorConfig::default()
                         },
                         ..PipelineConfig::default()
-                    },
-                )
-                .features()[0]
+                    })
+                    .build()
+                    .run()
+                    .single_slice()
+                    .features()[0]
             })
             .sum::<f64>()
             / 12.0
@@ -126,9 +129,8 @@ fn estimated_features_track_actual_features() {
         let cloud = features_to_point_cloud(&scaled);
         let complex = rips_complex(&cloud, &RipsParams::new(4.5, 2));
         let actual = betti_numbers(&complex);
-        let estimated = estimate_betti_numbers(
-            &cloud,
-            &PipelineConfig {
+        let estimated = BettiRequest::of_cloud(&cloud)
+            .configured(&PipelineConfig {
                 epsilon: 4.5,
                 max_homology_dim: 1,
                 estimator: EstimatorConfig {
@@ -138,11 +140,12 @@ fn estimated_features_track_actual_features() {
                     ..EstimatorConfig::default()
                 },
                 ..PipelineConfig::default()
-            },
-        );
+            })
+            .build()
+            .run();
         for k in 0..=1usize {
             let a = actual.get(k).copied().unwrap_or(0) as f64;
-            let e = estimated.features()[k];
+            let e = estimated.single_slice().features()[k];
             total_err += (a - e).abs();
             count += 1;
         }

@@ -4,7 +4,8 @@
 //! quantum estimate.
 
 use qtda::core::estimator::EstimatorConfig;
-use qtda::core::pipeline::{estimate_betti_numbers, PipelineConfig};
+use qtda::core::pipeline::PipelineConfig;
+use qtda::core::query::BettiRequest;
 use qtda::tda::betti::betti_numbers;
 use qtda::tda::filtration::Filtration;
 use qtda::tda::persistence::compute_barcode;
@@ -29,38 +30,39 @@ fn circle_all_four_routes_agree() {
     let barcode = compute_barcode(&Filtration::rips(&cloud, 1.2, 2, Metric::Euclidean));
     let from_barcode = [barcode.betti_at(0, epsilon), barcode.betti_at(1, epsilon)];
 
-    let result = estimate_betti_numbers(
-        &cloud,
-        &PipelineConfig {
+    let result = BettiRequest::of_cloud(&cloud)
+        .configured(&PipelineConfig {
             epsilon,
             max_homology_dim: 1,
             estimator: high_fidelity(7),
             ..PipelineConfig::default()
-        },
-    );
+        })
+        .build()
+        .run();
 
     assert_eq!(classical[0], 1);
     assert_eq!(classical[1], 1);
     assert_eq!(from_barcode[0], classical[0]);
     assert_eq!(from_barcode[1], classical[1]);
-    assert_eq!(result.rounded(), classical);
+    assert_eq!(result.single_slice().rounded(), classical);
 }
 
 #[test]
 fn figure_eight_has_two_loops_everywhere() {
     let mut rng = StdRng::seed_from_u64(102);
     let cloud = synthetic::figure_eight(12, 1.0, 0.0, &mut rng);
-    let result = estimate_betti_numbers(
-        &cloud,
-        &PipelineConfig {
+    let result = BettiRequest::of_cloud(&cloud)
+        .configured(&PipelineConfig {
             epsilon: 0.55,
             max_homology_dim: 1,
             estimator: high_fidelity(8),
             ..PipelineConfig::default()
-        },
-    );
-    assert_eq!(result.classical[1], 2);
-    assert_eq!(result.rounded()[1], 2);
+        })
+        .build()
+        .run();
+    let slice = result.single_slice();
+    assert_eq!(slice.classical[1], 2);
+    assert_eq!(slice.rounded()[1], 2);
 }
 
 #[test]
@@ -69,17 +71,18 @@ fn epsilon_sweep_tracks_connectivity() {
     let mut rng = StdRng::seed_from_u64(103);
     let cloud = synthetic::two_clusters(6, 4.0, 0.35, &mut rng);
     let run = |eps: f64| {
-        estimate_betti_numbers(
-            &cloud,
-            &PipelineConfig {
+        BettiRequest::of_cloud(&cloud)
+            .configured(&PipelineConfig {
                 epsilon: eps,
                 max_homology_dim: 0,
                 estimator: high_fidelity(9),
                 ..PipelineConfig::default()
-            },
-        )
+            })
+            .build()
+            .run()
     };
-    let estimates: Vec<_> = [0.01, 1.2, 6.0].iter().map(|&eps| run(eps)).collect();
+    let estimates: Vec<_> =
+        [0.01, 1.2, 6.0].iter().map(|&eps| run(eps).single_slice().clone()).collect();
     // Every estimate matches its classical count…
     for r in &estimates {
         assert_eq!(r.rounded()[0], r.classical[0]);
@@ -102,8 +105,9 @@ fn estimates_respect_euler_characteristic_shape() {
         estimator: high_fidelity(10),
         ..PipelineConfig::default()
     };
-    let result = estimate_betti_numbers(&cloud, &config);
-    let complex = &result.complex;
+    let result = BettiRequest::of_cloud(&cloud).configured(&config).build().run();
+    let slice = result.single_slice();
+    let complex = result.complex.as_ref().expect("single-scale cloud query");
     // Build complex at max_dim 3 = max_homology_dim + 1 — for χ we need
     // every dimension present in the complex itself.
     let chi: i64 = (0..=complex.max_dim().unwrap())
@@ -116,7 +120,7 @@ fn estimates_respect_euler_characteristic_shape() {
             }
         })
         .sum();
-    let betti_chi: i64 = result
+    let betti_chi: i64 = slice
         .classical
         .iter()
         .enumerate()
@@ -126,6 +130,6 @@ fn estimates_respect_euler_characteristic_shape() {
     // above max_homology_dim; verify and then check the estimates match
     // the classical values.
     if chi == betti_chi {
-        assert_eq!(result.rounded(), result.classical);
+        assert_eq!(slice.rounded(), slice.classical);
     }
 }
