@@ -45,9 +45,72 @@ use qtda_tda::point_cloud::{Metric, PointCloud};
 use qtda_tda::rips::{rips_complex, RipsParams};
 use qtda_tda::SimplicialComplex;
 use rayon::prelude::*;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Cross-unit spectrum sharing
+// ---------------------------------------------------------------------
+
+/// A cross-unit cache of sparse-route [`PaddedSpectrum`]s, deduplicating
+/// the full Lanczos decompositions of `(ε, dim)` units whose Laplacians
+/// are **the same arena prefix**.
+///
+/// Along an ε-grid, consecutive scales frequently activate no new
+/// `dim`-simplices, so their Δ_k at those scales are bit-identical
+/// prefixes of the filtration arena — yet each unit would re-run the
+/// (dominant) full-spectrum decomposition. Units key the cache by
+/// `(k, |S_k|, triplets_at(k, ε))`: within one arena that triple pins
+/// the exact triplet prefix, hence the exact matrix. The spectrum is a
+/// pure function of that matrix and the (request-constant) estimator
+/// parameters, so a cache hit returns the **bit-identical** spectrum
+/// the unit would have computed — sharing can change cost, never
+/// results, regardless of worker count or hit/miss timing.
+///
+/// Scope one share per (arena, estimator config) context: grid sweeps
+/// create one automatically per [`Query::run`]; the batch engine keeps
+/// one per job so the many units sharing a job's arena coalesce. Do
+/// **not** reuse a share across different arenas or estimator configs.
+#[derive(Debug, Default)]
+pub struct SpectrumShare {
+    map: Mutex<HashMap<(usize, usize, usize), Arc<PaddedSpectrum>>>,
+}
+
+impl SpectrumShare {
+    /// An empty share.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The spectrum under `key`, computing (outside the lock, so
+    /// concurrent misses on different keys don't serialise) and
+    /// inserting on miss. A racing duplicate computation is harmless:
+    /// both producers derive bit-identical spectra from identical
+    /// content, and the first insert wins.
+    fn get_or_compute(
+        &self,
+        key: (usize, usize, usize),
+        compute: impl FnOnce() -> PaddedSpectrum,
+    ) -> Arc<PaddedSpectrum> {
+        if let Some(hit) = self.map.lock().expect("spectrum share poisoned").get(&key) {
+            return Arc::clone(hit);
+        }
+        let fresh = Arc::new(compute());
+        Arc::clone(self.map.lock().expect("spectrum share poisoned").entry(key).or_insert(fresh))
+    }
+
+    /// Number of distinct spectra currently cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("spectrum share poisoned").len()
+    }
+
+    /// `true` when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
 
 // ---------------------------------------------------------------------
 // Quality of service
@@ -271,6 +334,7 @@ pub struct BettiRequest<'a> {
     estimator: EstimatorConfig,
     policy: DispatchPolicy,
     serial: bool,
+    share: Option<&'a SpectrumShare>,
 }
 
 impl<'a> BettiRequest<'a> {
@@ -284,6 +348,7 @@ impl<'a> BettiRequest<'a> {
             estimator: EstimatorConfig::default(),
             policy: DispatchPolicy::default(),
             serial: false,
+            share: None,
         }
     }
 
@@ -379,6 +444,18 @@ impl<'a> BettiRequest<'a> {
     /// Never changes results, only where the work runs.
     pub fn serial(mut self) -> Self {
         self.serial = true;
+        self
+    }
+
+    /// Deduplicate sparse-route decompositions through a caller-owned
+    /// [`SpectrumShare`] — for drivers (e.g. the batch engine) that
+    /// split one arena's `(ε, dim)` units across many single-unit
+    /// requests and want them to coalesce like a grid sweep does
+    /// automatically. Only filtration-source units consult the share;
+    /// the share must be scoped to this arena and estimator config.
+    /// Never changes results (see [`SpectrumShare`]), only cost.
+    pub fn share_spectra(mut self, share: &'a SpectrumShare) -> Self {
+        self.share = Some(share);
         self
     }
 
@@ -588,6 +665,12 @@ impl<'a> Query<'a> {
         dims: &[usize],
         qos: &QosPolicy,
     ) -> Result<QueryOutput, AbortReason> {
+        // Grid sweeps share sparse decompositions across their own
+        // units automatically: consecutive ε's whose Δ_k prefixes are
+        // identical coalesce into one Lanczos run. Callers can inject a
+        // wider-scoped share (`share_spectra`) instead.
+        let local_share = SpectrumShare::new();
+        let share = self.req.share.unwrap_or(&local_share);
         let slices = if self.req.serial || (self.req.epsilons.len() == 1 && dims.len() == 1) {
             let mut slices = Vec::with_capacity(self.req.epsilons.len());
             for &eps in &self.req.epsilons {
@@ -602,6 +685,7 @@ impl<'a> Query<'a> {
                         k,
                         &self.req.estimator,
                         self.req.policy,
+                        Some(share),
                     ));
                 }
                 slices.push(assemble_slice(Some(eps), per_dim));
@@ -626,6 +710,7 @@ impl<'a> Query<'a> {
                                 k,
                                 &self.req.estimator,
                                 self.req.policy,
+                                Some(share),
                             ))
                         })
                         .collect()
@@ -675,6 +760,7 @@ fn unit_dispatch(
     n_k: usize,
     estimator_config: &EstimatorConfig,
     policy: DispatchPolicy,
+    shared: Option<(&SpectrumShare, (usize, usize, usize))>,
     sparse_laplacian: impl FnOnce() -> qtda_linalg::CsrMatrix,
     dense_laplacian: impl FnOnce() -> qtda_linalg::Mat,
     classical: impl FnOnce() -> usize,
@@ -687,14 +773,22 @@ fn unit_dispatch(
     match policy.choose(n_k) {
         crate::pipeline::BackendKind::SparseLanczos => {
             let estimator = BettiEstimator::new(*estimator_config);
-            let laplacian = sparse_laplacian();
-            let spectrum = PaddedSpectrum::of_sparse_laplacian_bounded(
-                &laplacian,
-                estimator_config.padding,
-                estimator_config.delta,
-                LanczosBackend::default().seed,
-                estimator_config.lambda_bound,
-            );
+            let decompose = || {
+                PaddedSpectrum::of_sparse_laplacian_bounded(
+                    &sparse_laplacian(),
+                    estimator_config.padding,
+                    estimator_config.delta,
+                    LanczosBackend::default().seed,
+                    estimator_config.lambda_bound,
+                )
+            };
+            // The spectrum is a pure function of the Laplacian content
+            // and the config, so units sharing an arena prefix can share
+            // one decomposition without touching their bits.
+            let spectrum = match shared {
+                Some((share, key)) => share.get_or_compute(key, decompose),
+                None => Arc::new(decompose()),
+            };
             // One decomposition serves both outputs: the QPE shot sample
             // and the classical β_k = dim ker Δ_k (Eq. 6).
             (estimator.estimate_from_spectrum(&spectrum), spectrum.kernel_dim())
@@ -725,6 +819,7 @@ pub(crate) fn unit_on_complex(
         complex.count(k),
         estimator_config,
         policy,
+        None,
         || combinatorial_laplacian_sparse(complex, k),
         || combinatorial_laplacian(complex, k),
         || betti_via_rank(complex, k),
@@ -740,11 +835,17 @@ pub(crate) fn unit_on_filtration(
     k: usize,
     estimator_config: &EstimatorConfig,
     policy: DispatchPolicy,
+    share: Option<&SpectrumShare>,
 ) -> (BettiEstimate, usize) {
+    let n_k = filtration.count_at(k, epsilon);
+    // `(k, |S_k|, triplet prefix length)` pins the exact Δ_k content
+    // within this arena — the share key (see [`SpectrumShare`]).
+    let shared = share.map(|s| (s, (k, n_k, filtration.triplets_at(k, epsilon))));
     unit_dispatch(
-        filtration.count_at(k, epsilon),
+        n_k,
         estimator_config,
         policy,
+        shared,
         || filtration.laplacian_at(k, epsilon),
         || filtration.laplacian_at(k, epsilon).to_dense(),
         || filtration.betti_at(k, epsilon),
@@ -874,6 +975,65 @@ mod tests {
             .run();
         let (estimate, classical) = out.unit();
         assert_eq!(estimate.rounded(), classical);
+    }
+
+    #[test]
+    fn shared_spectra_do_not_change_unit_bits() {
+        // Split a grid into single-unit requests over one explicit
+        // share (the batch-engine shape) and compare against the grid
+        // sweep (which shares internally) — bits must match in every
+        // position, and the dedup must actually fire (fewer cached
+        // spectra than sparse units).
+        use qtda_tda::filtration::max_scale;
+        let mut rng = StdRng::seed_from_u64(16);
+        let cloud = synthetic::circle(16, 1.0, 0.02, &mut rng);
+        let grid = vec![0.35, 0.4, 0.45, 0.5, 0.55, 0.6];
+        let filtration = LaplacianFiltration::rips(
+            &cloud,
+            max_scale(&grid),
+            2,
+            qtda_tda::point_cloud::Metric::Euclidean,
+        );
+        // Force the sparse route so the share is on the hot path.
+        let policy = DispatchPolicy::from_sparse_threshold(1);
+        let swept = BettiRequest::of_filtration(&filtration)
+            .on_grid(grid.clone())
+            .max_dim(1)
+            .estimator(high_fidelity(21))
+            .dispatch(policy)
+            .build()
+            .run();
+        let share = SpectrumShare::new();
+        let mut sparse_units = 0usize;
+        for (i, &eps) in grid.iter().enumerate() {
+            for k in 0..=1usize {
+                let (est, classical) = BettiRequest::of_filtration(&filtration)
+                    .at_scale(eps)
+                    .dimension(k)
+                    .estimator(high_fidelity(21))
+                    .dispatch(policy)
+                    .share_spectra(&share)
+                    .build()
+                    .run()
+                    .unit();
+                if filtration.count_at(k, eps) > 0 {
+                    sparse_units += 1;
+                }
+                assert_eq!(classical, swept.slices[i].classical[k], "ε = {eps}, k = {k}");
+                assert_eq!(
+                    est.corrected.to_bits(),
+                    swept.slices[i].estimates[k].corrected.to_bits(),
+                    "ε = {eps}, k = {k}"
+                );
+            }
+        }
+        assert!(!share.is_empty());
+        assert!(
+            share.len() < sparse_units,
+            "a fine grid must have identical-prefix units ({} cached / {} units)",
+            share.len(),
+            sparse_units
+        );
     }
 
     #[test]

@@ -43,6 +43,7 @@ use crate::spectrum::PaddedSpectrum;
 use qtda_linalg::op::{lambda_max_power_adaptive, PowerStart};
 use qtda_linalg::CsrMatrix;
 use qtda_tda::laplacian_filtration::LaplacianFiltration;
+use std::sync::Arc;
 
 /// Whether (and how) the sweep warm-starts its λ̃_max bounds.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -67,6 +68,12 @@ struct DimState {
     /// The previous slice's final power iterate (appearance indices
     /// are stable across slices, so it transfers directly).
     vector: Option<Vec<f64>>,
+    /// The previous slice's sparse-route decomposition, keyed by
+    /// `(consumed prefix, n_rows, λ̃-bound bits)`. When a slice
+    /// activates no new `k`-triplets and its bound lands on the same
+    /// bits, Δ_k is unchanged and the full Lanczos run — the dominant
+    /// per-slice cost — is skipped with the bit-identical spectrum.
+    spectrum: Option<((usize, usize, u64), Arc<PaddedSpectrum>)>,
 }
 
 /// A sequential, ascending ε-sweep with per-dimension warm state. One
@@ -81,6 +88,7 @@ pub struct FiltrationSweep<'a> {
     state: Vec<DimState>,
     last_epsilon: Option<f64>,
     power_iterations: u64,
+    spectrum_reuses: u64,
 }
 
 impl<'a> FiltrationSweep<'a> {
@@ -99,10 +107,11 @@ impl<'a> FiltrationSweep<'a> {
             policy,
             warm,
             state: (0..=max_homology_dim)
-                .map(|_| DimState { matrix: None, vector: None })
+                .map(|_| DimState { matrix: None, vector: None, spectrum: None })
                 .collect(),
             last_epsilon: None,
             power_iterations: 0,
+            spectrum_reuses: 0,
         }
     }
 
@@ -111,6 +120,13 @@ impl<'a> FiltrationSweep<'a> {
     /// saves.
     pub fn power_iterations_used(&self) -> u64 {
         self.power_iterations
+    }
+
+    /// Sparse-route Lanczos decompositions skipped so far because the
+    /// slice's Δ_k prefix (and its λ̃ bound) were unchanged from the
+    /// previous slice.
+    pub fn spectra_reused(&self) -> u64 {
+        self.spectrum_reuses
     }
 
     /// Estimates every dimension at `epsilon`, which must not be below
@@ -214,13 +230,29 @@ impl<'a> FiltrationSweep<'a> {
         let result = match self.policy.choose(n_k) {
             BackendKind::SparseLanczos => {
                 let estimator = BettiEstimator::new(config);
-                let spectrum = PaddedSpectrum::of_sparse_laplacian_bounded(
-                    &matrix,
-                    config.padding,
-                    config.delta,
-                    LanczosBackend::default().seed,
-                    config.lambda_bound,
-                );
+                // The spectrum is a pure function of (Δ_k content, λ̃
+                // bound, sweep-constant config), so an unchanged
+                // `(consumed, n, bound)` key means the previous slice's
+                // decomposition is bit-identical — skip the Lanczos run.
+                let key = (consumed, matrix.n_rows(), bound.to_bits());
+                let state = &mut self.state[k];
+                let spectrum = match &state.spectrum {
+                    Some((cached_key, s)) if *cached_key == key => {
+                        self.spectrum_reuses += 1;
+                        Arc::clone(s)
+                    }
+                    _ => {
+                        let fresh = Arc::new(PaddedSpectrum::of_sparse_laplacian_bounded(
+                            &matrix,
+                            config.padding,
+                            config.delta,
+                            LanczosBackend::default().seed,
+                            config.lambda_bound,
+                        ));
+                        state.spectrum = Some((key, Arc::clone(&fresh)));
+                        fresh
+                    }
+                };
                 (estimator.estimate_from_spectrum(&spectrum), spectrum.kernel_dim())
             }
             BackendKind::DenseEigen => {
@@ -425,6 +457,43 @@ mod tests {
             "guarded bound keeps the estimate sound (raw {})",
             second[0].0.corrected
         );
+    }
+
+    #[test]
+    fn unchanged_slices_reuse_the_previous_decomposition() {
+        // A fine grid over a sparse cloud has plateaus: consecutive ε's
+        // that activate no new triplets must not re-run Lanczos, and
+        // reused slices must reproduce the recomputed bits exactly.
+        let mut rng = StdRng::seed_from_u64(75);
+        let cloud = synthetic::circle(16, 1.0, 0.02, &mut rng);
+        let epsilons = grid(0.3, 0.9, 24);
+        let filtration =
+            LaplacianFiltration::rips(&cloud, max_scale(&epsilons), 2, Metric::Euclidean);
+        let policy = DispatchPolicy::from_sparse_threshold(0);
+        let run = |reuse_probe: bool| {
+            let mut sweep = FiltrationSweep::new(
+                &filtration,
+                1,
+                config(53),
+                policy,
+                WarmLambda::On { max_iterations: 2000, seed: 13 },
+            );
+            let mut all = Vec::new();
+            for &eps in &epsilons {
+                for (est, classical) in sweep.estimate_at(eps) {
+                    all.push((est.corrected.to_bits(), classical));
+                }
+            }
+            if reuse_probe {
+                assert!(
+                    sweep.spectra_reused() > 0,
+                    "a 24-point grid over 16 points must hit unchanged slices"
+                );
+            }
+            all
+        };
+        // Determinism across runs, with the reuse path active.
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

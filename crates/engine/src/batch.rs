@@ -62,7 +62,7 @@ use crate::job::BettiJob;
 use crate::seed::{job_seed, slice_seed};
 use qtda_core::estimator::BettiEstimate;
 use qtda_core::pipeline::DispatchPolicy;
-use qtda_core::query::{AbortReason, BettiRequest, Priority, QosPolicy};
+use qtda_core::query::{AbortReason, BettiRequest, Priority, QosPolicy, SpectrumShare};
 use qtda_tda::laplacian_filtration::LaplacianFiltration;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -617,6 +617,7 @@ impl BatchEngine {
             .iter()
             .map(|&j| PrepSlot {
                 arena: Mutex::new(None),
+                spectra: SpectrumShare::new(),
                 remaining_units: AtomicUsize::new(
                     requests[j].0.epsilons.len() * (requests[j].0.max_homology_dim + 1),
                 ),
@@ -735,11 +736,15 @@ impl BatchEngine {
                     .unwrap_or_else(|| DispatchPolicy::from_sparse_threshold(job.sparse_threshold));
                 // One unit = one single-dimension query against the
                 // shared arena — the same executor every layer runs.
+                // The job-wide spectrum share lets ε-units whose slice
+                // resolves to the same triplet prefix reuse one block-
+                // Lanczos decomposition (bit-identical by construction).
                 let result = BettiRequest::of_filtration(&arena)
                     .at_scale(epsilon)
                     .dimension(unit.dim)
                     .estimator(config)
                     .dispatch(policy)
+                    .share_spectra(&slot.spectra)
                     .build()
                     .run()
                     .unit();
@@ -804,6 +809,15 @@ impl BatchEngine {
             per_job[unit.prep][unit.eps][unit.dim] = est;
         }
 
+        // One cancellation snapshot drives both cache admission and
+        // outcome delivery below, so the two can never disagree: a
+        // request delivered as `Aborted(Cancelled)` is guaranteed to
+        // have left nothing in the cache, even when the cancel landed
+        // after the last unit's boundary check (a fast job can finish
+        // all its units before a cancel issued mid-stream arrives).
+        let cancelled: Vec<bool> =
+            requests.iter().map(|(_, qos)| qos.cancel.is_cancelled()).collect();
+
         // Assemble per computed job, publish to the cache, then resolve
         // the in-batch duplicates through their representative miss.
         // Aborted jobs are **skipped entirely**: no partial result is
@@ -815,7 +829,9 @@ impl BatchEngine {
         {
             let mut cache = self.cache.lock().expect("cache poisoned");
             for (p, &job_idx) in misses.iter().enumerate() {
-                if preps[p].aborted.load(Ordering::Acquire) != ABORT_NONE {
+                if preps[p].aborted.load(Ordering::Acquire) != ABORT_NONE
+                    || parties[p].iter().all(|&i| cancelled[i])
+                {
                     continue;
                 }
                 let job = requests[job_idx].0;
@@ -857,11 +873,12 @@ impl BatchEngine {
         // delivery (a cancelled request reports Aborted even when a
         // duplicate kept the computation alive, and even on a cache
         // hit); otherwise a resolved result completes and anything else
-        // aborted engine-side.
+        // aborted engine-side. Delivery reads the same `cancelled`
+        // snapshot that gated cache admission — see above.
         let now = Instant::now();
         (0..requests.len())
             .map(|i| {
-                if requests[i].1.cancel.is_cancelled() {
+                if cancelled[i] {
                     self.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
                     return JobOutcome::Aborted(AbortReason::Cancelled);
                 }
@@ -962,9 +979,14 @@ const ABORT_FLAGGED: u8 = 1;
 /// Lazily built, eagerly freed per-job arena storage: one
 /// [`LaplacianFiltration`] shared by every `(ε, dim)` unit of the job,
 /// plus the job's abort latch (set once, by the first unit whose
-/// boundary check observes every interested request aborting).
+/// boundary check observes every interested request aborting) and the
+/// job's [`SpectrumShare`] — many ε on the same grid slice to the same
+/// activation-sorted triplet prefix, so their sparse units reuse one
+/// Lanczos decomposition instead of re-running it per ε (spectra are
+/// content-pure, so sharing never changes a unit's bits).
 struct PrepSlot {
     arena: Mutex<Option<Arc<LaplacianFiltration>>>,
+    spectra: SpectrumShare,
     remaining_units: AtomicUsize,
     aborted: AtomicU8,
 }

@@ -81,6 +81,75 @@ fn determinism_same_seed_across_1_2_and_8_workers() {
     }
 }
 
+/// A job big enough that its Δ_1 crosses `BLOCK_LANCZOS_MIN`, so the
+/// engine's sparse units run the *block* Lanczos kernels (multi-vector
+/// matvec over the shared arena) — the serving contract must hold on
+/// that route too, and each slice must still replay through the
+/// one-shot pipeline bit for bit.
+#[test]
+fn block_lanczos_route_is_deterministic_across_worker_counts() {
+    let mut rng = StdRng::seed_from_u64(41);
+    let cloud = synthetic::circle(24, 1.0, 0.02, &mut rng);
+    let epsilon = 1.66;
+    // Sanity: the ε-slice's edge count must actually reach the block
+    // routing threshold, or this test silently degrades to the plain
+    // Lanczos path.
+    let arena = qtda_tda::laplacian_filtration::LaplacianFiltration::rips(
+        &cloud,
+        epsilon,
+        2,
+        Metric::Euclidean,
+    );
+    assert!(
+        arena.count_at(1, epsilon) >= qtda_core::pipeline::BLOCK_LANCZOS_MIN,
+        "|S_1| = {} below BLOCK_LANCZOS_MIN",
+        arena.count_at(1, epsilon)
+    );
+    let mut job = BettiJob::new(cloud, vec![1.2, epsilon]);
+    job.sparse_threshold = 8; // force the sparse route at both scales
+    job.estimator =
+        EstimatorConfig { precision_qubits: 5, shots: 2000, ..EstimatorConfig::default() };
+    job.max_homology_dim = 1;
+    let reference = BatchEngine::new(EngineConfig {
+        workers: 1,
+        batch_seed: 0x5EED,
+        cache_capacity: 0,
+        ..EngineConfig::default()
+    })
+    .run_job(&job);
+    for workers in [2usize, 8] {
+        let result = BatchEngine::new(EngineConfig {
+            workers,
+            batch_seed: 0x5EED,
+            cache_capacity: 0,
+            ..EngineConfig::default()
+        })
+        .run_job(&job);
+        assert_job_results_identical(&result, &reference, &format!("{workers} workers"));
+    }
+    // Replay every slice through the one-shot pipeline (which routes the
+    // same units through its own spectrum share) — bit for bit.
+    for slice in &reference.slices {
+        let replay = BettiRequest::of_cloud(&job.cloud)
+            .at_scale(slice.epsilon)
+            .max_dim(job.max_homology_dim)
+            .metric(job.metric)
+            .estimator(EstimatorConfig { seed: slice.seed, ..job.estimator })
+            .sparse_threshold(job.sparse_threshold)
+            .build()
+            .run();
+        let replay = replay.single_slice();
+        assert_eq!(slice.classical, replay.classical, "ε = {}", slice.epsilon);
+        for (engine_est, pipeline_est) in slice.estimates.iter().zip(&replay.estimates) {
+            assert_estimates_identical(
+                engine_est,
+                pipeline_est,
+                &format!("block-path replay at ε = {}", slice.epsilon),
+            );
+        }
+    }
+}
+
 #[test]
 fn different_batch_seed_changes_sampling_but_not_truth() {
     let jobs = mixed_batch();

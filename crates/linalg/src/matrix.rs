@@ -196,6 +196,16 @@ impl Mat {
         (0..self.rows).map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum()).collect()
     }
 
+    /// Matrix–vector product into a caller-owned buffer; bit-identical
+    /// to [`Mat::matvec`] without the allocation.
+    pub fn matvec_into(&self, v: &[f64], out: &mut [f64]) {
+        assert_eq!(self.cols, v.len(), "dimension mismatch");
+        assert_eq!(self.rows, out.len(), "output dimension mismatch");
+        for (i, y) in out.iter_mut().enumerate() {
+            *y = self.row(i).iter().zip(v).map(|(a, b)| a * b).sum();
+        }
+    }
+
     /// Trace (sum of diagonal entries). Panics if not square.
     pub fn trace(&self) -> f64 {
         assert!(self.is_square(), "trace of non-square matrix");

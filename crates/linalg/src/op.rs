@@ -26,6 +26,24 @@ pub trait LaplacianOp {
     /// `A·x`.
     fn matvec(&self, x: &[f64]) -> Vec<f64>;
 
+    /// `A·x` into a caller-owned buffer (`y.len() == dim()`), letting
+    /// iterative solvers reuse scratch instead of allocating per
+    /// matvec. Implementations must produce bit-identical results to
+    /// [`LaplacianOp::matvec`]. The default allocates and copies;
+    /// representations with a native kernel override it.
+    fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        y.copy_from_slice(&self.matvec(x));
+    }
+
+    /// `A·xⱼ` for several right-hand sides in one logical pass. Each
+    /// output must be bit-identical to the corresponding single
+    /// [`LaplacianOp::matvec`]. The default loops over singles;
+    /// [`CsrMatrix`] overrides it with a kernel that streams its arena
+    /// once for all of `xs` (see [`CsrMatrix::matvec_multi`]).
+    fn matvec_block(&self, xs: &[&[f64]]) -> Vec<Vec<f64>> {
+        xs.iter().map(|x| self.matvec(x)).collect()
+    }
+
     /// Gershgorin upper bound on the spectrum (the paper's `λ̃_max`).
     fn gershgorin_max(&self) -> f64;
 
@@ -64,6 +82,10 @@ impl LaplacianOp for Mat {
         Mat::matvec(self, x)
     }
 
+    fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        Mat::matvec_into(self, x, y);
+    }
+
     fn gershgorin_max(&self) -> f64 {
         crate::gershgorin::max_eigenvalue_bound(self)
     }
@@ -96,6 +118,14 @@ impl LaplacianOp for CsrMatrix {
 
     fn matvec(&self, x: &[f64]) -> Vec<f64> {
         CsrMatrix::matvec(self, x)
+    }
+
+    fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        CsrMatrix::matvec_into(self, x, y);
+    }
+
+    fn matvec_block(&self, xs: &[&[f64]]) -> Vec<Vec<f64>> {
+        CsrMatrix::matvec_multi(self, xs)
     }
 
     fn gershgorin_max(&self) -> f64 {
@@ -172,8 +202,9 @@ pub fn lambda_max_power_checked<A: LaplacianOp + ?Sized>(
     normalise(&mut v);
     let mut rayleigh = 0.0;
     let mut residual = f64::INFINITY;
+    let mut av = vec![0.0f64; n];
     for _ in 0..iterations.max(1) {
-        let mut av = a.matvec(&v);
+        a.matvec_into(&v, &mut av);
         rayleigh = dot(&av, &v);
         // residual ‖Av − ρv‖ bounds |λ_max − ρ| for symmetric A.
         residual = av
@@ -190,7 +221,7 @@ pub fn lambda_max_power_checked<A: LaplacianOp + ?Sized>(
         for x in &mut av {
             *x /= norm;
         }
-        v = av;
+        std::mem::swap(&mut v, &mut av);
     }
     let converged = residual <= POWER_CONVERGENCE_RTOL * rayleigh.abs().max(f64::MIN_POSITIVE);
     PowerBound { estimate: rayleigh + residual, converged }
@@ -281,8 +312,9 @@ pub fn lambda_max_power_adaptive<A: LaplacianOp + ?Sized>(
     let mut rayleigh = 0.0;
     let mut residual = f64::INFINITY;
     let mut iterations = 0;
+    let mut av = vec![0.0f64; n];
     for _ in 0..max_iterations.max(1) {
-        let mut av = a.matvec(&v);
+        a.matvec_into(&v, &mut av);
         iterations += 1;
         rayleigh = dot(&av, &v);
         residual = av
@@ -304,7 +336,7 @@ pub fn lambda_max_power_adaptive<A: LaplacianOp + ?Sized>(
         for x in &mut av {
             *x /= norm;
         }
-        v = av;
+        std::mem::swap(&mut v, &mut av);
         if residual <= POWER_CONVERGENCE_RTOL * rayleigh.abs().max(f64::MIN_POSITIVE) {
             break;
         }

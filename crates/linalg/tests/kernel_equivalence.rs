@@ -1,0 +1,168 @@
+//! Kernel-equivalence suite: the cache-blocked / multi-vector / block-
+//! Lanczos fast paths must be drop-in replacements for the reference
+//! paths — **bit-identical** where the contract says bits, within
+//! spectral tolerance where it says values.
+//!
+//! CI runs this file as its named "Kernel equivalence" step; the
+//! benchmark harness (`benches/sparse_vs_dense.rs`) asserts the same
+//! identities on its own inputs before any timing, so a kernel that
+//! drifts can never post a number.
+
+use qtda_linalg::{
+    block_lanczos_ritz_values, lanczos_ritz_values, CsrMatrix, LaplacianOp, Mat, PAR_ROWS,
+    RITZ_BLOCK,
+};
+
+/// Deterministic xorshift64* stream in [-1, 1).
+fn rng(seed: u64) -> impl FnMut() -> f64 {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    }
+}
+
+/// A random sparse symmetric matrix with a ragged sparsity pattern:
+/// some dense rows, some empty, row lengths varying with the row index
+/// so block boundaries and remainders are all exercised.
+fn ragged_symmetric(n: usize, seed: u64) -> CsrMatrix {
+    let mut next = rng(seed);
+    let mut dense = Mat::zeros(n, n);
+    for i in 0..n {
+        // Row i keeps entries at strides that depend on i: row 0 is
+        // dense, later rows thin out, every 7th row stays empty.
+        if i % 7 == 3 {
+            continue;
+        }
+        let stride = 1 + i % 5;
+        let mut j = i % stride;
+        while j < n {
+            let v = next();
+            dense[(i, j)] = v;
+            dense[(j, i)] = v;
+            j += stride;
+        }
+    }
+    CsrMatrix::from_dense(&dense, 0.0)
+}
+
+fn random_vec(n: usize, seed: u64) -> Vec<f64> {
+    let mut next = rng(seed);
+    (0..n).map(|_| next()).collect()
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64], context: &str) {
+    assert_eq!(a.len(), b.len(), "{context}: lengths");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{context}: lane {i} ({x} vs {y})");
+    }
+}
+
+/// Sizes straddling every kernel regime: sub-block, one block, a ragged
+/// tail past a block boundary, and past the `PAR_ROWS` parallel cutover.
+fn probe_sizes() -> Vec<usize> {
+    vec![1, 3, 17, 64, 128, 131, 300, PAR_ROWS + 37]
+}
+
+#[test]
+fn matvec_into_is_bit_identical_to_matvec() {
+    for (case, n) in probe_sizes().into_iter().enumerate() {
+        let m = ragged_symmetric(n, 1000 + case as u64);
+        let x = random_vec(n, 2000 + case as u64);
+        let reference = m.matvec(&x);
+        let mut y = vec![f64::NAN; n];
+        m.matvec_into(&x, &mut y);
+        assert_bits_eq(&y, &reference, &format!("matvec_into n={n}"));
+        // And through the trait object, which the solvers call.
+        let op: &dyn LaplacianOp = &m;
+        let mut z = vec![f64::NAN; n];
+        op.matvec_into(&x, &mut z);
+        assert_bits_eq(&z, &reference, &format!("dyn matvec_into n={n}"));
+    }
+}
+
+#[test]
+fn matvec_multi_is_bit_identical_to_k_singles() {
+    for (case, n) in probe_sizes().into_iter().enumerate() {
+        for k in [1usize, 2, 3, RITZ_BLOCK, RITZ_BLOCK + 3] {
+            let m = ragged_symmetric(n, 3000 + case as u64);
+            let xs: Vec<Vec<f64>> =
+                (0..k).map(|j| random_vec(n, 4000 + case as u64 * 31 + j as u64)).collect();
+            let refs: Vec<&[f64]> = xs.iter().map(Vec::as_slice).collect();
+            let multi = m.matvec_multi(&refs);
+            assert_eq!(multi.len(), k);
+            for (j, x) in xs.iter().enumerate() {
+                let single = m.matvec(x);
+                assert_bits_eq(&multi[j], &single, &format!("matvec_multi n={n} k={k} rhs={j}"));
+            }
+            // The trait's block entry point must route to the same kernel.
+            let op: &dyn LaplacianOp = &m;
+            let block = op.matvec_block(&refs);
+            for (j, x) in xs.iter().enumerate() {
+                let single = m.matvec(x);
+                assert_bits_eq(&block[j], &single, &format!("matvec_block n={n} k={k} rhs={j}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn dense_fallback_matvec_into_matches_matvec() {
+    for n in [1usize, 5, 33] {
+        let mut next = rng(7000 + n as u64);
+        let mut dense = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = next();
+                dense[(i, j)] = v;
+                dense[(j, i)] = v;
+            }
+        }
+        let x = random_vec(n, 8000 + n as u64);
+        let reference = dense.matvec(&x);
+        let mut y = vec![f64::NAN; n];
+        LaplacianOp::matvec_into(&dense, &x, &mut y);
+        assert_bits_eq(&y, &reference, &format!("Mat matvec_into n={n}"));
+    }
+}
+
+/// PSD test matrix: BᵀB for random B, so Lanczos sees a realistic
+/// Laplacian-like spectrum (non-negative, clustered near zero).
+fn random_psd(n: usize, seed: u64) -> CsrMatrix {
+    let mut next = rng(seed);
+    let mut b = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            b[(i, j)] = next();
+        }
+    }
+    let psd = b.transpose().matmul(&b);
+    CsrMatrix::from_dense(&psd, 1e-15)
+}
+
+#[test]
+fn block_lanczos_matches_plain_lanczos_within_tolerance() {
+    for n in [8usize, 24, 48] {
+        let m = random_psd(n, 500 + n as u64);
+        let plain = lanczos_ritz_values(&m, n, 99);
+        for block in [2usize, 4, RITZ_BLOCK] {
+            let blocked = block_lanczos_ritz_values(&m, n, 99, block);
+            assert_eq!(blocked.len(), plain.len(), "n={n} block={block}");
+            for (a, b) in blocked.iter().zip(&plain) {
+                assert!((a - b).abs() <= 1e-7 * (1.0 + b.abs()), "n={n} block={block}: {a} vs {b}");
+            }
+        }
+    }
+}
+
+#[test]
+fn block_lanczos_with_block_one_is_exactly_plain_lanczos() {
+    for n in [6usize, 20] {
+        let m = random_psd(n, 900 + n as u64);
+        let plain = lanczos_ritz_values(&m, n, 7);
+        let blocked = block_lanczos_ritz_values(&m, n, 7, 1);
+        assert_bits_eq(&blocked, &plain, &format!("block=1 n={n}"));
+    }
+}

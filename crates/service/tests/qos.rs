@@ -36,12 +36,16 @@ fn engine_config(workers: usize) -> EngineConfig {
 
 /// A job with enough `(ε, dim)` units (and enough work per unit) that a
 /// cancellation issued after its first slice always lands while units
-/// are still outstanding.
+/// are still outstanding. The ε grid straddles the 32-gon's chord-birth
+/// thresholds (2·sin(kπ/32) ≈ 0.39, 0.58, 0.77, 0.94, 1.11), so every
+/// slice activates a distinct simplex prefix — the engine's per-job
+/// spectrum share cannot collapse the later units into cheap reuse
+/// hits, which would let the whole job finish before the cancel lands.
 fn heavy_job(seed: u64) -> BettiJob {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut job = BettiJob::new(
         synthetic::circle(32, 1.0, 0.01, &mut rng),
-        vec![0.2, 0.28, 0.36, 0.44, 0.52, 0.6],
+        vec![0.3, 0.5, 0.7, 0.85, 1.0, 1.2],
     );
     job.max_homology_dim = 2;
     job.estimator =

@@ -7,14 +7,37 @@
 //! small matvec/gate jobs per second) where per-call `thread::spawn`
 //! used to dominate.
 //!
+//! # Queues: one injector + per-worker deques with stealing
+//!
+//! Each worker owns a **local deque**; threads without a worker
+//! identity (the caller of [`scope`]) submit to the shared **injector**.
+//! A worker spawning from inside a task (nested parallelism) pushes to
+//! its *own* deque and pops it LIFO — the task it just produced is the
+//! one whose data is hottest in its cache — while idle workers and
+//! helping callers **steal** from the *front* (FIFO) of other workers'
+//! deques, taking the oldest (largest-remaining) work first. All
+//! threads share one [`find_task`] routine: own deque (workers only),
+//! then the injector, then a steal sweep. This distributes the queue
+//! contention that a single mutex-guarded `VecDeque` concentrated:
+//! workers only contend pairwise on a steal, not all-to-all on every
+//! pop. Scheduling order never affects results — every caller of the
+//! pool collects into index-ordered slots.
+//!
+//! Sleeping workers use an **epoch** protocol to avoid lost wakeups: a
+//! worker snapshots the epoch *before* its last scan, and every push
+//! bumps the epoch (under the sleep lock) before notifying. The worker
+//! then parks in `wait_while(epoch unchanged)`, so a push that landed
+//! between its failed scan and the park returns immediately instead of
+//! sleeping on work that will never be announced again.
+//!
 //! Work is submitted through the closure-scoped [`scope`] entry point:
 //! the caller enqueues tasks that may borrow from its stack, and the
 //! call blocks until all of them have run. While blocked, the caller
-//! *helps*: it drains the global queue and executes tasks itself. This keeps the pool
+//! *helps*: it runs [`find_task`] work itself. This keeps the pool
 //! deadlock-free under nested parallelism (a worker that waits on an
-//! inner scope drains the queue instead of sleeping) and means the pool
-//! works even with zero workers (single-core machines run everything in
-//! the calling thread).
+//! inner scope drains its own deque, then steals, instead of sleeping)
+//! and means the pool works even with zero workers (single-core
+//! machines run everything in the calling thread).
 //!
 //! # Safety
 //!
@@ -45,49 +68,119 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 /// A type-erased unit of work in the global queue.
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
-/// The shared injector queue all threads push to and pop from.
-struct Injector {
-    queue: Mutex<VecDeque<Task>>,
+/// The pool's queues: the shared injector plus one stealable deque per
+/// worker, and the epoch-guarded sleep state (see the module docs).
+struct Pool {
+    /// Submissions from threads without a worker identity.
+    injector: Mutex<VecDeque<Task>>,
+    /// One local deque per worker: owner pushes/pops the back (LIFO),
+    /// thieves take from the front (FIFO).
+    locals: Vec<Mutex<VecDeque<Task>>>,
+    /// Bumped under the lock on every push; sleepers park on
+    /// `wait_while(epoch unchanged since my last scan)`.
+    sleep_epoch: Mutex<u64>,
     work_available: Condvar,
 }
 
-static POOL: OnceLock<Arc<Injector>> = OnceLock::new();
-
-/// The injector, starting the worker threads on first use.
-fn injector() -> &'static Arc<Injector> {
-    POOL.get_or_init(|| {
-        let injector = Arc::new(Injector {
-            queue: Mutex::new(VecDeque::new()),
+impl Pool {
+    fn new(workers: usize) -> Self {
+        Pool {
+            injector: Mutex::new(VecDeque::new()),
+            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            sleep_epoch: Mutex::new(0),
             work_available: Condvar::new(),
-        });
+        }
+    }
+
+    /// Enqueues a task: onto the submitting worker's own deque when the
+    /// current thread is a pool worker, onto the injector otherwise.
+    /// Always bumps the epoch and wakes one sleeper.
+    fn push(&self, task: Task, worker: Option<usize>) {
+        match worker {
+            Some(w) => self.locals[w].lock().expect("pool local deque poisoned").push_back(task),
+            None => self.injector.lock().expect("pool injector poisoned").push_back(task),
+        }
+        *self.sleep_epoch.lock().expect("pool sleep state poisoned") += 1;
+        self.work_available.notify_one();
+    }
+
+    /// One scheduling decision, shared by worker loops and helping
+    /// callers: own deque back (workers only — the freshest, hottest
+    /// task), then the injector, then a steal sweep over the other
+    /// deques' fronts starting just after the caller's own slot (so
+    /// concurrent thieves fan out instead of converging on deque 0).
+    fn find_task(&self, worker: Option<usize>) -> Option<Task> {
+        if let Some(w) = worker {
+            if let Some(task) = self.locals[w].lock().expect("pool local deque poisoned").pop_back()
+            {
+                return Some(task);
+            }
+        }
+        if let Some(task) = self.injector.lock().expect("pool injector poisoned").pop_front() {
+            return Some(task);
+        }
+        let n = self.locals.len();
+        let start = worker.map_or(0, |w| (w + 1) % n.max(1));
+        for offset in 0..n {
+            let victim = (start + offset) % n;
+            if Some(victim) == worker {
+                continue;
+            }
+            if let Some(task) =
+                self.locals[victim].lock().expect("pool local deque poisoned").pop_front()
+            {
+                return Some(task);
+            }
+        }
+        None
+    }
+}
+
+static POOL: OnceLock<Arc<Pool>> = OnceLock::new();
+
+thread_local! {
+    /// This thread's worker index, if it is a pool worker.
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The pool, starting the worker threads on first use.
+fn pool() -> &'static Arc<Pool> {
+    POOL.get_or_init(|| {
         // Callers help while waiting, so n−1 workers saturate n cores; a
         // single-core machine gets zero workers and runs caller-side.
         let workers = crate::n_threads().saturating_sub(1);
+        let pool = Arc::new(Pool::new(workers));
         for i in 0..workers {
-            let inj = Arc::clone(&injector);
+            let pool = Arc::clone(&pool);
             std::thread::Builder::new()
                 .name(format!("qtda-rayon-{i}"))
-                .spawn(move || worker_loop(&inj))
+                .spawn(move || worker_loop(&pool, i))
                 .expect("failed to start pool worker");
         }
-        injector
+        pool
     })
 }
 
-/// Worker body: pop a task or park until one arrives. Tasks never unwind
-/// (the scope wrapper catches panics), so workers live forever.
-fn worker_loop(inj: &Injector) {
+/// Worker body: run [`Pool::find_task`] work or park until the epoch
+/// moves. Tasks never unwind (the scope wrapper catches panics), so
+/// workers live forever.
+fn worker_loop(pool: &Pool, index: usize) {
+    WORKER_INDEX.with(|w| w.set(Some(index)));
     loop {
-        let task = {
-            let mut queue = inj.queue.lock().expect("pool queue poisoned");
-            loop {
-                if let Some(task) = queue.pop_front() {
-                    break task;
-                }
-                queue = inj.work_available.wait(queue).expect("pool queue poisoned");
-            }
-        };
-        task();
+        // Snapshot the epoch *before* scanning: a push that lands after
+        // the snapshot bumps it, so the park below falls straight
+        // through instead of losing the wakeup.
+        let epoch = *pool.sleep_epoch.lock().expect("pool sleep state poisoned");
+        if let Some(task) = pool.find_task(Some(index)) {
+            task();
+            continue;
+        }
+        let guard = pool.sleep_epoch.lock().expect("pool sleep state poisoned");
+        drop(
+            pool.work_available
+                .wait_while(guard, |current| *current == epoch)
+                .expect("pool sleep state poisoned"),
+        );
     }
 }
 
@@ -152,8 +245,11 @@ impl<'env> Scope<'env> {
         }
     }
 
-    /// Enqueues a task on the global pool. The task may borrow anything
-    /// that outlives this `Scope` value (enforced by the drop checker).
+    /// Enqueues a task on the global pool: onto this worker's own deque
+    /// when called from a pool worker (nested parallelism stays local
+    /// until someone steals it), onto the injector otherwise. The task
+    /// may borrow anything that outlives this `Scope` value (enforced
+    /// by the drop checker).
     #[allow(unsafe_code)] // lifetime erasure; see the module-level safety notes
     pub(crate) fn spawn(&self, task: Box<dyn FnOnce() + Send + 'env>) {
         self.state.sync.lock().expect("scope state poisoned").remaining += 1;
@@ -174,26 +270,27 @@ impl<'env> Scope<'env> {
         // hits zero, so `wrapped` (and everything it borrows) outlives
         // its execution.
         let erased = unsafe { erase_lifetime(wrapped) };
-        let inj = injector();
-        inj.queue.lock().expect("pool queue poisoned").push_back(erased);
-        inj.work_available.notify_one();
+        pool().push(erased, WORKER_INDEX.with(Cell::get));
     }
 
     /// Runs queued tasks (any scope's — that is what keeps nested waits
-    /// live) until this scope's own count reaches zero.
+    /// live) until this scope's own count reaches zero. A pool worker
+    /// waiting here drains its own deque first, then steals, through
+    /// the same [`Pool::find_task`] its outer loop uses.
     fn help_until_done(&self) {
-        let inj = injector();
+        let pool = pool();
+        let worker = WORKER_INDEX.with(Cell::get);
         loop {
             if self.state.sync.lock().expect("scope state poisoned").remaining == 0 {
                 return;
             }
-            let task = inj.queue.lock().expect("pool queue poisoned").pop_front();
-            match task {
+            match pool.find_task(worker) {
                 Some(task) => task(),
                 None => {
-                    // Queue empty but tasks still running elsewhere: sleep
-                    // until one of ours completes. Re-check under the lock
-                    // so a completion between the pop and here is not lost.
+                    // Queues empty but tasks still running elsewhere:
+                    // sleep until one of ours completes. Re-check under
+                    // the lock so a completion between the scan and here
+                    // is not lost.
                     let sync = self.state.sync.lock().expect("scope state poisoned");
                     if sync.remaining == 0 {
                         return;
@@ -304,5 +401,72 @@ mod tests {
         });
         assert!(result.is_err(), "finish must re-throw the task panic");
         assert_eq!(counter.load(Ordering::Relaxed), 31, "non-panicking tasks all ran");
+    }
+
+    /// Pins the routing policy on a standalone [`Pool`] (no threads, no
+    /// global state): worker pushes land on that worker's deque and pop
+    /// LIFO; external pushes land on the injector; thieves take other
+    /// deques' *fronts*, starting just past their own slot; an external
+    /// helper drains the injector before stealing.
+    #[test]
+    fn deque_routing_prefers_local_lifo_and_steals_fifo() {
+        fn tag(pool: &Pool, worker: Option<usize>) -> Option<usize> {
+            pool.find_task(worker).map(|task| {
+                task();
+                TAG.with(Cell::get)
+            })
+        }
+        thread_local! {
+            static TAG: Cell<usize> = const { Cell::new(usize::MAX) };
+        }
+        let stamp = |value: usize| -> Task { Box::new(move || TAG.with(|t| t.set(value))) };
+
+        let pool = Pool::new(3);
+        pool.push(stamp(10), Some(0)); // worker 0's deque: [10, 11]
+        pool.push(stamp(11), Some(0));
+        pool.push(stamp(20), Some(2)); // worker 2's deque: [20]
+        pool.push(stamp(99), None); // injector: [99]
+
+        // Owner pops its own deque LIFO — the freshest task first.
+        assert_eq!(tag(&pool, Some(0)), Some(11));
+        // Worker 1: own deque empty → injector before any steal.
+        assert_eq!(tag(&pool, Some(1)), Some(99));
+        // Worker 1 again: steal sweep starts past its own slot, so it
+        // takes worker 2's front before worker 0's.
+        assert_eq!(tag(&pool, Some(1)), Some(20));
+        // External helper: injector empty → steals the oldest (front).
+        assert_eq!(tag(&pool, None), Some(10));
+        assert!(pool.find_task(None).is_none(), "all queues drained");
+        assert!(pool.find_task(Some(0)).is_none());
+    }
+
+    /// Nested spawns from inside pool workers must complete even though
+    /// they land on per-worker deques — the worker drains its own deque
+    /// while waiting (help-while-wait) and idle peers steal the rest.
+    /// Deeper nesting than `nested_scopes_complete` to force both paths.
+    #[test]
+    fn deeply_nested_worker_spawns_drain_via_local_deques() {
+        let counter = AtomicUsize::new(0);
+        let scope = Scope::new();
+        for _ in 0..4 {
+            let counter = &counter;
+            scope.spawn(Box::new(move || {
+                let mid = Scope::new();
+                for _ in 0..4 {
+                    mid.spawn(Box::new(move || {
+                        let inner = Scope::new();
+                        for _ in 0..4 {
+                            inner.spawn(Box::new(move || {
+                                counter.fetch_add(1, Ordering::Relaxed);
+                            }));
+                        }
+                        inner.finish();
+                    }));
+                }
+                mid.finish();
+            }));
+        }
+        scope.finish();
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
     }
 }
