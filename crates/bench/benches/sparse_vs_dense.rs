@@ -25,6 +25,7 @@
 //! `cargo bench --bench sparse_vs_dense -- --json`).
 
 use qtda_core::estimator::{BettiEstimator, EstimatorConfig};
+use qtda_linalg::profile::{profiled, SolveProfile};
 use qtda_linalg::{block_lanczos_ritz_values, lanczos_ritz_values, CsrMatrix, RITZ_BLOCK};
 use qtda_tda::laplacian::{combinatorial_laplacian, combinatorial_laplacian_sparse};
 use qtda_tda::random::RandomComplexModel;
@@ -179,8 +180,20 @@ fn main() {
     println!("multi-vector speedup  : {multi_speedup:9.2}x");
 
     // ── Section 3+4 workload: a real Δ₁ above BLOCK_LANCZOS_MIN ──────
+    // Per-phase timings: what the pipeline spends *before* any solver
+    // runs — complex construction and both Laplacian assemblies.
+    let phase_reps = 5;
+    let complex_build = time_best(phase_reps, || {
+        black_box(flag_complex(60, 0.3, 7));
+    });
     let complex = flag_complex(60, 0.3, 7);
     let edges = complex.count(1);
+    let dense_assembly = time_best(phase_reps, || {
+        black_box(combinatorial_laplacian(black_box(&complex), 1));
+    });
+    let sparse_assembly = time_best(phase_reps, || {
+        black_box(combinatorial_laplacian_sparse(black_box(&complex), 1));
+    });
     let dense = combinatorial_laplacian(&complex, 1);
     let sparse = combinatorial_laplacian_sparse(&complex, 1);
     assert!(
@@ -210,6 +223,25 @@ fn main() {
     println!("plain lanczos (m={edges}) : {:9.1} µs", us(plain_lanczos));
     println!("block lanczos (b={RITZ_BLOCK})    : {:9.1} µs", us(block_lanczos));
 
+    // Solver cost profiles — the paper's unit of work (Laplacian
+    // applications per estimate), from untimed profiled runs so the
+    // thread-local hooks never touch the numbers above. The runs are
+    // deterministic, so one profiled pass is exact.
+    let ((), plain_profile) = profiled(|| {
+        black_box(lanczos_ritz_values(black_box(&sparse), edges, 99));
+    });
+    let ((), block_profile) = profiled(|| {
+        black_box(block_lanczos_ritz_values(black_box(&sparse), edges, 99, RITZ_BLOCK));
+    });
+    println!(
+        "plain lanczos cost    : {} matvecs, {} iterations",
+        plain_profile.matvecs, plain_profile.lanczos_iterations
+    );
+    println!(
+        "block lanczos cost    : {} matvecs, {} iterations (width {})",
+        block_profile.matvecs, block_profile.lanczos_iterations, block_profile.block_width
+    );
+
     // Section 4: the headline dense-vs-sparse estimate.
     let config = EstimatorConfig { precision_qubits: 6, ..Default::default() };
     let dense_estimator = BettiEstimator::new(config);
@@ -228,13 +260,32 @@ fn main() {
         black_box(sparse_estimator.estimate_exact_operator(black_box(&sparse)));
     });
     let estimate_speedup = dense_estimate.as_secs_f64() / sparse_estimate.as_secs_f64();
+    let ((), estimate_profile) = profiled(|| {
+        black_box(sparse_estimator.estimate_exact_operator(black_box(&sparse)));
+    });
     println!("dense spectral β̃₁     : {:9.1} µs", us(dense_estimate));
-    println!("sparse lanczos β̃₁     : {:9.1} µs", us(sparse_estimate));
+    println!(
+        "sparse lanczos β̃₁     : {:9.1} µs ({} matvecs)",
+        us(sparse_estimate),
+        estimate_profile.matvecs
+    );
     println!("sparse-path speedup   : {estimate_speedup:9.2}x");
+    println!(
+        "phase timings         : complex {:9.1} µs, dense Δ₁ {:9.1} µs, sparse Δ₁ {:9.1} µs",
+        us(complex_build),
+        us(dense_assembly),
+        us(sparse_assembly)
+    );
 
     if let Some(path) = json_path {
+        let profile_json = |p: &SolveProfile| {
+            format!(
+                "{{ \"matvecs\": {}, \"lanczos_iterations\": {}, \"restarts\": {}, \"block_width\": {} }}",
+                p.matvecs, p.lanczos_iterations, p.restarts, p.block_width
+            )
+        };
         let json = format!(
-            "{{\n  \"bench\": \"sparse_vs_dense\",\n  \"kernel_rows\": {},\n  \"kernel_nnz\": {},\n  \"multi_rhs\": {},\n  \"matvec_into_us\": {:.1},\n  \"matvec_alloc_us\": {:.1},\n  \"singles_x{}_us\": {:.1},\n  \"matvec_multi_us\": {:.1},\n  \"multi_speedup\": {:.2},\n  \"delta1_edges\": {},\n  \"plain_lanczos_us\": {:.1},\n  \"block_lanczos_us\": {:.1},\n  \"dense_estimate_us\": {:.1},\n  \"sparse_estimate_us\": {:.1},\n  \"estimate_speedup\": {:.2}\n}}\n",
+            "{{\n  \"bench\": \"sparse_vs_dense\",\n  \"kernel_rows\": {},\n  \"kernel_nnz\": {},\n  \"multi_rhs\": {},\n  \"matvec_into_us\": {:.1},\n  \"matvec_alloc_us\": {:.1},\n  \"singles_x{}_us\": {:.1},\n  \"matvec_multi_us\": {:.1},\n  \"multi_speedup\": {:.2},\n  \"delta1_edges\": {},\n  \"plain_lanczos_us\": {:.1},\n  \"block_lanczos_us\": {:.1},\n  \"dense_estimate_us\": {:.1},\n  \"sparse_estimate_us\": {:.1},\n  \"estimate_speedup\": {:.2},\n  \"phase_us\": {{ \"complex_build\": {:.1}, \"dense_assembly\": {:.1}, \"sparse_assembly\": {:.1} }},\n  \"solve_profiles\": {{\n    \"plain_lanczos\": {},\n    \"block_lanczos\": {},\n    \"sparse_estimate\": {}\n  }}\n}}\n",
             n,
             m.nnz(),
             MULTI_RHS,
@@ -250,6 +301,12 @@ fn main() {
             us(dense_estimate),
             us(sparse_estimate),
             estimate_speedup,
+            us(complex_build),
+            us(dense_assembly),
+            us(sparse_assembly),
+            profile_json(&plain_profile),
+            profile_json(&block_profile),
+            profile_json(&estimate_profile),
         );
         std::fs::write(&path, json).expect("writing bench JSON");
         println!("wrote {path}");

@@ -67,4 +67,7 @@ pub use query::{
     AbortReason, BettiRequest, CancelToken, Priority, QosPolicy, Query, QueryOutput, QuerySlice,
     QuerySource,
 };
+// Re-exported so layers reading `QuerySlice::profile` need not name
+// `qtda-linalg` directly.
+pub use qtda_linalg::SolveProfile;
 pub use scaling::rescale_operator;

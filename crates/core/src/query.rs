@@ -37,6 +37,7 @@ use crate::backend::{LanczosBackend, StatevectorBackend};
 use crate::estimator::{BettiEstimate, BettiEstimator, EstimatorConfig};
 use crate::pipeline::DispatchPolicy;
 use crate::spectrum::PaddedSpectrum;
+use qtda_linalg::SolveProfile;
 use qtda_tda::betti::betti_via_rank;
 use qtda_tda::filtration::max_scale;
 use qtda_tda::laplacian::{combinatorial_laplacian, combinatorial_laplacian_sparse};
@@ -502,6 +503,12 @@ pub struct QuerySlice {
     pub estimates: Vec<BettiEstimate>,
     /// Classical Betti numbers for the same dimensions.
     pub classical: Vec<usize>,
+    /// Aggregated iterative-solver cost of this slice's units (matvec,
+    /// Lanczos iteration, restart counts; see
+    /// [`qtda_linalg::profile`]). Empty for dense-route or cache-hit
+    /// units, and always empty with the `obs` feature off. Telemetry
+    /// only: never part of result identity.
+    pub profile: SolveProfile,
 }
 
 impl QuerySlice {
@@ -635,7 +642,7 @@ impl<'a> Query<'a> {
         complex: &SimplicialComplex,
         dims: &[usize],
         qos: &QosPolicy,
-    ) -> Result<Vec<(BettiEstimate, usize)>, AbortReason> {
+    ) -> Result<Vec<UnitValue>, AbortReason> {
         if self.req.serial || dims.len() == 1 {
             let mut out = Vec::with_capacity(dims.len());
             for &k in dims {
@@ -646,7 +653,7 @@ impl<'a> Query<'a> {
             }
             return Ok(out);
         }
-        let results: Vec<Option<(BettiEstimate, usize)>> = dims
+        let results: Vec<Option<UnitValue>> = dims
             .par_iter()
             .map(|&k| {
                 if qos.abort_reason(Instant::now()).is_some() {
@@ -694,7 +701,7 @@ impl<'a> Query<'a> {
         } else {
             // The ε's (and the dimensions within each ε) fan out in
             // parallel, exactly like the historical `betti_curve`.
-            let results: Vec<Vec<Option<(BettiEstimate, usize)>>> = self
+            let results: Vec<Vec<Option<UnitValue>>> = self
                 .req
                 .epsilons
                 .par_iter()
@@ -730,10 +737,7 @@ impl<'a> Query<'a> {
 /// turns the whole run into that abort (the reason is re-read from the
 /// policy — cancellation is sticky and time is monotone, so it is still
 /// observable).
-fn collect_or_abort(
-    results: Vec<Option<(BettiEstimate, usize)>>,
-    qos: &QosPolicy,
-) -> Result<Vec<(BettiEstimate, usize)>, AbortReason> {
+fn collect_or_abort<T>(results: Vec<Option<T>>, qos: &QosPolicy) -> Result<Vec<T>, AbortReason> {
     if results.iter().any(Option::is_none) {
         return Err(qos
             .abort_reason(Instant::now())
@@ -742,9 +746,20 @@ fn collect_or_abort(
     Ok(results.into_iter().map(|r| r.expect("checked above")).collect())
 }
 
-fn assemble_slice(epsilon: Option<f64>, per_dim: Vec<(BettiEstimate, usize)>) -> QuerySlice {
-    let (estimates, classical) = per_dim.into_iter().unzip();
-    QuerySlice { epsilon, estimates, classical }
+/// What one `(ε, dimension)` unit produces: the estimate, the classical
+/// cross-check, and the solver cost it burned (telemetry only).
+type UnitValue = (BettiEstimate, usize, SolveProfile);
+
+fn assemble_slice(epsilon: Option<f64>, per_dim: Vec<UnitValue>) -> QuerySlice {
+    let mut profile = SolveProfile::default();
+    let mut estimates = Vec::with_capacity(per_dim.len());
+    let mut classical = Vec::with_capacity(per_dim.len());
+    for (estimate, betti, unit_profile) in per_dim {
+        estimates.push(estimate);
+        classical.push(betti);
+        profile.merge(&unit_profile);
+    }
+    QuerySlice { epsilon, estimates, classical, profile }
 }
 
 // ---------------------------------------------------------------------
@@ -764,13 +779,13 @@ fn unit_dispatch(
     sparse_laplacian: impl FnOnce() -> qtda_linalg::CsrMatrix,
     dense_laplacian: impl FnOnce() -> qtda_linalg::Mat,
     classical: impl FnOnce() -> usize,
-) -> (BettiEstimate, usize) {
+) -> UnitValue {
     if n_k == 0 {
         // Empty S_k short-circuits to a zero estimate (q = 0).
         let estimator = BettiEstimator::new(*estimator_config);
-        return (estimator.estimate(&qtda_linalg::Mat::zeros(0, 0)), 0);
+        return (estimator.estimate(&qtda_linalg::Mat::zeros(0, 0)), 0, SolveProfile::default());
     }
-    match policy.choose(n_k) {
+    let ((estimate, betti), profile) = run_profiled(|| match policy.choose(n_k) {
         crate::pipeline::BackendKind::SparseLanczos => {
             let estimator = BettiEstimator::new(*estimator_config);
             let decompose = || {
@@ -784,7 +799,9 @@ fn unit_dispatch(
             };
             // The spectrum is a pure function of the Laplacian content
             // and the config, so units sharing an arena prefix can share
-            // one decomposition without touching their bits.
+            // one decomposition without touching their bits. A unit that
+            // finds the spectrum already shared profiles (truthfully) as
+            // zero solver cost.
             let spectrum = match shared {
                 Some((share, key)) => share.get_or_compute(key, decompose),
                 None => Arc::new(decompose()),
@@ -802,7 +819,22 @@ fn unit_dispatch(
                 BettiEstimator::with_backend(*estimator_config, Box::new(StatevectorBackend));
             (estimator.estimate(&dense_laplacian()), classical())
         }
-    }
+    });
+    (estimate, betti, profile)
+}
+
+/// The profiling scope around one unit's compute. With `obs` off this
+/// is the identity plus an empty profile — the solvers' recording hooks
+/// find no open scope either way when disabled, so the computed bits
+/// cannot differ.
+#[cfg(feature = "obs")]
+fn run_profiled<T>(f: impl FnOnce() -> T) -> (T, SolveProfile) {
+    qtda_linalg::profile::profiled(f)
+}
+
+#[cfg(not(feature = "obs"))]
+fn run_profiled<T>(f: impl FnOnce() -> T) -> (T, SolveProfile) {
+    (f(), SolveProfile::default())
 }
 
 /// One homology dimension of a prebuilt complex: the QPE estimate next
@@ -814,7 +846,7 @@ pub(crate) fn unit_on_complex(
     k: usize,
     estimator_config: &EstimatorConfig,
     policy: DispatchPolicy,
-) -> (BettiEstimate, usize) {
+) -> UnitValue {
     unit_dispatch(
         complex.count(k),
         estimator_config,
@@ -836,7 +868,7 @@ pub(crate) fn unit_on_filtration(
     estimator_config: &EstimatorConfig,
     policy: DispatchPolicy,
     share: Option<&SpectrumShare>,
-) -> (BettiEstimate, usize) {
+) -> UnitValue {
     let n_k = filtration.count_at(k, epsilon);
     // `(k, |S_k|, triplet prefix length)` pins the exact Δ_k content
     // within this arena — the share key (see [`SpectrumShare`]).
@@ -1033,6 +1065,59 @@ mod tests {
             "a fine grid must have identical-prefix units ({} cached / {} units)",
             share.len(),
             sparse_units
+        );
+    }
+
+    #[test]
+    #[cfg(feature = "obs")]
+    fn sparse_units_surface_their_solver_cost() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let cloud = synthetic::circle(14, 1.0, 0.02, &mut rng);
+        let policy = DispatchPolicy::from_sparse_threshold(1);
+        let request = |share: Option<&SpectrumShare>| {
+            let mut req = BettiRequest::of_cloud(&cloud)
+                .at_scale(0.6)
+                .dimension(1)
+                .estimator(high_fidelity(9))
+                .dispatch(policy);
+            if let Some(s) = share {
+                req = req.share_spectra(s);
+            }
+            req.build().run()
+        };
+        let out = request(None);
+        let profile = out.slices[0].profile;
+        assert!(profile.matvecs > 0, "the sparse route spends matvecs: {profile:?}");
+        assert!(profile.lanczos_iterations > 0);
+        assert!(profile.block_width >= 1);
+
+        // A unit whose spectrum is already shared burns (and therefore
+        // reports) no solver cost — and its bits cannot move.
+        use qtda_tda::filtration::max_scale;
+        let filtration = LaplacianFiltration::rips(
+            &cloud,
+            max_scale(&[0.6]),
+            2,
+            qtda_tda::point_cloud::Metric::Euclidean,
+        );
+        let share = SpectrumShare::new();
+        let unit = |share: &SpectrumShare| {
+            BettiRequest::of_filtration(&filtration)
+                .at_scale(0.6)
+                .dimension(1)
+                .estimator(high_fidelity(9))
+                .dispatch(policy)
+                .share_spectra(share)
+                .build()
+                .run()
+        };
+        let first = unit(&share);
+        let second = unit(&share);
+        assert!(first.slices[0].profile.matvecs > 0);
+        assert!(second.slices[0].profile.is_empty(), "cache hit reports zero cost");
+        assert_eq!(
+            first.slices[0].estimates[0].corrected.to_bits(),
+            second.slices[0].estimates[0].corrected.to_bits(),
         );
     }
 

@@ -63,11 +63,27 @@ use crate::seed::{job_seed, slice_seed};
 use qtda_core::estimator::BettiEstimate;
 use qtda_core::pipeline::DispatchPolicy;
 use qtda_core::query::{AbortReason, BettiRequest, Priority, QosPolicy, SpectrumShare};
+use qtda_obs::{Counter, Gauge, MetricsRegistry, Tracer};
 use qtda_tda::laplacian_filtration::LaplacianFiltration;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// One request as `run_batch_inner` sees it: the job, its QoS policy,
+/// and the (possibly disabled) per-ticket tracer.
+type Submission<'a> = (&'a BettiJob, &'a QosPolicy, &'a Tracer);
+
+/// Records a per-request stage span when the `obs` feature is on. The
+/// disabled-`Tracer` check inside makes an untraced request cost one
+/// branch; with the feature off the whole call compiles away.
+#[cfg(feature = "obs")]
+fn record_stage(trace: &Tracer, name: &str, start: Instant, end: Instant) {
+    trace.record_span(name, start, end);
+}
+
+#[cfg(not(feature = "obs"))]
+fn record_stage(_trace: &Tracer, _name: &str, _start: Instant, _end: Instant) {}
 
 /// Engine parameters.
 #[derive(Clone, Copy, Debug)]
@@ -119,11 +135,18 @@ pub struct JobRequest {
     pub job: BettiJob,
     /// Its quality-of-service policy.
     pub qos: QosPolicy,
+    /// Per-request stage tracer. Disabled by default; attach a live
+    /// [`Tracer`] with [`JobRequest::with_trace`] and the engine
+    /// records `cache_probe` / `arena_build` / `solve` spans into it
+    /// as the request moves through the batch. Tracing never touches
+    /// seeds or scheduling order — results are bit-identical with it
+    /// on or off.
+    pub trace: Tracer,
 }
 
 impl From<BettiJob> for JobRequest {
     fn from(job: BettiJob) -> Self {
-        JobRequest { job, qos: QosPolicy::default() }
+        JobRequest { job, qos: QosPolicy::default(), trace: Tracer::disabled() }
     }
 }
 
@@ -135,7 +158,13 @@ impl JobRequest {
 
     /// A request under an explicit policy.
     pub fn with_qos(job: BettiJob, qos: QosPolicy) -> Self {
-        JobRequest { job, qos }
+        JobRequest { job, qos, trace: Tracer::disabled() }
+    }
+
+    /// Attaches a per-request stage tracer.
+    pub fn with_trace(mut self, trace: Tracer) -> Self {
+        self.trace = trace;
+        self
     }
 }
 
@@ -231,7 +260,10 @@ impl JobResult {
 }
 
 /// Monotone serving counters (since engine construction), except the
-/// `arena_bytes_live` gauge.
+/// `arena_bytes_live` gauge. A view over the engine's
+/// [`MetricsRegistry`] (`qtda_engine_*` metrics) — engines built over
+/// a shared registry with [`BatchEngine::with_metrics`] share the
+/// cells, and an engine over a *disabled* registry reads all zeros.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct EngineStats {
     /// Jobs requested across all batches.
@@ -344,27 +376,80 @@ pub type SliceSink<'a> = dyn Fn(SliceEvent) + Sync + 'a;
 pub struct BatchEngine {
     config: EngineConfig,
     cache: Mutex<LruCache<Arc<CachedJob>>>,
-    jobs_served: AtomicU64,
-    batches_served: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    deduplicated: AtomicU64,
-    computed_jobs: AtomicU64,
-    units_executed: AtomicU64,
-    units_last_batch: AtomicU64,
-    units_cancelled: AtomicU64,
-    jobs_cancelled: AtomicU64,
-    jobs_deadline_expired: AtomicU64,
-    served_by_class: [AtomicU64; 3],
-    arenas_built: AtomicU64,
-    slices_assembled_incrementally: AtomicU64,
-    arena_bytes_live: AtomicU64,
-    arena_bytes_peak: AtomicU64,
+    registry: Arc<MetricsRegistry>,
+    metrics: EngineMetrics,
+}
+
+/// The engine's handles into its [`MetricsRegistry`] — the storage
+/// behind [`EngineStats`]. Every handle is a single atomic cell; the
+/// hot path never takes a lock after construction.
+struct EngineMetrics {
+    jobs_served: Counter,
+    batches_served: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    cache_evictions: Gauge,
+    deduplicated: Counter,
+    computed_jobs: Counter,
+    units_executed: Counter,
+    units_last_batch: Gauge,
+    units_cancelled: Counter,
+    jobs_cancelled: Counter,
+    jobs_deadline_expired: Counter,
+    served_by_class: [Counter; 3],
+    arenas_built: Counter,
+    slices_assembled_incrementally: Counter,
+    arena_bytes_live: Gauge,
+    arena_bytes_peak: Gauge,
+    solve_matvecs: Counter,
+    lanczos_iterations: Counter,
+    lanczos_restarts: Counter,
+}
+
+impl EngineMetrics {
+    fn register(registry: &MetricsRegistry) -> Self {
+        EngineMetrics {
+            jobs_served: registry.counter("qtda_engine_jobs_served_total"),
+            batches_served: registry.counter("qtda_engine_batches_total"),
+            cache_hits: registry.counter("qtda_engine_cache_hits_total"),
+            cache_misses: registry.counter("qtda_engine_cache_misses_total"),
+            cache_evictions: registry.gauge("qtda_engine_cache_evictions"),
+            deduplicated: registry.counter("qtda_engine_deduplicated_total"),
+            computed_jobs: registry.counter("qtda_engine_computed_jobs_total"),
+            units_executed: registry.counter("qtda_engine_units_executed_total"),
+            units_last_batch: registry.gauge("qtda_engine_units_last_batch"),
+            units_cancelled: registry.counter("qtda_engine_units_cancelled_total"),
+            jobs_cancelled: registry.counter("qtda_engine_jobs_cancelled_total"),
+            jobs_deadline_expired: registry.counter("qtda_engine_jobs_deadline_expired_total"),
+            served_by_class: [
+                registry.counter_with("qtda_engine_served_total", &[("class", "interactive")]),
+                registry.counter_with("qtda_engine_served_total", &[("class", "normal")]),
+                registry.counter_with("qtda_engine_served_total", &[("class", "bulk")]),
+            ],
+            arenas_built: registry.counter("qtda_engine_arenas_built_total"),
+            slices_assembled_incrementally: registry
+                .counter("qtda_engine_slices_incremental_total"),
+            arena_bytes_live: registry.gauge("qtda_engine_arena_bytes_live"),
+            arena_bytes_peak: registry.gauge("qtda_engine_arena_bytes_peak"),
+            solve_matvecs: registry.counter("qtda_engine_solve_matvecs_total"),
+            lanczos_iterations: registry.counter("qtda_engine_lanczos_iterations_total"),
+            lanczos_restarts: registry.counter("qtda_engine_lanczos_restarts_total"),
+        }
+    }
 }
 
 impl BatchEngine {
-    /// An engine with the given configuration.
+    /// An engine with the given configuration and its own private
+    /// [`MetricsRegistry`].
     pub fn new(config: EngineConfig) -> Self {
+        Self::with_metrics(config, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// An engine publishing its serving counters into a caller-owned
+    /// registry (the service shares one registry across its whole
+    /// stack). Engines sharing a registry share the `qtda_engine_*`
+    /// metric cells — their counts add.
+    pub fn with_metrics(config: EngineConfig, registry: Arc<MetricsRegistry>) -> Self {
         let cache = if config.cache_doorkeeper {
             // Track first sightings for several cache generations so
             // a repeat separated by a scan still proves itself.
@@ -372,26 +457,8 @@ impl BatchEngine {
         } else {
             LruCache::new(config.cache_capacity)
         };
-        BatchEngine {
-            config,
-            cache: Mutex::new(cache),
-            jobs_served: AtomicU64::new(0),
-            batches_served: AtomicU64::new(0),
-            cache_hits: AtomicU64::new(0),
-            cache_misses: AtomicU64::new(0),
-            deduplicated: AtomicU64::new(0),
-            computed_jobs: AtomicU64::new(0),
-            units_executed: AtomicU64::new(0),
-            units_last_batch: AtomicU64::new(0),
-            units_cancelled: AtomicU64::new(0),
-            jobs_cancelled: AtomicU64::new(0),
-            jobs_deadline_expired: AtomicU64::new(0),
-            served_by_class: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
-            arenas_built: AtomicU64::new(0),
-            slices_assembled_incrementally: AtomicU64::new(0),
-            arena_bytes_live: AtomicU64::new(0),
-            arena_bytes_peak: AtomicU64::new(0),
-        }
+        let metrics = EngineMetrics::register(&registry);
+        BatchEngine { config, cache: Mutex::new(cache), registry, metrics }
     }
 
     /// An engine with [`EngineConfig::default`].
@@ -404,30 +471,37 @@ impl BatchEngine {
         &self.config
     }
 
-    /// A snapshot of the serving counters.
+    /// The registry holding this engine's `qtda_engine_*` metrics —
+    /// snapshot it for the Prometheus/JSON exposition.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// A snapshot of the serving counters ([`EngineStats`] is a view
+    /// over the engine's [`MetricsRegistry`]).
     pub fn stats(&self) -> EngineStats {
+        let evictions = self.cache.lock().expect("cache poisoned").evictions();
+        self.metrics.cache_evictions.set(evictions);
         EngineStats {
-            jobs_served: self.jobs_served.load(Ordering::Relaxed),
-            batches_served: self.batches_served.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            cache_evictions: self.cache.lock().expect("cache poisoned").evictions(),
-            deduplicated: self.deduplicated.load(Ordering::Relaxed),
-            computed_jobs: self.computed_jobs.load(Ordering::Relaxed),
-            units_executed: self.units_executed.load(Ordering::Relaxed),
-            units_last_batch: self.units_last_batch.load(Ordering::Relaxed),
-            units_cancelled: self.units_cancelled.load(Ordering::Relaxed),
-            jobs_cancelled: self.jobs_cancelled.load(Ordering::Relaxed),
-            jobs_deadline_expired: self.jobs_deadline_expired.load(Ordering::Relaxed),
-            served_interactive: self.served_by_class[0].load(Ordering::Relaxed),
-            served_normal: self.served_by_class[1].load(Ordering::Relaxed),
-            served_bulk: self.served_by_class[2].load(Ordering::Relaxed),
-            arenas_built: self.arenas_built.load(Ordering::Relaxed),
-            slices_assembled_incrementally: self
-                .slices_assembled_incrementally
-                .load(Ordering::Relaxed),
-            arena_bytes_peak: self.arena_bytes_peak.load(Ordering::Relaxed),
-            arena_bytes_live: self.arena_bytes_live.load(Ordering::Relaxed),
+            jobs_served: self.metrics.jobs_served.get(),
+            batches_served: self.metrics.batches_served.get(),
+            cache_hits: self.metrics.cache_hits.get(),
+            cache_misses: self.metrics.cache_misses.get(),
+            cache_evictions: evictions,
+            deduplicated: self.metrics.deduplicated.get(),
+            computed_jobs: self.metrics.computed_jobs.get(),
+            units_executed: self.metrics.units_executed.get(),
+            units_last_batch: self.metrics.units_last_batch.get(),
+            units_cancelled: self.metrics.units_cancelled.get(),
+            jobs_cancelled: self.metrics.jobs_cancelled.get(),
+            jobs_deadline_expired: self.metrics.jobs_deadline_expired.get(),
+            served_interactive: self.metrics.served_by_class[0].get(),
+            served_normal: self.metrics.served_by_class[1].get(),
+            served_bulk: self.metrics.served_by_class[2].get(),
+            arenas_built: self.metrics.arenas_built.get(),
+            slices_assembled_incrementally: self.metrics.slices_assembled_incrementally.get(),
+            arena_bytes_peak: self.metrics.arena_bytes_peak.get(),
+            arena_bytes_live: self.metrics.arena_bytes_live.get(),
         }
     }
 
@@ -448,7 +522,8 @@ impl BatchEngine {
     /// tests pin against.
     pub fn run_batch(&self, jobs: &[BettiJob]) -> Vec<Arc<JobResult>> {
         let default_qos = QosPolicy::default();
-        let refs: Vec<(&BettiJob, &QosPolicy)> = jobs.iter().map(|j| (j, &default_qos)).collect();
+        let no_trace = Tracer::disabled();
+        let refs: Vec<Submission<'_>> = jobs.iter().map(|j| (j, &default_qos, &no_trace)).collect();
         self.run_batch_inner(&refs, None).into_iter().map(JobOutcome::expect_completed).collect()
     }
 
@@ -466,7 +541,8 @@ impl BatchEngine {
         sink: &SliceSink<'_>,
     ) -> Vec<Arc<JobResult>> {
         let default_qos = QosPolicy::default();
-        let refs: Vec<(&BettiJob, &QosPolicy)> = jobs.iter().map(|j| (j, &default_qos)).collect();
+        let no_trace = Tracer::disabled();
+        let refs: Vec<Submission<'_>> = jobs.iter().map(|j| (j, &default_qos, &no_trace)).collect();
         self.run_batch_inner(&refs, Some(sink))
             .into_iter()
             .map(JobOutcome::expect_completed)
@@ -481,8 +557,8 @@ impl BatchEngine {
     /// worker count — QoS shapes scheduling and early exits, never
     /// values.
     pub fn run_batch_qos(&self, requests: &[JobRequest]) -> Vec<JobOutcome> {
-        let refs: Vec<(&BettiJob, &QosPolicy)> =
-            requests.iter().map(|r| (&r.job, &r.qos)).collect();
+        let refs: Vec<Submission<'_>> =
+            requests.iter().map(|r| (&r.job, &r.qos, &r.trace)).collect();
         self.run_batch_inner(&refs, None)
     }
 
@@ -494,19 +570,19 @@ impl BatchEngine {
         requests: &[JobRequest],
         sink: &SliceSink<'_>,
     ) -> Vec<JobOutcome> {
-        let refs: Vec<(&BettiJob, &QosPolicy)> =
-            requests.iter().map(|r| (&r.job, &r.qos)).collect();
+        let refs: Vec<Submission<'_>> =
+            requests.iter().map(|r| (&r.job, &r.qos, &r.trace)).collect();
         self.run_batch_inner(&refs, Some(sink))
     }
 
     fn run_batch_inner(
         &self,
-        requests: &[(&BettiJob, &QosPolicy)],
+        requests: &[Submission<'_>],
         sink: Option<&SliceSink<'_>>,
     ) -> Vec<JobOutcome> {
-        self.jobs_served.fetch_add(requests.len() as u64, Ordering::Relaxed);
-        self.batches_served.fetch_add(1, Ordering::Relaxed);
-        let fingerprints: Vec<u64> = requests.iter().map(|(job, _)| job.fingerprint()).collect();
+        self.metrics.jobs_served.add(requests.len() as u64);
+        self.metrics.batches_served.inc();
+        let fingerprints: Vec<u64> = requests.iter().map(|(job, ..)| job.fingerprint()).collect();
 
         // Stage 1: verified cache lookups + in-batch dedup. `misses`
         // keeps the first job index per distinct uncached request;
@@ -519,19 +595,22 @@ impl BatchEngine {
         {
             let mut cache = self.cache.lock().expect("cache poisoned");
             for (i, &fp) in fingerprints.iter().enumerate() {
-                if let Some(entry) = cache.get(fp) {
-                    if entry.job.same_request(requests[i].0) {
-                        self.cache_hits.fetch_add(1, Ordering::Relaxed);
-                        results[i] = Some(Arc::clone(&entry.result));
-                        continue;
-                    }
+                let probe_started = Instant::now();
+                let cached = cache.get(fp).and_then(|entry| {
+                    entry.job.same_request(requests[i].0).then(|| Arc::clone(&entry.result))
+                });
+                record_stage(requests[i].2, "cache_probe", probe_started, Instant::now());
+                if let Some(result) = cached {
+                    self.metrics.cache_hits.inc();
+                    results[i] = Some(result);
+                    continue;
                 }
-                self.cache_misses.fetch_add(1, Ordering::Relaxed);
+                self.metrics.cache_misses.inc();
                 let candidates = seen.entry(fp).or_default();
                 if let Some(&rep) =
                     candidates.iter().find(|&&j| requests[j].0.same_request(requests[i].0))
                 {
-                    self.deduplicated.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.deduplicated.inc();
                     dup_of[i] = Some(rep);
                 } else {
                     candidates.push(i);
@@ -539,7 +618,7 @@ impl BatchEngine {
                 }
             }
         }
-        self.computed_jobs.fetch_add(misses.len() as u64, Ordering::Relaxed);
+        self.metrics.computed_jobs.add(misses.len() as u64);
 
         // Per computed job: every request index interested in it (the
         // submitter plus its in-batch duplicates). Drives both slice
@@ -612,7 +691,7 @@ impl BatchEngine {
             .map(|(&j, &dims)| requests[j].0.epsilons.len() * dims)
             .collect();
         let units = build_unit_queue(&class_of, &unit_counts, &dims_of, workers);
-        self.units_last_batch.store(units.len() as u64, Ordering::Relaxed);
+        self.metrics.units_last_batch.set(units.len() as u64);
         let preps: Vec<PrepSlot> = misses
             .iter()
             .map(|&j| PrepSlot {
@@ -683,14 +762,14 @@ impl BatchEngine {
                 all_aborted
             };
             let result = if skip {
-                self.units_cancelled.fetch_add(1, Ordering::Relaxed);
+                self.metrics.units_cancelled.inc();
                 None
             } else {
                 let prebuilt =
                     slot.arena.lock().expect("prep slot poisoned").as_ref().map(Arc::clone);
                 let arena = match prebuilt {
                     Some(built) => {
-                        self.slices_assembled_incrementally.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.slices_assembled_incrementally.inc();
                         built
                     }
                     None => {
@@ -701,13 +780,15 @@ impl BatchEngine {
                         // finish publishes, racers drop their copy.
                         // Duplicate work is bounded by the worker count
                         // and only at a job's first touch.
+                        let build_started = Instant::now();
                         let built = Arc::new(LaplacianFiltration::rips(
                             &job.cloud,
                             job.max_epsilon(),
                             job.max_homology_dim + 1,
                             job.metric,
                         ));
-                        self.arenas_built.fetch_add(1, Ordering::Relaxed);
+                        let build_done = Instant::now();
+                        self.metrics.arenas_built.inc();
                         let mut guard = slot.arena.lock().expect("prep slot poisoned");
                         match guard.as_ref() {
                             Some(existing) => Arc::clone(existing),
@@ -715,12 +796,20 @@ impl BatchEngine {
                                 *guard = Some(Arc::clone(&built));
                                 // Count only the published arena toward
                                 // the resident footprint (racers' copies
-                                // die right here).
+                                // die right here) — and only the
+                                // published build's span toward the
+                                // interested tickets' traces.
                                 let bytes = built.arena_bytes() as u64;
-                                let live =
-                                    self.arena_bytes_live.fetch_add(bytes, Ordering::Relaxed)
-                                        + bytes;
-                                self.arena_bytes_peak.fetch_max(live, Ordering::Relaxed);
+                                let live = self.metrics.arena_bytes_live.add(bytes);
+                                self.metrics.arena_bytes_peak.set_max(live);
+                                for &i in &parties[unit.prep] {
+                                    record_stage(
+                                        requests[i].2,
+                                        "arena_build",
+                                        build_started,
+                                        build_done,
+                                    );
+                                }
                                 built
                             }
                         }
@@ -739,16 +828,28 @@ impl BatchEngine {
                 // The job-wide spectrum share lets ε-units whose slice
                 // resolves to the same triplet prefix reuse one block-
                 // Lanczos decomposition (bit-identical by construction).
-                let result = BettiRequest::of_filtration(&arena)
+                let solve_started = Instant::now();
+                let output = BettiRequest::of_filtration(&arena)
                     .at_scale(epsilon)
                     .dimension(unit.dim)
                     .estimator(config)
                     .dispatch(policy)
                     .share_spectra(&slot.spectra)
                     .build()
-                    .run()
-                    .unit();
-                self.units_executed.fetch_add(1, Ordering::Relaxed);
+                    .run();
+                let solve_done = Instant::now();
+                for &i in &parties[unit.prep] {
+                    record_stage(requests[i].2, "solve", solve_started, solve_done);
+                }
+                // Solver cost profiling: the unit's QuerySlice carries
+                // the aggregated matvec/Lanczos counts its backends
+                // recorded (empty on the dense path or with `obs` off).
+                let profile = output.slices.first().map(|s| s.profile).unwrap_or_default();
+                self.metrics.solve_matvecs.add(profile.matvecs);
+                self.metrics.lanczos_iterations.add(profile.lanczos_iterations);
+                self.metrics.lanczos_restarts.add(profile.restarts);
+                let result = output.unit();
+                self.metrics.units_executed.inc();
                 // Stream the slice the moment its last dimension
                 // lands (suppressed once the job aborted — the
                 // Aborted event is terminal for its consumers).
@@ -790,7 +891,10 @@ impl BatchEngine {
             if slot.remaining_units.fetch_sub(1, Ordering::AcqRel) == 1 {
                 let freed = slot.arena.lock().expect("prep slot poisoned").take();
                 if let Some(freed) = freed {
-                    self.arena_bytes_live.fetch_sub(freed.arena_bytes() as u64, Ordering::Relaxed);
+                    // Monotone-safe: `Gauge::sub` saturates at zero and
+                    // debug-asserts on underflow, so a double free can
+                    // never wrap the gauge to ~2⁶⁴.
+                    self.metrics.arena_bytes_live.sub(freed.arena_bytes() as u64);
                 }
             }
             result
@@ -816,7 +920,7 @@ impl BatchEngine {
         // after the last unit's boundary check (a fast job can finish
         // all its units before a cancel issued mid-stream arrives).
         let cancelled: Vec<bool> =
-            requests.iter().map(|(_, qos)| qos.cancel.is_cancelled()).collect();
+            requests.iter().map(|(_, qos, _)| qos.cancel.is_cancelled()).collect();
 
         // Assemble per computed job, publish to the cache, then resolve
         // the in-batch duplicates through their representative miss.
@@ -867,6 +971,10 @@ impl BatchEngine {
                 );
                 results[job_idx] = Some(result);
             }
+            // Mirror the cache's eviction count into its gauge while
+            // the lock is held, so an exposition scraped right after
+            // the batch is current.
+            self.metrics.cache_evictions.set(cache.evictions());
         }
 
         // Outcomes, per original request: cancellation is honoured at
@@ -879,7 +987,7 @@ impl BatchEngine {
         (0..requests.len())
             .map(|i| {
                 if cancelled[i] {
-                    self.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.jobs_cancelled.inc();
                     return JobOutcome::Aborted(AbortReason::Cancelled);
                 }
                 let resolved = match (&results[i], dup_of[i]) {
@@ -889,8 +997,7 @@ impl BatchEngine {
                 };
                 match resolved {
                     Some(result) => {
-                        self.served_by_class[requests[i].1.priority.index()]
-                            .fetch_add(1, Ordering::Relaxed);
+                        self.metrics.served_by_class[requests[i].1.priority.index()].inc();
                         JobOutcome::Completed(result)
                     }
                     None => {
@@ -902,7 +1009,7 @@ impl BatchEngine {
                             .1
                             .abort_reason(now)
                             .unwrap_or(AbortReason::DeadlineExceeded);
-                        self.jobs_deadline_expired.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.jobs_deadline_expired.inc();
                         JobOutcome::Aborted(reason)
                     }
                 }
@@ -1398,5 +1505,136 @@ mod tests {
             (1, 1, 1),
             "per-class served counts"
         );
+    }
+
+    #[test]
+    fn engine_stats_are_a_view_over_the_metrics_registry() {
+        let engine = BatchEngine::with_defaults();
+        let j = job(vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0]);
+        engine.run_batch(&[j.clone(), j]);
+        let stats = engine.stats();
+        let snap = engine.registry().snapshot();
+        assert_eq!(snap.counter("qtda_engine_jobs_served_total"), stats.jobs_served);
+        assert_eq!(snap.counter("qtda_engine_cache_misses_total"), stats.cache_misses);
+        assert_eq!(snap.counter("qtda_engine_deduplicated_total"), stats.deduplicated);
+        assert_eq!(snap.counter("qtda_engine_units_executed_total"), stats.units_executed);
+        assert_eq!(snap.counter_family("qtda_engine_served_total"), 2);
+        assert_eq!(snap.gauge("qtda_engine_arena_bytes_live"), 0);
+        assert_eq!(snap.gauge("qtda_engine_arena_bytes_peak"), stats.arena_bytes_peak);
+        let exposition = snap.to_prometheus();
+        assert!(
+            exposition.contains("qtda_engine_served_total{class=\"normal\"} 2"),
+            "per-class served sample missing:\n{exposition}"
+        );
+        assert!(exposition.contains("# TYPE qtda_engine_arena_bytes_live gauge"));
+    }
+
+    /// The `arena_bytes_live` regression the saturating gauge guards:
+    /// a mid-batch cancellation of *both* parties sharing one computed
+    /// arena must drain the gauge to exactly zero through the
+    /// cancelled-unit free path.
+    #[test]
+    fn mid_batch_cancellation_frees_the_shared_arena_to_exactly_zero() {
+        let engine = BatchEngine::new(EngineConfig {
+            workers: 1,
+            cache_capacity: 0,
+            ..EngineConfig::default()
+        });
+        let mut j = job(vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0]);
+        j.epsilons = vec![0.4, 0.8, 1.2]; // 3 ε × 2 dims = 6 units
+        let qos_a = QosPolicy::default();
+        let qos_b = QosPolicy::default();
+        let (token_a, token_b) = (qos_a.cancel_token(), qos_b.cancel_token());
+        let requests = [JobRequest::with_qos(j.clone(), qos_a), JobRequest::with_qos(j, qos_b)];
+        // Serial worker: the first completed slice cancels both
+        // parties, so the next unit's boundary check abandons the job
+        // with the arena still resident.
+        let outcomes = engine.run_batch_streaming_qos(&requests, &|event| {
+            if matches!(event, SliceEvent::Slice { .. }) {
+                token_a.cancel();
+                token_b.cancel();
+            }
+        });
+        for outcome in &outcomes {
+            assert!(matches!(outcome, JobOutcome::Aborted(AbortReason::Cancelled)));
+        }
+        let stats = engine.stats();
+        assert!(stats.units_executed >= 2, "the first slice's units ran");
+        assert!(stats.units_cancelled >= 1, "cancellation skipped the tail");
+        assert!(stats.arena_bytes_peak > 0, "an arena was resident");
+        assert_eq!(stats.arena_bytes_live, 0, "the cancelled free path drained the gauge");
+    }
+
+    #[test]
+    fn per_request_traces_record_stage_spans() {
+        let engine = BatchEngine::new(EngineConfig { workers: 1, ..EngineConfig::default() });
+        let j = job(vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0]);
+        let tracer = Tracer::new();
+        let outcomes =
+            engine.run_batch_qos(&[JobRequest::new(j.clone()).with_trace(tracer.clone())]);
+        assert!(outcomes[0].result().is_some());
+        let trace = tracer.snapshot().expect("live tracer");
+        #[cfg(feature = "obs")]
+        {
+            assert!(trace.stage("cache_probe").is_some());
+            assert!(trace.stage("arena_build").is_some());
+            let solves = trace.spans.iter().filter(|s| s.name == "solve").count();
+            assert_eq!(solves, 4, "one solve span per (ε, dim) unit");
+        }
+        #[cfg(not(feature = "obs"))]
+        assert!(trace.spans.is_empty(), "spans compile away without the obs feature");
+
+        // A cache-answered repeat probes but never builds or solves.
+        let repeat = Tracer::new();
+        engine.run_batch_qos(&[JobRequest::new(j).with_trace(repeat.clone())]);
+        let trace = repeat.snapshot().expect("live tracer");
+        assert!(trace.stage("arena_build").is_none());
+        assert!(trace.stage("solve").is_none());
+    }
+
+    /// The determinism contract observability rides under: attaching a
+    /// live registry and per-request tracers changes no output bit, and
+    /// neither does a fully disabled registry.
+    #[test]
+    fn telemetry_never_changes_result_bits() {
+        let jobs =
+            [job(vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0]), job(vec![0.0, 0.0, 2.0, 0.0, 0.0, 2.0])];
+        let config = EngineConfig { cache_capacity: 0, ..EngineConfig::default() };
+        let reference = BatchEngine::new(config).run_batch(&jobs);
+        for registry in [MetricsRegistry::new(), MetricsRegistry::disabled()] {
+            let engine = BatchEngine::with_metrics(config, Arc::new(registry));
+            let traced: Vec<JobRequest> =
+                jobs.iter().map(|j| JobRequest::new(j.clone()).with_trace(Tracer::new())).collect();
+            let outcomes = engine.run_batch_qos(&traced);
+            for (outcome, reference) in outcomes.iter().zip(&reference) {
+                let result = outcome.result().expect("default QoS completes");
+                assert_eq!(result.fingerprint, reference.fingerprint);
+                for (a, b) in result.features().iter().zip(reference.features()) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn sparse_units_feed_the_solver_cost_counters() {
+        use qtda_tda::point_cloud::synthetic;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(23);
+        let cloud = synthetic::circle(14, 1.0, 0.02, &mut rng);
+        let engine = BatchEngine::new(EngineConfig {
+            dispatch: Some(DispatchPolicy::from_sparse_threshold(1)),
+            cache_capacity: 0,
+            ..EngineConfig::default()
+        });
+        engine.run_job(&BettiJob::new(cloud, vec![0.6]));
+        let snap = engine.registry().snapshot();
+        assert!(
+            snap.counter("qtda_engine_solve_matvecs_total") > 0,
+            "sparse units report their matvec spend"
+        );
+        assert!(snap.counter("qtda_engine_lanczos_iterations_total") > 0);
     }
 }

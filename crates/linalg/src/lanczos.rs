@@ -10,6 +10,7 @@
 //! `m ≪ n` it delivers the extremal Ritz values.
 
 use crate::op::LaplacianOp;
+use crate::profile;
 
 /// Eigenvalues of a symmetric tridiagonal matrix by the implicit-shift
 /// QL algorithm (EISPACK `tql1`). `diag` is the diagonal, `off` the
@@ -113,10 +114,15 @@ pub fn lanczos_ritz_values<A: LaplacianOp + ?Sized>(a: &A, m: usize, seed: u64) 
     normalise(&mut v);
     basis.push(v);
 
+    profile::record(|p| p.block_width = p.block_width.max(1));
     // The matvec target / residual scratch, reused across iterations.
     let mut w = vec![0.0f64; n];
     for j in 0..m {
         a.matvec_into(&basis[j], &mut w);
+        profile::record(|p| {
+            p.matvecs += 1;
+            p.lanczos_iterations += 1;
+        });
         let alpha = dot(&w, &basis[j]);
         alphas.push(alpha);
         if j + 1 == m {
@@ -145,6 +151,7 @@ pub fn lanczos_ritz_values<A: LaplacianOp + ?Sized>(a: &A, m: usize, seed: u64) 
         if beta < 1e-12 {
             // Invariant subspace exhausted: restart with a fresh random
             // direction orthogonal to the basis.
+            profile::record(|p| p.restarts += 1);
             for f in &mut w {
                 *f = next();
             }
@@ -246,6 +253,11 @@ pub fn block_lanczos_ritz_values<A: LaplacianOp + ?Sized>(
             let refs: Vec<&[f64]> = basis[start..].iter().map(|v| v.as_slice()).collect();
             a.matvec_block(&refs)
         };
+        profile::record(|p| {
+            p.matvecs += take as u64;
+            p.lanczos_iterations += take as u64;
+            p.block_width = p.block_width.max(b as u64);
+        });
 
         // Orthogonalise every w against the full basis (twice), folding
         // the Galerkin coefficients into T. Column order is fixed, so
@@ -293,7 +305,10 @@ pub fn block_lanczos_ritz_values<A: LaplacianOp + ?Sized>(
         }
         while pending.len() < want {
             match fresh_direction(n, &mut next, &basis, &pending) {
-                Some(v) => pending.push(v),
+                Some(v) => {
+                    profile::record(|p| p.restarts += 1);
+                    pending.push(v);
+                }
                 None => break, // true dimension exhausted
             }
         }

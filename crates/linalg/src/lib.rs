@@ -19,7 +19,11 @@
 //! * the **sparse-first operator layer**: CSR storage ([`sparse`]),
 //!   Lanczos tridiagonalisation ([`lanczos`]) and the [`op::LaplacianOp`]
 //!   abstraction over `matvec`/dimension/spectral bounds that lets the
-//!   pipeline above treat dense and sparse Laplacians interchangeably.
+//!   pipeline above treat dense and sparse Laplacians interchangeably,
+//! * scoped **solver cost profiling** ([`profile`]): matvec / Lanczos
+//!   iteration / restart counters collected per work unit — the
+//!   "Laplacian applications per estimate" cost the QTDA literature
+//!   prices quantum advantage in.
 //!
 //! Everything is implemented from scratch on `Vec<f64>` storage; larger
 //! matrix products switch to [rayon] row-parallel kernels.
@@ -36,6 +40,7 @@ pub mod gershgorin;
 pub mod lanczos;
 pub mod matrix;
 pub mod op;
+pub mod profile;
 pub mod rank;
 pub mod sparse;
 
@@ -45,4 +50,5 @@ pub use eigen::SymEigen;
 pub use lanczos::{block_lanczos_ritz_values, lanczos_ritz_values, RITZ_BLOCK};
 pub use matrix::Mat;
 pub use op::LaplacianOp;
+pub use profile::SolveProfile;
 pub use sparse::{CsrMatrix, PAR_ROWS};

@@ -205,6 +205,7 @@ pub fn lambda_max_power_checked<A: LaplacianOp + ?Sized>(
     let mut av = vec![0.0f64; n];
     for _ in 0..iterations.max(1) {
         a.matvec_into(&v, &mut av);
+        crate::profile::record(|p| p.matvecs += 1);
         rayleigh = dot(&av, &v);
         // residual ‖Av − ρv‖ bounds |λ_max − ρ| for symmetric A.
         residual = av
@@ -315,6 +316,7 @@ pub fn lambda_max_power_adaptive<A: LaplacianOp + ?Sized>(
     let mut av = vec![0.0f64; n];
     for _ in 0..max_iterations.max(1) {
         a.matvec_into(&v, &mut av);
+        crate::profile::record(|p| p.matvecs += 1);
         iterations += 1;
         rayleigh = dot(&av, &v);
         residual = av

@@ -1,0 +1,41 @@
+//! # qtda-obs
+//!
+//! Dependency-free telemetry core for the qtda serving stack.
+//!
+//! The workspace's north star is a production serving system, and a
+//! serving system is only as debuggable as its telemetry. This crate
+//! provides the three primitives every layer above `qtda-linalg` wires
+//! into, with no dependencies beyond `std`:
+//!
+//! * [`metrics::MetricsRegistry`] — named counters, gauges and
+//!   fixed-bucket latency histograms. Registration takes a (sharded)
+//!   lock once; after that every increment is a single atomic
+//!   operation, so metrics are safe on the batch engine's hot path.
+//!   [`metrics::MetricsRegistry::snapshot`] yields a mergeable
+//!   [`metrics::MetricsSnapshot`] with a Prometheus-style text
+//!   exposition and a JSON form.
+//! * [`trace::Tracer`] — nested wall-clock spans with an RAII guard
+//!   API ([`trace::Tracer::span`] / [`trace::Span::child`]), cheap to
+//!   clone and share across worker threads. A disabled tracer (the
+//!   [`Default`]) is a single `Option` check per call — effectively
+//!   free — which is what lets the service attach one per ticket
+//!   without taxing untraced traffic.
+//!
+//! **Determinism contract.** Telemetry observes wall time and counts;
+//! it never touches seeds, work ordering, or numeric results. Every
+//! instrumented code path in the workspace must produce bit-identical
+//! results with telemetry enabled, disabled, or absent — the service
+//! test-suite pins this.
+
+#![deny(missing_docs)]
+#![deny(deprecated)]
+#![forbid(unsafe_code)]
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+    DEFAULT_LATENCY_BUCKETS,
+};
+pub use trace::{Span, SpanRecord, Trace, Tracer};

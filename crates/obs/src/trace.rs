@@ -1,0 +1,195 @@
+//! Nested wall-clock spans with an RAII guard API.
+//!
+//! A [`Tracer`] is attached to one unit of work (in the serving stack:
+//! one ticket). Opening a span ([`Tracer::span`], [`Span::child`])
+//! reserves a record with the span's start offset and parent; dropping
+//! the guard fills in the wall time. Guards own an `Arc` to the
+//! tracer's state, so they can be moved across worker threads and
+//! outlive the tracer handle that created them. Stages whose start
+//! predates the guard (e.g. queue wait measured from the submission
+//! timestamp) are recorded retroactively with
+//! [`Tracer::record_span`].
+//!
+//! The [`Default`] tracer is **disabled**: every call is a single
+//! `Option` check, so untraced requests pay one branch per
+//! instrumentation point. Reading a trace ([`Tracer::snapshot`])
+//! yields a plain [`Trace`] — the service re-exports it as
+//! `TicketTrace` — whose [`Trace::render`] prints the indented
+//! stage breakdown.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One finished (or still-open) span.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Stage name, e.g. `"queue_wait"` or `"solve[eps=0.25,k=1]"`.
+    pub name: String,
+    /// Index of the parent span in [`Trace::spans`], `None` for roots.
+    pub parent: Option<usize>,
+    /// Start offset from the tracer's creation instant.
+    pub start: Duration,
+    /// Wall time spent in the span (zero while the guard is open).
+    pub wall: Duration,
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    t0: Instant,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl TracerInner {
+    fn open(self: &Arc<Self>, name: String, parent: Option<usize>) -> Span {
+        let started = Instant::now();
+        let mut spans = self.spans.lock().expect("tracer poisoned");
+        let idx = spans.len();
+        spans.push(SpanRecord {
+            name,
+            parent,
+            start: started.saturating_duration_since(self.t0),
+            wall: Duration::ZERO,
+        });
+        Span { inner: Some(Arc::clone(self)), idx, started }
+    }
+}
+
+/// A per-work-unit collector of nested wall-clock spans. Cheap to
+/// clone (it is an `Option<Arc>`); the default is disabled.
+#[derive(Clone, Debug, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl Tracer {
+    /// A live tracer; its creation instant is the zero of all span
+    /// start offsets.
+    pub fn new() -> Self {
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                t0: Instant::now(),
+                spans: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// A disabled tracer: spans are no-ops, snapshots are empty.
+    pub fn disabled() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// Whether spans are recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a root-level span; the returned guard records the wall
+    /// time when dropped. Nest with [`Span::child`].
+    pub fn span(&self, name: impl Into<String>) -> Span {
+        match &self.inner {
+            Some(inner) => inner.open(name.into(), None),
+            None => Span { inner: None, idx: 0, started: Instant::now() },
+        }
+    }
+
+    /// Records a root-level span retroactively from two instants
+    /// (clamped to zero if they are out of order).
+    pub fn record_span(&self, name: impl Into<String>, start: Instant, end: Instant) {
+        if let Some(inner) = &self.inner {
+            inner.spans.lock().expect("tracer poisoned").push(SpanRecord {
+                name: name.into(),
+                parent: None,
+                start: start.saturating_duration_since(inner.t0),
+                wall: end.saturating_duration_since(start),
+            });
+        }
+    }
+
+    /// A copy of all spans recorded so far, in open order. `None` for
+    /// a disabled tracer.
+    pub fn snapshot(&self) -> Option<Trace> {
+        self.inner
+            .as_ref()
+            .map(|inner| Trace { spans: inner.spans.lock().expect("tracer poisoned").clone() })
+    }
+}
+
+/// RAII guard for an open span. Dropping it stamps the wall time; the
+/// guard is `Send`, so a span opened on the batcher thread can close
+/// on a worker.
+#[derive(Debug)]
+pub struct Span {
+    inner: Option<Arc<TracerInner>>,
+    idx: usize,
+    started: Instant,
+}
+
+impl Span {
+    /// Opens a span nested under this one.
+    pub fn child(&self, name: impl Into<String>) -> Span {
+        match &self.inner {
+            Some(inner) => inner.open(name.into(), Some(self.idx)),
+            None => Span { inner: None, idx: 0, started: Instant::now() },
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = &self.inner {
+            let wall = self.started.elapsed();
+            inner.spans.lock().expect("tracer poisoned")[self.idx].wall = wall;
+        }
+    }
+}
+
+/// A finished span tree: what [`Tracer::snapshot`] returns and what a
+/// ticket exposes as its timing breakdown.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// All spans in open order; `parent` indices point into this list.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl Trace {
+    /// Total wall time across every span whose name matches `name`
+    /// exactly, `None` if no span matched. Stages that repeat (one
+    /// `solve` span per unit) sum.
+    pub fn stage(&self, name: &str) -> Option<Duration> {
+        let mut total = Duration::ZERO;
+        let mut seen = false;
+        for span in self.spans.iter().filter(|s| s.name == name) {
+            total += span.wall;
+            seen = true;
+        }
+        seen.then_some(total)
+    }
+
+    /// Nesting depth of span `i` (roots are 0).
+    fn depth(&self, i: usize) -> usize {
+        let mut depth = 0;
+        let mut at = i;
+        while let Some(p) = self.spans[at].parent {
+            depth += 1;
+            at = p;
+        }
+        depth
+    }
+
+    /// An indented, human-readable stage breakdown, one line per span:
+    /// `name  start→  wall`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, span) in self.spans.iter().enumerate() {
+            out.push_str(&format!(
+                "{:indent$}{:<24} +{:>9.3}ms {:>9.3}ms\n",
+                "",
+                span.name,
+                span.start.as_secs_f64() * 1e3,
+                span.wall.as_secs_f64() * 1e3,
+                indent = 2 * self.depth(i),
+            ));
+        }
+        out
+    }
+}

@@ -1,0 +1,228 @@
+//! Behavioural pins for the telemetry core: bucket boundaries, exact
+//! merge associativity, snapshot consistency under concurrent writers,
+//! nested span parenting, and the exposition-format golden test CI's
+//! "Observability" step runs.
+
+use qtda_obs::{MetricsRegistry, MetricsSnapshot, Tracer, DEFAULT_LATENCY_BUCKETS};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn histogram_bucket_boundaries_are_inclusive_upper_bounds() {
+    let reg = MetricsRegistry::new();
+    let h = reg.histogram("t_seconds", &[1.0, 2.0]);
+    h.observe(1.0); // exactly on a bound counts in that bucket (le semantics)
+    h.observe(1.000_000_1);
+    h.observe(2.0);
+    h.observe(2.5); // overflow bucket
+    h.observe(-3.0); // clamps to zero, lowest bucket
+    let snap = reg.snapshot();
+    let hist = &snap.histograms[&("t_seconds".to_string(), String::new())];
+    assert_eq!(hist.buckets, vec![2, 2, 1]);
+    assert_eq!(hist.count(), 5);
+}
+
+#[test]
+fn histogram_durations_accumulate_exact_nanos() {
+    let reg = MetricsRegistry::new();
+    let h = reg.histogram("t_seconds", &DEFAULT_LATENCY_BUCKETS);
+    h.observe_duration(Duration::from_micros(1500));
+    h.observe_duration(Duration::from_millis(2));
+    let snap = reg.snapshot();
+    let hist = &snap.histograms[&("t_seconds".to_string(), String::new())];
+    assert_eq!(hist.sum_nanos, 3_500_000);
+    assert_eq!(hist.count(), 2);
+}
+
+fn sample_snapshot(counter: u64, gauge: u64, obs: &[f64]) -> MetricsSnapshot {
+    let reg = MetricsRegistry::new();
+    reg.counter("c_total").add(counter);
+    reg.gauge("g_bytes").set(gauge);
+    let h = reg.histogram("h_seconds", &[0.1, 1.0]);
+    for &v in obs {
+        h.observe(v);
+    }
+    reg.snapshot()
+}
+
+#[test]
+fn snapshot_merge_is_associative_and_exact() {
+    let a = sample_snapshot(3, 10, &[0.05]);
+    let b = sample_snapshot(5, 20, &[0.5, 5.0]);
+    let c = sample_snapshot(7, 30, &[0.07, 0.9]);
+
+    let mut ab_c = a.clone();
+    ab_c.merge(&b);
+    ab_c.merge(&c);
+
+    let mut bc = b.clone();
+    bc.merge(&c);
+    let mut a_bc = a.clone();
+    a_bc.merge(&bc);
+
+    assert_eq!(ab_c, a_bc);
+    assert_eq!(ab_c.counter("c_total"), 15);
+    assert_eq!(ab_c.gauge("g_bytes"), 60, "gauges merge by sum");
+    let hist = &ab_c.histograms[&("h_seconds".to_string(), String::new())];
+    assert_eq!(hist.buckets, vec![2, 2, 1]);
+    assert_eq!(hist.sum_nanos, 6_520_000_000);
+}
+
+#[test]
+fn snapshots_stay_consistent_under_concurrent_writes() {
+    let reg = Arc::new(MetricsRegistry::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let writers: Vec<_> = (0..4)
+        .map(|_| {
+            let reg = Arc::clone(&reg);
+            std::thread::spawn(move || {
+                let c = reg.counter("w_total");
+                let h = reg.histogram("w_seconds", &DEFAULT_LATENCY_BUCKETS);
+                for _ in 0..10_000 {
+                    c.inc();
+                    h.observe(0.003);
+                }
+            })
+        })
+        .collect();
+    let watcher = {
+        let reg = Arc::clone(&reg);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut last = 0;
+            while !stop.load(Ordering::Relaxed) {
+                let snap = reg.snapshot();
+                let now = snap.counter("w_total");
+                assert!(now >= last, "counters never go backwards across snapshots");
+                last = now;
+            }
+        })
+    };
+    for w in writers {
+        w.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    watcher.join().unwrap();
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("w_total"), 40_000);
+    let hist = &snap.histograms[&("w_seconds".to_string(), String::new())];
+    assert_eq!(hist.count(), 40_000, "quiescent snapshot is exact");
+}
+
+#[test]
+fn gauge_sub_saturates_at_zero() {
+    let reg = MetricsRegistry::new();
+    let g = reg.gauge("g");
+    g.add(5);
+    g.sub(5);
+    assert_eq!(g.get(), 0, "balanced add/sub returns to exactly 0");
+}
+
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "gauge underflow")]
+fn gauge_underflow_trips_the_debug_assert() {
+    let reg = MetricsRegistry::new();
+    let g = reg.gauge("g");
+    g.add(1);
+    g.sub(2);
+}
+
+#[test]
+fn disabled_registry_hands_out_noops_and_snapshots_empty() {
+    let reg = MetricsRegistry::disabled();
+    let c = reg.counter("c_total");
+    c.add(100);
+    assert_eq!(c.get(), 0);
+    reg.gauge("g").set(9);
+    reg.histogram("h_seconds", &[1.0]).observe(0.5);
+    assert_eq!(reg.snapshot(), MetricsSnapshot::default());
+}
+
+#[test]
+fn nested_spans_record_their_parents() {
+    let tracer = Tracer::new();
+    {
+        let request = tracer.span("request");
+        {
+            let engine = request.child("engine");
+            let _solve = engine.child("solve");
+        }
+        let _also_root = tracer.span("delivery");
+    }
+    let trace = tracer.snapshot().expect("enabled tracer");
+    let parents: Vec<Option<usize>> = trace.spans.iter().map(|s| s.parent).collect();
+    assert_eq!(parents, vec![None, Some(0), Some(1), None]);
+    let names: Vec<&str> = trace.spans.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(names, vec!["request", "engine", "solve", "delivery"]);
+    assert!(trace.spans.iter().all(|s| s.wall > Duration::ZERO || s.wall == s.wall));
+    assert!(trace.stage("request").is_some());
+    assert!(trace.stage("missing").is_none());
+    // render() indents by depth: "solve" sits two levels deep.
+    assert!(trace.render().contains("    solve"));
+}
+
+#[test]
+fn repeated_stage_names_sum_in_stage() {
+    let tracer = Tracer::new();
+    for _ in 0..3 {
+        let s = tracer.span("solve");
+        std::thread::sleep(Duration::from_millis(1));
+        drop(s);
+    }
+    let trace = tracer.snapshot().unwrap();
+    assert_eq!(trace.spans.len(), 3);
+    assert!(trace.stage("solve").unwrap() >= Duration::from_millis(3));
+}
+
+#[test]
+fn disabled_tracer_is_free_and_empty() {
+    let tracer = Tracer::disabled();
+    assert!(!tracer.is_enabled());
+    let s = tracer.span("request");
+    let _c = s.child("engine");
+    assert!(tracer.snapshot().is_none());
+    assert!(!Tracer::default().is_enabled(), "the default tracer is disabled");
+}
+
+/// The exposition-format golden test: the Prometheus text form is a
+/// pure function of the snapshot. CI's "Observability" step runs this.
+#[test]
+fn exposition_format_golden() {
+    let reg = MetricsRegistry::new();
+    reg.counter("qtda_test_total").add(3);
+    reg.gauge("qtda_test_bytes").set(7);
+    reg.counter_with("qtda_test_served_total", &[("class", "bulk")]).inc();
+    let h = reg.histogram("qtda_test_seconds", &[0.1, 1.0]);
+    h.observe(0.05);
+    h.observe(0.5);
+    h.observe(5.0);
+    let expected = "\
+# TYPE qtda_test_bytes gauge
+qtda_test_bytes 7
+# TYPE qtda_test_seconds histogram
+qtda_test_seconds_bucket{le=\"0.1\"} 1
+qtda_test_seconds_bucket{le=\"1\"} 2
+qtda_test_seconds_bucket{le=\"+Inf\"} 3
+qtda_test_seconds_sum 5.55
+qtda_test_seconds_count 3
+# TYPE qtda_test_served_total counter
+qtda_test_served_total{class=\"bulk\"} 1
+# TYPE qtda_test_total counter
+qtda_test_total 3
+";
+    assert_eq!(reg.snapshot().to_prometheus(), expected);
+}
+
+#[test]
+fn json_form_escapes_label_quotes_and_carries_buckets() {
+    let reg = MetricsRegistry::new();
+    reg.counter_with("c_total", &[("class", "bulk")]).add(2);
+    reg.histogram("h_seconds", &[0.5]).observe(0.25);
+    let json = reg.snapshot().to_json();
+    assert!(json.contains("\"c_total{class=\\\"bulk\\\"}\": 2"));
+    assert!(json.contains("\"bounds\": [0.5]"));
+    assert!(json.contains("\"buckets\": [1, 0]"));
+    assert!(json.contains("\"sum_seconds\": 0.25"));
+}

@@ -68,8 +68,13 @@ pub mod stats;
 pub mod ticket;
 
 pub use dispatch::{serving_policy, validating_policy, BackendKind, DispatchPolicy};
-pub use qtda_engine::{AbortReason, CancelToken, Priority, QosPolicy};
+// `MetricsRegistry`/`MetricsSnapshot` re-exported so callers can build
+// a [`Telemetry`] (shared or disabled registry) and read expositions
+// without depending on `qtda-obs` directly.
+pub use qtda_engine::{
+    AbortReason, CancelToken, MetricsRegistry, MetricsSnapshot, Priority, QosPolicy,
+};
 pub use queue::SubmitError;
-pub use service::{QtdaService, ServiceConfig};
+pub use service::{QtdaService, ServiceConfig, Telemetry};
 pub use stats::ServiceStats;
-pub use ticket::{StreamedSlice, Ticket, TicketOutcome};
+pub use ticket::{StreamedSlice, Ticket, TicketOutcome, TicketTrace};

@@ -30,7 +30,8 @@
 //! batcher waits, with a deadline while lingering for a micro-batch).
 
 use crate::ticket::TicketEvent;
-use qtda_engine::{BettiJob, Priority, QosPolicy};
+use qtda_engine::{BettiJob, Priority, QosPolicy, Tracer};
+use qtda_obs::Gauge;
 use std::collections::VecDeque;
 use std::sync::mpsc::Sender;
 use std::sync::{Condvar, Mutex};
@@ -47,6 +48,9 @@ pub(crate) struct Request {
     /// When the producer handed the job over (micro-batch deadlines and
     /// latency accounting key off this).
     pub accepted_at: Instant,
+    /// Per-ticket stage tracer (disabled unless the service was built
+    /// with ticket tracing on).
+    pub trace: Tracer,
 }
 
 /// Why a submission was not accepted. Boxed so the error path stays as
@@ -133,13 +137,25 @@ pub(crate) struct SubmissionQueue {
     state: Mutex<QueueState>,
     not_full: Condvar,
     not_empty: Condvar,
+    /// Published queue depth (`qtda_service_queue_depth`), updated
+    /// under the state lock on every push/pop so the gauge can never
+    /// drift from `len()`.
+    depth: Gauge,
 }
 
 impl SubmissionQueue {
     /// A queue admitting at most `capacity` requests across all
     /// classes, serving the oldest passed-over request after
-    /// `bypass_limit` consecutive priority bypasses.
+    /// `bypass_limit` consecutive priority bypasses. Unit tests only —
+    /// the service always constructs through
+    /// [`SubmissionQueue::with_depth_gauge`].
+    #[cfg(test)]
     pub fn new(capacity: usize, bypass_limit: usize) -> Self {
+        Self::with_depth_gauge(capacity, bypass_limit, Gauge::noop())
+    }
+
+    /// [`SubmissionQueue::new`] publishing its depth into `depth`.
+    pub fn with_depth_gauge(capacity: usize, bypass_limit: usize, depth: Gauge) -> Self {
         assert!(capacity >= 1, "queue capacity must be at least 1");
         assert!(bypass_limit >= 1, "a zero bypass limit would invert the priority order");
         SubmissionQueue {
@@ -152,6 +168,7 @@ impl SubmissionQueue {
             }),
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
+            depth,
         }
     }
 
@@ -167,6 +184,7 @@ impl SubmissionQueue {
         }
         let class = request.qos.priority.index();
         state.classes[class].push_back(request);
+        self.depth.set(state.len() as u64);
         drop(state);
         self.not_empty.notify_one();
         Ok(())
@@ -184,6 +202,7 @@ impl SubmissionQueue {
         }
         let class = request.qos.priority.index();
         state.classes[class].push_back(request);
+        self.depth.set(state.len() as u64);
         drop(state);
         self.not_empty.notify_one();
         Ok(())
@@ -196,6 +215,7 @@ impl SubmissionQueue {
         let mut state = self.state.lock().expect("queue poisoned");
         loop {
             if let Some(request) = state.pop(self.bypass_limit) {
+                self.depth.set(state.len() as u64);
                 drop(state);
                 self.not_full.notify_one();
                 return Some(request);
@@ -215,6 +235,7 @@ impl SubmissionQueue {
         let mut state = self.state.lock().expect("queue poisoned");
         loop {
             if let Some(request) = state.pop(self.bypass_limit) {
+                self.depth.set(state.len() as u64);
                 drop(state);
                 self.not_full.notify_one();
                 return Some(request);
@@ -268,6 +289,7 @@ mod tests {
             qos,
             tx,
             accepted_at: Instant::now(),
+            trace: Tracer::disabled(),
         }
     }
 

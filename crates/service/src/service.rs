@@ -37,13 +37,25 @@ use crate::queue::{Request, SubmissionQueue, SubmitError};
 use crate::stats::{Counters, ServiceStats};
 use crate::ticket::{StreamedSlice, Ticket, TicketEvent};
 use qtda_engine::{
-    BatchEngine, BettiJob, EngineConfig, JobOutcome, JobRequest, Priority, QosPolicy, SliceEvent,
+    BatchEngine, BettiJob, EngineConfig, JobOutcome, JobRequest, MetricsRegistry, Priority,
+    QosPolicy, SliceEvent, Tracer,
 };
-use std::sync::atomic::Ordering;
-use std::sync::mpsc::{channel, Sender};
+use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Records a completed stage on a per-ticket trace. Compiled out
+/// entirely without the `obs` feature; results are bit-identical either
+/// way (pinned in `tests/obs.rs`) — telemetry observes wall time, never
+/// seeds or scheduling.
+#[cfg(feature = "obs")]
+fn record_stage(trace: &Tracer, name: &str, start: Instant, end: Instant) {
+    trace.record_span(name, start, end);
+}
+
+#[cfg(not(feature = "obs"))]
+fn record_stage(_trace: &Tracer, _name: &str, _start: Instant, _end: Instant) {}
 
 /// Streaming front-end parameters.
 #[derive(Clone, Copy, Debug)]
@@ -92,6 +104,43 @@ impl Default for ServiceConfig {
     }
 }
 
+/// How a service publishes telemetry: where its metrics land, and
+/// whether tickets carry per-stage traces.
+///
+/// Deliberately separate from [`ServiceConfig`] (which stays `Copy` and
+/// describes *serving policy*): telemetry is about observation, and the
+/// registry is a shared handle. Telemetry never changes results — the
+/// determinism suites run identically with it on, off, or disabled.
+#[derive(Clone, Debug)]
+pub struct Telemetry {
+    /// The registry every `qtda_service_*` metric — and, via the owned
+    /// engine, every `qtda_engine_*` metric — registers into. Share one
+    /// registry across services to aggregate their exposition; pass
+    /// `Arc::new(MetricsRegistry::disabled())` to turn every metric
+    /// write into a no-op.
+    pub registry: Arc<MetricsRegistry>,
+    /// When `true`, every ticket carries a live tracer and
+    /// [`Ticket::trace`] reports per-stage wall times (`queue_wait`,
+    /// `linger`, `delivery` from the service; `cache_probe`,
+    /// `arena_build`, `solve` from the engine — spans require the `obs`
+    /// feature, on by default). Off by default: tracing allocates per
+    /// request.
+    pub trace_tickets: bool,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry { registry: Arc::new(MetricsRegistry::new()), trace_tickets: false }
+    }
+}
+
+impl Telemetry {
+    /// Telemetry with ticket tracing on (fresh live registry).
+    pub fn with_ticket_traces() -> Self {
+        Telemetry { trace_tickets: true, ..Telemetry::default() }
+    }
+}
+
 /// The streaming Betti-serving service: a [`BatchEngine`] behind a
 /// bounded three-class priority queue and a deadline micro-batcher,
 /// returning a [`Ticket`] per submission.
@@ -99,17 +148,34 @@ pub struct QtdaService {
     engine: Arc<BatchEngine>,
     queue: Arc<SubmissionQueue>,
     counters: Arc<Counters>,
+    registry: Arc<MetricsRegistry>,
+    trace_tickets: bool,
     batcher: Option<JoinHandle<()>>,
 }
 
 impl QtdaService {
     /// Starts a service (and its batcher thread) with the given
-    /// configuration.
+    /// configuration and default [`Telemetry`] (own live registry, no
+    /// ticket traces).
     pub fn new(config: ServiceConfig) -> Self {
+        Self::with_telemetry(config, Telemetry::default())
+    }
+
+    /// Starts a service publishing into the given [`Telemetry`] — the
+    /// owned engine registers its `qtda_engine_*` metrics into the same
+    /// registry, so one
+    /// [`registry().snapshot()`](MetricsRegistry::snapshot) exposes the
+    /// whole serving stack.
+    pub fn with_telemetry(config: ServiceConfig, telemetry: Telemetry) -> Self {
         assert!(config.max_batch_size >= 1, "micro-batches need at least one job");
-        let engine = Arc::new(BatchEngine::new(config.engine));
-        let queue = Arc::new(SubmissionQueue::new(config.queue_capacity, config.priority_bypass));
-        let counters = Arc::new(Counters::default());
+        let registry = telemetry.registry;
+        let engine = Arc::new(BatchEngine::with_metrics(config.engine, Arc::clone(&registry)));
+        let queue = Arc::new(SubmissionQueue::with_depth_gauge(
+            config.queue_capacity,
+            config.priority_bypass,
+            registry.gauge("qtda_service_queue_depth"),
+        ));
+        let counters = Arc::new(Counters::register(&registry));
         let batcher = {
             let engine = Arc::clone(&engine);
             let queue = Arc::clone(&queue);
@@ -119,7 +185,14 @@ impl QtdaService {
                 .spawn(move || batcher_loop(&engine, &queue, &counters, config))
                 .expect("spawning the batcher thread")
         };
-        QtdaService { engine, queue, counters, batcher: Some(batcher) }
+        QtdaService {
+            engine,
+            queue,
+            counters,
+            registry,
+            trace_tickets: telemetry.trace_tickets,
+            batcher: Some(batcher),
+        }
     }
 
     /// A service with [`ServiceConfig::default`].
@@ -163,7 +236,7 @@ impl QtdaService {
             }
             Err(err) => {
                 if matches!(err, SubmitError::Overloaded(_)) {
-                    self.counters.rejected_overloaded.fetch_add(1, Ordering::Relaxed);
+                    self.counters.rejected_overloaded.inc();
                 }
                 Err(err)
             }
@@ -173,14 +246,23 @@ impl QtdaService {
     fn make_request(&self, job: BettiJob, qos: QosPolicy) -> (Request, Ticket) {
         let (tx, rx) = channel();
         let cancel = qos.cancel_token();
-        let request = Request { job, qos, tx, accepted_at: Instant::now() };
-        (request, Ticket { rx, outcome: None, cancel })
+        let trace = if self.trace_tickets { Tracer::new() } else { Tracer::disabled() };
+        let request = Request { job, qos, tx, accepted_at: Instant::now(), trace: trace.clone() };
+        (request, Ticket { rx, outcome: None, cancel, trace })
     }
 
     /// The engine behind the service (for its cache/dedup/unit/QoS
     /// counters; the engine's cache persists across micro-batches).
     pub fn engine(&self) -> &BatchEngine {
         &self.engine
+    }
+
+    /// The metrics registry behind this service and its engine. Call
+    /// [`snapshot()`](MetricsRegistry::snapshot) for a mergeable
+    /// point-in-time view with Prometheus text and JSON exposition of
+    /// every `qtda_service_*` and `qtda_engine_*` metric.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 
     /// A snapshot of the service-level counters.
@@ -244,10 +326,8 @@ fn batcher_loop(
     let _close_on_exit = CloseOnExit(queue);
     while let Some(first) = queue.pop_blocking() {
         let accepted_at = first.accepted_at;
-        let mut batch = Vec::with_capacity(config.max_batch_size);
-        if !abort_if_dead(&first, counters) {
-            batch.push(first);
-        }
+        let mut batch: Vec<(Request, Instant)> = Vec::with_capacity(config.max_batch_size);
+        admit(first, counters, &mut batch);
         // Gather while the batch is short of its size cap. An empty
         // `batch` (first request dead on arrival) keeps gathering with
         // the dead request's clock — bounded and simple; the next loop
@@ -260,9 +340,8 @@ fn batcher_loop(
             // request anywhere in the batch (or already waiting in the
             // queue) zeroes it outright: express traffic never waits
             // for company it does not need.
-            let interactive =
-                batch.iter().any(|r: &Request| r.qos.priority == Priority::Interactive)
-                    || queue.interactive_waiting();
+            let interactive = batch.iter().any(|(r, _)| r.qos.priority == Priority::Interactive)
+                || queue.interactive_waiting();
             let linger = if interactive {
                 Duration::ZERO
             } else if config.adaptive_linger {
@@ -275,11 +354,7 @@ fn batcher_loop(
                 config.max_linger
             };
             match queue.pop_until(accepted_at + linger) {
-                Some(request) => {
-                    if !abort_if_dead(&request, counters) {
-                        batch.push(request);
-                    }
-                }
+                Some(request) => admit(request, counters, &mut batch),
                 None => break,
             }
         }
@@ -288,9 +363,22 @@ fn batcher_loop(
         }
         counters.record_batch(batch.len() as u64);
 
-        let requests: Vec<JobRequest> =
-            batch.iter().map(|r| JobRequest { job: r.job.clone(), qos: r.qos.clone() }).collect();
-        let senders: Vec<Sender<TicketEvent>> = batch.into_iter().map(|r| r.tx).collect();
+        // The linger stage ends for every member when the batch
+        // dispatches — time spent gathering company, paid for
+        // throughput.
+        let dispatched_at = Instant::now();
+        for (r, popped_at) in &batch {
+            record_stage(&r.trace, "linger", *popped_at, dispatched_at);
+        }
+        let requests: Vec<JobRequest> = batch
+            .iter()
+            .map(|(r, _)| JobRequest {
+                job: r.job.clone(),
+                qos: r.qos.clone(),
+                trace: r.trace.clone(),
+            })
+            .collect();
+        let parties: Vec<Request> = batch.into_iter().map(|(r, _)| r).collect();
         // Stream every slice to its ticket as the engine announces it;
         // engine-side aborts forward as terminal events immediately.
         // A send only fails when the consumer dropped the ticket —
@@ -299,28 +387,46 @@ fn batcher_loop(
             engine.run_batch_streaming_qos(&requests, &|event: SliceEvent| match event {
                 SliceEvent::Slice { job_index, slice_index, result } => {
                     let slice = StreamedSlice { slice_index, result };
-                    let _ = senders[job_index].send(TicketEvent::Slice(slice));
+                    let _ = parties[job_index].tx.send(TicketEvent::Slice(slice));
                 }
                 SliceEvent::Aborted { job_index, reason } => {
-                    let _ = senders[job_index].send(TicketEvent::Aborted(reason));
+                    let _ = parties[job_index].tx.send(TicketEvent::Aborted(reason));
                 }
             });
-        for (sender, outcome) in senders.iter().zip(outcomes) {
-            // Count before sending: a consumer that observes a terminal
-            // event must never read a counter that excludes its job.
+        let delivery_started = Instant::now();
+        for (request, outcome) in parties.iter().zip(outcomes) {
+            // Count (and close the trace) before sending: a consumer
+            // that observes a terminal event must never read a counter
+            // that excludes its job, nor a trace missing its delivery.
+            counters.record_request_latency(request.qos.priority, request.accepted_at.elapsed());
+            record_stage(&request.trace, "delivery", delivery_started, Instant::now());
             match outcome {
                 JobOutcome::Completed(result) => {
-                    counters.completed.fetch_add(1, Ordering::Relaxed);
-                    let _ = sender.send(TicketEvent::Done(result));
+                    counters.completed.inc();
+                    let _ = request.tx.send(TicketEvent::Done(result));
                 }
                 JobOutcome::Aborted(reason) => {
                     counters.record_abort(reason);
                     // Possibly a duplicate of the engine's streamed
                     // abort — the ticket keeps the first terminal event.
-                    let _ = sender.send(TicketEvent::Aborted(reason));
+                    let _ = request.tx.send(TicketEvent::Aborted(reason));
                 }
             }
         }
+    }
+}
+
+/// Records queue wait (histogram + trace span) for a freshly popped
+/// request, then admits it to the gathering micro-batch — unless it was
+/// cancelled while queued, in which case it is aborted on the spot and
+/// never occupies a slot. The paired `Instant` is the pop time, where
+/// the request's `linger` stage begins.
+fn admit(request: Request, counters: &Counters, batch: &mut Vec<(Request, Instant)>) {
+    let popped_at = Instant::now();
+    counters.record_queue_wait(popped_at.duration_since(request.accepted_at));
+    record_stage(&request.trace, "queue_wait", request.accepted_at, popped_at);
+    if !abort_if_dead(&request, counters) {
+        batch.push((request, popped_at));
     }
 }
 

@@ -7,9 +7,19 @@
 //! [`EngineStats`](qtda_engine::EngineStats) (cache, dedup, units,
 //! per-class served counts) available through
 //! `QtdaService::engine().stats()`.
+//!
+//! The storage behind both is the service's
+//! [`MetricsRegistry`](qtda_obs::MetricsRegistry): [`Counters`] is a
+//! bundle of `qtda_service_*` metric handles, so the same numbers that
+//! feed `ServiceStats` appear in the Prometheus/JSON exposition —
+//! alongside the per-class request latency histogram
+//! (`qtda_service_request_seconds`) and the queue-wait histogram
+//! (`qtda_service_queue_wait_seconds`) that have no `ServiceStats`
+//! field at all.
 
 use qtda_engine::{AbortReason, Priority};
-use std::sync::atomic::{AtomicU64, Ordering};
+use qtda_obs::{Counter, Gauge, Histogram, MetricsRegistry, DEFAULT_LATENCY_BUCKETS};
+use std::time::Duration;
 
 /// A snapshot of the service's serving counters.
 #[derive(Clone, Copy, Debug, Default)]
@@ -57,52 +67,101 @@ impl ServiceStats {
     }
 }
 
-/// The live atomics behind [`ServiceStats`].
-#[derive(Debug, Default)]
+/// The service's handles into its metrics registry — the storage
+/// behind [`ServiceStats`]. Every handle is one atomic cell; no lock
+/// is taken after registration.
+#[derive(Debug)]
 pub(crate) struct Counters {
-    pub submitted: AtomicU64,
-    pub submitted_by_class: [AtomicU64; 3],
-    pub rejected_overloaded: AtomicU64,
-    pub batches_formed: AtomicU64,
-    pub jobs_batched: AtomicU64,
-    pub largest_batch: AtomicU64,
-    pub completed: AtomicU64,
-    pub cancelled: AtomicU64,
-    pub deadline_expired: AtomicU64,
+    submitted_by_class: [Counter; 3],
+    pub rejected_overloaded: Counter,
+    batches_formed: Counter,
+    jobs_batched: Counter,
+    largest_batch: Gauge,
+    pub completed: Counter,
+    cancelled: Counter,
+    deadline_expired: Counter,
+    /// End-to-end latency (submission → terminal event) per class.
+    request_seconds: [Histogram; 3],
+    /// Time from submission to being popped into a micro-batch.
+    queue_wait_seconds: Histogram,
 }
 
 impl Counters {
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        let class_counter = |class: &str| {
+            registry.counter_with("qtda_service_submitted_total", &[("class", class)])
+        };
+        let class_histogram = |class: &str| {
+            registry.histogram_with(
+                "qtda_service_request_seconds",
+                &[("class", class)],
+                &DEFAULT_LATENCY_BUCKETS,
+            )
+        };
+        Counters {
+            submitted_by_class: [
+                class_counter("interactive"),
+                class_counter("normal"),
+                class_counter("bulk"),
+            ],
+            rejected_overloaded: registry.counter("qtda_service_rejected_overloaded_total"),
+            batches_formed: registry.counter("qtda_service_batches_formed_total"),
+            jobs_batched: registry.counter("qtda_service_jobs_batched_total"),
+            largest_batch: registry.gauge("qtda_service_largest_batch"),
+            completed: registry.counter("qtda_service_completed_total"),
+            cancelled: registry.counter("qtda_service_cancelled_total"),
+            deadline_expired: registry.counter("qtda_service_deadline_expired_total"),
+            request_seconds: [
+                class_histogram("interactive"),
+                class_histogram("normal"),
+                class_histogram("bulk"),
+            ],
+            queue_wait_seconds: registry
+                .histogram("qtda_service_queue_wait_seconds", &DEFAULT_LATENCY_BUCKETS),
+        }
+    }
+
     pub fn record_submit(&self, priority: Priority) {
-        self.submitted.fetch_add(1, Ordering::Relaxed);
-        self.submitted_by_class[priority.index()].fetch_add(1, Ordering::Relaxed);
+        self.submitted_by_class[priority.index()].inc();
     }
 
     pub fn record_batch(&self, size: u64) {
-        self.batches_formed.fetch_add(1, Ordering::Relaxed);
-        self.jobs_batched.fetch_add(size, Ordering::Relaxed);
-        self.largest_batch.fetch_max(size, Ordering::Relaxed);
+        self.batches_formed.inc();
+        self.jobs_batched.add(size);
+        self.largest_batch.set_max(size);
     }
 
     pub fn record_abort(&self, reason: AbortReason) {
         match reason {
-            AbortReason::Cancelled => self.cancelled.fetch_add(1, Ordering::Relaxed),
-            AbortReason::DeadlineExceeded => self.deadline_expired.fetch_add(1, Ordering::Relaxed),
+            AbortReason::Cancelled => self.cancelled.inc(),
+            AbortReason::DeadlineExceeded => self.deadline_expired.inc(),
         };
     }
 
+    /// One observation in the per-class end-to-end latency histogram.
+    pub fn record_request_latency(&self, priority: Priority, latency: Duration) {
+        self.request_seconds[priority.index()].observe_duration(latency);
+    }
+
+    /// One observation in the submission-to-batch queue-wait histogram.
+    pub fn record_queue_wait(&self, wait: Duration) {
+        self.queue_wait_seconds.observe_duration(wait);
+    }
+
     pub fn snapshot(&self) -> ServiceStats {
+        let by_class: Vec<u64> = self.submitted_by_class.iter().map(Counter::get).collect();
         ServiceStats {
-            submitted: self.submitted.load(Ordering::Relaxed),
-            submitted_interactive: self.submitted_by_class[0].load(Ordering::Relaxed),
-            submitted_normal: self.submitted_by_class[1].load(Ordering::Relaxed),
-            submitted_bulk: self.submitted_by_class[2].load(Ordering::Relaxed),
-            rejected_overloaded: self.rejected_overloaded.load(Ordering::Relaxed),
-            batches_formed: self.batches_formed.load(Ordering::Relaxed),
-            jobs_batched: self.jobs_batched.load(Ordering::Relaxed),
-            largest_batch: self.largest_batch.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
-            cancelled: self.cancelled.load(Ordering::Relaxed),
-            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            submitted: by_class.iter().sum(),
+            submitted_interactive: by_class[0],
+            submitted_normal: by_class[1],
+            submitted_bulk: by_class[2],
+            rejected_overloaded: self.rejected_overloaded.get(),
+            batches_formed: self.batches_formed.get(),
+            jobs_batched: self.jobs_batched.get(),
+            largest_batch: self.largest_batch.get(),
+            completed: self.completed.get(),
+            cancelled: self.cancelled.get(),
+            deadline_expired: self.deadline_expired.get(),
         }
     }
 }
@@ -113,7 +172,8 @@ mod tests {
 
     #[test]
     fn batch_recording_tracks_mean_and_max() {
-        let c = Counters::default();
+        let registry = MetricsRegistry::new();
+        let c = Counters::register(&registry);
         c.record_batch(4);
         c.record_batch(2);
         c.record_batch(6);
@@ -127,7 +187,8 @@ mod tests {
 
     #[test]
     fn submissions_and_aborts_count_per_class_and_reason() {
-        let c = Counters::default();
+        let registry = MetricsRegistry::new();
+        let c = Counters::register(&registry);
         c.record_submit(Priority::Interactive);
         c.record_submit(Priority::Interactive);
         c.record_submit(Priority::Normal);
@@ -135,12 +196,36 @@ mod tests {
         c.record_abort(AbortReason::Cancelled);
         c.record_abort(AbortReason::DeadlineExceeded);
         c.record_abort(AbortReason::DeadlineExceeded);
-        c.completed.fetch_add(1, Ordering::Relaxed);
+        c.completed.inc();
         let s = c.snapshot();
         assert_eq!(s.submitted, 4);
         assert_eq!((s.submitted_interactive, s.submitted_normal, s.submitted_bulk), (2, 1, 1));
         assert_eq!(s.cancelled, 1);
         assert_eq!(s.deadline_expired, 2);
         assert_eq!(s.resolved(), 4);
+    }
+
+    /// The same numbers ServiceStats reports must appear in the
+    /// registry's exposition under the `qtda_service_*` families.
+    #[test]
+    fn counters_publish_into_the_registry() {
+        let registry = MetricsRegistry::new();
+        let c = Counters::register(&registry);
+        c.record_submit(Priority::Normal);
+        c.record_submit(Priority::Bulk);
+        c.record_batch(2);
+        c.record_request_latency(Priority::Normal, Duration::from_millis(3));
+        c.record_queue_wait(Duration::from_micros(200));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_family("qtda_service_submitted_total"), 2);
+        assert_eq!(snap.counter("qtda_service_batches_formed_total"), 1);
+        let exposition = snap.to_prometheus();
+        assert!(exposition.contains("qtda_service_submitted_total{class=\"bulk\"} 1"));
+        assert!(
+            exposition
+                .contains("qtda_service_request_seconds_bucket{class=\"normal\",le=\"0.005\"} 1"),
+            "per-class latency histogram sample missing:\n{exposition}"
+        );
+        assert!(exposition.contains("qtda_service_queue_wait_seconds_count 1"));
     }
 }

@@ -21,9 +21,18 @@
 //! [`AbortReason::Cancelled`], even if the shared computation finished
 //! anyway (e.g. an identical uncancelled request kept it alive).
 
-use qtda_engine::{AbortReason, CancelToken, JobResult, SliceResult};
+use qtda_engine::{AbortReason, CancelToken, JobResult, SliceResult, Tracer};
 use std::sync::mpsc::{Receiver, TryRecvError};
 use std::sync::Arc;
+
+/// Per-stage wall times for one request — the service's `queue_wait`,
+/// `linger`, and `delivery` stages plus the engine's `cache_probe`,
+/// `arena_build`, and `solve`, as nested spans. Read a stage's total
+/// with [`TicketTrace::stage`], or format the tree with
+/// [`TicketTrace::render`]. Obtained from [`Ticket::trace`] when the
+/// service was built with
+/// [`Telemetry::trace_tickets`](crate::Telemetry) on.
+pub use qtda_engine::Trace as TicketTrace;
 
 /// One slice of a job, streamed before the job (let alone its batch)
 /// completes.
@@ -63,9 +72,21 @@ pub struct Ticket {
     pub(crate) rx: Receiver<TicketEvent>,
     pub(crate) outcome: Option<TicketOutcome>,
     pub(crate) cancel: CancelToken,
+    pub(crate) trace: Tracer,
 }
 
 impl Ticket {
+    /// The per-stage trace recorded for this request so far — `None`
+    /// unless the service was built with
+    /// [`Telemetry::trace_tickets`](crate::Telemetry) on. Spans appear
+    /// as their stages complete (and require the `obs` feature, on by
+    /// default), so read it after the terminal outcome for the full
+    /// breakdown: queue wait, micro-batch linger, cache probe, arena
+    /// build, per-unit solves, and delivery.
+    pub fn trace(&self) -> Option<TicketTrace> {
+        self.trace.snapshot()
+    }
+
     /// Requests cancellation of this job (cooperative and sticky): the
     /// engine stops scheduling its units at the next unit boundary, the
     /// batcher refuses to batch it if still queued, and the ticket's

@@ -10,8 +10,11 @@
 //! re-analysis job (yields the queue, still completes), and a window
 //! cancelled mid-stream (`Ticket::cancel` → `Aborted`, arena freed,
 //! cache untouched). At the end: the service's micro-batch shapes and
-//! abort counters, the engine's cache/unit/QoS counters, and the
-//! submit → stream → cancel → shutdown lifecycle.
+//! abort counters, the engine's cache/unit/QoS counters, per-ticket
+//! stage traces (queue wait → linger → arena build → solve →
+//! delivery), and the full Prometheus exposition of the shared
+//! metrics registry — the submit → stream → cancel → observe →
+//! shutdown lifecycle.
 //!
 //! Run with: `cargo run --release --example streaming_service`
 
@@ -19,7 +22,7 @@ use qtda::core::estimator::EstimatorConfig;
 use qtda::data::gearbox::GearboxConfig;
 use qtda::data::windows::sliding_window_stream;
 use qtda::engine::{window_to_job, EngineConfig, GearboxJobSpec};
-use qtda::service::{QosPolicy, QtdaService, ServiceConfig, TicketOutcome};
+use qtda::service::{QosPolicy, QtdaService, ServiceConfig, Telemetry, TicketOutcome};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
@@ -33,13 +36,18 @@ fn main() {
         ..GearboxJobSpec::default()
     };
 
-    let service = QtdaService::new(ServiceConfig {
-        engine: EngineConfig { batch_seed: 0xBA7C, ..Default::default() },
-        max_batch_size: 8,
-        max_linger: Duration::from_millis(4),
-        queue_capacity: 64,
-        ..ServiceConfig::default()
-    });
+    // Ticket tracing on: every ticket carries a per-stage wall-time
+    // breakdown, and the service + engine publish into one registry.
+    let service = QtdaService::with_telemetry(
+        ServiceConfig {
+            engine: EngineConfig { batch_seed: 0xBA7C, ..Default::default() },
+            max_batch_size: 8,
+            max_linger: Duration::from_millis(4),
+            queue_capacity: 64,
+            ..ServiceConfig::default()
+        },
+        Telemetry::with_ticket_traces(),
+    );
 
     let start = Instant::now();
     // The steady stream arrives in the Normal class; every fourth
@@ -70,6 +78,7 @@ fn main() {
     println!("window {cancel_index:2} cancelled right after submission");
 
     // Consume: slices stream per ticket as their units complete.
+    let mut sample_trace = None;
     for (i, (window, mut ticket)) in windows.iter().zip(tickets).enumerate() {
         let label = if window.label == 0 { "healthy" } else { "fault  " };
         let mut first_slice_at = None;
@@ -82,6 +91,9 @@ fn main() {
                 slice.result.rounded(),
             );
         }
+        if i == 0 {
+            sample_trace = ticket.trace();
+        }
         match ticket.outcome() {
             TicketOutcome::Completed(result) => println!(
                 "window {i:2} ({label}) complete: {} slices, first streamed at {:.1?}",
@@ -93,8 +105,17 @@ fn main() {
             }
         }
     }
+    let probe_trace = probe.trace();
     let probe_result = probe.wait();
     println!("interactive probe: {} slices (query-jumping class)", probe_result.slices.len());
+
+    // Per-ticket stage breakdowns: where each request's latency went.
+    if let Some(trace) = sample_trace {
+        println!("\nwindow  0 stage trace:\n{}", trace.render());
+    }
+    if let Some(trace) = probe_trace {
+        println!("interactive probe stage trace:\n{}", trace.render());
+    }
 
     let stats = service.stats();
     println!(
@@ -131,6 +152,13 @@ fn main() {
         engine.jobs_deadline_expired,
         engine.arena_bytes_live,
     );
+
+    // One snapshot of the shared registry exposes the whole serving
+    // stack — `qtda_service_*` and `qtda_engine_*` families together,
+    // including the per-class request-latency histograms — ready to
+    // serve on a `/metrics` endpoint.
+    println!("\n── /metrics (Prometheus text exposition) ──");
+    print!("{}", service.registry().snapshot().to_prometheus());
 
     // Shutdown drains anything still queued, then joins the batcher.
     service.shutdown();
