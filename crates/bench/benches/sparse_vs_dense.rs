@@ -19,20 +19,32 @@
 //! * **estimate** — the infinite-shot β̃₁ through the dense
 //!   `SpectralBackend` (full Jacobi) vs the sparse `LanczosBackend`
 //!   (matvec-only Ritz values), the headline `LaplacianOp` comparison.
+//! * **scrape overhead** — the PR 8 ops-surface gate: a live engine
+//!   workload (metrics + flight recorder on, caching off so every rep
+//!   computes) timed bare and again while a scraper hammers the HTTP
+//!   `/metrics` endpoint in a tight loop. Scraping reads atomics and
+//!   serializes off-thread, so the serving path must not notice —
+//!   asserted < 1% overhead at the bottom.
 //!
 //! Run with `--json [path]` to emit machine-readable results (the
-//! checked-in `BENCH_PR6.json` comes from
+//! checked-in `BENCH_PR8.json` comes from
 //! `cargo bench --bench sparse_vs_dense -- --json`).
 
 use qtda_core::estimator::{BettiEstimator, EstimatorConfig};
+use qtda_engine::{BatchEngine, BettiJob, EngineConfig, FlightRecorder};
 use qtda_linalg::profile::{profiled, SolveProfile};
 use qtda_linalg::{block_lanczos_ritz_values, lanczos_ritz_values, CsrMatrix, RITZ_BLOCK};
+use qtda_obs::{MetricsRegistry, OpsState, ScrapeServer};
 use qtda_tda::laplacian::{combinatorial_laplacian, combinatorial_laplacian_sparse};
+use qtda_tda::point_cloud::synthetic;
 use qtda_tda::random::RandomComplexModel;
 use qtda_tda::SimplicialComplex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Right-hand sides in the multi-vector section (matches the block
@@ -119,7 +131,7 @@ fn main() {
         args.get(i + 1).filter(|a| !a.starts_with('-')).cloned().unwrap_or_else(|| {
             // Default to the workspace root regardless of the bench
             // binary's working directory.
-            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR6.json").to_string()
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR8.json").to_string()
         })
     });
     // `cargo bench` may pass harness flags like `--bench`; ignore them.
@@ -277,6 +289,84 @@ fn main() {
         us(sparse_assembly)
     );
 
+    // ── Section 5: scrape-under-load overhead (PR 8 ops surface) ─────
+    // A fully observable engine (live registry + flight recorder,
+    // caching off so every rep recomputes) serving small batches, timed
+    // bare and again under a scraper hammering `GET /metrics` over TCP.
+    let registry = Arc::new(MetricsRegistry::new());
+    let engine = BatchEngine::with_observability(
+        EngineConfig { workers: 2, batch_seed: 0x0B5, cache_capacity: 0, ..Default::default() },
+        Arc::clone(&registry),
+        Some(Arc::new(FlightRecorder::new(1 << 12))),
+    );
+    // Each call serves a fresh ε-grid (fingerprints differ per round),
+    // so neither measurement ever degenerates into cache hits.
+    let mut round = 0u64;
+    let mut serve = move || {
+        round += 1;
+        let jobs: Vec<BettiJob> = (0..4)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(31 + i);
+                let mut job = BettiJob::new(
+                    synthetic::circle(12, 1.0, 0.04, &mut rng),
+                    vec![0.6 + (round % 64) as f64 * 1e-4, 1.1],
+                );
+                job.estimator = EstimatorConfig {
+                    precision_qubits: 4,
+                    shots: 1200,
+                    ..EstimatorConfig::default()
+                };
+                job
+            })
+            .collect();
+        black_box(engine.run_batch(&jobs));
+    };
+    let serve_reps = 40;
+    let serve_bare = time_best(serve_reps, &mut serve);
+
+    // The scraper polls every 10 ms — already an order of magnitude
+    // hotter than a production Prometheus cadence (seconds). The
+    // best-of-N timing asks the right question on any core count:
+    // scrape serialization happens off the serving path (snapshots read
+    // atomics; no lock is held against metric writers), so reps must
+    // exist that run at bare speed even with a live scraper — anything
+    // else means scraping blocks serving.
+    let server = ScrapeServer::bind("127.0.0.1:0", OpsState::new(Arc::clone(&registry)))
+        .expect("bind scrape server");
+    let addr = server.local_addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut scrapes = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+                stream
+                    .write_all(b"GET /metrics HTTP/1.1\r\nHost: b\r\nConnection: close\r\n\r\n")
+                    .expect("send");
+                let mut body = String::new();
+                stream.read_to_string(&mut body).expect("read");
+                assert!(body.contains("qtda_engine_jobs_served_total"), "live exposition");
+                scrapes += 1;
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            scrapes
+        })
+    };
+    let serve_scraped = time_best(serve_reps, &mut serve);
+    stop.store(true, Ordering::Relaxed);
+    let scrapes = scraper.join().expect("scraper thread");
+    assert!(scrapes >= 1, "the scraper must actually overlap the measurement");
+    drop(server);
+
+    let scrape_overhead = (serve_scraped.as_secs_f64() / serve_bare.as_secs_f64() - 1.0).max(0.0);
+    println!("serve (bare)          : {:9.1} µs", us(serve_bare));
+    println!(
+        "serve (under scrape)  : {:9.1} µs ({scrapes} scrapes during measurement)",
+        us(serve_scraped)
+    );
+    println!("scrape overhead       : {:9.2} %", scrape_overhead * 100.0);
+
     if let Some(path) = json_path {
         let profile_json = |p: &SolveProfile| {
             format!(
@@ -285,7 +375,7 @@ fn main() {
             )
         };
         let json = format!(
-            "{{\n  \"bench\": \"sparse_vs_dense\",\n  \"kernel_rows\": {},\n  \"kernel_nnz\": {},\n  \"multi_rhs\": {},\n  \"matvec_into_us\": {:.1},\n  \"matvec_alloc_us\": {:.1},\n  \"singles_x{}_us\": {:.1},\n  \"matvec_multi_us\": {:.1},\n  \"multi_speedup\": {:.2},\n  \"delta1_edges\": {},\n  \"plain_lanczos_us\": {:.1},\n  \"block_lanczos_us\": {:.1},\n  \"dense_estimate_us\": {:.1},\n  \"sparse_estimate_us\": {:.1},\n  \"estimate_speedup\": {:.2},\n  \"phase_us\": {{ \"complex_build\": {:.1}, \"dense_assembly\": {:.1}, \"sparse_assembly\": {:.1} }},\n  \"solve_profiles\": {{\n    \"plain_lanczos\": {},\n    \"block_lanczos\": {},\n    \"sparse_estimate\": {}\n  }}\n}}\n",
+            "{{\n  \"bench\": \"sparse_vs_dense\",\n  \"kernel_rows\": {},\n  \"kernel_nnz\": {},\n  \"multi_rhs\": {},\n  \"matvec_into_us\": {:.1},\n  \"matvec_alloc_us\": {:.1},\n  \"singles_x{}_us\": {:.1},\n  \"matvec_multi_us\": {:.1},\n  \"multi_speedup\": {:.2},\n  \"delta1_edges\": {},\n  \"plain_lanczos_us\": {:.1},\n  \"block_lanczos_us\": {:.1},\n  \"dense_estimate_us\": {:.1},\n  \"sparse_estimate_us\": {:.1},\n  \"estimate_speedup\": {:.2},\n  \"phase_us\": {{ \"complex_build\": {:.1}, \"dense_assembly\": {:.1}, \"sparse_assembly\": {:.1} }},\n  \"solve_profiles\": {{\n    \"plain_lanczos\": {},\n    \"block_lanczos\": {},\n    \"sparse_estimate\": {}\n  }},\n  \"ops_surface\": {{ \"serve_bare_us\": {:.1}, \"serve_scraped_us\": {:.1}, \"scrapes\": {}, \"scrape_overhead_pct\": {:.2} }}\n}}\n",
             n,
             m.nnz(),
             MULTI_RHS,
@@ -307,6 +397,10 @@ fn main() {
             profile_json(&plain_profile),
             profile_json(&block_profile),
             profile_json(&estimate_profile),
+            us(serve_bare),
+            us(serve_scraped),
+            scrapes,
+            scrape_overhead * 100.0,
         );
         std::fs::write(&path, json).expect("writing bench JSON");
         println!("wrote {path}");
@@ -315,5 +409,10 @@ fn main() {
     assert!(
         multi_speedup >= 2.0,
         "multi-vector kernel below the 2x acceptance gate ({multi_speedup:.2}x)"
+    );
+    assert!(
+        scrape_overhead < 0.01,
+        "scraping perturbed the serving path by {:.2}% (gate: < 1%)",
+        scrape_overhead * 100.0
     );
 }

@@ -63,7 +63,7 @@ use crate::seed::{job_seed, slice_seed};
 use qtda_core::estimator::BettiEstimate;
 use qtda_core::pipeline::DispatchPolicy;
 use qtda_core::query::{AbortReason, BettiRequest, Priority, QosPolicy, SpectrumShare};
-use qtda_obs::{Counter, Gauge, MetricsRegistry, Tracer};
+use qtda_obs::{Counter, EventKind, FlightRecorder, Gauge, MetricsRegistry, Tracer};
 use qtda_tda::laplacian_filtration::LaplacianFiltration;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
@@ -71,8 +71,9 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// One request as `run_batch_inner` sees it: the job, its QoS policy,
-/// and the (possibly disabled) per-ticket tracer.
-type Submission<'a> = (&'a BettiJob, &'a QosPolicy, &'a Tracer);
+/// the (possibly disabled) per-ticket tracer, and the service-assigned
+/// ticket id (0 for direct engine callers).
+type Submission<'a> = (&'a BettiJob, &'a QosPolicy, &'a Tracer, u64);
 
 /// Records a per-request stage span when the `obs` feature is on. The
 /// disabled-`Tracer` check inside makes an untraced request cost one
@@ -84,6 +85,33 @@ fn record_stage(trace: &Tracer, name: &str, start: Instant, end: Instant) {
 
 #[cfg(not(feature = "obs"))]
 fn record_stage(_trace: &Tracer, _name: &str, _start: Instant, _end: Instant) {}
+
+/// Stamps one flight-recorder event when the `obs` feature is on. The
+/// detail closure only runs against a live recorder, so hot paths pay
+/// one branch (and no allocation) when recording is off; with the
+/// feature off the whole call compiles away.
+#[cfg(feature = "obs")]
+fn record_event(
+    recorder: &FlightRecorder,
+    kind: EventKind,
+    ticket: u64,
+    fingerprint: u64,
+    detail: impl FnOnce() -> String,
+) {
+    if recorder.is_enabled() {
+        recorder.record(kind, ticket, fingerprint, detail());
+    }
+}
+
+#[cfg(not(feature = "obs"))]
+fn record_event(
+    _recorder: &FlightRecorder,
+    _kind: EventKind,
+    _ticket: u64,
+    _fingerprint: u64,
+    _detail: impl FnOnce() -> String,
+) {
+}
 
 /// Engine parameters.
 #[derive(Clone, Copy, Debug)]
@@ -142,11 +170,15 @@ pub struct JobRequest {
     /// seeds or scheduling order — results are bit-identical with it
     /// on or off.
     pub trace: Tracer,
+    /// The submitter's ticket id, carried into flight-recorder events
+    /// so a journal dump can be joined back to the service's tickets.
+    /// `0` (the default) means "no ticket" — direct engine callers.
+    pub ticket: u64,
 }
 
 impl From<BettiJob> for JobRequest {
     fn from(job: BettiJob) -> Self {
-        JobRequest { job, qos: QosPolicy::default(), trace: Tracer::disabled() }
+        JobRequest { job, qos: QosPolicy::default(), trace: Tracer::disabled(), ticket: 0 }
     }
 }
 
@@ -158,12 +190,19 @@ impl JobRequest {
 
     /// A request under an explicit policy.
     pub fn with_qos(job: BettiJob, qos: QosPolicy) -> Self {
-        JobRequest { job, qos, trace: Tracer::disabled() }
+        JobRequest { job, qos, trace: Tracer::disabled(), ticket: 0 }
     }
 
     /// Attaches a per-request stage tracer.
     pub fn with_trace(mut self, trace: Tracer) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Attaches the submitting ticket's id (flight-recorder metadata;
+    /// never influences scheduling or results).
+    pub fn with_ticket(mut self, ticket: u64) -> Self {
+        self.ticket = ticket;
         self
     }
 }
@@ -378,6 +417,7 @@ pub struct BatchEngine {
     cache: Mutex<LruCache<Arc<CachedJob>>>,
     registry: Arc<MetricsRegistry>,
     metrics: EngineMetrics,
+    recorder: Arc<FlightRecorder>,
 }
 
 /// The engine's handles into its [`MetricsRegistry`] — the storage
@@ -450,6 +490,20 @@ impl BatchEngine {
     /// stack). Engines sharing a registry share the `qtda_engine_*`
     /// metric cells — their counts add.
     pub fn with_metrics(config: EngineConfig, registry: Arc<MetricsRegistry>) -> Self {
+        Self::with_observability(config, registry, None)
+    }
+
+    /// [`Self::with_metrics`] plus a caller-owned [`FlightRecorder`]:
+    /// the engine stamps `cache_hit` / `unit_done` / `cancel` /
+    /// `deadline_expired` / `abort` events into it as requests move
+    /// through batches (the service shares one recorder across its
+    /// whole stack, so engine events join service events by job
+    /// fingerprint). `None` disables engine-side event recording.
+    pub fn with_observability(
+        config: EngineConfig,
+        registry: Arc<MetricsRegistry>,
+        recorder: Option<Arc<FlightRecorder>>,
+    ) -> Self {
         let cache = if config.cache_doorkeeper {
             // Track first sightings for several cache generations so
             // a repeat separated by a scan still proves itself.
@@ -458,7 +512,8 @@ impl BatchEngine {
             LruCache::new(config.cache_capacity)
         };
         let metrics = EngineMetrics::register(&registry);
-        BatchEngine { config, cache: Mutex::new(cache), registry, metrics }
+        let recorder = recorder.unwrap_or_else(|| Arc::new(FlightRecorder::disabled()));
+        BatchEngine { config, cache: Mutex::new(cache), registry, metrics, recorder }
     }
 
     /// An engine with [`EngineConfig::default`].
@@ -475,6 +530,13 @@ impl BatchEngine {
     /// snapshot it for the Prometheus/JSON exposition.
     pub fn registry(&self) -> &Arc<MetricsRegistry> {
         &self.registry
+    }
+
+    /// The flight recorder this engine stamps events into (a disabled
+    /// recorder unless one was attached via
+    /// [`Self::with_observability`]).
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
     }
 
     /// A snapshot of the serving counters ([`EngineStats`] is a view
@@ -523,7 +585,8 @@ impl BatchEngine {
     pub fn run_batch(&self, jobs: &[BettiJob]) -> Vec<Arc<JobResult>> {
         let default_qos = QosPolicy::default();
         let no_trace = Tracer::disabled();
-        let refs: Vec<Submission<'_>> = jobs.iter().map(|j| (j, &default_qos, &no_trace)).collect();
+        let refs: Vec<Submission<'_>> =
+            jobs.iter().map(|j| (j, &default_qos, &no_trace, 0)).collect();
         self.run_batch_inner(&refs, None).into_iter().map(JobOutcome::expect_completed).collect()
     }
 
@@ -542,7 +605,8 @@ impl BatchEngine {
     ) -> Vec<Arc<JobResult>> {
         let default_qos = QosPolicy::default();
         let no_trace = Tracer::disabled();
-        let refs: Vec<Submission<'_>> = jobs.iter().map(|j| (j, &default_qos, &no_trace)).collect();
+        let refs: Vec<Submission<'_>> =
+            jobs.iter().map(|j| (j, &default_qos, &no_trace, 0)).collect();
         self.run_batch_inner(&refs, Some(sink))
             .into_iter()
             .map(JobOutcome::expect_completed)
@@ -558,7 +622,7 @@ impl BatchEngine {
     /// values.
     pub fn run_batch_qos(&self, requests: &[JobRequest]) -> Vec<JobOutcome> {
         let refs: Vec<Submission<'_>> =
-            requests.iter().map(|r| (&r.job, &r.qos, &r.trace)).collect();
+            requests.iter().map(|r| (&r.job, &r.qos, &r.trace, r.ticket)).collect();
         self.run_batch_inner(&refs, None)
     }
 
@@ -571,7 +635,7 @@ impl BatchEngine {
         sink: &SliceSink<'_>,
     ) -> Vec<JobOutcome> {
         let refs: Vec<Submission<'_>> =
-            requests.iter().map(|r| (&r.job, &r.qos, &r.trace)).collect();
+            requests.iter().map(|r| (&r.job, &r.qos, &r.trace, r.ticket)).collect();
         self.run_batch_inner(&refs, Some(sink))
     }
 
@@ -602,6 +666,9 @@ impl BatchEngine {
                 record_stage(requests[i].2, "cache_probe", probe_started, Instant::now());
                 if let Some(result) = cached {
                     self.metrics.cache_hits.inc();
+                    record_event(&self.recorder, EventKind::CacheHit, requests[i].3, fp, || {
+                        format!("slices={}", result.slices.len())
+                    });
                     results[i] = Some(result);
                     continue;
                 }
@@ -749,12 +816,17 @@ impl BatchEngine {
                         )
                         .is_ok()
                 {
-                    if let Some(sink) = sink {
-                        for &i in &parties[unit.prep] {
-                            let reason = requests[i]
-                                .1
-                                .abort_reason(now)
-                                .expect("every party reported an abort");
+                    for &i in &parties[unit.prep] {
+                        let reason =
+                            requests[i].1.abort_reason(now).expect("every party reported an abort");
+                        let kind = match reason {
+                            AbortReason::Cancelled => EventKind::Cancel,
+                            AbortReason::DeadlineExceeded => EventKind::DeadlineExpired,
+                        };
+                        record_event(&self.recorder, kind, requests[i].3, fingerprints[i], || {
+                            "at=unit_boundary".to_string()
+                        });
+                        if let Some(sink) = sink {
                             sink(SliceEvent::Aborted { job_index: i, reason });
                         }
                     }
@@ -850,6 +922,13 @@ impl BatchEngine {
                 self.metrics.lanczos_restarts.add(profile.restarts);
                 let result = output.unit();
                 self.metrics.units_executed.inc();
+                record_event(
+                    &self.recorder,
+                    EventKind::UnitDone,
+                    requests[misses[unit.prep]].3,
+                    fingerprints[misses[unit.prep]],
+                    || format!("eps={epsilon},dim={}", unit.dim),
+                );
                 // Stream the slice the moment its last dimension
                 // lands (suppressed once the job aborted — the
                 // Aborted event is terminal for its consumers).
@@ -920,7 +999,7 @@ impl BatchEngine {
         // after the last unit's boundary check (a fast job can finish
         // all its units before a cancel issued mid-stream arrives).
         let cancelled: Vec<bool> =
-            requests.iter().map(|(_, qos, _)| qos.cancel.is_cancelled()).collect();
+            requests.iter().map(|(_, qos, ..)| qos.cancel.is_cancelled()).collect();
 
         // Assemble per computed job, publish to the cache, then resolve
         // the in-batch duplicates through their representative miss.
@@ -988,6 +1067,13 @@ impl BatchEngine {
             .map(|i| {
                 if cancelled[i] {
                     self.metrics.jobs_cancelled.inc();
+                    record_event(
+                        &self.recorder,
+                        EventKind::Abort,
+                        requests[i].3,
+                        fingerprints[i],
+                        || "reason=cancelled".to_string(),
+                    );
                     return JobOutcome::Aborted(AbortReason::Cancelled);
                 }
                 let resolved = match (&results[i], dup_of[i]) {
@@ -1010,6 +1096,13 @@ impl BatchEngine {
                             .abort_reason(now)
                             .unwrap_or(AbortReason::DeadlineExceeded);
                         self.metrics.jobs_deadline_expired.inc();
+                        record_event(
+                            &self.recorder,
+                            EventKind::Abort,
+                            requests[i].3,
+                            fingerprints[i],
+                            || format!("reason={reason}"),
+                        );
                         JobOutcome::Aborted(reason)
                     }
                 }

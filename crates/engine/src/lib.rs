@@ -60,4 +60,6 @@ pub use job::BettiJob;
 pub use qtda_core::query::{AbortReason, CancelToken, Priority, QosPolicy};
 // Re-exported so callers wiring telemetry (the service, examples) need
 // not depend on `qtda-obs` directly.
-pub use qtda_obs::{MetricsRegistry, MetricsSnapshot, Trace, Tracer};
+pub use qtda_obs::{
+    Event, EventKind, FlightRecorder, MetricsRegistry, MetricsSnapshot, Trace, Tracer,
+};

@@ -21,6 +21,21 @@
 //!   free — which is what lets the service attach one per ticket
 //!   without taxing untraced traffic.
 //!
+//! On top of those primitives sits the **ops surface** — the pieces
+//! that make a running process observable *from outside*:
+//!
+//! * [`server::ScrapeServer`] — a dependency-free HTTP endpoint
+//!   (`/metrics`, `/metrics.json`, `/health`, `/ready`,
+//!   `/events.jsonl`, `/abort.jsonl`) on a background accept loop.
+//! * [`window::RollingWindow`] — a tick-driven ring of snapshot deltas
+//!   answering rate-over-window and bucket-interpolated p50/p95/p99.
+//! * [`slo::SloTracker`] — objectives over the rolling window with
+//!   multi-window (fast/slow) burn-rate alerting, surfaced as
+//!   `qtda_slo_firing` gauges in the same registry.
+//! * [`events::FlightRecorder`] — a bounded, lock-sharded journal of
+//!   structured serving events, dumpable as JSONL and captured
+//!   automatically on aborts.
+//!
 //! **Determinism contract.** Telemetry observes wall time and counts;
 //! it never touches seeds, work ordering, or numeric results. Every
 //! instrumented code path in the workspace must produce bit-identical
@@ -31,11 +46,19 @@
 #![deny(deprecated)]
 #![forbid(unsafe_code)]
 
+pub mod events;
 pub mod metrics;
+pub mod server;
+pub mod slo;
 pub mod trace;
+pub mod window;
 
+pub use events::{Event, EventKind, FlightRecorder};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
     DEFAULT_LATENCY_BUCKETS,
 };
+pub use server::{OpsState, ScrapeServer};
+pub use slo::{Slo, SloObjective, SloStatus, SloTracker};
 pub use trace::{Span, SpanRecord, Trace, Tracer};
+pub use window::{RollingWindow, WindowConfig, WindowDriver};

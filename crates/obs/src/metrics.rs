@@ -77,10 +77,27 @@ fn render_labels(labels: &[(&str, &str)]) -> String {
         }
         out.push_str(k);
         out.push_str("=\"");
-        out.push_str(v);
+        escape_label_value(v, &mut out);
         out.push('"');
     }
     out
+}
+
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash, double quote, and line feed become `\\`, `\"`, and `\n`.
+/// Applied at registration, so the canonical metric identity *is* the
+/// escaped rendering — exposition (text and JSON alike) can simply emit
+/// it verbatim, and two values that differ only in escaping cannot
+/// silently produce invalid exposition lines.
+fn escape_label_value(v: &str, out: &mut String) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
 }
 
 /// Stable FNV-1a so shard choice does not depend on the process's
@@ -420,6 +437,56 @@ impl HistogramSnapshot {
         }
         self.sum_nanos += other.sum_nanos;
     }
+
+    /// Subtracts an earlier snapshot of the same histogram bucket-wise
+    /// (saturating, so a racing reset can never wrap), yielding the
+    /// observations that happened *between* the two — the delta a
+    /// rolling-window aggregator stores per tick.
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        assert_eq!(self.bounds, earlier.bounds, "delta of histograms with different bounds");
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&earlier.buckets)
+                .map(|(now, then)| now.saturating_sub(*then))
+                .collect(),
+            sum_nanos: self.sum_nanos.saturating_sub(earlier.sum_nanos),
+        }
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`) of the recorded observations,
+    /// **linearly interpolated inside the bucket** the target rank
+    /// falls into (the `histogram_quantile` estimator): the first
+    /// bucket interpolates from a lower bound of zero, and a rank
+    /// landing in the `+Inf` overflow bucket clamps to the last finite
+    /// bound — the histogram cannot say more. `None` when the
+    /// histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let target = q.clamp(0.0, 1.0) * count as f64;
+        let mut cumulative = 0u64;
+        for (i, (&bucket_count, &upper)) in self.buckets.iter().zip(&self.bounds).enumerate() {
+            let before = cumulative;
+            cumulative += bucket_count;
+            if (cumulative as f64) >= target {
+                if bucket_count == 0 {
+                    return Some(upper);
+                }
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let fraction = (target - before as f64) / bucket_count as f64;
+                return Some(lower + (upper - lower) * fraction.clamp(0.0, 1.0));
+            }
+        }
+        // The rank lands in the overflow bucket: report the last finite
+        // bound (or 0.0 for a boundless histogram) rather than invent a
+        // value past what was measured.
+        Some(self.bounds.last().copied().unwrap_or(0.0))
+    }
 }
 
 /// A mergeable point-in-time copy of a whole registry, keyed by
@@ -454,6 +521,42 @@ impl MetricsSnapshot {
                 }
             }
         }
+    }
+
+    /// Subtracts an `earlier` snapshot of the same registry, yielding
+    /// what happened **between** the two: counters and histogram
+    /// buckets subtract (saturating — a family absent earlier counts
+    /// from zero), while gauges keep their *current* value (a gauge is
+    /// a level, not a flow; "the delta of a queue depth" is not a
+    /// meaningful windowed quantity, the latest reading is). This is
+    /// the per-tick record a rolling-window aggregator keeps; deltas
+    /// re-[`merge`](Self::merge) associatively back into any window.
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut delta = MetricsSnapshot::default();
+        for (id, v) in &self.counters {
+            let before = earlier.counters.get(id).copied().unwrap_or(0);
+            delta.counters.insert(id.clone(), v.saturating_sub(before));
+        }
+        delta.gauges = self.gauges.clone();
+        for (id, h) in &self.histograms {
+            match earlier.histograms.get(id) {
+                Some(then) => {
+                    delta.histograms.insert(id.clone(), h.delta_since(then));
+                }
+                None => {
+                    delta.histograms.insert(id.clone(), h.clone());
+                }
+            }
+        }
+        delta
+    }
+
+    /// The `q`-quantile of a histogram family under the given labels,
+    /// bucket-interpolated (see [`HistogramSnapshot::quantile`]).
+    /// `None` when the family/label set is absent or empty. Labels must
+    /// be passed in the same order they were registered with.
+    pub fn quantile(&self, family: &str, labels: &[(&str, &str)], q: f64) -> Option<f64> {
+        self.histograms.get(&(family.to_string(), render_labels(labels)))?.quantile(q)
     }
 
     /// Convenience: the value of an unlabelled counter, 0 if absent.
@@ -574,7 +677,7 @@ impl MetricsSnapshot {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -1,0 +1,297 @@
+//! The scrape server: a dependency-free HTTP endpoint over one
+//! [`MetricsRegistry`] (and, optionally, a [`FlightRecorder`]).
+//!
+//! Everything before this module is pull-by-function-call: a process
+//! embedding the serving stack could read its own metrics, but nothing
+//! *outside* the process could. [`ScrapeServer`] closes that gap with
+//! the smallest server that speaks enough HTTP/1.1 for Prometheus,
+//! `curl`, and load balancers — a `std::net::TcpListener`, a blocking
+//! accept loop on one background thread, no dependencies:
+//!
+//! | route | response |
+//! |---|---|
+//! | `GET /metrics` | Prometheus text exposition (`text/plain; version=0.0.4`) |
+//! | `GET /metrics.json` | the same snapshot as JSON |
+//! | `GET /health` | `200 ok` while the server thread lives (liveness) |
+//! | `GET /ready` | `200 ready`, or `503` when the readiness probe says no |
+//! | `GET /events.jsonl` | the flight recorder's journal (404 if none attached) |
+//! | `GET /abort.jsonl` | the last captured abort chain (404 until one exists) |
+//!
+//! Malformed requests get `400`, unknown paths `404`, non-GET methods
+//! `405` — and none of them kill the accept loop. Shutdown is graceful:
+//! [`ScrapeServer::shutdown`] flips a flag, wakes the accept loop with
+//! a self-connection, and joins the thread.
+//!
+//! The server only ever *reads* telemetry (snapshots and dumps); it
+//! holds no locks while writing to sockets and cannot influence
+//! results — the workspace-wide determinism pin extends over it.
+
+use crate::events::FlightRecorder;
+use crate::metrics::MetricsRegistry;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long one connection may dawdle sending its request line or
+/// draining the response before the server moves on. Scrapes are tiny;
+/// anything slower is a stuck peer, not a scraper.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// What the scrape server exposes: the registry (always), plus an
+/// optional flight recorder and an optional readiness probe. Build one
+/// with [`OpsState::new`] and the `with_*` methods, then hand it to
+/// [`ScrapeServer::bind`].
+pub struct OpsState {
+    registry: Arc<MetricsRegistry>,
+    recorder: Option<Arc<FlightRecorder>>,
+    ready: Option<Arc<dyn Fn() -> bool + Send + Sync>>,
+}
+
+impl OpsState {
+    /// State exposing `registry`, no recorder, always-ready.
+    pub fn new(registry: Arc<MetricsRegistry>) -> Self {
+        OpsState { registry, recorder: None, ready: None }
+    }
+
+    /// Attaches a flight recorder, enabling `/events.jsonl` and
+    /// `/abort.jsonl`.
+    pub fn with_recorder(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Attaches the readiness probe behind `/ready`. The probe runs on
+    /// the server thread per request; keep it to a couple of atomic
+    /// loads (the service's "accepting submissions AND batcher alive").
+    pub fn with_ready_probe(mut self, probe: impl Fn() -> bool + Send + Sync + 'static) -> Self {
+        self.ready = Some(Arc::new(probe));
+        self
+    }
+
+    fn is_ready(&self) -> bool {
+        match &self.ready {
+            Some(probe) => probe(),
+            None => true,
+        }
+    }
+}
+
+impl std::fmt::Debug for OpsState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpsState")
+            .field("recorder", &self.recorder.is_some())
+            .field("ready_probe", &self.ready.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The running scrape server. Bind with [`ScrapeServer::bind`]; stop
+/// with [`ScrapeServer::shutdown`] (also runs on drop).
+#[derive(Debug)]
+pub struct ScrapeServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ScrapeServer {
+    /// Binds `addr` (use port 0 to let the OS pick — read the result
+    /// back with [`ScrapeServer::local_addr`]) and starts the accept
+    /// loop on a background thread.
+    pub fn bind(addr: impl ToSocketAddrs, state: OpsState) -> std::io::Result<ScrapeServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_in_thread = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("qtda-obs-scrape".into())
+            .spawn(move || accept_loop(listener, state, stop_in_thread))?;
+        Ok(ScrapeServer { addr, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (with the OS-assigned port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, wakes the blocked accept call with a
+    /// self-connection, and joins the server thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop is blocked in `accept()`; a throwaway
+        // connection wakes it so it can observe the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ScrapeServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: OpsState, stop: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // A failed accept (peer reset mid-handshake, fd pressure) must
+        // not kill the loop; neither may any per-connection error.
+        if let Ok(stream) = stream {
+            let _ = handle_connection(stream, &state);
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: &OpsState) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut stream = reader.into_inner();
+    let (status, content_type, body) = route(&request_line, state);
+    respond(&mut stream, status, content_type, &body)
+}
+
+/// Parses one request line and produces `(status line, content type,
+/// body)`. Pure, so the routing table is unit-testable without sockets.
+fn route(request_line: &str, state: &OpsState) -> (&'static str, &'static str, String) {
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/") => (m, p),
+        _ => return ("400 Bad Request", "text/plain", "bad request\n".to_string()),
+    };
+    if method != "GET" {
+        return ("405 Method Not Allowed", "text/plain", "GET only\n".to_string());
+    }
+    // Ignore any query string: Prometheus appends none, humans might.
+    let path = path.split('?').next().unwrap_or(path);
+    match path {
+        "/metrics" => {
+            ("200 OK", "text/plain; version=0.0.4", state.registry.snapshot().to_prometheus())
+        }
+        "/metrics.json" => ("200 OK", "application/json", state.registry.snapshot().to_json()),
+        "/health" => ("200 OK", "text/plain", "ok\n".to_string()),
+        "/ready" => {
+            if state.is_ready() {
+                ("200 OK", "text/plain", "ready\n".to_string())
+            } else {
+                ("503 Service Unavailable", "text/plain", "not ready\n".to_string())
+            }
+        }
+        "/events.jsonl" => match &state.recorder {
+            Some(recorder) => ("200 OK", "application/x-ndjson", recorder.dump_jsonl()),
+            None => ("404 Not Found", "text/plain", "no flight recorder\n".to_string()),
+        },
+        "/abort.jsonl" => match state.recorder.as_ref().and_then(|r| r.last_abort_dump()) {
+            Some(dump) => ("200 OK", "application/x-ndjson", dump),
+            None => ("404 Not Found", "text/plain", "no abort captured\n".to_string()),
+        },
+        _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::EventKind;
+
+    fn state() -> OpsState {
+        let registry = Arc::new(MetricsRegistry::new());
+        registry.counter("requests_total").add(3);
+        OpsState::new(registry)
+    }
+
+    #[test]
+    fn routing_table() {
+        let s = state();
+        assert!(route("GET /metrics HTTP/1.1\r\n", &s).2.contains("requests_total 3"));
+        assert_eq!(route("GET /health HTTP/1.1\r\n", &s).0, "200 OK");
+        assert_eq!(route("GET /ready HTTP/1.1\r\n", &s).0, "200 OK", "no probe = always ready");
+        assert_eq!(route("GET /nope HTTP/1.1\r\n", &s).0, "404 Not Found");
+        assert_eq!(route("POST /metrics HTTP/1.1\r\n", &s).0, "405 Method Not Allowed");
+        assert_eq!(route("gibberish\r\n", &s).0, "400 Bad Request");
+        assert_eq!(route("", &s).0, "400 Bad Request");
+        assert_eq!(route("GET /metrics?ts=1 HTTP/1.1\r\n", &s).0, "200 OK");
+        assert_eq!(route("GET /events.jsonl HTTP/1.1\r\n", &s).0, "404 Not Found");
+    }
+
+    #[test]
+    fn ready_probe_and_recorder_routes() {
+        let flag = Arc::new(AtomicBool::new(true));
+        let probe_flag = Arc::clone(&flag);
+        let recorder = Arc::new(FlightRecorder::new(16));
+        recorder.record(EventKind::Submit, 1, 0xF00D, "class=bulk".into());
+        let s = state()
+            .with_recorder(Arc::clone(&recorder))
+            .with_ready_probe(move || probe_flag.load(Ordering::SeqCst));
+        assert_eq!(route("GET /ready HTTP/1.1\r\n", &s).0, "200 OK");
+        flag.store(false, Ordering::SeqCst);
+        assert_eq!(route("GET /ready HTTP/1.1\r\n", &s).0, "503 Service Unavailable");
+        let (status, ctype, body) = route("GET /events.jsonl HTTP/1.1\r\n", &s);
+        assert_eq!((status, ctype), ("200 OK", "application/x-ndjson"));
+        assert!(body.contains("\"kind\":\"submit\""));
+        assert_eq!(route("GET /abort.jsonl HTTP/1.1\r\n", &s).0, "404 Not Found");
+        recorder.capture_abort(1);
+        assert_eq!(route("GET /abort.jsonl HTTP/1.1\r\n", &s).0, "200 OK");
+    }
+
+    #[test]
+    fn serves_over_real_tcp_and_shuts_down() {
+        let registry = Arc::new(MetricsRegistry::new());
+        registry.counter_with("hits_total", &[("path", "a\"b\\c")]).inc();
+        let mut server =
+            ScrapeServer::bind("127.0.0.1:0", OpsState::new(Arc::clone(&registry))).expect("bind");
+        let addr = server.local_addr();
+
+        let fetch = |req: &str| {
+            let mut conn = TcpStream::connect(addr).expect("connect");
+            conn.write_all(req.as_bytes()).expect("send");
+            let mut response = String::new();
+            use std::io::Read;
+            conn.read_to_string(&mut response).expect("read");
+            response
+        };
+
+        let response = fetch("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 200 OK"));
+        assert!(
+            response.contains("hits_total{path=\"a\\\"b\\\\c\"} 1"),
+            "label escaping must survive the wire:\n{response}"
+        );
+
+        // A malformed request gets 400 and the loop keeps serving.
+        let response = fetch("BOGUS\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 400"), "got: {response}");
+        assert!(fetch("GET /health HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 200"));
+
+        // Graceful shutdown joins the accept thread; a second call is a
+        // no-op. (The listener socket closes with the thread — whether
+        // a late connect sees ECONNREFUSED or a reset is OS timing, so
+        // the join itself is the contract under test.)
+        server.shutdown();
+        server.shutdown();
+    }
+}

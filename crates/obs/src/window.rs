@@ -1,0 +1,318 @@
+//! The rolling-window aggregator: a time dimension over the registry.
+//!
+//! Registry counters and histograms only ever accumulate — they answer
+//! "how much, ever", never "how fast, lately" or "what was p95 over the
+//! last minute". [`RollingWindow`] adds the time axis without touching
+//! the hot path: on a fixed cadence it snapshots the registry, stores
+//! the **delta** against the previous snapshot
+//! ([`MetricsSnapshot::delta_since`]) in a bounded ring, and answers
+//! windowed questions by re-merging the most recent slots (delta merge
+//! is associative, so any window is exact up to cadence granularity):
+//!
+//! * [`RollingWindow::rate`] — events per second of a counter family
+//!   over the last `window`.
+//! * [`RollingWindow::quantile`] — the bucket-interpolated p50/p95/p99
+//!   of a histogram family over the last `window`
+//!   ([`HistogramSnapshot::quantile`](crate::HistogramSnapshot::quantile)).
+//!
+//! **The clock is injected by whoever calls [`RollingWindow::tick`].**
+//! Production drives it from the background [`WindowDriver`]
+//! ([`RollingWindow::spawn`]), one tick per cadence of wall time;
+//! deterministic tests call `tick()` themselves, so "one minute of
+//! history" is exactly "sixty ticks" with no real clock anywhere — that
+//! is what makes the SLO burn-rate tests (see [`crate::slo`])
+//! reproducible.
+
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Rolling-window parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct WindowConfig {
+    /// How much wall time one ring slot represents (and how often the
+    /// background driver ticks). Windowed answers are exact to this
+    /// granularity.
+    pub cadence: Duration,
+    /// Ring length: how many slots of history to retain. The longest
+    /// answerable window is `cadence · slots`.
+    pub slots: usize,
+}
+
+impl Default for WindowConfig {
+    /// One-second slots, ten minutes of history — enough for the
+    /// classic fast-1m/slow-10m burn-rate pair.
+    fn default() -> Self {
+        WindowConfig { cadence: Duration::from_secs(1), slots: 600 }
+    }
+}
+
+struct WindowState {
+    /// The cumulative snapshot the next tick deltas against.
+    last: MetricsSnapshot,
+    /// Per-tick deltas, newest at the back.
+    ring: VecDeque<MetricsSnapshot>,
+}
+
+/// The rolling-window aggregator over one [`MetricsRegistry`]. Cheap to
+/// share (`Arc` it); ticking takes the registry's registration locks
+/// briefly (a snapshot), never the metric handles' hot path.
+pub struct RollingWindow {
+    registry: Arc<MetricsRegistry>,
+    config: WindowConfig,
+    state: Mutex<WindowState>,
+}
+
+impl RollingWindow {
+    /// An aggregator over `registry`. The construction instant is the
+    /// baseline: history starts empty, and the first tick's delta
+    /// covers construction → first tick.
+    pub fn new(registry: Arc<MetricsRegistry>, config: WindowConfig) -> Self {
+        assert!(config.slots >= 1, "a rolling window needs at least one slot");
+        assert!(config.cadence > Duration::ZERO, "a zero cadence would divide rates by zero");
+        let baseline = registry.snapshot();
+        RollingWindow {
+            registry,
+            config,
+            state: Mutex::new(WindowState { last: baseline, ring: VecDeque::new() }),
+        }
+    }
+
+    /// The configured slot cadence.
+    pub fn cadence(&self) -> Duration {
+        self.config.cadence
+    }
+
+    /// Slots currently filled (≤ the configured ring length).
+    pub fn ticks(&self) -> usize {
+        self.state.lock().expect("window poisoned").ring.len()
+    }
+
+    /// Advances the window by one slot: snapshot the registry, store
+    /// the delta since the previous tick, drop the oldest slot beyond
+    /// the ring length. Call on the cadence (the [`WindowDriver`]
+    /// does) — or manually, in tests, where each call *is* one cadence
+    /// of logical time.
+    pub fn tick(&self) {
+        let now = self.registry.snapshot();
+        let mut state = self.state.lock().expect("window poisoned");
+        let delta = now.delta_since(&state.last);
+        state.last = now;
+        state.ring.push_back(delta);
+        while state.ring.len() > self.config.slots {
+            state.ring.pop_front();
+        }
+    }
+
+    /// How many ring slots a `window` of wall time spans (at least 1,
+    /// capped at the ring length).
+    fn slots_for(&self, window: Duration) -> usize {
+        let cadence = self.config.cadence.as_secs_f64();
+        ((window.as_secs_f64() / cadence).ceil() as usize).clamp(1, self.config.slots)
+    }
+
+    /// The merged deltas of the last `window` of history, together with
+    /// the wall time actually covered (fewer ticks than requested have
+    /// happened early in a process's life — rates divide by the covered
+    /// time, not the asked-for window).
+    pub fn over_last(&self, window: Duration) -> (MetricsSnapshot, Duration) {
+        let want = self.slots_for(window);
+        let state = self.state.lock().expect("window poisoned");
+        let take = want.min(state.ring.len());
+        let mut merged = MetricsSnapshot::default();
+        for delta in state.ring.iter().rev().take(take) {
+            merged.merge(delta);
+        }
+        (merged, self.config.cadence.mul_f64(take as f64))
+    }
+
+    /// Events per second of a counter family (summed over label sets)
+    /// over the last `window`. Zero before the first tick.
+    pub fn rate(&self, family: &str, window: Duration) -> f64 {
+        let (merged, covered) = self.over_last(window);
+        if covered.is_zero() {
+            return 0.0;
+        }
+        merged.counter_family(family) as f64 / covered.as_secs_f64()
+    }
+
+    /// The bucket-interpolated `q`-quantile of a histogram family under
+    /// the given labels, over the last `window`. `None` when the family
+    /// is absent or recorded nothing in the window.
+    pub fn quantile(
+        &self,
+        family: &str,
+        labels: &[(&str, &str)],
+        q: f64,
+        window: Duration,
+    ) -> Option<f64> {
+        self.over_last(window).0.quantile(family, labels, q)
+    }
+
+    /// Spawns the background driver: a thread ticking this window every
+    /// cadence of wall time until the returned [`WindowDriver`] is shut
+    /// down (or dropped). The driver holds its own `Arc`; dropping the
+    /// caller's clone does not stop it.
+    pub fn spawn(self: &Arc<Self>) -> WindowDriver {
+        let window = Arc::clone(self);
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let stop_in_thread = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("qtda-obs-window".into())
+            .spawn(move || {
+                let (lock, cvar) = &*stop_in_thread;
+                let mut stopped = lock.lock().expect("window driver poisoned");
+                loop {
+                    let (guard, timeout) = cvar
+                        .wait_timeout(stopped, window.config.cadence)
+                        .expect("window driver poisoned");
+                    stopped = guard;
+                    if *stopped {
+                        return;
+                    }
+                    if timeout.timed_out() {
+                        window.tick();
+                    }
+                }
+            })
+            .expect("spawning the window driver thread");
+        WindowDriver { stop, handle: Some(handle) }
+    }
+}
+
+impl std::fmt::Debug for RollingWindow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RollingWindow")
+            .field("cadence", &self.config.cadence)
+            .field("slots", &self.config.slots)
+            .field("ticks", &self.ticks())
+            .finish()
+    }
+}
+
+/// Handle on the background ticking thread. Shut down explicitly with
+/// [`WindowDriver::shutdown`] or implicitly on drop.
+#[derive(Debug)]
+pub struct WindowDriver {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl WindowDriver {
+    /// Stops the ticking thread and joins it. Idempotent.
+    pub fn shutdown(&mut self) {
+        *self.stop.0.lock().expect("window driver poisoned") = true;
+        self.stop.1.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WindowDriver {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DEFAULT_LATENCY_BUCKETS;
+
+    fn window(registry: &Arc<MetricsRegistry>, cadence_ms: u64, slots: usize) -> RollingWindow {
+        RollingWindow::new(
+            Arc::clone(registry),
+            WindowConfig { cadence: Duration::from_millis(cadence_ms), slots },
+        )
+    }
+
+    #[test]
+    fn rate_is_delta_over_covered_time() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let counter = registry.counter("events_total");
+        let w = window(&registry, 1000, 10);
+        counter.add(5);
+        w.tick(); // slot 1: 5 events over 1 s
+        counter.add(1);
+        w.tick(); // slot 2: 1 event over 1 s
+        assert_eq!(w.ticks(), 2);
+        // Last 1 s: only the newest slot.
+        assert!((w.rate("events_total", Duration::from_secs(1)) - 1.0).abs() < 1e-12);
+        // Last 10 s requested, 2 s covered: 6 events / 2 s.
+        assert!((w.rate("events_total", Duration::from_secs(10)) - 3.0).abs() < 1e-12);
+        assert_eq!(w.rate("absent_total", Duration::from_secs(10)), 0.0);
+    }
+
+    #[test]
+    fn ring_drops_history_past_the_window() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let counter = registry.counter("events_total");
+        let w = window(&registry, 1000, 3);
+        counter.add(100);
+        w.tick();
+        for _ in 0..3 {
+            counter.inc();
+            w.tick();
+        }
+        assert_eq!(w.ticks(), 3, "ring holds exactly `slots`");
+        // The burst of 100 has rolled off; only the three 1-event slots
+        // remain.
+        let (merged, covered) = w.over_last(Duration::from_secs(60));
+        assert_eq!(merged.counter("events_total"), 3);
+        assert_eq!(covered, Duration::from_secs(3));
+    }
+
+    #[test]
+    fn windowed_quantile_sees_only_the_window() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let h = registry.histogram_with(
+            "lat_seconds",
+            &[("class", "interactive")],
+            &DEFAULT_LATENCY_BUCKETS,
+        );
+        let w = window(&registry, 1000, 2);
+        // Old slot: slow observations.
+        for _ in 0..10 {
+            h.observe(2.0);
+        }
+        w.tick();
+        // Two fresh slots of fast observations push the slow slot out.
+        for _ in 0..10 {
+            h.observe(0.002);
+        }
+        w.tick();
+        for _ in 0..10 {
+            h.observe(0.002);
+        }
+        w.tick();
+        let p95 = w
+            .quantile("lat_seconds", &[("class", "interactive")], 0.95, Duration::from_secs(2))
+            .expect("histogram present");
+        assert!(p95 <= 0.0025, "slow history rolled off, p95 = {p95}");
+        // The *cumulative* registry still remembers the slow burst.
+        let cumulative = registry
+            .snapshot()
+            .quantile("lat_seconds", &[("class", "interactive")], 0.95)
+            .expect("histogram present");
+        assert!(cumulative > 0.5, "cumulative p95 includes the slow burst, got {cumulative}");
+    }
+
+    #[test]
+    fn driver_ticks_in_the_background_and_shuts_down() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let w = Arc::new(window(&registry, 5, 100));
+        let mut driver = w.spawn();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while w.ticks() < 3 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(w.ticks() >= 3, "driver ticked on its cadence");
+        driver.shutdown();
+        let after = w.ticks();
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(w.ticks(), after, "no ticks after shutdown");
+    }
+}

@@ -215,6 +215,83 @@ qtda_test_total 3
     assert_eq!(reg.snapshot().to_prometheus(), expected);
 }
 
+/// Label-value escaping golden: backslash, double quote, and newline in
+/// a label value must render per the Prometheus text format (`\\`,
+/// `\"`, `\n`) — raw, they would produce unparseable exposition lines.
+#[test]
+fn label_value_escaping_golden() {
+    let reg = MetricsRegistry::new();
+    reg.counter_with("qtda_esc_total", &[("path", "a\"b\\c\nd")]).inc();
+    let expected = "\
+# TYPE qtda_esc_total counter
+qtda_esc_total{path=\"a\\\"b\\\\c\\nd\"} 1
+";
+    assert_eq!(reg.snapshot().to_prometheus(), expected);
+}
+
+/// The JSON exposition must agree with the text exposition on escaped
+/// label values: both emit the same canonical (escaped) identity, just
+/// with JSON's own escaping layered on for the key string.
+#[test]
+fn text_and_json_expositions_agree_on_escaped_labels() {
+    let reg = MetricsRegistry::new();
+    reg.counter_with("qtda_esc_total", &[("path", "a\"b\\c")]).inc();
+    let text = reg.snapshot().to_prometheus();
+    let json = reg.snapshot().to_json();
+    // Text: one level of Prometheus escaping.
+    assert!(text.contains("qtda_esc_total{path=\"a\\\"b\\\\c\"} 1"), "text:\n{text}");
+    // JSON: the key carries the *same* canonical rendering, with each
+    // `\` and `"` of it JSON-escaped in turn.
+    assert!(
+        json.contains("\"qtda_esc_total{path=\\\"a\\\\\\\"b\\\\\\\\c\\\"}\": 1"),
+        "json:\n{json}"
+    );
+}
+
+/// Bucket-interpolated quantiles on a known distribution: 100 uniform
+/// observations across [0, 1) against bounds [0.25, 0.5, 0.75, 1.0].
+#[test]
+fn snapshot_quantile_interpolates_known_distribution() {
+    let reg = MetricsRegistry::new();
+    let h = reg.histogram_with("lat_seconds", &[("class", "interactive")], &[0.25, 0.5, 0.75, 1.0]);
+    for i in 0..100 {
+        // Offset off the bucket bounds (le is inclusive) so exactly 25
+        // observations land in each bucket.
+        h.observe((i as f64 + 0.5) / 100.0);
+    }
+    let snap = reg.snapshot();
+    let q = |q: f64| {
+        snap.quantile("lat_seconds", &[("class", "interactive")], q).expect("histogram present")
+    };
+    // Rank q·100 falls 25·4 observations deep; interpolation lands the
+    // estimate within one bucket width of the true value.
+    assert!((q(0.5) - 0.5).abs() < 0.25, "p50 = {}", q(0.5));
+    assert!((q(0.95) - 0.95).abs() < 0.25, "p95 = {}", q(0.95));
+    assert_eq!(q(0.25), 0.25, "rank exactly on a bucket boundary");
+    assert!(q(0.0) >= 0.0 && q(1.0) <= 1.0);
+    // Absent family / label set.
+    assert!(snap.quantile("nope_seconds", &[], 0.5).is_none());
+    assert!(snap.quantile("lat_seconds", &[("class", "bulk")], 0.5).is_none());
+}
+
+/// A rank landing in the `+Inf` overflow bucket clamps to the last
+/// finite bound — the histogram cannot justify any larger value.
+#[test]
+fn snapshot_quantile_clamps_in_the_overflow_bucket() {
+    let reg = MetricsRegistry::new();
+    let h = reg.histogram("lat_seconds", &[0.1, 1.0]);
+    for _ in 0..10 {
+        h.observe(50.0); // all observations beyond the last bound
+    }
+    let snap = reg.snapshot();
+    assert_eq!(snap.quantile("lat_seconds", &[], 0.5), Some(1.0));
+    assert_eq!(snap.quantile("lat_seconds", &[], 0.99), Some(1.0));
+    // An empty histogram has no quantiles at all.
+    let reg2 = MetricsRegistry::new();
+    reg2.histogram("empty_seconds", &[0.1]);
+    assert!(reg2.snapshot().quantile("empty_seconds", &[], 0.5).is_none());
+}
+
 #[test]
 fn json_form_escapes_label_quotes_and_carries_buckets() {
     let reg = MetricsRegistry::new();

@@ -68,11 +68,17 @@ pub mod stats;
 pub mod ticket;
 
 pub use dispatch::{serving_policy, validating_policy, BackendKind, DispatchPolicy};
-// `MetricsRegistry`/`MetricsSnapshot` re-exported so callers can build
-// a [`Telemetry`] (shared or disabled registry) and read expositions
-// without depending on `qtda-obs` directly.
+// `MetricsRegistry`/`MetricsSnapshot` — and the whole ops surface
+// (flight recorder, scrape server, rolling windows, SLO tracking) —
+// re-exported so callers can build a [`Telemetry`], serve scrapes, and
+// wire burn-rate alerts without depending on `qtda-obs` directly.
 pub use qtda_engine::{
-    AbortReason, CancelToken, MetricsRegistry, MetricsSnapshot, Priority, QosPolicy,
+    AbortReason, CancelToken, Event, EventKind, FlightRecorder, MetricsRegistry, MetricsSnapshot,
+    Priority, QosPolicy,
+};
+pub use qtda_obs::{
+    OpsState, RollingWindow, ScrapeServer, Slo, SloObjective, SloStatus, SloTracker, WindowConfig,
+    WindowDriver, DEFAULT_LATENCY_BUCKETS,
 };
 pub use queue::SubmitError;
 pub use service::{QtdaService, ServiceConfig, Telemetry};

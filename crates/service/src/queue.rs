@@ -51,6 +51,10 @@ pub(crate) struct Request {
     /// Per-ticket stage tracer (disabled unless the service was built
     /// with ticket tracing on).
     pub trace: Tracer,
+    /// The service-assigned ticket id (starts at 1) stamped on every
+    /// flight-recorder event this request produces, service- and
+    /// engine-side alike.
+    pub ticket: u64,
 }
 
 /// Why a submission was not accepted. Boxed so the error path stays as
@@ -290,6 +294,7 @@ mod tests {
             tx,
             accepted_at: Instant::now(),
             trace: Tracer::disabled(),
+            ticket: 0,
         }
     }
 

@@ -37,9 +37,12 @@ use crate::queue::{Request, SubmissionQueue, SubmitError};
 use crate::stats::{Counters, ServiceStats};
 use crate::ticket::{StreamedSlice, Ticket, TicketEvent};
 use qtda_engine::{
-    BatchEngine, BettiJob, EngineConfig, JobOutcome, JobRequest, MetricsRegistry, Priority,
-    QosPolicy, SliceEvent, Tracer,
+    BatchEngine, BettiJob, EngineConfig, EventKind, FlightRecorder, JobOutcome, JobRequest,
+    MetricsRegistry, Priority, QosPolicy, SliceEvent, Tracer,
 };
+use qtda_obs::{OpsState, ScrapeServer};
+use std::net::ToSocketAddrs;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -56,6 +59,87 @@ fn record_stage(trace: &Tracer, name: &str, start: Instant, end: Instant) {
 
 #[cfg(not(feature = "obs"))]
 fn record_stage(_trace: &Tracer, _name: &str, _start: Instant, _end: Instant) {}
+
+/// Stamps one flight-recorder event for a request (ticket id and job
+/// fingerprint are taken from the request itself). Both the detail
+/// closure and the fingerprint hash run only against a live recorder;
+/// with the `obs` feature off the whole call compiles away.
+#[cfg(feature = "obs")]
+fn record_request_event(
+    recorder: &FlightRecorder,
+    kind: EventKind,
+    request: &Request,
+    detail: impl FnOnce() -> String,
+) {
+    if recorder.is_enabled() {
+        recorder.record(kind, request.ticket, request.job.fingerprint(), detail());
+    }
+}
+
+#[cfg(not(feature = "obs"))]
+fn record_request_event(
+    _recorder: &FlightRecorder,
+    _kind: EventKind,
+    _request: &Request,
+    _detail: impl FnOnce() -> String,
+) {
+}
+
+/// Pre-computes the `(ticket, fingerprint, detail)` of a `Submit` event
+/// while the request is still borrowable — the stamp itself happens
+/// only after the queue push succeeds. `None` whenever the recorder is
+/// disabled (or the `obs` feature is off), so the fingerprint hash is
+/// never paid for an unobserved submission.
+#[cfg(feature = "obs")]
+fn prepared_submit_event(
+    recorder: &FlightRecorder,
+    request: &Request,
+) -> Option<(u64, u64, String)> {
+    if recorder.is_enabled() {
+        let detail = format!("class={}", class_label(request.qos.priority));
+        Some((request.ticket, request.job.fingerprint(), detail))
+    } else {
+        None
+    }
+}
+
+#[cfg(not(feature = "obs"))]
+fn prepared_submit_event(
+    _recorder: &FlightRecorder,
+    _request: &Request,
+) -> Option<(u64, u64, String)> {
+    None
+}
+
+/// Stamps `BatchFormed` for every member of a freshly closed
+/// micro-batch (detail carries the batch size).
+#[cfg(feature = "obs")]
+fn record_batch_formed(recorder: &FlightRecorder, batch: &[(Request, Instant)]) {
+    if recorder.is_enabled() {
+        let size = batch.len();
+        for (request, _) in batch {
+            recorder.record(
+                EventKind::BatchFormed,
+                request.ticket,
+                request.job.fingerprint(),
+                format!("size={size}"),
+            );
+        }
+    }
+}
+
+#[cfg(not(feature = "obs"))]
+fn record_batch_formed(_recorder: &FlightRecorder, _batch: &[(Request, Instant)]) {}
+
+/// The lowercase class label used in event details and metric labels.
+#[cfg(feature = "obs")]
+fn class_label(priority: Priority) -> &'static str {
+    match priority {
+        Priority::Interactive => "interactive",
+        Priority::Normal => "normal",
+        Priority::Bulk => "bulk",
+    }
+}
 
 /// Streaming front-end parameters.
 #[derive(Clone, Copy, Debug)]
@@ -126,11 +210,21 @@ pub struct Telemetry {
     /// feature, on by default). Off by default: tracing allocates per
     /// request.
     pub trace_tickets: bool,
+    /// A flight recorder for the structured event journal (`Submit`,
+    /// `BatchFormed`, `UnitDone`, `CacheHit`, `Cancel`,
+    /// `DeadlineExpired`, `Abort`). `None` (the default) records
+    /// nothing at zero cost; pass `Some(Arc::new(FlightRecorder::new(
+    /// capacity)))` — or use [`Telemetry::with_flight_recorder`] — and
+    /// both the service and its engine stamp into the same bounded
+    /// ring, dumpable as JSONL (see [`QtdaService::serve_ops`] and
+    /// [`FlightRecorder::dump_jsonl`]). Recording never changes result
+    /// bits.
+    pub events: Option<Arc<FlightRecorder>>,
 }
 
 impl Default for Telemetry {
     fn default() -> Self {
-        Telemetry { registry: Arc::new(MetricsRegistry::new()), trace_tickets: false }
+        Telemetry { registry: Arc::new(MetricsRegistry::new()), trace_tickets: false, events: None }
     }
 }
 
@@ -138,6 +232,34 @@ impl Telemetry {
     /// Telemetry with ticket tracing on (fresh live registry).
     pub fn with_ticket_traces() -> Self {
         Telemetry { trace_tickets: true, ..Telemetry::default() }
+    }
+
+    /// Telemetry with a flight recorder holding up to `capacity` events
+    /// (fresh live registry, no ticket traces).
+    pub fn with_flight_recorder(capacity: usize) -> Self {
+        Telemetry { events: Some(Arc::new(FlightRecorder::new(capacity))), ..Telemetry::default() }
+    }
+}
+
+/// Liveness/readiness flags shared between a service and any ops
+/// servers it spawned: the probe closure holds its own `Arc`, so
+/// `/ready` keeps answering (503) even after the service itself has
+/// been shut down and dropped.
+#[derive(Debug)]
+struct ServiceHealth {
+    /// Cleared when shutdown begins — the queue stops accepting.
+    accepting: AtomicBool,
+    /// Cleared when the batcher thread exits, normally or by unwind.
+    batcher_alive: AtomicBool,
+}
+
+impl ServiceHealth {
+    fn new() -> Self {
+        ServiceHealth { accepting: AtomicBool::new(true), batcher_alive: AtomicBool::new(true) }
+    }
+
+    fn is_ready(&self) -> bool {
+        self.accepting.load(Ordering::Relaxed) && self.batcher_alive.load(Ordering::Relaxed)
     }
 }
 
@@ -150,6 +272,9 @@ pub struct QtdaService {
     counters: Arc<Counters>,
     registry: Arc<MetricsRegistry>,
     trace_tickets: bool,
+    events: Option<Arc<FlightRecorder>>,
+    health: Arc<ServiceHealth>,
+    next_ticket: AtomicU64,
     batcher: Option<JoinHandle<()>>,
 }
 
@@ -169,20 +294,27 @@ impl QtdaService {
     pub fn with_telemetry(config: ServiceConfig, telemetry: Telemetry) -> Self {
         assert!(config.max_batch_size >= 1, "micro-batches need at least one job");
         let registry = telemetry.registry;
-        let engine = Arc::new(BatchEngine::with_metrics(config.engine, Arc::clone(&registry)));
+        let events = telemetry.events;
+        let engine = Arc::new(BatchEngine::with_observability(
+            config.engine,
+            Arc::clone(&registry),
+            events.clone(),
+        ));
         let queue = Arc::new(SubmissionQueue::with_depth_gauge(
             config.queue_capacity,
             config.priority_bypass,
             registry.gauge("qtda_service_queue_depth"),
         ));
         let counters = Arc::new(Counters::register(&registry));
+        let health = Arc::new(ServiceHealth::new());
         let batcher = {
             let engine = Arc::clone(&engine);
             let queue = Arc::clone(&queue);
             let counters = Arc::clone(&counters);
+            let health = Arc::clone(&health);
             std::thread::Builder::new()
                 .name("qtda-service-batcher".into())
-                .spawn(move || batcher_loop(&engine, &queue, &counters, config))
+                .spawn(move || batcher_loop(&engine, &queue, &counters, &health, config))
                 .expect("spawning the batcher thread")
         };
         QtdaService {
@@ -191,6 +323,9 @@ impl QtdaService {
             counters,
             registry,
             trace_tickets: telemetry.trace_tickets,
+            events,
+            health,
+            next_ticket: AtomicU64::new(0),
             batcher: Some(batcher),
         }
     }
@@ -213,7 +348,13 @@ impl QtdaService {
     pub fn submit_with(&self, job: BettiJob, qos: QosPolicy) -> Result<Ticket, SubmitError> {
         let (request, ticket) = self.make_request(job, qos);
         let priority = request.qos.priority;
-        self.queue.push_blocking(request)?;
+        let submit_event = prepared_submit_event(self.engine.recorder(), &request);
+        let journal_key = submit_event.as_ref().map(|(t, f, _)| (*t, *f));
+        self.stamp_submit(submit_event);
+        if let Err(err) = self.queue.push_blocking(request) {
+            self.stamp_rejected(journal_key, "shutting-down");
+            return Err(err);
+        }
         self.counters.record_submit(priority);
         Ok(ticket)
     }
@@ -229,6 +370,9 @@ impl QtdaService {
     pub fn try_submit_with(&self, job: BettiJob, qos: QosPolicy) -> Result<Ticket, SubmitError> {
         let (request, ticket) = self.make_request(job, qos);
         let priority = request.qos.priority;
+        let submit_event = prepared_submit_event(self.engine.recorder(), &request);
+        let journal_key = submit_event.as_ref().map(|(t, f, _)| (*t, *f));
+        self.stamp_submit(submit_event);
         match self.queue.try_push(request) {
             Ok(()) => {
                 self.counters.record_submit(priority);
@@ -238,8 +382,42 @@ impl QtdaService {
                 if matches!(err, SubmitError::Overloaded(_)) {
                     self.counters.rejected_overloaded.inc();
                 }
+                let reason = match &err {
+                    SubmitError::Overloaded(_) => "overloaded",
+                    SubmitError::ShuttingDown(_) => "shutting-down",
+                };
+                self.stamp_rejected(journal_key, reason);
                 Err(err)
             }
+        }
+    }
+
+    /// Stamps a `Submit` event prepared *before* the request was moved
+    /// into the queue. The stamp happens **before** the push: once the
+    /// request is queued, the batcher may pop (and abort) it at any
+    /// moment, and a ticket's journal chain must still start at its
+    /// submission. A push the queue then refuses is closed out by
+    /// [`Self::stamp_rejected`].
+    fn stamp_submit(&self, event: Option<(u64, u64, String)>) {
+        if let Some((ticket, fingerprint, detail)) = event {
+            self.engine.recorder().record(EventKind::Submit, ticket, fingerprint, detail);
+        }
+    }
+
+    /// Terminates the journal chain of a submission the queue refused —
+    /// the push never succeeded, so no batcher or engine event will
+    /// ever follow for this ticket. `key` is `None` whenever the
+    /// recorder is disabled (no `Submit` was stamped either).
+    fn stamp_rejected(&self, key: Option<(u64, u64)>, reason: &str) {
+        if let Some((ticket, fingerprint)) = key {
+            let recorder = self.engine.recorder();
+            recorder.record(
+                EventKind::Cancel,
+                ticket,
+                fingerprint,
+                format!("at=admission reason={reason}"),
+            );
+            recorder.record(EventKind::Abort, ticket, fingerprint, "reason=rejected".to_string());
         }
     }
 
@@ -247,8 +425,12 @@ impl QtdaService {
         let (tx, rx) = channel();
         let cancel = qos.cancel_token();
         let trace = if self.trace_tickets { Tracer::new() } else { Tracer::disabled() };
-        let request = Request { job, qos, tx, accepted_at: Instant::now(), trace: trace.clone() };
-        (request, Ticket { rx, outcome: None, cancel, trace })
+        // Ticket ids start at 1: id 0 is the engine's "no ticket"
+        // sentinel for jobs submitted through the raw batch API.
+        let id = self.next_ticket.fetch_add(1, Ordering::Relaxed) + 1;
+        let request =
+            Request { job, qos, tx, accepted_at: Instant::now(), trace: trace.clone(), ticket: id };
+        (request, Ticket { rx, outcome: None, cancel, trace, id })
     }
 
     /// The engine behind the service (for its cache/dedup/unit/QoS
@@ -263,6 +445,46 @@ impl QtdaService {
     /// every `qtda_service_*` and `qtda_engine_*` metric.
     pub fn registry(&self) -> &Arc<MetricsRegistry> {
         &self.registry
+    }
+
+    /// The flight recorder this service (and its engine) stamp events
+    /// into, when [`Telemetry::events`] configured one.
+    pub fn flight_recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.events.as_ref()
+    }
+
+    /// `true` while the service accepts submissions **and** its batcher
+    /// thread is alive — exactly what an ops server's `/ready` endpoint
+    /// reports.
+    pub fn is_ready(&self) -> bool {
+        self.health.is_ready()
+    }
+
+    /// Binds a [`ScrapeServer`] on `addr` (use port 0 for an ephemeral
+    /// port; see [`ScrapeServer::local_addr`]) exposing this service's
+    /// whole stack over plain HTTP/1.1:
+    ///
+    /// * `GET /metrics` — Prometheus text exposition of every
+    ///   `qtda_service_*` and `qtda_engine_*` metric,
+    /// * `GET /metrics.json` — the same snapshot as JSON,
+    /// * `GET /health` — `200 ok` while the process is up,
+    /// * `GET /ready` — `200` while accepting and batching, `503` after
+    ///   shutdown (the probe holds its own handle and outlives the
+    ///   service),
+    /// * `GET /events.jsonl` / `GET /abort.jsonl` — flight-recorder
+    ///   dumps, when [`Telemetry::events`] configured a recorder.
+    ///
+    /// The returned server owns one background accept thread; drop it
+    /// (or call [`ScrapeServer::shutdown`]) to stop serving. Serving
+    /// scrapes never perturbs results — scraping reads atomics.
+    pub fn serve_ops(&self, addr: impl ToSocketAddrs) -> std::io::Result<ScrapeServer> {
+        let health = Arc::clone(&self.health);
+        let mut state =
+            OpsState::new(Arc::clone(&self.registry)).with_ready_probe(move || health.is_ready());
+        if let Some(recorder) = &self.events {
+            state = state.with_recorder(Arc::clone(recorder));
+        }
+        ScrapeServer::bind(addr, state)
     }
 
     /// A snapshot of the service-level counters.
@@ -283,6 +505,7 @@ impl QtdaService {
     }
 
     fn shutdown_in_place(&mut self) {
+        self.health.accepting.store(false, Ordering::Relaxed);
         self.queue.close();
         if let Some(handle) = self.batcher.take() {
             if handle.join().is_err() {
@@ -306,12 +529,17 @@ impl Drop for QtdaService {
 /// *unwind*: if an engine worker panic kills the batcher, producers
 /// parked in `push_blocking` (and all future submitters) must observe
 /// `ShuttingDown` instead of waiting on a queue nobody will ever pop
-/// again.
-struct CloseOnExit<'a>(&'a SubmissionQueue);
+/// again. Also clears the shared `batcher_alive` readiness flag, so a
+/// live ops server's `/ready` flips to 503 the moment batching stops.
+struct CloseOnExit<'a> {
+    queue: &'a SubmissionQueue,
+    health: &'a ServiceHealth,
+}
 
 impl Drop for CloseOnExit<'_> {
     fn drop(&mut self) {
-        self.0.close();
+        self.health.batcher_alive.store(false, Ordering::Relaxed);
+        self.queue.close();
     }
 }
 
@@ -321,13 +549,15 @@ fn batcher_loop(
     engine: &BatchEngine,
     queue: &SubmissionQueue,
     counters: &Counters,
+    health: &ServiceHealth,
     config: ServiceConfig,
 ) {
-    let _close_on_exit = CloseOnExit(queue);
+    let _close_on_exit = CloseOnExit { queue, health };
+    let recorder = engine.recorder();
     while let Some(first) = queue.pop_blocking() {
         let accepted_at = first.accepted_at;
         let mut batch: Vec<(Request, Instant)> = Vec::with_capacity(config.max_batch_size);
-        admit(first, counters, &mut batch);
+        admit(first, counters, recorder, &mut batch);
         // Gather while the batch is short of its size cap. An empty
         // `batch` (first request dead on arrival) keeps gathering with
         // the dead request's clock — bounded and simple; the next loop
@@ -354,7 +584,7 @@ fn batcher_loop(
                 config.max_linger
             };
             match queue.pop_until(accepted_at + linger) {
-                Some(request) => admit(request, counters, &mut batch),
+                Some(request) => admit(request, counters, recorder, &mut batch),
                 None => break,
             }
         }
@@ -362,6 +592,7 @@ fn batcher_loop(
             continue;
         }
         counters.record_batch(batch.len() as u64);
+        record_batch_formed(recorder, &batch);
 
         // The linger stage ends for every member when the batch
         // dispatches — time spent gathering company, paid for
@@ -376,6 +607,7 @@ fn batcher_loop(
                 job: r.job.clone(),
                 qos: r.qos.clone(),
                 trace: r.trace.clone(),
+                ticket: r.ticket,
             })
             .collect();
         let parties: Vec<Request> = batch.into_iter().map(|(r, _)| r).collect();
@@ -407,6 +639,10 @@ fn batcher_loop(
                 }
                 JobOutcome::Aborted(reason) => {
                     counters.record_abort(reason);
+                    // The engine stamped the `Abort` event while mapping
+                    // outcomes; here the journal chain for this ticket
+                    // is complete, so snapshot it for `/abort.jsonl`.
+                    recorder.capture_abort(request.ticket);
                     // Possibly a duplicate of the engine's streamed
                     // abort — the ticket keeps the first terminal event.
                     let _ = request.tx.send(TicketEvent::Aborted(reason));
@@ -421,11 +657,16 @@ fn batcher_loop(
 /// cancelled while queued, in which case it is aborted on the spot and
 /// never occupies a slot. The paired `Instant` is the pop time, where
 /// the request's `linger` stage begins.
-fn admit(request: Request, counters: &Counters, batch: &mut Vec<(Request, Instant)>) {
+fn admit(
+    request: Request,
+    counters: &Counters,
+    recorder: &FlightRecorder,
+    batch: &mut Vec<(Request, Instant)>,
+) {
     let popped_at = Instant::now();
     counters.record_queue_wait(popped_at.duration_since(request.accepted_at));
     record_stage(&request.trace, "queue_wait", request.accepted_at, popped_at);
-    if !abort_if_dead(&request, counters) {
+    if !abort_if_dead(&request, counters, recorder) {
         batch.push((request, popped_at));
     }
 }
@@ -440,9 +681,14 @@ fn admit(request: Request, counters: &Counters, batch: &mut Vec<(Request, Instan
 /// sitting in the LRU cache is delivered for free — the same
 /// "best-effort deadline never discards a ready answer" semantics the
 /// engine implements, kept uniform across layers.
-fn abort_if_dead(request: &Request, counters: &Counters) -> bool {
+fn abort_if_dead(request: &Request, counters: &Counters, recorder: &FlightRecorder) -> bool {
     if request.qos.cancel.is_cancelled() {
         counters.record_abort(qtda_engine::AbortReason::Cancelled);
+        // This request dies before ever reaching the engine, so the
+        // service stamps the full terminal chain itself.
+        record_request_event(recorder, EventKind::Cancel, request, || "at=queue".into());
+        record_request_event(recorder, EventKind::Abort, request, || "reason=cancelled".into());
+        recorder.capture_abort(request.ticket);
         let _ = request.tx.send(TicketEvent::Aborted(qtda_engine::AbortReason::Cancelled));
         true
     } else {

@@ -73,9 +73,18 @@ pub struct Ticket {
     pub(crate) outcome: Option<TicketOutcome>,
     pub(crate) cancel: CancelToken,
     pub(crate) trace: Tracer,
+    pub(crate) id: u64,
 }
 
 impl Ticket {
+    /// The service-assigned ticket id (starting at 1) — the `ticket`
+    /// field on every flight-recorder event this request produced, so
+    /// a journal dump can be joined back to the handle that caused it
+    /// (see [`qtda_engine::FlightRecorder::events_for_ticket`]).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
     /// The per-stage trace recorded for this request so far — `None`
     /// unless the service was built with
     /// [`Telemetry::trace_tickets`](crate::Telemetry) on. Spans appear

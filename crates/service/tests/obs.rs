@@ -90,7 +90,11 @@ fn telemetry_is_invisible_in_results() {
 
     let disabled = QtdaService::with_telemetry(
         service_config(),
-        Telemetry { registry: Arc::new(MetricsRegistry::disabled()), trace_tickets: false },
+        Telemetry {
+            registry: Arc::new(MetricsRegistry::disabled()),
+            trace_tickets: false,
+            events: None,
+        },
     );
     let got_disabled = run_all(&disabled, &jobs);
     assert_bit_identical(&got_disabled, &reference, "disabled registry");
