@@ -1,0 +1,255 @@
+//! Cluster scaling on a live request mix: 1 vs 2 vs 4 shards.
+//!
+//! The workload is the cache-scaling mix the sharded tier exists for:
+//! **50 distinct jobs, 200 requests**, replayed one request at a time
+//! in cyclic order with deterministic Poisson inter-arrival gaps. A
+//! cyclic scan is the LRU worst case — with a per-engine cache smaller
+//! than the distinct-key population, every reuse has already been
+//! evicted, so a single engine recomputes all 200 requests. Sharding
+//! splits the key population across N disjoint LRUs: each shard's
+//! share fits, the second pass onward hits, and throughput scales with
+//! *aggregate cache capacity* — the honest win on any machine,
+//! including single-CPU hosts where parallel speedups can't exist.
+//!
+//! Gates (hard asserts, the bench panics if they fail):
+//!
+//! * **Bit-identity before timing** — every shard count's answers are
+//!   byte-for-byte the single-engine reference's.
+//! * **Throughput** — ≥ 1.6× at 2 shards over 1 shard on the scarce
+//!   cache configuration.
+//! * **Hit-rate parity** — with *ample* per-engine capacity (everything
+//!   fits everywhere), the sharded aggregate hit rate is within 2
+//!   points of the single engine's: splitting the key space costs no
+//!   hits, it only multiplies capacity.
+//!
+//! Run with `--json [path]` to emit machine-readable results (the
+//! checked-in `BENCH_PR9.json` comes from
+//! `cargo bench --bench cluster_scaling -- --json`).
+
+use qtda_cluster::{ClusterConfig, ClusterEngine};
+use qtda_core::estimator::EstimatorConfig;
+use qtda_engine::{BatchEngine, BettiJob, EngineConfig, EngineStats, JobResult};
+use qtda_tda::point_cloud::synthetic;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Batch seed shared by every path so results are comparable bitwise.
+const BATCH_SEED: u64 = 0xC1_05CA;
+/// Distinct job fingerprints in the mix.
+const DISTINCT: usize = 50;
+/// Total requests replayed (each of the 50 keys recurs 4×).
+const REQUESTS: usize = 200;
+/// Scarce per-engine LRU capacity: below DISTINCT, so one engine
+/// thrashes on the cyclic scan, while each shard's ~DISTINCT/N share
+/// fits comfortably.
+const SCARCE_CACHE: usize = 40;
+/// Ample per-engine capacity for the hit-rate parity check.
+const AMPLE_CACHE: usize = 256;
+/// Mean inter-arrival gap of the Poisson-ish trace.
+const MEAN_INTERARRIVAL: Duration = Duration::from_micros(150);
+
+/// 50 distinct jobs: same topology family, ε-grid varied per tag so
+/// fingerprints differ and spread across the ring. Heavy enough
+/// (12-point circle, two ε slices, 5 precision qubits) that a cache
+/// miss costs real solver work — the quantity sharded capacity saves.
+fn distinct_jobs() -> Vec<BettiJob> {
+    (0..DISTINCT)
+        .map(|tag| {
+            let mut rng = StdRng::seed_from_u64(17 + tag as u64 % 3);
+            let cloud = synthetic::circle(12, 1.0, 0.05, &mut rng);
+            let eps = 0.5 + 0.005 * tag as f64;
+            let mut job = BettiJob::new(cloud, vec![eps, eps + 0.4]);
+            job.estimator =
+                EstimatorConfig { precision_qubits: 5, shots: 2000, ..EstimatorConfig::default() };
+            job
+        })
+        .collect()
+}
+
+/// Deterministic exponential inter-arrival gaps (Poisson process).
+fn arrival_gaps(n: usize, mean: Duration, rng_seed: u64) -> Vec<Duration> {
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            mean.mul_f64(-u.ln())
+        })
+        .collect()
+}
+
+fn cluster(shards: usize, cache_capacity: usize) -> ClusterEngine {
+    ClusterEngine::new(ClusterConfig {
+        engine: EngineConfig { batch_seed: BATCH_SEED, cache_capacity, ..EngineConfig::default() },
+        shards,
+        ..ClusterConfig::default()
+    })
+}
+
+/// Replays the 200-request trace one submission at a time (the live
+/// streaming shape — repeats must be answered by the *cache*, never by
+/// in-batch dedup), honouring the Poisson gaps. Returns the wall-clock
+/// and the cluster's aggregate stats.
+fn replay(
+    cluster: &ClusterEngine,
+    jobs: &[BettiJob],
+    gaps: &[Duration],
+) -> (Duration, EngineStats) {
+    let start = Instant::now();
+    for (i, gap) in gaps.iter().enumerate() {
+        std::thread::sleep(*gap);
+        let _ = cluster.run_batch(std::slice::from_ref(&jobs[i % DISTINCT]));
+    }
+    (start.elapsed(), cluster.stats())
+}
+
+fn assert_identical(label: &str, a: &[Arc<JobResult>], b: &[Arc<JobResult>]) {
+    assert_eq!(a.len(), b.len(), "{label}: result counts");
+    for (i, (ra, rb)) in a.iter().zip(b).enumerate() {
+        assert_eq!(ra.fingerprint, rb.fingerprint, "{label}: job {i} fingerprint");
+        assert_eq!(ra.job_seed, rb.job_seed, "{label}: job {i} job seed");
+        for (sa, sb) in ra.slices.iter().zip(&rb.slices) {
+            assert_eq!(sa.seed, sb.seed, "{label}: job {i} slice seed");
+            assert_eq!(sa.classical, sb.classical, "{label}: job {i} classical");
+            for (ea, eb) in sa.estimates.iter().zip(&sb.estimates) {
+                assert_eq!(
+                    ea.corrected.to_bits(),
+                    eb.corrected.to_bits(),
+                    "{label}: job {i} corrected estimate"
+                );
+                assert_eq!(ea.raw.to_bits(), eb.raw.to_bits(), "{label}: job {i} raw estimate");
+            }
+        }
+    }
+}
+
+struct ShardRun {
+    shards: usize,
+    wall: Duration,
+    stats: EngineStats,
+}
+
+impl ShardRun {
+    fn throughput(&self) -> f64 {
+        REQUESTS as f64 / self.wall.as_secs_f64()
+    }
+    fn hit_rate(&self) -> f64 {
+        100.0 * self.stats.cache_hits as f64 / self.stats.jobs_served as f64
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = args.iter().position(|a| a == "--json").map(|i| {
+        args.get(i + 1).filter(|a| !a.starts_with('-')).cloned().unwrap_or_else(|| {
+            // Default to the workspace root regardless of the bench
+            // binary's working directory.
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR9.json").to_string()
+        })
+    });
+
+    let jobs = distinct_jobs();
+    let gaps = arrival_gaps(REQUESTS, MEAN_INTERARRIVAL, 0xC1_05CA);
+
+    // ── Gate 1: bit-identity before any timing ───────────────────────
+    // One-job-at-a-time through a cache-less single engine is the
+    // ground truth; every shard count must reproduce it byte for byte.
+    let reference_engine = BatchEngine::new(EngineConfig {
+        batch_seed: BATCH_SEED,
+        workers: 1,
+        cache_capacity: 0,
+        ..EngineConfig::default()
+    });
+    let reference: Vec<Arc<JobResult>> =
+        jobs.iter().flat_map(|j| reference_engine.run_batch(std::slice::from_ref(j))).collect();
+    for shards in [1usize, 2, 4] {
+        let c = cluster(shards, SCARCE_CACHE);
+        let got: Vec<Arc<JobResult>> =
+            jobs.iter().flat_map(|j| c.run_batch(std::slice::from_ref(j))).collect();
+        assert_identical(&format!("{shards}-shard vs single-engine"), &reference, &got);
+    }
+    println!("cluster_scaling: bit-identity gate passed for 1/2/4 shards");
+
+    // ── Throughput sweep at scarce per-engine capacity ───────────────
+    let runs: Vec<ShardRun> = [1usize, 2, 4]
+        .iter()
+        .map(|&shards| {
+            let c = cluster(shards, SCARCE_CACHE);
+            let (wall, stats) = replay(&c, &jobs, &gaps);
+            ShardRun { shards, wall, stats }
+        })
+        .collect();
+    println!(
+        "cluster_scaling: {DISTINCT} distinct / {REQUESTS} requests, \
+         per-engine LRU {SCARCE_CACHE}, Poisson mean {MEAN_INTERARRIVAL:?}"
+    );
+    for run in &runs {
+        println!(
+            "  {} shard(s): {:>8.1} req/s  ({:?} wall, {} hits / {} misses, {:.1}% hit rate)",
+            run.shards,
+            run.throughput(),
+            run.wall,
+            run.stats.cache_hits,
+            run.stats.cache_misses,
+            run.hit_rate()
+        );
+    }
+    let speedup_2 = runs[1].throughput() / runs[0].throughput();
+    let speedup_4 = runs[2].throughput() / runs[0].throughput();
+    println!("  speedup @2 shards: {speedup_2:.2}×   @4 shards: {speedup_4:.2}×");
+    assert!(
+        speedup_2 >= 1.6,
+        "throughput gate: 2 shards must be ≥ 1.6× one shard, got {speedup_2:.2}×"
+    );
+
+    // ── Gate 3: hit-rate parity at ample capacity ────────────────────
+    // When everything fits everywhere, sharding must not *lose* hits:
+    // the aggregate hit rate stays within 2 points of the single
+    // engine's on the same mix.
+    let parity: Vec<ShardRun> = [1usize, 2]
+        .iter()
+        .map(|&shards| {
+            let c = cluster(shards, AMPLE_CACHE);
+            let (wall, stats) = replay(&c, &jobs, &gaps);
+            ShardRun { shards, wall, stats }
+        })
+        .collect();
+    let drift = (parity[0].hit_rate() - parity[1].hit_rate()).abs();
+    println!(
+        "  ample-capacity hit rates: {:.1}% @1 shard, {:.1}% @2 shards (|Δ| = {drift:.2} pts)",
+        parity[0].hit_rate(),
+        parity[1].hit_rate()
+    );
+    assert!(
+        drift <= 2.0,
+        "hit-rate parity gate: sharding cost {drift:.2} points of hit rate (max 2)"
+    );
+
+    if let Some(path) = json_path {
+        let run_json = |r: &ShardRun| {
+            format!(
+                "{{\"shards\": {}, \"wall_ms\": {:.3}, \"throughput_rps\": {:.2}, \
+                 \"cache_hits\": {}, \"cache_misses\": {}, \"hit_rate_pct\": {:.2}}}",
+                r.shards,
+                r.wall.as_secs_f64() * 1e3,
+                r.throughput(),
+                r.stats.cache_hits,
+                r.stats.cache_misses,
+                r.hit_rate()
+            )
+        };
+        let json = format!
+        (
+            "{{\n  \"bench\": \"cluster_scaling\",\n  \"workload\": {{\"distinct_jobs\": {DISTINCT}, \"requests\": {REQUESTS}, \"scarce_cache_per_engine\": {SCARCE_CACHE}, \"ample_cache_per_engine\": {AMPLE_CACHE}, \"mean_interarrival_us\": {}}},\n  \"bit_identity\": \"passed (1/2/4 shards vs single engine, before timing)\",\n  \"scarce_cache_sweep\": [\n    {},\n    {},\n    {}\n  ],\n  \"speedup_2_shards\": {speedup_2:.3},\n  \"speedup_4_shards\": {speedup_4:.3},\n  \"ample_capacity_parity\": [\n    {},\n    {}\n  ],\n  \"hit_rate_drift_pts\": {drift:.3},\n  \"gates\": {{\"throughput_2_shards_min\": 1.6, \"hit_rate_drift_max_pts\": 2.0, \"passed\": true}}\n}}\n",
+            MEAN_INTERARRIVAL.as_micros(),
+            run_json(&runs[0]),
+            run_json(&runs[1]),
+            run_json(&runs[2]),
+            run_json(&parity[0]),
+            run_json(&parity[1]),
+        );
+        std::fs::write(&path, json).expect("writing bench JSON");
+        println!("cluster_scaling: wrote {path}");
+    }
+}

@@ -1,0 +1,647 @@
+//! The sharded cluster engine: N [`BatchEngine`] shards behind a
+//! consistent-hash router, with QoS-aware work stealing and hot-key
+//! replication.
+//!
+//! # Architecture
+//!
+//! ```text
+//!        submit (JobRequest, fingerprint fp)
+//!                       │
+//!              ┌────────▼────────┐
+//!              │   HashRing /    │   hot fp?  → round-robin
+//!              │  HotKeyTracker  │   cold fp? → ring.route(fp)
+//!              └────────┬────────┘
+//!          ┌────────────┼────────────┐
+//!       queue 0      queue 1      queue 2       (dispatch queues)
+//!          │            │            │
+//!       shard 0      shard 1      shard 2       (threads today)
+//!       engine 0     engine 1     engine 2      (disjoint LRUs)
+//!                └── steal: idle shard takes whole queued jobs
+//!                    from the most backlogged queue; the job still
+//!                    runs on the OWNING shard's engine ──┘
+//! ```
+//!
+//! Each shard is a long-lived thread owning a dispatch queue; jobs are
+//! routed onto queues by consistent-hashing their content fingerprint
+//! ([`crate::ring`]), so every shard's LRU owns a disjoint key space
+//! and nothing is cached twice. The routing layer is deliberately
+//! transport-agnostic — a [`Task`](self) is plain owned data plus a
+//! result channel, so the same router can front socket-attached shards
+//! later without touching the hashing, stealing, or replication logic.
+//!
+//! **Work stealing** rebalances *dispatch*, never *data*: an idle
+//! shard pops whole queued jobs (a job's arena is never split) from
+//! the most backlogged queue, Interactive class first, and runs them
+//! on the **owner's** engine. The owner's LRU still absorbs the
+//! results, so stealing changes which thread burns the CPU but not
+//! where the key space lives — aggregate hit rates are unaffected.
+//!
+//! **Hot-key replication** ([`crate::hotkey`]) lifts viral
+//! fingerprints out of their home shard: once promoted, a key routes
+//! round-robin and each shard computes-and-caches its own replica on
+//! its own engine.
+//!
+//! # Bit-identity
+//!
+//! The N-shard answer equals the single-engine answer byte for byte,
+//! for any N, stealing on or off, replication on or off. This is free
+//! by construction — every shard engine shares one `batch_seed`, and
+//! all estimator seeds are derived from `(batch_seed, job fingerprint,
+//! ε-index, dimension)` (see `qtda_engine::seed`), so *which* engine
+//! computes a job cannot reach the numbers. The cluster determinism
+//! suite pins it anyway.
+
+use qtda_core::query::Priority;
+use qtda_engine::batch::{
+    BatchEngine, EngineConfig, EngineStats, JobOutcome, JobRequest, SliceEvent, SliceSink,
+};
+use qtda_engine::BettiJob;
+#[cfg(feature = "obs")]
+use qtda_obs::events::EventKind;
+use qtda_obs::events::FlightRecorder;
+use qtda_obs::metrics::{Counter, MetricsRegistry};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::hotkey::HotKeyTracker;
+use crate::ring::{HashRing, DEFAULT_VNODES};
+
+/// Cluster parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// Per-shard engine configuration. Every shard gets the **same**
+    /// config — in particular the same `batch_seed`, which is what
+    /// makes shard placement invisible in the results.
+    pub engine: EngineConfig,
+    /// Number of engine shards (`0` is clamped to 1).
+    pub shards: usize,
+    /// Virtual nodes per shard on the hash ring.
+    pub vnodes: usize,
+    /// Whether idle shards steal queued jobs from backlogged ones.
+    pub stealing: bool,
+    /// Sightings at which a fingerprint is promoted to
+    /// replicate-everywhere routing (`0` disables hot-key replication).
+    pub hot_threshold: u32,
+    /// Most jobs a shard pops from its queue per engine run. Keeping
+    /// this small leaves backlog visible on the queue where an idle
+    /// shard can steal it, at the cost of smaller in-batch dedup scope.
+    pub max_run: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            engine: EngineConfig::default(),
+            shards: 2,
+            vnodes: DEFAULT_VNODES,
+            stealing: true,
+            hot_threshold: 0,
+            max_run: 4,
+        }
+    }
+}
+
+/// One queued dispatch unit: an owned request plus everything needed
+/// to deliver its results back to the submitter. Plain data — no
+/// references into the submitting thread — which is what keeps the
+/// routing layer transport-agnostic.
+struct Task {
+    request: JobRequest,
+    /// Only read by the obs event stamps today, but part of the task's
+    /// wire shape either way (a socket transport would carry it).
+    #[cfg_attr(not(feature = "obs"), allow(dead_code))]
+    fingerprint: u64,
+    /// The shard whose engine must run this job (its LRU owns the key
+    /// space slice). A thief executes the task but never re-homes it.
+    owner: usize,
+    /// Index of the request in the submitter's batch.
+    index: usize,
+    done: Sender<ClusterMsg>,
+}
+
+/// Result traffic from a shard back to a blocked submitter.
+enum ClusterMsg {
+    /// A slice of request `index` completed (streams in completion
+    /// order, exactly like [`BatchEngine::run_batch_streaming_qos`]).
+    Slice { index: usize, slice_index: usize, result: qtda_engine::batch::SliceResult },
+    /// Request `index` was abandoned mid-batch.
+    Aborted { index: usize, reason: qtda_core::query::AbortReason },
+    /// Request `index` resolved; always the last message for an index.
+    Outcome { index: usize, outcome: JobOutcome },
+}
+
+/// The dispatch queues, guarded by one mutex (pushes and pops are
+/// pointer shuffles; the heavy work happens outside the lock).
+struct ClusterState {
+    queues: Vec<VecDeque<Task>>,
+    closed: bool,
+}
+
+/// Everything the shard threads share with the router.
+struct Shared {
+    engines: Vec<Arc<BatchEngine>>,
+    state: Mutex<ClusterState>,
+    work: Condvar,
+    /// Per-shard liveness, cleared by the shard thread's drop guard on
+    /// any exit path (including panic) — the `/ready` probe input.
+    alive: Vec<AtomicBool>,
+    /// Per-shard kill switches (test hook; see
+    /// [`ClusterEngine::debug_kill_shard`]).
+    kill: Vec<AtomicBool>,
+    stealing: bool,
+    max_run: usize,
+    recorder: Arc<FlightRecorder>,
+    /// `qtda_cluster_steals_total{shard=thief}` cells.
+    steals: Vec<Counter>,
+}
+
+/// Clears the shard's `alive` flag on every exit path, unwinding
+/// included, so a dead shard cannot keep reporting ready.
+struct AliveGuard {
+    shared: Arc<Shared>,
+    me: usize,
+}
+
+impl Drop for AliveGuard {
+    fn drop(&mut self) {
+        self.shared.alive[self.me].store(false, Ordering::Release);
+    }
+}
+
+/// N [`BatchEngine`] shards behind a consistent-hash router with
+/// QoS-aware work stealing and hot-key replication. See the module
+/// docs for the architecture; the public surface mirrors
+/// [`BatchEngine`] (`run_batch`, `run_batch_qos`,
+/// `run_batch_streaming_qos`), so callers swap tiers without changing
+/// shape.
+pub struct ClusterEngine {
+    config: ClusterConfig,
+    shared: Arc<Shared>,
+    ring: HashRing,
+    hot: HotKeyTracker,
+    /// Round-robin cursor for promoted fingerprints.
+    hot_rr: AtomicUsize,
+    registry: Arc<MetricsRegistry>,
+    /// `qtda_cluster_routed_total{shard=}` cells.
+    routed: Vec<Counter>,
+    hot_promotions: Counter,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ClusterEngine {
+    /// A cluster with its own private [`MetricsRegistry`] and no
+    /// flight recorder.
+    pub fn new(config: ClusterConfig) -> Self {
+        Self::with_observability(config, Arc::new(MetricsRegistry::new()), None)
+    }
+
+    /// A cluster publishing every shard's `qtda_engine_*` series into
+    /// the **one** caller-owned registry, each under its own
+    /// `shard=` label (same family names, disjoint label sets), plus
+    /// the cluster's own `qtda_cluster_*` counters. The optional
+    /// [`FlightRecorder`] receives `shard_route` and `steal` events
+    /// from the router and the usual engine events from every shard.
+    pub fn with_observability(
+        config: ClusterConfig,
+        registry: Arc<MetricsRegistry>,
+        recorder: Option<Arc<FlightRecorder>>,
+    ) -> Self {
+        let shards = config.shards.max(1);
+        let recorder = recorder.unwrap_or_else(|| Arc::new(FlightRecorder::disabled()));
+        let engines: Vec<Arc<BatchEngine>> = (0..shards)
+            .map(|i| {
+                let label = i.to_string();
+                Arc::new(BatchEngine::with_observability_labels(
+                    config.engine,
+                    Arc::clone(&registry),
+                    Some(Arc::clone(&recorder)),
+                    &[("shard", &label)],
+                ))
+            })
+            .collect();
+        let routed = (0..shards)
+            .map(|i| {
+                registry.counter_with("qtda_cluster_routed_total", &[("shard", &i.to_string())])
+            })
+            .collect();
+        let steals = (0..shards)
+            .map(|i| {
+                registry.counter_with("qtda_cluster_steals_total", &[("shard", &i.to_string())])
+            })
+            .collect();
+        let hot_promotions = registry.counter("qtda_cluster_hot_promotions_total");
+        let shared = Arc::new(Shared {
+            engines,
+            state: Mutex::new(ClusterState {
+                queues: (0..shards).map(|_| VecDeque::new()).collect(),
+                closed: false,
+            }),
+            work: Condvar::new(),
+            alive: (0..shards).map(|_| AtomicBool::new(true)).collect(),
+            kill: (0..shards).map(|_| AtomicBool::new(false)).collect(),
+            stealing: config.stealing,
+            max_run: config.max_run.max(1),
+            recorder,
+            steals,
+        });
+        let threads = (0..shards)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("qtda-cluster-shard-{i}"))
+                    .spawn(move || shard_loop(shared, i))
+                    .expect("spawn cluster shard thread")
+            })
+            .collect();
+        ClusterEngine {
+            config,
+            shared,
+            ring: HashRing::new(shards, config.vnodes),
+            hot: HotKeyTracker::new(config.hot_threshold),
+            hot_rr: AtomicUsize::new(0),
+            registry,
+            routed,
+            hot_promotions,
+            threads,
+        }
+    }
+
+    /// The configuration this cluster was built with.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Number of engine shards.
+    pub fn shard_count(&self) -> usize {
+        self.shared.engines.len()
+    }
+
+    /// Shard `i`'s engine (panics out of range).
+    pub fn shard_engine(&self, i: usize) -> &Arc<BatchEngine> {
+        &self.shared.engines[i]
+    }
+
+    /// Shard `i`'s serving counters (its own `shard=`-labelled cells).
+    pub fn shard_stats(&self, i: usize) -> EngineStats {
+        self.shared.engines[i].stats()
+    }
+
+    /// Cluster-wide serving counters: the per-shard stats summed
+    /// field-wise, except `arena_bytes_peak` (a high-water mark — the
+    /// max across shards is the honest cluster figure).
+    pub fn stats(&self) -> EngineStats {
+        let mut total = EngineStats::default();
+        for engine in &self.shared.engines {
+            let s = engine.stats();
+            total.jobs_served += s.jobs_served;
+            total.batches_served += s.batches_served;
+            total.cache_hits += s.cache_hits;
+            total.cache_misses += s.cache_misses;
+            total.cache_evictions += s.cache_evictions;
+            total.deduplicated += s.deduplicated;
+            total.computed_jobs += s.computed_jobs;
+            total.units_executed += s.units_executed;
+            total.units_last_batch += s.units_last_batch;
+            total.units_cancelled += s.units_cancelled;
+            total.jobs_cancelled += s.jobs_cancelled;
+            total.jobs_deadline_expired += s.jobs_deadline_expired;
+            total.served_interactive += s.served_interactive;
+            total.served_normal += s.served_normal;
+            total.served_bulk += s.served_bulk;
+            total.arenas_built += s.arenas_built;
+            total.slices_assembled_incrementally += s.slices_assembled_incrementally;
+            total.arena_bytes_peak = total.arena_bytes_peak.max(s.arena_bytes_peak);
+            total.arena_bytes_live += s.arena_bytes_live;
+        }
+        total
+    }
+
+    /// The shared registry holding every shard's labelled series.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The flight recorder the router and every shard stamp into.
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.shared.recorder
+    }
+
+    /// `true` while every shard thread is alive — the cluster's
+    /// contribution to the service `/ready` probe.
+    pub fn is_ready(&self) -> bool {
+        self.shared.alive.iter().all(|a| a.load(Ordering::Acquire))
+    }
+
+    /// The home shard the ring assigns `fingerprint` (ignores hot-key
+    /// promotion). Exposed so tests and examples can craft skewed
+    /// workloads deterministically.
+    pub fn route_of(&self, fingerprint: u64) -> usize {
+        self.ring.route(fingerprint)
+    }
+
+    /// Kills shard `i`'s thread at its next dispatch-loop check — a
+    /// test hook for readiness plumbing. Jobs already queued on the
+    /// dead shard are only rescued if stealing is enabled; do not
+    /// submit after killing shards outside of tests.
+    #[doc(hidden)]
+    pub fn debug_kill_shard(&self, i: usize) {
+        self.shared.kill[i].store(true, Ordering::Release);
+        let _unused = self.shared.state.lock().expect("cluster state poisoned");
+        self.shared.work.notify_all();
+    }
+
+    /// Serves a batch, returning one result per job in input order —
+    /// [`BatchEngine::run_batch`]'s shape, bit-identical to it.
+    pub fn run_batch(&self, jobs: &[BettiJob]) -> Vec<Arc<qtda_engine::batch::JobResult>> {
+        let requests: Vec<JobRequest> = jobs.iter().cloned().map(JobRequest::new).collect();
+        self.run_batch_qos(&requests).into_iter().map(JobOutcome::expect_completed).collect()
+    }
+
+    /// Serves QoS-carrying requests across the shards, blocking until
+    /// every request resolves. Outcome order matches input order.
+    pub fn run_batch_qos(&self, requests: &[JobRequest]) -> Vec<JobOutcome> {
+        self.run_batch_streaming_qos(requests, &|_| {})
+    }
+
+    /// [`Self::run_batch_qos`] with the incremental-completion hook:
+    /// slices stream from whichever shard computes them, in completion
+    /// order, with `job_index` referring to the submitted batch. The
+    /// calling thread pumps the results channel, so the sink runs on
+    /// the caller (unlike [`BatchEngine`], where workers invoke it) —
+    /// same events, same payloads, different thread.
+    pub fn run_batch_streaming_qos(
+        &self,
+        requests: &[JobRequest],
+        sink: &SliceSink<'_>,
+    ) -> Vec<JobOutcome> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        let (tx, rx) = std::sync::mpsc::channel();
+        let shards = self.shard_count();
+        let mut tasks: Vec<Task> = Vec::with_capacity(requests.len());
+        for (index, request) in requests.iter().enumerate() {
+            let fingerprint = request.job.fingerprint();
+            let was_hot = self.hot.is_hot(fingerprint);
+            let hot = self.hot.note(fingerprint);
+            if hot && !was_hot {
+                self.hot_promotions.inc();
+            }
+            let shard = if hot && shards > 1 {
+                self.hot_rr.fetch_add(1, Ordering::Relaxed) % shards
+            } else {
+                self.ring.route(fingerprint)
+            };
+            self.routed[shard].inc();
+            self.record_route(request.ticket, fingerprint, shard, hot);
+            tasks.push(Task {
+                request: request.clone(),
+                fingerprint,
+                owner: shard,
+                index,
+                done: tx.clone(),
+            });
+        }
+        drop(tx);
+        {
+            let mut state = self.shared.state.lock().expect("cluster state poisoned");
+            for task in tasks {
+                state.queues[task.owner].push_back(task);
+            }
+        }
+        self.shared.work.notify_all();
+
+        // Pump results on the calling thread until every request has
+        // resolved. A receive error means a shard died holding our
+        // senders — surface it loudly rather than hanging.
+        let mut outcomes: Vec<Option<JobOutcome>> = (0..requests.len()).map(|_| None).collect();
+        let mut remaining = requests.len();
+        while remaining > 0 {
+            match rx.recv() {
+                Ok(ClusterMsg::Slice { index, slice_index, result }) => {
+                    sink(SliceEvent::Slice { job_index: index, slice_index, result });
+                }
+                Ok(ClusterMsg::Aborted { index, reason }) => {
+                    sink(SliceEvent::Aborted { job_index: index, reason });
+                }
+                Ok(ClusterMsg::Outcome { index, outcome }) => {
+                    outcomes[index] = Some(outcome);
+                    remaining -= 1;
+                }
+                Err(_) => panic!("a cluster shard died with requests in flight"),
+            }
+        }
+        outcomes.into_iter().map(|o| o.expect("every index resolves exactly once")).collect()
+    }
+
+    #[cfg(feature = "obs")]
+    fn record_route(&self, ticket: u64, fingerprint: u64, shard: usize, hot: bool) {
+        if self.shared.recorder.is_enabled() {
+            let detail = if hot {
+                format!("shard={shard},hot=replicated")
+            } else {
+                format!("shard={shard}")
+            };
+            self.shared.recorder.record(EventKind::ShardRoute, ticket, fingerprint, detail);
+        }
+    }
+
+    #[cfg(not(feature = "obs"))]
+    fn record_route(&self, _ticket: u64, _fingerprint: u64, _shard: usize, _hot: bool) {}
+}
+
+impl Drop for ClusterEngine {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("cluster state poisoned");
+            state.closed = true;
+        }
+        self.shared.work.notify_all();
+        for handle in self.threads.drain(..) {
+            // A panicked shard already surfaced through the results
+            // channel; don't double-panic in drop.
+            let _unused = handle.join();
+        }
+    }
+}
+
+/// Scheduling rank: lower runs (and steals) first.
+fn class_rank(priority: Priority) -> usize {
+    match priority {
+        Priority::Interactive => 0,
+        Priority::Normal => 1,
+        Priority::Bulk => 2,
+    }
+}
+
+/// The snake_case class name used in event details.
+#[cfg_attr(not(feature = "obs"), allow(dead_code))]
+fn class_name(priority: Priority) -> &'static str {
+    match priority {
+        Priority::Interactive => "interactive",
+        Priority::Normal => "normal",
+        Priority::Bulk => "bulk",
+    }
+}
+
+/// Plans a steal from a victim queue holding jobs of the given
+/// priority classes (queue order): which queue positions the thief
+/// takes. Steals `ceil(len/2)` capped at `max_run`, preferring
+/// Interactive, then Normal, then Bulk, FIFO within a class — and
+/// always **whole positions**: a job is stolen or left, never split
+/// (a job's arena lives and dies on one engine). Returned indices are
+/// ascending. Public so the property suite can pin these invariants
+/// directly against arbitrary queue contents.
+pub fn plan_steal(classes: &[Priority], max_run: usize) -> Vec<usize> {
+    let take = classes.len().div_ceil(2).min(max_run);
+    let mut order: Vec<usize> = (0..classes.len()).collect();
+    // Stable sort keeps FIFO order inside each class.
+    order.sort_by_key(|&i| class_rank(classes[i]));
+    order.truncate(take);
+    order.sort_unstable();
+    order
+}
+
+/// Pops up to `max_run` tasks from the front of shard `me`'s own
+/// queue.
+fn pop_own(state: &mut ClusterState, me: usize, max_run: usize) -> Option<Vec<Task>> {
+    if state.queues[me].is_empty() {
+        return None;
+    }
+    let n = state.queues[me].len().min(max_run);
+    Some(state.queues[me].drain(..n).collect())
+}
+
+/// Steals from the most backlogged other queue (ties to the lowest
+/// shard index). Returns the victim index and the stolen tasks.
+fn pop_steal(state: &mut ClusterState, me: usize, max_run: usize) -> Option<(usize, Vec<Task>)> {
+    let victim = (0..state.queues.len())
+        .filter(|&j| j != me && !state.queues[j].is_empty())
+        .max_by_key(|&j| (state.queues[j].len(), std::cmp::Reverse(j)))?;
+    let classes: Vec<Priority> =
+        state.queues[victim].iter().map(|t| t.request.qos.priority).collect();
+    let picks = plan_steal(&classes, max_run);
+    // Remove back-to-front so earlier indices stay valid.
+    let mut stolen: Vec<Task> = picks
+        .iter()
+        .rev()
+        .map(|&i| state.queues[victim].remove(i).expect("steal index in range"))
+        .collect();
+    stolen.reverse();
+    Some((victim, stolen))
+}
+
+/// One shard's dispatch loop: run own queued jobs first (up to
+/// `max_run` per engine call, so backlog stays visible to thieves),
+/// otherwise steal, otherwise sleep on the condvar.
+fn shard_loop(shared: Arc<Shared>, me: usize) {
+    let _guard = AliveGuard { shared: Arc::clone(&shared), me };
+    loop {
+        let grabbed = {
+            let mut state = shared.state.lock().expect("cluster state poisoned");
+            loop {
+                if shared.kill[me].load(Ordering::Acquire) {
+                    return;
+                }
+                if let Some(tasks) = pop_own(&mut state, me, shared.max_run) {
+                    break Some((me, tasks));
+                }
+                if shared.stealing {
+                    if let Some((victim, tasks)) = pop_steal(&mut state, me, shared.max_run) {
+                        break Some((victim, tasks));
+                    }
+                }
+                if state.closed {
+                    return;
+                }
+                state = shared.work.wait(state).expect("cluster state poisoned");
+            }
+        };
+        let Some((owner, tasks)) = grabbed else { return };
+        if owner != me {
+            shared.steals[me].add(tasks.len() as u64);
+            record_steals(&shared, owner, me, &tasks);
+        }
+        run_tasks(&shared, owner, tasks);
+        // Waking peers matters after a *steal*: the victim's queue may
+        // still hold work another idle shard went to sleep over.
+        shared.work.notify_all();
+    }
+}
+
+#[cfg(feature = "obs")]
+fn record_steals(shared: &Shared, owner: usize, thief: usize, tasks: &[Task]) {
+    if shared.recorder.is_enabled() {
+        for task in tasks {
+            shared.recorder.record(
+                EventKind::Steal,
+                task.request.ticket,
+                task.fingerprint,
+                format!("from={owner},to={thief},class={}", class_name(task.request.qos.priority)),
+            );
+        }
+    }
+}
+
+#[cfg(not(feature = "obs"))]
+fn record_steals(_shared: &Shared, _owner: usize, _thief: usize, _tasks: &[Task]) {}
+
+/// Runs a popped batch on the owner's engine and forwards every
+/// streamed event plus the final outcomes to the submitters.
+fn run_tasks(shared: &Shared, owner: usize, tasks: Vec<Task>) {
+    let mut requests: Vec<JobRequest> = Vec::with_capacity(tasks.len());
+    let mut meta: Vec<(usize, Sender<ClusterMsg>)> = Vec::with_capacity(tasks.len());
+    for task in tasks {
+        requests.push(task.request);
+        meta.push((task.index, task.done));
+    }
+    let forward = |event: SliceEvent| match event {
+        SliceEvent::Slice { job_index, slice_index, result } => {
+            let (index, done) = &meta[job_index];
+            let _unused = done.send(ClusterMsg::Slice { index: *index, slice_index, result });
+        }
+        SliceEvent::Aborted { job_index, reason } => {
+            let (index, done) = &meta[job_index];
+            let _unused = done.send(ClusterMsg::Aborted { index: *index, reason });
+        }
+    };
+    let outcomes = shared.engines[owner].run_batch_streaming_qos(&requests, &forward);
+    for (outcome, (index, done)) in outcomes.into_iter().zip(meta) {
+        let _unused = done.send(ClusterMsg::Outcome { index, outcome });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steal_plan_prefers_interactive_and_keeps_fifo() {
+        use Priority::{Bulk, Interactive, Normal};
+        let classes = [Bulk, Normal, Interactive, Bulk, Interactive, Normal];
+        // ceil(6/2) = 3 picks: both Interactives (FIFO: 2 then 4),
+        // then the first Normal (1) — returned ascending.
+        assert_eq!(plan_steal(&classes, 4), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn steal_plan_caps_at_max_run() {
+        let classes = [Priority::Bulk; 10];
+        assert_eq!(plan_steal(&classes, 3).len(), 3, "ceil(10/2)=5 capped to max_run");
+        assert_eq!(plan_steal(&classes, 3), vec![0, 1, 2], "FIFO within one class");
+    }
+
+    #[test]
+    fn steal_plan_takes_whole_positions_only() {
+        let classes = [Priority::Normal; 5];
+        let picks = plan_steal(&classes, 8);
+        assert_eq!(picks.len(), 3, "ceil(5/2)");
+        let mut deduped = picks.clone();
+        deduped.dedup();
+        assert_eq!(picks, deduped, "every pick is a distinct whole queue position");
+        assert!(picks.iter().all(|&i| i < classes.len()));
+    }
+}

@@ -1,0 +1,125 @@
+//! Hot-key detection: a sighting counter that promotes viral
+//! fingerprints to replicate-everywhere routing.
+//!
+//! Consistent hashing gives each shard a disjoint LRU key space — the
+//! right default, but it serialises *every* request for one
+//! fingerprint onto one shard. A genuinely viral key (the same window
+//! requested by thousands of clients) then turns its owner into a
+//! hotspot while the other shards idle. The [`HotKeyTracker`] watches
+//! per-fingerprint sighting counts; once a key crosses the threshold
+//! it is **promoted**: the cluster routes it round-robin across all
+//! shards and each shard computes-and-caches its own replica. The
+//! first request per shard is a miss (it warms that shard's LRU);
+//! every later sighting hits locally wherever it lands. Results are
+//! unaffected — all shards derive the same content-keyed seeds, so a
+//! replica is bit-identical to the owner's answer.
+//!
+//! The table is bounded: when it reaches capacity every count is
+//! halved and zeroes dropped (a crude aging scheme that keeps genuinely
+//! hot keys hot while one-shot traffic decays away), so memory stays
+//! O(capacity) no matter how adversarial the key stream is.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Default bound on tracked fingerprints before an aging sweep.
+const DEFAULT_CAPACITY: usize = 4096;
+
+/// The bounded sighting counter. One per cluster; interior-mutable so
+/// the routing path can note sightings through a shared reference.
+#[derive(Debug)]
+pub struct HotKeyTracker {
+    /// Promotion threshold; `0` disables tracking entirely.
+    threshold: u32,
+    capacity: usize,
+    counts: Mutex<HashMap<u64, u32>>,
+}
+
+impl HotKeyTracker {
+    /// A tracker promoting keys at `threshold` sightings (`0` disables
+    /// hot-key replication — [`Self::note`] always answers `false`).
+    pub fn new(threshold: u32) -> Self {
+        Self::with_capacity(threshold, DEFAULT_CAPACITY)
+    }
+
+    /// [`Self::new`] with an explicit table bound (tests use tiny
+    /// bounds to exercise the aging sweep).
+    pub fn with_capacity(threshold: u32, capacity: usize) -> Self {
+        HotKeyTracker { threshold, capacity: capacity.max(1), counts: Mutex::new(HashMap::new()) }
+    }
+
+    /// Records one sighting of `fingerprint` and reports whether the
+    /// key is now (or already was) hot. Saturating; a key never cools
+    /// below the threshold once promoted unless aging halves it back
+    /// under.
+    pub fn note(&self, fingerprint: u64) -> bool {
+        if self.threshold == 0 {
+            return false;
+        }
+        let mut counts = self.counts.lock().expect("hot-key table poisoned");
+        if counts.len() >= self.capacity && !counts.contains_key(&fingerprint) {
+            // Aging sweep: halve everything, drop the zeroes. Hot keys
+            // survive (their halved counts stay over threshold within
+            // one more sighting); one-shot keys vanish, making room.
+            counts.retain(|_, c| {
+                *c /= 2;
+                *c > 0
+            });
+        }
+        let count = counts.entry(fingerprint).or_insert(0);
+        *count = count.saturating_add(1);
+        *count >= self.threshold
+    }
+
+    /// Whether `fingerprint` is currently at or over the threshold,
+    /// without recording a sighting.
+    pub fn is_hot(&self, fingerprint: u64) -> bool {
+        self.threshold != 0
+            && self
+                .counts
+                .lock()
+                .expect("hot-key table poisoned")
+                .get(&fingerprint)
+                .is_some_and(|&c| c >= self.threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn promotes_at_threshold() {
+        let tracker = HotKeyTracker::new(3);
+        assert!(!tracker.note(7));
+        assert!(!tracker.note(7));
+        assert!(tracker.note(7), "third sighting crosses the threshold");
+        assert!(tracker.is_hot(7));
+        assert!(!tracker.is_hot(8));
+    }
+
+    #[test]
+    fn zero_threshold_disables_tracking() {
+        let tracker = HotKeyTracker::new(0);
+        for _ in 0..100 {
+            assert!(!tracker.note(1));
+        }
+        assert!(!tracker.is_hot(1));
+    }
+
+    #[test]
+    fn aging_keeps_hot_keys_and_drops_cold_ones() {
+        let tracker = HotKeyTracker::with_capacity(2, 4);
+        for _ in 0..8 {
+            tracker.note(42); // count 8 — decisively hot
+        }
+        // Fill the table to capacity with one-shot keys, then one more
+        // distinct key forces the aging sweep.
+        for fp in [1u64, 2, 3] {
+            tracker.note(fp);
+        }
+        tracker.note(4);
+        assert!(tracker.is_hot(42), "hot key survives the halving sweep");
+        assert!(!tracker.is_hot(1), "one-shot keys decay away");
+    }
+}

@@ -1,0 +1,38 @@
+//! Sharded multi-engine serving tier for QTDA Betti serving.
+//!
+//! One process-wide `BatchEngine` caps throughput at one arena, one
+//! LRU, one worker pool. This crate scales that out: a
+//! [`ClusterEngine`] owns N engine shards and routes every submission
+//! by consistent-hashing its content fingerprint onto a
+//! replicated-vnode [`HashRing`], so each shard's LRU owns a disjoint
+//! key space and the aggregate cache behaves like one cache of the
+//! summed capacity. Two mechanisms keep the shards busy and the tails
+//! flat:
+//!
+//! * **QoS-aware work stealing** — an idle shard steals whole queued
+//!   jobs from the most backlogged queue (Interactive first, never
+//!   splitting a job's arena) and runs them on the *owner's* engine,
+//!   so dispatch rebalances without moving the key space.
+//! * **Hot-key replication** — a [`HotKeyTracker`] promotes viral
+//!   fingerprints to route round-robin and cache everywhere, so one
+//!   shard never serialises the whole cluster's favourite query.
+//!
+//! Betti results are content-pure and every shard derives its
+//! estimator seeds from the same `batch_seed`, so the N-shard answer
+//! is **bit-identical** to the single-engine answer — for any N, with
+//! stealing and replication on or off. Shards are threads today; the
+//! routing layer is transport-agnostic (queued tasks are owned data
+//! plus a result channel) so shards can sit behind a socket protocol
+//! later.
+
+#![deny(missing_docs)]
+#![deny(deprecated)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod hotkey;
+pub mod ring;
+
+pub use engine::{plan_steal, ClusterConfig, ClusterEngine};
+pub use hotkey::HotKeyTracker;
+pub use ring::{HashRing, DEFAULT_VNODES};

@@ -1,0 +1,132 @@
+//! Consistent hashing with replicated virtual nodes.
+//!
+//! The cluster routes every job by its 64-bit content fingerprint
+//! ([`qtda_engine::BettiJob::fingerprint`]), so each shard's LRU owns a
+//! **disjoint** slice of the key space — no entry is cached twice, and
+//! the aggregate cache behaves like one cache of the summed capacity.
+//! Two properties matter:
+//!
+//! * **Balance** — the max/min shard-load ratio over a large key
+//!   population must stay small (pinned ≤ 1.25 by the property tests
+//!   at [`DEFAULT_VNODES`] = 64 vnodes).
+//! * **Minimal remap** — when the shard count changes, at most ≈ 1/N
+//!   of keys may move, and every key that moves must move to (or from)
+//!   the shard that appeared (or vanished). This is what makes
+//!   resharding a warm operation instead of a cache flush.
+//!
+//! Each shard contributes [`DEFAULT_VNODES`] virtual nodes whose
+//! identity hash depends only on the `(shard, vnode)` pair — never on
+//! the shard *count*. A key is owned by the vnode with the **highest
+//! combined weight** `mix(key, vnode)` (highest-random-weight over the
+//! replicated vnode set). Classic successor-on-a-circle lookup has an
+//! inherent ~`1/√vnodes` arc-length variance — measured max/min up to
+//! 1.48 at 64 vnodes and 8 shards, blowing the balance gate — whereas
+//! the weight-ranked lookup is exactly symmetric across shards, so
+//! balance is limited only by sampling noise. Minimal remap is exact:
+//! growing N → N+1 only inserts the new shard's vnodes, and a key
+//! moves iff one of the *new* vnodes out-weighs its old maximum, so
+//! every moved key lands on the new shard (expected fraction exactly
+//! 1/(N+1)).
+//!
+//! Lookup is O(shards · vnodes) integer mixes with no allocation —
+//! hundreds of nanoseconds, irrelevant next to a Betti job.
+
+/// Virtual nodes per shard. Routing balance does not depend on this
+/// count (weight-ranked lookup is symmetric with any number), but the
+/// replicated-vnode structure is what a weighted tier extends — a
+/// shard with more vnodes wins proportionally more keys.
+pub const DEFAULT_VNODES: usize = 64;
+
+/// `splitmix64` — the finalising mix used for vnode identities, key
+/// positions, and combined weights. Full-avalanche, dependency-free,
+/// and stable across platforms (routing must never drift between
+/// builds — shard LRU contents depend on it).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Salt folded into key positions so a key's mix input is never the
+/// raw fingerprint the engine also uses for cache keys and seeds.
+const KEY_SALT: u64 = 0x7D9A_02F4_51B6_C3E8;
+
+/// A consistent-hash ring mapping 64-bit fingerprints onto shard
+/// indices `0..shards`.
+#[derive(Clone, Debug)]
+pub struct HashRing {
+    shards: usize,
+    /// `(vnode identity hash, shard)` — one entry per virtual node.
+    /// Identity depends only on the `(shard, vnode)` pair, which is
+    /// exactly the minimal-remap property.
+    vnodes: Vec<(u64, usize)>,
+}
+
+impl HashRing {
+    /// A ring over `shards` shards with `vnodes` virtual nodes each.
+    /// `shards` must be non-zero; a single-shard ring routes everything
+    /// to shard 0 (and is still constructed, so the N=1 cluster takes
+    /// the same code path as any other N).
+    pub fn new(shards: usize, vnodes: usize) -> Self {
+        assert!(shards > 0, "a hash ring needs at least one shard");
+        let vnodes = vnodes.max(1);
+        let vnodes = (0..shards)
+            .flat_map(|shard| {
+                (0..vnodes).map(move |v| (splitmix64(((shard as u64) << 32) ^ v as u64), shard))
+            })
+            .collect();
+        HashRing { shards, vnodes }
+    }
+
+    /// A ring with [`DEFAULT_VNODES`] virtual nodes per shard.
+    pub fn with_default_vnodes(shards: usize) -> Self {
+        Self::new(shards, DEFAULT_VNODES)
+    }
+
+    /// Number of shards on the ring.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `fingerprint`: the shard of the vnode with the
+    /// highest combined weight for this key (ties broken towards the
+    /// higher shard index — deterministic either way).
+    pub fn route(&self, fingerprint: u64) -> usize {
+        let key = splitmix64(fingerprint ^ KEY_SALT);
+        self.vnodes
+            .iter()
+            .map(|&(identity, shard)| (splitmix64(key ^ identity), shard))
+            .max()
+            .expect("ring has at least one vnode")
+            .1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_routes_everything_to_zero() {
+        let ring = HashRing::with_default_vnodes(1);
+        for fp in [0u64, 1, u64::MAX, 0xDEAD_BEEF] {
+            assert_eq!(ring.route(fp), 0);
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let a = HashRing::with_default_vnodes(4);
+        let b = HashRing::with_default_vnodes(4);
+        for fp in 0..1000u64 {
+            assert_eq!(a.route(fp.wrapping_mul(0x9E37)), b.route(fp.wrapping_mul(0x9E37)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_is_rejected() {
+        let _ = HashRing::with_default_vnodes(0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Bit-identity of the sharded tier: the N-shard answer must equal
+//! the single-engine answer byte for byte — for N ∈ {1, 2, 8}, with
+//! work stealing and hot-key replication enabled, across cold and
+//! warm cache states, and against a one-shot pipeline replay.
+//!
+//! This is the cluster counterpart of
+//! `crates/engine/tests/determinism.rs`, and it holds for the same
+//! reason: every estimator seed derives from `(batch_seed, job
+//! fingerprint, ε-index, dimension)`, so *which shard's engine*
+//! computes a job cannot reach the numbers. Routing, stealing, and
+//! replication shuffle threads and caches — never values.
+
+use qtda_cluster::{ClusterConfig, ClusterEngine};
+use qtda_core::estimator::{BettiEstimate, EstimatorConfig};
+use qtda_core::query::BettiRequest;
+use qtda_engine::{BatchEngine, BettiJob, EngineConfig, JobResult};
+use qtda_tda::point_cloud::synthetic;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+const BATCH_SEED: u64 = 0xC1_05_7E;
+
+/// A mixed workload exercising both homology dimensions, both solver
+/// paths, and repeated fingerprints (hot-key promotion needs repeats).
+fn mixed_jobs() -> Vec<BettiJob> {
+    let mut rng = StdRng::seed_from_u64(90);
+    let mut jobs = vec![
+        BettiJob::new(synthetic::circle(12, 1.0, 0.02, &mut rng), vec![0.4, 0.55, 0.8]),
+        BettiJob::new(synthetic::two_clusters(5, 4.0, 0.4, &mut rng), vec![1.0, 1.4]),
+        BettiJob::new(synthetic::figure_eight(9, 1.0, 0.02, &mut rng), vec![0.5, 0.7, 0.9]),
+        BettiJob::new(synthetic::circle(10, 1.0, 0.05, &mut rng), vec![0.6, 1.1]),
+        BettiJob::new(synthetic::two_clusters(6, 3.0, 0.3, &mut rng), vec![0.9, 1.3]),
+    ];
+    jobs[2].sparse_threshold = 8;
+    for (i, job) in jobs.iter_mut().enumerate() {
+        job.estimator =
+            EstimatorConfig { precision_qubits: 5, shots: 2000, ..EstimatorConfig::default() };
+        job.max_homology_dim = 1 + i % 2;
+    }
+    // Repeats: the same content resubmitted (separate clones, same
+    // fingerprint) so dedup, caching, and hot-key promotion all fire.
+    jobs.push(jobs[0].clone());
+    jobs.push(jobs[2].clone());
+    jobs
+}
+
+fn assert_estimates_identical(a: &BettiEstimate, b: &BettiEstimate, context: &str) {
+    assert_eq!(a.p_zero_exact.to_bits(), b.p_zero_exact.to_bits(), "{context}: p(0) exact");
+    assert_eq!(a.p_zero_sampled.to_bits(), b.p_zero_sampled.to_bits(), "{context}: p̂(0)");
+    assert_eq!(a.raw.to_bits(), b.raw.to_bits(), "{context}: raw");
+    assert_eq!(a.corrected.to_bits(), b.corrected.to_bits(), "{context}: corrected");
+    assert_eq!(a.q, b.q, "{context}: q");
+    assert_eq!(a.shots, b.shots, "{context}: shots");
+    assert_eq!(a.spurious_zeros, b.spurious_zeros, "{context}: spurious zeros");
+}
+
+fn assert_results_identical(label: &str, a: &[Arc<JobResult>], b: &[Arc<JobResult>]) {
+    assert_eq!(a.len(), b.len(), "{label}: result counts differ");
+    for (i, (ra, rb)) in a.iter().zip(b).enumerate() {
+        assert_eq!(ra.fingerprint, rb.fingerprint, "{label}: job {i} fingerprints");
+        assert_eq!(ra.job_seed, rb.job_seed, "{label}: job {i} job seeds");
+        assert_eq!(ra.slices.len(), rb.slices.len(), "{label}: job {i} slice counts");
+        for (sa, sb) in ra.slices.iter().zip(&rb.slices) {
+            assert_eq!(sa.seed, sb.seed, "{label}: job {i} slice seeds at ε = {}", sa.epsilon);
+            assert_eq!(sa.classical, sb.classical, "{label}: job {i} classical");
+            for (ea, eb) in sa.estimates.iter().zip(&sb.estimates) {
+                assert_estimates_identical(ea, eb, &format!("{label}: job {i}"));
+            }
+        }
+    }
+}
+
+/// The stress configuration: stealing on, aggressive replication, and
+/// `max_run = 1` so backlog stays on the queues where thieves see it.
+fn cluster(shards: usize) -> ClusterEngine {
+    ClusterEngine::new(ClusterConfig {
+        engine: EngineConfig { batch_seed: BATCH_SEED, cache_capacity: 64, ..Default::default() },
+        shards,
+        stealing: true,
+        hot_threshold: 1,
+        max_run: 1,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn sharded_answers_are_bit_identical_to_single_engine() {
+    let jobs = mixed_jobs();
+    let reference = BatchEngine::new(EngineConfig {
+        batch_seed: BATCH_SEED,
+        cache_capacity: 0, // always recompute — the pure answer
+        workers: 1,
+        ..Default::default()
+    })
+    .run_batch(&jobs);
+
+    for shards in [1usize, 2, 8] {
+        let engine = cluster(shards);
+        // Cold caches.
+        let cold = engine.run_batch(&jobs);
+        assert_results_identical(&format!("{shards}-shard cold"), &reference, &cold);
+        // Warm caches: the same batch again, now answered largely from
+        // the shards' LRUs (and from replicas the hot tracker spread).
+        let warm = engine.run_batch(&jobs);
+        assert_results_identical(&format!("{shards}-shard warm"), &reference, &warm);
+        // Submission order must not matter either.
+        let mut reversed: Vec<BettiJob> = jobs.clone();
+        reversed.reverse();
+        let mut back = engine.run_batch(&reversed);
+        back.reverse();
+        assert_results_identical(&format!("{shards}-shard reordered"), &reference, &back);
+    }
+}
+
+#[test]
+fn sharded_slices_replay_through_the_one_shot_pipeline() {
+    let jobs = mixed_jobs();
+    let engine = cluster(2);
+    let results = engine.run_batch(&jobs);
+    for (job, result) in jobs.iter().zip(&results) {
+        for slice in &result.slices {
+            let replay = BettiRequest::of_cloud(&job.cloud)
+                .at_scale(slice.epsilon)
+                .max_dim(job.max_homology_dim)
+                .metric(job.metric)
+                .estimator(EstimatorConfig { seed: slice.seed, ..job.estimator })
+                .sparse_threshold(job.sparse_threshold)
+                .build()
+                .run();
+            let replay = replay.single_slice();
+            assert_eq!(slice.classical, replay.classical, "ε = {}", slice.epsilon);
+            for (engine_est, pipeline_est) in slice.estimates.iter().zip(&replay.estimates) {
+                assert_estimates_identical(
+                    engine_est,
+                    pipeline_est,
+                    &format!("cluster replay at ε = {}", slice.epsilon),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn qos_outcomes_are_bit_identical_across_shard_counts() {
+    use qtda_core::query::QosPolicy;
+    use qtda_engine::batch::{JobOutcome, JobRequest};
+
+    let jobs = mixed_jobs();
+    let requests: Vec<JobRequest> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, job)| {
+            let qos = match i % 3 {
+                0 => QosPolicy::interactive(),
+                1 => QosPolicy::default(),
+                _ => QosPolicy::bulk(),
+            };
+            JobRequest::with_qos(job.clone(), qos).with_ticket(i as u64 + 1)
+        })
+        .collect();
+
+    let reference: Vec<Arc<JobResult>> =
+        cluster(1).run_batch_qos(&requests).into_iter().map(JobOutcome::expect_completed).collect();
+    for shards in [2usize, 8] {
+        let results: Vec<Arc<JobResult>> = cluster(shards)
+            .run_batch_qos(&requests)
+            .into_iter()
+            .map(JobOutcome::expect_completed)
+            .collect();
+        assert_results_identical(&format!("{shards}-shard qos"), &reference, &results);
+    }
+}
+
+#[test]
+fn toggling_stealing_and_replication_changes_nothing() {
+    let jobs = mixed_jobs();
+    let reference = cluster(2).run_batch(&jobs);
+    for (stealing, hot_threshold) in [(false, 0u32), (true, 0), (false, 1)] {
+        let engine = ClusterEngine::new(ClusterConfig {
+            engine: EngineConfig {
+                batch_seed: BATCH_SEED,
+                cache_capacity: 64,
+                ..Default::default()
+            },
+            shards: 2,
+            stealing,
+            hot_threshold,
+            max_run: 1,
+            ..Default::default()
+        });
+        let results = engine.run_batch(&jobs);
+        assert_results_identical(
+            &format!("stealing={stealing} hot={hot_threshold}"),
+            &reference,
+            &results,
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Property suite for the cluster's routing and stealing invariants:
+//!
+//! * **Ring balance** — max/min shard load ≤ 1.25 at 64 vnodes, for
+//!   any shard count 2–8 and any key population.
+//! * **Minimal remap** — growing N → N+1 shards moves at most
+//!   `1/N + ε` of the keys, and every moved key lands on the *new*
+//!   shard (old shards never trade keys between themselves).
+//! * **Steal planning** — a steal takes whole queue positions only,
+//!   caps at `ceil(len/2)` and `max_run`, prefers Interactive, and
+//!   keeps FIFO order within a class.
+//! * **Starvation** — a flooded shard's Bulk backlog completes via
+//!   stealing while an Interactive job on an idle shard is served
+//!   ahead of it.
+
+use proptest::prelude::*;
+use qtda_cluster::{plan_steal, ClusterConfig, ClusterEngine, HashRing};
+use qtda_core::query::{Priority, QosPolicy};
+use qtda_engine::batch::{EngineConfig, JobRequest, SliceEvent};
+use qtda_engine::BettiJob;
+use qtda_tda::point_cloud::PointCloud;
+
+/// A deterministic, well-spread key population derived from one seed.
+fn keys(seed: u64, n: usize) -> impl Iterator<Item = u64> {
+    (0..n as u64)
+        .map(move |i| (seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).rotate_left((i % 63) as u32))
+}
+
+fn class_rank(p: Priority) -> usize {
+    match p {
+        Priority::Interactive => 0,
+        Priority::Normal => 1,
+        Priority::Bulk => 2,
+    }
+}
+
+fn arb_priority() -> impl Strategy<Value = Priority> {
+    (0usize..3).prop_map(|i| match i {
+        0 => Priority::Interactive,
+        1 => Priority::Normal,
+        _ => Priority::Bulk,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn ring_balance_stays_under_gate(shards in 2usize..=8, seed in any::<u64>()) {
+        let ring = HashRing::with_default_vnodes(shards);
+        let mut counts = vec![0u64; shards];
+        for key in keys(seed, 8000) {
+            counts[ring.route(key)] += 1;
+        }
+        let max = *counts.iter().max().expect("non-empty");
+        let min = *counts.iter().min().expect("non-empty");
+        prop_assert!(min > 0, "every shard owns keys: {counts:?}");
+        let ratio = max as f64 / min as f64;
+        prop_assert!(ratio <= 1.25, "max/min = {ratio:.3} over gate at {shards} shards: {counts:?}");
+    }
+
+    #[test]
+    fn growing_the_ring_remaps_minimally_and_only_to_the_new_shard(
+        shards in 2usize..=8,
+        seed in any::<u64>(),
+    ) {
+        let before = HashRing::with_default_vnodes(shards);
+        let after = HashRing::with_default_vnodes(shards + 1);
+        let total = 8000usize;
+        let mut moved = 0usize;
+        for key in keys(seed, total) {
+            let old = before.route(key);
+            let new = after.route(key);
+            if old != new {
+                moved += 1;
+                prop_assert_eq!(
+                    new,
+                    shards,
+                    "a moved key must land on the shard that appeared, not shuffle among old ones"
+                );
+            }
+        }
+        let bound = 1.0 / shards as f64 + 0.05;
+        let fraction = moved as f64 / total as f64;
+        prop_assert!(
+            fraction <= bound,
+            "{moved}/{total} keys moved ({fraction:.3}) — over the 1/N+ε bound {bound:.3}"
+        );
+    }
+
+    #[test]
+    fn steal_plan_never_splits_and_respects_qos(
+        classes in proptest::collection::vec(arb_priority(), 0..40),
+        max_run in 1usize..=8,
+    ) {
+        let picks = plan_steal(&classes, max_run);
+
+        // Size: ceil(len/2) capped at max_run (and trivially at len).
+        let expected = classes.len().div_ceil(2).min(max_run);
+        prop_assert_eq!(picks.len(), expected);
+
+        // Whole positions only: distinct, in-range, ascending — a queue
+        // entry (one job, one arena) is taken or left, never split.
+        prop_assert!(picks.windows(2).all(|w| w[0] < w[1]), "ascending & distinct: {picks:?}");
+        prop_assert!(picks.iter().all(|&i| i < classes.len()), "in range: {picks:?}");
+
+        // QoS preference: every pick ranks at-or-before every non-pick
+        // under (class rank, queue position) — Interactive first, FIFO
+        // within a class.
+        let picked = |i: usize| picks.contains(&i);
+        for &p in &picks {
+            for j in 0..classes.len() {
+                if !picked(j) {
+                    prop_assert!(
+                        (class_rank(classes[p]), p) < (class_rank(classes[j]), j),
+                        "picked {p} ({:?}) after leaving {j} ({:?})",
+                        classes[p],
+                        classes[j]
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A tiny job whose route can be probed: `salt` perturbs one
+/// coordinate, changing the fingerprint without changing the job's
+/// size or cost meaningfully.
+fn probe_job(salt: u64) -> BettiJob {
+    let shift = salt as f64 * 1e-9;
+    let mut coords = Vec::with_capacity(24);
+    for i in 0..12 {
+        let theta = 2.0 * std::f64::consts::PI * (i as f64) / 12.0;
+        coords.push(theta.cos() + shift);
+        coords.push(theta.sin());
+    }
+    BettiJob::new(PointCloud::new(2, coords), vec![0.6, 1.1])
+}
+
+/// Finds `n` distinct jobs the cluster's ring homes on `shard`.
+fn jobs_homed_on(cluster: &ClusterEngine, shard: usize, n: usize) -> Vec<BettiJob> {
+    let mut found = Vec::new();
+    for salt in 0..10_000u64 {
+        let job = probe_job(salt);
+        if cluster.route_of(job.fingerprint()) == shard {
+            found.push(job);
+            if found.len() == n {
+                return found;
+            }
+        }
+    }
+    panic!("could not find {n} jobs homed on shard {shard}");
+}
+
+/// Floods shard 0 with Bulk work while one Interactive job sits on
+/// shard 1: the Bulk backlog must complete (rescued by stealing — at
+/// least one steal recorded), and the Interactive job on the idle
+/// shard must finish ahead of the flood's tail.
+#[test]
+fn flooded_shard_bulk_completes_via_stealing_without_starving_interactive() {
+    let registry = std::sync::Arc::new(qtda_obs::metrics::MetricsRegistry::new());
+    let recorder = std::sync::Arc::new(qtda_obs::events::FlightRecorder::new(4096));
+    let cluster = ClusterEngine::with_observability(
+        ClusterConfig {
+            engine: EngineConfig { batch_seed: 0x57EA1, cache_capacity: 0, ..Default::default() },
+            shards: 2,
+            stealing: true,
+            hot_threshold: 0,
+            max_run: 1, // keep the backlog on the queue, stealable
+            ..Default::default()
+        },
+        std::sync::Arc::clone(&registry),
+        Some(std::sync::Arc::clone(&recorder)),
+    );
+
+    let bulk_jobs = jobs_homed_on(&cluster, 0, 8);
+    let interactive_job = jobs_homed_on(&cluster, 1, 1).remove(0);
+
+    let mut requests: Vec<JobRequest> =
+        bulk_jobs.iter().map(|job| JobRequest::with_qos(job.clone(), QosPolicy::bulk())).collect();
+    let interactive_index = requests.len();
+    requests.push(JobRequest::with_qos(interactive_job, QosPolicy::interactive()));
+
+    // Record the order in which jobs finish their last slice.
+    let completion_order = std::sync::Mutex::new(Vec::new());
+    let slice_counts = std::sync::Mutex::new(vec![0usize; requests.len()]);
+    let outcomes = cluster.run_batch_streaming_qos(&requests, &|event| {
+        if let SliceEvent::Slice { job_index, .. } = event {
+            let mut counts = slice_counts.lock().expect("counts");
+            counts[job_index] += 1;
+            if counts[job_index] == 2 {
+                completion_order.lock().expect("order").push(job_index);
+            }
+        }
+    });
+
+    // Everything completed — the flooded shard's Bulk work was not
+    // starved.
+    assert!(outcomes.iter().all(|o| o.result().is_some()), "all jobs complete");
+
+    // The rescue actually happened through the stealing path.
+    let steals: u64 = (0..2)
+        .map(|i| {
+            registry
+                .snapshot()
+                .counter_with("qtda_cluster_steals_total", &[("shard", &i.to_string())])
+        })
+        .sum();
+    assert!(steals > 0, "the idle shard must have stolen from the flooded one");
+    let steal_events =
+        recorder.events().iter().filter(|e| e.kind == qtda_obs::events::EventKind::Steal).count();
+    assert!(steal_events > 0, "steal hops are journalled");
+
+    // The Interactive job on the idle shard finished ahead of the
+    // flood's tail (its own shard served it first; stealing only
+    // soaked up Bulk).
+    let order = completion_order.into_inner().expect("order");
+    let interactive_pos =
+        order.iter().position(|&i| i == interactive_index).expect("interactive completed");
+    let last_bulk_pos =
+        order.iter().rposition(|&i| i != interactive_index).expect("bulk jobs completed");
+    assert!(
+        interactive_pos < last_bulk_pos,
+        "interactive (pos {interactive_pos}) must not wait out the whole Bulk flood \
+         (last at {last_bulk_pos}): order = {order:?}"
+    );
+}

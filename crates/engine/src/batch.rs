@@ -447,35 +447,75 @@ struct EngineMetrics {
 }
 
 impl EngineMetrics {
-    fn register(registry: &MetricsRegistry) -> Self {
+    /// Registers every `qtda_engine_*` metric under the given extra
+    /// label set (e.g. `[("shard", "3")]` from a cluster tier, so N
+    /// engines publish into one shared registry as distinct per-shard
+    /// series instead of summing into one cell). The class label of
+    /// `qtda_engine_served_total` composes after the extra labels.
+    fn register_with(registry: &MetricsRegistry, labels: &[(&str, &str)]) -> Self {
+        let counter = |name: &str| registry.counter_with(name, labels);
+        let gauge = |name: &str| registry.gauge_with(name, labels);
+        let served = |class: &'static str| {
+            let mut with_class: Vec<(&str, &str)> = labels.to_vec();
+            with_class.push(("class", class));
+            registry.counter_with("qtda_engine_served_total", &with_class)
+        };
         EngineMetrics {
-            jobs_served: registry.counter("qtda_engine_jobs_served_total"),
-            batches_served: registry.counter("qtda_engine_batches_total"),
-            cache_hits: registry.counter("qtda_engine_cache_hits_total"),
-            cache_misses: registry.counter("qtda_engine_cache_misses_total"),
-            cache_evictions: registry.gauge("qtda_engine_cache_evictions"),
-            deduplicated: registry.counter("qtda_engine_deduplicated_total"),
-            computed_jobs: registry.counter("qtda_engine_computed_jobs_total"),
-            units_executed: registry.counter("qtda_engine_units_executed_total"),
-            units_last_batch: registry.gauge("qtda_engine_units_last_batch"),
-            units_cancelled: registry.counter("qtda_engine_units_cancelled_total"),
-            jobs_cancelled: registry.counter("qtda_engine_jobs_cancelled_total"),
-            jobs_deadline_expired: registry.counter("qtda_engine_jobs_deadline_expired_total"),
-            served_by_class: [
-                registry.counter_with("qtda_engine_served_total", &[("class", "interactive")]),
-                registry.counter_with("qtda_engine_served_total", &[("class", "normal")]),
-                registry.counter_with("qtda_engine_served_total", &[("class", "bulk")]),
-            ],
-            arenas_built: registry.counter("qtda_engine_arenas_built_total"),
-            slices_assembled_incrementally: registry
-                .counter("qtda_engine_slices_incremental_total"),
-            arena_bytes_live: registry.gauge("qtda_engine_arena_bytes_live"),
-            arena_bytes_peak: registry.gauge("qtda_engine_arena_bytes_peak"),
-            solve_matvecs: registry.counter("qtda_engine_solve_matvecs_total"),
-            lanczos_iterations: registry.counter("qtda_engine_lanczos_iterations_total"),
-            lanczos_restarts: registry.counter("qtda_engine_lanczos_restarts_total"),
+            jobs_served: counter("qtda_engine_jobs_served_total"),
+            batches_served: counter("qtda_engine_batches_total"),
+            cache_hits: counter("qtda_engine_cache_hits_total"),
+            cache_misses: counter("qtda_engine_cache_misses_total"),
+            cache_evictions: gauge("qtda_engine_cache_evictions"),
+            deduplicated: counter("qtda_engine_deduplicated_total"),
+            computed_jobs: counter("qtda_engine_computed_jobs_total"),
+            units_executed: counter("qtda_engine_units_executed_total"),
+            units_last_batch: gauge("qtda_engine_units_last_batch"),
+            units_cancelled: counter("qtda_engine_units_cancelled_total"),
+            jobs_cancelled: counter("qtda_engine_jobs_cancelled_total"),
+            jobs_deadline_expired: counter("qtda_engine_jobs_deadline_expired_total"),
+            served_by_class: [served("interactive"), served("normal"), served("bulk")],
+            arenas_built: counter("qtda_engine_arenas_built_total"),
+            slices_assembled_incrementally: counter("qtda_engine_slices_incremental_total"),
+            arena_bytes_live: gauge("qtda_engine_arena_bytes_live"),
+            arena_bytes_peak: gauge("qtda_engine_arena_bytes_peak"),
+            solve_matvecs: counter("qtda_engine_solve_matvecs_total"),
+            lanczos_iterations: counter("qtda_engine_lanczos_iterations_total"),
+            lanczos_restarts: counter("qtda_engine_lanczos_restarts_total"),
         }
     }
+}
+
+/// Stage 1's in-batch dedup plan over the cache-missed requests: the
+/// first sighting of each distinct job becomes a **miss** (it will be
+/// computed) and every later identical job a duplicate pointing at its
+/// representative. A fingerprint match alone is never trusted — a
+/// candidate representative must match the full canonical content
+/// stream ([`BettiJob::same_request`]), so a forged or colliding
+/// fingerprint falls back to independent execution instead of borrowing
+/// another request's results (the same verification the LRU applies on
+/// cache hits; with cluster routing keyed by fingerprint, colliding
+/// jobs also land in one batch on one shard, which is exactly where
+/// this check catches them). Returns `(misses, dup_of)`, both indexed
+/// like the full batch.
+fn plan_dedup(
+    jobs: &[&BettiJob],
+    fingerprints: &[u64],
+    uncached: &[usize],
+) -> (Vec<usize>, Vec<Option<usize>>) {
+    let mut misses: Vec<usize> = Vec::new();
+    let mut dup_of: Vec<Option<usize>> = vec![None; jobs.len()];
+    // fp → miss indices sharing it (more than one only on collision).
+    let mut seen: HashMap<u64, Vec<usize>> = HashMap::new();
+    for &i in uncached {
+        let candidates = seen.entry(fingerprints[i]).or_default();
+        if let Some(&rep) = candidates.iter().find(|&&j| jobs[j].same_request(jobs[i])) {
+            dup_of[i] = Some(rep);
+        } else {
+            candidates.push(i);
+            misses.push(i);
+        }
+    }
+    (misses, dup_of)
 }
 
 impl BatchEngine {
@@ -504,6 +544,23 @@ impl BatchEngine {
         registry: Arc<MetricsRegistry>,
         recorder: Option<Arc<FlightRecorder>>,
     ) -> Self {
+        Self::with_observability_labels(config, registry, recorder, &[])
+    }
+
+    /// [`Self::with_observability`] with extra metric labels applied to
+    /// every `qtda_engine_*` series this engine registers. This is how
+    /// a cluster tier gives each of its N shard engines a distinct
+    /// `shard=` label inside **one** shared registry: same family
+    /// names, disjoint label sets, so the exposition shows per-shard
+    /// series and [`Self::stats`] still reads only this engine's own
+    /// cells. An empty label set is exactly
+    /// [`Self::with_observability`].
+    pub fn with_observability_labels(
+        config: EngineConfig,
+        registry: Arc<MetricsRegistry>,
+        recorder: Option<Arc<FlightRecorder>>,
+        labels: &[(&str, &str)],
+    ) -> Self {
         let cache = if config.cache_doorkeeper {
             // Track first sightings for several cache generations so
             // a repeat separated by a scan still proves itself.
@@ -511,7 +568,7 @@ impl BatchEngine {
         } else {
             LruCache::new(config.cache_capacity)
         };
-        let metrics = EngineMetrics::register(&registry);
+        let metrics = EngineMetrics::register_with(&registry, labels);
         let recorder = recorder.unwrap_or_else(|| Arc::new(FlightRecorder::disabled()));
         BatchEngine { config, cache: Mutex::new(cache), registry, metrics, recorder }
     }
@@ -652,10 +709,7 @@ impl BatchEngine {
         // keeps the first job index per distinct uncached request;
         // `dup_of[i]` points a duplicate at its representative miss.
         let mut results: Vec<Option<Arc<JobResult>>> = vec![None; requests.len()];
-        let mut misses: Vec<usize> = Vec::new();
-        let mut dup_of: Vec<Option<usize>> = vec![None; requests.len()];
-        // fp → miss indices sharing it (more than one only on collision).
-        let mut seen: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut uncached: Vec<usize> = Vec::new();
         {
             let mut cache = self.cache.lock().expect("cache poisoned");
             for (i, &fp) in fingerprints.iter().enumerate() {
@@ -670,21 +724,15 @@ impl BatchEngine {
                         format!("slices={}", result.slices.len())
                     });
                     results[i] = Some(result);
-                    continue;
-                }
-                self.metrics.cache_misses.inc();
-                let candidates = seen.entry(fp).or_default();
-                if let Some(&rep) =
-                    candidates.iter().find(|&&j| requests[j].0.same_request(requests[i].0))
-                {
-                    self.metrics.deduplicated.inc();
-                    dup_of[i] = Some(rep);
                 } else {
-                    candidates.push(i);
-                    misses.push(i);
+                    self.metrics.cache_misses.inc();
+                    uncached.push(i);
                 }
             }
         }
+        let jobs: Vec<&BettiJob> = requests.iter().map(|(job, ..)| *job).collect();
+        let (misses, dup_of) = plan_dedup(&jobs, &fingerprints, &uncached);
+        self.metrics.deduplicated.add(dup_of.iter().filter(|d| d.is_some()).count() as u64);
         self.metrics.computed_jobs.add(misses.len() as u64);
 
         // Per computed job: every request index interested in it (the
@@ -1380,6 +1428,35 @@ mod tests {
         assert_eq!(result_b.fingerprint, fresh.fingerprint);
         for (x, y) in result_b.features().iter().zip(fresh.features()) {
             assert_eq!(x.to_bits(), y.to_bits(), "recompute serves B's own results");
+        }
+    }
+
+    #[test]
+    fn forged_in_batch_collision_runs_jobs_independently() {
+        // Two *different* jobs forged onto one fingerprint, as a real
+        // 64-bit collision inside a single batch would present: the
+        // dedup plan must verify the full content stream and fall back
+        // to independent execution, never collapse B onto A.
+        let a = job(vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0]);
+        let b = job(vec![0.0, 0.0, 3.0, 0.0, 0.0, 3.0, 3.0, 3.0]);
+        let a2 = a.clone();
+        let jobs: Vec<&BettiJob> = vec![&a, &b, &a2];
+        let forged = vec![0xDEAD_BEEF_u64; 3]; // all three collide
+        let (misses, dup_of) = plan_dedup(&jobs, &forged, &[0, 1, 2]);
+        assert_eq!(misses, vec![0, 1], "A and B each compute independently");
+        assert_eq!(dup_of[0], None);
+        assert_eq!(dup_of[1], None, "the forged collision must not dedup B onto A");
+        assert_eq!(dup_of[2], Some(0), "the genuine duplicate still collapses onto A");
+        // End to end: the engine's own (honest) fingerprints plus the
+        // verified plan serve each job its own results.
+        let engine = BatchEngine::new(EngineConfig { cache_capacity: 0, ..Default::default() });
+        let batch = engine.run_batch(&[a.clone(), b.clone(), a.clone()]);
+        assert_eq!(engine.stats().computed_jobs, 2);
+        assert_eq!(engine.stats().deduplicated, 1);
+        let b_alone =
+            BatchEngine::new(EngineConfig { cache_capacity: 0, ..Default::default() }).run_job(&b);
+        for (x, y) in batch[1].features().iter().zip(b_alone.features()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "B keeps its own results in the mixed batch");
         }
     }
 

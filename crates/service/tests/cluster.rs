@@ -1,0 +1,239 @@
+//! The sharded backend behind the service front door:
+//!
+//! * `shards = 2` answers are **bit-identical** to `shards = 1` for
+//!   the same submissions — the cluster tier cannot reach the numbers.
+//! * A traced ticket's journal chains `submit → shard_route →
+//!   unit_done` through the one flight recorder.
+//! * `/metrics` carries every shard's engine series as `shard="i"`
+//!   labels in ONE registry — no second scrape endpoint, no parallel
+//!   stat structs — while a `shards = 1` service keeps the exact
+//!   unlabeled exposition it always had.
+//! * `/ready` flips to 503 the moment any shard thread dies.
+
+use qtda_core::estimator::EstimatorConfig;
+use qtda_engine::{BettiJob, EngineConfig, JobResult};
+use qtda_service::{EventKind, QtdaService, ServiceConfig, Telemetry, Ticket, TicketOutcome};
+use qtda_tda::point_cloud::synthetic;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const BATCH_SEED: u64 = 0xC1_5E2;
+
+fn config(shards: usize) -> ServiceConfig {
+    ServiceConfig {
+        engine: EngineConfig {
+            workers: 2,
+            batch_seed: BATCH_SEED,
+            cache_capacity: 8,
+            ..EngineConfig::default()
+        },
+        shards,
+        max_batch_size: 4,
+        max_linger: Duration::from_millis(5),
+        ..ServiceConfig::default()
+    }
+}
+
+/// A small job whose ε-grid varies with `tag`, so fingerprints spread
+/// across the ring instead of collapsing onto one shard.
+fn job(tag: usize) -> BettiJob {
+    let mut rng = StdRng::seed_from_u64(17 + tag as u64 % 3);
+    let cloud = synthetic::circle(8, 1.0, 0.05, &mut rng);
+    let mut job = BettiJob::new(cloud, vec![0.6 + 0.01 * (tag % 16) as f64]);
+    job.estimator =
+        EstimatorConfig { precision_qubits: 4, shots: 600, ..EstimatorConfig::default() };
+    job
+}
+
+fn results_of(tickets: Vec<Ticket>) -> Vec<Arc<JobResult>> {
+    tickets
+        .into_iter()
+        .map(|t| match t.outcome() {
+            TicketOutcome::Completed(result) => result,
+            TicketOutcome::Aborted(reason) => panic!("unexpected abort: {reason:?}"),
+        })
+        .collect()
+}
+
+fn assert_results_identical(a: &[Arc<JobResult>], b: &[Arc<JobResult>]) {
+    assert_eq!(a.len(), b.len(), "result counts differ");
+    for (i, (ra, rb)) in a.iter().zip(b).enumerate() {
+        assert_eq!(ra.fingerprint, rb.fingerprint, "job {i} fingerprints");
+        assert_eq!(ra.job_seed, rb.job_seed, "job {i} job seeds");
+        assert_eq!(ra.slices.len(), rb.slices.len(), "job {i} slice counts");
+        for (sa, sb) in ra.slices.iter().zip(&rb.slices) {
+            assert_eq!(sa.seed, sb.seed, "job {i} slice seeds at ε = {}", sa.epsilon);
+            assert_eq!(sa.classical, sb.classical, "job {i} classical Betti numbers");
+            assert_eq!(sa.estimates.len(), sb.estimates.len(), "job {i} estimate counts");
+            for (ea, eb) in sa.estimates.iter().zip(&sb.estimates) {
+                assert_eq!(ea.p_zero_exact.to_bits(), eb.p_zero_exact.to_bits(), "job {i} p(0)");
+                assert_eq!(ea.p_zero_sampled.to_bits(), eb.p_zero_sampled.to_bits(), "job {i} p̂");
+                assert_eq!(ea.raw.to_bits(), eb.raw.to_bits(), "job {i} raw");
+                assert_eq!(ea.corrected.to_bits(), eb.corrected.to_bits(), "job {i} corrected");
+            }
+        }
+    }
+}
+
+/// Minimal blocking HTTP/1.1 GET: returns `(status_line, body)`.
+fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to scrape server");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: qtda\r\nConnection: close\r\n\r\n")
+        .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response.split_once("\r\n\r\n").expect("header/body split");
+    (head.lines().next().expect("status line").to_string(), body.to_string())
+}
+
+/// The whole point of the tier: turning `shards` up must never change
+/// a single result bit, because seeds derive from content, not
+/// placement. Same submissions → byte-for-byte equal outcomes.
+#[test]
+fn sharded_service_answers_are_bit_identical_to_single_engine_service() {
+    let single = QtdaService::new(config(1));
+    let sharded = QtdaService::new(config(2));
+    assert!(single.cluster().is_none(), "shards = 1 keeps the plain engine backend");
+    assert!(sharded.cluster().is_some(), "shards = 2 runs the cluster backend");
+
+    let submit_all = |service: &QtdaService| -> Vec<Ticket> {
+        (0..12).map(|tag| service.submit(job(tag)).expect("submit")).collect()
+    };
+    let reference = results_of(submit_all(&single));
+    let clustered = results_of(submit_all(&sharded));
+    assert_results_identical(&reference, &clustered);
+
+    // Warm resubmission (cache hits on whichever shard owns each key)
+    // is bit-identical too.
+    let warm = results_of(submit_all(&sharded));
+    assert_results_identical(&reference, &warm);
+
+    single.shutdown();
+    sharded.shutdown();
+}
+
+/// A traced ticket's journal shows the full path through the tier:
+/// accepted at the front door, routed onto a shard, units completed —
+/// all joined on the one `(ticket, fingerprint)` identity.
+#[test]
+fn journal_chains_submit_route_and_unit_done_for_a_ticket() {
+    let service = QtdaService::with_telemetry(config(2), Telemetry::with_flight_recorder(1 << 12));
+    let tickets: Vec<Ticket> =
+        (0..6).map(|tag| service.submit(job(tag)).expect("submit")).collect();
+    let probe_id = tickets[0].id();
+    for ticket in tickets {
+        let _ = ticket.outcome();
+    }
+
+    let recorder = service.flight_recorder().expect("recorder enabled").clone();
+    let chain = recorder.events_for_ticket(probe_id);
+    let kinds: Vec<EventKind> = chain.iter().map(|e| e.kind).collect();
+    assert_eq!(kinds.first(), Some(&EventKind::Submit), "chain starts at submission");
+    let route = kinds
+        .iter()
+        .position(|&k| k == EventKind::ShardRoute)
+        .expect("the cluster tier stamps a shard_route hop");
+    let unit =
+        kinds.iter().rposition(|&k| k == EventKind::UnitDone).expect("estimation units journalled");
+    assert!(route < unit, "routing precedes the unit work it placed: {kinds:?}");
+    let detail = &chain[route].detail;
+    assert!(detail.starts_with("shard="), "route detail names the shard: {detail:?}");
+
+    // The JSONL dump for the ticket carries the same chain.
+    let dump = recorder.dump_ticket_jsonl(probe_id);
+    assert!(dump.contains("\"kind\":\"shard_route\""), "shard_route in /events.jsonl: {dump}");
+
+    service.shutdown();
+}
+
+/// Every shard's engine metrics land in ONE registry, distinguished
+/// only by a `shard` label — scraped from the same `/metrics` endpoint
+/// the single-engine service serves.
+#[test]
+fn metrics_exposition_labels_every_shard_in_one_registry() {
+    let service = QtdaService::with_telemetry(config(2), Telemetry::with_flight_recorder(256));
+    let server = service.serve_ops("127.0.0.1:0").expect("bind scrape server");
+    let tickets: Vec<Ticket> =
+        (0..10).map(|tag| service.submit(job(tag)).expect("submit")).collect();
+    for ticket in tickets {
+        let _ = ticket.outcome();
+    }
+
+    let (status, body) = http_get(server.local_addr(), "/metrics");
+    assert!(status.contains("200"), "metrics scrape ok: {status}");
+    for shard in ["0", "1"] {
+        let label = format!("shard=\"{shard}\"");
+        assert!(
+            body.lines().any(|l| l.starts_with("qtda_engine_") && l.contains(&label)),
+            "engine series for shard {shard} in the shared exposition"
+        );
+        assert!(
+            body.contains(&format!("qtda_cluster_routed_total{{shard=\"{shard}\"}}")),
+            "router counts submissions per shard"
+        );
+    }
+    // Routing is exhaustive: per-shard routed counts sum to the trace.
+    let routed: u64 = ["0", "1"]
+        .iter()
+        .map(|s| {
+            service.registry().snapshot().counter_with("qtda_cluster_routed_total", &[("shard", s)])
+        })
+        .sum();
+    assert_eq!(routed, 10, "every submission routed exactly once");
+
+    drop(server);
+    service.shutdown();
+}
+
+/// `shards = 1` (the default) keeps the single-engine backend and its
+/// exact unlabeled exposition — existing dashboards see no change.
+#[test]
+fn single_shard_service_keeps_unlabeled_metrics() {
+    let service = QtdaService::new(config(1));
+    let tickets: Vec<Ticket> =
+        (0..4).map(|tag| service.submit(job(tag)).expect("submit")).collect();
+    for ticket in tickets {
+        let _ = ticket.outcome();
+    }
+    let exposition = service.registry().snapshot().to_prometheus();
+    assert!(exposition.lines().any(|l| l.starts_with("qtda_engine_")), "engine metrics present");
+    assert!(
+        !exposition.contains("shard=\""),
+        "no shard labels leak into the single-engine exposition"
+    );
+    service.shutdown();
+}
+
+/// Readiness folds in shard liveness: kill one shard thread and the
+/// same `/ready` endpoint that said 200 starts saying 503.
+#[test]
+fn dead_shard_flips_ready_to_503() {
+    let service = QtdaService::with_telemetry(config(2), Telemetry::with_flight_recorder(256));
+    let server = service.serve_ops("127.0.0.1:0").expect("bind scrape server");
+    let addr = server.local_addr();
+
+    let tickets: Vec<Ticket> =
+        (0..4).map(|tag| service.submit(job(tag)).expect("submit")).collect();
+    for ticket in tickets {
+        let _ = ticket.outcome();
+    }
+    let (status, _) = http_get(addr, "/ready");
+    assert!(status.contains("200"), "healthy cluster is ready: {status}");
+    assert!(service.is_ready());
+
+    service.cluster().expect("cluster backend").debug_kill_shard(1);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while service.is_ready() {
+        assert!(Instant::now() < deadline, "shard death must reach readiness");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let (status, _) = http_get(addr, "/ready");
+    assert!(status.contains("503"), "a dead shard un-readies the service: {status}");
+
+    drop(server);
+    service.shutdown();
+}
