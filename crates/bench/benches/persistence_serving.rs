@@ -1,0 +1,171 @@
+//! Shared-rank persistence serving vs naive per-pair recompute — the
+//! PR 10 acceptance bench.
+//!
+//! The persistence surface answers β_k(ε_i, ε_j) for **every** grid
+//! prefix pair i ≤ j (the persistent-Betti triangle the engine streams
+//! one row at a time). Two ways to fill the triangle from the same
+//! filtration arena:
+//!
+//! * **naive**: one [`LaplacianFiltration::persistent_betti_at`] call
+//!   per (i, j) pair — every call recomputes the death-scale boundary
+//!   rank that all pairs of its column share;
+//! * **shared**: one [`LaplacianFiltration::persistent_betti_row`] call
+//!   per death scale — the row computes rank ∂_{k+1}(ε_j) once and
+//!   reuses it across all birth scales, exactly how the engine's
+//!   `(job, ε, dim)` persistence units serve slices.
+//!
+//! Both paths are pinned bit-identical to each other **and** to the
+//! classical barcode oracle before any timing is believed. Run with
+//! `--json [path]` to emit machine-readable results (the checked-in
+//! `BENCH_PR10.json` comes from `cargo bench --bench
+//! persistence_serving -- --json`).
+
+use qtda_data::gearbox::GearboxConfig;
+use qtda_data::windows::sliding_window_stream;
+use qtda_engine::{jobs_from_windows, GearboxJobSpec};
+use qtda_tda::filtration::{max_scale, Filtration};
+use qtda_tda::laplacian_filtration::LaplacianFiltration;
+use qtda_tda::persistence::compute_barcode;
+use qtda_tda::point_cloud::{Metric, PointCloud};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Homology dims 0–1 ⇒ complexes built one dimension higher.
+const MAX_DIM: usize = 2;
+/// Grid depth: the triangle holds SLICES·(SLICES+1)/2 pairs per dim.
+const SLICES: usize = 8;
+
+fn workload() -> (PointCloud, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(0xA210);
+    let windows = sliding_window_stream(&GearboxConfig::default(), 1, 500, 250, &mut rng);
+    let spec = GearboxJobSpec { max_homology_dim: MAX_DIM - 1, ..GearboxJobSpec::default() };
+    let cloud = jobs_from_windows(&windows, &spec).remove(0).cloud;
+    let grid: Vec<f64> = (0..SLICES).map(|i| 0.5 + 0.6 * i as f64 / (SLICES - 1) as f64).collect();
+    (cloud, grid)
+}
+
+/// Best-of-N wall-clock for `f`, with one untimed warm-up.
+fn time_best(reps: usize, mut f: impl FnMut()) -> Duration {
+    f();
+    (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .min()
+        .expect("at least one rep")
+}
+
+fn naive_triangle(filt: &LaplacianFiltration, grid: &[f64]) {
+    for k in 0..MAX_DIM {
+        for (j, &death) in grid.iter().enumerate() {
+            for &birth in &grid[..=j] {
+                black_box(filt.persistent_betti_at(k, birth, death));
+            }
+        }
+    }
+}
+
+fn shared_triangle(filt: &LaplacianFiltration, grid: &[f64]) {
+    for k in 0..MAX_DIM {
+        for (j, &death) in grid.iter().enumerate() {
+            black_box(filt.persistent_betti_row(k, &grid[..=j], death));
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = args.iter().position(|a| a == "--json").map(|i| {
+        args.get(i + 1).filter(|a| !a.starts_with('-')).cloned().unwrap_or_else(|| {
+            // Default to the workspace root regardless of the bench
+            // binary's working directory.
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR10.json").to_string()
+        })
+    });
+    // `cargo bench` may pass harness flags like `--bench`; ignore them.
+
+    let (cloud, grid) = workload();
+    let pairs_per_dim = SLICES * (SLICES + 1) / 2;
+    println!(
+        "persistence_serving: {} points, {}-slice grid x dims 0-{} ({} pairs/dim), ε ∈ [{:.2}, {:.2}]",
+        cloud.len(),
+        grid.len(),
+        MAX_DIM - 1,
+        pairs_per_dim,
+        grid[0],
+        grid[grid.len() - 1],
+    );
+
+    let filt = LaplacianFiltration::rips(&cloud, max_scale(&grid), MAX_DIM + 1, Metric::Euclidean);
+
+    // Correctness gate: the shared rows, the naive pairs and the
+    // classical barcode oracle must agree on every β_k(ε_i, ε_j).
+    {
+        let oracle = compute_barcode(&Filtration::rips(
+            &cloud,
+            max_scale(&grid),
+            MAX_DIM + 1,
+            Metric::Euclidean,
+        ));
+        for k in 0..MAX_DIM {
+            for (j, &death) in grid.iter().enumerate() {
+                let row = filt.persistent_betti_row(k, &grid[..=j], death);
+                for (i, &birth) in grid[..=j].iter().enumerate() {
+                    let naive = filt.persistent_betti_at(k, birth, death);
+                    assert_eq!(row[i], naive, "row vs naive at k = {k}, ({birth}, {death})");
+                    assert_eq!(
+                        row[i],
+                        oracle.persistent_betti(k, birth, death),
+                        "arena vs barcode oracle at k = {k}, ({birth}, {death})"
+                    );
+                }
+            }
+        }
+    }
+    println!("correctness gate passed: shared = naive = barcode oracle on every pair");
+
+    let reps = 5;
+    let naive = time_best(reps, || naive_triangle(&filt, &grid));
+    let shared = time_best(reps, || shared_triangle(&filt, &grid));
+
+    let per_pair = |d: Duration| d.as_secs_f64() * 1e6 / (MAX_DIM * pairs_per_dim) as f64;
+    let speedup = naive.as_secs_f64() / shared.as_secs_f64();
+    println!(
+        "per-pair naive  : {:8.1} µs  (triangle {:.2} ms)",
+        per_pair(naive),
+        naive.as_secs_f64() * 1e3
+    );
+    println!(
+        "per-pair shared : {:8.1} µs  (triangle {:.2} ms)",
+        per_pair(shared),
+        shared.as_secs_f64() * 1e3
+    );
+    println!("speedup         : {speedup:8.2}x");
+
+    if let Some(path) = json_path {
+        let json = format!(
+            "{{\n  \"bench\": \"persistence_serving\",\n  \"points\": {},\n  \"slices\": {},\n  \"dims\": {},\n  \"pairs_per_dim\": {},\n  \"bit_identity\": \"passed (shared = naive = barcode oracle, before timing)\",\n  \"naive_per_pair_us\": {:.2},\n  \"shared_per_pair_us\": {:.2},\n  \"naive_triangle_ms\": {:.3},\n  \"shared_triangle_ms\": {:.3},\n  \"speedup\": {:.2},\n  \"gates\": {{\"speedup_min\": 2.0, \"passed\": {}}}\n}}\n",
+            cloud.len(),
+            grid.len(),
+            MAX_DIM,
+            pairs_per_dim,
+            per_pair(naive),
+            per_pair(shared),
+            naive.as_secs_f64() * 1e3,
+            shared.as_secs_f64() * 1e3,
+            speedup,
+            speedup >= 2.0,
+        );
+        std::fs::write(&path, json).expect("writing bench JSON");
+        println!("wrote {path}");
+    }
+
+    assert!(
+        speedup >= 2.0,
+        "shared-rank serving must beat per-pair recompute by >= 2x ({speedup:.2}x)"
+    );
+}

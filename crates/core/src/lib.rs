@@ -29,6 +29,10 @@
 //!   builder, the one [`query::Query::run`] executor, and the
 //!   [`query::QosPolicy`] (priority / deadline / cancellation)
 //!   vocabulary shared with the batch engine and streaming service.
+//! * [`persist`] — the persistence payloads grid queries can opt into
+//!   ([`query::BettiRequest::persistence`]): persistent Betti numbers
+//!   β_k(ε_i, ε_j) per slice and per-dimension persistence diagrams,
+//!   exact and bit-identical to the classical barcode reduction.
 //! * [`pipeline`] — the routing vocabulary ([`pipeline::DispatchPolicy`],
 //!   [`pipeline::PipelineConfig`]), the multi-scale
 //!   [`pipeline::betti_curve`], and the deprecated pre-`Query` entry
@@ -43,6 +47,7 @@ pub mod analysis;
 pub mod backend;
 pub mod estimator;
 pub mod padding;
+pub mod persist;
 pub mod pipeline;
 pub mod query;
 pub mod scaling;
@@ -59,6 +64,7 @@ pub use pipeline::{
 };
 // The deprecated one-shot entry points stay re-exported for external
 // callers mid-migration (the shims are bit-identical to `Query::run`).
+pub use persist::{PersistenceDiagrams, PersistencePair, SlicePersistence};
 #[allow(deprecated)]
 pub use pipeline::{
     estimate_betti_numbers, estimate_dimension, estimate_dimension_dispatched, run_for_complex,

@@ -35,6 +35,7 @@
 
 use crate::backend::{LanczosBackend, StatevectorBackend};
 use crate::estimator::{BettiEstimate, BettiEstimator, EstimatorConfig};
+use crate::persist::{PersistenceDiagrams, SlicePersistence};
 use crate::pipeline::DispatchPolicy;
 use crate::spectrum::PaddedSpectrum;
 use qtda_linalg::SolveProfile;
@@ -335,6 +336,7 @@ pub struct BettiRequest<'a> {
     estimator: EstimatorConfig,
     policy: DispatchPolicy,
     serial: bool,
+    persistence: bool,
     share: Option<&'a SpectrumShare>,
 }
 
@@ -349,6 +351,7 @@ impl<'a> BettiRequest<'a> {
             estimator: EstimatorConfig::default(),
             policy: DispatchPolicy::default(),
             serial: false,
+            persistence: false,
             share: None,
         }
     }
@@ -448,6 +451,24 @@ impl<'a> BettiRequest<'a> {
         self
     }
 
+    /// Also serve **persistent homology**: every slice gains its row of
+    /// the persistent-Betti triangle (`β_k(ε_i, ε_j)` for each earlier
+    /// grid scale ε_i, per requested dimension) and the output gains
+    /// per-dimension persistence diagrams — all exact integer/interval
+    /// data read from the filtration arena, bit-identical to the
+    /// classical barcode reduction (pinned by the persistence
+    /// equivalence suite in `qtda-tda`).
+    ///
+    /// Requires a cloud or filtration source with an **ascending**
+    /// ε-grid ([`Self::build`] validates; a prebuilt complex has no
+    /// scale semantics to persist over). A single-scale cloud request
+    /// in this mode sweeps through the filtration arena instead of
+    /// materialising a complex, so [`QueryOutput::complex`] is `None`.
+    pub fn persistence(mut self) -> Self {
+        self.persistence = true;
+        self
+    }
+
     /// Deduplicate sparse-route decompositions through a caller-owned
     /// [`SpectrumShare`] — for drivers (e.g. the batch engine) that
     /// split one arena's `(ε, dim)` units across many single-unit
@@ -463,18 +484,30 @@ impl<'a> BettiRequest<'a> {
     /// Validates the request into a runnable [`Query`].
     ///
     /// # Panics
-    /// If a cloud or filtration source has no scales, or a complex
-    /// source has scales (a prebuilt complex has no scale semantics).
+    /// If a cloud or filtration source has no scales, a complex source
+    /// has scales (a prebuilt complex has no scale semantics), or
+    /// persistence mode is requested of a complex source or with a
+    /// non-ascending ε-grid.
     pub fn build(self) -> Query<'a> {
         match self.source {
             QuerySource::Cloud(_) | QuerySource::Filtration(_) => assert!(
                 !self.epsilons.is_empty(),
                 "cloud and filtration queries need at least one scale (at_scale / on_grid)"
             ),
-            QuerySource::Complex(_) => assert!(
-                self.epsilons.is_empty(),
-                "a prebuilt complex has no scale semantics; slice the source instead"
-            ),
+            QuerySource::Complex(_) => {
+                assert!(
+                    self.epsilons.is_empty(),
+                    "a prebuilt complex has no scale semantics; slice the source instead"
+                );
+                assert!(
+                    !self.persistence,
+                    "persistence mode needs a filtration (cloud or arena source), \
+                     not a prebuilt complex"
+                );
+            }
+        }
+        if self.persistence {
+            crate::persist::assert_ascending_grid(&self.epsilons);
         }
         assert!(self.dim_lo <= self.dim_hi, "dimension range reversed");
         Query { req: self }
@@ -509,6 +542,10 @@ pub struct QuerySlice {
     /// units, and always empty with the `obs` feature off. Telemetry
     /// only: never part of result identity.
     pub profile: SolveProfile,
+    /// The slice's persistent-homology payload — its row of the
+    /// persistent-Betti triangle per requested dimension. `Some` only
+    /// in [`BettiRequest::persistence`] mode.
+    pub persistence: Option<SlicePersistence>,
 }
 
 impl QuerySlice {
@@ -543,6 +580,9 @@ pub struct QueryOutput {
     /// through the filtration arena and never materialise per-scale
     /// complexes.
     pub complex: Option<SimplicialComplex>,
+    /// Per-dimension persistence diagrams of the swept filtration.
+    /// `Some` only in [`BettiRequest::persistence`] mode.
+    pub diagrams: Option<PersistenceDiagrams>,
 }
 
 impl QueryOutput {
@@ -597,10 +637,14 @@ impl<'a> Query<'a> {
         match self.req.source {
             QuerySource::Complex(complex) => {
                 let per_dim = self.dims_on_complex(complex, &dims, qos)?;
-                Ok(QueryOutput { slices: vec![assemble_slice(None, per_dim)], complex: None })
+                Ok(QueryOutput {
+                    slices: vec![assemble_slice(None, per_dim)],
+                    complex: None,
+                    diagrams: None,
+                })
             }
             QuerySource::Cloud(cloud) => {
-                if self.req.epsilons.len() == 1 {
+                if self.req.epsilons.len() == 1 && !self.req.persistence {
                     // Single scale: materialise the complex (callers of
                     // the one-shot pipeline get it back) and estimate
                     // its dimensions directly.
@@ -617,6 +661,7 @@ impl<'a> Query<'a> {
                     Ok(QueryOutput {
                         slices: vec![assemble_slice(Some(epsilon), per_dim)],
                         complex: Some(complex),
+                        diagrams: None,
                     })
                 } else {
                     // Grid sweep: one filtration arena at the grid's
@@ -729,7 +774,32 @@ impl<'a> Query<'a> {
             }
             slices
         };
-        Ok(QueryOutput { slices, complex: None })
+        let mut slices = slices;
+        let diagrams = if self.req.persistence {
+            // Persistence post-pass: exact integer payloads read off
+            // the arena — each slice's persistent-Betti rows over its
+            // grid prefix, then the request-wide diagrams. Abort is
+            // checked at slice boundaries like any other unit work.
+            for (j, slice) in slices.iter_mut().enumerate() {
+                if let Some(reason) = qos.abort_reason(Instant::now()) {
+                    return Err(reason);
+                }
+                slice.persistence = Some(crate::persist::slice_rows(
+                    filtration,
+                    self.req.dim_lo,
+                    self.req.dim_hi,
+                    &self.req.epsilons[..=j],
+                    self.req.epsilons[j],
+                ));
+            }
+            if let Some(reason) = qos.abort_reason(Instant::now()) {
+                return Err(reason);
+            }
+            Some(crate::persist::diagrams(filtration, self.req.dim_lo, self.req.dim_hi))
+        } else {
+            None
+        };
+        Ok(QueryOutput { slices, complex: None, diagrams })
     }
 }
 
@@ -759,7 +829,7 @@ fn assemble_slice(epsilon: Option<f64>, per_dim: Vec<UnitValue>) -> QuerySlice {
         classical.push(betti);
         profile.merge(&unit_profile);
     }
-    QuerySlice { epsilon, estimates, classical, profile }
+    QuerySlice { epsilon, estimates, classical, profile, persistence: None }
 }
 
 // ---------------------------------------------------------------------
@@ -1133,5 +1203,123 @@ mod tests {
     fn complex_request_with_scales_is_rejected() {
         let complex = qtda_tda::complex::worked_example_complex();
         let _ = BettiRequest::of_complex(&complex).at_scale(0.5).build();
+    }
+
+    #[test]
+    fn persistence_mode_serves_rows_and_diagrams_from_the_arena() {
+        use qtda_tda::filtration::max_scale;
+        let mut rng = StdRng::seed_from_u64(31);
+        let cloud = synthetic::circle(12, 1.0, 0.05, &mut rng);
+        let grid = vec![0.3, 0.6, 0.9, 1.2];
+        let out = BettiRequest::of_cloud(&cloud)
+            .on_grid(grid.clone())
+            .max_dim(1)
+            .estimator(high_fidelity(17))
+            .persistence()
+            .build()
+            .run();
+        // Against direct arena reads — the layers must agree exactly.
+        let filtration = LaplacianFiltration::rips(
+            &cloud,
+            max_scale(&grid),
+            2,
+            qtda_tda::point_cloud::Metric::Euclidean,
+        );
+        assert_eq!(out.slices.len(), grid.len());
+        for (j, slice) in out.slices.iter().enumerate() {
+            let payload = slice.persistence.as_ref().expect("persistence mode fills every slice");
+            for k in 0..=1usize {
+                let row = payload.row(k).expect("requested dimension served");
+                assert_eq!(row.len(), j + 1, "row spans the grid prefix");
+                for (i, &eps_i) in grid[..=j].iter().enumerate() {
+                    assert_eq!(
+                        row[i],
+                        filtration.persistent_betti_at(k, eps_i, grid[j]),
+                        "k = {k}, ε = ({eps_i}, {})",
+                        grid[j]
+                    );
+                }
+                // Diagonal = the slice's own classical Betti number.
+                assert_eq!(row[j], slice.classical[k], "k = {k}, j = {j}");
+            }
+        }
+        let diagrams = out.diagrams.as_ref().expect("persistence mode attaches diagrams");
+        for k in 0..=1usize {
+            assert_eq!(
+                diagrams.bars(k).expect("requested dimension served"),
+                filtration.bars(k).as_slice(),
+                "k = {k}"
+            );
+        }
+        // Estimates are untouched by the mode: bit-identical to the
+        // plain sweep of the same request.
+        let plain = BettiRequest::of_cloud(&cloud)
+            .on_grid(grid)
+            .max_dim(1)
+            .estimator(high_fidelity(17))
+            .build()
+            .run();
+        assert!(plain.slices.iter().all(|s| s.persistence.is_none()));
+        assert!(plain.diagrams.is_none());
+        for (p, s) in out.slices.iter().zip(&plain.slices) {
+            assert_eq!(p.classical, s.classical);
+            for (a, b) in p.features().iter().zip(s.features()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn single_scale_persistence_cloud_query_sweeps_the_arena() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let cloud = synthetic::circle(10, 1.0, 0.02, &mut rng);
+        let out = BettiRequest::of_cloud(&cloud)
+            .at_scale(0.7)
+            .estimator(high_fidelity(19))
+            .persistence()
+            .build()
+            .run();
+        assert!(out.complex.is_none(), "persistence mode never materialises a complex");
+        let payload = out.slices[0].persistence.as_ref().expect("payload attached");
+        assert_eq!(payload.row(0).map(<[usize]>::len), Some(1), "one-scale grid, one column");
+        assert_eq!(payload.betti(0, 0), Some(out.slices[0].classical[0]));
+        assert!(out.diagrams.is_some());
+    }
+
+    #[test]
+    fn serial_and_parallel_persistence_sweeps_are_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(35);
+        let cloud = synthetic::figure_eight(10, 1.0, 0.02, &mut rng);
+        let grid = vec![0.3, 0.5, 0.7, 0.9];
+        let run = |serial: bool| {
+            let mut req = BettiRequest::of_cloud(&cloud)
+                .on_grid(grid.clone())
+                .estimator(high_fidelity(5))
+                .persistence();
+            if serial {
+                req = req.serial();
+            }
+            req.build().run()
+        };
+        let parallel = run(false);
+        let serial = run(true);
+        for (p, s) in parallel.slices.iter().zip(&serial.slices) {
+            assert_eq!(p.persistence, s.persistence);
+        }
+        assert_eq!(parallel.diagrams, serial.diagrams);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a prebuilt complex")]
+    fn persistence_over_a_complex_is_rejected() {
+        let complex = qtda_tda::complex::worked_example_complex();
+        let _ = BettiRequest::of_complex(&complex).persistence().build();
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn persistence_over_a_descending_grid_is_rejected() {
+        let cloud = PointCloud::new(1, vec![0.0, 1.0]);
+        let _ = BettiRequest::of_cloud(&cloud).on_grid(vec![0.9, 0.3]).persistence().build();
     }
 }

@@ -42,6 +42,14 @@
 //!   unit to the statevector / dense / sparse backend by `|S_k|`
 //!   (`qtda_core::pipeline::DispatchPolicy`); the default derives the
 //!   classic dense/sparse split from each job's `sparse_threshold`.
+//! * **Persistent homology.** A [`BettiJob::persistence`] job's units
+//!   additionally read exact persistent-Betti rows β_k(ε_i, ε_j) off
+//!   the shared arena (each ε against every earlier grid scale), and
+//!   the last scale's units reduce per-dimension persistence diagrams —
+//!   so [`SliceResult::persistence`] streams with the slice and
+//!   [`JobResult::diagrams`] rides the same cache entry. All of it is
+//!   integer/interval data pinned bit-identical to the classical
+//!   barcode reduction, and `qtda_persist_*` counters track the spend.
 //! * **Quality of service.** [`BatchEngine::run_batch_qos`] accepts a
 //!   [`QosPolicy`] per job ([`JobRequest`]): the unit queue is ordered
 //!   by [`Priority`] class (Interactive first, Bulk last; ties keep the
@@ -61,6 +69,7 @@ use crate::cache::LruCache;
 use crate::job::BettiJob;
 use crate::seed::{job_seed, slice_seed};
 use qtda_core::estimator::BettiEstimate;
+use qtda_core::persist::{self, PersistenceDiagrams, PersistencePair, SlicePersistence};
 use qtda_core::pipeline::DispatchPolicy;
 use qtda_core::query::{AbortReason, BettiRequest, Priority, QosPolicy, SpectrumShare};
 use qtda_obs::{Counter, EventKind, FlightRecorder, Gauge, MetricsRegistry, Tracer};
@@ -265,6 +274,12 @@ pub struct SliceResult {
     pub estimates: Vec<BettiEstimate>,
     /// Classical Betti numbers for the same dimensions.
     pub classical: Vec<usize>,
+    /// The slice's persistent-homology payload: its row of the
+    /// persistent-Betti triangle per dimension (`row[i] = β_k(ε_i,
+    /// ε_j)` over the grid prefix). `Some` only for
+    /// [`BettiJob::persistence`] jobs — exact integers, bit-identical
+    /// across worker counts and cache states like everything else.
+    pub persistence: Option<SlicePersistence>,
 }
 
 impl SliceResult {
@@ -288,6 +303,11 @@ pub struct JobResult {
     pub job_seed: u64,
     /// Per-ε results in the order the grid requested them.
     pub slices: Vec<SliceResult>,
+    /// Per-dimension persistence diagrams of the job's filtration,
+    /// computed once from the shared arena (at the grid's largest
+    /// scale). `Some` only for [`BettiJob::persistence`] jobs with a
+    /// non-empty grid.
+    pub diagrams: Option<PersistenceDiagrams>,
 }
 
 impl JobResult {
@@ -444,6 +464,9 @@ struct EngineMetrics {
     solve_matvecs: Counter,
     lanczos_iterations: Counter,
     lanczos_restarts: Counter,
+    persist_units: Counter,
+    persist_rows: Counter,
+    persist_pairs: Counter,
 }
 
 impl EngineMetrics {
@@ -481,6 +504,12 @@ impl EngineMetrics {
             solve_matvecs: counter("qtda_engine_solve_matvecs_total"),
             lanczos_iterations: counter("qtda_engine_lanczos_iterations_total"),
             lanczos_restarts: counter("qtda_engine_lanczos_restarts_total"),
+            // Persistence serving: units that computed a persistent-
+            // Betti row, total row entries (β_k(ε_i, ε_j) reads), and
+            // total diagram pairs emitted.
+            persist_units: counter("qtda_persist_units_total"),
+            persist_rows: counter("qtda_persist_rows_total"),
+            persist_pairs: counter("qtda_persist_pairs_total"),
         }
     }
 }
@@ -703,6 +732,14 @@ impl BatchEngine {
     ) -> Vec<JobOutcome> {
         self.metrics.jobs_served.add(requests.len() as u64);
         self.metrics.batches_served.inc();
+        // Persistence jobs read β_k(ε_i, ε_j) over grid prefixes, which
+        // only makes sense on an ascending grid — reject up front,
+        // before any cache or unit work.
+        for (job, ..) in requests {
+            if job.persistence {
+                persist::assert_ascending_grid(&job.epsilons);
+            }
+        }
         let fingerprints: Vec<u64> = requests.iter().map(|(job, ..)| job.fingerprint()).collect();
 
         // Stage 1: verified cache lookups + in-batch dedup. `misses`
@@ -838,7 +875,7 @@ impl BatchEngine {
                 })
                 .collect()
         });
-        let estimates: Vec<Option<(BettiEstimate, usize)>> = run_units(workers, units.len(), |u| {
+        let estimates: Vec<Option<UnitOutput>> = run_units(workers, units.len(), |u| {
             let unit = &units[u];
             let job = requests[misses[unit.prep]].0;
             let slot = &preps[unit.prep];
@@ -968,7 +1005,29 @@ impl BatchEngine {
                 self.metrics.solve_matvecs.add(profile.matvecs);
                 self.metrics.lanczos_iterations.add(profile.lanczos_iterations);
                 self.metrics.lanczos_restarts.add(profile.restarts);
-                let result = output.unit();
+                let (estimate, classical) = output.unit();
+                // Persistence payload: this unit's persistent-Betti row
+                // (grid prefix → this ε) read from the same shared
+                // arena; the last grid scale's units also reduce their
+                // dimension's diagram. Exact integer/interval data —
+                // worker counts and scheduling cannot move a bit.
+                let unit_persist = job.persistence.then(|| {
+                    let persist_started = Instant::now();
+                    let row =
+                        arena.persistent_betti_row(unit.dim, &job.epsilons[..=unit.eps], epsilon);
+                    let bars = (unit.eps + 1 == job.epsilons.len()).then(|| arena.bars(unit.dim));
+                    let persist_done = Instant::now();
+                    for &i in &parties[unit.prep] {
+                        record_stage(requests[i].2, "persistence", persist_started, persist_done);
+                    }
+                    self.metrics.persist_units.inc();
+                    self.metrics.persist_rows.add(row.len() as u64);
+                    if let Some(bars) = &bars {
+                        self.metrics.persist_pairs.add(bars.len() as u64);
+                    }
+                    UnitPersist { row, bars }
+                });
+                let result = (estimate, classical, unit_persist);
                 self.metrics.units_executed.inc();
                 record_event(
                     &self.recorder,
@@ -982,23 +1041,13 @@ impl BatchEngine {
                 // Aborted event is terminal for its consumers).
                 if let (Some(sink), Some(slots)) = (sink, stream_slots.as_ref()) {
                     let stream = &slots[unit.prep][unit.eps];
-                    stream.dims.lock().expect("stream slot poisoned")[unit.dim] = Some(result);
+                    stream.dims.lock().expect("stream slot poisoned")[unit.dim] =
+                        Some(result.clone());
                     if stream.remaining.fetch_sub(1, Ordering::AcqRel) == 1
                         && slot.aborted.load(Ordering::Acquire) == ABORT_NONE
                     {
                         let dims = stream.dims.lock().expect("stream slot poisoned");
-                        let slice = SliceResult {
-                            epsilon,
-                            seed,
-                            estimates: dims
-                                .iter()
-                                .map(|d| d.expect("every dim landed").0)
-                                .collect(),
-                            classical: dims
-                                .iter()
-                                .map(|d| d.expect("every dim landed").1)
-                                .collect(),
-                        };
+                        let slice = assemble_slice_result(epsilon, seed, job.persistence, &dims);
                         for &job_index in &parties[unit.prep] {
                             if !requests[job_index].1.cancel.is_cancelled() {
                                 sink(SliceEvent::Slice {
@@ -1072,25 +1121,37 @@ impl BatchEngine {
                     .iter()
                     .enumerate()
                     .map(|(e, &eps)| {
-                        let per_dim = &per_job[p][e];
-                        SliceResult {
-                            epsilon: eps,
-                            seed: slice_seed(js, eps),
-                            estimates: per_dim
-                                .iter()
-                                .map(|slot| slot.expect("every unit ran").0)
-                                .collect(),
-                            classical: per_dim
-                                .iter()
-                                .map(|slot| slot.expect("every unit ran").1)
-                                .collect(),
-                        }
+                        assemble_slice_result(
+                            eps,
+                            slice_seed(js, eps),
+                            job.persistence,
+                            &per_job[p][e],
+                        )
                     })
                     .collect();
+                // The last grid scale's units reduced their dimension's
+                // diagram against the full arena — collect them once
+                // per job, in dimension order.
+                let diagrams = (job.persistence && !job.epsilons.is_empty()).then(|| {
+                    let last = &per_job[p][job.epsilons.len() - 1];
+                    PersistenceDiagrams {
+                        dim_lo: 0,
+                        diagrams: last
+                            .iter()
+                            .map(|slot| {
+                                slot.as_ref()
+                                    .and_then(|(_, _, persist)| persist.as_ref())
+                                    .and_then(|persist| persist.bars.clone())
+                                    .expect("every last-scale persistence unit reduced its diagram")
+                            })
+                            .collect(),
+                    }
+                });
                 let result = Arc::new(JobResult {
                     fingerprint: fingerprints[job_idx],
                     job_seed: js,
                     slices,
+                    diagrams,
                 });
                 cache.insert(
                     fingerprints[job_idx],
@@ -1159,8 +1220,51 @@ impl BatchEngine {
     }
 }
 
+/// What one `(job, ε, dim)` unit produces: the estimate, the classical
+/// cross-check, and (persistence jobs only) the persistence payload.
+type UnitOutput = (BettiEstimate, usize, Option<UnitPersist>);
+
+/// The persistence payload of one `(ε, dim)` unit: the dimension's
+/// persistent-Betti row over the grid prefix ending at this ε, plus —
+/// for the last grid scale only — the dimension's reduced diagram.
+#[derive(Clone, Debug)]
+struct UnitPersist {
+    row: Vec<usize>,
+    bars: Option<Vec<PersistencePair>>,
+}
+
+/// Assembles one [`SliceResult`] from its per-dimension unit outputs —
+/// the single body behind both the streaming announcement and the final
+/// collection, so the two can never drift.
+fn assemble_slice_result(
+    epsilon: f64,
+    seed: u64,
+    persistence: bool,
+    per_dim: &[Option<UnitOutput>],
+) -> SliceResult {
+    fn landed(slot: &Option<UnitOutput>) -> &UnitOutput {
+        slot.as_ref().expect("every dimension unit landed")
+    }
+    let persistence = persistence.then(|| SlicePersistence {
+        dim_lo: 0,
+        rows: per_dim
+            .iter()
+            .map(|slot| {
+                landed(slot).2.as_ref().expect("persistence units carry their row").row.clone()
+            })
+            .collect(),
+    });
+    SliceResult {
+        epsilon,
+        seed,
+        estimates: per_dim.iter().map(|slot| landed(slot).0).collect(),
+        classical: per_dim.iter().map(|slot| landed(slot).1).collect(),
+        persistence,
+    }
+}
+
 /// Scattered unit results, indexed `[miss job][ε index][dimension]`.
-type PerJobResults = Vec<Vec<Vec<Option<(BettiEstimate, usize)>>>>;
+type PerJobResults = Vec<Vec<Vec<Option<UnitOutput>>>>;
 
 /// A cache entry: the served result together with the request it
 /// answers, so a fingerprint collision is caught by content
@@ -1243,7 +1347,7 @@ struct PrepSlot {
 /// land here as their units complete, and the countdown reaching zero is
 /// the moment the slice is announced to the sink.
 struct StreamSlot {
-    dims: Mutex<Vec<Option<(BettiEstimate, usize)>>>,
+    dims: Mutex<Vec<Option<UnitOutput>>>,
     remaining: AtomicUsize,
 }
 

@@ -62,6 +62,7 @@ pub fn window_to_job(samples: &[f64], spec: &GearboxJobSpec) -> BettiJob {
         metric: Metric::Euclidean,
         estimator: spec.estimator,
         sparse_threshold: spec.sparse_threshold,
+        persistence: false,
     }
 }
 

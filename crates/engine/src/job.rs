@@ -27,6 +27,14 @@ pub struct BettiJob {
     pub estimator: EstimatorConfig,
     /// `|S_k|` at or above which a dimension runs the sparse path.
     pub sparse_threshold: usize,
+    /// Also serve **persistent homology**: every slice gains its
+    /// persistent-Betti row over the grid prefix (per dimension) and
+    /// the job result gains per-dimension persistence diagrams — exact
+    /// integer/interval payloads read from the job's filtration arena,
+    /// bit-identical to the classical barcode reduction. Requires an
+    /// ascending ε-grid. Part of the fingerprint (a persistence job
+    /// and its plain twin cache separately).
+    pub persistence: bool,
 }
 
 impl BettiJob {
@@ -40,7 +48,15 @@ impl BettiJob {
             metric: Metric::Euclidean,
             estimator: EstimatorConfig::default(),
             sparse_threshold: DEFAULT_SPARSE_THRESHOLD,
+            persistence: false,
         }
+    }
+
+    /// The job with persistence serving switched on (see
+    /// [`Self::persistence`]).
+    pub fn with_persistence(mut self) -> Self {
+        self.persistence = true;
+        self
     }
 
     /// The largest scale in the grid (`−∞` for an empty grid) — the
@@ -132,6 +148,11 @@ impl BettiJob {
                 w.push(bound.to_bits());
             }
         }
+        // Appended only when set, so every pre-persistence fingerprint
+        // (cache keys, seed roots) is preserved bit for bit.
+        if self.persistence {
+            w.push(0x5045_5253_4953_5431); // "PERSIST1"
+        }
         w
     }
 }
@@ -206,6 +227,10 @@ mod tests {
         let mut threshold = base.clone();
         threshold.sparse_threshold = 7;
         assert_ne!(threshold.fingerprint(), fp, "sparse threshold");
+
+        let persistence = base.clone().with_persistence();
+        assert_ne!(persistence.fingerprint(), fp, "persistence mode");
+        assert!(!base.same_request(&persistence));
     }
 
     #[test]

@@ -78,6 +78,93 @@ pub fn tridiagonal_eigenvalues(diag: &[f64], off: &[f64]) -> Vec<f64> {
     d
 }
 
+/// Eigenvalues of a symmetric tridiagonal matrix *with* the squared
+/// first components of their eigenvectors — the Gaussian quadrature
+/// rule of the tridiagonal's spectral measure seen from `e₁` (EISPACK
+/// `tql2` restricted to the one eigenvector row that matters). Returns
+/// `(node θ_j, weight τ_j²)` pairs, nodes ascending; the weights are
+/// non-negative and sum to 1 (the rotations are orthogonal and the
+/// tracked row starts as the unit vector `e₁`).
+///
+/// For a Lanczos tridiagonal T = QᵀAQ started at unit vector `v`, the
+/// rule integrates `vᵀf(A)v ≈ Σ_j τ_j²·f(θ_j)` exactly for polynomials
+/// of degree ≤ 2m−1 — the classical stochastic-Lanczos-quadrature
+/// identity that makes truncated spectral sums accurate at m ≪ n.
+/// The node update arithmetic is identical to
+/// [`tridiagonal_eigenvalues`], so the returned nodes are bit-identical
+/// to that routine's output on the same input.
+pub fn tridiagonal_quadrature(diag: &[f64], off: &[f64]) -> Vec<(f64, f64)> {
+    let n = diag.len();
+    assert!(n > 0, "empty matrix");
+    assert_eq!(off.len() + 1, n, "off-diagonal length must be n − 1");
+    let mut d = diag.to_vec();
+    let mut e: Vec<f64> = off.to_vec();
+    e.push(0.0);
+    // First row of the accumulated eigenvector matrix, starting at e₁.
+    let mut z = vec![0.0f64; n];
+    z[0] = 1.0;
+
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            assert!(iter <= 50, "tridiagonal QL failed to converge");
+
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            g = d[m] - d[l] + e[l] / (g + r.copysign(g));
+            let (mut s, mut c) = (1.0f64, 1.0f64);
+            let mut p = 0.0f64;
+            for i in (l..m).rev() {
+                let f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                let shifted = d[i + 1] - p;
+                r = (d[i] - shifted) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = shifted + p;
+                g = c * r - b;
+                // The same Givens rotation, applied to the tracked
+                // first eigenvector row.
+                let zf = z[i + 1];
+                z[i + 1] = s * z[i] + c * zf;
+                z[i] = c * z[i] - s * zf;
+            }
+            if r == 0.0 && m > l + 1 {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+    let mut pairs: Vec<(f64, f64)> =
+        d.into_iter().zip(z).map(|(node, zi)| (node, zi * zi)).collect();
+    // Stable sort by node: the same ordering pass as
+    // `tridiagonal_eigenvalues`, weights riding along.
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN eigenvalue"));
+    pairs
+}
+
 /// The internal xorshift stream (keeps linalg dependency-free).
 fn xorshift(seed: u64) -> impl FnMut() -> f64 {
     let mut state = seed | 1;
@@ -99,9 +186,51 @@ fn xorshift(seed: u64) -> impl FnMut() -> f64 {
 /// recycled into the basis column it becomes — the only per-iteration
 /// allocation left is the stored basis vector itself.
 pub fn lanczos_ritz_values<A: LaplacianOp + ?Sized>(a: &A, m: usize, seed: u64) -> Vec<f64> {
+    let (alphas, betas) = lanczos_tridiagonal(a, m, seed);
+    if alphas.is_empty() {
+        return Vec::new();
+    }
+    tridiagonal_eigenvalues(&alphas, &betas[..alphas.len().saturating_sub(1)])
+}
+
+/// The Gaussian quadrature rule of `a`'s spectral measure seen from the
+/// seeded Lanczos start vector `v`: `m` recurrence steps, then
+/// [`tridiagonal_quadrature`] on the resulting coefficients. The
+/// returned `Σ_j τ_j²·f(θ_j)` equals `vᵀf(A)v` exactly for polynomial
+/// `f` of degree ≤ 2m−1 — the estimate a truncated run should average,
+/// rather than treating m Ritz values as if they were the whole
+/// spectrum. Nodes are bit-identical to [`lanczos_ritz_values`] under
+/// the same `(a, m, seed)` (identical recurrence, identical QL node
+/// arithmetic).
+///
+/// An invariant-subspace restart (β = 0) splits the tridiagonal into
+/// blocks the rotations never mix, so restarted blocks get zero weight:
+/// the rule still integrates `vᵀf(A)v` for the *original* start vector
+/// exactly, which is the quantity being estimated.
+pub fn lanczos_quadrature<A: LaplacianOp + ?Sized>(a: &A, m: usize, seed: u64) -> Vec<(f64, f64)> {
+    let (alphas, betas) = lanczos_tridiagonal(a, m, seed);
+    if alphas.is_empty() {
+        return Vec::new();
+    }
+    tridiagonal_quadrature(&alphas, &betas[..alphas.len().saturating_sub(1)])
+}
+
+/// The Lanczos three-term recurrence with full reorthogonalisation:
+/// up to `m` iterations from the seeded random start vector, returning
+/// the tridiagonal coefficients `(α, β)` (`β.len() ≥ α.len() − 1`; the
+/// eigen-consumers slice to exactly that). One body shared verbatim by
+/// [`lanczos_ritz_values`] and [`lanczos_quadrature`], so both see
+/// bit-identical coefficients — and the float-op sequence is exactly
+/// the pre-extraction one, pinned by the block-Lanczos `block = 1`
+/// bit-identity test.
+fn lanczos_tridiagonal<A: LaplacianOp + ?Sized>(
+    a: &A,
+    m: usize,
+    seed: u64,
+) -> (Vec<f64>, Vec<f64>) {
     let n = a.dim();
     if n == 0 {
-        return Vec::new();
+        return (Vec::new(), Vec::new());
     }
     let m = m.clamp(1, n);
     let mut next = xorshift(seed);
@@ -180,7 +309,7 @@ pub fn lanczos_ritz_values<A: LaplacianOp + ?Sized>(a: &A, m: usize, seed: u64) 
         basis.push(std::mem::replace(&mut w, vec![0.0; n]));
     }
 
-    tridiagonal_eigenvalues(&alphas, &betas[..alphas.len().saturating_sub(1)])
+    (alphas, betas)
 }
 
 /// Default number of Ritz directions advanced per pass by
@@ -532,6 +661,101 @@ mod tests {
         let b = Mat::from_fn(n, n, |_, _| if next() > 0.2 { 0.0 } else { next() });
         let psd = b.transpose().matmul(&b);
         CsrMatrix::from_dense(&psd, 1e-15)
+    }
+
+    #[test]
+    fn tridiagonal_quadrature_known_cases() {
+        // 1×1: the whole measure sits on the single eigenvalue.
+        assert_eq!(tridiagonal_quadrature(&[5.5], &[]), vec![(5.5, 1.0)]);
+        // Diagonal: e₁ is already an eigenvector, so all weight lands
+        // on d[0] and none on the others.
+        let quad = tridiagonal_quadrature(&[3.0, -1.0, 2.0], &[0.0, 0.0]);
+        let on_three: f64 = quad.iter().filter(|&&(node, _)| node == 3.0).map(|&(_, w)| w).sum();
+        assert!((on_three - 1.0).abs() < 1e-14, "{quad:?}");
+        assert!((quad.iter().map(|&(_, w)| w).sum::<f64>() - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn tridiagonal_quadrature_nodes_match_eigenvalues_and_moments() {
+        let diag = vec![2.0, 1.5, 3.0, 0.5, 2.5];
+        let off = vec![-1.0, 0.7, -0.3, 0.9];
+        let quad = tridiagonal_quadrature(&diag, &off);
+        let nodes = tridiagonal_eigenvalues(&diag, &off);
+        assert_eq!(quad.len(), nodes.len());
+        for (&(node, w), expect) in quad.iter().zip(&nodes) {
+            assert_eq!(node.to_bits(), expect.to_bits(), "identical QL node arithmetic");
+            assert!(w >= 0.0);
+        }
+        // Weighted power sums reproduce (T^p)₀₀: p = 0 → 1, p = 1 →
+        // d₀, p = 2 → d₀² + e₀², p = 3 → d₀³ + 2d₀e₀² + d₁e₀².
+        let moment = |p: i32| quad.iter().map(|&(t, w)| w * t.powi(p)).sum::<f64>();
+        assert!((moment(0) - 1.0).abs() < 1e-12);
+        assert!((moment(1) - diag[0]).abs() < 1e-12);
+        assert!((moment(2) - (diag[0] * diag[0] + off[0] * off[0])).abs() < 1e-12);
+        let t3 = diag[0].powi(3) + 2.0 * diag[0] * off[0] * off[0] + diag[1] * off[0] * off[0];
+        assert!((moment(3) - t3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lanczos_quadrature_is_exact_to_gaussian_degree() {
+        // An m-point Gaussian rule integrates vᵀ p(A) v exactly for
+        // polynomials of degree ≤ 2m−1. Regenerate the seeded start
+        // vector and compare every power moment A^p against the rule.
+        let n = 18;
+        let m = 5;
+        let seed = 21;
+        let csr = random_psd(n, 33);
+        let quad = lanczos_quadrature(&csr, m, seed);
+        assert_eq!(quad.len(), m);
+        assert!((quad.iter().map(|&(_, w)| w).sum::<f64>() - 1.0).abs() < 1e-10);
+        assert!(quad.iter().all(|&(_, w)| w >= -1e-14));
+        let mut next = xorshift(seed);
+        let mut v: Vec<f64> = (0..n).map(|_| next()).collect();
+        normalise(&mut v);
+        let mut power = v.clone();
+        for p in 0..2 * m as i32 {
+            let from_rule: f64 = quad.iter().map(|&(node, w)| w * node.powi(p)).sum();
+            let direct = dot(&v, &power);
+            assert!(
+                (from_rule - direct).abs() < 1e-7 * direct.abs().max(1.0),
+                "degree {p}: rule {from_rule} vs direct {direct}"
+            );
+            let mut nxt = vec![0.0; n];
+            csr.matvec_into(&power, &mut nxt);
+            power = nxt;
+        }
+    }
+
+    #[test]
+    fn lanczos_quadrature_nodes_are_bit_identical_to_ritz_values() {
+        for (n, m, seed) in [(24usize, 24usize, 3u64), (24, 7, 3), (40, 12, 9)] {
+            let csr = random_psd(n, seed.wrapping_mul(97));
+            let quad = lanczos_quadrature(&csr, m, seed);
+            let ritz = lanczos_ritz_values(&csr, m, seed);
+            assert_eq!(quad.len(), ritz.len());
+            for (&(node, _), r) in quad.iter().zip(&ritz) {
+                assert_eq!(node.to_bits(), r.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn lanczos_quadrature_handles_restarts_and_edges() {
+        // Degenerate two-component Laplacian forces the restart path
+        // (β = 0 block split): weights must still be a probability
+        // vector over the original start's measure.
+        let m = Mat::from_rows(&[
+            vec![1.0, -1.0, 0.0, 0.0],
+            vec![-1.0, 1.0, 0.0, 0.0],
+            vec![0.0, 0.0, 1.0, -1.0],
+            vec![0.0, 0.0, -1.0, 1.0],
+        ]);
+        let csr = CsrMatrix::from_dense(&m, 0.0);
+        let quad = lanczos_quadrature(&csr, 4, 11);
+        assert!((quad.iter().map(|&(_, w)| w).sum::<f64>() - 1.0).abs() < 1e-10);
+        // Empty operator: empty rule.
+        let empty = CsrMatrix::from_triplets(0, 0, Vec::<(usize, usize, f64)>::new());
+        assert!(lanczos_quadrature(&empty, 3, 1).is_empty());
     }
 
     #[test]

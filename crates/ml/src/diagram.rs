@@ -1,0 +1,284 @@
+//! Persistence-diagram vectorization: fixed-length feature vectors from
+//! variable-size barcodes, so diagrams served by the persistence stack
+//! feed any tabular learner (the logistic head, the [`crate::nn`]
+//! network).
+//!
+//! Two standard embeddings:
+//!
+//! * [`PersistenceImage`] — each (birth, persistence) pair splats a
+//!   persistence-weighted Gaussian onto a fixed raster (Adams et al.,
+//!   *Persistence Images*, JMLR 2017);
+//! * [`PersistenceLandscape`] — the k-th largest tent functions of the
+//!   diagram sampled on a fixed scale grid (Bubenik, JMLR 2015).
+//!
+//! Both are deterministic pure functions of the diagram: no RNG, no
+//! global state, so pipelines stay bit-reproducible end to end.
+
+use qtda_tda::persistence::PersistencePair;
+
+/// A fixed-length embedding of one homology dimension's persistence
+/// diagram. Implementations read only pairs of [`Self::dim`] and always
+/// emit exactly [`Self::feature_len`] features, whatever the diagram's size —
+/// including none at all — so rows stay rectangular across samples.
+pub trait DiagramVectorizer {
+    /// The homology dimension this vectorizer reads.
+    fn dim(&self) -> usize;
+
+    /// The (constant) length of every emitted feature vector.
+    fn feature_len(&self) -> usize;
+
+    /// Embeds the diagram. Pairs of other dimensions are ignored, so
+    /// callers may pass a mixed barcode unfiltered.
+    fn vectorize(&self, pairs: &[PersistencePair]) -> Vec<f64>;
+}
+
+/// The finite death scale substituted for an essential (never-dying)
+/// class: pair `(b, None)` is treated as `(b, max(b, cap))`.
+fn effective_death(pair: &PersistencePair, cap: f64) -> f64 {
+    pair.death.unwrap_or(cap).max(pair.birth)
+}
+
+/// A persistence image: the diagram is mapped to (birth, persistence)
+/// coordinates, each pair weighted by its persistence, convolved with
+/// an isotropic Gaussian and sampled on a `resolution × resolution`
+/// raster over a fixed window. The fixed window is what keeps feature
+/// `i` meaning the same pixel for every sample in a dataset.
+#[derive(Clone, Debug)]
+pub struct PersistenceImage {
+    /// Homology dimension to embed.
+    pub dim: usize,
+    /// Pixels per axis (the vector length is `resolution²`).
+    pub resolution: usize,
+    /// Birth-axis window `[lo, hi)`.
+    pub birth_range: (f64, f64),
+    /// Persistence-axis window `[lo, hi)`.
+    pub pers_range: (f64, f64),
+    /// Gaussian bandwidth (same units as the scales).
+    pub sigma: f64,
+    /// Death scale substituted for essential classes (typically the
+    /// filtration's max scale).
+    pub essential_death: f64,
+}
+
+impl PersistenceImage {
+    /// An image over `[0, max_scale)²` with a bandwidth of one pixel.
+    pub fn new(dim: usize, resolution: usize, max_scale: f64) -> Self {
+        assert!(resolution > 0, "a persistence image needs at least one pixel");
+        assert!(max_scale > 0.0, "the scale window must be positive");
+        PersistenceImage {
+            dim,
+            resolution,
+            birth_range: (0.0, max_scale),
+            pers_range: (0.0, max_scale),
+            sigma: max_scale / resolution as f64,
+            essential_death: max_scale,
+        }
+    }
+
+    /// Pixel-centre coordinate `i` of `n` over `[lo, hi)`.
+    fn centre(range: (f64, f64), i: usize, n: usize) -> f64 {
+        range.0 + (i as f64 + 0.5) * (range.1 - range.0) / n as f64
+    }
+}
+
+impl DiagramVectorizer for PersistenceImage {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn feature_len(&self) -> usize {
+        self.resolution * self.resolution
+    }
+
+    fn vectorize(&self, pairs: &[PersistencePair]) -> Vec<f64> {
+        let n = self.resolution;
+        let mut image = vec![0.0; n * n];
+        let inv_two_sigma_sq = 1.0 / (2.0 * self.sigma * self.sigma);
+        for pair in pairs.iter().filter(|p| p.dim == self.dim) {
+            let birth = pair.birth;
+            let pers = effective_death(pair, self.essential_death) - pair.birth;
+            if pers <= 0.0 {
+                continue; // diagonal points carry no signal
+            }
+            // Linear persistence weighting: long-lived features dominate,
+            // noise near the diagonal fades out continuously.
+            let weight = pers;
+            for row in 0..n {
+                let y = Self::centre(self.pers_range, row, n);
+                let dy = (y - pers) * (y - pers);
+                for col in 0..n {
+                    let x = Self::centre(self.birth_range, col, n);
+                    let dx = (x - birth) * (x - birth);
+                    image[row * n + col] += weight * (-(dx + dy) * inv_two_sigma_sq).exp();
+                }
+            }
+        }
+        image
+    }
+}
+
+/// A persistence landscape: for each pair the tent function
+/// `λ(t) = max(0, min(t − birth, death − t))`, and for each level `k`
+/// the k-th largest tent value, sampled at `samples` evenly spaced
+/// scales. The vector is `levels × samples`, level-major.
+#[derive(Clone, Debug)]
+pub struct PersistenceLandscape {
+    /// Homology dimension to embed.
+    pub dim: usize,
+    /// Number of landscape levels (1st, 2nd, … largest).
+    pub levels: usize,
+    /// Sample points per level.
+    pub samples: usize,
+    /// Scale window `[lo, hi]` the samples span.
+    pub range: (f64, f64),
+    /// Death scale substituted for essential classes.
+    pub essential_death: f64,
+}
+
+impl PersistenceLandscape {
+    /// A landscape over `[0, max_scale]`.
+    pub fn new(dim: usize, levels: usize, samples: usize, max_scale: f64) -> Self {
+        assert!(levels > 0 && samples > 0, "a landscape needs levels and samples");
+        assert!(max_scale > 0.0, "the scale window must be positive");
+        PersistenceLandscape {
+            dim,
+            levels,
+            samples,
+            range: (0.0, max_scale),
+            essential_death: max_scale,
+        }
+    }
+}
+
+impl DiagramVectorizer for PersistenceLandscape {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn feature_len(&self) -> usize {
+        self.levels * self.samples
+    }
+
+    fn vectorize(&self, pairs: &[PersistencePair]) -> Vec<f64> {
+        let step = if self.samples > 1 {
+            (self.range.1 - self.range.0) / (self.samples - 1) as f64
+        } else {
+            0.0
+        };
+        let mut out = vec![0.0; self.levels * self.samples];
+        let mut tents = Vec::new();
+        for s in 0..self.samples {
+            let t = self.range.0 + s as f64 * step;
+            tents.clear();
+            for pair in pairs.iter().filter(|p| p.dim == self.dim) {
+                let death = effective_death(pair, self.essential_death);
+                let tent = (t - pair.birth).min(death - t).max(0.0);
+                if tent > 0.0 {
+                    tents.push(tent);
+                }
+            }
+            // Descending, ties broken by value only — tent heights are
+            // pure functions of the pairs, so the order is deterministic.
+            tents.sort_by(|a, b| b.total_cmp(a));
+            for (level, &tent) in tents.iter().take(self.levels).enumerate() {
+                out[level * self.samples + s] = tent;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(dim: usize, birth: f64, death: Option<f64>) -> PersistencePair {
+        PersistencePair { dim, birth, death }
+    }
+
+    #[test]
+    fn images_are_fixed_length_and_empty_diagrams_are_zero() {
+        let image = PersistenceImage::new(1, 4, 1.0);
+        assert_eq!(image.feature_len(), 16);
+        let v = image.vectorize(&[]);
+        assert_eq!(v.len(), 16);
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn a_pair_peaks_at_its_own_pixel() {
+        // One pair at birth 0.3, persistence 0.54 on an 8×8 unit window:
+        // the brightest pixel must be the one whose centre is nearest
+        // (0.3, 0.54).
+        let image = PersistenceImage::new(1, 8, 1.0);
+        let v = image.vectorize(&[pair(1, 0.3, Some(0.84))]);
+        let brightest = (0..v.len()).max_by(|&a, &b| v[a].total_cmp(&v[b])).unwrap();
+        let (row, col) = (brightest / 8, brightest % 8);
+        assert_eq!(col, 2, "birth 0.3 lands in pixel 2 of [0,1)/8");
+        assert_eq!(row, 4, "persistence 0.54 lands in pixel 4");
+        assert!(v[brightest] > 0.0);
+    }
+
+    #[test]
+    fn other_dimensions_and_diagonal_points_contribute_nothing() {
+        let image = PersistenceImage::new(1, 4, 1.0);
+        let v = image.vectorize(&[
+            pair(0, 0.2, Some(0.9)), // wrong dimension
+            pair(1, 0.4, Some(0.4)), // zero persistence
+        ]);
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn persistence_weighting_favours_long_lived_features() {
+        let image = PersistenceImage::new(0, 6, 1.0);
+        let long = image.vectorize(&[pair(0, 0.1, Some(0.9))]);
+        let short = image.vectorize(&[pair(0, 0.1, Some(0.3))]);
+        let mass = |v: &[f64]| v.iter().sum::<f64>();
+        assert!(mass(&long) > mass(&short), "a long bar must carry more mass");
+    }
+
+    #[test]
+    fn essential_classes_are_clamped_not_dropped() {
+        let image = PersistenceImage::new(0, 4, 1.0);
+        let essential = image.vectorize(&[pair(0, 0.0, None)]);
+        let clamped = image.vectorize(&[pair(0, 0.0, Some(1.0))]);
+        assert_eq!(essential, clamped, "None death embeds as the essential cap");
+        assert!(essential.iter().sum::<f64>() > 0.0);
+    }
+
+    #[test]
+    fn landscape_of_one_pair_is_its_tent() {
+        // Pair (0.2, 0.8) sampled at 0, 0.25, 0.5, 0.75, 1.0: the level-0
+        // landscape is the tent max(0, min(t − 0.2, 0.8 − t)).
+        let ls = PersistenceLandscape::new(1, 2, 5, 1.0);
+        let v = ls.vectorize(&[pair(1, 0.2, Some(0.8))]);
+        assert_eq!(v.len(), 10);
+        let expected = [0.0, 0.05, 0.3, 0.05, 0.0];
+        for (s, &e) in expected.iter().enumerate() {
+            assert!((v[s] - e).abs() < 1e-12, "sample {s}: {} vs {e}", v[s]);
+        }
+        // One pair → the second level is identically zero.
+        assert!(v[5..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn landscape_levels_sort_overlapping_tents() {
+        // Two nested bars: at their common midpoint the outer bar's tent
+        // is the level-0 value and the inner bar's the level-1 value.
+        let ls = PersistenceLandscape::new(0, 2, 3, 1.0);
+        let v = ls.vectorize(&[pair(0, 0.0, Some(1.0)), pair(0, 0.3, Some(0.7))]);
+        let mid = 1; // t = 0.5
+        assert!((v[mid] - 0.5).abs() < 1e-12, "level 0 is the outer tent");
+        assert!((v[ls.samples + mid] - 0.2).abs() < 1e-12, "level 1 is the inner tent");
+    }
+
+    #[test]
+    fn vectorizers_are_deterministic() {
+        let pairs = vec![pair(1, 0.1, Some(0.6)), pair(1, 0.2, None), pair(0, 0.0, Some(0.4))];
+        let image = PersistenceImage::new(1, 5, 1.0);
+        let ls = PersistenceLandscape::new(1, 3, 7, 1.0);
+        assert_eq!(image.vectorize(&pairs), image.vectorize(&pairs));
+        assert_eq!(ls.vectorize(&pairs), ls.vectorize(&pairs));
+    }
+}

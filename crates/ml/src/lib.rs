@@ -4,17 +4,24 @@
 //! plays in the paper's §5 classification experiments: binary logistic
 //! regression on Betti-number features, train/validation splitting,
 //! feature standardisation and the accuracy/MAE metrics of Table 1.
+//! The persistence stack feeds in through [`diagram`] (persistence
+//! images and landscapes turn barcodes into fixed-length features) and
+//! [`nn`] (a deterministic feed-forward network as the nonlinear head).
 
 #![deny(missing_docs)]
 #![deny(deprecated)]
 #![forbid(unsafe_code)]
 
 pub mod dataset;
+pub mod diagram;
 pub mod logistic;
 pub mod metrics;
+pub mod nn;
 pub mod scaler;
 pub mod split;
 
 pub use dataset::Dataset;
+pub use diagram::{DiagramVectorizer, PersistenceImage, PersistenceLandscape};
 pub use logistic::{LogisticConfig, LogisticRegression};
+pub use nn::{Dense, Layer, Network, NetworkConfig, Relu};
 pub use scaler::StandardScaler;

@@ -1,0 +1,332 @@
+//! A small feed-forward neural network for binary classification —
+//! the nonlinear head the persistence-image features feed (replacing
+//! [`crate::logistic`] where the decision boundary is not linear).
+//!
+//! Deliberately minimal and **deterministic**: layers are a trait
+//! ([`Layer`]) so the stack is composable ([`Dense`] / [`Relu`]),
+//! weights initialise from a seeded splitmix64 stream (no global RNG),
+//! and training is plain per-sample SGD in fixed dataset order with a
+//! sigmoid + binary-cross-entropy head. Same data, same config → the
+//! same fitted network, bit for bit, matching the determinism contract
+//! of everything upstream.
+
+use crate::dataset::Dataset;
+
+/// One differentiable stage of a network. `forward` maps an input
+/// activation to an output; `backward` receives the same input plus
+/// ∂L/∂output, applies any parameter update at the given learning rate,
+/// and returns ∂L/∂input for the layer below.
+pub trait Layer {
+    /// The layer's output for one input activation.
+    fn forward(&self, input: &[f64]) -> Vec<f64>;
+
+    /// One SGD step: update parameters against `grad` (∂L/∂output at
+    /// `input`) and return ∂L/∂input.
+    fn backward(&mut self, input: &[f64], grad: &[f64], learning_rate: f64) -> Vec<f64>;
+}
+
+/// splitmix64: the deterministic init stream (small, seedable, stable
+/// across platforms — weights must never depend on a global RNG).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform in [0, 1) from the top 53 bits.
+fn uniform(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A fully connected affine layer, `out = W·in + b`.
+#[derive(Clone, Debug)]
+pub struct Dense {
+    /// Row-major weights, one row per output unit.
+    weights: Vec<Vec<f64>>,
+    bias: Vec<f64>,
+}
+
+impl Dense {
+    /// Xavier/Glorot-uniform initialisation from a seeded stream:
+    /// weights in ±√(6/(in+out)), biases zero.
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "dense layers need positive dimensions");
+        let limit = (6.0 / (in_dim + out_dim) as f64).sqrt();
+        let mut state = seed;
+        let weights = (0..out_dim)
+            .map(|_| (0..in_dim).map(|_| (2.0 * uniform(&mut state) - 1.0) * limit).collect())
+            .collect();
+        Dense { weights, bias: vec![0.0; out_dim] }
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.bias.len()
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&self, input: &[f64]) -> Vec<f64> {
+        self.weights
+            .iter()
+            .zip(&self.bias)
+            .map(|(row, b)| b + row.iter().zip(input).map(|(w, x)| w * x).sum::<f64>())
+            .collect()
+    }
+
+    fn backward(&mut self, input: &[f64], grad: &[f64], learning_rate: f64) -> Vec<f64> {
+        let mut grad_in = vec![0.0; input.len()];
+        for (row, &g) in self.weights.iter_mut().zip(grad) {
+            for ((w, &x), gi) in row.iter_mut().zip(input).zip(&mut grad_in) {
+                *gi += *w * g;
+                *w -= learning_rate * g * x;
+            }
+        }
+        for (b, &g) in self.bias.iter_mut().zip(grad) {
+            *b -= learning_rate * g;
+        }
+        grad_in
+    }
+}
+
+/// Elementwise rectifier, `max(0, x)`. Parameter-free.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Relu;
+
+impl Layer for Relu {
+    fn forward(&self, input: &[f64]) -> Vec<f64> {
+        input.iter().map(|&x| x.max(0.0)).collect()
+    }
+
+    fn backward(&mut self, input: &[f64], grad: &[f64], _learning_rate: f64) -> Vec<f64> {
+        input.iter().zip(grad).map(|(&x, &g)| if x > 0.0 { g } else { 0.0 }).collect()
+    }
+}
+
+/// Training hyperparameters for [`Network::fit`].
+#[derive(Clone, Debug)]
+pub struct NetworkConfig {
+    /// Hidden-layer widths (each followed by a ReLU); empty recovers
+    /// logistic regression with this init/optimiser.
+    pub hidden: Vec<usize>,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// Passes over the dataset (samples visited in fixed order).
+    pub epochs: usize,
+    /// Weight-initialisation seed.
+    pub seed: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig { hidden: vec![16], learning_rate: 0.05, epochs: 400, seed: 7 }
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// A feed-forward binary classifier: a stack of [`Layer`]s ending in a
+/// single logit, squashed by a sigmoid and trained under binary
+/// cross-entropy (for which ∂L/∂logit = σ(z) − y, exactly the logistic
+/// head's gradient).
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Network {
+    /// An untrained multi-layer perceptron `in_dim → hidden… → 1` with
+    /// seeded deterministic weights (each Dense draws from its own
+    /// seed-derived stream).
+    pub fn mlp(in_dim: usize, config: &NetworkConfig) -> Self {
+        assert!(in_dim > 0, "the input dimension must be positive");
+        let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+        let mut width = in_dim;
+        for (i, &h) in config.hidden.iter().enumerate() {
+            layers.push(Box::new(Dense::new(width, h, config.seed.wrapping_add(i as u64))));
+            layers.push(Box::new(Relu));
+            width = h;
+        }
+        layers.push(Box::new(Dense::new(
+            width,
+            1,
+            config.seed.wrapping_add(config.hidden.len() as u64),
+        )));
+        Network { layers }
+    }
+
+    /// Builds an MLP and fits it on `data` — per-sample SGD in dataset
+    /// order, so the result is a pure function of (data, config).
+    /// Panics on an empty dataset or ragged rows (via [`Dataset`]).
+    pub fn fit(data: &Dataset, config: &NetworkConfig) -> Self {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        let mut net = Self::mlp(data.n_features(), config);
+        for _ in 0..config.epochs {
+            for (row, &label) in data.x.iter().zip(&data.y) {
+                net.sgd_step(row, label, config.learning_rate);
+            }
+        }
+        net
+    }
+
+    /// One SGD step on a single sample.
+    fn sgd_step(&mut self, row: &[f64], label: u8, learning_rate: f64) {
+        // Forward, keeping each layer's input for the backward pass.
+        let mut activations: Vec<Vec<f64>> = Vec::with_capacity(self.layers.len() + 1);
+        activations.push(row.to_vec());
+        for layer in &self.layers {
+            let next = layer.forward(activations.last().expect("seeded above"));
+            activations.push(next);
+        }
+        let logit = activations.last().expect("non-empty")[0];
+        // BCE through the sigmoid: ∂L/∂z = σ(z) − y.
+        let mut grad = vec![sigmoid(logit) - f64::from(label)];
+        for (layer, input) in self.layers.iter_mut().zip(&activations).rev() {
+            grad = layer.backward(input, &grad, learning_rate);
+        }
+    }
+
+    /// Probability of class 1.
+    pub fn predict_proba(&self, row: &[f64]) -> f64 {
+        let mut activation = row.to_vec();
+        for layer in &self.layers {
+            activation = layer.forward(&activation);
+        }
+        sigmoid(activation[0])
+    }
+
+    /// Hard 0/1 prediction at the 0.5 threshold.
+    pub fn predict(&self, row: &[f64]) -> u8 {
+        u8::from(self.predict_proba(row) >= 0.5)
+    }
+
+    /// Predictions for a whole feature matrix.
+    pub fn predict_all(&self, x: &[Vec<f64>]) -> Vec<u8> {
+        x.iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// Accuracy on a dataset.
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        crate::metrics::accuracy(&self.predict_all(&data.x), &data.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logistic::{LogisticConfig, LogisticRegression};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn xor_dataset(n: usize, noise: f64, rng: &mut impl Rng) -> Dataset {
+        let mut d = Dataset::default();
+        for _ in 0..n {
+            for (a, b) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+                let x = a + rng.gen_range(-noise..noise);
+                let y = b + rng.gen_range(-noise..noise);
+                d.push(vec![x, y], u8::from(a != b));
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn xor_is_learned_where_logistic_cannot() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let data = xor_dataset(30, 0.1, &mut rng);
+        let net = Network::fit(
+            &data,
+            &NetworkConfig { hidden: vec![8], epochs: 1500, learning_rate: 0.2, seed: 3 },
+        );
+        let linear = LogisticRegression::fit(&data, &LogisticConfig::default());
+        let net_acc = net.accuracy(&data);
+        let linear_acc = linear.accuracy(&data);
+        assert!(net_acc > 0.95, "the MLP must solve XOR: {net_acc}");
+        assert!(linear_acc < 0.75, "control: XOR defeats the linear model: {linear_acc}");
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let data = xor_dataset(10, 0.05, &mut rng);
+        let config = NetworkConfig::default();
+        let a = Network::fit(&data, &config);
+        let b = Network::fit(&data, &config);
+        for row in &data.x {
+            assert_eq!(
+                a.predict_proba(row).to_bits(),
+                b.predict_proba(row).to_bits(),
+                "identical (data, config) must give an identical network"
+            );
+        }
+    }
+
+    #[test]
+    fn the_seed_perturbs_the_fit() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let data = xor_dataset(10, 0.05, &mut rng);
+        let a = Network::fit(&data, &NetworkConfig { seed: 1, epochs: 5, ..Default::default() });
+        let b = Network::fit(&data, &NetworkConfig { seed: 2, epochs: 5, ..Default::default() });
+        assert!(
+            data.x.iter().any(|r| a.predict_proba(r) != b.predict_proba(r)),
+            "different seeds must initialise different weights"
+        );
+    }
+
+    #[test]
+    fn no_hidden_layers_recovers_a_linear_separator() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut d = Dataset::default();
+        for _ in 0..40 {
+            d.push(vec![rng.gen_range(-1.0..1.0) - 2.5, rng.gen_range(-1.0..1.0)], 0);
+            d.push(vec![rng.gen_range(-1.0..1.0) + 2.5, rng.gen_range(-1.0..1.0)], 1);
+        }
+        let net = Network::fit(
+            &d,
+            &NetworkConfig { hidden: vec![], epochs: 600, learning_rate: 0.2, seed: 5 },
+        );
+        assert!((net.accuracy(&d) - 1.0).abs() < 1e-12, "separable data, linear head");
+    }
+
+    #[test]
+    fn dense_backward_matches_finite_differences() {
+        let mut layer = Dense::new(3, 2, 9);
+        let frozen = layer.clone();
+        let input = [0.3, -0.7, 1.1];
+        let grad_out = [0.4, -0.9];
+        // Loss L = Σ grad_out · output is linear in the output, so
+        // ∂L/∂input from backward must match finite differences of L.
+        let grad_in = layer.backward(&input, &grad_out, 0.0);
+        let loss = |inp: &[f64]| -> f64 {
+            frozen.forward(inp).iter().zip(&grad_out).map(|(o, g)| o * g).sum()
+        };
+        let h = 1e-6;
+        for i in 0..input.len() {
+            let mut plus = input;
+            plus[i] += h;
+            let mut minus = input;
+            minus[i] -= h;
+            let numeric = (loss(&plus) - loss(&minus)) / (2.0 * h);
+            assert!(
+                (grad_in[i] - numeric).abs() < 1e-6,
+                "∂L/∂input[{i}]: analytic {} vs numeric {numeric}",
+                grad_in[i]
+            );
+        }
+    }
+
+    #[test]
+    fn relu_gates_the_gradient() {
+        let mut relu = Relu;
+        assert_eq!(relu.forward(&[-1.0, 0.0, 2.0]), vec![0.0, 0.0, 2.0]);
+        assert_eq!(relu.backward(&[-1.0, 0.0, 2.0], &[5.0, 5.0, 5.0], 0.1), vec![0.0, 0.0, 5.0]);
+    }
+}

@@ -41,11 +41,13 @@
 
 use crate::complex::SimplicialComplex;
 use crate::filtration::diameter;
+use crate::persistence::{canonical_pair_order, symmetric_difference, Barcode, PersistencePair};
 use crate::point_cloud::{Metric, PointCloud};
 use crate::rips::{rips_complex, RipsParams};
 use qtda_linalg::rank::rank_integral;
 use qtda_linalg::sparse::CsrMatrix;
 use qtda_linalg::Mat;
+use std::collections::HashMap;
 
 /// One Laplacian triplet tagged with the ε at which it activates.
 #[derive(Clone, Copy, Debug)]
@@ -303,6 +305,160 @@ impl LaplacianFiltration {
         n_k - rank_k - rank_k1
     }
 
+    /// Persistent Betti number β_k(ε_i, ε_j): classes alive at ε_i that
+    /// still live at ε_j ≥ ε_i — one entry of
+    /// [`Self::persistent_betti_row`]. Matches
+    /// [`Barcode::persistent_betti`] on the same Rips construction for
+    /// every ε_i ≥ 0 (for k = 0 the arena's degenerate-scale semantics
+    /// keep vertices alive at *any* ε_i, including negative ones, while
+    /// barcode births sit at 0).
+    pub fn persistent_betti_at(&self, k: usize, eps_i: f64, eps_j: f64) -> usize {
+        self.persistent_betti_row(k, std::slice::from_ref(&eps_i), eps_j)[0]
+    }
+
+    /// The persistent-Betti row of one death scale: `row[i]` =
+    /// β_k(birth_epsilons[i], ε_j), computed from the arena's boundary
+    /// prefixes by exact integer rank.
+    ///
+    /// Because appearance order makes `C_k(ε_i)` a coordinate prefix of
+    /// `C_k(ε_j)` — and a boundary supported on that prefix is
+    /// automatically a cycle of the ε_i-subcomplex — the inclusion-image
+    /// dimension reduces to ranks of prefix submatrices:
+    ///
+    /// ```text
+    /// β_k(ε_i, ε_j) = n_k(ε_i) − rank ∂_k(ε_i)
+    ///               − rank ∂_{k+1}(ε_j)
+    ///               + rank (∂_{k+1}(ε_j) rows ≥ n_k(ε_i))
+    /// ```
+    ///
+    /// The dominant `rank ∂_{k+1}(ε_j)` term depends only on the death
+    /// scale, so one row shares it across every birth scale — the
+    /// amortisation `benches/persistence_serving.rs` gates on.
+    ///
+    /// # Panics
+    /// If any birth scale exceeds `death_epsilon`.
+    pub fn persistent_betti_row(
+        &self,
+        k: usize,
+        birth_epsilons: &[f64],
+        death_epsilon: f64,
+    ) -> Vec<usize> {
+        let rank_death = rank_integral(&self.boundary_dense_at(k + 1, death_epsilon));
+        birth_epsilons
+            .iter()
+            .map(|&eps_i| {
+                assert!(eps_i <= death_epsilon, "ε₁ must not exceed ε₂");
+                let n_k = self.count_at(k, eps_i);
+                if n_k == 0 {
+                    return 0;
+                }
+                let rank_k =
+                    if k == 0 { 0 } else { rank_integral(&self.boundary_dense_at(k, eps_i)) };
+                let rank_quotient =
+                    rank_integral(&self.boundary_dense_rows_from(k + 1, death_epsilon, n_k));
+                // Grouped so the non-negative total never underflows
+                // through an intermediate.
+                (n_k + rank_quotient) - (rank_k + rank_death)
+            })
+            .collect()
+    }
+
+    /// The dimension-k bars of the arena's filtration (birth/death in
+    /// scale values, essential classes `None`), in the canonical
+    /// [`canonical_pair_order`]. Computed by per-dimension Z/2 column
+    /// reduction over the appearance-ordered boundary prefixes — the
+    /// same pairing as the global reduction in
+    /// [`compute_barcode`](crate::persistence::compute_barcode), because
+    /// within one dimension the global filtration order *is* appearance
+    /// order and reduction never mixes dimensions.
+    pub fn bars(&self, k: usize) -> Vec<PersistencePair> {
+        let Some(arena) = self.dims.get(k) else {
+            return Vec::new();
+        };
+        let (positive, _) = self.reduce_boundary(k);
+        let (_, deaths) = self.reduce_boundary(k + 1);
+        let mut pairs: Vec<PersistencePair> = positive
+            .iter()
+            .enumerate()
+            .filter(|&(_, &pos)| pos)
+            .map(|(j, _)| PersistencePair { dim: k, birth: arena.values[j], death: deaths[j] })
+            .collect();
+        pairs.sort_by(canonical_pair_order);
+        pairs
+    }
+
+    /// The full barcode of the arena's filtration — every dimension up
+    /// to the construction dimension, canonically sorted. Bit-identical
+    /// (values and layout) to
+    /// [`compute_barcode`](crate::persistence::compute_barcode) on the
+    /// [`Filtration::rips`](crate::filtration::Filtration::rips) of the
+    /// same cloud, construction scale, max dimension, and metric: both
+    /// orderings restrict to (value, lex) within each dimension, and
+    /// both birth/death values come from the same
+    /// [`diameter`] computation.
+    pub fn barcode(&self) -> Barcode {
+        let top = self.dims.len();
+        let mut pairs = Vec::new();
+        let mut prev_positive: Vec<bool> = Vec::new();
+        for k in 0..=top {
+            let (positive, deaths) = self.reduce_boundary(k);
+            if k > 0 {
+                let values = &self.dims[k - 1].values;
+                for (j, &pos) in prev_positive.iter().enumerate() {
+                    if pos {
+                        pairs.push(PersistencePair {
+                            dim: k - 1,
+                            birth: values[j],
+                            death: deaths[j],
+                        });
+                    }
+                }
+            }
+            prev_positive = positive;
+        }
+        pairs.sort_by(canonical_pair_order);
+        Barcode { pairs }
+    }
+
+    /// Z/2 column reduction of the full ∂_k arena (construction scale).
+    /// Returns, per k-simplex, whether its column reduced to zero (a
+    /// *positive* simplex, creating a k-class), and per (k−1)-simplex
+    /// the scale at which the class it created dies (`None` if nothing
+    /// in dimension k kills it). `k = 0` has no boundary: every vertex
+    /// is positive. Past the top dimension: no columns, no deaths.
+    fn reduce_boundary(&self, k: usize) -> (Vec<bool>, Vec<Option<f64>>) {
+        let n_prev = if k == 0 { 0 } else { self.dims.get(k - 1).map_or(0, |d| d.values.len()) };
+        let mut deaths: Vec<Option<f64>> = vec![None; n_prev];
+        let Some(arena) = self.dims.get(k) else {
+            return (Vec::new(), deaths);
+        };
+        if k == 0 {
+            return (vec![true; arena.values.len()], deaths);
+        }
+        let n = arena.boundary_cols.len();
+        let mut columns: Vec<Vec<u32>> = Vec::with_capacity(n);
+        let mut low_to_col: HashMap<u32, usize> = HashMap::with_capacity(n);
+        let mut positive = vec![false; n];
+        for (j, rows) in arena.boundary_cols.iter().enumerate() {
+            let mut col: Vec<u32> = rows.iter().map(|&(r, _)| r).collect();
+            col.sort_unstable();
+            while let Some(&low) = col.last() {
+                match low_to_col.get(&low) {
+                    Some(&earlier) => col = symmetric_difference(&col, &columns[earlier]),
+                    None => break,
+                }
+            }
+            if let Some(&low) = col.last() {
+                low_to_col.insert(low, j);
+                deaths[low as usize] = Some(arena.values[j]);
+            } else {
+                positive[j] = true;
+            }
+            columns.push(col);
+        }
+        (positive, deaths)
+    }
+
     /// Dense ∂_k restricted to the ε-prefix, in appearance order
     /// (`n_{k−1}(ε) × n_k(ε)`; the zero map for k = 0, an empty-column
     /// matrix past the top dimension — mirroring `boundary_matrix`).
@@ -317,6 +473,29 @@ impl LaplacianFiltration {
             for (j, col) in arena.boundary_cols[..cols].iter().enumerate() {
                 for &(r, s) in col {
                     m[(r as usize, j)] = f64::from(s);
+                }
+            }
+        }
+        m
+    }
+
+    /// The bottom block of [`Self::boundary_dense_at`]: ∂_k at ε with
+    /// only the face rows of appearance index ≥ `row_from` kept — the
+    /// quotient block whose rank measures how much of the ε-boundary
+    /// image escapes the `row_from`-prefix subspace. Never called with
+    /// k = 0 (the zero map has no rows to restrict).
+    fn boundary_dense_rows_from(&self, k: usize, epsilon: f64, row_from: usize) -> Mat {
+        debug_assert!(k > 0, "∂₀ has no rows to restrict");
+        let rows = self.count_at(k - 1, epsilon);
+        let cols = self.count_at(k, epsilon);
+        let kept = rows.saturating_sub(row_from);
+        let mut m = Mat::zeros(kept, cols);
+        if let Some(arena) = self.dims.get(k) {
+            for (j, col) in arena.boundary_cols[..cols].iter().enumerate() {
+                for &(r, s) in col {
+                    if (r as usize) >= row_from {
+                        m[(r as usize - row_from, j)] = f64::from(s);
+                    }
                 }
             }
         }
@@ -638,6 +817,71 @@ mod tests {
                 filt.dims.get(k).map_or(0, |d| d.triplets.len())
             );
         }
+    }
+
+    #[test]
+    fn arena_barcode_is_bit_identical_to_the_global_reduction() {
+        use crate::filtration::Filtration;
+        use crate::persistence::compute_barcode;
+        let pc = cloud();
+        let filt = LaplacianFiltration::rips(&pc, 0.96, 3, Metric::Euclidean);
+        let oracle = compute_barcode(&Filtration::rips(&pc, 0.96, 3, Metric::Euclidean));
+        let arena = filt.barcode();
+        assert_eq!(arena.pairs.len(), oracle.pairs.len());
+        for (a, b) in arena.pairs.iter().zip(&oracle.pairs) {
+            assert_eq!(a.dim, b.dim);
+            assert_eq!(a.birth.to_bits(), b.birth.to_bits(), "{a:?} vs {b:?}");
+            assert_eq!(a.death.map(f64::to_bits), b.death.map(f64::to_bits), "{a:?} vs {b:?}");
+        }
+        // Per-dimension bars are the same pairs, filtered.
+        for k in 0..=3usize {
+            let per_dim = filt.bars(k);
+            let filtered: Vec<_> = arena.bars(k).cloned().collect();
+            assert_eq!(per_dim, filtered, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn persistent_betti_matches_the_barcode_oracle() {
+        use crate::filtration::Filtration;
+        use crate::persistence::compute_barcode;
+        let pc = cloud();
+        let filt = LaplacianFiltration::rips(&pc, 0.96, 3, Metric::Euclidean);
+        let oracle = compute_barcode(&Filtration::rips(&pc, 0.96, 3, Metric::Euclidean));
+        let grid = grid();
+        for (j, &eps_j) in grid.iter().enumerate() {
+            for k in 0..=2usize {
+                let row = filt.persistent_betti_row(k, &grid[..=j], eps_j);
+                for (i, &eps_i) in grid[..=j].iter().enumerate() {
+                    let expected = oracle.persistent_betti(k, eps_i, eps_j);
+                    assert_eq!(row[i], expected, "k = {k}, ε = ({eps_i}, {eps_j})");
+                    assert_eq!(filt.persistent_betti_at(k, eps_i, eps_j), expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn persistent_betti_at_equal_scales_is_plain_betti() {
+        let pc = cloud();
+        let filt = LaplacianFiltration::rips(&pc, 0.96, 3, Metric::Euclidean);
+        for &eps in &grid() {
+            for k in 0..=2usize {
+                assert_eq!(
+                    filt.persistent_betti_at(k, eps, eps),
+                    filt.betti_at(k, eps),
+                    "ε = {eps}, k = {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ε₁ must not exceed ε₂")]
+    fn persistent_betti_rejects_reversed_scales() {
+        let pc = cloud();
+        let filt = LaplacianFiltration::rips(&pc, 0.96, 2, Metric::Euclidean);
+        let _ = filt.persistent_betti_at(0, 0.8, 0.2);
     }
 
     #[test]

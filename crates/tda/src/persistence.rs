@@ -5,6 +5,7 @@
 //! Betti numbers: β_k(ε) equals the number of dimension-k bars alive at ε.
 
 use crate::filtration::Filtration;
+use std::cmp::Ordering;
 use std::collections::HashMap;
 
 /// A persistence interval (bar) in a fixed homology dimension.
@@ -30,10 +31,29 @@ impl PersistencePair {
     }
 }
 
+/// The canonical diagram order: `(birth, death, dim)`, with essential
+/// (`None`) deaths sorting after every finite death at the same birth.
+/// Bars that tie on all three keys are *interchangeable as intervals*,
+/// so a **stable** sort by this comparator falls back to creator
+/// (filtration-index) order — making diagram layouts, and anything
+/// fingerprinted from them, deterministic even when many simplices are
+/// born at the same scale. Both [`compute_barcode`] and the arena
+/// barcode ([`crate::laplacian_filtration::LaplacianFiltration::barcode`])
+/// emit pairs in this order, which is what lets their outputs be
+/// compared bit for bit.
+pub fn canonical_pair_order(a: &PersistencePair, b: &PersistencePair) -> Ordering {
+    let death = |p: &PersistencePair| p.death.unwrap_or(f64::INFINITY);
+    a.birth
+        .total_cmp(&b.birth)
+        .then_with(|| death(a).total_cmp(&death(b)))
+        .then_with(|| a.dim.cmp(&b.dim))
+}
+
 /// The barcode of a filtration.
 #[derive(Clone, Debug, Default)]
 pub struct Barcode {
-    /// All persistence pairs, including zero-length bars.
+    /// All persistence pairs, including zero-length bars, in the
+    /// canonical [`canonical_pair_order`].
     pub pairs: Vec<PersistencePair>,
 }
 
@@ -113,24 +133,30 @@ pub fn compute_barcode(filtration: &Filtration) -> Barcode {
         let death = death_of[j].map(|d| simplices[d].value);
         pairs.push(PersistencePair { dim, birth, death });
     }
+    // Stable canonical sort: ties on (birth, death, dim) keep the
+    // filtration-index emission order above — the deterministic
+    // tie-break diagram fingerprints rely on.
+    pairs.sort_by(canonical_pair_order);
     Barcode { pairs }
 }
 
-/// Z/2 column addition: symmetric difference of sorted index sets.
-fn symmetric_difference(a: &[usize], b: &[usize]) -> Vec<usize> {
+/// Z/2 column addition: symmetric difference of sorted index sets
+/// (shared with the arena's per-dimension reduction, which runs over
+/// `u32` appearance indices).
+pub(crate) fn symmetric_difference<T: Ord + Copy>(a: &[T], b: &[T]) -> Vec<T> {
     let mut out = Vec::with_capacity(a.len() + b.len());
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => {
+            Ordering::Less => {
                 out.push(a[i]);
                 i += 1;
             }
-            std::cmp::Ordering::Greater => {
+            Ordering::Greater => {
                 out.push(b[j]);
                 j += 1;
             }
-            std::cmp::Ordering::Equal => {
+            Ordering::Equal => {
                 i += 1;
                 j += 1;
             }
@@ -236,6 +262,35 @@ mod tests {
         let essential0 = bc.bars(0).filter(|p| p.death.is_none()).count();
         let final_complex = f.complex_at(1.8);
         assert_eq!(essential0, betti_numbers(&final_complex)[0]);
+    }
+
+    #[test]
+    fn simultaneous_births_sort_deterministically() {
+        // The unit square has four vertices born together at 0 and four
+        // edges born together at 1 — plenty of birth ties. The emitted
+        // pairs must follow the canonical (birth, death, dim) order so
+        // diagram fingerprints are stable, and a re-run must reproduce
+        // the layout exactly.
+        let pc = PointCloud::new(2, vec![0.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0, 1.0]);
+        let f = Filtration::rips(&pc, 2.0, 2, Metric::Euclidean);
+        let bc = compute_barcode(&f);
+        for w in bc.pairs.windows(2) {
+            assert_ne!(
+                canonical_pair_order(&w[0], &w[1]),
+                Ordering::Greater,
+                "pairs out of canonical order: {:?} after {:?}",
+                w[1],
+                w[0]
+            );
+        }
+        // Birth-tied dim-0 bars appear finite-deaths-first, ascending;
+        // the essential component sorts last among the birth-0 bars.
+        let b0: Vec<_> = bc.bars(0).collect();
+        assert_eq!(b0.len(), 4);
+        assert!(b0[..3].iter().all(|p| p.death == Some(1.0)));
+        assert_eq!(b0[3].death, None, "essential class sorts after finite deaths");
+        // And the whole layout is reproducible bit for bit.
+        assert_eq!(bc.pairs, compute_barcode(&f).pairs);
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! The persistent-homology contract, property-based: everything the
+//! arena serves about persistence must be indistinguishable from the
+//! global Z/2 column reduction (`compute_barcode`) on the same Rips
+//! filtration —
+//!
+//! * `LaplacianFiltration::barcode()` is **bit-identical** (dims,
+//!   birth/death value bits, canonical layout) to `compute_barcode` on
+//!   `Filtration::rips` of the same cloud/scale/dimension/metric;
+//! * `LaplacianFiltration::persistent_betti_at(k, ε_i, ε_j)` equals
+//!   interval counting on the oracle barcode for every grid pair
+//!   ε_i ≤ ε_j and every homology dimension 0–2, and the shared-rank
+//!   row variant returns the same numbers;
+//! * the diagonal β_k(ε, ε) collapses to the ordinary Betti number.
+//!
+//! Run explicitly in CI ("Persistence" step) next to the filtration
+//! equivalence suite.
+
+use proptest::prelude::*;
+use qtda_tda::filtration::Filtration;
+use qtda_tda::laplacian_filtration::LaplacianFiltration;
+use qtda_tda::persistence::{canonical_pair_order, compute_barcode};
+use qtda_tda::point_cloud::{synthetic, Metric, PointCloud};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a small random point cloud in the unit square/cube.
+fn arb_cloud() -> impl Strategy<Value = PointCloud> {
+    (5usize..12, 2usize..4, any::<u64>()).prop_map(|(n, d, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        synthetic::uniform_cube(n, d, &mut rng)
+    })
+}
+
+/// Strategy: an ascending non-negative ε-grid inside the construction
+/// scale (persistent-Betti pairs are drawn from it; vertices are born
+/// at 0, so non-negative birth scales keep the k = 0 semantics of the
+/// arena and the barcode aligned).
+fn arb_grid() -> impl Strategy<Value = Vec<f64>> {
+    (3usize..6, 0.05f64..0.2).prop_map(|(n, step)| (0..n).map(|i| 0.1 + step * i as f64).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn arena_barcode_is_bit_identical_to_the_oracle(
+        cloud in arb_cloud(),
+        construction in 0.4f64..0.9,
+        max_dim in 2usize..4,
+    ) {
+        let filt = LaplacianFiltration::rips(&cloud, construction, max_dim, Metric::Euclidean);
+        let oracle = compute_barcode(&Filtration::rips(&cloud, construction, max_dim, Metric::Euclidean));
+        let arena = filt.barcode();
+        prop_assert_eq!(arena.pairs.len(), oracle.pairs.len());
+        for (a, b) in arena.pairs.iter().zip(&oracle.pairs) {
+            prop_assert_eq!(a.dim, b.dim, "{:?} vs {:?}", a, b);
+            prop_assert_eq!(a.birth.to_bits(), b.birth.to_bits(), "{:?} vs {:?}", a, b);
+            prop_assert_eq!(
+                a.death.map(f64::to_bits),
+                b.death.map(f64::to_bits),
+                "{:?} vs {:?}", a, b
+            );
+        }
+        // Both layouts are canonically sorted.
+        for w in arena.pairs.windows(2) {
+            prop_assert!(
+                canonical_pair_order(&w[0], &w[1]) != std::cmp::Ordering::Greater,
+                "arena barcode out of canonical order"
+            );
+        }
+    }
+
+    #[test]
+    fn persistent_betti_equals_barcode_interval_counting(
+        cloud in arb_cloud(),
+        grid in arb_grid(),
+    ) {
+        let construction = grid.iter().fold(f64::NEG_INFINITY, |a, &e| a.max(e));
+        // Simplices one dimension above the top homology dimension, as
+        // everywhere else in the stack.
+        let filt = LaplacianFiltration::rips(&cloud, construction, 3, Metric::Euclidean);
+        let oracle = compute_barcode(&Filtration::rips(&cloud, construction, 3, Metric::Euclidean));
+        for (j, &eps_j) in grid.iter().enumerate() {
+            for k in 0..=2usize {
+                let row = filt.persistent_betti_row(k, &grid[..=j], eps_j);
+                for (i, &eps_i) in grid[..=j].iter().enumerate() {
+                    let expected = oracle.persistent_betti(k, eps_i, eps_j);
+                    prop_assert_eq!(
+                        row[i], expected,
+                        "row: k = {}, ε = ({}, {})", k, eps_i, eps_j
+                    );
+                    prop_assert_eq!(
+                        filt.persistent_betti_at(k, eps_i, eps_j), expected,
+                        "point: k = {}, ε = ({}, {})", k, eps_i, eps_j
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_persistent_betti_is_the_ordinary_betti_number(
+        cloud in arb_cloud(),
+        grid in arb_grid(),
+    ) {
+        let construction = grid.iter().fold(f64::NEG_INFINITY, |a, &e| a.max(e));
+        let filt = LaplacianFiltration::rips(&cloud, construction, 3, Metric::Euclidean);
+        for &eps in &grid {
+            for k in 0..=2usize {
+                prop_assert_eq!(
+                    filt.persistent_betti_at(k, eps, eps),
+                    filt.betti_at(k, eps),
+                    "ε = {}, k = {}", eps, k
+                );
+            }
+        }
+    }
+}
